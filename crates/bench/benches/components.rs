@@ -1,0 +1,133 @@
+//! Criterion benches for the substrates: cache, branch predictors, the
+//! trace-generating VM, and the register-allocation pipeline stages.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mcl_bpred::{Bimodal, BranchPredictor, Gshare, McFarling};
+use mcl_mem::{Cache, CacheConfig};
+use mcl_trace::Vm;
+use mcl_workloads::{microkernels, Benchmark, HostLcg};
+
+fn bench_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mem/cache");
+    group.throughput(Throughput::Elements(10_000));
+
+    group.bench_function("sequential-hits", |b| {
+        b.iter(|| {
+            let mut cache = Cache::new(CacheConfig::paper_l1());
+            for now in 0..10_000u64 {
+                cache.access((now % 512) * 8, now, false);
+            }
+            cache.stats().hits
+        });
+    });
+
+    group.bench_function("streaming-misses", |b| {
+        b.iter(|| {
+            let mut cache = Cache::new(CacheConfig::paper_l1());
+            for now in 0..10_000u64 {
+                cache.access(now * 32, now, false);
+            }
+            cache.stats().misses
+        });
+    });
+
+    group.bench_function("random-mixed", |b| {
+        b.iter(|| {
+            let mut cache = Cache::new(CacheConfig::paper_l1());
+            let mut lcg = HostLcg::new(7);
+            for now in 0..10_000u64 {
+                cache.access(lcg.below(1 << 20) * 8, now, now % 3 == 0);
+            }
+            cache.stats().miss_rate()
+        });
+    });
+    group.finish();
+}
+
+fn bench_predictors(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bpred");
+    group.throughput(Throughput::Elements(100_000));
+    // A realistic mixture: biased, alternating, and noisy branches.
+    let mut lcg = HostLcg::new(99);
+    let stream: Vec<(u64, bool)> = (0..100_000u64)
+        .map(|i| {
+            let pc = 0x1000 + (i % 64) * 4;
+            let taken = match i % 64 {
+                0..=20 => true,
+                21..=40 => i % 2 == 0,
+                _ => lcg.below(100) < 30,
+            };
+            (pc, taken)
+        })
+        .collect();
+
+    group.bench_function("bimodal", |b| {
+        b.iter(|| {
+            let mut p = Bimodal::new(4096);
+            let mut correct = 0u64;
+            for &(pc, taken) in &stream {
+                if p.predict(pc) == taken {
+                    correct += 1;
+                }
+                p.update(pc, taken);
+            }
+            correct
+        });
+    });
+    group.bench_function("gshare", |b| {
+        b.iter(|| {
+            let mut p = Gshare::new(4096);
+            let mut correct = 0u64;
+            for &(pc, taken) in &stream {
+                if p.predict(pc) == taken {
+                    correct += 1;
+                }
+                p.update(pc, taken);
+            }
+            correct
+        });
+    });
+    group.bench_function("mcfarling", |b| {
+        b.iter(|| {
+            let mut p = McFarling::new(4096);
+            let mut correct = 0u64;
+            for &(pc, taken) in &stream {
+                if p.predict(pc) == taken {
+                    correct += 1;
+                }
+                p.update(pc, taken);
+            }
+            correct
+        });
+    });
+    group.finish();
+}
+
+fn bench_vm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace/vm");
+    for bench in [Benchmark::Compress, Benchmark::Su2cor] {
+        let il = bench.build((bench.default_scale() / 20).max(1));
+        group.bench_with_input(BenchmarkId::new("run", bench.name()), &il, |b, il| {
+            b.iter(|| {
+                let mut vm = Vm::new(il);
+                vm.run_to_end().unwrap()
+            });
+        });
+    }
+    let chain = microkernels::dependent_chain(10_000);
+    group.throughput(Throughput::Elements(10_000));
+    group.bench_function("straight-line", |b| {
+        b.iter(|| {
+            let mut vm = Vm::new(&chain);
+            vm.run_to_end().unwrap()
+        });
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_cache, bench_predictors, bench_vm
+}
+criterion_main!(benches);

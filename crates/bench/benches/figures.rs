@@ -1,0 +1,44 @@
+//! Criterion benches for the figure reproductions and ablation sweeps:
+//! scenario timelines (Figures 2–5), the Figure 6 partitioning
+//! walkthrough, and one point of each ablation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mcl_bench::{ablate, figure6, scenarios};
+use mcl_workloads::Benchmark;
+
+fn bench_scenarios(c: &mut Criterion) {
+    c.bench_function("figures/scenarios-2-to-5", |b| {
+        b.iter(|| scenarios::run_all().unwrap().len());
+    });
+}
+
+fn bench_figure6(c: &mut Criterion) {
+    c.bench_function("figures/figure6-partition", |b| {
+        b.iter(|| {
+            let fig = figure6::build();
+            figure6::partition(&fig).assignment_order.len()
+        });
+    });
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablate");
+    group.sample_size(10);
+    group.bench_function("buffers-compress", |b| {
+        b.iter(|| ablate::buffers(Benchmark::Compress, 400, &[4, 8]).unwrap().len());
+    });
+    group.bench_function("dq-compress", |b| {
+        b.iter(|| ablate::dq_single(Benchmark::Compress, 400, &[64, 128]).unwrap().len());
+    });
+    group.bench_function("width4-gcc1", |b| {
+        b.iter(|| ablate::width4(Benchmark::Gcc1, 400).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_scenarios, bench_figure6, bench_ablations
+}
+criterion_main!(benches);

@@ -1,0 +1,96 @@
+//! Criterion bench for the Table 2 experiment: times the cycle-level
+//! simulation of each benchmark's trace on the single- and dual-cluster
+//! machines, and the scheduling pipeline that produces the binaries.
+//!
+//! The *simulated* results (the paper's numbers) are printed by
+//! `cargo run --release -p mcl-bench --bin repro -- table2`; this bench
+//! measures the reproduction's own wall-clock cost per configuration.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mcl_bench::schedule_and_trace;
+use mcl_core::{Processor, ProcessorConfig};
+use mcl_isa::assign::RegisterAssignment;
+use mcl_sched::{SchedulePipeline, SchedulerKind};
+use mcl_workloads::Benchmark;
+
+/// Reduced scale so a criterion run stays in seconds per benchmark.
+fn scale(bench: Benchmark) -> u32 {
+    (bench.default_scale() / 20).max(1)
+}
+
+fn bench_simulation(c: &mut Criterion) {
+    let assign = RegisterAssignment::even_odd_with_default_globals(2);
+    let mut group = c.benchmark_group("table2/simulate");
+    for bench in Benchmark::ALL {
+        let il = bench.build(scale(bench));
+        let native = schedule_and_trace(&il, SchedulerKind::Naive, &assign, None).unwrap();
+        let local = schedule_and_trace(&il, SchedulerKind::Local, &assign, None).unwrap();
+        group.throughput(Throughput::Elements(native.len() as u64));
+
+        group.bench_with_input(
+            BenchmarkId::new("single-8way", bench.name()),
+            &native,
+            |b, trace| {
+                b.iter(|| {
+                    Processor::new(ProcessorConfig::single_cluster_8way())
+                        .run_trace(trace)
+                        .unwrap()
+                        .stats
+                        .cycles
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("dual-none", bench.name()),
+            &native,
+            |b, trace| {
+                b.iter(|| {
+                    Processor::new(ProcessorConfig::dual_cluster_8way())
+                        .run_trace(trace)
+                        .unwrap()
+                        .stats
+                        .cycles
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("dual-local", bench.name()),
+            &local,
+            |b, trace| {
+                b.iter(|| {
+                    Processor::new(ProcessorConfig::dual_cluster_8way())
+                        .run_trace(trace)
+                        .unwrap()
+                        .stats
+                        .cycles
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_scheduling(c: &mut Criterion) {
+    let assign = RegisterAssignment::even_odd_with_default_globals(2);
+    let mut group = c.benchmark_group("table2/schedule");
+    for bench in Benchmark::ALL {
+        let il = bench.build(scale(bench));
+        for kind in [SchedulerKind::Naive, SchedulerKind::Local] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{kind:?}"), bench.name()),
+                &il,
+                |b, il| {
+                    b.iter(|| SchedulePipeline::new(kind, &assign).run(il).unwrap());
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_simulation, bench_scheduling
+}
+criterion_main!(benches);

@@ -1,0 +1,219 @@
+//! Ablation sweeps over the design parameters the paper discusses in
+//! prose: transfer-buffer sizing (replay pressure, Section 2.1), the
+//! local scheduler's imbalance threshold (Section 3.5), dispatch-queue
+//! size (the compress anomaly, Section 4.2), global-register
+//! designation (Section 3.1 step 3), and issue width (Section 4).
+
+use mcl_core::{speedup_percent, ProcessorConfig};
+use mcl_isa::assign::RegisterAssignment;
+use mcl_sched::{unroll_self_loops, ScheduleOptions, SchedulerKind};
+use mcl_workloads::Benchmark;
+
+use crate::{schedule_and_trace, simulate, Error};
+
+/// One point of a one-dimensional sweep.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// The swept parameter's value.
+    pub param: u64,
+    /// Simulated cycles.
+    pub cycles: u64,
+    /// Replay exceptions taken.
+    pub replays: u64,
+    /// Dual-distributed fraction (percent).
+    pub dual_pct: f64,
+    /// Data-cache miss rate (percent).
+    pub dcache_miss_pct: f64,
+    /// Branch misprediction rate (percent).
+    pub mispredict_pct: f64,
+}
+
+fn point(param: u64, stats: &mcl_core::SimStats) -> SweepPoint {
+    SweepPoint {
+        param,
+        cycles: stats.cycles,
+        replays: stats.replays,
+        dual_pct: stats.dual_fraction() * 100.0,
+        dcache_miss_pct: stats.dcache.miss_rate() * 100.0,
+        mispredict_pct: stats.mispredict_rate() * 100.0,
+    }
+}
+
+/// A1 — transfer-buffer sizing: dual-cluster cycles and replay count as
+/// the operand/result buffers shrink and grow.
+///
+/// # Errors
+///
+/// Propagates harness failures.
+pub fn buffers(bench: Benchmark, scale: u32, sizes: &[u32]) -> Result<Vec<SweepPoint>, Error> {
+    let il = bench.build(scale);
+    let assign = RegisterAssignment::even_odd_with_default_globals(2);
+    let trace = schedule_and_trace(&il, SchedulerKind::Local, &assign, None)?;
+    sizes
+        .iter()
+        .map(|&size| {
+            let mut cfg = ProcessorConfig::dual_cluster_8way();
+            cfg.operand_buffer = size;
+            cfg.result_buffer = size;
+            let stats = simulate(&cfg, &trace)?;
+            Ok(point(u64::from(size), &stats))
+        })
+        .collect()
+}
+
+/// A2 — the local scheduler's imbalance threshold.
+///
+/// # Errors
+///
+/// Propagates harness failures.
+pub fn threshold(
+    bench: Benchmark,
+    scale: u32,
+    thresholds: &[f64],
+) -> Result<Vec<SweepPoint>, Error> {
+    let il = bench.build(scale);
+    let assign = RegisterAssignment::even_odd_with_default_globals(2);
+    let cfg = ProcessorConfig::dual_cluster_8way();
+    thresholds
+        .iter()
+        .map(|&th| {
+            let options = ScheduleOptions { imbalance_threshold: th, ..Default::default() };
+            let trace = schedule_and_trace(&il, SchedulerKind::Local, &assign, Some(options))?;
+            let stats = simulate(&cfg, &trace)?;
+            Ok(point(th as u64, &stats))
+        })
+        .collect()
+}
+
+/// A3 — dispatch-queue size on the *single-cluster* machine: the
+/// mechanism behind the paper's compress anomaly (a larger queue admits
+/// staler predictions and more issue disorder).
+///
+/// # Errors
+///
+/// Propagates harness failures.
+pub fn dq_single(bench: Benchmark, scale: u32, sizes: &[u32]) -> Result<Vec<SweepPoint>, Error> {
+    let il = bench.build(scale);
+    let assign = RegisterAssignment::even_odd_with_default_globals(2);
+    let trace = schedule_and_trace(&il, SchedulerKind::Naive, &assign, None)?;
+    sizes
+        .iter()
+        .map(|&size| {
+            let mut cfg = ProcessorConfig::single_cluster_8way();
+            cfg.dq_entries = size;
+            let stats = simulate(&cfg, &trace)?;
+            Ok(point(u64::from(size), &stats))
+        })
+        .collect()
+}
+
+/// A4 — global-register designation on/off: Table 2 "local" percentage
+/// with the designation (SP/GP global) versus all-local.
+///
+/// # Errors
+///
+/// Propagates harness failures.
+pub fn globals(bench: Benchmark, scale: u32) -> Result<(SweepPoint, SweepPoint), Error> {
+    let il = bench.build(scale);
+    let assign = RegisterAssignment::even_odd_with_default_globals(2);
+    let cfg = ProcessorConfig::dual_cluster_8way();
+    let with = simulate(&cfg, &schedule_and_trace(&il, SchedulerKind::Local, &assign, None)?)?;
+    let without =
+        simulate(&cfg, &schedule_and_trace(&il, SchedulerKind::LocalNoGlobals, &assign, None)?)?;
+    Ok((point(1, &with), point(0, &without)))
+}
+
+/// A5 — issue width: the four-way single-cluster machine against its
+/// 2 × 2-way dual-cluster counterpart (the paper evaluated both widths).
+///
+/// Returns `(single4_cycles, dual2_none_pct, dual2_local_pct)`.
+///
+/// # Errors
+///
+/// Propagates harness failures.
+pub fn width4(bench: Benchmark, scale: u32) -> Result<(u64, f64, f64), Error> {
+    let il = bench.build(scale);
+    let assign = RegisterAssignment::even_odd_with_default_globals(2);
+    let native = schedule_and_trace(&il, SchedulerKind::Naive, &assign, None)?;
+    let local = schedule_and_trace(&il, SchedulerKind::Local, &assign, None)?;
+    let single = simulate(&ProcessorConfig::single_cluster_4way(), &native)?;
+    let dual_none = simulate(&ProcessorConfig::dual_cluster_4way(), &native)?;
+    let dual_local = simulate(&ProcessorConfig::dual_cluster_4way(), &local)?;
+    Ok((
+        single.cycles,
+        speedup_percent(dual_none.cycles, single.cycles),
+        speedup_percent(dual_local.cycles, single.cycles),
+    ))
+}
+
+/// A6 — loop unrolling (the paper's Section 6 future work): the
+/// dual-cluster/local-scheduler cycles as the benchmark's self-loops are
+/// unrolled, letting the partitioner place different iterations on
+/// different clusters.
+///
+/// # Errors
+///
+/// Propagates harness failures.
+pub fn unroll(bench: Benchmark, scale: u32, factors: &[u32]) -> Result<Vec<SweepPoint>, Error> {
+    let il = bench.build(scale);
+    let assign = RegisterAssignment::even_odd_with_default_globals(2);
+    let cfg = ProcessorConfig::dual_cluster_8way();
+    factors
+        .iter()
+        .map(|&factor| {
+            let unrolled = unroll_self_loops(&il, factor);
+            let trace = schedule_and_trace(&unrolled, SchedulerKind::Local, &assign, None)?;
+            let stats = simulate(&cfg, &trace)?;
+            Ok(point(u64::from(factor), &stats))
+        })
+        .collect()
+}
+
+/// B1 — scheduler comparison: dual-cluster cycles under each
+/// partitioning strategy (the native cluster-blind binary, round-robin,
+/// the historic int/fp bank split, and the paper's local scheduler).
+///
+/// Returns `(kind name, cycles, dual fraction %)` per scheduler.
+///
+/// # Errors
+///
+/// Propagates harness failures.
+pub fn schedulers(bench: Benchmark, scale: u32) -> Result<Vec<(String, u64, f64)>, Error> {
+    let il = bench.build(scale);
+    let assign = RegisterAssignment::even_odd_with_default_globals(2);
+    let cfg = ProcessorConfig::dual_cluster_8way();
+    [
+        SchedulerKind::Naive,
+        SchedulerKind::RoundRobin,
+        SchedulerKind::BankSplit,
+        SchedulerKind::Local,
+    ]
+    .into_iter()
+    .map(|kind| {
+        let trace = schedule_and_trace(&il, kind, &assign, None)?;
+        let stats = simulate(&cfg, &trace)?;
+        Ok((format!("{kind:?}"), stats.cycles, stats.dual_fraction() * 100.0))
+    })
+    .collect()
+}
+
+/// Renders a sweep as a table.
+#[must_use]
+pub fn render_sweep(title: &str, param_name: &str, points: &[SweepPoint]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}\n");
+    let _ = writeln!(
+        out,
+        "{:<10} {:>10} {:>9} {:>9} {:>9} {:>9}",
+        param_name, "cycles", "replays", "dual%", "d$miss%", "mispred%"
+    );
+    for p in points {
+        let _ = writeln!(
+            out,
+            "{:<10} {:>10} {:>9} {:>9.1} {:>9.2} {:>9.2}",
+            p.param, p.cycles, p.replays, p.dual_pct, p.dcache_miss_pct, p.mispredict_pct
+        );
+    }
+    out
+}

@@ -1,0 +1,256 @@
+//! `repro` — regenerates every table and figure of the paper.
+//!
+//! ```text
+//! repro table1                 Table 1 (issue rules & latencies)
+//! repro table2 [divisor]      Table 2 (speedups; optional scale divisor)
+//! repro scenarios              Figures 2–5 (dual-execution timelines)
+//! repro fig6                   Figure 6 (local-scheduler walkthrough)
+//! repro crossover [divisor]   cycle-time crossover analysis (§4.2/§5)
+//! repro ablate-buffers         A1: transfer-buffer sweep
+//! repro ablate-threshold       A2: imbalance-threshold sweep
+//! repro ablate-dq              A3: dispatch-queue sweep (compress anomaly)
+//! repro ablate-globals         A4: global-register designation on/off
+//! repro ablate-width           A5: 4-way configurations
+//! repro ablate-unroll          A6: loop unrolling (§6 future work)
+//! repro mix                    workload behavioural profiles
+//! repro schedulers             B1: partitioning-strategy comparison
+//! repro pipeline <bench>       per-instruction pipeline diagram
+//! repro all [divisor]         everything above
+//! ```
+
+use std::process::ExitCode;
+
+use mcl_bench::{ablate, crossover, figure6, scenarios, table1, table2};
+use mcl_workloads::Benchmark;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = args.first().map_or("all", String::as_str);
+    let divisor: u32 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(1);
+
+    let result = match cmd {
+        "table1" => run_table1(),
+        "table2" => run_table2(divisor),
+        "scenarios" => run_scenarios(),
+        "fig6" => run_fig6(),
+        "crossover" => run_crossover(divisor),
+        "ablate-buffers" => run_ablate_buffers(divisor),
+        "ablate-threshold" => run_ablate_threshold(divisor),
+        "ablate-dq" => run_ablate_dq(divisor),
+        "ablate-globals" => run_ablate_globals(divisor),
+        "ablate-width" => run_ablate_width(divisor),
+        "ablate-unroll" => run_ablate_unroll(divisor),
+        "mix" => run_mix(divisor),
+        "schedulers" => run_schedulers(divisor),
+        "pipeline" => run_pipeline(args.get(1).map_or("compress", String::as_str)),
+        "all" => run_all(divisor),
+        other => {
+            eprintln!("unknown subcommand `{other}`; see the module docs for usage");
+            return ExitCode::FAILURE;
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run_table1() -> Result<(), mcl_bench::Error> {
+    println!("{}", table1::render());
+    Ok(())
+}
+
+fn run_table2(divisor: u32) -> Result<(), mcl_bench::Error> {
+    let only = std::env::var("MCL_ONLY").ok();
+    let rows = table2::table2_filtered(divisor, only.as_deref())?;
+    println!("{}", table2::render(&rows));
+    println!("{}", table2::render_details(&rows));
+    Ok(())
+}
+
+fn run_scenarios() -> Result<(), mcl_bench::Error> {
+    let timelines = scenarios::run_all()?;
+    println!("{}", scenarios::render(&timelines));
+    Ok(())
+}
+
+fn run_fig6() -> Result<(), mcl_bench::Error> {
+    println!("{}", figure6::render());
+    Ok(())
+}
+
+fn run_crossover(divisor: u32) -> Result<(), mcl_bench::Error> {
+    let rows = table2::table2(divisor)?;
+    let cross = crossover::from_table2(&rows);
+    println!("{}", crossover::render(&cross));
+    Ok(())
+}
+
+fn scaled(b: Benchmark, divisor: u32) -> u32 {
+    (b.default_scale() / divisor.max(1)).max(1)
+}
+
+fn run_ablate_buffers(divisor: u32) -> Result<(), mcl_bench::Error> {
+    for bench in Benchmark::ALL {
+        let points = ablate::buffers(bench, scaled(bench, divisor), &[1, 2, 4, 8, 16, 32])?;
+        println!(
+            "{}",
+            ablate::render_sweep(
+                &format!("A1: transfer-buffer entries per cluster — {bench}"),
+                "entries",
+                &points
+            )
+        );
+    }
+    Ok(())
+}
+
+fn run_ablate_threshold(divisor: u32) -> Result<(), mcl_bench::Error> {
+    for bench in Benchmark::ALL {
+        let points =
+            ablate::threshold(bench, scaled(bench, divisor), &[1.0, 2.0, 4.0, 8.0, 16.0, 32.0])?;
+        println!(
+            "{}",
+            ablate::render_sweep(
+                &format!("A2: local-scheduler imbalance threshold — {bench}"),
+                "threshold",
+                &points
+            )
+        );
+    }
+    Ok(())
+}
+
+fn run_ablate_dq(divisor: u32) -> Result<(), mcl_bench::Error> {
+    for bench in Benchmark::ALL {
+        let points = ablate::dq_single(bench, scaled(bench, divisor), &[16, 32, 64, 128, 256])?;
+        println!(
+            "{}",
+            ablate::render_sweep(
+                &format!("A3: single-cluster dispatch-queue size — {bench}"),
+                "entries",
+                &points
+            )
+        );
+    }
+    Ok(())
+}
+
+fn run_ablate_globals(divisor: u32) -> Result<(), mcl_bench::Error> {
+    println!("A4: global-register designation (dual-cluster, local scheduler)\n");
+    println!("{:<10} {:>14} {:>14}", "benchmark", "with globals", "all-local");
+    for bench in Benchmark::ALL {
+        let (with, without) = ablate::globals(bench, scaled(bench, divisor))?;
+        println!("{:<10} {:>14} {:>14}", bench.name(), with.cycles, without.cycles);
+    }
+    println!();
+    Ok(())
+}
+
+fn run_ablate_width(divisor: u32) -> Result<(), mcl_bench::Error> {
+    println!("A5: four-way issue (single 4-way vs dual 2x2-way)\n");
+    println!("{:<10} {:>12} {:>12} {:>12}", "benchmark", "C_single4", "none%", "local%");
+    for bench in Benchmark::ALL {
+        let (single, none_pct, local_pct) = ablate::width4(bench, scaled(bench, divisor))?;
+        println!("{:<10} {:>12} {:>11.1}% {:>11.1}%", bench.name(), single, none_pct, local_pct);
+    }
+    println!();
+    Ok(())
+}
+
+fn run_mix(divisor: u32) -> Result<(), mcl_bench::Error> {
+    use mcl_trace::analysis::{analyze, MixReport};
+    println!("Workload behavioural profiles (intermediate-language form)\n");
+    println!("{}", MixReport::render_header());
+    for bench in Benchmark::ALL {
+        let il = bench.build(scaled(bench, divisor));
+        let report = analyze(&il).map_err(mcl_bench::Error::Vm)?;
+        println!("{}", report.render_row());
+    }
+    println!();
+    Ok(())
+}
+
+fn run_pipeline(bench_name: &str) -> Result<(), mcl_bench::Error> {
+    use mcl_core::{render_pipeline, PipeViewOptions, Processor, ProcessorConfig};
+    use mcl_isa::assign::RegisterAssignment;
+    use mcl_sched::SchedulerKind;
+    use mcl_trace::vm::trace_program;
+
+    let Some(bench) = Benchmark::ALL.iter().find(|b| b.name() == bench_name) else {
+        eprintln!("unknown benchmark `{bench_name}`");
+        return Ok(());
+    };
+    let il = bench.build((bench.default_scale() / 100).max(1));
+    let assign = RegisterAssignment::even_odd_with_default_globals(2);
+    let scheduled = mcl_sched::SchedulePipeline::new(SchedulerKind::Local, &assign)
+        .run(&il)
+        .map_err(mcl_bench::Error::Schedule)?;
+    let (trace, _) = trace_program(&scheduled.program).map_err(mcl_bench::Error::Vm)?;
+    let result = Processor::new(ProcessorConfig::dual_cluster_8way().with_events())
+        .run_trace(&trace)
+        .map_err(mcl_bench::Error::Sim)?;
+    let events = result.events.expect("events enabled");
+    // Show a steady-state window of 48 instructions.
+    let mid = (trace.len() as u64 / 2).max(1);
+    println!(
+        "pipeline view of {bench} (dual-cluster, local scheduler), instructions #{mid}..#{}:
+",
+        mid + 47
+    );
+    println!(
+        "{}",
+        render_pipeline(
+            &events,
+            PipeViewOptions { first_seq: mid, last_seq: mid + 47, max_cycles: 110 }
+        )
+    );
+    Ok(())
+}
+
+fn run_schedulers(divisor: u32) -> Result<(), mcl_bench::Error> {
+    println!("B1: dual-cluster cycles by partitioning strategy\n");
+    println!("{:<10} {:>22} {:>10} {:>7}", "benchmark", "scheduler", "cycles", "dual%");
+    for bench in Benchmark::ALL {
+        for (kind, cycles, dual) in ablate::schedulers(bench, scaled(bench, divisor))? {
+            println!("{:<10} {:>22} {:>10} {:>6.1}%", bench.name(), kind, cycles, dual);
+        }
+    }
+    println!();
+    Ok(())
+}
+
+fn run_ablate_unroll(divisor: u32) -> Result<(), mcl_bench::Error> {
+    for bench in Benchmark::ALL {
+        let points = ablate::unroll(bench, scaled(bench, divisor), &[1, 2, 4])?;
+        println!(
+            "{}",
+            ablate::render_sweep(
+                &format!("A6: loop unrolling (dual-cluster, local scheduler) — {bench}"),
+                "factor",
+                &points
+            )
+        );
+    }
+    Ok(())
+}
+
+fn run_all(divisor: u32) -> Result<(), mcl_bench::Error> {
+    run_table1()?;
+    run_table2(divisor)?;
+    run_scenarios()?;
+    run_fig6()?;
+    run_crossover(divisor)?;
+    run_ablate_buffers(divisor)?;
+    run_ablate_threshold(divisor)?;
+    run_ablate_dq(divisor)?;
+    run_ablate_globals(divisor)?;
+    run_ablate_width(divisor)?;
+    run_ablate_unroll(divisor)?;
+    run_schedulers(divisor)?;
+    run_mix(divisor)?;
+    Ok(())
+}

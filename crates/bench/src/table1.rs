@@ -1,0 +1,72 @@
+//! Table 1: instruction-issue rules and functional-unit latencies,
+//! printed from the live configuration structures (so the table in the
+//! report can never drift from what the simulator enforces).
+
+use mcl_isa::{InstrClass, IssueRules, Latencies, Opcode};
+
+/// Renders Table 1.
+#[must_use]
+pub fn render() -> String {
+    use std::fmt::Write as _;
+    let single = IssueRules::single_cluster_8way();
+    let dual = IssueRules::dual_cluster_4way();
+    let lat = Latencies::table1();
+
+    let mut out = String::new();
+    let _ = writeln!(out, "Table 1: instruction-issue rules and functional-unit latencies\n");
+    let _ = writeln!(
+        out,
+        "{:<36} {:>6} {:>8} {:>8} {:>12} {:>9}",
+        "", "all", "integer", "fp", "loads&stores", "ctrl-flow"
+    );
+    let _ = writeln!(
+        out,
+        "{:<36} {:>6} {:>8} {:>8} {:>12} {:>9}",
+        "#1 issued/cycle, single",
+        single.total,
+        single.int_all,
+        single.fp_all,
+        single.mem,
+        single.control
+    );
+    let _ = writeln!(
+        out,
+        "{:<36} {:>6} {:>8} {:>8} {:>12} {:>9}",
+        "#2 issued/cycle, dual (per cluster)",
+        dual.total,
+        dual.int_all,
+        dual.fp_all,
+        dual.mem,
+        dual.control
+    );
+    let _ = writeln!(out, "\n#3 latencies (cycles):");
+    let _ = writeln!(
+        out,
+        "  integer multiply {}   integer other {}   fp divide {}/{} (not pipelined)",
+        lat.int_mul,
+        lat.int_alu,
+        Opcode::Divs.div_width().expect("divide").latency(),
+        Opcode::Divt.div_width().expect("divide").latency(),
+    );
+    let _ = writeln!(
+        out,
+        "  fp other {}   loads {} (1 + single load-delay slot)   stores {}   control flow {}",
+        lat.fp_other, lat.load_hit, lat.store, lat.control
+    );
+    let _ = writeln!(
+        out,
+        "\nclass limits apply per group: {}",
+        InstrClass::ALL.map(|c| c.to_string()).join(", ")
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn render_contains_the_paper_numbers() {
+        let s = super::render();
+        assert!(s.contains("8"));
+        assert!(s.contains("8/16") || s.contains("8/16 (not pipelined)") || s.contains("fp divide 8/16"));
+    }
+}

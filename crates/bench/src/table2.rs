@@ -1,0 +1,134 @@
+//! Table 2: speedup ratios of the dual-cluster processor against the
+//! single-cluster processor.
+
+use mcl_core::{speedup_percent, SimStats};
+use mcl_workloads::Benchmark;
+
+use crate::{run_all_configs, Error};
+
+/// One row of Table 2, with the measurements behind it.
+#[derive(Debug, Clone)]
+pub struct Table2Row {
+    /// Benchmark name.
+    pub name: String,
+    /// Cycles of the native binary on the single-cluster processor.
+    pub single_cycles: u64,
+    /// Cycles of the native binary on the dual-cluster processor.
+    pub dual_none_cycles: u64,
+    /// Cycles of the local-scheduler binary on the dual-cluster
+    /// processor.
+    pub dual_local_cycles: u64,
+    /// Measured Table 2 "none" percentage
+    /// (`100 - 100 × C_dual / C_single`; negative = slowdown).
+    pub none_pct: f64,
+    /// Measured Table 2 "local" percentage.
+    pub local_pct: f64,
+    /// The paper's published `(none, local)` percentages.
+    pub paper: (i32, i32),
+    /// Full statistics of the three runs (single, dual-none, dual-local).
+    pub stats: (SimStats, SimStats, SimStats),
+}
+
+/// Runs one benchmark at a given scale and produces its Table 2 row.
+///
+/// # Errors
+///
+/// Propagates scheduling/trace/simulation failures.
+pub fn table2_row(bench: Benchmark, scale: u32) -> Result<Table2Row, Error> {
+    let (single, dual_none, dual_local) = run_all_configs(bench, scale)?;
+    Ok(Table2Row {
+        name: bench.name().to_owned(),
+        single_cycles: single.cycles,
+        dual_none_cycles: dual_none.cycles,
+        dual_local_cycles: dual_local.cycles,
+        none_pct: speedup_percent(dual_none.cycles, single.cycles),
+        local_pct: speedup_percent(dual_local.cycles, single.cycles),
+        paper: bench.paper_table2(),
+        stats: (single, dual_none, dual_local),
+    })
+}
+
+/// Runs the full Table 2 at each benchmark's default scale (or scaled by
+/// `scale_divisor` for quick runs).
+///
+/// # Errors
+///
+/// Propagates the first benchmark failure.
+pub fn table2(scale_divisor: u32) -> Result<Vec<Table2Row>, Error> {
+    table2_filtered(scale_divisor, None)
+}
+
+/// Like [`table2`] but optionally restricted to one benchmark by name.
+///
+/// # Errors
+///
+/// Propagates the first benchmark failure.
+pub fn table2_filtered(
+    scale_divisor: u32,
+    only: Option<&str>,
+) -> Result<Vec<Table2Row>, Error> {
+    Benchmark::ALL
+        .iter()
+        .filter(|b| only.is_none_or(|name| b.name() == name))
+        .map(|&b| {
+            let scale = (b.default_scale() / scale_divisor.max(1)).max(1);
+            table2_row(b, scale)
+        })
+        .collect()
+}
+
+/// Renders Table 2 in the paper's layout, with measured-vs-paper columns.
+#[must_use]
+pub fn render(rows: &[Table2Row]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Table 2: speedup ratios 100 - 100 x (C_dual / C_single); negative = slowdown\n"
+    );
+    let _ = writeln!(
+        out,
+        "{:<10} {:>12} {:>12} | {:>12} {:>12} | {:>10} {:>10}",
+        "benchmark", "none (meas)", "local (meas)", "none (paper)", "local (paper)", "C_single", "C_dual(loc)"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:<10} {:>11.1}% {:>11.1}% | {:>11}% {:>12}% | {:>10} {:>10}",
+            r.name, r.none_pct, r.local_pct, r.paper.0, r.paper.1, r.single_cycles, r.dual_local_cycles
+        );
+    }
+    out
+}
+
+/// Renders the secondary statistics the paper's Section 4.2 discusses
+/// (dual-distribution fraction, replays, prediction, cache behaviour).
+#[must_use]
+pub fn render_details(rows: &[Table2Row]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<10} {:>6} {:>10} {:>10} {:>9} {:>9} {:>9} {:>9}",
+        "benchmark", "run", "dual-dist", "replays", "mispred", "d$miss", "IPC", "disorder"
+    );
+    for r in rows {
+        for (label, s) in
+            [("single", &r.stats.0), ("none", &r.stats.1), ("local", &r.stats.2)]
+        {
+            let _ = writeln!(
+                out,
+                "{:<10} {:>6} {:>9.1}% {:>10} {:>8.2}% {:>8.2}% {:>9.2} {:>9}",
+                r.name,
+                label,
+                s.dual_fraction() * 100.0,
+                s.replays,
+                s.mispredict_rate() * 100.0,
+                s.dcache.miss_rate() * 100.0,
+                s.ipc(),
+                s.issue_disorder,
+            );
+        }
+    }
+    out
+}

@@ -1,0 +1,97 @@
+//! The bimodal predictor.
+
+use crate::{BranchPredictor, TwoBit};
+
+/// A bimodal predictor: a table of two-bit counters indexed by the
+/// branch address.
+///
+/// This is the per-branch component of McFarling's combining scheme; it
+/// captures branches whose behaviour is mostly static (loop back-edges,
+/// error checks) without interference from global history.
+///
+/// # Example
+///
+/// ```
+/// use mcl_bpred::{Bimodal, BranchPredictor};
+///
+/// let mut p = Bimodal::new(1024);
+/// p.update(0x40, true);
+/// p.update(0x40, true);
+/// assert!(p.predict(0x40));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Bimodal {
+    table: Vec<TwoBit>,
+    mask: u64,
+}
+
+impl Bimodal {
+    /// Creates a bimodal predictor with `entries` two-bit counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a power of two.
+    #[must_use]
+    pub fn new(entries: usize) -> Bimodal {
+        assert!(entries.is_power_of_two() && entries > 0, "entries must be a power of two");
+        Bimodal { table: vec![TwoBit::WEAK_NOT_TAKEN; entries], mask: entries as u64 - 1 }
+    }
+
+    fn index(&self, pc: u64) -> usize {
+        // Instructions are 4 bytes; drop the always-zero low bits.
+        ((pc >> 2) & self.mask) as usize
+    }
+}
+
+impl BranchPredictor for Bimodal {
+    fn predict(&self, pc: u64) -> bool {
+        self.table[self.index(pc)].taken()
+    }
+
+    fn update(&mut self, pc: u64, taken: bool) {
+        let idx = self.index(pc);
+        self.table[idx].train(taken);
+    }
+
+    fn name(&self) -> &'static str {
+        "bimodal"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn learns_a_biased_branch() {
+        let mut p = Bimodal::new(64);
+        for _ in 0..4 {
+            p.update(0x100, true);
+        }
+        assert!(p.predict(0x100));
+        // An unrelated branch is unaffected (different index).
+        assert!(!p.predict(0x104));
+    }
+
+    #[test]
+    fn aliasing_wraps_modulo_table_size() {
+        let p = Bimodal::new(64);
+        assert_eq!(p.index(0x0), p.index(64 * 4));
+    }
+
+    #[test]
+    fn hysteresis_survives_one_misprediction() {
+        let mut p = Bimodal::new(64);
+        for _ in 0..4 {
+            p.update(0x8, true);
+        }
+        p.update(0x8, false);
+        assert!(p.predict(0x8));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_rejected() {
+        let _ = Bimodal::new(100);
+    }
+}

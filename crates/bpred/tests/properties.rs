@@ -1,0 +1,107 @@
+//! Property tests for the branch predictors: totality, determinism, and
+//! learning guarantees on structured streams.
+
+use mcl_bpred::{Bimodal, BranchPredictor, Gshare, McFarling, PredictorConfig, StaticPredictor};
+use proptest::prelude::*;
+
+fn predictors() -> Vec<Box<dyn BranchPredictor + Send>> {
+    vec![
+        Box::new(Bimodal::new(256)),
+        Box::new(Gshare::new(256)),
+        Box::new(McFarling::new(256)),
+        Box::new(StaticPredictor::AlwaysTaken),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn predictors_are_total_over_arbitrary_pcs(
+        pcs in prop::collection::vec(any::<u64>(), 1..200),
+        outcomes in prop::collection::vec(any::<bool>(), 1..200),
+    ) {
+        for mut p in predictors() {
+            for (&pc, &taken) in pcs.iter().zip(&outcomes) {
+                let _ = p.predict(pc);
+                p.update(pc, taken);
+            }
+        }
+    }
+
+    #[test]
+    fn predictions_are_deterministic(
+        stream in prop::collection::vec((0u64..1024, any::<bool>()), 1..200),
+    ) {
+        let run = |mut p: Box<dyn BranchPredictor + Send>| -> Vec<bool> {
+            stream
+                .iter()
+                .map(|&(pc, taken)| {
+                    let pred = p.predict(pc * 4);
+                    p.update(pc * 4, taken);
+                    pred
+                })
+                .collect()
+        };
+        prop_assert_eq!(run(Box::new(McFarling::new(256))), run(Box::new(McFarling::new(256))));
+        prop_assert_eq!(run(Box::new(Gshare::new(256))), run(Box::new(Gshare::new(256))));
+    }
+
+    #[test]
+    fn bimodal_learns_any_strongly_biased_branch(pc in any::<u64>(), bias in any::<bool>()) {
+        let mut p = Bimodal::new(1024);
+        for _ in 0..4 {
+            p.update(pc, bias);
+        }
+        prop_assert_eq!(p.predict(pc), bias);
+    }
+
+    #[test]
+    fn mcfarling_learns_short_periodic_patterns(period in 2usize..8, pc in 0u64..4096) {
+        // A strict period-k pattern is history-predictable; after
+        // warmup, the combining predictor should be nearly perfect.
+        let pc = pc * 4;
+        let mut p = McFarling::new(4096);
+        let mut correct = 0usize;
+        let total = 600usize;
+        for i in 0..total {
+            let outcome = i % period == 0;
+            if i >= 200 && p.predict(pc) == outcome {
+                correct += 1;
+            }
+            p.update(pc, outcome);
+        }
+        let rate = correct as f64 / (total - 200) as f64;
+        prop_assert!(rate > 0.9, "period {period}: {rate}");
+    }
+
+    #[test]
+    fn predict_never_mutates(pcs in prop::collection::vec(0u64..4096, 1..100)) {
+        // Calling predict many times between updates changes nothing:
+        // the paper's delayed-update semantics depend on this.
+        let mut p = McFarling::new(256);
+        for &pc in &pcs {
+            p.update(pc * 4, pc % 3 == 0);
+        }
+        let before: Vec<bool> = pcs.iter().map(|&pc| p.predict(pc * 4)).collect();
+        for _ in 0..10 {
+            for &pc in &pcs {
+                let _ = p.predict(pc * 4);
+            }
+        }
+        let after: Vec<bool> = pcs.iter().map(|&pc| p.predict(pc * 4)).collect();
+        prop_assert_eq!(before, after);
+    }
+}
+
+#[test]
+fn config_built_predictors_match_direct_construction() {
+    let stream: Vec<(u64, bool)> = (0..500u64).map(|i| (0x40 + (i % 16) * 4, i % 3 != 0)).collect();
+    let mut a = PredictorConfig::McFarling { entries: 4096 }.build();
+    let mut b = McFarling::new(4096);
+    for &(pc, taken) in &stream {
+        assert_eq!(a.predict(pc), b.predict(pc));
+        a.update(pc, taken);
+        b.update(pc, taken);
+    }
+}

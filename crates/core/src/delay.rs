@@ -1,0 +1,143 @@
+//! Cycle-time model derived from Palacharla, Jouppi & Smith
+//! ("Complexity-Effective Superscalar Processors", ISCA 1997).
+//!
+//! The paper's bottom line rests on these numbers (Section 4.2): in a
+//! 0.35 µm process "the worst case delay increased from 1248 ps for a
+//! four-issue processor to 1484 ps for an eight-issue processor, an
+//! increase of 18 %", while "for a 0.18 µm process generation ... the
+//! worst-case path would increase by 82 % when moving from a four-issue
+//! processor to an eight-issue processor". Each cluster of the
+//! dual-cluster processor is a four-issue machine, so its clock can run
+//! at the four-issue cycle time; the question is whether the cycle-count
+//! overhead of partitioning (Table 2) is smaller than that cycle-time
+//! advantage.
+
+use serde::{Deserialize, Serialize};
+
+/// A process generation with published 4-issue/8-issue critical-path
+/// delays.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FeatureSize {
+    /// 0.35 µm: 1248 ps (4-issue) vs 1484 ps (8-issue), +18 %.
+    F0_35um,
+    /// 0.18 µm: wire delay dominates; the 8-issue path is 82 % longer
+    /// than the 4-issue path.
+    F0_18um,
+}
+
+impl FeatureSize {
+    /// Both published generations.
+    pub const ALL: [FeatureSize; 2] = [FeatureSize::F0_35um, FeatureSize::F0_18um];
+
+    /// A human-readable label.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            FeatureSize::F0_35um => "0.35um",
+            FeatureSize::F0_18um => "0.18um",
+        }
+    }
+
+    /// The critical-path delay (in picoseconds, normalised units for the
+    /// 0.18 µm generation) of a processor of the given issue width.
+    ///
+    /// # Panics
+    ///
+    /// Panics for issue widths other than 4 or 8 — the published model
+    /// covers exactly the two widths the paper compares.
+    #[must_use]
+    pub fn cycle_time(self, issue_width: u32) -> f64 {
+        match (self, issue_width) {
+            (FeatureSize::F0_35um, 4) => 1248.0,
+            (FeatureSize::F0_35um, 8) => 1484.0,
+            // Palacharla et al. report the 0.18um ratio; absolute scale
+            // cancels in every comparison, so normalise the 4-issue
+            // delay to 1000.
+            (FeatureSize::F0_18um, 4) => 1000.0,
+            (FeatureSize::F0_18um, 8) => 1820.0,
+            _ => panic!("the delay model covers 4- and 8-issue widths only"),
+        }
+    }
+
+    /// The ratio `T(8-issue) / T(4-issue)` for this generation.
+    #[must_use]
+    pub fn wide_to_narrow_ratio(self) -> f64 {
+        self.cycle_time(8) / self.cycle_time(4)
+    }
+}
+
+/// The net run-time ratio of a dual-cluster processor against the
+/// single-cluster processor at a given feature size:
+///
+/// `run_time_ratio = (C_dual × T_4issue) / (C_single × T_8issue)`
+///
+/// Values below 1.0 mean the multicluster processor is faster in wall
+/// time despite executing more cycles.
+///
+/// # Example
+///
+/// ```
+/// use mcl_core::delay::{net_runtime_ratio, FeatureSize};
+///
+/// // The paper's worst-case rescheduled slowdown is 25% more cycles.
+/// // At 0.35um that loses (18% clock gain < 25% cycle loss) ...
+/// assert!(net_runtime_ratio(1250, 1000, FeatureSize::F0_35um) > 1.0);
+/// // ... but at 0.18um the 82% clock gain dominates.
+/// assert!(net_runtime_ratio(1250, 1000, FeatureSize::F0_18um) < 1.0);
+/// ```
+#[must_use]
+pub fn net_runtime_ratio(dual_cycles: u64, single_cycles: u64, feature: FeatureSize) -> f64 {
+    (dual_cycles as f64 * feature.cycle_time(4)) / (single_cycles as f64 * feature.cycle_time(8))
+}
+
+/// The cycle-count slowdown (as a ratio `C_dual / C_single`) at which
+/// the multicluster processor exactly breaks even at this feature size —
+/// the paper's "to compensate ... the dual-cluster processor would have
+/// to use a processor clock with a period 20 % smaller" arithmetic, run
+/// in reverse.
+#[must_use]
+pub fn breakeven_slowdown(feature: FeatureSize) -> f64 {
+    feature.wide_to_narrow_ratio()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn published_035um_numbers() {
+        let f = FeatureSize::F0_35um;
+        assert_eq!(f.cycle_time(4), 1248.0);
+        assert_eq!(f.cycle_time(8), 1484.0);
+        let increase = f.wide_to_narrow_ratio() - 1.0;
+        assert!((increase - 0.189).abs() < 0.01, "paper: about 18%, got {increase}");
+    }
+
+    #[test]
+    fn published_018um_ratio() {
+        let f = FeatureSize::F0_18um;
+        assert!((f.wide_to_narrow_ratio() - 1.82).abs() < 1e-12);
+    }
+
+    #[test]
+    fn breakeven_matches_paper_arithmetic() {
+        // Paper: a 25% cycle slowdown needs a 20% smaller clock period;
+        // 1/1.25 = 0.8. Break-even slowdown at 0.35um is only 1.189,
+        // so 1.25 loses; at 0.18um break-even is 1.82, so 1.25 wins.
+        assert!(breakeven_slowdown(FeatureSize::F0_35um) < 1.25);
+        assert!(breakeven_slowdown(FeatureSize::F0_18um) > 1.25);
+    }
+
+    #[test]
+    fn equal_cycles_always_favours_the_narrow_clock() {
+        for f in FeatureSize::ALL {
+            assert!(net_runtime_ratio(1000, 1000, f) < 1.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "4- and 8-issue")]
+    fn unsupported_width_panics() {
+        let _ = FeatureSize::F0_35um.cycle_time(16);
+    }
+}

@@ -1,0 +1,1337 @@
+//! The cycle-level simulation engine.
+//!
+//! [`Processor`] simulates the execution of a dynamic instruction stream
+//! (a trace) on a single-cluster or dual-cluster dynamically-scheduled
+//! processor, implementing the execution model of Section 2.1:
+//! distribution by named registers, per-cluster register renaming and
+//! dispatch queues, greedy oldest-first issue under the Table 1 rules,
+//! operand/result transfer buffers with the paper's timing, suspended
+//! slave copies, and instruction-replay exceptions for transfer-buffer
+//! deadlock.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+use std::fmt;
+
+use mcl_bpred::BranchPredictor;
+use mcl_isa::{ArchReg, ClusterId, InstrClass, RegBank};
+use mcl_mem::{Access, Cache};
+use mcl_trace::{vm::trace_program, Program, TraceOp, VmError};
+
+use crate::config::ProcessorConfig;
+use crate::dist::{distribute, Distribution};
+use crate::events::{EventKind, EventLog};
+use crate::stats::SimStats;
+
+/// The outcome of a simulation run.
+#[derive(Debug, Clone)]
+pub struct SimResult {
+    /// Accumulated statistics ([`SimStats::cycles`] is the paper's
+    /// metric).
+    pub stats: SimStats,
+    /// The event log, when [`ProcessorConfig::record_events`] was set.
+    pub events: Option<EventLog>,
+}
+
+/// Simulation errors.
+#[derive(Debug)]
+pub enum SimError {
+    /// Trace generation (the functional VM) failed.
+    Trace(VmError),
+    /// The configured cycle limit was reached.
+    CycleLimit {
+        /// The limit that was hit.
+        limit: u64,
+    },
+    /// The simulator detected a hard stall it could not attribute to a
+    /// transfer-buffer deadlock — a bug, reported rather than hidden.
+    Wedged {
+        /// The cycle at which progress stopped.
+        cycle: u64,
+        /// The oldest unretired instruction.
+        oldest_seq: u64,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Trace(e) => write!(f, "trace generation failed: {e}"),
+            SimError::CycleLimit { limit } => write!(f, "cycle limit {limit} reached"),
+            SimError::Wedged { cycle, oldest_seq } => {
+                write!(f, "simulator wedged at cycle {cycle} (oldest instruction #{oldest_seq})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::Trace(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<VmError> for SimError {
+    fn from(e: VmError) -> SimError {
+        SimError::Trace(e)
+    }
+}
+
+/// A simulated processor.
+///
+/// # Example
+///
+/// ```
+/// use mcl_core::{Processor, ProcessorConfig};
+/// use mcl_trace::ProgramBuilder;
+/// use mcl_isa::ArchReg;
+///
+/// let mut b = ProgramBuilder::<ArchReg>::new("tiny");
+/// let r2 = ArchReg::int(2);
+/// b.lda(r2, 40);
+/// b.addq_imm(r2, r2, 2);
+/// let program = b.finish()?;
+///
+/// let result = Processor::new(ProcessorConfig::single_cluster_8way())
+///     .run_program(&program)?;
+/// assert_eq!(result.stats.retired, 2);
+/// assert!(result.stats.cycles > 0);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Processor {
+    config: ProcessorConfig,
+}
+
+impl Processor {
+    /// Creates a processor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is inconsistent
+    /// (see [`ProcessorConfig::check`]).
+    #[must_use]
+    pub fn new(config: ProcessorConfig) -> Processor {
+        config.check();
+        Processor { config }
+    }
+
+    /// The configuration.
+    #[must_use]
+    pub fn config(&self) -> &ProcessorConfig {
+        &self.config
+    }
+
+    /// Generates the dynamic trace of `program` with the functional VM,
+    /// then simulates it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Trace`] if the program does not execute, or
+    /// any error of [`Processor::run_trace`].
+    pub fn run_program(&mut self, program: &Program<ArchReg>) -> Result<SimResult, SimError> {
+        let (trace, _profile) = trace_program(program)?;
+        self.run_trace(&trace)
+    }
+
+    /// Simulates a dynamic instruction stream.
+    ///
+    /// # Errors
+    ///
+    /// See [`SimError`].
+    pub fn run_trace(&mut self, trace: &[TraceOp]) -> Result<SimResult, SimError> {
+        let mut sim = Sim::new(&self.config, trace);
+        sim.run()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Internal state
+// ---------------------------------------------------------------------------
+
+const OTB: u8 = 0;
+const RTB: u8 = 1;
+
+/// (resolve cycle, seq, pc, taken, mispredicted) — ordered by resolve
+/// cycle then age for the pending-branch min-heap.
+type PendingBranch = (u64, u64, u64, bool, bool);
+
+#[derive(Debug, Clone)]
+struct DynInstr {
+    op: TraceOp,
+    dist: Distribution,
+    /// Producer (by sequence number) of each source operand; `None`
+    /// means the value was ready at dispatch.
+    src_dep: [Option<u64>; 2],
+    /// The cluster each source is read in (slave cluster for forwarded
+    /// operands, master cluster otherwise).
+    src_read_cluster: [ClusterId; 2],
+    /// Physical registers allocated at dispatch, freed at retire/squash.
+    phys: Vec<(ClusterId, RegBank)>,
+
+    master_issued: Option<u64>,
+    /// Cycle from which consumers in the master's cluster may issue.
+    master_done: Option<u64>,
+    slave_issued: Option<u64>,
+    /// Cycle from which consumers in the slave's cluster may issue.
+    slave_write: Option<u64>,
+    /// Scenario-five wake already performed.
+    woke: bool,
+    mispredicted: bool,
+
+    dq_master_freed: bool,
+    dq_slave_freed: bool,
+    /// Operand-transfer-buffer entry allocated and not yet scheduled to
+    /// free (lives in the *master's* cluster).
+    otb_held: bool,
+    /// Result-transfer-buffer entry allocated and not yet scheduled to
+    /// free (lives in the *slave's* cluster).
+    rtb_held: bool,
+}
+
+impl DynInstr {
+    fn forwards(&self) -> bool {
+        self.dist.forwarded_src.iter().any(|&f| f)
+    }
+
+    /// Whether everything the instruction must do has happened by `now`.
+    fn complete(&self, now: u64) -> bool {
+        if !matches!(self.master_done, Some(d) if d <= now) {
+            return false;
+        }
+        if self.dist.slave_receives && !matches!(self.slave_write, Some(w) if w <= now) {
+            return false;
+        }
+        true
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FetchStall {
+    Icache,
+    Replay,
+}
+
+struct Sim<'a> {
+    cfg: &'a ProcessorConfig,
+    assign: mcl_isa::assign::RegisterAssignment,
+    trace: &'a [TraceOp],
+    cursor: usize,
+    now: u64,
+
+    window: VecDeque<DynInstr>,
+    base: u64,
+
+    dq_free: [u32; 2],
+    int_free: [i64; 2],
+    fp_free: [i64; 2],
+    otb_free: [u32; 2],
+    rtb_free: [u32; 2],
+    /// Busy-until cycle of each unpipelined divider unit, per cluster.
+    div_busy_until: [Vec<u64>; 2],
+    /// Per cluster, per dense register index: youngest in-flight writer.
+    producers: [Vec<Option<u64>>; 2],
+
+    fetch_resume_at: u64,
+    fetch_stall: FetchStall,
+    /// Sequence number of the unresolved mispredicted branch blocking
+    /// fetch, if any.
+    fetch_blocked_by: Option<u64>,
+
+    /// (resolve cycle, seq, pc, taken, mispredicted).
+    pending_bpred: BinaryHeap<Reverse<PendingBranch>>,
+    /// (cycle, cluster, OTB/RTB).
+    buffer_frees: BinaryHeap<Reverse<(u64, u8, u8)>>,
+
+    predictor: Box<dyn BranchPredictor + Send>,
+    icache: Cache,
+    dcache: Cache,
+
+    balance: [u64; 2],
+    stats: SimStats,
+    events: Option<EventLog>,
+
+    /// Set during the issue pass when a ready copy was blocked *only* by
+    /// a full transfer buffer.
+    blocked_on_buffer: bool,
+    no_progress_cycles: u32,
+    /// The window base at the last replay; a second deadlock without any
+    /// intervening retirement escalates to a full squash (guaranteed
+    /// forward progress — the replayed youngest holder would otherwise
+    /// re-acquire the freed entry and recreate the deadlock).
+    last_replay_base: Option<u64>,
+    /// Untriggered dynamic-reassignment points, in configuration order.
+    pending_reassign: Vec<crate::config::ReassignmentPoint>,
+    /// A reassignment is waiting for the pipeline to drain.
+    reassign_draining: bool,
+}
+
+impl<'a> Sim<'a> {
+    fn new(cfg: &'a ProcessorConfig, trace: &'a [TraceOp]) -> Sim<'a> {
+        let assign = cfg.register_assignment();
+        let (int_free, fp_free) = free_lists_for(cfg, &assign);
+
+        Sim {
+            cfg,
+            assign,
+            trace,
+            cursor: 0,
+            now: 0,
+            window: VecDeque::new(),
+            base: 0,
+            dq_free: [cfg.dq_entries; 2],
+            int_free,
+            fp_free,
+            otb_free: [cfg.operand_buffer; 2],
+            rtb_free: [cfg.result_buffer; 2],
+            div_busy_until: [
+                vec![0; cfg.fp_dividers as usize],
+                vec![0; cfg.fp_dividers as usize],
+            ],
+            producers: [vec![None; 64], vec![None; 64]],
+            fetch_resume_at: 0,
+            fetch_stall: FetchStall::Icache,
+            fetch_blocked_by: None,
+            pending_bpred: BinaryHeap::new(),
+            buffer_frees: BinaryHeap::new(),
+            predictor: cfg.predictor.build(),
+            icache: Cache::new(cfg.icache),
+            dcache: Cache::new(cfg.dcache),
+            balance: [0; 2],
+            stats: SimStats::default(),
+            events: cfg.record_events.then(EventLog::new),
+            blocked_on_buffer: false,
+            no_progress_cycles: 0,
+            last_replay_base: None,
+            pending_reassign: cfg.reassignments.clone(),
+            reassign_draining: false,
+        }
+    }
+
+    fn log(&mut self, seq: u64, cluster: Option<ClusterId>, kind: EventKind) {
+        let now = self.now;
+        if let Some(log) = &mut self.events {
+            log.push(now, seq, cluster, kind);
+        }
+    }
+
+    fn log_at(&mut self, cycle: u64, seq: u64, cluster: Option<ClusterId>, kind: EventKind) {
+        if let Some(log) = &mut self.events {
+            log.push(cycle, seq, cluster, kind);
+        }
+    }
+
+    fn run(&mut self) -> Result<SimResult, SimError> {
+        while self.cursor < self.trace.len() || !self.window.is_empty() {
+            if self.now >= self.cfg.max_cycles {
+                return Err(SimError::CycleLimit { limit: self.cfg.max_cycles });
+            }
+            self.blocked_on_buffer = false;
+
+            self.process_buffer_frees();
+            self.process_branch_resolutions();
+            let retired = self.retire();
+            let woke = self.wake_suspended_slaves();
+            let mut issued = 0;
+            for c in 0..usize::from(self.cfg.clusters) {
+                issued += self.issue_cluster(ClusterId::new(c as u8));
+            }
+            let dispatched = self.dispatch();
+
+            self.check_progress(retired + woke + issued + dispatched)?;
+            self.now += 1;
+        }
+        self.stats.cycles = self.now;
+        self.stats.icache = self.icache.stats();
+        self.stats.dcache = self.dcache.stats();
+        Ok(SimResult { stats: self.stats.clone(), events: self.events.take() })
+    }
+
+    // -- cycle-start event processing --------------------------------------
+
+    fn process_buffer_frees(&mut self) {
+        while let Some(&Reverse((cycle, cluster, kind))) = self.buffer_frees.peek() {
+            if cycle > self.now {
+                break;
+            }
+            self.buffer_frees.pop();
+            match kind {
+                OTB => self.otb_free[usize::from(cluster)] += 1,
+                _ => self.rtb_free[usize::from(cluster)] += 1,
+            }
+        }
+    }
+
+    fn process_branch_resolutions(&mut self) {
+        while let Some(&Reverse((cycle, seq, pc, taken, mispredicted))) = self.pending_bpred.peek()
+        {
+            if cycle > self.now {
+                break;
+            }
+            self.pending_bpred.pop();
+            self.predictor.update(pc, taken);
+            if mispredicted && self.fetch_blocked_by == Some(seq) {
+                self.fetch_blocked_by = None;
+                // Redirect costs one further cycle after resolution.
+                self.fetch_resume_at = self.fetch_resume_at.max(self.now + 1);
+                self.fetch_stall = FetchStall::Replay;
+                self.stats.stall_branch += 1;
+            }
+        }
+    }
+
+    // -- retire -------------------------------------------------------------
+
+    fn retire(&mut self) -> u32 {
+        let mut retired = 0;
+        while retired < self.cfg.retire_width {
+            let Some(front) = self.window.front() else { break };
+            if !front.complete(self.now) {
+                break;
+            }
+            let seq = front.op.seq;
+            let phys = front.phys.clone();
+            for (c, bank) in phys {
+                match bank {
+                    RegBank::Int => self.int_free[c.index()] += 1,
+                    RegBank::Fp => self.fp_free[c.index()] += 1,
+                }
+            }
+            self.log(seq, None, EventKind::Retired);
+            self.window.pop_front();
+            self.base = seq + 1;
+            self.last_replay_base = None; // retirement = forward progress
+            self.stats.retired += 1;
+            retired += 1;
+        }
+        retired
+    }
+
+    // -- scenario-five wake -------------------------------------------------
+
+    fn wake_suspended_slaves(&mut self) -> u32 {
+        let mut woke = 0;
+        let now = self.now;
+        let mut actions: Vec<usize> = Vec::new();
+        for (wi, d) in self.window.iter().enumerate() {
+            if d.dist.slave_receives
+                && d.forwards()
+                && !d.woke
+                && d.slave_issued.is_some()
+                && matches!(d.master_done, Some(done) if done <= now)
+            {
+                actions.push(wi);
+            }
+        }
+        for wi in actions {
+            let (seq, slave) = {
+                let d = &self.window[wi];
+                (d.op.seq, d.dist.slave.expect("scenario five has a slave"))
+            };
+            {
+                let d = &mut self.window[wi];
+                d.woke = true;
+                d.slave_write = Some(now + 1);
+                if d.rtb_held {
+                    d.rtb_held = false;
+                } else {
+                    unreachable!("scenario-five master allocated the result entry");
+                }
+                if !d.dq_slave_freed {
+                    d.dq_slave_freed = true;
+                    self.dq_free[slave.index()] += 1;
+                }
+            }
+            self.buffer_frees.push(Reverse((now + 1, slave.index() as u8, RTB)));
+            self.log(seq, Some(slave), EventKind::SlaveWoke);
+            self.log_at(now + 1, seq, Some(slave), EventKind::RegWritten);
+            woke += 1;
+        }
+        woke
+    }
+
+    // -- issue ----------------------------------------------------------------
+
+    /// Whether the value produced by `dep` is readable from `cluster` at
+    /// cycle `now`.
+    fn dep_ready(&self, dep: Option<u64>, cluster: ClusterId) -> bool {
+        let Some(p) = dep else { return true };
+        if p < self.base {
+            return true; // producer retired
+        }
+        let Some(d) = self.window.get((p - self.base) as usize) else {
+            return true;
+        };
+        let ready = if Some(cluster) == d.dist.slave && d.dist.slave_receives {
+            d.slave_write
+        } else {
+            d.master_done
+        };
+        matches!(ready, Some(r) if r <= self.now)
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn issue_cluster(&mut self, cluster: ClusterId) -> u32 {
+        let mut budget = self.cfg.issue_rules.budget();
+        let mut issued = 0;
+        let mut older_waiting = 0u64;
+        let now = self.now;
+
+        for wi in 0..self.window.len() {
+            if budget.is_exhausted() {
+                break;
+            }
+            // ---- classify the pending action for this cluster ----
+            enum Action {
+                Master,
+                SlaveForward,
+                SlaveReceive,
+            }
+            let (action, seq) = {
+                let d = &self.window[wi];
+                let a = if d.dist.master == cluster && d.master_issued.is_none() {
+                    Some(Action::Master)
+                } else if d.dist.slave == Some(cluster) && d.slave_issued.is_none() {
+                    if d.forwards() {
+                        Some(Action::SlaveForward)
+                    } else {
+                        Some(Action::SlaveReceive)
+                    }
+                } else {
+                    None
+                };
+                match a {
+                    Some(a) => (a, d.op.seq),
+                    None => continue,
+                }
+            };
+
+            // ---- readiness ----
+            let ready = {
+                let d = &self.window[wi];
+                match action {
+                    Action::Master => {
+                        let mut ok = true;
+                        for i in 0..2 {
+                            if d.op.srcs[i].is_none() {
+                                continue;
+                            }
+                            if d.dist.forwarded_src[i] {
+                                // Inter-copy dependence: removed when the
+                                // slave issues; master may issue the next
+                                // cycle (Section 2.1 scenario two).
+                                ok &= matches!(d.slave_issued, Some(s) if s < now);
+                            } else {
+                                ok &= self.dep_ready(d.src_dep[i], d.src_read_cluster[i]);
+                            }
+                        }
+                        ok
+                    }
+                    Action::SlaveForward => {
+                        let mut ok = true;
+                        for i in 0..2 {
+                            if d.dist.forwarded_src[i] {
+                                ok &= self.dep_ready(d.src_dep[i], d.src_read_cluster[i]);
+                            }
+                        }
+                        ok
+                    }
+                    Action::SlaveReceive => {
+                        // Dependence on the master removed two cycles
+                        // before completion; never before one cycle
+                        // after master issue (Section 2.1 scenario 3).
+                        match (d.master_issued, d.master_done) {
+                            (Some(mi), Some(md)) => now >= (mi + 1).max(md.saturating_sub(1)),
+                            _ => false,
+                        }
+                    }
+                }
+            };
+            if !ready {
+                older_waiting += 1;
+                continue;
+            }
+
+            // ---- structural resources ----
+            let d = &self.window[wi];
+            let class = d.op.class();
+            let slot_class = match action {
+                Action::Master => class,
+                Action::SlaveForward => {
+                    let bank = (0..2)
+                        .find(|&i| d.dist.forwarded_src[i])
+                        .and_then(|i| d.op.srcs[i])
+                        .map_or(RegBank::Int, ArchReg::bank);
+                    InstrClass::for_operand_bank(bank)
+                }
+                Action::SlaveReceive => {
+                    InstrClass::for_operand_bank(d.op.dest.map_or(RegBank::Int, ArchReg::bank))
+                }
+            };
+            if !budget.can_take(slot_class) {
+                older_waiting += 1;
+                continue;
+            }
+            match action {
+                Action::Master => {
+                    if class == InstrClass::FpDiv
+                        && !self.div_busy_until[cluster.index()].iter().any(|&b| b <= now)
+                    {
+                        older_waiting += 1;
+                        continue;
+                    }
+                    if d.dist.slave_receives {
+                        let slave = d.dist.slave.expect("receive implies slave");
+                        if self.rtb_free[slave.index()] == 0 {
+                            self.stats.rtb_full_stalls += 1;
+                            self.blocked_on_buffer = true;
+                            older_waiting += 1;
+                            continue;
+                        }
+                    }
+                }
+                Action::SlaveForward => {
+                    let master = d.dist.master;
+                    if self.otb_free[master.index()] == 0 {
+                        self.stats.otb_full_stalls += 1;
+                        self.blocked_on_buffer = true;
+                        older_waiting += 1;
+                        continue;
+                    }
+                }
+                Action::SlaveReceive => {}
+            }
+
+            // ---- issue ----
+            assert!(budget.try_take(slot_class));
+            if older_waiting > 0 {
+                self.stats.issue_disorder += 1;
+            }
+            issued += 1;
+            self.stats.per_cluster_issued[cluster.index()] += 1;
+
+            match action {
+                Action::Master => self.issue_master(wi, cluster),
+                Action::SlaveForward => self.issue_slave_forward(wi, cluster),
+                Action::SlaveReceive => self.issue_slave_receive(wi, cluster),
+            }
+            let _ = seq;
+        }
+        issued
+    }
+
+    fn issue_master(&mut self, wi: usize, cluster: ClusterId) {
+        let now = self.now;
+        // Memory access timing (outside the window borrow).
+        let (op, class, mem_addr) = {
+            let d = &self.window[wi];
+            (d.op.op, d.op.class(), d.op.mem_addr)
+        };
+        let latency = self.cfg.latencies.of(op);
+        let done = match class {
+            InstrClass::Load => {
+                let addr = mem_addr.expect("loads carry an address");
+                match self.dcache.access(addr, now, false) {
+                    Access::Hit => now + u64::from(latency),
+                    Access::Miss { ready_at, .. } => ready_at + 1,
+                }
+            }
+            InstrClass::Store => {
+                let addr = mem_addr.expect("stores carry an address");
+                let _ = self.dcache.access(addr, now, true);
+                now + u64::from(latency)
+            }
+            InstrClass::FpDiv => {
+                let unit = self.div_busy_until[cluster.index()]
+                    .iter_mut()
+                    .find(|b| **b <= now)
+                    .expect("issue checked for a free divider");
+                *unit = now + u64::from(latency);
+                now + u64::from(latency)
+            }
+            _ => now + u64::from(latency),
+        };
+
+        let (seq, slave_info, fwd, is_cond, pc, taken, mispredicted) = {
+            let d = &mut self.window[wi];
+            d.master_issued = Some(now);
+            d.master_done = Some(done);
+            (
+                d.op.seq,
+                d.dist.slave_receives.then(|| d.dist.slave.expect("slave")),
+                d.forwards(),
+                d.op.is_conditional_branch(),
+                d.op.pc,
+                d.op.branch.map(|b| b.taken).unwrap_or(false),
+                d.mispredicted,
+            )
+        };
+
+        // Free the master's dispatch-queue entry.
+        {
+            let d = &mut self.window[wi];
+            if !d.dq_master_freed {
+                d.dq_master_freed = true;
+                self.dq_free[cluster.index()] += 1;
+            }
+        }
+
+        // The master obtains forwarded operands at operand read; the
+        // operand-buffer entry frees for use the next cycle.
+        if fwd {
+            let d = &mut self.window[wi];
+            if d.otb_held {
+                d.otb_held = false;
+                self.buffer_frees.push(Reverse((now + 1, cluster.index() as u8, OTB)));
+            }
+        }
+
+        // Allocate the result-transfer-buffer entry in the slave's
+        // cluster for forwarded results.
+        if let Some(slave) = slave_info {
+            self.rtb_free[slave.index()] -= 1;
+            self.window[wi].rtb_held = true;
+            self.stats.results_forwarded += 1;
+            self.log_at(done, seq, Some(slave), EventKind::ResultWritten);
+        }
+
+        // Branch resolution.
+        if is_cond {
+            self.pending_bpred.push(Reverse((done, seq, pc, taken, mispredicted)));
+            if mispredicted {
+                self.log_at(done, seq, Some(cluster), EventKind::Mispredicted);
+            }
+        }
+
+        self.log(seq, Some(cluster), EventKind::MasterIssued);
+        self.log_at(done, seq, Some(cluster), EventKind::ExecDone);
+        // The master writes a register copy only when its own cluster
+        // holds the destination (always, except scenario three).
+        let master_writes = {
+            let d = &self.window[wi];
+            d.op.dest.is_some_and(|dest| self.assign.clusters_of(dest).contains(cluster))
+        };
+        if master_writes {
+            self.log_at(done, seq, Some(cluster), EventKind::RegWritten);
+        }
+    }
+
+    fn issue_slave_forward(&mut self, wi: usize, cluster: ClusterId) {
+        let now = self.now;
+        let (seq, master, receives) = {
+            let d = &mut self.window[wi];
+            d.slave_issued = Some(now);
+            (d.op.seq, d.dist.master, d.dist.slave_receives)
+        };
+        // Allocate the operand-buffer entry in the master's cluster.
+        self.otb_free[master.index()] -= 1;
+        self.window[wi].otb_held = true;
+        self.stats.operands_forwarded += 1;
+
+        // Non-receiving slaves are finished once the operand is written;
+        // scenario-five slaves stay suspended in the queue.
+        if !receives {
+            let d = &mut self.window[wi];
+            if !d.dq_slave_freed {
+                d.dq_slave_freed = true;
+                self.dq_free[cluster.index()] += 1;
+            }
+        } else {
+            self.log_at(now + 1, seq, Some(cluster), EventKind::SlaveSuspended);
+        }
+        self.log(seq, Some(cluster), EventKind::SlaveIssued);
+        self.log_at(now + 1, seq, Some(master), EventKind::OperandWritten);
+    }
+
+    fn issue_slave_receive(&mut self, wi: usize, cluster: ClusterId) {
+        let now = self.now;
+        let seq = {
+            let d = &mut self.window[wi];
+            d.slave_issued = Some(now);
+            d.slave_write = Some(now + 1);
+            if d.rtb_held {
+                d.rtb_held = false;
+            }
+            d.op.seq
+        };
+        // The slave reads the entry, then writes its register.
+        self.buffer_frees.push(Reverse((now + 1, cluster.index() as u8, RTB)));
+        {
+            let d = &mut self.window[wi];
+            if !d.dq_slave_freed {
+                d.dq_slave_freed = true;
+                self.dq_free[cluster.index()] += 1;
+            }
+        }
+        self.log(seq, Some(cluster), EventKind::SlaveIssued);
+        self.log_at(now + 1, seq, Some(cluster), EventKind::RegWritten);
+    }
+
+    // -- dispatch (fetch + rename + queue insert) ----------------------------
+
+    fn dispatch(&mut self) -> u32 {
+        let now = self.now;
+        if self.cursor >= self.trace.len() {
+            return 0;
+        }
+        if self.fetch_blocked_by.is_some() {
+            self.stats.stall_branch += 1;
+            return 0;
+        }
+        if now < self.fetch_resume_at {
+            match self.fetch_stall {
+                FetchStall::Icache => self.stats.stall_icache += 1,
+                FetchStall::Replay => self.stats.stall_replay += 1,
+            }
+            return 0;
+        }
+
+        let mut dispatched = 0;
+        let mut last_line: Option<u64> = None;
+        let line_bytes = self.cfg.icache.line_bytes as u64;
+
+        while dispatched < self.cfg.fetch_width && self.cursor < self.trace.len() {
+            let op = self.trace[self.cursor];
+
+            // Dynamic register reassignment (Section 6): the first
+            // dispatch of a trigger PC drains the pipeline, pays the
+            // state-movement penalty, and switches the assignment.
+            if self.reassign_draining
+                || self.pending_reassign.first().is_some_and(|r| r.trigger_pc == op.pc)
+            {
+                self.reassign_draining = true;
+                if !self.window.is_empty() {
+                    if dispatched == 0 {
+                        self.stats.stall_reassign += 1;
+                    }
+                    return dispatched;
+                }
+                let point = self.pending_reassign.remove(0);
+                self.assign = point.assignment;
+                let (int_free, fp_free) = free_lists_for(self.cfg, &self.assign);
+                self.int_free = int_free;
+                self.fp_free = fp_free;
+                self.reassign_draining = false;
+                self.stats.reassignments += 1;
+                self.stats.stall_reassign += self.cfg.reassignment_penalty;
+                self.fetch_resume_at = now + self.cfg.reassignment_penalty;
+                self.fetch_stall = FetchStall::Replay;
+                // Rename state restarts under the new assignment (the
+                // window is empty, so every mapping is architectural).
+                for table in &mut self.producers {
+                    table.iter_mut().for_each(|e| *e = None);
+                }
+                return dispatched;
+            }
+
+            // Instruction cache (one access per line per group).
+            let line = op.pc / line_bytes;
+            if last_line != Some(line) {
+                match self.icache.access(op.pc, now, false) {
+                    Access::Hit => {}
+                    Access::Miss { ready_at, .. } => {
+                        self.fetch_resume_at = ready_at;
+                        self.fetch_stall = FetchStall::Icache;
+                        if dispatched == 0 {
+                            self.stats.stall_icache += 1;
+                        }
+                        return dispatched;
+                    }
+                }
+                last_line = Some(line);
+            }
+
+            // Distribution and resource checks.
+            let dist = distribute(&op, &self.assign, &self.balance);
+            let phys = dist.phys_needed(&op, &self.assign);
+            let mut dq_needed = [0u32; 2];
+            dq_needed[dist.master.index()] += 1;
+            if let Some(s) = dist.slave {
+                dq_needed[s.index()] += 1;
+            }
+            let dq_ok = (0..2).all(|c| self.dq_free[c] >= dq_needed[c]);
+            if !dq_ok {
+                if dispatched == 0 {
+                    self.stats.stall_dq += 1;
+                }
+                return dispatched;
+            }
+            let mut int_needed = [0i64; 2];
+            let mut fp_needed = [0i64; 2];
+            for &(c, bank) in &phys {
+                match bank {
+                    RegBank::Int => int_needed[c.index()] += 1,
+                    RegBank::Fp => fp_needed[c.index()] += 1,
+                }
+            }
+            let regs_ok = (0..2)
+                .all(|c| self.int_free[c] >= int_needed[c] && self.fp_free[c] >= fp_needed[c]);
+            if !regs_ok {
+                if dispatched == 0 {
+                    self.stats.stall_regs += 1;
+                }
+                return dispatched;
+            }
+
+            // Commit the dispatch.
+            for c in 0..2 {
+                self.dq_free[c] -= dq_needed[c];
+                self.int_free[c] -= int_needed[c];
+                self.fp_free[c] -= fp_needed[c];
+            }
+            self.balance[dist.master.index()] += 1;
+            self.stats.per_cluster_dispatched[dist.master.index()] += 1;
+            if let Some(s) = dist.slave {
+                self.balance[s.index()] += 1;
+                self.stats.per_cluster_dispatched[s.index()] += 1;
+                self.stats.dual_distributed += 1;
+            } else {
+                self.stats.single_distributed += 1;
+            }
+            self.stats.scenario[usize::from(dist.scenario - 1)] += 1;
+
+            // Resolve source dependences against the rename state.
+            let mut src_dep = [None, None];
+            let mut src_read_cluster = [dist.master; 2];
+            for i in 0..2 {
+                let Some(reg) = op.srcs[i] else { continue };
+                let rc = if dist.forwarded_src[i] {
+                    dist.slave.expect("forwarded operand implies a slave")
+                } else {
+                    dist.master
+                };
+                src_read_cluster[i] = rc;
+                src_dep[i] = self.producers[rc.index()][reg.dense_index()];
+            }
+            // Rename the destination in every cluster holding it.
+            if let Some(dest) = op.dest {
+                for c in self.assign.clusters_of(dest).iter() {
+                    if c.index() < usize::from(self.cfg.clusters) {
+                        self.producers[c.index()][dest.dense_index()] = Some(op.seq);
+                    }
+                }
+            }
+
+            // Branch prediction at queue-insert time (Section 4.2,
+            // footnote 2).
+            let mut mispredicted = false;
+            if op.is_conditional_branch() {
+                self.stats.branches += 1;
+                let predicted = self.predictor.predict(op.pc);
+                let actual = op.branch.expect("conditional has branch info").taken;
+                if predicted != actual {
+                    mispredicted = true;
+                    self.stats.mispredicts += 1;
+                    self.fetch_blocked_by = Some(op.seq);
+                }
+            }
+
+            let seq = op.seq;
+            let master = dist.master;
+            let slave = dist.slave;
+            let taken = op.branch.is_some_and(|b| b.taken);
+            self.window.push_back(DynInstr {
+                op,
+                dist,
+                src_dep,
+                src_read_cluster,
+                phys,
+                master_issued: None,
+                master_done: None,
+                slave_issued: None,
+                slave_write: None,
+                woke: false,
+                mispredicted,
+                dq_master_freed: false,
+                dq_slave_freed: false,
+                otb_held: false,
+                rtb_held: false,
+            });
+            self.log(seq, Some(master), EventKind::Distributed);
+            if let Some(s) = slave {
+                self.log(seq, Some(s), EventKind::Distributed);
+            }
+
+            self.cursor += 1;
+            dispatched += 1;
+
+            if mispredicted {
+                break; // wrong-path fetch until the branch resolves
+            }
+            if taken && self.cfg.fetch_stops_at_taken {
+                break; // a taken branch ends the fetch group
+            }
+        }
+        dispatched
+    }
+
+    // -- deadlock handling -----------------------------------------------------
+
+    fn check_progress(&mut self, work_done: u32) -> Result<(), SimError> {
+        if work_done > 0 || self.window.is_empty() {
+            self.no_progress_cycles = 0;
+            return Ok(());
+        }
+        let now = self.now;
+        let future_work = self.fetch_resume_at > now
+            || !self.pending_bpred.is_empty()
+            || !self.buffer_frees.is_empty()
+            || self.window.iter().any(|d| {
+                matches!(d.master_done, Some(t) if t > now)
+                    || matches!(d.slave_write, Some(t) if t > now)
+            });
+        if future_work {
+            self.no_progress_cycles = 0;
+            return Ok(());
+        }
+        self.no_progress_cycles += 1;
+        if self.no_progress_cycles < 2 {
+            return Ok(());
+        }
+        if self.blocked_on_buffer {
+            // Transfer-buffer deadlock (Section 2.1): replay from the
+            // youngest instruction holding a buffer entry. If the same
+            // deadlock recurs before anything retires, escalate to a
+            // full squash (everything but the oldest instruction), which
+            // guarantees progress: the oldest instruction's dependences
+            // are all retired and every buffer entry is freed.
+            let victim = if self.last_replay_base == Some(self.base) && self.window.len() > 1 {
+                Some(self.base + 1)
+            } else {
+                self.window.iter().rev().find(|d| d.otb_held || d.rtb_held).map(|d| d.op.seq)
+            };
+            if let Some(seq) = victim {
+                self.last_replay_base = Some(self.base);
+                self.replay_from(seq);
+                self.no_progress_cycles = 0;
+                return Ok(());
+            }
+        }
+        if self.no_progress_cycles > 1000 {
+            return Err(SimError::Wedged { cycle: now, oldest_seq: self.base });
+        }
+        Ok(())
+    }
+
+    /// Squashes instruction `from_seq` and everything younger, then
+    /// restarts dispatch from it after the replay penalty.
+    fn replay_from(&mut self, from_seq: u64) {
+        let now = self.now;
+        self.stats.replays += 1;
+        let keep = (from_seq - self.base) as usize;
+        let squashed: Vec<DynInstr> = self.window.drain(keep..).collect();
+        for d in &squashed {
+            self.stats.replay_squashed += 1;
+            for &(c, bank) in &d.phys {
+                match bank {
+                    RegBank::Int => self.int_free[c.index()] += 1,
+                    RegBank::Fp => self.fp_free[c.index()] += 1,
+                }
+            }
+            if !d.dq_master_freed {
+                self.dq_free[d.dist.master.index()] += 1;
+            }
+            if let Some(s) = d.dist.slave {
+                if !d.dq_slave_freed {
+                    self.dq_free[s.index()] += 1;
+                }
+                if d.rtb_held {
+                    self.rtb_free[s.index()] += 1;
+                }
+            }
+            if d.otb_held {
+                self.otb_free[d.dist.master.index()] += 1;
+            }
+            self.log(d.op.seq, None, EventKind::ReplaySquashed);
+        }
+        // Drop pending predictor updates for squashed branches.
+        let kept: Vec<_> = self
+            .pending_bpred
+            .drain()
+            .filter(|Reverse((_, seq, ..))| *seq < from_seq)
+            .collect();
+        self.pending_bpred = kept.into_iter().collect();
+        // Rebuild the rename state from the surviving window.
+        for table in &mut self.producers {
+            table.iter_mut().for_each(|e| *e = None);
+        }
+        let n = usize::from(self.cfg.clusters);
+        let survivors: Vec<(u64, Option<ArchReg>)> =
+            self.window.iter().map(|d| (d.op.seq, d.op.dest)).collect();
+        for (seq, dest) in survivors {
+            if let Some(dest) = dest {
+                for c in self.assign.clusters_of(dest).iter() {
+                    if c.index() < n {
+                        self.producers[c.index()][dest.dense_index()] = Some(seq);
+                    }
+                }
+            }
+        }
+        // An unresolved mispredicted branch that was squashed no longer
+        // blocks fetch.
+        if self.fetch_blocked_by.is_some_and(|b| b >= from_seq) {
+            self.fetch_blocked_by = None;
+        }
+        self.cursor = usize::try_from(from_seq).expect("trace indices fit usize");
+        self.fetch_resume_at = now + self.cfg.replay_penalty;
+        self.fetch_stall = FetchStall::Replay;
+    }
+}
+
+/// Physical-register free-list sizes for an empty pipeline under
+/// `assign`: capacity minus the committed architectural mappings each
+/// cluster must hold.
+fn free_lists_for(
+    cfg: &ProcessorConfig,
+    assign: &mcl_isa::assign::RegisterAssignment,
+) -> ([i64; 2], [i64; 2]) {
+    let n = usize::from(cfg.clusters);
+    let mut int_committed = [0i64; 2];
+    let mut fp_committed = [0i64; 2];
+    for reg in ArchReg::all() {
+        if reg.is_zero() {
+            continue;
+        }
+        for c in assign.clusters_of(reg).iter() {
+            if c.index() >= n {
+                continue;
+            }
+            match reg.bank() {
+                RegBank::Int => int_committed[c.index()] += 1,
+                RegBank::Fp => fp_committed[c.index()] += 1,
+            }
+        }
+    }
+    let mut int_free = [0i64; 2];
+    let mut fp_free = [0i64; 2];
+    for c in 0..n {
+        int_free[c] = i64::from(cfg.int_regs) - int_committed[c];
+        fp_free[c] = i64::from(cfg.fp_regs) - fp_committed[c];
+        assert!(int_free[c] > 0 && fp_free[c] > 0, "physical registers too few");
+    }
+    (int_free, fp_free)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcl_trace::ProgramBuilder;
+
+    fn run(cfg: ProcessorConfig, program: &Program<ArchReg>) -> SimResult {
+        Processor::new(cfg).run_program(program).expect("simulates")
+    }
+
+    /// A chain of dependent adds on even registers (single cluster use).
+    fn chain_program(len: usize) -> Program<ArchReg> {
+        let mut b = ProgramBuilder::<ArchReg>::new("chain");
+        let r = ArchReg::int(2);
+        b.lda(r, 0);
+        for _ in 0..len {
+            b.addq_imm(r, r, 1);
+        }
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn retires_every_instruction() {
+        let p = chain_program(50);
+        let res = run(ProcessorConfig::single_cluster_8way(), &p);
+        assert_eq!(res.stats.retired, 51);
+        assert!(res.stats.cycles >= 51, "a dependent chain runs at one IPC at best");
+    }
+
+    #[test]
+    fn dependent_chain_runs_at_one_ipc_steady_state() {
+        // A loop (warm icache, predictable branch) whose body is a
+        // 16-deep dependent add chain: the chain limits throughput to
+        // about one add per cycle.
+        let mut b = ProgramBuilder::<ArchReg>::new("chain-loop");
+        let r = ArchReg::int(2);
+        let i = ArchReg::int(4);
+        let body = b.new_block("body");
+        b.lda(r, 0);
+        b.lda(i, 200);
+        b.switch_to(body);
+        for _ in 0..16 {
+            b.addq_imm(r, r, 1);
+        }
+        b.subq_imm(i, i, 1);
+        b.bne(i, body);
+        let p = b.finish().unwrap();
+        let res = run(ProcessorConfig::single_cluster_8way(), &p);
+        let cycles = res.stats.cycles;
+        // 200 iterations x 16-cycle chain = 3200 cycles of pure chain.
+        assert!((3200..4200).contains(&cycles), "cycles = {cycles}");
+    }
+
+    #[test]
+    fn independent_instructions_issue_in_parallel() {
+        // 8 independent chains inside a loop: issue-width bound, not
+        // dependence bound.
+        let mut b = ProgramBuilder::<ArchReg>::new("wide-loop");
+        let i = ArchReg::int(20);
+        let body = b.new_block("body");
+        for c in 0..8u8 {
+            b.lda(ArchReg::int(c * 2), i64::from(c));
+        }
+        b.lda(i, 100);
+        b.switch_to(body);
+        for _ in 0..5 {
+            for c in 0..8u8 {
+                let r = ArchReg::int(c * 2);
+                b.addq_imm(r, r, 1);
+            }
+        }
+        b.subq_imm(i, i, 1);
+        b.bne(i, body);
+        let p = b.finish().unwrap();
+        let res = run(ProcessorConfig::single_cluster_8way(), &p);
+        assert!(res.stats.ipc() > 4.0, "ipc = {}", res.stats.ipc());
+    }
+
+    #[test]
+    fn single_cluster_never_dual_distributes() {
+        let p = chain_program(20);
+        let res = run(ProcessorConfig::single_cluster_8way(), &p);
+        assert_eq!(res.stats.dual_distributed, 0);
+        assert_eq!(res.stats.scenario[1..].iter().sum::<u64>(), 0);
+    }
+
+    #[test]
+    fn cross_cluster_chain_dual_distributes() {
+        // Alternating even/odd destinations force inter-cluster traffic.
+        let mut b = ProgramBuilder::<ArchReg>::new("pingpong");
+        let e = ArchReg::int(2);
+        let o = ArchReg::int(3);
+        b.lda(e, 0);
+        for _ in 0..20 {
+            b.addq_imm(o, e, 1); // reads C0, writes C1 -> dual
+            b.addq_imm(e, o, 1); // reads C1, writes C0 -> dual
+        }
+        let p = b.finish().unwrap();
+        let res = run(ProcessorConfig::dual_cluster_8way(), &p);
+        assert!(res.stats.dual_distributed >= 40, "stats: {:?}", res.stats);
+        assert!(res.stats.results_forwarded > 0 || res.stats.operands_forwarded > 0);
+    }
+
+    #[test]
+    fn dual_costs_cycles_versus_single_on_pingpong() {
+        let mut b = ProgramBuilder::<ArchReg>::new("pingpong");
+        let e = ArchReg::int(2);
+        let o = ArchReg::int(3);
+        b.lda(e, 0);
+        for _ in 0..50 {
+            b.addq_imm(o, e, 1);
+            b.addq_imm(e, o, 1);
+        }
+        let p = b.finish().unwrap();
+        let dual = run(ProcessorConfig::dual_cluster_8way(), &p);
+        let single = run(ProcessorConfig::single_cluster_8way(), &p);
+        assert!(
+            dual.stats.cycles > single.stats.cycles,
+            "dual {} vs single {}",
+            dual.stats.cycles,
+            single.stats.cycles
+        );
+    }
+
+    #[test]
+    fn global_register_writes_update_both_clusters() {
+        let mut b = ProgramBuilder::<ArchReg>::new("global");
+        let sp = ArchReg::SP;
+        let e = ArchReg::int(2);
+        let o = ArchReg::int(3);
+        b.lda(sp, 0x8000);
+        b.addq_imm(e, sp, 8); // C0 reads sp locally
+        b.addq_imm(o, sp, 16); // C1 reads sp locally
+        let p = b.finish().unwrap();
+        let res = run(ProcessorConfig::dual_cluster_8way(), &p);
+        // lda sp is scenario 4 (global destination).
+        assert_eq!(res.stats.scenario[3], 1, "stats: {:?}", res.stats.scenario);
+        // The two adds are single-distributed (global sources are free).
+        assert_eq!(res.stats.scenario[0], 2);
+        assert_eq!(res.stats.retired, 3);
+    }
+
+    #[test]
+    fn mispredicted_branches_stall_fetch() {
+        // A data-dependent branch pattern the predictor cannot learn:
+        // use an LCG-driven condition.
+        let mut b = ProgramBuilder::<ArchReg>::new("branchy");
+        let x = ArchReg::int(2);
+        let bit = ArchReg::int(4);
+        let i = ArchReg::int(6);
+        let body = b.new_block("body");
+        let skip = b.new_block("skip");
+        let join = b.new_block("join");
+        b.lda(x, 12345);
+        b.lda(i, 200);
+        b.switch_to(body);
+        b.mulq_imm(x, x, 1103515245);
+        b.addq_imm(x, x, 12345);
+        b.srl_imm(bit, x, 16);
+        b.and_imm(bit, bit, 1);
+        b.bne(bit, join);
+        b.switch_to(skip);
+        b.addq_imm(x, x, 7);
+        b.switch_to(join);
+        b.subq_imm(i, i, 1);
+        b.bne(i, body);
+        let p = b.finish().unwrap();
+        let res = run(ProcessorConfig::single_cluster_8way(), &p);
+        assert!(res.stats.branches >= 400);
+        assert!(
+            res.stats.mispredicts > res.stats.branches / 10,
+            "unpredictable branch should mispredict: {:?}",
+            (res.stats.mispredicts, res.stats.branches)
+        );
+        assert!(res.stats.stall_branch > 0);
+    }
+
+    #[test]
+    fn dcache_misses_cost_cycles() {
+        // Stride through 256 KB (beyond the 64 KB cache) twice.
+        let mut b = ProgramBuilder::<ArchReg>::new("stride");
+        let base = ArchReg::int(2);
+        let x = ArchReg::int(4);
+        let i = ArchReg::int(6);
+        let body = b.new_block("body");
+        b.lda(i, 8192);
+        b.lda(base, 0x10_0000);
+        b.switch_to(body);
+        b.ldq(x, base, 0);
+        b.addq_imm(base, base, 32);
+        b.subq_imm(i, i, 1);
+        b.bne(i, body);
+        let p = b.finish().unwrap();
+        let res = run(ProcessorConfig::single_cluster_8way(), &p);
+        assert!(res.stats.dcache.misses > 8000, "dcache: {:?}", res.stats.dcache);
+    }
+
+    #[test]
+    fn event_log_is_recorded_when_enabled() {
+        let p = chain_program(3);
+        let res = run(ProcessorConfig::single_cluster_8way().with_events(), &p);
+        let events = res.events.expect("events enabled");
+        assert!(events.events().iter().any(|e| e.kind == EventKind::Retired));
+        assert!(events.events().iter().any(|e| e.kind == EventKind::MasterIssued));
+    }
+
+    #[test]
+    fn empty_trace_simulates_to_zero_cycles() {
+        let res = Processor::new(ProcessorConfig::single_cluster_8way()).run_trace(&[]).unwrap();
+        assert_eq!(res.stats.cycles, 0);
+        assert_eq!(res.stats.retired, 0);
+    }
+
+    #[test]
+    fn determinism() {
+        let p = chain_program(100);
+        let a = run(ProcessorConfig::dual_cluster_8way(), &p);
+        let b = run(ProcessorConfig::dual_cluster_8way(), &p);
+        assert_eq!(a.stats, b.stats);
+    }
+}

@@ -1,0 +1,167 @@
+//! Simulation statistics.
+
+use mcl_mem::CacheStats;
+use serde::{Deserialize, Serialize};
+
+/// Counters accumulated over one simulation run.
+///
+/// The paper's performance metric is the simulated clock-cycle count
+/// ([`SimStats::cycles`]); the companion counters explain *why* a run
+/// took the cycles it did — fetch-stall causes, dual-distribution mix,
+/// transfer-buffer pressure, replay exceptions, branch prediction, and
+/// cache behaviour.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SimStats {
+    /// Simulated clock cycles (the paper's metric).
+    pub cycles: u64,
+    /// Instructions retired.
+    pub retired: u64,
+    /// Dynamic instructions distributed to exactly one cluster.
+    pub single_distributed: u64,
+    /// Dynamic instructions distributed to both clusters.
+    pub dual_distributed: u64,
+    /// Scenario mix of Section 2.1 (`scenario[0]` = scenario 1 …
+    /// `scenario[4]` = scenario 5).
+    pub scenario: [u64; 5],
+    /// Instructions distributed to each cluster (copies counted per
+    /// cluster).
+    pub per_cluster_dispatched: [u64; 2],
+    /// Instructions issued from each cluster's dispatch queue.
+    pub per_cluster_issued: [u64; 2],
+
+    /// Conditional branches predicted.
+    pub branches: u64,
+    /// Conditional branches mispredicted.
+    pub mispredicts: u64,
+
+    /// Instruction-replay exceptions taken to free a transfer-buffer
+    /// entry (Section 2.1).
+    pub replays: u64,
+    /// Instructions squashed by replay exceptions.
+    pub replay_squashed: u64,
+    /// Dynamic register reassignments performed (Section 6 mechanism).
+    pub reassignments: u64,
+    /// Cycles spent draining and switching at reassignment points.
+    pub stall_reassign: u64,
+
+    /// Operands forwarded through operand transfer buffers.
+    pub operands_forwarded: u64,
+    /// Results forwarded through result transfer buffers.
+    pub results_forwarded: u64,
+    /// Cycles in which some ready slave copy could not issue because the
+    /// target operand transfer buffer was full.
+    pub otb_full_stalls: u64,
+    /// Cycles in which some ready master copy could not issue because
+    /// the target result transfer buffer was full.
+    pub rtb_full_stalls: u64,
+
+    /// Fetch/dispatch stall cycles by cause.
+    pub stall_icache: u64,
+    /// Cycles dispatch was blocked waiting for a mispredicted branch to
+    /// resolve.
+    pub stall_branch: u64,
+    /// Cycles dispatch was blocked on a full dispatch queue.
+    pub stall_dq: u64,
+    /// Cycles dispatch was blocked on an empty physical-register free
+    /// list.
+    pub stall_regs: u64,
+    /// Cycles dispatch was blocked by replay-exception recovery.
+    pub stall_replay: u64,
+
+    /// Times an instruction issued while an older instruction in the
+    /// same dispatch queue was still waiting (the paper's
+    /// "instruction-issue disorder").
+    pub issue_disorder: u64,
+
+    /// Instruction-cache statistics.
+    pub icache: CacheStats,
+    /// Data-cache statistics.
+    pub dcache: CacheStats,
+}
+
+impl SimStats {
+    /// Retired instructions per cycle.
+    #[must_use]
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.retired as f64 / self.cycles as f64
+        }
+    }
+
+    /// Conditional-branch misprediction rate.
+    #[must_use]
+    pub fn mispredict_rate(&self) -> f64 {
+        if self.branches == 0 {
+            0.0
+        } else {
+            self.mispredicts as f64 / self.branches as f64
+        }
+    }
+
+    /// Fraction of dynamic instructions that were dual-distributed.
+    #[must_use]
+    pub fn dual_fraction(&self) -> f64 {
+        let total = self.single_distributed + self.dual_distributed;
+        if total == 0 {
+            0.0
+        } else {
+            self.dual_distributed as f64 / total as f64
+        }
+    }
+
+    /// The paper's performance ratio `C_dual / C_single` for this run
+    /// against a baseline cycle count.
+    #[must_use]
+    pub fn ratio_against(&self, single_cluster_cycles: u64) -> f64 {
+        self.cycles as f64 / single_cluster_cycles as f64
+    }
+}
+
+/// The percentage speedup the paper reports in Table 2:
+/// `100 - 100 × (C_dual / C_single)` — positive is a speedup, negative a
+/// slowdown.
+#[must_use]
+pub fn speedup_percent(dual_cycles: u64, single_cycles: u64) -> f64 {
+    100.0 - 100.0 * (dual_cycles as f64 / single_cycles as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_rates() {
+        let stats = SimStats {
+            cycles: 1000,
+            retired: 2500,
+            branches: 100,
+            mispredicts: 7,
+            single_distributed: 900,
+            dual_distributed: 100,
+            ..SimStats::default()
+        };
+        assert!((stats.ipc() - 2.5).abs() < 1e-12);
+        assert!((stats.mispredict_rate() - 0.07).abs() < 1e-12);
+        assert!((stats.dual_fraction() - 0.1).abs() < 1e-12);
+        assert!((stats.ratio_against(800) - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn speedup_sign_convention_matches_table2() {
+        // More dual cycles than single → slowdown → negative percentage.
+        assert!(speedup_percent(1140, 1000) < 0.0);
+        assert!((speedup_percent(1140, 1000) - -14.0).abs() < 1e-9);
+        // compress with the local scheduler: +6 in the paper.
+        assert!(speedup_percent(940, 1000) > 0.0);
+    }
+
+    #[test]
+    fn zero_division_is_guarded() {
+        let stats = SimStats::default();
+        assert_eq!(stats.ipc(), 0.0);
+        assert_eq!(stats.mispredict_rate(), 0.0);
+        assert_eq!(stats.dual_fraction(), 0.0);
+    }
+}

@@ -1,0 +1,157 @@
+//! Distribution and bookkeeping statistics checks through the public
+//! API: scenario accounting, transfer counts, stall attribution, and
+//! fetch-group behaviour.
+
+use mcl_core::{Processor, ProcessorConfig};
+use mcl_isa::ArchReg;
+use mcl_trace::ProgramBuilder;
+
+fn run(p: &mcl_trace::Program<ArchReg>, cfg: ProcessorConfig) -> mcl_core::SimStats {
+    Processor::new(cfg).run_program(p).expect("simulates").stats
+}
+
+#[test]
+fn scenario_counts_partition_the_dynamic_stream() {
+    // A loop containing one instruction of each scenario shape.
+    let mut b = ProgramBuilder::<ArchReg>::new("mix");
+    let (e0, e2, o1, i) = (ArchReg::int(2), ArchReg::int(6), ArchReg::int(3), ArchReg::int(8));
+    let body = b.new_block("body");
+    b.lda(e0, 1);
+    b.lda(o1, 2);
+    b.lda(i, 50);
+    b.switch_to(body);
+    b.addq_imm(e2, e0, 1); // scenario 1 (all cluster 0)
+    b.addq(e2, e0, o1); // scenario 2 (operand forward)
+    b.addq(o1, e0, e2); // scenario 3 (result forward)
+    b.addq(ArchReg::SP, e0, e2); // scenario 4 (global destination)
+    b.addq(ArchReg::SP, e0, o1); // scenario 5 (forward + global)
+    b.subq_imm(i, i, 1);
+    b.bne(i, body);
+    let p = b.finish().unwrap();
+    let stats = run(&p, ProcessorConfig::dual_cluster_8way());
+
+    // 50 iterations of each shape (plus entry/loop bookkeeping in
+    // scenario 1).
+    assert!(stats.scenario[0] >= 100, "{:?}", stats.scenario);
+    assert_eq!(stats.scenario[1], 50, "{:?}", stats.scenario);
+    assert_eq!(stats.scenario[2], 50, "{:?}", stats.scenario);
+    assert_eq!(stats.scenario[3], 50, "{:?}", stats.scenario);
+    assert_eq!(stats.scenario[4], 50, "{:?}", stats.scenario);
+    assert_eq!(
+        stats.scenario.iter().sum::<u64>(),
+        stats.single_distributed + stats.dual_distributed
+    );
+
+    // Transfers: scenarios 2 and 5 forward operands; 3, 4, and 5
+    // forward results.
+    assert_eq!(stats.operands_forwarded, 100, "{:?}", stats);
+    assert_eq!(stats.results_forwarded, 150, "{:?}", stats);
+}
+
+#[test]
+fn per_cluster_dispatch_counts_include_both_copies() {
+    let mut b = ProgramBuilder::<ArchReg>::new("copies");
+    b.lda(ArchReg::int(2), 1);
+    b.addq_imm(ArchReg::int(3), ArchReg::int(2), 1); // dual
+    let p = b.finish().unwrap();
+    let stats = run(&p, ProcessorConfig::dual_cluster_8way());
+    assert_eq!(stats.per_cluster_dispatched.iter().sum::<u64>(), 3, "{stats:?}");
+}
+
+#[test]
+fn dq_stalls_are_attributed_when_a_queue_fills() {
+    // A long serial multiply chain on one cluster with a small dispatch
+    // queue: issue drains one multiply per six cycles while fetch keeps
+    // delivering, so the queue fills before the free list empties.
+    let mut b = ProgramBuilder::<ArchReg>::new("dq-fill");
+    let r = ArchReg::int(2);
+    let body = b.new_block("body");
+    let i = ArchReg::int(4);
+    b.lda(r, 3);
+    b.lda(i, 40);
+    b.switch_to(body);
+    for _ in 0..24 {
+        b.mulq(r, r, r); // 6-cycle serial chain, all on cluster 0
+    }
+    b.subq_imm(i, i, 1);
+    b.bne(i, body);
+    let p = b.finish().unwrap();
+    let mut cfg = ProcessorConfig::dual_cluster_8way();
+    cfg.dq_entries = 16; // smaller than the ~47-entry free list
+    let stats = run(&p, cfg);
+    assert!(stats.stall_dq > 0, "queue should fill: {stats:?}");
+}
+
+#[test]
+fn register_stalls_appear_when_the_free_list_empties() {
+    // Every iteration starts with a missing load that blocks retirement
+    // for 16 cycles while fetch keeps allocating destinations: the
+    // in-flight demand exceeds one cluster's ~47 free registers.
+    let mut b = ProgramBuilder::<ArchReg>::new("prf-fill");
+    let base = ArchReg::int(2);
+    let v = ArchReg::int(4);
+    let dest = ArchReg::int(6);
+    let i = ArchReg::int(8);
+    let body = b.new_block("body");
+    b.lda(base, 0x40_0000);
+    b.lda(i, 200);
+    b.switch_to(body);
+    b.ldq(v, base, 0); // a fresh line every iteration: always misses
+    for _ in 0..20 {
+        b.addq_imm(dest, base, 1); // independent work behind the miss
+    }
+    b.addq_imm(base, base, 32);
+    b.subq_imm(i, i, 1);
+    b.bne(i, body);
+    let p = b.finish().unwrap();
+    let mut cfg = ProcessorConfig::dual_cluster_8way();
+    cfg.dq_entries = 256; // make registers, not queue slots, the limit
+    let stats = run(&p, cfg);
+    assert!(stats.stall_regs > 0, "free list should empty: {stats:?}");
+}
+
+#[test]
+fn fetch_group_ends_at_taken_branches_when_configured() {
+    // A chain of tiny blocks linked by unconditional (taken) branches:
+    // with fetch-stop-at-taken each cycle fetches one block; without it,
+    // fetch runs through several blocks per cycle. The adds are
+    // independent, so fetch (not execution) is the limit.
+    let mut b = ProgramBuilder::<ArchReg>::new("br-chain");
+    let base = ArchReg::int(2);
+    b.lda(base, 7);
+    let blocks: Vec<_> = (0..120).map(|k| b.new_block(&format!("b{k}"))).collect();
+    b.br(blocks[0]);
+    for (k, &blk) in blocks.iter().enumerate() {
+        b.switch_to(blk);
+        let dest = ArchReg::int(4 + 2 * ((k % 8) as u8));
+        b.addq_imm(dest, base, k as i64);
+        if k + 1 < blocks.len() {
+            b.br(blocks[k + 1]);
+        }
+    }
+    let p = b.finish().unwrap();
+
+    let stop = run(&p, ProcessorConfig::single_cluster_8way());
+    let mut cfg = ProcessorConfig::single_cluster_8way();
+    cfg.fetch_stops_at_taken = false;
+    let nostop = run(&p, cfg);
+    assert!(
+        nostop.cycles < stop.cycles,
+        "unbounded fetch should win: {} vs {}",
+        nostop.cycles,
+        stop.cycles
+    );
+}
+
+#[test]
+fn global_register_reads_are_free_in_both_clusters() {
+    // Loads off the global SP from both parities stay single-cluster.
+    let mut b = ProgramBuilder::<ArchReg>::new("gp-reads");
+    b.lda(ArchReg::SP, 0x8000); // scenario 4 write
+    b.addq_imm(ArchReg::int(2), ArchReg::SP, 8); // cluster 0, single
+    b.addq_imm(ArchReg::int(3), ArchReg::SP, 16); // cluster 1, single
+    let p = b.finish().unwrap();
+    let stats = run(&p, ProcessorConfig::dual_cluster_8way());
+    assert_eq!(stats.dual_distributed, 1, "only the SP write: {stats:?}");
+    assert_eq!(stats.single_distributed, 2);
+}

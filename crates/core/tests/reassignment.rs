@@ -1,0 +1,124 @@
+//! Tests for dynamic register reassignment (Section 6): the hardware
+//! mechanism that lets a compiler hint switch the
+//! architectural-register-to-cluster assignment between program phases.
+
+use mcl_core::config::ReassignmentPoint;
+use mcl_core::{Processor, ProcessorConfig};
+use mcl_isa::assign::{RegAssignment, RegisterAssignment};
+use mcl_isa::{ArchReg, ClusterId};
+use mcl_trace::{Layout, ProgramBuilder};
+
+/// Phase 1: a tight dependence chain over r2/r3 (split under even/odd —
+/// every instruction dual-distributes). Phase 2: the same chain over
+/// r2/r4 (both on cluster 0 — single distribution).
+///
+/// A reassignment point before phase 1 that maps r2 *and* r3 to cluster
+/// 0 removes all of phase 1's inter-cluster traffic.
+fn two_phase_program(rounds: u32) -> mcl_trace::Program<ArchReg> {
+    let mut b = ProgramBuilder::<ArchReg>::new("two-phase");
+    let r2 = ArchReg::int(2);
+    let r3 = ArchReg::int(3);
+    let i = ArchReg::int(4);
+    let body = b.new_block("body");
+    b.lda(r2, 0);
+    b.lda(r3, 1);
+    b.lda(i, i64::from(rounds));
+    b.switch_to(body);
+    for _ in 0..4 {
+        b.addq(r2, r2, r3);
+        b.addq(r3, r3, r2);
+    }
+    b.subq_imm(i, i, 1);
+    b.bne(i, body);
+    b.finish().expect("valid")
+}
+
+/// An assignment like even/odd, except r3 joins r2 on cluster 0.
+fn pinned_assignment() -> RegisterAssignment {
+    RegisterAssignment::from_fn(2, |reg| {
+        if reg == ArchReg::SP || reg == ArchReg::GP {
+            RegAssignment::Global
+        } else if reg == ArchReg::int(3) {
+            RegAssignment::Local(ClusterId::C0)
+        } else {
+            RegAssignment::Local(ClusterId::new(reg.index() % 2))
+        }
+    })
+}
+
+#[test]
+fn reassignment_removes_cross_cluster_traffic() {
+    let program = two_phase_program(200);
+
+    let static_run = Processor::new(ProcessorConfig::dual_cluster_8way())
+        .run_program(&program)
+        .expect("static runs");
+    assert!(static_run.stats.dual_distributed >= 1600, "{:?}", static_run.stats);
+
+    // Trigger at the program's first instruction: the whole run executes
+    // under the pinned assignment.
+    let mut cfg = ProcessorConfig::dual_cluster_8way();
+    cfg.reassignments =
+        vec![ReassignmentPoint { trigger_pc: Layout::CODE_BASE, assignment: pinned_assignment() }];
+    let dynamic_run = Processor::new(cfg).run_program(&program).expect("dynamic runs");
+
+    assert_eq!(dynamic_run.stats.reassignments, 1);
+    assert_eq!(dynamic_run.stats.dual_distributed, 0, "{:?}", dynamic_run.stats);
+    assert!(
+        dynamic_run.stats.cycles < static_run.stats.cycles,
+        "dynamic {} vs static {}",
+        dynamic_run.stats.cycles,
+        static_run.stats.cycles
+    );
+    assert_eq!(dynamic_run.stats.retired, static_run.stats.retired);
+}
+
+#[test]
+fn mid_program_reassignment_drains_first() {
+    let program = two_phase_program(100);
+    // Trigger at the loop head: the entry block dispatches under the
+    // static assignment, the loop under the pinned one.
+    let trigger_pc = Layout::CODE_BASE + 3 * 4;
+    let mut cfg = ProcessorConfig::dual_cluster_8way();
+    cfg.reassignments =
+        vec![ReassignmentPoint { trigger_pc, assignment: pinned_assignment() }];
+    let result = Processor::new(cfg).run_program(&program).expect("runs");
+    assert_eq!(result.stats.reassignments, 1);
+    // The loop body runs entirely under the pinned assignment.
+    assert_eq!(result.stats.dual_distributed, 0);
+    assert!(result.stats.stall_reassign >= 32, "penalty charged: {:?}", result.stats);
+    assert_eq!(result.stats.retired, 3 + 100 * 10);
+}
+
+#[test]
+fn reassignment_penalty_is_configurable() {
+    let program = two_phase_program(50);
+    let run_with = |penalty: u64| {
+        let mut cfg = ProcessorConfig::dual_cluster_8way();
+        cfg.reassignment_penalty = penalty;
+        cfg.reassignments = vec![ReassignmentPoint {
+            trigger_pc: Layout::CODE_BASE + 3 * 4,
+            assignment: pinned_assignment(),
+        }];
+        Processor::new(cfg).run_program(&program).expect("runs").stats.cycles
+    };
+    let cheap = run_with(0);
+    let dear = run_with(200);
+    assert!(dear > cheap + 150, "penalty should show up: {cheap} vs {dear}");
+}
+
+#[test]
+fn untriggered_points_change_nothing() {
+    let program = two_phase_program(50);
+    let mut cfg = ProcessorConfig::dual_cluster_8way();
+    cfg.reassignments = vec![ReassignmentPoint {
+        trigger_pc: 0xDEAD_0000, // never fetched
+        assignment: pinned_assignment(),
+    }];
+    let with = Processor::new(cfg).run_program(&program).expect("runs");
+    let without = Processor::new(ProcessorConfig::dual_cluster_8way())
+        .run_program(&program)
+        .expect("runs");
+    assert_eq!(with.stats, without.stats);
+    assert_eq!(with.stats.reassignments, 0);
+}

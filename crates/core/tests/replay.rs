@@ -1,0 +1,97 @@
+//! Integration tests for the instruction-replay exception machinery
+//! (Section 2.1: "an instruction-replay exception is required to avoid
+//! issue deadlock").
+
+use mcl_core::{Processor, ProcessorConfig};
+use mcl_isa::ArchReg;
+use mcl_trace::ProgramBuilder;
+
+/// Builds a program that deadlocks a one-entry operand transfer buffer:
+///
+/// - `X`'s slave copy forwards an immediately-ready operand and takes the
+///   only entry of cluster 0's operand buffer;
+/// - `Y` (older) must forward a *slow* operand into the same buffer, but
+///   the entry is held: `Y`'s slave is blocked;
+/// - `X`'s master reads `Y`'s result, so it cannot issue and release the
+///   entry — a cycle only a replay can break.
+fn deadlock_program() -> mcl_trace::Program<ArchReg> {
+    let mut b = ProgramBuilder::<ArchReg>::new("otb-deadlock");
+    let r3 = ArchReg::int(3); // odd -> cluster 1 (X's forwarded operand, ready early)
+    let r5 = ArchReg::int(5); // odd -> cluster 1 (Y's forwarded operand, ready late)
+    let r4 = ArchReg::int(4); // even -> cluster 0
+    let r2 = ArchReg::int(2); // even -> cluster 0 (Y's result)
+    let r6 = ArchReg::int(6); // even -> cluster 0 (X's result)
+
+    b.lda(r3, 7);
+    b.lda(r4, 9);
+    b.lda(r5, 3);
+    // A long dependence chain delays r5 (three 6-cycle multiplies).
+    b.mulq(r5, r5, r5);
+    b.mulq(r5, r5, r5);
+    b.mulq(r5, r5, r5);
+    // Y: master on cluster 0, slave forwards r5 (slow).
+    b.addq(r2, r4, r5);
+    // X: master on cluster 0 reads Y's result, slave forwards r3 (fast).
+    b.addq(r6, r2, r3);
+    b.finish().expect("valid program")
+}
+
+#[test]
+fn one_entry_buffer_deadlock_is_broken_by_replay() {
+    let mut cfg = ProcessorConfig::dual_cluster_8way();
+    cfg.operand_buffer = 1;
+    cfg.result_buffer = 1;
+    let program = deadlock_program();
+    let result = Processor::new(cfg).run_program(&program).expect("replay breaks the deadlock");
+    assert!(result.stats.replays >= 1, "expected a replay: {:?}", result.stats);
+    assert!(result.stats.replay_squashed >= 1);
+    // Everything still retires exactly once.
+    assert_eq!(result.stats.retired, 8);
+}
+
+#[test]
+fn ample_buffers_avoid_the_replay() {
+    let cfg = ProcessorConfig::dual_cluster_8way(); // 8 entries
+    let program = deadlock_program();
+    let result = Processor::new(cfg).run_program(&program).expect("runs");
+    assert_eq!(result.stats.replays, 0, "8 entries are plenty: {:?}", result.stats);
+    assert_eq!(result.stats.retired, 8);
+}
+
+#[test]
+fn replayed_runs_compute_the_same_architectural_result() {
+    // The replay path must not lose or duplicate instructions: compare
+    // the retired count and cycle determinism across buffer sizes.
+    let program = deadlock_program();
+    let mut cycles = Vec::new();
+    for entries in [1u32, 2, 8] {
+        let mut cfg = ProcessorConfig::dual_cluster_8way();
+        cfg.operand_buffer = entries;
+        cfg.result_buffer = entries;
+        let result = Processor::new(cfg).run_program(&program).expect("runs");
+        assert_eq!(result.stats.retired, 8, "{entries} entries");
+        cycles.push(result.stats.cycles);
+    }
+    // More buffering never hurts.
+    assert!(cycles[0] >= cycles[2], "cycles by entries: {cycles:?}");
+}
+
+#[test]
+fn replay_penalty_is_charged() {
+    let program = deadlock_program();
+    let mut cheap = ProcessorConfig::dual_cluster_8way();
+    cheap.operand_buffer = 1;
+    cheap.result_buffer = 1;
+    cheap.replay_penalty = 0;
+    let mut dear = cheap.clone();
+    dear.replay_penalty = 40;
+    let fast = Processor::new(cheap).run_program(&program).unwrap();
+    let slow = Processor::new(dear).run_program(&program).unwrap();
+    assert!(fast.stats.replays >= 1 && slow.stats.replays >= 1);
+    assert!(
+        slow.stats.cycles > fast.stats.cycles,
+        "penalty should cost cycles: {} vs {}",
+        slow.stats.cycles,
+        fast.stats.cycles
+    );
+}

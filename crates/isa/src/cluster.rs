@@ -1,0 +1,92 @@
+//! Cluster identity.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Identifies one cluster of a multicluster processor.
+///
+/// The paper discusses the architecture "in terms of a multicluster
+/// processor with two clusters"; this reproduction follows suit but keeps
+/// the identifier open-ended so configurations with more clusters can be
+/// explored.
+///
+/// # Example
+///
+/// ```
+/// use mcl_isa::ClusterId;
+///
+/// let c0 = ClusterId::new(0);
+/// assert_eq!(c0.to_string(), "C0");
+/// assert_eq!(c0.other(), ClusterId::new(1));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ClusterId(u8);
+
+impl ClusterId {
+    /// Cluster 0 (called `C1` in the paper's figures).
+    pub const C0: ClusterId = ClusterId(0);
+    /// Cluster 1 (called `C2` in the paper's figures).
+    pub const C1: ClusterId = ClusterId(1);
+
+    /// Creates a cluster identifier.
+    #[must_use]
+    pub fn new(index: u8) -> ClusterId {
+        ClusterId(index)
+    }
+
+    /// The numeric index of the cluster.
+    #[must_use]
+    pub fn index(self) -> usize {
+        usize::from(self.0)
+    }
+
+    /// The other cluster of a dual-cluster processor.
+    ///
+    /// Meaningful only for two-cluster configurations; maps `0 ↔ 1`.
+    #[must_use]
+    pub fn other(self) -> ClusterId {
+        ClusterId(self.0 ^ 1)
+    }
+
+    /// Iterates over the first `n` cluster identifiers.
+    pub fn first_n(n: u8) -> impl Iterator<Item = ClusterId> {
+        (0..n).map(ClusterId)
+    }
+}
+
+impl fmt::Display for ClusterId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "C{}", self.0)
+    }
+}
+
+impl From<ClusterId> for usize {
+    fn from(id: ClusterId) -> usize {
+        id.index()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn other_is_an_involution() {
+        assert_eq!(ClusterId::C0.other(), ClusterId::C1);
+        assert_eq!(ClusterId::C1.other(), ClusterId::C0);
+        assert_eq!(ClusterId::C0.other().other(), ClusterId::C0);
+    }
+
+    #[test]
+    fn first_n_counts() {
+        let ids: Vec<_> = ClusterId::first_n(3).collect();
+        assert_eq!(ids, vec![ClusterId::new(0), ClusterId::new(1), ClusterId::new(2)]);
+    }
+
+    #[test]
+    fn display_matches_figure_convention() {
+        assert_eq!(ClusterId::C0.to_string(), "C0");
+        assert_eq!(ClusterId::C1.to_string(), "C1");
+    }
+}

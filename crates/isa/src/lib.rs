@@ -1,0 +1,46 @@
+//! Alpha-flavoured RISC instruction-set model for the multicluster
+//! architecture reproduction.
+//!
+//! This crate is the lowest layer of the workspace. It defines the
+//! vocabulary shared by every other crate:
+//!
+//! - [`reg`] — architectural registers ([`ArchReg`]) and register banks
+//!   ([`RegBank`]), following the DEC Alpha conventions the paper assumes
+//!   (32 integer + 32 floating-point registers, `r31`/`f31` hardwired to
+//!   zero, `r30` the stack pointer, `r29` the global pointer).
+//! - [`op`] — the opcode set ([`Opcode`]) with full functional semantics
+//!   (used by the trace-generation virtual machine in `mcl-trace`).
+//! - [`class`] — instruction classes ([`InstrClass`]) matching the columns
+//!   of Table 1 of the paper.
+//! - [`issue`] — per-cycle issue rules ([`issue::IssueRules`]) and
+//!   functional-unit latencies ([`issue::Latencies`]) reproducing Table 1.
+//! - [`assign`] — the architectural-register-to-cluster assignment
+//!   ([`assign::RegisterAssignment`]), the basis of instruction
+//!   distribution in the multicluster architecture (Section 2.1).
+//! - [`cluster`] — the [`ClusterId`] newtype.
+//!
+//! # Example
+//!
+//! ```
+//! use mcl_isa::{ArchReg, Opcode, InstrClass, assign::RegisterAssignment};
+//!
+//! // The evaluated configuration assigns even registers to cluster 0 and
+//! // odd registers to cluster 1, with the stack and global pointers global.
+//! let assign = RegisterAssignment::even_odd_with_default_globals(2);
+//! assert!(assign.assignment_of(ArchReg::SP).is_global());
+//! assert_eq!(Opcode::Mulq.class(), InstrClass::IntMul);
+//! ```
+
+pub mod assign;
+pub mod class;
+pub mod cluster;
+pub mod issue;
+pub mod op;
+pub mod reg;
+
+pub use assign::{ClusterSet, RegAssignment, RegisterAssignment};
+pub use class::InstrClass;
+pub use cluster::ClusterId;
+pub use issue::{IssueRules, Latencies};
+pub use op::{DivWidth, Opcode};
+pub use reg::{ArchReg, RegBank};

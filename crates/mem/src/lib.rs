@@ -1,0 +1,43 @@
+//! Memory-system substrate: set-associative caches, the inverted MSHR,
+//! and the memory interface.
+//!
+//! The paper's processors include "separate data and instruction caches,
+//! each of which is a 64-Kbyte, two-way set associative cache. The data
+//! cache is assumed to use an inverted MSHR, and thus, imposes no
+//! restriction on the number of in-flight cache misses. The memory
+//! interface ... is assumed to have a 16-cycle fetch latency and
+//! unlimited bandwidth."
+//!
+//! An *inverted MSHR* (Farkas & Jouppi, ISCA 1994) associates
+//! miss-handling state with every destination of an in-flight miss
+//! rather than with a small file of miss registers, so the number of
+//! outstanding misses is unbounded. [`InvertedMshr`] models exactly that
+//! contract: any number of outstanding line fills, with same-line misses
+//! merged into the in-flight fill.
+//!
+//! # Example
+//!
+//! ```
+//! use mcl_mem::{Cache, CacheConfig, Access};
+//!
+//! let mut dcache = Cache::new(CacheConfig::paper_l1());
+//! // First touch misses and schedules a 16-cycle fill.
+//! match dcache.access(0x2000, 10, false) {
+//!     Access::Miss { ready_at, merged } => {
+//!         assert_eq!(ready_at, 26);
+//!         assert!(!merged);
+//!     }
+//!     Access::Hit => unreachable!(),
+//! }
+//! // A second access to the same line merges into the outstanding fill.
+//! assert!(matches!(dcache.access(0x2008, 12, false),
+//!                  Access::Miss { ready_at: 26, merged: true }));
+//! // After the fill completes, the line hits.
+//! assert!(matches!(dcache.access(0x2000, 30, true), Access::Hit));
+//! ```
+
+pub mod cache;
+pub mod mshr;
+
+pub use cache::{Access, Cache, CacheConfig, CacheStats};
+pub use mshr::{InvertedMshr, MshrStats};

@@ -1,0 +1,132 @@
+//! The inverted miss-status holding register file.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+/// Occupancy statistics for an [`InvertedMshr`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MshrStats {
+    /// Primary misses: fills initiated.
+    pub fills: u64,
+    /// Secondary misses merged into an outstanding fill.
+    pub merges: u64,
+    /// The largest number of simultaneously outstanding fills observed.
+    pub peak_outstanding: usize,
+}
+
+/// An inverted MSHR: tracks any number of outstanding line fills.
+///
+/// A conventional MSHR file bounds the number of in-flight misses by the
+/// number of miss registers; the *inverted* organisation of Farkas &
+/// Jouppi ("Complexity/Performance Tradeoffs with Non-Blocking Loads",
+/// ISCA 1994) holds the miss state with each miss target instead, so the
+/// paper's data cache "imposes no restriction on the number of in-flight
+/// cache misses". This type models that contract: [`InvertedMshr::miss`]
+/// never rejects a miss, and same-line misses merge.
+///
+/// # Example
+///
+/// ```
+/// use mcl_mem::InvertedMshr;
+///
+/// let mut mshr = InvertedMshr::new();
+/// let (ready, merged) = mshr.miss(0x40, 100, 16);
+/// assert_eq!((ready, merged), (116, false));
+/// // A second miss on the same line merges and completes with the first.
+/// assert_eq!(mshr.miss(0x40, 105, 16), (116, true));
+/// assert_eq!(mshr.outstanding(110), 1);
+/// assert_eq!(mshr.outstanding(120), 0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct InvertedMshr {
+    /// line address -> cycle the fill completes.
+    outstanding: HashMap<u64, u64>,
+    stats: MshrStats,
+}
+
+impl InvertedMshr {
+    /// Creates an empty MSHR.
+    #[must_use]
+    pub fn new() -> InvertedMshr {
+        InvertedMshr::default()
+    }
+
+    /// Registers a miss on `line_addr` at cycle `now` with the given fill
+    /// `latency`. Returns the cycle the data is available and whether the
+    /// miss merged into an already-outstanding fill.
+    pub fn miss(&mut self, line_addr: u64, now: u64, latency: u64) -> (u64, bool) {
+        self.retire(now);
+        if let Some(&ready) = self.outstanding.get(&line_addr) {
+            self.stats.merges += 1;
+            return (ready, true);
+        }
+        let ready = now + latency;
+        self.outstanding.insert(line_addr, ready);
+        self.stats.fills += 1;
+        self.stats.peak_outstanding = self.stats.peak_outstanding.max(self.outstanding.len());
+        (ready, false)
+    }
+
+    /// The number of fills still outstanding at cycle `now`.
+    #[must_use]
+    pub fn outstanding(&self, now: u64) -> usize {
+        self.outstanding.values().filter(|&&ready| ready > now).count()
+    }
+
+    /// Drops completed fills (called internally; exposed for tests).
+    pub fn retire(&mut self, now: u64) {
+        self.outstanding.retain(|_, &mut ready| ready > now);
+    }
+
+    /// Occupancy statistics.
+    #[must_use]
+    pub fn stats(&self) -> MshrStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merging_is_per_line() {
+        let mut mshr = InvertedMshr::new();
+        assert_eq!(mshr.miss(0x00, 0, 16), (16, false));
+        assert_eq!(mshr.miss(0x40, 1, 16), (17, false));
+        assert_eq!(mshr.miss(0x00, 2, 16), (16, true));
+        let s = mshr.stats();
+        assert_eq!(s.fills, 2);
+        assert_eq!(s.merges, 1);
+    }
+
+    #[test]
+    fn completed_fills_do_not_merge() {
+        let mut mshr = InvertedMshr::new();
+        mshr.miss(0x00, 0, 16);
+        // At cycle 20 the fill is done; a new miss starts a new fill.
+        assert_eq!(mshr.miss(0x00, 20, 16), (36, false));
+        assert_eq!(mshr.stats().fills, 2);
+    }
+
+    #[test]
+    fn unbounded_outstanding_misses() {
+        // The defining property of the inverted organisation: no cap.
+        let mut mshr = InvertedMshr::new();
+        for i in 0..10_000u64 {
+            mshr.miss(i * 0x40, 0, 1_000_000);
+        }
+        assert_eq!(mshr.outstanding(0), 10_000);
+        assert_eq!(mshr.stats().peak_outstanding, 10_000);
+    }
+
+    #[test]
+    fn retire_drops_only_completed() {
+        let mut mshr = InvertedMshr::new();
+        mshr.miss(0x00, 0, 10);
+        mshr.miss(0x40, 0, 20);
+        mshr.retire(15);
+        assert_eq!(mshr.outstanding(15), 1);
+    }
+}

@@ -1,0 +1,132 @@
+//! Property tests for the cache: timing sanity and agreement with a
+//! reference presence model.
+
+use std::collections::HashMap;
+
+use mcl_mem::{Access, Cache, CacheConfig};
+use proptest::prelude::*;
+
+/// A reference model of *presence*: which line would a
+/// set-associative LRU cache of this geometry hold?
+struct RefCache {
+    sets: usize,
+    assoc: usize,
+    line: u64,
+    /// set -> (tag -> last-use stamp)
+    state: HashMap<usize, HashMap<u64, u64>>,
+    stamp: u64,
+}
+
+impl RefCache {
+    fn new(cfg: CacheConfig) -> RefCache {
+        RefCache {
+            sets: cfg.sets(),
+            assoc: cfg.assoc,
+            line: cfg.line_bytes as u64,
+            state: HashMap::new(),
+            stamp: 0,
+        }
+    }
+
+    /// Returns whether the access hits (line present), updating LRU.
+    fn access(&mut self, addr: u64) -> bool {
+        self.stamp += 1;
+        let lineno = addr / self.line;
+        let set = (lineno % self.sets as u64) as usize;
+        let tag = lineno / self.sets as u64;
+        let entry = self.state.entry(set).or_default();
+        let hit = entry.contains_key(&tag);
+        entry.insert(tag, self.stamp);
+        if entry.len() > self.assoc {
+            let victim = *entry.iter().min_by_key(|(_, &s)| s).expect("nonempty").0;
+            entry.remove(&victim);
+        }
+        hit
+    }
+}
+
+fn small_config() -> CacheConfig {
+    CacheConfig { size_bytes: 1024, assoc: 2, line_bytes: 32, miss_latency: 16 }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn presence_matches_the_reference_model(addrs in prop::collection::vec(0u64..4096, 1..300)) {
+        let mut cache = Cache::new(small_config());
+        let mut reference = RefCache::new(small_config());
+        // Space accesses far apart so every fill completes: presence is
+        // then exactly the reference LRU model.
+        let mut now = 0u64;
+        for &addr in &addrs {
+            let expect_hit = reference.access(addr);
+            let got = cache.access(addr, now, false);
+            match got {
+                Access::Hit => prop_assert!(expect_hit, "unexpected hit at {addr:#x}"),
+                Access::Miss { ready_at, merged } => {
+                    prop_assert!(!expect_hit, "unexpected miss at {addr:#x}");
+                    prop_assert!(!merged, "fills are spaced; no merges");
+                    prop_assert!(ready_at == now + 16);
+                }
+            }
+            now += 20; // beyond the fill latency
+        }
+        let stats = cache.stats();
+        prop_assert_eq!(stats.accesses, addrs.len() as u64);
+        prop_assert_eq!(stats.hits + stats.misses + stats.merged_misses, stats.accesses);
+    }
+
+    #[test]
+    fn ready_time_is_never_in_the_past(
+        addrs in prop::collection::vec(0u64..100_000, 1..200),
+        gaps in prop::collection::vec(0u64..4, 1..200),
+    ) {
+        let mut cache = Cache::new(small_config());
+        let mut now = 0u64;
+        for (&addr, &gap) in addrs.iter().zip(&gaps) {
+            if let Access::Miss { ready_at, .. } = cache.access(addr, now, false) {
+                prop_assert!(ready_at > now);
+                prop_assert!(ready_at <= now + 16);
+            }
+            now += gap;
+        }
+    }
+
+    #[test]
+    fn merged_misses_share_the_fill_time(line in 0u64..64) {
+        let mut cache = Cache::new(small_config());
+        let base = line * 32;
+        let first = cache.access(base, 0, false);
+        let Access::Miss { ready_at, .. } = first else {
+            return Err(TestCaseError::fail("cold access must miss"));
+        };
+        // Every access to the same line before the fill merges to the
+        // same completion time.
+        for t in 1..16u64 {
+            match cache.access(base + (t % 4) * 8, t, false) {
+                Access::Miss { ready_at: r, merged } => {
+                    prop_assert!(merged);
+                    prop_assert_eq!(r, ready_at);
+                }
+                Access::Hit => return Err(TestCaseError::fail("line is still filling")),
+            }
+        }
+        prop_assert!(matches!(cache.access(base, ready_at, false), Access::Hit));
+    }
+
+    #[test]
+    fn probe_never_mutates(addrs in prop::collection::vec(0u64..4096, 1..100)) {
+        let mut cache = Cache::new(small_config());
+        let mut now = 0;
+        for &addr in &addrs {
+            cache.access(addr, now, false);
+            now += 20;
+        }
+        let stats_before = cache.stats();
+        for &addr in &addrs {
+            let _ = cache.probe(addr, now);
+        }
+        prop_assert_eq!(cache.stats(), stats_before);
+    }
+}

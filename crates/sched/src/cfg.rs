@@ -1,0 +1,230 @@
+//! Control-flow-graph analysis over [`mcl_trace::Program`]s.
+
+use mcl_isa::Opcode;
+use mcl_trace::{BlockId, Program};
+
+use mcl_trace::RegName;
+
+/// Static successor/predecessor structure of a program.
+///
+/// Edge rules (matching the VM's dynamic semantics):
+///
+/// - a block with no terminator falls through to the next block;
+/// - `br` has a single edge to its target;
+/// - conditional branches have edges to the target and the fall-through;
+/// - `jsr` has edges to the callee *and* to its fall-through (the return
+///   point), so values live across a call stay live without flowing
+///   *through* the callee body;
+/// - `ret` has edges to every `jsr` fall-through in the program (any
+///   return point), a sound over-approximation;
+/// - `jmp` (computed goto) conservatively has edges to every block.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    succs: Vec<Vec<usize>>,
+    preds: Vec<Vec<usize>>,
+}
+
+impl Cfg {
+    /// Builds the CFG of `program`.
+    #[must_use]
+    pub fn of<R: RegName>(program: &Program<R>) -> Cfg {
+        let n = program.blocks.len();
+        // Return points: fall-throughs of every jsr.
+        let mut return_points: Vec<usize> = Vec::new();
+        for (bi, block) in program.blocks.iter().enumerate() {
+            if let Some(last) = block.instrs.last() {
+                if last.op == Opcode::Jsr && bi + 1 < n {
+                    return_points.push(bi + 1);
+                }
+            }
+        }
+
+        let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (bi, block) in program.blocks.iter().enumerate() {
+            let fallthrough = if bi + 1 < n { Some(bi + 1) } else { None };
+            let mut out = Vec::new();
+            match block.instrs.last() {
+                None => out.extend(fallthrough),
+                Some(last) => match last.op {
+                    Opcode::Br => out.extend(last.target.map(BlockId::index)),
+                    Opcode::Beq | Opcode::Bne | Opcode::Blt | Opcode::Bge => {
+                        out.extend(last.target.map(BlockId::index));
+                        out.extend(fallthrough);
+                    }
+                    Opcode::Jsr => {
+                        out.extend(last.target.map(BlockId::index));
+                        out.extend(fallthrough);
+                    }
+                    Opcode::Ret => out.extend(return_points.iter().copied()),
+                    Opcode::Jmp => out.extend(0..n),
+                    _ => out.extend(fallthrough),
+                },
+            }
+            out.sort_unstable();
+            out.dedup();
+            succs[bi] = out;
+        }
+
+        let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (bi, out) in succs.iter().enumerate() {
+            for &s in out {
+                preds[s].push(bi);
+            }
+        }
+        Cfg { succs, preds }
+    }
+
+    /// The successors of `block`.
+    #[must_use]
+    pub fn succs(&self, block: BlockId) -> &[usize] {
+        &self.succs[block.index()]
+    }
+
+    /// The predecessors of `block`.
+    #[must_use]
+    pub fn preds(&self, block: BlockId) -> &[usize] {
+        &self.preds[block.index()]
+    }
+
+    /// The number of blocks.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.succs.len()
+    }
+
+    /// Whether the CFG has no blocks.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.succs.is_empty()
+    }
+
+    /// A reverse postorder over blocks reachable from the entry — a good
+    /// iteration order for forward dataflow (its reverse suits backward
+    /// dataflow like liveness).
+    #[must_use]
+    pub fn reverse_postorder(&self) -> Vec<usize> {
+        let n = self.len();
+        let mut visited = vec![false; n];
+        let mut post = Vec::with_capacity(n);
+        // Iterative DFS with an explicit stack of (node, next-child).
+        let mut stack: Vec<(usize, usize)> = Vec::new();
+        if n > 0 {
+            visited[0] = true;
+            stack.push((0, 0));
+        }
+        while let Some(&mut (node, ref mut child)) = stack.last_mut() {
+            if *child < self.succs[node].len() {
+                let next = self.succs[node][*child];
+                *child += 1;
+                if !visited[next] {
+                    visited[next] = true;
+                    stack.push((next, 0));
+                }
+            } else {
+                post.push(node);
+                stack.pop();
+            }
+        }
+        post.reverse();
+        post
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcl_trace::{ProgramBuilder, Vreg};
+
+    #[test]
+    fn fallthrough_and_branch_edges() {
+        let mut b = ProgramBuilder::new("t");
+        let i = b.vreg_int("i");
+        let body = b.new_block("body");
+        let exit = b.new_block("exit");
+        b.lda(i, 3); // entry falls through to body
+        b.switch_to(body);
+        b.subq_imm(i, i, 1);
+        b.bne(i, body); // loop back-edge + fallthrough to exit
+        b.switch_to(exit);
+        b.lda(i, 0);
+        let p = b.finish().unwrap();
+        let cfg = Cfg::of(&p);
+        assert_eq!(cfg.succs(BlockId::new(0)), &[1]);
+        assert_eq!(cfg.succs(BlockId::new(1)), &[1, 2]);
+        assert_eq!(cfg.succs(BlockId::new(2)), &[] as &[usize]);
+        assert_eq!(cfg.preds(BlockId::new(1)), &[0, 1]);
+    }
+
+    #[test]
+    fn unconditional_branch_has_single_edge() {
+        let mut b = ProgramBuilder::<Vreg>::new("t");
+        let x = b.vreg_int("x");
+        let skipped = b.new_block("skipped");
+        let exit = b.new_block("exit");
+        b.br(exit);
+        b.switch_to(skipped);
+        b.lda(x, 1);
+        b.switch_to(exit);
+        b.lda(x, 2);
+        let p = b.finish().unwrap();
+        let cfg = Cfg::of(&p);
+        assert_eq!(cfg.succs(BlockId::new(0)), &[exit.index()]);
+        assert!(cfg.preds(skipped).is_empty());
+        assert_eq!(cfg.preds(exit), &[0, skipped.index()]);
+    }
+
+    #[test]
+    fn jsr_edges_include_return_point() {
+        let mut b = ProgramBuilder::new("t");
+        let link = b.vreg_int("link");
+        let after = b.new_block("after");
+        let callee = b.new_block("callee");
+        b.jsr(link, callee);
+        b.switch_to(callee);
+        b.ret(link);
+        let p = b.finish().unwrap();
+        let cfg = Cfg::of(&p);
+        // jsr: callee + fallthrough (after).
+        assert_eq!(cfg.succs(BlockId::new(0)), &[after.index(), callee.index()]);
+        // ret: every jsr fallthrough.
+        assert_eq!(cfg.succs(callee), &[after.index()]);
+    }
+
+    #[test]
+    fn reverse_postorder_starts_at_entry_and_respects_edges() {
+        let mut b = ProgramBuilder::new("t");
+        let i = b.vreg_int("i");
+        let body = b.new_block("body");
+        let exit = b.new_block("exit");
+        b.lda(i, 3);
+        b.switch_to(body);
+        b.subq_imm(i, i, 1);
+        b.bne(i, body);
+        b.switch_to(exit);
+        b.lda(i, 0);
+        let p = b.finish().unwrap();
+        let cfg = Cfg::of(&p);
+        let rpo = cfg.reverse_postorder();
+        assert_eq!(rpo[0], 0);
+        let pos = |b: usize| rpo.iter().position(|&x| x == b).unwrap();
+        assert!(pos(0) < pos(1));
+        assert!(pos(1) < pos(2));
+    }
+
+    #[test]
+    fn unreachable_blocks_are_absent_from_rpo() {
+        let mut b = ProgramBuilder::<Vreg>::new("t");
+        let halt = b.vreg_int("halt");
+        let exit = b.new_block("exit");
+        let dead = b.new_block("dead");
+        b.br(exit);
+        b.switch_to(exit);
+        b.ret(halt); // ends the program; `dead` is unreachable
+        b.switch_to(dead);
+        b.lda(halt, 1);
+        let p = b.finish().unwrap();
+        let cfg = Cfg::of(&p);
+        let rpo = cfg.reverse_postorder();
+        assert!(!rpo.contains(&dead.index()));
+    }
+}

@@ -1,0 +1,216 @@
+//! Interference graphs for register allocation.
+
+use std::collections::{HashMap, HashSet};
+
+use mcl_trace::{BlockId, Program, RegName};
+
+use crate::cfg::Cfg;
+use crate::liveness::Liveness;
+
+/// An interference graph over a program's registers: nodes are registers
+/// (live ranges), edges connect pairs that are simultaneously live and
+/// therefore cannot share a colour.
+///
+/// Built by walking each block backwards from its live-out set, the
+/// classic construction from Briggs et al. A definition interferes with
+/// everything live across it (except itself).
+#[derive(Debug, Clone, Default)]
+pub struct InterferenceGraph<R> {
+    adj: HashMap<R, HashSet<R>>,
+}
+
+impl<R: RegName> InterferenceGraph<R> {
+    /// Builds the interference graph of `program`.
+    ///
+    /// Registers in [`Program::reg_init`] are live from program entry, so
+    /// they are treated as defined at entry (they interfere with whatever
+    /// is live into block 0).
+    #[must_use]
+    pub fn of(program: &Program<R>, cfg: &Cfg, liveness: &Liveness<R>) -> InterferenceGraph<R> {
+        let mut graph = InterferenceGraph { adj: HashMap::new() };
+        // Ensure every named register is a node even if interference-free.
+        for block in &program.blocks {
+            for instr in &block.instrs {
+                for r in instr.named_regs() {
+                    graph.adj.entry(r).or_default();
+                }
+            }
+        }
+        for (reg, _) in &program.reg_init {
+            graph.adj.entry(*reg).or_default();
+        }
+
+        for (bi, block) in program.blocks.iter().enumerate() {
+            let mut live: HashSet<R> = liveness.live_out(BlockId::new(bi)).clone();
+            for instr in block.instrs.iter().rev() {
+                if let Some(dest) = instr.writes() {
+                    for &other in &live {
+                        if other != dest {
+                            graph.add_edge(dest, other);
+                        }
+                    }
+                    live.remove(&dest);
+                }
+                for src in instr.reads() {
+                    live.insert(src);
+                }
+            }
+        }
+
+        // reg_init values are all defined simultaneously at entry: they
+        // interfere with each other if live into block 0, and with
+        // everything live at entry.
+        let entry_live: Vec<R> = if program.blocks.is_empty() {
+            Vec::new()
+        } else {
+            liveness.live_in(BlockId::new(0)).iter().copied().collect()
+        };
+        let init_regs: Vec<R> = program.reg_init.iter().map(|&(r, _)| r).collect();
+        for &r in &init_regs {
+            if !entry_live.contains(&r) {
+                continue;
+            }
+            for &other in &entry_live {
+                if other != r {
+                    graph.add_edge(r, other);
+                }
+            }
+        }
+        let _ = cfg;
+        graph
+    }
+
+    /// Adds an undirected edge.
+    pub fn add_edge(&mut self, a: R, b: R) {
+        if a == b {
+            return;
+        }
+        self.adj.entry(a).or_default().insert(b);
+        self.adj.entry(b).or_default().insert(a);
+    }
+
+    /// Whether `a` and `b` interfere.
+    #[must_use]
+    pub fn interferes(&self, a: R, b: R) -> bool {
+        self.adj.get(&a).is_some_and(|s| s.contains(&b))
+    }
+
+    /// The neighbours of `r`.
+    #[must_use]
+    pub fn neighbors(&self, r: R) -> Option<&HashSet<R>> {
+        self.adj.get(&r)
+    }
+
+    /// The degree of `r` (0 for unknown nodes).
+    #[must_use]
+    pub fn degree(&self, r: R) -> usize {
+        self.adj.get(&r).map_or(0, HashSet::len)
+    }
+
+    /// Iterates over all nodes.
+    pub fn nodes(&self) -> impl Iterator<Item = R> + '_ {
+        self.adj.keys().copied()
+    }
+
+    /// The number of nodes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Whether the graph is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.adj.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcl_trace::ProgramBuilder;
+
+    #[test]
+    fn sequential_temporaries_do_not_interfere() {
+        let mut b = ProgramBuilder::new("t");
+        let x = b.vreg_int("x");
+        let y = b.vreg_int("y");
+        let out = b.vreg_int("out");
+        b.lda(x, 1);
+        b.addq_imm(out, x, 1); // x dies here
+        b.lda(y, 2); // y born after x's death
+        b.addq(out, out, y);
+        let p = b.finish().unwrap();
+        let cfg = Cfg::of(&p);
+        let live = Liveness::of(&p, &cfg);
+        let g = InterferenceGraph::of(&p, &cfg, &live);
+        assert!(!g.interferes(x, y));
+        assert!(g.interferes(x, out) || g.interferes(out, y));
+    }
+
+    #[test]
+    fn simultaneously_live_values_interfere() {
+        let mut b = ProgramBuilder::new("t");
+        let x = b.vreg_int("x");
+        let y = b.vreg_int("y");
+        let z = b.vreg_int("z");
+        b.lda(x, 1);
+        b.lda(y, 2);
+        b.addq(z, x, y); // x and y both live here
+        let p = b.finish().unwrap();
+        let cfg = Cfg::of(&p);
+        let live = Liveness::of(&p, &cfg);
+        let g = InterferenceGraph::of(&p, &cfg, &live);
+        assert!(g.interferes(x, y));
+        assert!(!g.interferes(z, x), "z is born as x dies");
+    }
+
+    #[test]
+    fn loop_carried_values_interfere() {
+        let mut b = ProgramBuilder::new("t");
+        let i = b.vreg_int("i");
+        let sum = b.vreg_int("sum");
+        let body = b.new_block("body");
+        b.lda(i, 3);
+        b.lda(sum, 0);
+        b.switch_to(body);
+        b.addq(sum, sum, i);
+        b.subq_imm(i, i, 1);
+        b.bne(i, body);
+        let p = b.finish().unwrap();
+        let cfg = Cfg::of(&p);
+        let live = Liveness::of(&p, &cfg);
+        let g = InterferenceGraph::of(&p, &cfg, &live);
+        assert!(g.interferes(i, sum));
+        assert_eq!(g.degree(i), 1);
+    }
+
+    #[test]
+    fn reg_init_values_interfere_with_each_other_when_used() {
+        let mut b = ProgramBuilder::new("t");
+        let a = b.vreg_int("a");
+        let c = b.vreg_int("c");
+        let out = b.vreg_int("out");
+        b.reg_init(a, 10);
+        b.reg_init(c, 20);
+        b.addq(out, a, c);
+        let p = b.finish().unwrap();
+        let cfg = Cfg::of(&p);
+        let live = Liveness::of(&p, &cfg);
+        let g = InterferenceGraph::of(&p, &cfg, &live);
+        assert!(g.interferes(a, c));
+    }
+
+    #[test]
+    fn every_named_register_is_a_node() {
+        let mut b = ProgramBuilder::new("t");
+        let solo = b.vreg_int("solo");
+        b.lda(solo, 1);
+        let p = b.finish().unwrap();
+        let cfg = Cfg::of(&p);
+        let live = Liveness::of(&p, &cfg);
+        let g = InterferenceGraph::of(&p, &cfg, &live);
+        assert_eq!(g.len(), 1);
+        assert_eq!(g.degree(solo), 0);
+    }
+}

@@ -1,0 +1,69 @@
+//! Static instruction scheduling for the multicluster architecture.
+//!
+//! This crate implements Section 3 of the paper — the compilation
+//! pipeline that takes an intermediate-language program (whose
+//! instructions name *live ranges*) and produces a machine program whose
+//! architectural-register assignment controls how the multicluster
+//! hardware distributes instructions:
+//!
+//! 1. code optimisation — assumed already done (the IL arrives
+//!    optimised), as in the paper;
+//! 2. *code scheduling* — per-basic-block list scheduling
+//!    ([`listsched`]), establishing the fetch order the partitioner
+//!    analyses (prepass scheduling, Section 3);
+//! 3. global-register designation — stack-/global-pointer-like live
+//!    ranges become global-register candidates (carried on
+//!    [`mcl_trace::Program::global_candidates`]);
+//! 4. *live-range partitioning* — the **local scheduler** of Section 3.5
+//!    ([`partition`]): per-block bottom-up traversal in decreasing
+//!    profile order, balance-threshold test, majority-vote preferred
+//!    cluster;
+//! 5. *register allocation* — Briggs-style optimistic graph colouring
+//!    ([`alloc`]) with the paper's spill policy: spill "first to a local
+//!    register in the other cluster and, if no register is available,
+//!    then to memory";
+//! 6. final machine-level schedule (spill code in place).
+//!
+//! The whole pipeline is driven through [`SchedulePipeline`]. The
+//! cluster-blind [`SchedulerKind::Naive`] baseline models the *native
+//! binary* of the paper's Table 2 ("none" column).
+//!
+//! # Example
+//!
+//! ```
+//! use mcl_isa::assign::RegisterAssignment;
+//! use mcl_sched::{SchedulePipeline, SchedulerKind};
+//! use mcl_trace::ProgramBuilder;
+//!
+//! let mut b = ProgramBuilder::new("demo");
+//! let x = b.vreg_int("x");
+//! let y = b.vreg_int("y");
+//! b.lda(x, 2);
+//! b.lda(y, 3);
+//! b.mulq(x, x, y);
+//! let il = b.finish()?;
+//!
+//! let assign = RegisterAssignment::even_odd_with_default_globals(2);
+//! let scheduled = SchedulePipeline::new(SchedulerKind::Local, &assign).run(&il)?;
+//! assert_eq!(scheduled.program.static_len(), 3);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod alloc;
+pub mod cfg;
+pub mod interference;
+pub mod listsched;
+pub mod liveness;
+pub mod partition;
+pub mod pipeline;
+pub mod unroll;
+
+pub use alloc::{Allocation, AllocatorKind, SpillStats};
+pub use cfg::Cfg;
+pub use interference::InterferenceGraph;
+pub use liveness::Liveness;
+pub use partition::{LocalScheduler, Partition, PartitionConfig};
+pub use unroll::unroll_self_loops;
+pub use pipeline::{
+    ScheduleError, ScheduleOptions, SchedulePipeline, ScheduleStats, Scheduled, SchedulerKind,
+};

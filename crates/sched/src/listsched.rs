@@ -1,0 +1,250 @@
+//! Prepass code scheduling (list scheduling per basic block).
+//!
+//! The paper's methodology orders instructions into a code schedule
+//! *before* live-range partitioning ("prepass scheduling must be used",
+//! Section 3), because the partitioner estimates run-time distribution
+//! balance from the fetch order. This module provides a classic
+//! dependence-height list scheduler operating within basic blocks.
+
+use std::collections::HashMap;
+
+use mcl_isa::Latencies;
+use mcl_trace::{Instr, Program, RegName};
+
+/// Reorders every basic block of `program` by list scheduling and
+/// returns the rescheduled program.
+///
+/// Constraints preserved:
+///
+/// - data dependences (read-after-write, write-after-read,
+///   write-after-write) on registers;
+/// - memory order: stores are ordered with respect to every other memory
+///   operation (loads may reorder among themselves);
+/// - the block terminator stays last.
+///
+/// Priority is the dependence height (critical-path length to the end of
+/// the block under the Table 1 latencies), with the original program
+/// order breaking ties, so the result is deterministic.
+#[must_use]
+pub fn list_schedule<R: RegName>(program: &Program<R>, latencies: &Latencies) -> Program<R> {
+    let mut out = program.clone();
+    for block in &mut out.blocks {
+        block.instrs = schedule_block(&block.instrs, latencies);
+    }
+    out
+}
+
+fn schedule_block<R: RegName>(instrs: &[Instr<R>], latencies: &Latencies) -> Vec<Instr<R>> {
+    let n = instrs.len();
+    if n < 2 {
+        return instrs.to_vec();
+    }
+    // The terminator (if any) is pinned; schedule the body.
+    let body_len = if instrs[n - 1].is_terminator() { n - 1 } else { n };
+
+    // Build the dependence graph over body instructions. succs[i] holds
+    // (j, latency) edges i -> j meaning j must follow i.
+    let mut succs: Vec<Vec<(usize, u32)>> = vec![Vec::new(); body_len];
+    let mut preds: Vec<usize> = vec![0; body_len];
+    let mut last_def: HashMap<R, usize> = HashMap::new();
+    let mut last_uses: HashMap<R, Vec<usize>> = HashMap::new();
+    let mut last_store: Option<usize> = None;
+    let mut loads_since_store: Vec<usize> = Vec::new();
+
+    let add_edge = |succs: &mut Vec<Vec<(usize, u32)>>,
+                        preds: &mut Vec<usize>,
+                        from: usize,
+                        to: usize,
+                        lat: u32| {
+        if from != to && !succs[from].iter().any(|&(j, _)| j == to) {
+            succs[from].push((to, lat));
+            preds[to] += 1;
+        }
+    };
+
+    for (i, instr) in instrs[..body_len].iter().enumerate() {
+        let lat = latencies.of(instr.op);
+        // RAW
+        for src in instr.reads() {
+            if let Some(&d) = last_def.get(&src) {
+                let dlat = latencies.of(instrs[d].op);
+                add_edge(&mut succs, &mut preds, d, i, dlat);
+            }
+            last_uses.entry(src).or_default().push(i);
+        }
+        if let Some(dest) = instr.writes() {
+            // WAW
+            if let Some(&d) = last_def.get(&dest) {
+                add_edge(&mut succs, &mut preds, d, i, 1);
+            }
+            // WAR
+            if let Some(users) = last_uses.get(&dest) {
+                for &u in users {
+                    add_edge(&mut succs, &mut preds, u, i, 0);
+                }
+            }
+            last_def.insert(dest, i);
+            last_uses.remove(&dest);
+        }
+        // Memory order.
+        if instr.op.is_mem() {
+            let is_store = matches!(instr.class(), mcl_isa::InstrClass::Store);
+            if is_store {
+                if let Some(s) = last_store {
+                    add_edge(&mut succs, &mut preds, s, i, 1);
+                }
+                for &l in &loads_since_store {
+                    add_edge(&mut succs, &mut preds, l, i, 0);
+                }
+                last_store = Some(i);
+                loads_since_store.clear();
+            } else {
+                if let Some(s) = last_store {
+                    add_edge(&mut succs, &mut preds, s, i, 1);
+                }
+                loads_since_store.push(i);
+            }
+        }
+        let _ = lat;
+    }
+
+    // Dependence height (critical path to block end).
+    let mut height = vec![0u32; body_len];
+    for i in (0..body_len).rev() {
+        let own = latencies.of(instrs[i].op);
+        let mut h = own;
+        for &(j, lat) in &succs[i] {
+            h = h.max(lat.max(1) + height[j]);
+        }
+        height[i] = h;
+    }
+
+    // Greedy emission: at each step pick the ready instruction with the
+    // greatest height; ties go to original order.
+    let mut ready: Vec<usize> = (0..body_len).filter(|&i| preds[i] == 0).collect();
+    let mut emitted = Vec::with_capacity(n);
+    while !ready.is_empty() {
+        let pick_pos = (0..ready.len())
+            .min_by_key(|&p| (std::cmp::Reverse(height[ready[p]]), ready[p]))
+            .expect("ready nonempty");
+        let i = ready.swap_remove(pick_pos);
+        emitted.push(instrs[i].clone());
+        for &(j, _) in &succs[i] {
+            preds[j] -= 1;
+            if preds[j] == 0 {
+                ready.push(j);
+            }
+        }
+    }
+    debug_assert_eq!(emitted.len(), body_len, "scheduling must emit every instruction");
+    if body_len < n {
+        emitted.push(instrs[n - 1].clone());
+    }
+    emitted
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcl_trace::{ProgramBuilder, Vm};
+
+    #[test]
+    fn schedule_preserves_semantics() {
+        let mut b = ProgramBuilder::new("t");
+        let x = b.vreg_int("x");
+        let y = b.vreg_int("y");
+        let z = b.vreg_int("z");
+        let base = b.vreg_int("base");
+        b.lda(base, 0x4000);
+        b.lda(x, 5);
+        b.mulq_imm(y, x, 3);
+        b.stq(base, 0, y);
+        b.lda(z, 7); // independent; may move up
+        b.addq(y, y, z);
+        b.stq(base, 8, y);
+        let p = b.finish().unwrap();
+        let scheduled = list_schedule(&p, &Latencies::table1());
+
+        let mut vm1 = Vm::new(&p);
+        vm1.run_to_end().unwrap();
+        let mut vm2 = Vm::new(&scheduled);
+        vm2.run_to_end().unwrap();
+        assert_eq!(vm1.reg(y), vm2.reg(y));
+        assert_eq!(vm1.memory().read(0x4000), vm2.memory().read(0x4000));
+        assert_eq!(vm1.memory().read(0x4008), vm2.memory().read(0x4008));
+    }
+
+    #[test]
+    fn long_latency_chains_are_hoisted() {
+        let mut b = ProgramBuilder::new("t");
+        let a = b.vreg_int("a");
+        let m = b.vreg_int("m");
+        let t1 = b.vreg_int("t1");
+        let t2 = b.vreg_int("t2");
+        let out = b.vreg_int("out");
+        b.lda(a, 3);
+        // Short independent chain first in program order...
+        b.addq_imm(t1, a, 1);
+        b.addq_imm(t2, t1, 1);
+        // ...then a long multiply chain whose height should hoist it.
+        b.mulq(m, a, a);
+        b.mulq(m, m, m);
+        b.addq(out, m, t2);
+        let p = b.finish().unwrap();
+        let s = list_schedule(&p, &Latencies::table1());
+        let ops: Vec<_> = s.blocks[0].instrs.iter().map(|i| i.op).collect();
+        // The first multiply should now precede the first short add.
+        let first_mul = ops.iter().position(|&o| o == mcl_isa::Opcode::Mulq).unwrap();
+        assert!(first_mul <= 1, "multiply chain should be hoisted, got {ops:?}");
+        // Semantics preserved.
+        let mut vm1 = Vm::new(&p);
+        vm1.run_to_end().unwrap();
+        let mut vm2 = Vm::new(&s);
+        vm2.run_to_end().unwrap();
+        assert_eq!(vm1.reg(out), vm2.reg(out));
+    }
+
+    #[test]
+    fn terminator_stays_last() {
+        let mut b = ProgramBuilder::new("t");
+        let i = b.vreg_int("i");
+        let body = b.new_block("body");
+        b.lda(i, 2);
+        b.switch_to(body);
+        b.subq_imm(i, i, 1);
+        b.bne(i, body);
+        let p = b.finish().unwrap();
+        let s = list_schedule(&p, &Latencies::table1());
+        assert!(s.blocks[1].instrs.last().unwrap().is_terminator());
+        assert!(s.validate().is_ok());
+    }
+
+    #[test]
+    fn stores_keep_their_order() {
+        let mut b = ProgramBuilder::new("t");
+        let base = b.vreg_int("base");
+        let x = b.vreg_int("x");
+        b.lda(base, 0x4000);
+        b.lda(x, 1);
+        b.stq(base, 0, x);
+        b.lda(x, 2);
+        b.stq(base, 0, x); // must remain after the first store
+        let p = b.finish().unwrap();
+        let s = list_schedule(&p, &Latencies::table1());
+        let mut vm = Vm::new(&s);
+        vm.run_to_end().unwrap();
+        assert_eq!(vm.memory().read(0x4000), 2);
+    }
+
+    #[test]
+    fn empty_and_single_instruction_blocks_pass_through() {
+        let mut b = ProgramBuilder::new("t");
+        let x = b.vreg_int("x");
+        let next = b.new_block("next");
+        b.lda(x, 1);
+        b.switch_to(next);
+        let p = b.finish().unwrap();
+        let s = list_schedule(&p, &Latencies::table1());
+        assert_eq!(s, p);
+    }
+}

@@ -1,0 +1,158 @@
+//! Live-variable analysis.
+
+use std::collections::HashSet;
+
+use mcl_trace::{BlockId, Program, RegName};
+
+use crate::cfg::Cfg;
+
+/// Per-block liveness: which registers are live on entry to and exit
+/// from each basic block.
+///
+/// Live ranges are the currency of the paper's schedulers; liveness here
+/// feeds the interference graph used by the register allocator.
+#[derive(Debug, Clone)]
+pub struct Liveness<R> {
+    live_in: Vec<HashSet<R>>,
+    live_out: Vec<HashSet<R>>,
+}
+
+impl<R: RegName> Liveness<R> {
+    /// Computes liveness for `program` using `cfg` (standard backward
+    /// iterative dataflow to a fixpoint).
+    ///
+    /// Registers listed in [`Program::reg_init`] are treated as defined
+    /// before entry (they do not extend liveness), and nothing is live
+    /// out of program exit.
+    #[must_use]
+    pub fn of(program: &Program<R>, cfg: &Cfg) -> Liveness<R> {
+        let n = program.blocks.len();
+        // use/def per block.
+        let mut uses: Vec<HashSet<R>> = vec![HashSet::new(); n];
+        let mut defs: Vec<HashSet<R>> = vec![HashSet::new(); n];
+        for (bi, block) in program.blocks.iter().enumerate() {
+            for instr in &block.instrs {
+                for src in instr.reads() {
+                    if !defs[bi].contains(&src) {
+                        uses[bi].insert(src);
+                    }
+                }
+                if let Some(dest) = instr.writes() {
+                    defs[bi].insert(dest);
+                }
+            }
+        }
+
+        let mut live_in: Vec<HashSet<R>> = vec![HashSet::new(); n];
+        let mut live_out: Vec<HashSet<R>> = vec![HashSet::new(); n];
+        // Iterate in postorder (reverse of RPO) for fast convergence,
+        // then loop until stable (handles cycles).
+        let order: Vec<usize> = cfg.reverse_postorder().into_iter().rev().collect();
+        // Fall back to all blocks if some are unreachable (they still
+        // deserve consistent, if trivial, results).
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &bi in &order {
+                let mut out: HashSet<R> = HashSet::new();
+                for &s in cfg.succs(BlockId::new(bi)) {
+                    out.extend(live_in[s].iter().copied());
+                }
+                let mut inn: HashSet<R> = uses[bi].clone();
+                for &r in &out {
+                    if !defs[bi].contains(&r) {
+                        inn.insert(r);
+                    }
+                }
+                if out != live_out[bi] || inn != live_in[bi] {
+                    live_out[bi] = out;
+                    live_in[bi] = inn;
+                    changed = true;
+                }
+            }
+        }
+        Liveness { live_in, live_out }
+    }
+
+    /// Registers live on entry to `block`.
+    #[must_use]
+    pub fn live_in(&self, block: BlockId) -> &HashSet<R> {
+        &self.live_in[block.index()]
+    }
+
+    /// Registers live on exit from `block`.
+    #[must_use]
+    pub fn live_out(&self, block: BlockId) -> &HashSet<R> {
+        &self.live_out[block.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcl_trace::ProgramBuilder;
+
+    #[test]
+    fn loop_carried_value_is_live_around_the_loop() {
+        let mut b = ProgramBuilder::new("t");
+        let i = b.vreg_int("i");
+        let sum = b.vreg_int("sum");
+        let body = b.new_block("body");
+        let exit = b.new_block("exit");
+        b.lda(i, 3);
+        b.lda(sum, 0);
+        b.switch_to(body);
+        b.addq(sum, sum, i);
+        b.subq_imm(i, i, 1);
+        b.bne(i, body);
+        b.switch_to(exit);
+        let out = b.vreg_int("out");
+        b.addq_imm(out, sum, 0);
+        let p = b.finish().unwrap();
+        let cfg = Cfg::of(&p);
+        let live = Liveness::of(&p, &cfg);
+
+        // Both i and sum are live into and out of the loop body.
+        assert!(live.live_in(body).contains(&i));
+        assert!(live.live_in(body).contains(&sum));
+        assert!(live.live_out(body).contains(&i));
+        assert!(live.live_out(body).contains(&sum));
+        // Only sum survives into the exit block.
+        assert!(live.live_in(exit).contains(&sum));
+        assert!(!live.live_in(exit).contains(&i));
+        // Nothing is live at program exit.
+        assert!(live.live_out(exit).is_empty());
+    }
+
+    #[test]
+    fn dead_definition_is_not_live() {
+        let mut b = ProgramBuilder::new("t");
+        let x = b.vreg_int("x");
+        let y = b.vreg_int("y");
+        let next = b.new_block("next");
+        b.lda(x, 1);
+        b.lda(y, 2); // dead: overwritten in next before use
+        b.switch_to(next);
+        b.lda(y, 3);
+        b.addq(x, x, y);
+        let p = b.finish().unwrap();
+        let cfg = Cfg::of(&p);
+        let live = Liveness::of(&p, &cfg);
+        assert!(live.live_in(next).contains(&x));
+        assert!(!live.live_in(next).contains(&y), "y is redefined before use");
+    }
+
+    #[test]
+    fn branch_condition_is_a_use() {
+        let mut b = ProgramBuilder::new("t");
+        let c = b.vreg_int("c");
+        let t = b.new_block("t");
+        b.reg_init(c, 1);
+        b.bne(c, t);
+        b.switch_to(t);
+        let p = b.finish().unwrap();
+        let cfg = Cfg::of(&p);
+        let live = Liveness::of(&p, &cfg);
+        assert!(live.live_in(BlockId::new(0)).contains(&c));
+    }
+}

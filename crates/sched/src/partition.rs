@@ -1,0 +1,546 @@
+//! Live-range partitioning: the paper's **local scheduler** (Section 3.5).
+//!
+//! The local scheduler decides, for each live range, the cluster it
+//! should be assigned to, "so as to ensure the instruction-distribution
+//! at run time is balanced in the vicinity of every instruction that
+//! reads or writes" it:
+//!
+//! 1. Basic blocks are sorted by profiled execution count (descending),
+//!    ties broken by static instruction count (descending).
+//! 2. Each block is traversed **bottom-up, in order**; when an
+//!    instruction writes an unassigned live range, a cluster is chosen
+//!    for that range.
+//! 3. If the estimated instruction distribution around the instruction is
+//!    *unbalanced* (more than a compile-time-constant number of
+//!    instructions distributed to one cluster than the other), the range
+//!    goes to the under-subscribed cluster.
+//! 4. Otherwise the range goes to the cluster *preferred by the majority*
+//!    of the instructions that read or write it — a cluster is preferred
+//!    by an instruction if the assignment lets that instruction be
+//!    distributed to a single cluster.
+//!
+//! Live ranges designated global-register candidates (the stack/global
+//! pointers; [`mcl_trace::Program::global_candidates`]) are excluded from
+//! partitioning.
+//!
+//! The paper estimates imbalance "on a per-basic-block basis"; this
+//! implementation concretises the "vicinity of an instruction" as one
+//! full execution of its basic block: at the moment an instruction of a
+//! loop body is distributed, the instructions *below* it were distributed
+//! on the previous iteration and the instructions *above* it on the
+//! current one, so the run-time imbalance around it is the block's net
+//! signed distribution imbalance under the current partial assignment.
+//! Instructions whose distribution is not yet determined contribute half
+//! weight to each cluster.
+
+use std::collections::{HashMap, HashSet};
+
+use mcl_isa::ClusterId;
+use mcl_trace::{BlockId, Instr, Profile, Program, Vreg};
+
+use serde::{Deserialize, Serialize};
+
+/// Tuning knobs for the local scheduler.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PartitionConfig {
+    /// Number of clusters (the imbalance heuristic supports exactly 2,
+    /// matching the paper's evaluation).
+    pub clusters: u8,
+    /// The compile-time imbalance constant of Section 3.5: the
+    /// distribution is considered unbalanced around an instruction when
+    /// the estimated signed cluster difference exceeds this value.
+    pub imbalance_threshold: f64,
+}
+
+impl Default for PartitionConfig {
+    fn default() -> PartitionConfig {
+        PartitionConfig { clusters: 2, imbalance_threshold: 4.0 }
+    }
+}
+
+/// The result of live-range partitioning: a total assignment of live
+/// ranges to clusters (global candidates excepted).
+#[derive(Debug, Clone, Default)]
+pub struct Partition {
+    cluster_of: HashMap<Vreg, ClusterId>,
+    globals: HashSet<Vreg>,
+    /// Live ranges in the order the partitioner assigned them (useful
+    /// for tracing the algorithm; see the paper's Figure 6 walkthrough).
+    pub assignment_order: Vec<Vreg>,
+}
+
+impl Partition {
+    /// The cluster of a local live range; `None` for global candidates
+    /// (which live in every cluster) and for unknown registers.
+    #[must_use]
+    pub fn cluster_of(&self, v: Vreg) -> Option<ClusterId> {
+        self.cluster_of.get(&v).copied()
+    }
+
+    /// Whether `v` is a global-register candidate.
+    #[must_use]
+    pub fn is_global(&self, v: Vreg) -> bool {
+        self.globals.contains(&v)
+    }
+
+    /// The global-register candidates.
+    #[must_use]
+    pub fn globals(&self) -> &HashSet<Vreg> {
+        &self.globals
+    }
+
+    /// Reassigns a live range to a different cluster (used by the
+    /// register allocator's spill-to-other-cluster policy).
+    pub fn reassign(&mut self, v: Vreg, cluster: ClusterId) {
+        self.cluster_of.insert(v, cluster);
+    }
+
+    /// Demotes a global candidate to a local live range on `cluster`
+    /// (used when no global architectural register is available).
+    pub fn demote_global(&mut self, v: Vreg, cluster: ClusterId) {
+        self.globals.remove(&v);
+        self.cluster_of.insert(v, cluster);
+    }
+
+    /// The number of live ranges assigned to each cluster.
+    #[must_use]
+    pub fn counts(&self, clusters: u8) -> Vec<usize> {
+        let mut counts = vec![0usize; usize::from(clusters)];
+        for c in self.cluster_of.values() {
+            counts[c.index()] += 1;
+        }
+        counts
+    }
+
+    /// A partition that puts every live range of `program` on cluster 0
+    /// (the single-cluster / non-partitioned configuration).
+    #[must_use]
+    pub fn single_cluster(program: &Program<Vreg>) -> Partition {
+        let mut part = Partition::default();
+        part.globals.extend(program.global_candidates.iter().copied());
+        for v in named_vregs(program) {
+            if !part.globals.contains(&v) {
+                part.cluster_of.insert(v, ClusterId::C0);
+            }
+        }
+        part
+    }
+
+    /// The historic integer/floating-point split: every integer live
+    /// range on cluster 0, every floating-point live range on cluster 1
+    /// (the organisation of early partitioned datapaths). A baseline that
+    /// avoids *operand* transfers inside each bank but concentrates each
+    /// bank's work on one cluster.
+    #[must_use]
+    pub fn by_bank(program: &Program<Vreg>) -> Partition {
+        use mcl_isa::RegBank;
+        let mut part = Partition::default();
+        part.globals.extend(program.global_candidates.iter().copied());
+        for v in named_vregs(program) {
+            if !part.globals.contains(&v) {
+                let cluster = match mcl_trace::RegName::bank(v) {
+                    RegBank::Int => ClusterId::C0,
+                    RegBank::Fp => ClusterId::C1,
+                };
+                part.cluster_of.insert(v, cluster);
+            }
+        }
+        part
+    }
+
+    /// A cluster-blind partition that deals live ranges round-robin
+    /// across clusters in storage order — a baseline that balances
+    /// *counts* but ignores the instruction stream entirely.
+    #[must_use]
+    pub fn round_robin(program: &Program<Vreg>, clusters: u8) -> Partition {
+        let mut part = Partition::default();
+        part.globals.extend(program.global_candidates.iter().copied());
+        let mut vregs: Vec<Vreg> = named_vregs(program)
+            .into_iter()
+            .filter(|v| !part.globals.contains(v))
+            .collect();
+        vregs.sort();
+        for (i, v) in vregs.into_iter().enumerate() {
+            part.cluster_of.insert(v, ClusterId::new((i % usize::from(clusters)) as u8));
+        }
+        part
+    }
+}
+
+/// The local scheduler of Section 3.5.
+#[derive(Debug, Clone, Default)]
+pub struct LocalScheduler {
+    config: PartitionConfig,
+}
+
+impl LocalScheduler {
+    /// Creates a local scheduler with the given configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration requests other than two clusters (the
+    /// balance heuristic, like the paper's evaluation, is two-cluster).
+    #[must_use]
+    pub fn new(config: PartitionConfig) -> LocalScheduler {
+        assert_eq!(config.clusters, 2, "the local scheduler supports two clusters");
+        LocalScheduler { config }
+    }
+
+    /// Partitions the live ranges of `program` using `profile` as the
+    /// per-block execution estimates.
+    #[must_use]
+    pub fn partition(&self, program: &Program<Vreg>, profile: &Profile) -> Partition {
+        let mut part = Partition::default();
+        part.globals.extend(program.global_candidates.iter().copied());
+
+        // Index: which instructions read or write each live range.
+        let mut users: HashMap<Vreg, Vec<(usize, usize)>> = HashMap::new();
+        for (bi, block) in program.blocks.iter().enumerate() {
+            for (ii, instr) in block.instrs.iter().enumerate() {
+                for r in instr.named_regs() {
+                    users.entry(r).or_default().push((bi, ii));
+                }
+            }
+        }
+
+        // Sort blocks: execution estimate descending, then static size
+        // descending, then index (determinism).
+        let mut order: Vec<usize> = (0..program.blocks.len()).collect();
+        order.sort_by_key(|&bi| {
+            (
+                std::cmp::Reverse(profile.count(BlockId::new(bi))),
+                std::cmp::Reverse(program.blocks[bi].instrs.len()),
+                bi,
+            )
+        });
+
+        for bi in order {
+            let block = &program.blocks[bi];
+            // Prefix signed imbalance (cluster 0 minus cluster 1) in
+            // fetch order; recomputed lazily as assignments change.
+            for ii in (0..block.instrs.len()).rev() {
+                let instr = &block.instrs[ii];
+                let Some(dest) = instr.writes() else { continue };
+                if part.globals.contains(&dest) || part.cluster_of.contains_key(&dest) {
+                    continue;
+                }
+                let imbalance = self.block_imbalance(block, &part);
+                let cluster = if imbalance.abs() > self.config.imbalance_threshold {
+                    // Unbalanced: feed the under-subscribed cluster.
+                    if imbalance > 0.0 {
+                        ClusterId::C1
+                    } else {
+                        ClusterId::C0
+                    }
+                } else {
+                    self.majority_vote(program, &users, dest, &part)
+                };
+                part.cluster_of.insert(dest, cluster);
+                part.assignment_order.push(dest);
+            }
+        }
+
+        // Live ranges never written by an instruction (e.g. reg_init
+        // inputs): assign by majority vote in deterministic order.
+        let mut leftovers: Vec<Vreg> = named_vregs(program)
+            .into_iter()
+            .filter(|v| !part.globals.contains(v) && !part.cluster_of.contains_key(v))
+            .collect();
+        leftovers.sort();
+        for v in leftovers {
+            let cluster = self.majority_vote(program, &users, v, &part);
+            part.cluster_of.insert(v, cluster);
+            part.assignment_order.push(v);
+        }
+        part
+    }
+
+    /// The estimated signed distribution imbalance (cluster 0 minus
+    /// cluster 1) in the run-time vicinity of an instruction of `block`:
+    /// one full execution of the block under the current partial
+    /// assignment (see the module docs for the rationale).
+    fn block_imbalance(&self, block: &mcl_trace::Block<Vreg>, part: &Partition) -> f64 {
+        let mut delta = 0.0;
+        for instr in &block.instrs {
+            let (w0, w1) = distribution_weights(instr, part);
+            delta += w0 - w1;
+        }
+        delta
+    }
+
+    /// The cluster preferred by the majority of the instructions that
+    /// read or write `v`: an instruction prefers cluster `c` when
+    /// assigning `v` to `c` lets it be distributed to `c` alone.
+    fn majority_vote(
+        &self,
+        program: &Program<Vreg>,
+        users: &HashMap<Vreg, Vec<(usize, usize)>>,
+        v: Vreg,
+        part: &Partition,
+    ) -> ClusterId {
+        let mut votes = [0u32; 2];
+        if let Some(sites) = users.get(&v) {
+            for &(bi, ii) in sites {
+                let instr = &program.blocks[bi].instrs[ii];
+                // An instruction whose destination is a global candidate
+                // is dual-distributed regardless: no preference.
+                if instr.writes().is_some_and(|d| d != v && part.globals.contains(&d)) {
+                    continue;
+                }
+                // Clusters demanded by the instruction's *other* local,
+                // already-assigned registers.
+                let mut demanded: Option<ClusterId> = None;
+                let mut conflicted = false;
+                for r in instr.named_regs() {
+                    if r == v || part.globals.contains(&r) {
+                        continue;
+                    }
+                    if let Some(c) = part.cluster_of(r) {
+                        match demanded {
+                            None => demanded = Some(c),
+                            Some(d) if d != c => conflicted = true,
+                            _ => {}
+                        }
+                    }
+                }
+                if conflicted {
+                    continue; // dual regardless of v: abstain
+                }
+                if let Some(c) = demanded {
+                    votes[c.index()] += 1;
+                }
+            }
+        }
+        if votes[0] > votes[1] {
+            ClusterId::C0
+        } else if votes[1] > votes[0] {
+            ClusterId::C1
+        } else {
+            // Tie (or no information): keep the range counts balanced.
+            let counts = part.counts(2);
+            if counts[0] <= counts[1] {
+                ClusterId::C0
+            } else {
+                ClusterId::C1
+            }
+        }
+    }
+}
+
+/// The per-cluster distribution weight of one instruction under a
+/// partial assignment: `1.0` to each cluster the instruction would be
+/// distributed to, `0.5` to each when nothing is known yet.
+fn distribution_weights(instr: &Instr<Vreg>, part: &Partition) -> (f64, f64) {
+    let mut needs = [false; 2];
+    let mut any_global_dest = false;
+    for r in instr.named_regs() {
+        if part.globals.contains(&r) {
+            continue;
+        }
+        if let Some(c) = part.cluster_of(r) {
+            needs[c.index()] = true;
+        }
+    }
+    if let Some(d) = instr.writes() {
+        if part.globals.contains(&d) {
+            any_global_dest = true;
+        }
+    }
+    if any_global_dest || (needs[0] && needs[1]) {
+        (1.0, 1.0)
+    } else if needs[0] {
+        (1.0, 0.0)
+    } else if needs[1] {
+        (0.0, 1.0)
+    } else {
+        (0.5, 0.5)
+    }
+}
+
+fn named_vregs(program: &Program<Vreg>) -> Vec<Vreg> {
+    let mut seen = HashSet::new();
+    let mut out = Vec::new();
+    for block in &program.blocks {
+        for instr in &block.instrs {
+            for r in instr.named_regs() {
+                if seen.insert(r) {
+                    out.push(r);
+                }
+            }
+        }
+    }
+    for &(r, _) in &program.reg_init {
+        if seen.insert(r) {
+            out.push(r);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcl_trace::ProgramBuilder;
+
+    /// Builds the program of the paper's Figure 6. Returns the live
+    /// ranges keyed by their paper names.
+    fn figure6() -> (Program<Vreg>, HashMap<char, Vreg>, Profile) {
+        let mut b = ProgramBuilder::new("figure6");
+        let c = b.vreg_int("C");
+        let e = b.vreg_int("E");
+        let g = b.vreg_int("G");
+        let h = b.vreg_int("H");
+        let s = b.vreg_int("S");
+        let a = b.vreg_int("A");
+        let bb = b.vreg_int("B");
+        let d = b.vreg_int("D");
+        b.designate_global_candidate(s);
+        b.reg_init(s, 0x8000);
+
+        let bb2 = b.new_block("bb2");
+        let bb3 = b.new_block("bb3");
+        let bb4 = b.new_block("bb4");
+        let bb5 = b.new_block("bb5");
+
+        // bb1: 1: C = 0        2: E = 16
+        b.lda(c, 0);
+        b.lda(e, 16);
+        // bb2: 3: G = [S] + 8  4: H = [S] + 4   (encoded as offset loads)
+        b.switch_to(bb2);
+        b.ldq(g, s, 8);
+        b.ldq(h, s, 4 & !7); // aligned encoding of the same shape
+        // bb3: 5: G = [S] + E  6: H = [S] + 12  7: S = H + E
+        b.switch_to(bb3);
+        b.ldq(g, s, 0);
+        b.addq(g, g, e);
+        b.ldq(h, s, 16);
+        b.addq(s, h, e);
+        // bb4: 8: A = G + 10   9: B = A x A   10: G = B / H   11: C = G + C
+        b.switch_to(bb4);
+        b.addq_imm(a, g, 10);
+        b.mulq(bb, a, a);
+        b.addq(g, bb, h); // stands in for the divide (no integer divide in the ISA)
+        b.addq(c, g, c);
+        // bb5: 12: D = C + G
+        b.switch_to(bb5);
+        b.addq(d, c, g);
+
+        let program = b.finish().unwrap();
+        let profile = Profile::from_counts(vec![20, 10, 10, 100, 20]);
+        let names =
+            HashMap::from([('C', c), ('E', e), ('G', g), ('H', h), ('S', s), ('A', a), ('B', bb), ('D', d)]);
+        (program, names, profile)
+    }
+
+    #[test]
+    fn figure6_assignment_order_matches_the_paper() {
+        let (program, names, profile) = figure6();
+        let sched = LocalScheduler::new(PartitionConfig::default());
+        let part = sched.partition(&program, &profile);
+        // The paper: blocks traversed in order 4, 1, 5, 3, 2, so live
+        // ranges are assigned in the order C, G, B, A, E, D, H (S is a
+        // global candidate and is never partitioned).
+        let expect: Vec<Vreg> =
+            ['C', 'G', 'B', 'A', 'E', 'D', 'H'].iter().map(|ch| names[ch]).collect();
+        assert_eq!(part.assignment_order, expect);
+        assert!(part.is_global(names[&'S']));
+        assert_eq!(part.cluster_of(names[&'S']), None);
+    }
+
+    #[test]
+    fn figure6_every_local_range_gets_a_cluster() {
+        let (program, names, profile) = figure6();
+        let sched = LocalScheduler::new(PartitionConfig::default());
+        let part = sched.partition(&program, &profile);
+        for (&ch, &v) in &names {
+            if ch == 'S' {
+                continue;
+            }
+            assert!(part.cluster_of(v).is_some(), "live range {ch} unassigned");
+        }
+        let counts = part.counts(2);
+        assert_eq!(counts[0] + counts[1], 7);
+    }
+
+    #[test]
+    fn related_ranges_cluster_together_when_balanced() {
+        // A single dependent chain: the majority vote should keep the
+        // whole chain on one cluster (no dual distribution).
+        let mut b = ProgramBuilder::new("chain");
+        let v0 = b.vreg_int("v0");
+        let v1 = b.vreg_int("v1");
+        let v2 = b.vreg_int("v2");
+        b.lda(v0, 1);
+        b.addq_imm(v1, v0, 1);
+        b.addq_imm(v2, v1, 1);
+        let p = b.finish().unwrap();
+        let profile = Profile::from_counts(vec![1]);
+        let part = LocalScheduler::new(PartitionConfig::default()).partition(&p, &profile);
+        let c0 = part.cluster_of(v0);
+        assert_eq!(part.cluster_of(v1), c0);
+        assert_eq!(part.cluster_of(v2), c0);
+    }
+
+    #[test]
+    fn imbalance_threshold_forces_the_other_cluster() {
+        // Two long independent chains; with a tight threshold the second
+        // chain must land on the other cluster.
+        let mut b = ProgramBuilder::new("two-chains");
+        let xs: Vec<Vreg> = (0..8).map(|i| b.vreg_int(&format!("x{i}"))).collect();
+        let ys: Vec<Vreg> = (0..8).map(|i| b.vreg_int(&format!("y{i}"))).collect();
+        b.lda(xs[0], 1);
+        for i in 1..8 {
+            b.addq_imm(xs[i], xs[i - 1], 1);
+        }
+        b.lda(ys[0], 2);
+        for i in 1..8 {
+            b.addq_imm(ys[i], ys[i - 1], 1);
+        }
+        let p = b.finish().unwrap();
+        let profile = Profile::from_counts(vec![1]);
+        let part = LocalScheduler::new(PartitionConfig { clusters: 2, imbalance_threshold: 2.0 })
+            .partition(&p, &profile);
+        let cx = part.cluster_of(xs[0]).unwrap();
+        let cy = part.cluster_of(ys[7]).unwrap();
+        assert_ne!(cx, cy, "the chains should be split across clusters");
+    }
+
+    #[test]
+    fn round_robin_balances_counts() {
+        let mut b = ProgramBuilder::new("rr");
+        let vs: Vec<Vreg> = (0..10).map(|i| b.vreg_int(&format!("v{i}"))).collect();
+        for &v in &vs {
+            b.lda(v, 1);
+        }
+        let p = b.finish().unwrap();
+        let part = Partition::round_robin(&p, 2);
+        let counts = part.counts(2);
+        assert_eq!(counts, vec![5, 5]);
+    }
+
+    #[test]
+    fn single_cluster_partition_uses_cluster_zero_only() {
+        let mut b = ProgramBuilder::new("sc");
+        let v = b.vreg_int("v");
+        b.lda(v, 1);
+        let p = b.finish().unwrap();
+        let part = Partition::single_cluster(&p);
+        assert_eq!(part.cluster_of(v), Some(ClusterId::C0));
+        assert_eq!(part.counts(2), vec![1, 0]);
+    }
+
+    #[test]
+    fn demote_global_makes_a_range_local() {
+        let mut b = ProgramBuilder::new("dg");
+        let v = b.vreg_int("v");
+        b.designate_global_candidate(v);
+        b.lda(v, 1);
+        let p = b.finish().unwrap();
+        let profile = Profile::from_counts(vec![1]);
+        let mut part = LocalScheduler::new(PartitionConfig::default()).partition(&p, &profile);
+        assert!(part.is_global(v));
+        part.demote_global(v, ClusterId::C1);
+        assert!(!part.is_global(v));
+        assert_eq!(part.cluster_of(v), Some(ClusterId::C1));
+    }
+}

@@ -1,0 +1,378 @@
+//! The end-to-end scheduling pipeline (Section 3.1's six steps).
+
+use mcl_isa::{assign::RegisterAssignment, ArchReg, Latencies};
+use mcl_trace::{Profile, Program, ValidateError, Vm, VmError, Vreg};
+
+use serde::{Deserialize, Serialize};
+
+use crate::alloc::{allocate, Allocation, AllocError, AllocatorKind, SpillStats};
+use crate::listsched::list_schedule;
+use crate::partition::{LocalScheduler, Partition, PartitionConfig};
+
+/// Which scheduler produces the register assignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SchedulerKind {
+    /// Cluster-blind allocation — models the paper's *native binary*
+    /// ("none" column of Table 2).
+    Naive,
+    /// The paper's local scheduler (Section 3.5): profile-guided
+    /// live-range partitioning, then cluster-aware allocation.
+    Local,
+    /// The local scheduler with global-register designation disabled
+    /// (every live range is a local candidate) — ablation A4.
+    LocalNoGlobals,
+    /// Round-robin live-range partitioning with cluster-aware
+    /// allocation — a balance-only strawman baseline.
+    RoundRobin,
+    /// Integer live ranges on cluster 0, floating point on cluster 1 —
+    /// the historic split-datapath organisation, as a baseline.
+    BankSplit,
+}
+
+/// Pipeline tuning.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScheduleOptions {
+    /// The local scheduler's imbalance constant (Section 3.5).
+    pub imbalance_threshold: f64,
+    /// Whether to run the prepass list scheduler (step 2).
+    pub prepass_schedule: bool,
+    /// Externally supplied per-block execution estimates; when absent
+    /// the pipeline profiles the program by executing it once (as the
+    /// paper derives estimates "from profiling the execution").
+    pub profile: Option<Profile>,
+    /// Functional-unit latencies used by the list scheduler.
+    pub latencies: Latencies,
+}
+
+impl Default for ScheduleOptions {
+    fn default() -> ScheduleOptions {
+        ScheduleOptions {
+            imbalance_threshold: 4.0,
+            prepass_schedule: true,
+            profile: None,
+            latencies: Latencies::table1(),
+        }
+    }
+}
+
+/// Statistics from one pipeline run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ScheduleStats {
+    /// Spill/retry statistics from register allocation.
+    pub spill: SpillStats,
+    /// Instructions executed by the profiling run (0 when a profile was
+    /// supplied).
+    pub profiled_steps: u64,
+    /// Live ranges assigned to each cluster by the partitioner.
+    pub partition_counts: Vec<usize>,
+}
+
+/// A scheduled (machine-level) program plus the decisions behind it.
+#[derive(Debug, Clone)]
+pub struct Scheduled {
+    /// The machine program ready for tracing/simulation.
+    pub program: Program<ArchReg>,
+    /// The final live-range partition (after any cross-cluster spills).
+    pub partition: Partition,
+    /// Pipeline statistics.
+    pub stats: ScheduleStats,
+}
+
+/// Errors from [`SchedulePipeline::run`].
+#[derive(Debug)]
+pub enum ScheduleError {
+    /// The input program is structurally invalid.
+    Validate(ValidateError),
+    /// The profiling run failed.
+    Vm(VmError),
+    /// Register allocation failed.
+    Alloc(AllocError),
+}
+
+impl std::fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScheduleError::Validate(e) => write!(f, "invalid program: {e}"),
+            ScheduleError::Vm(e) => write!(f, "profiling run failed: {e}"),
+            ScheduleError::Alloc(e) => write!(f, "register allocation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ScheduleError::Validate(e) => Some(e),
+            ScheduleError::Vm(e) => Some(e),
+            ScheduleError::Alloc(e) => Some(e),
+        }
+    }
+}
+
+impl From<ValidateError> for ScheduleError {
+    fn from(e: ValidateError) -> ScheduleError {
+        ScheduleError::Validate(e)
+    }
+}
+
+impl From<VmError> for ScheduleError {
+    fn from(e: VmError) -> ScheduleError {
+        ScheduleError::Vm(e)
+    }
+}
+
+impl From<AllocError> for ScheduleError {
+    fn from(e: AllocError) -> ScheduleError {
+        ScheduleError::Alloc(e)
+    }
+}
+
+/// Drives intermediate-language programs through prepass scheduling,
+/// profiling, live-range partitioning, and register allocation, yielding
+/// machine programs for the simulator.
+///
+/// # Example
+///
+/// See the [crate-level example](crate).
+#[derive(Debug, Clone)]
+pub struct SchedulePipeline {
+    kind: SchedulerKind,
+    assignment: RegisterAssignment,
+    options: ScheduleOptions,
+}
+
+impl SchedulePipeline {
+    /// Creates a pipeline targeting the given register-to-cluster
+    /// assignment.
+    #[must_use]
+    pub fn new(kind: SchedulerKind, assignment: &RegisterAssignment) -> SchedulePipeline {
+        SchedulePipeline { kind, assignment: assignment.clone(), options: ScheduleOptions::default() }
+    }
+
+    /// Replaces the pipeline options.
+    #[must_use]
+    pub fn with_options(mut self, options: ScheduleOptions) -> SchedulePipeline {
+        self.options = options;
+        self
+    }
+
+    /// The scheduler kind.
+    #[must_use]
+    pub fn kind(&self) -> SchedulerKind {
+        self.kind
+    }
+
+    /// Runs the pipeline on an IL program.
+    ///
+    /// # Errors
+    ///
+    /// See [`ScheduleError`].
+    pub fn run(&self, il: &Program<Vreg>) -> Result<Scheduled, ScheduleError> {
+        il.validate()?;
+
+        // Step 2: prepass code scheduling.
+        let mut scheduled_il = if self.options.prepass_schedule {
+            list_schedule(il, &self.options.latencies)
+        } else {
+            il.clone()
+        };
+
+        // Step 3 (ablation): optionally ignore global designations.
+        if self.kind == SchedulerKind::LocalNoGlobals {
+            scheduled_il.global_candidates.clear();
+        }
+
+        // Profiling (footnote 1 of Section 3.5).
+        let mut profiled_steps = 0;
+        let profile = match &self.options.profile {
+            Some(p) => p.clone(),
+            None => {
+                let mut vm = Vm::new(&scheduled_il);
+                profiled_steps = vm.run_to_end()?;
+                vm.profile().clone()
+            }
+        };
+
+        // Step 4: live-range partitioning.
+        let multicluster = self.assignment.clusters() > 1;
+        let mut partition = match (self.kind, multicluster) {
+            (_, false) | (SchedulerKind::Naive, _) => Partition::single_cluster(&scheduled_il),
+            (SchedulerKind::Local | SchedulerKind::LocalNoGlobals, true) => {
+                let config = PartitionConfig {
+                    clusters: self.assignment.clusters(),
+                    imbalance_threshold: self.options.imbalance_threshold,
+                };
+                LocalScheduler::new(config).partition(&scheduled_il, &profile)
+            }
+            (SchedulerKind::RoundRobin, true) => {
+                Partition::round_robin(&scheduled_il, self.assignment.clusters())
+            }
+            (SchedulerKind::BankSplit, true) => Partition::by_bank(&scheduled_il),
+        };
+
+        // Step 5: register allocation (spill code inserted as needed).
+        let alloc_kind = match self.kind {
+            SchedulerKind::Naive => AllocatorKind::Blind,
+            _ => AllocatorKind::ClusterAware,
+        };
+        let Allocation { program, map: _, stats: spill } =
+            allocate(&scheduled_il, &mut partition, &self.assignment, alloc_kind)?;
+
+        let partition_counts = partition.counts(self.assignment.clusters().max(1));
+        Ok(Scheduled {
+            program,
+            partition,
+            stats: ScheduleStats { spill, profiled_steps, partition_counts },
+        })
+    }
+}
+
+/// Convenience: schedule `il` for a machine program with defaults.
+///
+/// # Errors
+///
+/// See [`ScheduleError`].
+pub fn schedule(
+    il: &Program<Vreg>,
+    kind: SchedulerKind,
+    assignment: &RegisterAssignment,
+) -> Result<Program<ArchReg>, ScheduleError> {
+    Ok(SchedulePipeline::new(kind, assignment).run(il)?.program)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcl_isa::ClusterId;
+    use mcl_trace::ProgramBuilder;
+
+    /// A small loop workload exercising both banks and memory.
+    fn sample_il() -> Program<Vreg> {
+        let mut b = ProgramBuilder::new("sample");
+        let sp = b.vreg_int("sp");
+        b.designate_global_candidate(sp);
+        b.reg_init(sp, 0x9000);
+        let i = b.vreg_int("i");
+        let acc = b.vreg_fp("acc");
+        let fi = b.vreg_fp("fi");
+        let body = b.new_block("body");
+        let exit = b.new_block("exit");
+        b.lda(i, 20);
+        b.cvtqt(acc, i);
+        b.switch_to(body);
+        b.cvtqt(fi, i);
+        b.addt(acc, acc, fi);
+        b.subq_imm(i, i, 1);
+        b.bne(i, body);
+        b.switch_to(exit);
+        b.stt(sp, 0, acc);
+        b.finish().unwrap()
+    }
+
+    fn run_and_compare(kind: SchedulerKind, assignment: &RegisterAssignment) -> Scheduled {
+        let il = sample_il();
+        let scheduled = SchedulePipeline::new(kind, assignment).run(&il).unwrap();
+        let mut vm_il = Vm::new(&il);
+        vm_il.run_to_end().unwrap();
+        let mut vm_m = Vm::new(&scheduled.program);
+        vm_m.run_to_end().unwrap();
+        assert_eq!(
+            vm_il.memory().read(0x9000),
+            vm_m.memory().read(0x9000),
+            "machine program must compute the same result"
+        );
+        scheduled
+    }
+
+    #[test]
+    fn local_pipeline_preserves_semantics_dual_cluster() {
+        let assignment = RegisterAssignment::even_odd_with_default_globals(2);
+        let s = run_and_compare(SchedulerKind::Local, &assignment);
+        assert_eq!(s.stats.partition_counts.len(), 2);
+        assert!(s.stats.profiled_steps > 0);
+    }
+
+    #[test]
+    fn naive_pipeline_preserves_semantics_dual_cluster() {
+        let assignment = RegisterAssignment::even_odd_with_default_globals(2);
+        run_and_compare(SchedulerKind::Naive, &assignment);
+    }
+
+    #[test]
+    fn single_cluster_pipeline_preserves_semantics() {
+        let assignment = RegisterAssignment::single_cluster();
+        let s = run_and_compare(SchedulerKind::Naive, &assignment);
+        assert_eq!(s.stats.partition_counts.len(), 1);
+    }
+
+    #[test]
+    fn round_robin_pipeline_preserves_semantics() {
+        let assignment = RegisterAssignment::even_odd_with_default_globals(2);
+        run_and_compare(SchedulerKind::RoundRobin, &assignment);
+    }
+
+    #[test]
+    fn local_no_globals_ignores_designations() {
+        let assignment = RegisterAssignment::even_odd_with_default_globals(2);
+        let il = sample_il();
+        let s = SchedulePipeline::new(SchedulerKind::LocalNoGlobals, &assignment)
+            .run(&il)
+            .unwrap();
+        // The sp live range must now be a local register somewhere.
+        let total: usize = s.stats.partition_counts.iter().sum();
+        // All 4 int/fp ranges are local candidates (sp, i, acc, fi) plus
+        // any spill temporaries.
+        assert!(total >= 4, "counts: {:?}", s.stats.partition_counts);
+        run_and_compare(SchedulerKind::LocalNoGlobals, &assignment);
+    }
+
+    #[test]
+    fn supplied_profile_skips_the_profiling_run() {
+        let assignment = RegisterAssignment::even_odd_with_default_globals(2);
+        let il = sample_il();
+        let profile = Profile::from_counts(vec![1, 20, 1]);
+        let s = SchedulePipeline::new(SchedulerKind::Local, &assignment)
+            .with_options(ScheduleOptions { profile: Some(profile), ..Default::default() })
+            .run(&il)
+            .unwrap();
+        assert_eq!(s.stats.profiled_steps, 0);
+        assert!(s.program.validate().is_ok());
+    }
+
+    #[test]
+    fn local_partition_covers_every_live_range() {
+        let assignment = RegisterAssignment::even_odd_with_default_globals(2);
+        let il = sample_il();
+        let s = SchedulePipeline::new(SchedulerKind::Local, &assignment).run(&il).unwrap();
+        // Spot-check: partition knows a cluster (or global) for the
+        // machine program's history.
+        let c0 = s.partition.counts(2);
+        assert_eq!(c0.len(), 2);
+        let _ = ClusterId::C0;
+    }
+
+    #[test]
+    fn prepass_can_be_disabled() {
+        let assignment = RegisterAssignment::even_odd_with_default_globals(2);
+        let il = sample_il();
+        let s = SchedulePipeline::new(SchedulerKind::Local, &assignment)
+            .with_options(ScheduleOptions { prepass_schedule: false, ..Default::default() })
+            .run(&il)
+            .unwrap();
+        assert!(s.program.validate().is_ok());
+    }
+
+    #[test]
+    fn invalid_program_is_rejected() {
+        let assignment = RegisterAssignment::single_cluster();
+        let empty = Program::<Vreg> {
+            name: "empty".into(),
+            blocks: vec![],
+            reg_init: vec![],
+            mem_init: vec![],
+            global_candidates: vec![],
+        };
+        let err = SchedulePipeline::new(SchedulerKind::Naive, &assignment).run(&empty);
+        assert!(matches!(err, Err(ScheduleError::Validate(_))));
+    }
+}

@@ -1,0 +1,316 @@
+//! Loop unrolling (the paper's Section 6 future work).
+//!
+//! "Loop unrolling, which is a part of trace scheduling, could also be
+//! used to generate a code schedule in which multiple iterations of a
+//! loop were interleaved, with each iteration scheduled to use a
+//! separate cluster of a multicluster processor."
+//!
+//! [`unroll_self_loops`] unrolls single-block self-loops (a block whose
+//! terminator is a conditional branch back to itself) by a given factor:
+//! the body is replicated, iteration-private temporaries are renamed per
+//! copy (so the copies carry no false dependences and the partitioner is
+//! free to place different iterations on different clusters), and the
+//! intermediate copies exit through an inverted branch. Loop-carried
+//! values and values live after the loop keep their names, preserving
+//! semantics for any trip count.
+
+use std::collections::{HashMap, HashSet};
+
+use mcl_isa::Opcode;
+use mcl_trace::{BlockId, Instr, Program, RegName, Vreg};
+
+use crate::cfg::Cfg;
+use crate::liveness::Liveness;
+
+/// Inverts a conditional branch's sense (`bne` ↔ `beq`, `blt` ↔ `bge`).
+fn invert(op: Opcode) -> Option<Opcode> {
+    match op {
+        Opcode::Bne => Some(Opcode::Beq),
+        Opcode::Beq => Some(Opcode::Bne),
+        Opcode::Blt => Some(Opcode::Bge),
+        Opcode::Bge => Some(Opcode::Blt),
+        _ => None,
+    }
+}
+
+/// Unrolls every eligible single-block self-loop of `program` by
+/// `factor` (a factor of 1 returns the program unchanged).
+///
+/// A block is eligible when its final instruction is an invertible
+/// conditional branch targeting the block itself and an exit block
+/// follows it. Each copy becomes its own basic block: intermediate
+/// copies leave the loop through an inverted branch to the exit, the
+/// last copy carries the original back edge. Temporaries that are
+/// neither live into the loop head nor live out of the loop are renamed
+/// per copy; everything else (loop-carried values, exit-live values)
+/// keeps its live range, so semantics are preserved for any trip count.
+#[must_use]
+pub fn unroll_self_loops(program: &Program<Vreg>, factor: u32) -> Program<Vreg> {
+    if factor <= 1 {
+        return program.clone();
+    }
+    let cfg = Cfg::of(program);
+    let live = Liveness::of(program, &cfg);
+    let mut next_index = max_vreg_index(program) + 1;
+    let extra = (factor - 1) as usize;
+
+    // Pass 1: find the eligible loop heads.
+    let mut loops: Vec<usize> = Vec::new();
+    for (bi, block) in program.blocks.iter().enumerate() {
+        if let Some(last) = block.instrs.last() {
+            if invert(last.op).is_some()
+                && last.target == Some(BlockId::new(bi))
+                && bi + 1 < program.blocks.len()
+            {
+                loops.push(bi);
+            }
+        }
+    }
+    if loops.is_empty() {
+        return program.clone();
+    }
+
+    // Block-index remapping: each unrolled head gains `extra` blocks.
+    let remap = |old: usize| -> usize {
+        old + loops.iter().filter(|&&l| l < old).count() * extra
+    };
+
+    let mut blocks: Vec<mcl_trace::Block<Vreg>> = Vec::with_capacity(program.blocks.len());
+    for (bi, block) in program.blocks.iter().enumerate() {
+        if !loops.contains(&bi) {
+            // Retarget branches for the shifted layout.
+            let mut b = block.clone();
+            for instr in &mut b.instrs {
+                if let Some(t) = instr.target {
+                    instr.target = Some(BlockId::new(remap(t.index())));
+                }
+            }
+            blocks.push(b);
+            continue;
+        }
+
+        let head = remap(bi);
+        let exit = head + factor as usize; // block following the last copy
+        let last = block.instrs.last().expect("eligible loop has a terminator");
+        let inverted = invert(last.op).expect("eligible loop branch inverts");
+        let exit_live: HashSet<Vreg> = live.live_in(BlockId::new(bi + 1)).clone();
+        let head_live = live.live_in(BlockId::new(bi));
+
+        // Registers private to one iteration may be renamed per copy.
+        let mut renameable: HashSet<Vreg> = HashSet::new();
+        for instr in &block.instrs {
+            if let Some(d) = instr.writes() {
+                if !head_live.contains(&d) && !exit_live.contains(&d) {
+                    renameable.insert(d);
+                }
+            }
+        }
+
+        let body = &block.instrs[..block.instrs.len() - 1];
+        for copy in 0..factor {
+            let mut rename: HashMap<Vreg, Vreg> = HashMap::new();
+            if copy > 0 {
+                for &v in &renameable {
+                    let fresh = Vreg::new(v.bank(), next_index);
+                    next_index += 1;
+                    rename.insert(v, fresh);
+                }
+            }
+            let apply = |r: Option<Vreg>, rename: &HashMap<Vreg, Vreg>| {
+                r.map(|v| rename.get(&v).copied().unwrap_or(v))
+            };
+            let mut instrs: Vec<Instr<Vreg>> = Vec::with_capacity(body.len() + 1);
+            for instr in body {
+                let mut instr = instr.clone();
+                instr.dest = apply(instr.dest, &rename);
+                instr.srcs = [apply(instr.srcs[0], &rename), apply(instr.srcs[1], &rename)];
+                instrs.push(instr);
+            }
+            let mut b = last.clone();
+            b.srcs[0] = apply(b.srcs[0], &rename);
+            if copy + 1 < factor {
+                // Intermediate copies: leave the loop when the original
+                // branch would *not* be taken; otherwise fall through to
+                // the next copy.
+                b.op = inverted;
+                b.target = Some(BlockId::new(exit));
+            } else {
+                // The last copy carries the back edge to the head.
+                b.target = Some(BlockId::new(head));
+            }
+            instrs.push(b);
+            blocks.push(mcl_trace::Block {
+                label: format!("{}_x{factor}_{copy}", block.label),
+                instrs,
+            });
+        }
+    }
+
+    Program {
+        name: program.name.clone(),
+        blocks,
+        reg_init: program.reg_init.clone(),
+        mem_init: program.mem_init.clone(),
+        global_candidates: program.global_candidates.clone(),
+    }
+}
+
+fn max_vreg_index(program: &Program<Vreg>) -> u32 {
+    let mut max = 0;
+    for block in &program.blocks {
+        for instr in &block.instrs {
+            for r in instr.named_regs() {
+                max = max.max(r.index());
+            }
+        }
+    }
+    for &(r, _) in &program.reg_init {
+        max = max.max(r.index());
+    }
+    max
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcl_trace::{ProgramBuilder, Vm};
+
+    /// sum of f(i) over a countdown loop with an iteration-private temp.
+    fn loop_program(n: i64) -> (Program<Vreg>, Vreg) {
+        let mut b = ProgramBuilder::new("loop");
+        let i = b.vreg_int("i");
+        let sum = b.vreg_int("sum");
+        let t = b.vreg_int("t"); // private per iteration
+        let body = b.new_block("body");
+        let done = b.new_block("done");
+        b.lda(i, n);
+        b.lda(sum, 0);
+        b.switch_to(body);
+        b.mulq_imm(t, i, 3);
+        b.addq_imm(t, t, 1);
+        b.addq(sum, sum, t);
+        b.subq_imm(i, i, 1);
+        b.bne(i, body);
+        b.switch_to(done);
+        let out = b.vreg_int("out");
+        b.lda(out, 0x4000);
+        b.stq(out, 0, sum);
+        (b.finish().unwrap(), sum)
+    }
+
+    fn result_of(p: &Program<Vreg>) -> u64 {
+        let mut vm = Vm::new(p);
+        vm.run_to_end().unwrap();
+        vm.memory().read(0x4000)
+    }
+
+    #[test]
+    fn factor_one_is_identity() {
+        let (p, _) = loop_program(10);
+        assert_eq!(unroll_self_loops(&p, 1), p);
+    }
+
+    #[test]
+    fn unrolling_preserves_semantics_for_all_trip_counts() {
+        for factor in [2u32, 3, 4] {
+            for n in 1..=13 {
+                let (p, _) = loop_program(n);
+                let u = unroll_self_loops(&p, factor);
+                assert!(u.validate().is_ok(), "factor {factor}, n {n}");
+                assert_eq!(
+                    result_of(&p),
+                    result_of(&u),
+                    "factor {factor}, n {n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unrolled_body_is_replicated() {
+        let (p, _) = loop_program(10);
+        let u = unroll_self_loops(&p, 4);
+        // One block per copy, 5 instructions each.
+        assert_eq!(u.blocks.len(), p.blocks.len() + 3);
+        for copy in 0..4 {
+            assert_eq!(u.blocks[1 + copy].instrs.len(), 5, "copy {copy}");
+            assert!(u.blocks[1 + copy].label.contains("x4"));
+            let branches = u.blocks[1 + copy]
+                .instrs
+                .iter()
+                .filter(|i| i.op.is_conditional_branch())
+                .count();
+            assert_eq!(branches, 1);
+        }
+        // Early copies exit with the inverted branch; the last loops back.
+        assert_eq!(u.blocks[1].instrs.last().unwrap().op, Opcode::Beq);
+        assert_eq!(u.blocks[4].instrs.last().unwrap().op, Opcode::Bne);
+        assert_eq!(u.blocks[4].instrs.last().unwrap().target, Some(BlockId::new(1)));
+    }
+
+    #[test]
+    fn private_temporaries_are_renamed_but_carried_values_are_not() {
+        let (p, sum) = loop_program(10);
+        let u = unroll_self_loops(&p, 2);
+        let body: Vec<&Instr<Vreg>> =
+            u.blocks[1].instrs.iter().chain(&u.blocks[2].instrs).collect();
+        // `sum` appears in every copy under its own name (loop carried).
+        let sum_writes = body.iter().filter(|i| i.writes() == Some(sum)).count();
+        assert_eq!(sum_writes, 2);
+        // The private temp has two distinct names across the copies.
+        let temp_dests: HashSet<Vreg> = body
+            .iter()
+            .filter(|i| i.op == Opcode::Mulq)
+            .filter_map(|i| i.writes())
+            .collect();
+        assert_eq!(temp_dests.len(), 2, "each copy gets its own temporary");
+    }
+
+    #[test]
+    fn non_self_loops_are_untouched() {
+        // A two-block loop is not a self-loop; leave it alone.
+        let mut b = ProgramBuilder::new("two-block");
+        let i = b.vreg_int("i");
+        let a = b.new_block("a");
+        let bl = b.new_block("b");
+        b.lda(i, 3);
+        b.switch_to(a);
+        b.subq_imm(i, i, 1);
+        b.switch_to(bl);
+        b.bne(i, a);
+        let p = b.finish().unwrap();
+        let u = unroll_self_loops(&p, 4);
+        assert_eq!(u.blocks.iter().map(|b| b.instrs.len()).sum::<usize>(), p.static_len());
+    }
+
+    #[test]
+    fn loop_at_program_end_is_left_alone() {
+        let mut b = ProgramBuilder::new("tail-loop");
+        let i = b.vreg_int("i");
+        let body = b.new_block("body");
+        b.lda(i, 5);
+        b.switch_to(body);
+        b.subq_imm(i, i, 1);
+        b.bne(i, body);
+        let p = b.finish().unwrap();
+        let u = unroll_self_loops(&p, 3);
+        // No exit block exists to retarget, so the loop stays as is.
+        assert_eq!(u.blocks[1].instrs.len(), p.blocks[1].instrs.len());
+        let mut vm = Vm::new(&u);
+        vm.run_to_end().unwrap();
+        assert_eq!(vm.reg(i), 0);
+    }
+
+    #[test]
+    fn unrolled_loops_still_schedule_and_match() {
+        use crate::pipeline::{SchedulePipeline, SchedulerKind};
+        use mcl_isa::assign::RegisterAssignment;
+        let (p, _) = loop_program(24);
+        let u = unroll_self_loops(&p, 4);
+        let assign = RegisterAssignment::even_odd_with_default_globals(2);
+        let s = SchedulePipeline::new(SchedulerKind::Local, &assign).run(&u).unwrap();
+        let mut vm = Vm::new(&s.program);
+        vm.run_to_end().unwrap();
+        assert_eq!(vm.memory().read(0x4000), result_of(&p));
+    }
+}

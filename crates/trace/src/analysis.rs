@@ -1,0 +1,213 @@
+//! Trace analysis: behavioural profiles of programs.
+//!
+//! The reproduction substitutes synthetic workloads for SPEC92 binaries
+//! (see the repository's DESIGN.md); this module measures the properties
+//! that substitution argument rests on — instruction-class mix, basic
+//! block shape, branch behaviour, and memory footprint — directly from
+//! the dynamic instruction stream.
+
+use std::collections::HashSet;
+
+use mcl_isa::InstrClass;
+use serde::{Deserialize, Serialize};
+
+use crate::vreg::RegName;
+use crate::{Program, Step, Vm, VmError};
+
+/// A dynamic behavioural profile of one program execution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MixReport {
+    /// Program name.
+    pub name: String,
+    /// Dynamic instructions executed.
+    pub instructions: u64,
+    /// Dynamic count per instruction class, in [`InstrClass::ALL`] order.
+    pub class_counts: [u64; 7],
+    /// Conditional branches executed.
+    pub cond_branches: u64,
+    /// Conditional branches taken.
+    pub taken: u64,
+    /// Dynamic basic blocks entered.
+    pub blocks_entered: u64,
+    /// Distinct 64-bit memory words touched (data footprint).
+    pub data_words: usize,
+    /// Distinct instruction addresses executed (code footprint).
+    pub code_words: usize,
+}
+
+impl MixReport {
+    /// Fraction of dynamic instructions in `class`.
+    #[must_use]
+    pub fn class_fraction(&self, class: InstrClass) -> f64 {
+        let idx = InstrClass::ALL.iter().position(|&c| c == class).expect("known class");
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.class_counts[idx] as f64 / self.instructions as f64
+        }
+    }
+
+    /// Mean dynamic basic-block length in instructions.
+    #[must_use]
+    pub fn mean_block_len(&self) -> f64 {
+        if self.blocks_entered == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.blocks_entered as f64
+        }
+    }
+
+    /// Conditional-branch taken rate.
+    #[must_use]
+    pub fn taken_rate(&self) -> f64 {
+        if self.cond_branches == 0 {
+            0.0
+        } else {
+            self.taken as f64 / self.cond_branches as f64
+        }
+    }
+
+    /// Data footprint in bytes.
+    #[must_use]
+    pub fn data_bytes(&self) -> usize {
+        self.data_words * 8
+    }
+
+    /// One line of a mix table.
+    #[must_use]
+    pub fn render_row(&self) -> String {
+        format!(
+            "{:<10} {:>9} {:>6.1}% {:>6.1}% {:>6.1}% {:>6.1}% {:>6.1}% {:>7.1} {:>6.1}% {:>8}",
+            self.name,
+            self.instructions,
+            self.class_fraction(InstrClass::IntAlu) * 100.0
+                + self.class_fraction(InstrClass::IntMul) * 100.0,
+            self.class_fraction(InstrClass::FpOther) * 100.0,
+            self.class_fraction(InstrClass::FpDiv) * 100.0,
+            self.class_fraction(InstrClass::Load) * 100.0,
+            self.class_fraction(InstrClass::Store) * 100.0,
+            self.mean_block_len(),
+            self.taken_rate() * 100.0,
+            self.data_bytes(),
+        )
+    }
+
+    /// The header matching [`MixReport::render_row`].
+    #[must_use]
+    pub fn render_header() -> String {
+        format!(
+            "{:<10} {:>9} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7} {:>8}",
+            "program", "dyn", "int", "fp", "fpdiv", "load", "store", "blk", "taken", "data(B)"
+        )
+    }
+}
+
+/// Executes `program` and measures its behavioural profile.
+///
+/// # Errors
+///
+/// Propagates VM execution failures.
+pub fn analyze<R: RegName>(program: &Program<R>) -> Result<MixReport, VmError> {
+    let mut vm = Vm::new(program);
+    let mut report = MixReport {
+        name: program.name.clone(),
+        instructions: 0,
+        class_counts: [0; 7],
+        cond_branches: 0,
+        taken: 0,
+        blocks_entered: 0,
+        data_words: 0,
+        code_words: 0,
+    };
+    let mut data: HashSet<u64> = HashSet::new();
+    let mut code: HashSet<u64> = HashSet::new();
+    for step in vm.by_ref() {
+        let step: Step<R> = step?;
+        report.instructions += 1;
+        let idx = InstrClass::ALL
+            .iter()
+            .position(|&c| c == step.op.class())
+            .expect("known class");
+        report.class_counts[idx] += 1;
+        if step.index == 0 {
+            report.blocks_entered += 1;
+        }
+        if let Some(br) = step.branch {
+            if br.conditional {
+                report.cond_branches += 1;
+                if br.taken {
+                    report.taken += 1;
+                }
+            }
+        }
+        if let Some(addr) = step.mem_addr {
+            data.insert(addr & !7);
+        }
+        code.insert(step.pc);
+    }
+    report.data_words = data.len();
+    report.code_words = code.len();
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ProgramBuilder;
+
+    #[test]
+    fn mix_counts_classes_and_blocks() {
+        let mut b = ProgramBuilder::new("mix");
+        let i = b.vreg_int("i");
+        let f = b.vreg_fp("f");
+        let base = b.vreg_int("base");
+        let body = b.new_block("body");
+        b.lda(base, 0x4000);
+        b.lda(i, 4);
+        b.switch_to(body);
+        b.cvtqt(f, i);
+        b.mult(f, f, f);
+        b.stt(base, 0, f);
+        b.subq_imm(i, i, 1);
+        b.bne(i, body);
+        let p = b.finish().unwrap();
+        let r = analyze(&p).unwrap();
+        // entry 2 + 4 iterations x 5 instructions.
+        assert_eq!(r.instructions, 22);
+        assert_eq!(r.cond_branches, 4);
+        assert_eq!(r.taken, 3);
+        assert_eq!(r.blocks_entered, 5);
+        assert_eq!(r.data_words, 1);
+        assert!(r.class_fraction(InstrClass::FpOther) > 0.3);
+        assert!((r.taken_rate() - 0.75).abs() < 1e-12);
+        assert!((r.mean_block_len() - 22.0 / 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn footprints_track_distinct_words() {
+        let mut b = ProgramBuilder::new("fp");
+        let base = b.vreg_int("base");
+        let v = b.vreg_int("v");
+        b.lda(base, 0x4000);
+        b.lda(v, 1);
+        b.stq(base, 0, v);
+        b.stq(base, 0, v); // same word
+        b.stq(base, 8, v); // new word
+        let p = b.finish().unwrap();
+        let r = analyze(&p).unwrap();
+        assert_eq!(r.data_words, 2);
+        assert_eq!(r.data_bytes(), 16);
+        assert_eq!(r.code_words, 5);
+    }
+
+    #[test]
+    fn header_and_row_align() {
+        let mut b = ProgramBuilder::new("hdr");
+        let v = b.vreg_int("v");
+        b.lda(v, 1);
+        let p = b.finish().unwrap();
+        let r = analyze(&p).unwrap();
+        assert!(!MixReport::render_header().is_empty());
+        assert!(r.render_row().starts_with("hdr"));
+    }
+}

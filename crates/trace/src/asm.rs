@@ -1,0 +1,685 @@
+//! A textual assembly format for intermediate-language programs.
+//!
+//! Programs can be authored (or dumped) as plain text and parsed back,
+//! which makes workloads, regression cases, and documentation examples
+//! self-describing. The format:
+//!
+//! ```text
+//! ; a comment
+//! program "countdown"
+//! global %sp            ; global-register candidate
+//! init %sp = 0x9000     ; initial register value
+//! init $acc = f1.5      ; floating-point initial value
+//! initmem 0x2000 = 42   ; initial memory word
+//!
+//! entry:
+//!     lda %i, #5
+//!     lda %sum, #0
+//! body:
+//!     addq %sum, %sum, %i
+//!     subq %i, %i, #1
+//!     bne %i, body
+//! done:
+//!     stq [%sp + 0], %sum
+//! ```
+//!
+//! - `%name` names an integer live range, `$name` a floating-point one;
+//! - `#imm` is an immediate (decimal or `0x…`);
+//! - loads are `ldq %d, [%base + off]`, stores `stq [%base + off], %v`
+//!   (`ldt`/`stt` for floating point; the base may be omitted for
+//!   absolute addresses: `[0x2000]`);
+//! - every label starts a basic block; direct branches name labels;
+//! - `jsr %link, label`, `ret %link`, `jmp %addr`.
+//!
+//! # Example
+//!
+//! ```
+//! use mcl_trace::asm;
+//!
+//! let program = asm::parse(r#"
+//!     program "answer"
+//!     entry:
+//!         lda %x, #6
+//!         mulq %x, %x, #7
+//! "#)?;
+//! let mut vm = mcl_trace::Vm::new(&program);
+//! vm.run_to_end()?;
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use std::collections::HashMap;
+use std::fmt;
+
+use mcl_isa::{Opcode, RegBank};
+
+use crate::instr::Instr;
+use crate::program::{Block, BlockId, Program};
+use crate::vreg::{RegName, Vreg};
+
+/// A parse error, with a 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based source line.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses the textual form into a validated program.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] for syntax errors, unknown mnemonics or
+/// labels, and for programs that fail [`Program::validate`].
+pub fn parse(source: &str) -> Result<Program<Vreg>, ParseError> {
+    Parser::new().parse(source)
+}
+
+/// Renders a program in the textual form accepted by [`parse`].
+///
+/// Live-range names are synthesised (`%v0`, `$w3`, …) from the register
+/// indices, so `parse(render(p))` reproduces `p` up to those names.
+#[must_use]
+pub fn render(program: &Program<Vreg>) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "program \"{}\"", program.name);
+    for g in &program.global_candidates {
+        let _ = writeln!(out, "global {}", reg_name(*g));
+    }
+    for &(r, v) in &program.reg_init {
+        match r.bank() {
+            RegBank::Int => {
+                let _ = writeln!(out, "init {} = {:#x}", reg_name(r), v);
+            }
+            RegBank::Fp => {
+                let _ = writeln!(out, "init {} = f{}", reg_name(r), f64::from_bits(v));
+            }
+        }
+    }
+    for &(addr, v) in &program.mem_init {
+        let _ = writeln!(out, "initmem {addr:#x} = {v:#x}");
+    }
+    for (bi, block) in program.blocks.iter().enumerate() {
+        let _ = writeln!(out, "{}:", label_of(bi, &block.label));
+        for instr in &block.instrs {
+            let _ = writeln!(out, "    {}", render_instr(instr, program));
+        }
+    }
+    out
+}
+
+fn label_of(index: usize, label: &str) -> String {
+    // Labels must be unique and identifier-like; prefix with the block
+    // index to guarantee both.
+    let clean: String =
+        label.chars().map(|c| if c.is_alphanumeric() || c == '_' { c } else { '_' }).collect();
+    format!("b{index}_{clean}")
+}
+
+fn reg_name(r: Vreg) -> String {
+    match r.bank() {
+        RegBank::Int => format!("%v{}", r.index()),
+        RegBank::Fp => format!("$w{}", r.index()),
+    }
+}
+
+fn render_instr(instr: &Instr<Vreg>, program: &Program<Vreg>) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    let _ = write!(s, "{}", instr.op);
+    let target = |t: Option<BlockId>| {
+        t.map(|t| label_of(t.index(), &program.blocks[t.index()].label)).unwrap_or_default()
+    };
+    match instr.op {
+        Opcode::Ldq | Opcode::Ldt => {
+            let dest = reg_name(instr.dest.expect("loads have destinations"));
+            match instr.srcs[0] {
+                Some(base) => {
+                    let _ = write!(s, " {dest}, [{} + {}]", reg_name(base), instr.imm);
+                }
+                None => {
+                    let _ = write!(s, " {dest}, [{:#x}]", instr.imm);
+                }
+            }
+        }
+        Opcode::Stq | Opcode::Stt => {
+            let value = reg_name(instr.srcs[1].expect("stores have value operands"));
+            match instr.srcs[0] {
+                Some(base) => {
+                    let _ = write!(s, " [{} + {}], {value}", reg_name(base), instr.imm);
+                }
+                None => {
+                    let _ = write!(s, " [{:#x}], {value}", instr.imm);
+                }
+            }
+        }
+        Opcode::Br => {
+            let _ = write!(s, " {}", target(instr.target));
+        }
+        Opcode::Beq | Opcode::Bne | Opcode::Blt | Opcode::Bge => {
+            let cond = instr.srcs[0].map(reg_name).unwrap_or_else(|| "%v0".into());
+            let _ = write!(s, " {cond}, {}", target(instr.target));
+        }
+        Opcode::Jsr => {
+            let link = reg_name(instr.dest.expect("jsr writes a link"));
+            let _ = write!(s, " {link}, {}", target(instr.target));
+        }
+        Opcode::Ret | Opcode::Jmp => {
+            let addr = instr.srcs[0].map(reg_name).unwrap_or_else(|| "%v0".into());
+            let _ = write!(s, " {addr}");
+        }
+        _ => {
+            let mut first = true;
+            let mut push = |part: String, s: &mut String| {
+                if first {
+                    first = false;
+                    s.push(' ');
+                } else {
+                    s.push_str(", ");
+                }
+                s.push_str(&part);
+            };
+            if let Some(d) = instr.dest {
+                push(reg_name(d), &mut s);
+            }
+            if let Some(a) = instr.srcs[0] {
+                push(reg_name(a), &mut s);
+            }
+            match instr.srcs[1] {
+                Some(b) => push(reg_name(b), &mut s),
+                None => {
+                    // Operate-with-literal form (or a pure immediate).
+                    push(format!("#{}", instr.imm), &mut s);
+                }
+            }
+        }
+    }
+    s
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+struct Parser {
+    name: String,
+    blocks: Vec<(String, Vec<PendingInstr>)>,
+    labels: HashMap<String, usize>,
+    regs: HashMap<String, Vreg>,
+    next_int: u32,
+    next_fp: u32,
+    globals: Vec<Vreg>,
+    reg_init: Vec<(Vreg, u64)>,
+    mem_init: Vec<(u64, u64)>,
+}
+
+struct PendingInstr {
+    line: usize,
+    instr: Instr<Vreg>,
+    target_label: Option<String>,
+}
+
+impl Parser {
+    fn new() -> Parser {
+        Parser {
+            name: "unnamed".to_owned(),
+            blocks: Vec::new(),
+            labels: HashMap::new(),
+            regs: HashMap::new(),
+            next_int: 0,
+            next_fp: 0,
+            globals: Vec::new(),
+            reg_init: Vec::new(),
+            mem_init: Vec::new(),
+        }
+    }
+
+    fn err<T>(line: usize, message: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError { line, message: message.into() })
+    }
+
+    fn reg(&mut self, token: &str, line: usize) -> Result<Vreg, ParseError> {
+        let (bank, name) = match token.chars().next() {
+            Some('%') => (RegBank::Int, &token[1..]),
+            Some('$') => (RegBank::Fp, &token[1..]),
+            _ => return Parser::err(line, format!("expected a register, found `{token}`")),
+        };
+        if name.is_empty() {
+            return Parser::err(line, "empty register name");
+        }
+        let key = format!("{}{name}", if bank == RegBank::Int { '%' } else { '$' });
+        if let Some(&v) = self.regs.get(&key) {
+            return Ok(v);
+        }
+        let v = match bank {
+            RegBank::Int => {
+                let v = Vreg::new(RegBank::Int, self.next_int);
+                self.next_int += 1;
+                v
+            }
+            RegBank::Fp => {
+                let v = Vreg::new(RegBank::Fp, self.next_fp);
+                self.next_fp += 1;
+                v
+            }
+        };
+        self.regs.insert(key, v);
+        Ok(v)
+    }
+
+    fn imm(token: &str, line: usize) -> Result<i64, ParseError> {
+        let t = token.strip_prefix('#').unwrap_or(token);
+        let (neg, t) = match t.strip_prefix('-') {
+            Some(rest) => (true, rest),
+            None => (false, t),
+        };
+        let value = if let Some(hex) = t.strip_prefix("0x") {
+            i64::from_str_radix(hex, 16)
+        } else {
+            t.parse::<i64>()
+        };
+        match value {
+            Ok(v) => Ok(if neg { -v } else { v }),
+            Err(_) => Parser::err(line, format!("bad immediate `{token}`")),
+        }
+    }
+
+    fn parse(mut self, source: &str) -> Result<Program<Vreg>, ParseError> {
+        for (i, raw) in source.lines().enumerate() {
+            let line = i + 1;
+            let text = raw.split(';').next().unwrap_or("").trim();
+            if text.is_empty() {
+                continue;
+            }
+            if let Some(rest) = text.strip_prefix("program") {
+                self.name = rest.trim().trim_matches('"').to_owned();
+            } else if let Some(rest) = text.strip_prefix("global") {
+                let r = self.reg(rest.trim(), line)?;
+                if !self.globals.contains(&r) {
+                    self.globals.push(r);
+                }
+            } else if let Some(rest) = text.strip_prefix("initmem") {
+                let (addr, value) = split_eq(rest, line)?;
+                let addr = Parser::imm(&addr, line)? as u64;
+                let value = Parser::imm(&value, line)? as u64;
+                self.mem_init.push((addr, value));
+            } else if let Some(rest) = text.strip_prefix("init") {
+                let (reg, value) = split_eq(rest, line)?;
+                let r = self.reg(&reg, line)?;
+                let bits = if let Some(f) = value.strip_prefix('f') {
+                    match f.parse::<f64>() {
+                        Ok(x) => x.to_bits(),
+                        Err(_) => return Parser::err(line, format!("bad float `{value}`")),
+                    }
+                } else {
+                    Parser::imm(&value, line)? as u64
+                };
+                self.reg_init.push((r, bits));
+            } else if let Some(label) = text.strip_suffix(':') {
+                let label = label.trim().to_owned();
+                if self.labels.contains_key(&label) {
+                    return Parser::err(line, format!("duplicate label `{label}`"));
+                }
+                self.labels.insert(label.clone(), self.blocks.len());
+                self.blocks.push((label, Vec::new()));
+            } else {
+                if self.blocks.is_empty() {
+                    self.labels.insert("entry".to_owned(), 0);
+                    self.blocks.push(("entry".to_owned(), Vec::new()));
+                }
+                let pending = self.parse_instr(text, line)?;
+                self.blocks.last_mut().expect("nonempty").1.push(pending);
+            }
+        }
+
+        // Resolve labels and assemble.
+        let mut blocks = Vec::with_capacity(self.blocks.len());
+        for (label, pendings) in self.blocks {
+            let mut instrs = Vec::with_capacity(pendings.len());
+            for p in pendings {
+                let mut instr = p.instr;
+                if let Some(target) = p.target_label {
+                    match self.labels.get(&target) {
+                        Some(&idx) => instr.target = Some(BlockId::new(idx)),
+                        None => {
+                            return Parser::err(p.line, format!("unknown label `{target}`"))
+                        }
+                    }
+                }
+                instrs.push(instr);
+            }
+            blocks.push(Block { label, instrs });
+        }
+        let program = Program {
+            name: self.name,
+            blocks,
+            reg_init: self.reg_init,
+            mem_init: self.mem_init,
+            global_candidates: self.globals,
+        };
+        program
+            .validate()
+            .map_err(|e| ParseError { line: 0, message: format!("invalid program: {e}") })?;
+        Ok(program)
+    }
+
+    fn parse_instr(&mut self, text: &str, line: usize) -> Result<PendingInstr, ParseError> {
+        let (mnemonic, rest) = match text.split_once(char::is_whitespace) {
+            Some((m, r)) => (m.trim(), r.trim()),
+            None => (text, ""),
+        };
+        let op = Opcode::all()
+            .iter()
+            .copied()
+            .find(|o| o.mnemonic() == mnemonic)
+            .ok_or_else(|| ParseError {
+                line,
+                message: format!("unknown mnemonic `{mnemonic}`"),
+            })?;
+        let operands: Vec<String> = split_operands(rest);
+        let mut instr = Instr::new(op);
+        let mut target_label = None;
+
+        use Opcode::*;
+        match op {
+            Ldq | Ldt => {
+                if operands.len() != 2 {
+                    return Parser::err(line, "loads take `dest, [base + off]`");
+                }
+                instr.dest = Some(self.reg(&operands[0], line)?);
+                let (base, off) = self.parse_addr(&operands[1], line)?;
+                instr.srcs[0] = base;
+                instr.imm = off;
+            }
+            Stq | Stt => {
+                if operands.len() != 2 {
+                    return Parser::err(line, "stores take `[base + off], value`");
+                }
+                let (base, off) = self.parse_addr(&operands[0], line)?;
+                instr.srcs[0] = base;
+                instr.imm = off;
+                instr.srcs[1] = Some(self.reg(&operands[1], line)?);
+            }
+            Br => {
+                if operands.len() != 1 {
+                    return Parser::err(line, "br takes a label");
+                }
+                target_label = Some(operands[0].clone());
+            }
+            Beq | Bne | Blt | Bge => {
+                if operands.len() != 2 {
+                    return Parser::err(line, "conditional branches take `cond, label`");
+                }
+                instr.srcs[0] = Some(self.reg(&operands[0], line)?);
+                target_label = Some(operands[1].clone());
+            }
+            Jsr => {
+                if operands.len() != 2 {
+                    return Parser::err(line, "jsr takes `link, label`");
+                }
+                instr.dest = Some(self.reg(&operands[0], line)?);
+                target_label = Some(operands[1].clone());
+            }
+            Ret | Jmp => {
+                if operands.len() != 1 {
+                    return Parser::err(line, "ret/jmp take a register");
+                }
+                instr.srcs[0] = Some(self.reg(&operands[0], line)?);
+            }
+            _ => {
+                // Operate form: dest, then sources/immediates per shape.
+                let mut idx = 0;
+                if op.dest_bank().is_some() {
+                    if operands.is_empty() {
+                        return Parser::err(line, format!("`{mnemonic}` needs a destination"));
+                    }
+                    instr.dest = Some(self.reg(&operands[0], line)?);
+                    idx = 1;
+                }
+                let mut src_slot = 0;
+                for operand in &operands[idx..] {
+                    if operand.starts_with('#')
+                        || operand.starts_with("0x")
+                        || operand.starts_with('-')
+                        || operand.chars().next().is_some_and(|c| c.is_ascii_digit())
+                    {
+                        instr.imm = Parser::imm(operand, line)?;
+                    } else {
+                        if src_slot >= 2 {
+                            return Parser::err(line, "too many register sources");
+                        }
+                        instr.srcs[src_slot] = Some(self.reg(operand, line)?);
+                        src_slot += 1;
+                    }
+                }
+            }
+        }
+        Ok(PendingInstr { line, instr, target_label })
+    }
+
+    /// Parses `[%base + off]`, `[%base]`, or `[addr]`.
+    fn parse_addr(
+        &mut self,
+        token: &str,
+        line: usize,
+    ) -> Result<(Option<Vreg>, i64), ParseError> {
+        let inner = token
+            .strip_prefix('[')
+            .and_then(|t| t.strip_suffix(']'))
+            .ok_or_else(|| ParseError {
+                line,
+                message: format!("expected `[...]` address, found `{token}`"),
+            })?
+            .trim();
+        if let Some((base, off)) = inner.split_once('+') {
+            let r = self.reg(base.trim(), line)?;
+            Ok((Some(r), Parser::imm(off.trim(), line)?))
+        } else if let Some((base, off)) = inner.split_once('-') {
+            if base.trim().starts_with('%') || base.trim().starts_with('$') {
+                let r = self.reg(base.trim(), line)?;
+                Ok((Some(r), -Parser::imm(off.trim(), line)?))
+            } else {
+                Ok((None, Parser::imm(inner, line)?))
+            }
+        } else if inner.starts_with('%') || inner.starts_with('$') {
+            Ok((Some(self.reg(inner, line)?), 0))
+        } else {
+            Ok((None, Parser::imm(inner, line)?))
+        }
+    }
+}
+
+fn split_eq(rest: &str, line: usize) -> Result<(String, String), ParseError> {
+    match rest.split_once('=') {
+        Some((a, b)) => Ok((a.trim().to_owned(), b.trim().to_owned())),
+        None => Parser::err(line, "expected `lhs = rhs`"),
+    }
+}
+
+/// Splits operands on commas, keeping `[...]` groups intact.
+fn split_operands(rest: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut depth = 0;
+    let mut cur = String::new();
+    for c in rest.chars() {
+        match c {
+            '[' => {
+                depth += 1;
+                cur.push(c);
+            }
+            ']' => {
+                depth -= 1;
+                cur.push(c);
+            }
+            ',' if depth == 0 => {
+                if !cur.trim().is_empty() {
+                    out.push(cur.trim().to_owned());
+                }
+                cur.clear();
+            }
+            _ => cur.push(c),
+        }
+    }
+    if !cur.trim().is_empty() {
+        out.push(cur.trim().to_owned());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vm::Vm;
+
+    #[test]
+    fn parses_and_runs_a_loop() {
+        let p = parse(
+            r#"
+            program "countdown"
+            global %sp
+            init %sp = 0x9000
+            entry:
+                lda %i, #5
+                lda %sum, #0
+            body:
+                addq %sum, %sum, %i
+                subq %i, %i, #1
+                bne %i, body
+            done:
+                stq [%sp + 0], %sum
+            "#,
+        )
+        .expect("parses");
+        assert_eq!(p.name, "countdown");
+        assert_eq!(p.blocks.len(), 3);
+        assert_eq!(p.global_candidates.len(), 1);
+        let mut vm = Vm::new(&p);
+        vm.run_to_end().unwrap();
+        assert_eq!(vm.memory().read(0x9000), 15);
+    }
+
+    #[test]
+    fn parses_floating_point_and_absolute_memory() {
+        let p = parse(
+            r#"
+            init $acc = f2.5
+            entry:
+                ldt $x, [0x2000]
+                addt $acc, $acc, $x
+                stt [0x2008], $acc
+            "#,
+        )
+        .unwrap();
+        let mut with_mem = p.clone();
+        with_mem.mem_init.push((0x2000, 1.5f64.to_bits()));
+        let mut vm = Vm::new(&with_mem);
+        vm.run_to_end().unwrap();
+        assert_eq!(f64::from_bits(vm.memory().read(0x2008)), 4.0);
+    }
+
+    #[test]
+    fn reports_unknown_mnemonics_with_line_numbers() {
+        let err = parse("entry:\n    frobnicate %x, %y\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("frobnicate"));
+    }
+
+    #[test]
+    fn reports_unknown_labels() {
+        let err = parse("entry:\n    br nowhere\n").unwrap_err();
+        assert!(err.message.contains("nowhere"));
+    }
+
+    #[test]
+    fn rejects_duplicate_labels() {
+        let err = parse("a:\n    lda %x, #1\na:\n").unwrap_err();
+        assert!(err.message.contains("duplicate"));
+    }
+
+    #[test]
+    fn negative_offsets_and_immediates() {
+        let p = parse(
+            r#"
+            entry:
+                lda %base, #0x3000
+                lda %v, #-7
+                stq [%base - 8], %v
+            "#,
+        )
+        .unwrap();
+        let mut vm = Vm::new(&p);
+        vm.run_to_end().unwrap();
+        assert_eq!(vm.memory().read(0x3000 - 8) as i64, -7);
+    }
+
+    #[test]
+    fn roundtrip_through_render() {
+        let original = parse(
+            r#"
+            program "round"
+            global %gp
+            init %gp = 0x8000
+            initmem 0x8000 = 99
+            entry:
+                ldq %v, [%gp + 0]
+                mulq %v, %v, #3
+            loop:
+                subq %v, %v, #1
+                bne %v, loop
+            tail:
+                stq [%gp + 8], %v
+                cvtqt $f, %v
+                addt $f, $f, $f
+                stt [%gp + 16], $f
+            "#,
+        )
+        .unwrap();
+        let text = render(&original);
+        let reparsed = parse(&text).unwrap_or_else(|e| panic!("{e}\n{text}"));
+        // Same structure and identical semantics.
+        assert_eq!(original.blocks.len(), reparsed.blocks.len());
+        assert_eq!(original.static_len(), reparsed.static_len());
+        let mut vm1 = Vm::new(&original);
+        vm1.run_to_end().unwrap();
+        let mut vm2 = Vm::new(&reparsed);
+        vm2.run_to_end().unwrap();
+        assert_eq!(vm1.memory().read(0x8008), vm2.memory().read(0x8008));
+        assert_eq!(vm1.memory().read(0x8010), vm2.memory().read(0x8010));
+    }
+
+    #[test]
+    fn implicit_entry_block() {
+        let p = parse("    lda %x, #1\n").unwrap();
+        assert_eq!(p.blocks.len(), 1);
+        assert_eq!(p.blocks[0].label, "entry");
+    }
+
+    #[test]
+    fn calls_and_returns_parse() {
+        let p = parse(
+            r#"
+            entry:
+                lda %halt, #0
+                jsr %link, callee
+            after:
+                ret %halt
+            callee:
+                lda %x, #42
+                ret %link
+            "#,
+        )
+        .unwrap();
+        let mut vm = Vm::new(&p);
+        vm.run_to_end().unwrap();
+        assert!(vm.is_halted());
+    }
+}

@@ -1,0 +1,498 @@
+//! Ergonomic program construction.
+
+use mcl_isa::{Opcode, RegBank};
+
+use crate::instr::Instr;
+use crate::program::{Block, BlockId, Program, ValidateError};
+use crate::vreg::{RegName, Vreg};
+
+/// Builds a [`Program`] incrementally.
+///
+/// The builder starts with a single `entry` block selected; instruction
+/// helpers append to the selected block. Create further blocks with
+/// [`ProgramBuilder::new_block`] and select them with
+/// [`ProgramBuilder::switch_to`]. For IL programs
+/// (`ProgramBuilder<Vreg>`), [`ProgramBuilder::vreg_int`] and
+/// [`ProgramBuilder::vreg_fp`] mint fresh live ranges.
+///
+/// # Example
+///
+/// ```
+/// use mcl_trace::{ProgramBuilder, Vm};
+///
+/// // Count down from 5, accumulating a sum.
+/// let mut b = ProgramBuilder::new("countdown");
+/// let i = b.vreg_int("i");
+/// let sum = b.vreg_int("sum");
+/// let body = b.new_block("body");
+/// let done = b.new_block("done");
+///
+/// b.lda(i, 5);
+/// b.lda(sum, 0);
+///
+/// b.switch_to(body);
+/// b.addq(sum, sum, i);
+/// b.subq_imm(i, i, 1);
+/// b.bne(i, body);
+///
+/// b.switch_to(done);
+/// let program = b.finish()?;
+///
+/// let mut vm = Vm::new(&program);
+/// vm.run_to_end()?;
+/// assert_eq!(vm.reg(sum), 15);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ProgramBuilder<R = Vreg> {
+    program: Program<R>,
+    current: BlockId,
+    next_int: u32,
+    next_fp: u32,
+}
+
+impl<R: RegName> ProgramBuilder<R> {
+    /// Creates a builder with a single empty `entry` block selected.
+    #[must_use]
+    pub fn new(name: &str) -> ProgramBuilder<R> {
+        ProgramBuilder {
+            program: Program {
+                name: name.to_owned(),
+                blocks: vec![Block { label: "entry".to_owned(), instrs: Vec::new() }],
+                reg_init: Vec::new(),
+                mem_init: Vec::new(),
+                global_candidates: Vec::new(),
+            },
+            current: BlockId::new(0),
+            next_int: 0,
+            next_fp: 0,
+        }
+    }
+
+    /// Appends a new, empty block and returns its id (the selection is
+    /// unchanged).
+    pub fn new_block(&mut self, label: &str) -> BlockId {
+        let id = BlockId::new(self.program.blocks.len());
+        self.program.blocks.push(Block { label: label.to_owned(), instrs: Vec::new() });
+        id
+    }
+
+    /// Selects the block subsequent helpers append to.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block` does not exist.
+    pub fn switch_to(&mut self, block: BlockId) {
+        assert!(block.index() < self.program.blocks.len(), "no such block {block}");
+        self.current = block;
+    }
+
+    /// The currently selected block.
+    #[must_use]
+    pub fn current_block(&self) -> BlockId {
+        self.current
+    }
+
+    /// Appends a raw instruction to the selected block.
+    pub fn push(&mut self, instr: Instr<R>) {
+        self.program.blocks[self.current.index()].instrs.push(instr);
+    }
+
+    /// Records an initial register value.
+    pub fn reg_init(&mut self, reg: R, value: u64) {
+        self.program.reg_init.push((reg, value));
+    }
+
+    /// Records an initial floating-point register value.
+    pub fn reg_init_f64(&mut self, reg: R, value: f64) {
+        self.program.reg_init.push((reg, value.to_bits()));
+    }
+
+    /// Records an initial memory word at `addr` (must be 8-byte aligned).
+    pub fn mem_init(&mut self, addr: u64, value: u64) {
+        self.program.mem_init.push((addr, value));
+    }
+
+    /// Records an initial floating-point memory word.
+    pub fn mem_init_f64(&mut self, addr: u64, value: f64) {
+        self.program.mem_init.push((addr, value.to_bits()));
+    }
+
+    /// Designates `reg` as a global-register candidate (the role the
+    /// paper gives the stack- and global-pointer live ranges).
+    pub fn designate_global_candidate(&mut self, reg: R) {
+        if !self.program.global_candidates.contains(&reg) {
+            self.program.global_candidates.push(reg);
+        }
+    }
+
+    /// Validates and returns the program.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first structural violation; see [`ValidateError`].
+    pub fn finish(self) -> Result<Program<R>, ValidateError> {
+        self.program.validate()?;
+        Ok(self.program)
+    }
+
+    // ---- three-register operate forms ------------------------------------
+
+    fn op3(&mut self, op: Opcode, dest: R, a: R, b: R) {
+        self.push(Instr { op, dest: Some(dest), srcs: [Some(a), Some(b)], imm: 0, target: None });
+    }
+
+    fn op2_imm(&mut self, op: Opcode, dest: R, a: R, imm: i64) {
+        self.push(Instr { op, dest: Some(dest), srcs: [Some(a), None], imm, target: None });
+    }
+
+    /// `dest = a + b`.
+    pub fn addq(&mut self, dest: R, a: R, b: R) {
+        self.op3(Opcode::Addq, dest, a, b);
+    }
+
+    /// `dest = a + imm`.
+    pub fn addq_imm(&mut self, dest: R, a: R, imm: i64) {
+        self.op2_imm(Opcode::Addq, dest, a, imm);
+    }
+
+    /// `dest = a - b`.
+    pub fn subq(&mut self, dest: R, a: R, b: R) {
+        self.op3(Opcode::Subq, dest, a, b);
+    }
+
+    /// `dest = a - imm`.
+    pub fn subq_imm(&mut self, dest: R, a: R, imm: i64) {
+        self.op2_imm(Opcode::Subq, dest, a, imm);
+    }
+
+    /// `dest = a * b` (integer multiply, 6-cycle unit).
+    pub fn mulq(&mut self, dest: R, a: R, b: R) {
+        self.op3(Opcode::Mulq, dest, a, b);
+    }
+
+    /// `dest = a * imm`.
+    pub fn mulq_imm(&mut self, dest: R, a: R, imm: i64) {
+        self.op2_imm(Opcode::Mulq, dest, a, imm);
+    }
+
+    /// `dest = a & b`.
+    pub fn and(&mut self, dest: R, a: R, b: R) {
+        self.op3(Opcode::And, dest, a, b);
+    }
+
+    /// `dest = a & imm`.
+    pub fn and_imm(&mut self, dest: R, a: R, imm: i64) {
+        self.op2_imm(Opcode::And, dest, a, imm);
+    }
+
+    /// `dest = a | b`.
+    pub fn or(&mut self, dest: R, a: R, b: R) {
+        self.op3(Opcode::Or, dest, a, b);
+    }
+
+    /// `dest = a ^ b`.
+    pub fn xor(&mut self, dest: R, a: R, b: R) {
+        self.op3(Opcode::Xor, dest, a, b);
+    }
+
+    /// `dest = a ^ imm`.
+    pub fn xor_imm(&mut self, dest: R, a: R, imm: i64) {
+        self.op2_imm(Opcode::Xor, dest, a, imm);
+    }
+
+    /// `dest = a << imm`.
+    pub fn sll_imm(&mut self, dest: R, a: R, imm: i64) {
+        self.op2_imm(Opcode::Sll, dest, a, imm);
+    }
+
+    /// `dest = a >> imm` (logical).
+    pub fn srl_imm(&mut self, dest: R, a: R, imm: i64) {
+        self.op2_imm(Opcode::Srl, dest, a, imm);
+    }
+
+    /// `dest = a >> imm` (arithmetic).
+    pub fn sra_imm(&mut self, dest: R, a: R, imm: i64) {
+        self.op2_imm(Opcode::Sra, dest, a, imm);
+    }
+
+    /// `dest = (a == b) as u64`.
+    pub fn cmpeq(&mut self, dest: R, a: R, b: R) {
+        self.op3(Opcode::Cmpeq, dest, a, b);
+    }
+
+    /// `dest = (a == imm) as u64`.
+    pub fn cmpeq_imm(&mut self, dest: R, a: R, imm: i64) {
+        self.op2_imm(Opcode::Cmpeq, dest, a, imm);
+    }
+
+    /// `dest = (a < b) as u64` (signed).
+    pub fn cmplt(&mut self, dest: R, a: R, b: R) {
+        self.op3(Opcode::Cmplt, dest, a, b);
+    }
+
+    /// `dest = (a < imm) as u64` (signed).
+    pub fn cmplt_imm(&mut self, dest: R, a: R, imm: i64) {
+        self.op2_imm(Opcode::Cmplt, dest, a, imm);
+    }
+
+    /// `dest = (a <= b) as u64` (signed).
+    pub fn cmple(&mut self, dest: R, a: R, b: R) {
+        self.op3(Opcode::Cmple, dest, a, b);
+    }
+
+    /// `dest = (a < b) as u64` (unsigned).
+    pub fn cmpult(&mut self, dest: R, a: R, b: R) {
+        self.op3(Opcode::Cmpult, dest, a, b);
+    }
+
+    /// `dest = imm` (load immediate).
+    pub fn lda(&mut self, dest: R, imm: i64) {
+        self.push(Instr { op: Opcode::Lda, dest: Some(dest), srcs: [None, None], imm, target: None });
+    }
+
+    /// `dest = base + imm` (load address).
+    pub fn lda_reg(&mut self, dest: R, base: R, imm: i64) {
+        self.op2_imm(Opcode::Lda, dest, base, imm);
+    }
+
+    /// `dest = src` (integer move).
+    pub fn mov(&mut self, dest: R, src: R) {
+        self.op2_imm(Opcode::Addq, dest, src, 0);
+    }
+
+    // ---- floating point ---------------------------------------------------
+
+    /// `dest = a + b` (floating point).
+    pub fn addt(&mut self, dest: R, a: R, b: R) {
+        self.op3(Opcode::Addt, dest, a, b);
+    }
+
+    /// `dest = a - b` (floating point).
+    pub fn subt(&mut self, dest: R, a: R, b: R) {
+        self.op3(Opcode::Subt, dest, a, b);
+    }
+
+    /// `dest = a * b` (floating point).
+    pub fn mult(&mut self, dest: R, a: R, b: R) {
+        self.op3(Opcode::Mult, dest, a, b);
+    }
+
+    /// `dest = a / b` (single precision: 8-cycle unpipelined divider).
+    pub fn divs(&mut self, dest: R, a: R, b: R) {
+        self.op3(Opcode::Divs, dest, a, b);
+    }
+
+    /// `dest = a / b` (double precision: 16-cycle unpipelined divider).
+    pub fn divt(&mut self, dest: R, a: R, b: R) {
+        self.op3(Opcode::Divt, dest, a, b);
+    }
+
+    /// `dest = sqrt(a)` (single precision, occupies the divider).
+    pub fn sqrts(&mut self, dest: R, a: R) {
+        self.push(Instr { op: Opcode::Sqrts, dest: Some(dest), srcs: [Some(a), None], imm: 0, target: None });
+    }
+
+    /// `dest = sqrt(a)` (double precision, occupies the divider).
+    pub fn sqrtt(&mut self, dest: R, a: R) {
+        self.push(Instr { op: Opcode::Sqrtt, dest: Some(dest), srcs: [Some(a), None], imm: 0, target: None });
+    }
+
+    /// `dest(int) = (a == b) as u64` (floating-point compare).
+    pub fn cmpteq(&mut self, dest: R, a: R, b: R) {
+        self.op3(Opcode::Cmpteq, dest, a, b);
+    }
+
+    /// `dest(int) = (a < b) as u64` (floating-point compare).
+    pub fn cmptlt(&mut self, dest: R, a: R, b: R) {
+        self.op3(Opcode::Cmptlt, dest, a, b);
+    }
+
+    /// `dest(fp) = a as f64` (integer-to-float convert).
+    pub fn cvtqt(&mut self, dest: R, a: R) {
+        self.push(Instr { op: Opcode::Cvtqt, dest: Some(dest), srcs: [Some(a), None], imm: 0, target: None });
+    }
+
+    /// `dest(int) = trunc(a)` (float-to-integer convert).
+    pub fn cvttq(&mut self, dest: R, a: R) {
+        self.push(Instr { op: Opcode::Cvttq, dest: Some(dest), srcs: [Some(a), None], imm: 0, target: None });
+    }
+
+    /// `dest = src` (floating-point move).
+    pub fn fmov(&mut self, dest: R, src: R) {
+        self.push(Instr { op: Opcode::Fmov, dest: Some(dest), srcs: [Some(src), None], imm: 0, target: None });
+    }
+
+    // ---- memory -------------------------------------------------------------
+
+    /// `dest = mem[base + offset]` (integer load).
+    pub fn ldq(&mut self, dest: R, base: R, offset: i64) {
+        self.push(Instr {
+            op: Opcode::Ldq,
+            dest: Some(dest),
+            srcs: [Some(base), None],
+            imm: offset,
+            target: None,
+        });
+    }
+
+    /// `dest = mem[imm]` (integer load, absolute address).
+    pub fn ldq_abs(&mut self, dest: R, addr: i64) {
+        self.push(Instr { op: Opcode::Ldq, dest: Some(dest), srcs: [None, None], imm: addr, target: None });
+    }
+
+    /// `mem[base + offset] = value` (integer store).
+    pub fn stq(&mut self, base: R, offset: i64, value: R) {
+        self.push(Instr {
+            op: Opcode::Stq,
+            dest: None,
+            srcs: [Some(base), Some(value)],
+            imm: offset,
+            target: None,
+        });
+    }
+
+    /// `dest(fp) = mem[base + offset]` (floating-point load).
+    pub fn ldt(&mut self, dest: R, base: R, offset: i64) {
+        self.push(Instr {
+            op: Opcode::Ldt,
+            dest: Some(dest),
+            srcs: [Some(base), None],
+            imm: offset,
+            target: None,
+        });
+    }
+
+    /// `mem[base + offset] = value(fp)` (floating-point store).
+    pub fn stt(&mut self, base: R, offset: i64, value: R) {
+        self.push(Instr {
+            op: Opcode::Stt,
+            dest: None,
+            srcs: [Some(base), Some(value)],
+            imm: offset,
+            target: None,
+        });
+    }
+
+    // ---- control flow ---------------------------------------------------
+
+    /// Unconditional branch to `target`.
+    pub fn br(&mut self, target: BlockId) {
+        self.push(Instr { op: Opcode::Br, dest: None, srcs: [None, None], imm: 0, target: Some(target) });
+    }
+
+    /// Branch to `target` if `cond == 0`.
+    pub fn beq(&mut self, cond: R, target: BlockId) {
+        self.push(Instr { op: Opcode::Beq, dest: None, srcs: [Some(cond), None], imm: 0, target: Some(target) });
+    }
+
+    /// Branch to `target` if `cond != 0`.
+    pub fn bne(&mut self, cond: R, target: BlockId) {
+        self.push(Instr { op: Opcode::Bne, dest: None, srcs: [Some(cond), None], imm: 0, target: Some(target) });
+    }
+
+    /// Branch to `target` if `cond < 0` (signed).
+    pub fn blt(&mut self, cond: R, target: BlockId) {
+        self.push(Instr { op: Opcode::Blt, dest: None, srcs: [Some(cond), None], imm: 0, target: Some(target) });
+    }
+
+    /// Branch to `target` if `cond >= 0` (signed).
+    pub fn bge(&mut self, cond: R, target: BlockId) {
+        self.push(Instr { op: Opcode::Bge, dest: None, srcs: [Some(cond), None], imm: 0, target: Some(target) });
+    }
+
+    /// Call `target`, writing the return address to `link`.
+    pub fn jsr(&mut self, link: R, target: BlockId) {
+        self.push(Instr { op: Opcode::Jsr, dest: Some(link), srcs: [None, None], imm: 0, target: Some(target) });
+    }
+
+    /// Return through `link` (jump to the address it holds; address 0
+    /// halts the program).
+    pub fn ret(&mut self, link: R) {
+        self.push(Instr { op: Opcode::Ret, dest: None, srcs: [Some(link), None], imm: 0, target: None });
+    }
+
+    /// Indirect jump through `addr` (address 0 halts the program).
+    pub fn jmp(&mut self, addr: R) {
+        self.push(Instr { op: Opcode::Jmp, dest: None, srcs: [Some(addr), None], imm: 0, target: None });
+    }
+}
+
+impl ProgramBuilder<Vreg> {
+    /// Mints a fresh integer live range. The name is currently used only
+    /// for documentation at call sites.
+    pub fn vreg_int(&mut self, _name: &str) -> Vreg {
+        let v = Vreg::new(RegBank::Int, self.next_int);
+        self.next_int += 1;
+        v
+    }
+
+    /// Mints a fresh floating-point live range.
+    pub fn vreg_fp(&mut self, _name: &str) -> Vreg {
+        let v = Vreg::new(RegBank::Fp, self.next_fp);
+        self.next_fp += 1;
+        v
+    }
+
+    /// The number of integer live ranges minted so far.
+    #[must_use]
+    pub fn int_vregs(&self) -> u32 {
+        self.next_int
+    }
+
+    /// The number of floating-point live ranges minted so far.
+    #[must_use]
+    pub fn fp_vregs(&self) -> u32 {
+        self.next_fp
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_produces_valid_programs() {
+        let mut b = ProgramBuilder::new("t");
+        let x = b.vreg_int("x");
+        let y = b.vreg_fp("y");
+        let exit = b.new_block("exit");
+        b.lda(x, 42);
+        b.cvtqt(y, x);
+        b.sqrtt(y, y);
+        b.br(exit);
+        b.switch_to(exit);
+        let p = b.finish().expect("valid");
+        assert_eq!(p.blocks.len(), 2);
+        assert_eq!(p.static_len(), 4);
+    }
+
+    #[test]
+    fn fresh_vregs_do_not_collide() {
+        let mut b = ProgramBuilder::new("t");
+        let a = b.vreg_int("a");
+        let c = b.vreg_int("c");
+        let f = b.vreg_fp("f");
+        assert_ne!(a, c);
+        assert_ne!(a.storage_index(), f.storage_index());
+        use crate::vreg::RegName;
+        assert_eq!(b.int_vregs(), 2);
+        assert_eq!(b.fp_vregs(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "no such block")]
+    fn switching_to_missing_block_panics() {
+        let mut b = ProgramBuilder::<Vreg>::new("t");
+        b.switch_to(BlockId::new(3));
+    }
+
+    #[test]
+    fn invalid_instruction_fails_finish() {
+        let mut b = ProgramBuilder::new("t");
+        let f = b.vreg_fp("f");
+        // lda writes an integer, so an fp destination must be rejected.
+        b.lda(f, 1);
+        assert!(b.finish().is_err());
+    }
+}

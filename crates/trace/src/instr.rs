@@ -1,0 +1,157 @@
+//! The generic instruction representation.
+
+use std::fmt;
+
+use mcl_isa::{InstrClass, Opcode};
+use serde::{Deserialize, Serialize};
+
+use crate::program::BlockId;
+use crate::vreg::RegName;
+
+/// One instruction of a [`crate::Program`], generic over the register
+/// name space `R` (live ranges for IL programs, architectural registers
+/// for machine programs).
+///
+/// Operand conventions:
+///
+/// - A `None` source slot reads as zero (the hardwired zero register of
+///   the machine form). Binary *integer* operations with `srcs[1] ==
+///   None` use [`Instr::imm`] as their second operand instead (the Alpha
+///   operate-with-literal form).
+/// - Loads and stores compute their effective address as
+///   `srcs[0] + imm`; the stored value of a store is `srcs[1]`.
+/// - Control flow: direct branches and calls carry a static
+///   [`Instr::target`] block; `jmp`/`ret` jump through `srcs[0]`
+///   dynamically. A conditional branch falls through to the next block in
+///   layout order when not taken.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Instr<R> {
+    /// The operation.
+    pub op: Opcode,
+    /// Destination register, if the opcode produces one.
+    pub dest: Option<R>,
+    /// Up to two register sources; `None` slots read as zero.
+    pub srcs: [Option<R>; 2],
+    /// Immediate operand (literal, address displacement, or shift count).
+    pub imm: i64,
+    /// Static control-flow target, for direct branches and calls.
+    pub target: Option<BlockId>,
+}
+
+impl<R: RegName> Instr<R> {
+    /// Creates an instruction with no operands; callers fill in the
+    /// fields they need. Prefer the [`crate::ProgramBuilder`] helpers.
+    #[must_use]
+    pub fn new(op: Opcode) -> Instr<R> {
+        Instr { op, dest: None, srcs: [None, None], imm: 0, target: None }
+    }
+
+    /// The Table 1 instruction class.
+    #[must_use]
+    pub fn class(&self) -> InstrClass {
+        self.op.class()
+    }
+
+    /// Iterates over the registers this instruction reads (skipping zero
+    /// registers, which carry no dependence).
+    pub fn reads(&self) -> impl Iterator<Item = R> + '_ {
+        self.srcs.iter().flatten().copied().filter(|r| !r.is_zero())
+    }
+
+    /// The register this instruction writes, if any (zero-register
+    /// destinations are reported as `None`: the write is discarded).
+    #[must_use]
+    pub fn writes(&self) -> Option<R> {
+        self.dest.filter(|r| !r.is_zero())
+    }
+
+    /// All registers named by the instruction (reads then write).
+    pub fn named_regs(&self) -> impl Iterator<Item = R> + '_ {
+        self.reads().chain(self.writes())
+    }
+
+    /// Whether this instruction ends a basic block.
+    #[must_use]
+    pub fn is_terminator(&self) -> bool {
+        self.op.is_control_flow()
+    }
+}
+
+impl<R: RegName> fmt::Display for Instr<R> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.op)?;
+        let mut first = true;
+        let mut sep = |f: &mut fmt::Formatter<'_>| -> fmt::Result {
+            if first {
+                first = false;
+                write!(f, " ")
+            } else {
+                write!(f, ", ")
+            }
+        };
+        if let Some(d) = self.dest {
+            sep(f)?;
+            write!(f, "{d}")?;
+        }
+        for src in self.srcs.iter().flatten() {
+            sep(f)?;
+            write!(f, "{src}")?;
+        }
+        if self.imm != 0 || (self.srcs[1].is_none() && !self.op.is_control_flow()) {
+            sep(f)?;
+            write!(f, "#{}", self.imm)?;
+        }
+        if let Some(t) = self.target {
+            sep(f)?;
+            write!(f, "-> {t}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vreg::Vreg;
+
+    #[test]
+    fn reads_skip_zero_registers() {
+        use mcl_isa::ArchReg;
+        let instr = Instr::<ArchReg> {
+            op: Opcode::Addq,
+            dest: Some(ArchReg::int(2)),
+            srcs: [Some(ArchReg::ZERO), Some(ArchReg::int(4))],
+            imm: 0,
+            target: None,
+        };
+        let reads: Vec<_> = instr.reads().collect();
+        assert_eq!(reads, vec![ArchReg::int(4)]);
+        assert_eq!(instr.writes(), Some(ArchReg::int(2)));
+    }
+
+    #[test]
+    fn zero_destination_is_no_write() {
+        use mcl_isa::ArchReg;
+        let mut instr = Instr::<ArchReg>::new(Opcode::Addq);
+        instr.dest = Some(ArchReg::ZERO);
+        assert_eq!(instr.writes(), None);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let instr = Instr::<Vreg> {
+            op: Opcode::Addq,
+            dest: Some(Vreg::int(1)),
+            srcs: [Some(Vreg::int(2)), None],
+            imm: 5,
+            target: None,
+        };
+        assert_eq!(instr.to_string(), "addq v1, v2, #5");
+    }
+
+    #[test]
+    fn terminators_are_control_flow() {
+        assert!(Instr::<Vreg>::new(Opcode::Br).is_terminator());
+        assert!(!Instr::<Vreg>::new(Opcode::Ldq).is_terminator());
+    }
+}

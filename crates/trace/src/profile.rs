@@ -1,0 +1,98 @@
+//! Execution profiles.
+
+use serde::{Deserialize, Serialize};
+
+use crate::program::BlockId;
+
+/// A per-basic-block execution profile.
+///
+/// The paper's local scheduler sorts basic blocks "according to the
+/// number of times the first instruction in each basic block is estimated
+/// to be executed", with "estimates derived from profiling the execution
+/// of the application" — this type carries those estimates. Profiles are
+/// produced by [`crate::Vm`] runs and consumed by `mcl-sched`.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Profile {
+    counts: Vec<u64>,
+}
+
+impl Profile {
+    /// An all-zero profile for a program with `blocks` basic blocks.
+    #[must_use]
+    pub fn new(blocks: usize) -> Profile {
+        Profile { counts: vec![0; blocks] }
+    }
+
+    /// Builds a profile from explicit counts (e.g. the annotations of the
+    /// paper's Figure 6).
+    #[must_use]
+    pub fn from_counts(counts: Vec<u64>) -> Profile {
+        Profile { counts }
+    }
+
+    /// Records one execution of `block`.
+    pub fn record(&mut self, block: BlockId) {
+        if block.index() >= self.counts.len() {
+            self.counts.resize(block.index() + 1, 0);
+        }
+        self.counts[block.index()] += 1;
+    }
+
+    /// The execution estimate for `block` (0 for unknown blocks).
+    #[must_use]
+    pub fn count(&self, block: BlockId) -> u64 {
+        self.counts.get(block.index()).copied().unwrap_or(0)
+    }
+
+    /// The number of blocks covered.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Whether the profile covers no blocks.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// Total block executions recorded.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_query() {
+        let mut p = Profile::new(2);
+        p.record(BlockId::new(0));
+        p.record(BlockId::new(0));
+        p.record(BlockId::new(1));
+        assert_eq!(p.count(BlockId::new(0)), 2);
+        assert_eq!(p.count(BlockId::new(1)), 1);
+        assert_eq!(p.total(), 3);
+    }
+
+    #[test]
+    fn recording_grows_the_table() {
+        let mut p = Profile::new(1);
+        p.record(BlockId::new(5));
+        assert_eq!(p.count(BlockId::new(5)), 1);
+        assert_eq!(p.count(BlockId::new(4)), 0);
+        assert_eq!(p.len(), 6);
+    }
+
+    #[test]
+    fn figure6_style_counts() {
+        // The paper's Figure 6 annotates blocks with estimates
+        // (20, 10, 10, 100, 20).
+        let p = Profile::from_counts(vec![20, 10, 10, 100, 20]);
+        assert_eq!(p.count(BlockId::new(3)), 100);
+        assert!(!p.is_empty());
+    }
+}

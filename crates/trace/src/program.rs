@@ -1,0 +1,490 @@
+//! Programs: control-flow graphs of basic blocks, plus code layout.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::instr::Instr;
+use crate::vreg::RegName;
+
+/// Identifies a basic block within a [`Program`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct BlockId(u32);
+
+impl BlockId {
+    /// Creates a block identifier from a dense index.
+    #[must_use]
+    pub fn new(index: usize) -> BlockId {
+        BlockId(u32::try_from(index).expect("block index fits in u32"))
+    }
+
+    /// The dense index of the block.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bb{}", self.0)
+    }
+}
+
+/// One basic block: a label and a straight-line instruction sequence.
+///
+/// Only the final instruction may be control flow. A block whose final
+/// instruction is not control flow *falls through* to the next block in
+/// layout order.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Block<R> {
+    /// Human-readable label, for diagnostics and listings.
+    pub label: String,
+    /// The instructions, in schedule (fetch) order.
+    pub instrs: Vec<Instr<R>>,
+}
+
+/// A complete program: blocks in layout order (block 0 is the entry),
+/// initial register values, and an initial memory image.
+///
+/// Programs come in two forms sharing this one type: *IL programs*
+/// (`Program<Vreg>`, instructions name live ranges) and *machine
+/// programs* (`Program<ArchReg>`). The scheduling pipeline in `mcl-sched`
+/// lowers the former to the latter.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Program<R> {
+    /// Program name, for reports.
+    pub name: String,
+    /// Basic blocks in layout order; execution starts at block 0.
+    pub blocks: Vec<Block<R>>,
+    /// Registers to initialise before execution (all others start at 0).
+    pub reg_init: Vec<(R, u64)>,
+    /// 64-bit words to place in memory before execution, as
+    /// (byte address, value) pairs; addresses must be 8-byte aligned.
+    pub mem_init: Vec<(u64, u64)>,
+    /// Registers designated as *global-register candidates* for the
+    /// multicluster schedulers (the paper designates "the live ranges
+    /// associated with the stack pointer and the global pointer";
+    /// Section 3.1 step 3). Ignored by the VM.
+    pub global_candidates: Vec<R>,
+}
+
+/// Errors produced by [`Program::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidateError {
+    /// The program has no blocks.
+    Empty,
+    /// An instruction's destination is missing, spurious, or in the wrong
+    /// bank for its opcode.
+    BadDest { block: BlockId, index: usize, detail: String },
+    /// An instruction's source is spurious or in the wrong bank.
+    BadSrc { block: BlockId, index: usize, detail: String },
+    /// A control-flow instruction appears before the end of its block.
+    ControlFlowMidBlock { block: BlockId, index: usize },
+    /// A direct branch or call is missing its target, or a non-branch has
+    /// one.
+    BadTarget { block: BlockId, index: usize, detail: String },
+    /// A branch target names a nonexistent block.
+    TargetOutOfRange { block: BlockId, index: usize, target: BlockId },
+    /// An entry in [`Program::mem_init`] is not 8-byte aligned.
+    UnalignedMemInit { addr: u64 },
+}
+
+impl fmt::Display for ValidateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidateError::Empty => write!(f, "program has no blocks"),
+            ValidateError::BadDest { block, index, detail } => {
+                write!(f, "{block}[{index}]: bad destination: {detail}")
+            }
+            ValidateError::BadSrc { block, index, detail } => {
+                write!(f, "{block}[{index}]: bad source: {detail}")
+            }
+            ValidateError::ControlFlowMidBlock { block, index } => {
+                write!(f, "{block}[{index}]: control flow before end of block")
+            }
+            ValidateError::BadTarget { block, index, detail } => {
+                write!(f, "{block}[{index}]: bad target: {detail}")
+            }
+            ValidateError::TargetOutOfRange { block, index, target } => {
+                write!(f, "{block}[{index}]: target {target} out of range")
+            }
+            ValidateError::UnalignedMemInit { addr } => {
+                write!(f, "mem_init address {addr:#x} not 8-byte aligned")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ValidateError {}
+
+impl<R: RegName> Program<R> {
+    /// Checks the structural invariants the VM and simulator rely on.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violation found; see [`ValidateError`].
+    pub fn validate(&self) -> Result<(), ValidateError> {
+        if self.blocks.is_empty() {
+            return Err(ValidateError::Empty);
+        }
+        for (bi, block) in self.blocks.iter().enumerate() {
+            let bid = BlockId::new(bi);
+            for (ii, instr) in block.instrs.iter().enumerate() {
+                self.validate_instr(bid, ii, instr, ii + 1 == block.instrs.len())?;
+            }
+        }
+        for &(addr, _) in &self.mem_init {
+            if addr % 8 != 0 {
+                return Err(ValidateError::UnalignedMemInit { addr });
+            }
+        }
+        Ok(())
+    }
+
+    fn validate_instr(
+        &self,
+        block: BlockId,
+        index: usize,
+        instr: &Instr<R>,
+        is_last: bool,
+    ) -> Result<(), ValidateError> {
+        let op = instr.op;
+        // Destination shape.
+        match (op.dest_bank(), instr.dest) {
+            (Some(bank), Some(dest)) if dest.bank() != bank => {
+                return Err(ValidateError::BadDest {
+                    block,
+                    index,
+                    detail: format!("{op} writes {bank} but dest {dest} is {}", dest.bank()),
+                });
+            }
+            (Some(_), None) => {
+                return Err(ValidateError::BadDest {
+                    block,
+                    index,
+                    detail: format!("{op} requires a destination"),
+                });
+            }
+            (None, Some(dest)) => {
+                return Err(ValidateError::BadDest {
+                    block,
+                    index,
+                    detail: format!("{op} takes no destination but has {dest}"),
+                });
+            }
+            _ => {}
+        }
+        // Source shapes.
+        for (slot, (expected, actual)) in
+            op.src_banks().into_iter().zip(instr.srcs).enumerate()
+        {
+            match (expected, actual) {
+                (Some(bank), Some(src)) if src.bank() != bank => {
+                    return Err(ValidateError::BadSrc {
+                        block,
+                        index,
+                        detail: format!(
+                            "{op} source {slot} is {bank} but {src} is {}",
+                            src.bank()
+                        ),
+                    });
+                }
+                (None, Some(src)) => {
+                    return Err(ValidateError::BadSrc {
+                        block,
+                        index,
+                        detail: format!("{op} has no source {slot} but names {src}"),
+                    });
+                }
+                _ => {}
+            }
+        }
+        // Control-flow placement and targets.
+        if op.is_control_flow() && !is_last {
+            return Err(ValidateError::ControlFlowMidBlock { block, index });
+        }
+        let needs_target = matches!(
+            op,
+            mcl_isa::Opcode::Br
+                | mcl_isa::Opcode::Beq
+                | mcl_isa::Opcode::Bne
+                | mcl_isa::Opcode::Blt
+                | mcl_isa::Opcode::Bge
+                | mcl_isa::Opcode::Jsr
+        );
+        match (needs_target, instr.target) {
+            (true, None) => {
+                return Err(ValidateError::BadTarget {
+                    block,
+                    index,
+                    detail: format!("{op} requires a static target"),
+                });
+            }
+            (false, Some(_)) => {
+                return Err(ValidateError::BadTarget {
+                    block,
+                    index,
+                    detail: format!("{op} takes no static target"),
+                });
+            }
+            (true, Some(target)) if target.index() >= self.blocks.len() => {
+                return Err(ValidateError::TargetOutOfRange { block, index, target });
+            }
+            _ => {}
+        }
+        Ok(())
+    }
+
+    /// The total number of static instructions.
+    #[must_use]
+    pub fn static_len(&self) -> usize {
+        self.blocks.iter().map(|b| b.instrs.len()).sum()
+    }
+
+    /// Computes the code layout (instruction addresses).
+    #[must_use]
+    pub fn layout(&self) -> Layout {
+        Layout::of(self)
+    }
+
+    /// A disassembly-style listing, for diagnostics.
+    #[must_use]
+    pub fn listing(&self) -> String {
+        use std::fmt::Write as _;
+        let layout = self.layout();
+        let mut out = String::new();
+        for (bi, block) in self.blocks.iter().enumerate() {
+            let bid = BlockId::new(bi);
+            let _ = writeln!(out, "{bid} <{}>:", block.label);
+            for (ii, instr) in block.instrs.iter().enumerate() {
+                let _ = writeln!(out, "  {:#08x}  {instr}", layout.pc_of(bid, ii));
+            }
+        }
+        out
+    }
+}
+
+/// The code layout of a program: every instruction occupies four bytes,
+/// blocks are laid out contiguously in block order starting at
+/// [`Layout::CODE_BASE`].
+///
+/// The layout provides instruction addresses for the instruction cache
+/// and the PC values recorded in traces, and maps PCs back to program
+/// locations for indirect jumps.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Layout {
+    block_starts: Vec<u64>,
+    total_instrs: usize,
+}
+
+impl Layout {
+    /// Base address of the code segment.
+    pub const CODE_BASE: u64 = 0x0001_0000;
+    /// Bytes per instruction.
+    pub const INSTR_BYTES: u64 = 4;
+
+    fn of<R>(program: &Program<R>) -> Layout {
+        let mut block_starts = Vec::with_capacity(program.blocks.len());
+        let mut pc = Layout::CODE_BASE;
+        let mut total = 0usize;
+        for block in &program.blocks {
+            block_starts.push(pc);
+            pc += block.instrs.len() as u64 * Layout::INSTR_BYTES;
+            total += block.instrs.len();
+        }
+        Layout { block_starts, total_instrs: total }
+    }
+
+    /// The address of instruction `index` of `block`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block` is out of range.
+    #[must_use]
+    pub fn pc_of(&self, block: BlockId, index: usize) -> u64 {
+        self.block_starts[block.index()] + index as u64 * Layout::INSTR_BYTES
+    }
+
+    /// Maps an address back to `(block, instruction index)`.
+    ///
+    /// Returns `None` for addresses outside the code segment or not on an
+    /// instruction boundary.
+    #[must_use]
+    pub fn loc_of(&self, pc: u64) -> Option<(BlockId, usize)> {
+        if pc < Layout::CODE_BASE || !pc.is_multiple_of(Layout::INSTR_BYTES) {
+            return None;
+        }
+        let end = Layout::CODE_BASE + self.total_instrs as u64 * Layout::INSTR_BYTES;
+        if pc >= end {
+            return None;
+        }
+        // block_starts is sorted; find the block containing pc.
+        let bi = match self.block_starts.binary_search(&pc) {
+            Ok(exact) => {
+                // Skip empty blocks that share a start address.
+                let mut bi = exact;
+                while bi + 1 < self.block_starts.len() && self.block_starts[bi + 1] == pc {
+                    bi += 1;
+                }
+                bi
+            }
+            Err(insert) => insert - 1,
+        };
+        let index = ((pc - self.block_starts[bi]) / Layout::INSTR_BYTES) as usize;
+        Some((BlockId::new(bi), index))
+    }
+
+    /// The total number of instructions laid out.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.total_instrs
+    }
+
+    /// Whether the program has no instructions.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.total_instrs == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vreg::Vreg;
+    use mcl_isa::Opcode;
+
+    fn block(label: &str, instrs: Vec<Instr<Vreg>>) -> Block<Vreg> {
+        Block { label: label.to_owned(), instrs }
+    }
+
+    fn lda(dest: Vreg, imm: i64) -> Instr<Vreg> {
+        Instr { op: Opcode::Lda, dest: Some(dest), srcs: [None, None], imm, target: None }
+    }
+
+    fn simple_program() -> Program<Vreg> {
+        let v0 = Vreg::int(0);
+        Program {
+            name: "p".into(),
+            blocks: vec![
+                block("entry", vec![lda(v0, 1), lda(v0, 2)]),
+                block("next", vec![lda(v0, 3)]),
+            ],
+            reg_init: vec![],
+            mem_init: vec![],
+            global_candidates: vec![],
+        }
+    }
+
+    #[test]
+    fn valid_program_validates() {
+        assert_eq!(simple_program().validate(), Ok(()));
+    }
+
+    #[test]
+    fn empty_program_is_rejected() {
+        let p = Program::<Vreg> {
+            name: "e".into(),
+            blocks: vec![],
+            reg_init: vec![],
+            mem_init: vec![],
+            global_candidates: vec![],
+        };
+        assert_eq!(p.validate(), Err(ValidateError::Empty));
+    }
+
+    #[test]
+    fn missing_destination_is_rejected() {
+        let mut p = simple_program();
+        p.blocks[0].instrs[0].dest = None;
+        assert!(matches!(p.validate(), Err(ValidateError::BadDest { .. })));
+    }
+
+    #[test]
+    fn wrong_bank_destination_is_rejected() {
+        let mut p = simple_program();
+        p.blocks[0].instrs[0].dest = Some(Vreg::fp(0));
+        assert!(matches!(p.validate(), Err(ValidateError::BadDest { .. })));
+    }
+
+    #[test]
+    fn control_flow_mid_block_is_rejected() {
+        let mut p = simple_program();
+        p.blocks[0].instrs[0] = Instr {
+            op: Opcode::Br,
+            dest: None,
+            srcs: [None, None],
+            imm: 0,
+            target: Some(BlockId::new(1)),
+        };
+        assert!(matches!(p.validate(), Err(ValidateError::ControlFlowMidBlock { .. })));
+    }
+
+    #[test]
+    fn branch_without_target_is_rejected() {
+        let mut p = simple_program();
+        p.blocks[1].instrs.push(Instr {
+            op: Opcode::Br,
+            dest: None,
+            srcs: [None, None],
+            imm: 0,
+            target: None,
+        });
+        assert!(matches!(p.validate(), Err(ValidateError::BadTarget { .. })));
+    }
+
+    #[test]
+    fn branch_target_out_of_range_is_rejected() {
+        let mut p = simple_program();
+        p.blocks[1].instrs.push(Instr {
+            op: Opcode::Br,
+            dest: None,
+            srcs: [None, None],
+            imm: 0,
+            target: Some(BlockId::new(99)),
+        });
+        assert!(matches!(p.validate(), Err(ValidateError::TargetOutOfRange { .. })));
+    }
+
+    #[test]
+    fn unaligned_mem_init_is_rejected() {
+        let mut p = simple_program();
+        p.mem_init.push((3, 7));
+        assert!(matches!(p.validate(), Err(ValidateError::UnalignedMemInit { addr: 3 })));
+    }
+
+    #[test]
+    fn layout_addresses_are_contiguous() {
+        let p = simple_program();
+        let layout = p.layout();
+        assert_eq!(layout.len(), 3);
+        assert_eq!(layout.pc_of(BlockId::new(0), 0), Layout::CODE_BASE);
+        assert_eq!(layout.pc_of(BlockId::new(0), 1), Layout::CODE_BASE + 4);
+        assert_eq!(layout.pc_of(BlockId::new(1), 0), Layout::CODE_BASE + 8);
+    }
+
+    #[test]
+    fn layout_roundtrips_pc_to_location() {
+        let p = simple_program();
+        let layout = p.layout();
+        for (bi, block) in p.blocks.iter().enumerate() {
+            for ii in 0..block.instrs.len() {
+                let bid = BlockId::new(bi);
+                let pc = layout.pc_of(bid, ii);
+                assert_eq!(layout.loc_of(pc), Some((bid, ii)));
+            }
+        }
+        assert_eq!(layout.loc_of(Layout::CODE_BASE - 4), None);
+        assert_eq!(layout.loc_of(Layout::CODE_BASE + 12), None);
+        assert_eq!(layout.loc_of(Layout::CODE_BASE + 1), None);
+    }
+
+    #[test]
+    fn listing_mentions_every_block() {
+        let p = simple_program();
+        let listing = p.listing();
+        assert!(listing.contains("bb0 <entry>:"));
+        assert!(listing.contains("bb1 <next>:"));
+        assert!(listing.contains("lda"));
+    }
+}

@@ -1,0 +1,98 @@
+//! Dynamic-instruction records consumed by the cycle-level simulator.
+
+use mcl_isa::{ArchReg, InstrClass, Opcode};
+use serde::{Deserialize, Serialize};
+
+/// The dynamic outcome of a control-flow instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BranchInfo {
+    /// Whether control actually transferred (conditional branches may
+    /// fall through).
+    pub taken: bool,
+    /// The address control transferred to (the fall-through address when
+    /// not taken; 0 denotes program exit).
+    pub target_pc: u64,
+    /// Whether the branch predictor must predict this instruction
+    /// (conditional branches only; the paper assumes all other control
+    /// flow is 100 % predictable).
+    pub conditional: bool,
+}
+
+/// One dynamic instruction of a trace: what the processor front end sees,
+/// in fetch order, annotated with the execution-time facts (memory
+/// address, branch outcome) a trace-driven simulator needs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceOp {
+    /// Position in the dynamic instruction stream (0-based).
+    pub seq: u64,
+    /// The instruction's address.
+    pub pc: u64,
+    /// The operation.
+    pub op: Opcode,
+    /// Destination architectural register, if any (hardwired zeros are
+    /// reported as `None`).
+    pub dest: Option<ArchReg>,
+    /// Source architectural registers (hardwired zeros reported as
+    /// `None`: they carry no dependence).
+    pub srcs: [Option<ArchReg>; 2],
+    /// Effective memory address, for loads and stores.
+    pub mem_addr: Option<u64>,
+    /// Control-flow outcome, for control-flow instructions.
+    pub branch: Option<BranchInfo>,
+}
+
+impl TraceOp {
+    /// The Table 1 instruction class.
+    #[must_use]
+    pub fn class(&self) -> InstrClass {
+        self.op.class()
+    }
+
+    /// Iterates over the non-zero source registers.
+    pub fn reads(&self) -> impl Iterator<Item = ArchReg> + '_ {
+        self.srcs.iter().flatten().copied()
+    }
+
+    /// Whether this is a conditional branch the predictor must handle.
+    #[must_use]
+    pub fn is_conditional_branch(&self) -> bool {
+        self.branch.is_some_and(|b| b.conditional)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conditional_flag_comes_from_branch_info() {
+        let mut op = TraceOp {
+            seq: 0,
+            pc: 0x1000,
+            op: Opcode::Beq,
+            dest: None,
+            srcs: [Some(ArchReg::int(2)), None],
+            mem_addr: None,
+            branch: Some(BranchInfo { taken: true, target_pc: 0x2000, conditional: true }),
+        };
+        assert!(op.is_conditional_branch());
+        op.branch = Some(BranchInfo { taken: true, target_pc: 0x2000, conditional: false });
+        assert!(!op.is_conditional_branch());
+        op.branch = None;
+        assert!(!op.is_conditional_branch());
+    }
+
+    #[test]
+    fn reads_flattens_sources() {
+        let op = TraceOp {
+            seq: 1,
+            pc: 0x1004,
+            op: Opcode::Addq,
+            dest: Some(ArchReg::int(6)),
+            srcs: [Some(ArchReg::int(2)), Some(ArchReg::int(4))],
+            mem_addr: None,
+            branch: None,
+        };
+        assert_eq!(op.reads().count(), 2);
+    }
+}

@@ -1,0 +1,164 @@
+//! A compress-shaped workload: integer LZW-style hash-table compression.
+//!
+//! SPEC92 `compress` is an integer benchmark dominated by a hash-table
+//! probe loop: compute a code from the input stream, probe the table,
+//! branch on whether the probe hits (data-dependent, poorly
+//! predictable), update the table or emit a code, and append to a
+//! sequential output stream. This kernel reproduces that shape: an
+//! in-program LCG plays the input stream, a 2048-entry table provides
+//! the probe traffic, and every iteration stores to a streaming output
+//! buffer; the combined footprint fits the data cache only when the
+//! access order stays regular, so miss behaviour is sensitive to issue
+//! disorder (the effect behind the paper's compress anomaly).
+
+use mcl_trace::{Program, ProgramBuilder, Vreg};
+
+/// Base address of the hash table (2048 × 8 bytes).
+pub const TABLE_BASE: u64 = 0x0030_0000;
+/// Base address of the output stream.
+pub const OUTPUT_BASE: u64 = 0x0040_0000;
+
+/// Builds the workload with `iters` input symbols (about 21 dynamic
+/// instructions each).
+#[must_use]
+pub fn build(iters: u32) -> Program<Vreg> {
+    let mut b = ProgramBuilder::new("compress");
+
+    // Global-register candidates: the table base (global-pointer-like)
+    // and the output base (stack-pointer-like), both read-only and read
+    // from every cluster.
+    let gp = b.vreg_int("gp_table");
+    let sp = b.vreg_int("sp_output");
+    b.designate_global_candidate(gp);
+    b.designate_global_candidate(sp);
+    b.reg_init(gp, TABLE_BASE);
+    b.reg_init(sp, OUTPUT_BASE);
+
+    let x = b.vreg_int("lcg");
+    let code = b.vreg_int("code");
+    let i = b.vreg_int("i");
+    let outoff = b.vreg_int("outoff");
+    let hits = b.vreg_int("hits");
+    let misses = b.vreg_int("misses");
+
+    let probe = b.new_block("probe");
+    let miss = b.new_block("miss");
+    let hit = b.new_block("hit");
+    let join = b.new_block("join");
+    let flush = b.new_block("flush");
+    let skip_flush = b.new_block("skip_flush");
+    let done = b.new_block("done");
+
+    // entry
+    b.lda(x, 0x2545_F491);
+    b.lda(code, 0);
+    b.lda(outoff, 0);
+    b.lda(hits, 0);
+    b.lda(misses, 0);
+    b.lda(i, i64::from(iters));
+
+    // probe: one input symbol.
+    b.switch_to(probe);
+    let byte = b.vreg_int("byte");
+    let t = b.vreg_int("t");
+    let h = b.vreg_int("h");
+    let addr = b.vreg_int("addr");
+    let v = b.vreg_int("v");
+    let m = b.vreg_int("m");
+    let va = b.vreg_int("va");
+    let xa = b.vreg_int("xa");
+    b.mulq_imm(x, x, 1_103_515_245);
+    b.addq_imm(x, x, 12_345);
+    b.srl_imm(byte, x, 16);
+    b.and_imm(byte, byte, 255);
+    b.sll_imm(t, code, 4);
+    b.xor(code, t, byte);
+    b.and_imm(code, code, 2047);
+    b.sll_imm(h, code, 3);
+    b.addq(addr, gp, h);
+    b.ldq(v, addr, 0);
+    // The probe test: compare the low bits of the stored key with the
+    // low bits of the current input — data dependent, ~25% match.
+    b.and_imm(va, v, 3);
+    b.and_imm(xa, x, 3);
+    b.cmpeq(m, va, xa);
+    b.bne(m, hit);
+
+    // miss: install the new key.
+    b.switch_to(miss);
+    b.stq(addr, 0, x);
+    b.addq_imm(misses, misses, 1);
+    b.br(join);
+
+    // hit
+    b.switch_to(hit);
+    b.addq_imm(hits, hits, 1);
+
+    // join: emit a code to the sequential output stream.
+    b.switch_to(join);
+    let outaddr = b.vreg_int("outaddr");
+    b.addq(outaddr, sp, outoff);
+    b.stq(outaddr, 0, code);
+    b.addq_imm(outoff, outoff, 8);
+    b.and_imm(outoff, outoff, 0x1FFF); // wrap the stream at 8 KB
+    // Periodic "flush" every eighth symbol: a history-predictable
+    // pattern — correctly predicted only while the predictor's tables
+    // and history are fresh (the dispatch-queue-size effect behind the
+    // paper's compress anomaly).
+    let phase = b.vreg_int("phase");
+    b.and_imm(phase, i, 7);
+    b.bne(phase, skip_flush);
+    b.switch_to(flush);
+    let fsum = b.vreg_int("fsum");
+    b.addq(fsum, hits, misses);
+    b.stq(sp, -24, fsum);
+    b.switch_to(skip_flush);
+    b.subq_imm(i, i, 1);
+    b.bne(i, probe);
+
+    // done: publish the counters.
+    b.switch_to(done);
+    b.stq(sp, -16, hits);
+    b.stq(sp, -8, misses);
+
+    b.finish().expect("compress workload is well formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcl_trace::Vm;
+
+    #[test]
+    fn executes_and_counts_every_symbol() {
+        let p = build(500);
+        let mut vm = Vm::new(&p);
+        vm.run_to_end().unwrap();
+        let hits = vm.memory().read(OUTPUT_BASE - 16);
+        let misses = vm.memory().read(OUTPUT_BASE - 8);
+        assert_eq!(hits + misses, 500);
+        assert!(hits > 0, "some probes should hit");
+        assert!(misses > 0, "some probes should miss");
+    }
+
+    #[test]
+    fn probe_branch_is_data_dependent() {
+        // The hit rate should hover around 25%, far from always/never.
+        let p = build(2000);
+        let mut vm = Vm::new(&p);
+        vm.run_to_end().unwrap();
+        let hits = vm.memory().read(OUTPUT_BASE - 16) as f64 / 2000.0;
+        assert!((0.1..0.5).contains(&hits), "hit rate {hits}");
+    }
+
+    #[test]
+    fn dynamic_length_scales_with_iters() {
+        let p100 = build(100);
+        let p200 = build(200);
+        let mut vm = Vm::new(&p100);
+        let short = vm.run_to_end().unwrap();
+        let mut vm = Vm::new(&p200);
+        let long = vm.run_to_end().unwrap();
+        assert!(long > short + 1000);
+    }
+}

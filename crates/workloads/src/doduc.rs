@@ -1,0 +1,169 @@
+//! A doduc-shaped workload: mixed floating point with data-dependent
+//! control.
+//!
+//! SPEC92 `doduc` (a Monte-Carlo nuclear-reactor simulation) mixes
+//! moderate-length floating-point blocks with data-dependent branching
+//! and occasional divides. This kernel draws pseudo-random samples with
+//! an integer LCG, converts them to floating point, runs a multiply/add
+//! evaluation chain, and branches on sample bits to one of two update
+//! paths — one of which performs a floating-point divide.
+
+use mcl_trace::{Program, ProgramBuilder, Vreg};
+
+/// Where the kernel publishes its accumulators.
+pub const RESULT_BASE: u64 = 0x0070_0000;
+
+/// Builds the workload with `iters` samples (about 28 dynamic
+/// instructions each).
+#[must_use]
+pub fn build(iters: u32) -> Program<Vreg> {
+    let mut b = ProgramBuilder::new("doduc");
+
+    let sp = b.vreg_int("sp_out");
+    b.designate_global_candidate(sp);
+    b.reg_init(sp, RESULT_BASE);
+
+    let x = b.vreg_int("lcg");
+    let i = b.vreg_int("i");
+    let k1 = b.vreg_fp("k1");
+    let k2 = b.vreg_fp("k2");
+    let acc = b.vreg_fp("acc");
+    let acc2 = b.vreg_fp("acc2");
+    let ti = b.vreg_int("ti");
+
+    // Layout: `accumulate` is the fall-through of the sample branch;
+    // `divide` (the taken path) falls through into `join`.
+    let sample = b.new_block("sample");
+    let accumulate = b.new_block("accumulate");
+    let divide = b.new_block("divide");
+    let join = b.new_block("join");
+    let done = b.new_block("done");
+
+    // entry: constants and state.
+    b.lda(x, 0x1234_5678);
+    b.lda(i, i64::from(iters));
+    b.lda(ti, 3);
+    b.cvtqt(k1, ti);
+    b.lda(ti, 7);
+    b.cvtqt(k2, ti);
+    b.lda(ti, 1);
+    b.cvtqt(acc, ti);
+    b.cvtqt(acc2, ti);
+
+    // sample: draw two samples and evaluate two independent chains
+    // (doduc's blocks carry real instruction-level parallelism).
+    b.switch_to(sample);
+    let bits = b.vreg_int("bits");
+    let bits2 = b.vreg_int("bits2");
+    let f = b.vreg_fp("f");
+    let g = b.vreg_fp("g");
+    let t1 = b.vreg_fp("t1");
+    let t2 = b.vreg_fp("t2");
+    let t3 = b.vreg_fp("t3");
+    let u1 = b.vreg_fp("u1");
+    let u2 = b.vreg_fp("u2");
+    let u3 = b.vreg_fp("u3");
+    let sel = b.vreg_int("sel");
+    b.mulq_imm(x, x, 1_103_515_245);
+    b.addq_imm(x, x, 12_345);
+    b.srl_imm(bits, x, 20);
+    b.and_imm(bits, bits, 0xFFFF);
+    b.srl_imm(bits2, x, 8);
+    b.and_imm(bits2, bits2, 0xFFFF);
+    b.cvtqt(f, bits);
+    b.cvtqt(g, bits2);
+    // chain 1
+    b.mult(t1, f, k1);
+    b.addt(t2, t1, k2);
+    b.mult(t3, t2, t1);
+    b.subt(t3, t3, f);
+    // chain 2 (independent of chain 1)
+    b.mult(u1, g, k2);
+    b.addt(u2, u1, k1);
+    b.mult(u3, u2, u1);
+    b.subt(u3, u3, g);
+    b.and_imm(sel, x, 7);
+    b.cmpeq_imm(sel, sel, 0);
+    b.bne(sel, divide); // ~12.5% of samples take the divide path
+
+    // accumulate (common path).
+    b.switch_to(accumulate);
+    b.addt(acc, acc, t2);
+    b.mult(t1, t3, k1);
+    b.addt(acc2, acc2, u3);
+    b.addt(acc, acc, t1);
+    b.br(join);
+
+    // divide (rare path): a double-precision divide on the accumulator.
+    b.switch_to(divide);
+    let d = b.vreg_fp("d");
+    b.addt(d, t3, u3);
+    b.divt(acc2, acc2, k2);
+    b.addt(acc2, acc2, d);
+
+    // join
+    b.switch_to(join);
+    b.subq_imm(i, i, 1);
+    b.bne(i, sample);
+
+    // done: publish accumulators.
+    b.switch_to(done);
+    b.stt(sp, 0, acc);
+    b.stt(sp, 8, acc2);
+
+    b.finish().expect("doduc workload is well formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcl_isa::InstrClass;
+    use mcl_trace::Vm;
+
+    #[test]
+    fn executes_and_publishes_results() {
+        let p = build(500);
+        let mut vm = Vm::new(&p);
+        vm.run_to_end().unwrap();
+        let acc = f64::from_bits(vm.memory().read(RESULT_BASE));
+        assert!(acc.is_finite() && acc != 0.0);
+    }
+
+    #[test]
+    fn instruction_mix_is_fp_dominated_with_some_divides() {
+        let p = build(1000);
+        let mut vm = Vm::new(&p);
+        let steps = vm.run_collect().unwrap();
+        let total = steps.len() as f64;
+        let fp = steps
+            .iter()
+            .filter(|s| matches!(s.op.class(), InstrClass::FpOther | InstrClass::FpDiv))
+            .count() as f64;
+        let divides = steps.iter().filter(|s| s.op.class() == InstrClass::FpDiv).count() as f64;
+        assert!(fp / total > 0.25, "fp fraction {}", fp / total);
+        let div_rate = divides / 1000.0;
+        assert!((0.05..0.3).contains(&div_rate), "divide path rate {div_rate}");
+    }
+
+    #[test]
+    fn divide_branch_rate_is_about_an_eighth() {
+        let p = build(2000);
+        let mut vm = Vm::new(&p);
+        let steps = vm.run_collect().unwrap();
+        // Count taken outcomes of the `bne sel, divide` branch.
+        let (mut taken, mut total) = (0u32, 0u32);
+        for s in &steps {
+            if let Some(br) = s.branch {
+                if br.conditional && s.block.index() == 1 {
+                    total += 1;
+                    if br.taken {
+                        taken += 1;
+                    }
+                }
+            }
+        }
+        assert_eq!(total, 2000);
+        let rate = f64::from(taken) / f64::from(total);
+        assert!((0.08..0.2).contains(&rate), "divide rate {rate}");
+    }
+}

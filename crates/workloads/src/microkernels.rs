@@ -1,0 +1,166 @@
+//! Small intermediate-language kernels for tests, examples, and
+//! ablations.
+
+use mcl_trace::{Program, ProgramBuilder, Vreg};
+
+/// A single dependent integer add chain of length `len` (serial: at
+/// best one instruction per cycle).
+#[must_use]
+pub fn dependent_chain(len: u32) -> Program<Vreg> {
+    let mut b = ProgramBuilder::new("dependent-chain");
+    let x = b.vreg_int("x");
+    let out = b.vreg_int("out");
+    b.lda(x, 1);
+    for _ in 0..len {
+        b.addq_imm(x, x, 1);
+    }
+    b.lda(out, 0x4000);
+    b.stq(out, 0, x);
+    b.finish().expect("well formed")
+}
+
+/// `chains` independent dependent chains interleaved in fetch order —
+/// ideal material for a balanced partition (each cluster can run half
+/// the chains with no inter-cluster traffic).
+#[must_use]
+pub fn parallel_chains(chains: u32, len: u32) -> Program<Vreg> {
+    assert!(chains > 0);
+    let mut b = ProgramBuilder::new("parallel-chains");
+    let vs: Vec<Vreg> = (0..chains).map(|i| b.vreg_int(&format!("c{i}"))).collect();
+    for (i, &v) in vs.iter().enumerate() {
+        b.lda(v, i as i64 + 1);
+    }
+    for _ in 0..len {
+        for &v in &vs {
+            b.addq_imm(v, v, 1);
+        }
+    }
+    let out = b.vreg_int("out");
+    b.lda(out, 0x4000);
+    for (i, &v) in vs.iter().enumerate() {
+        b.stq(out, (i as i64) * 8, v);
+    }
+    b.finish().expect("well formed")
+}
+
+/// Two mutually dependent values updated alternately — a worst case for
+/// partitioning: any split of the pair forces an inter-cluster transfer
+/// per instruction.
+#[must_use]
+pub fn pingpong(rounds: u32) -> Program<Vreg> {
+    let mut b = ProgramBuilder::new("pingpong");
+    let a = b.vreg_int("a");
+    let c = b.vreg_int("c");
+    b.lda(a, 0);
+    b.lda(c, 1);
+    for _ in 0..rounds {
+        b.addq(a, a, c);
+        b.addq(c, c, a);
+    }
+    let out = b.vreg_int("out");
+    b.lda(out, 0x4000);
+    b.stq(out, 0, a);
+    b.stq(out, 8, c);
+    b.finish().expect("well formed")
+}
+
+/// A loop of dependent double-precision divides: bound by the
+/// unpipelined divider (16 cycles each, Table 1).
+#[must_use]
+pub fn divider_chain(iters: u32) -> Program<Vreg> {
+    let mut b = ProgramBuilder::new("divider-chain");
+    let i = b.vreg_int("i");
+    let ti = b.vreg_int("ti");
+    let v = b.vreg_fp("v");
+    let d = b.vreg_fp("d");
+    let body = b.new_block("body");
+    let done = b.new_block("done");
+    b.lda(i, i64::from(iters));
+    b.lda(ti, 1_000_000);
+    b.cvtqt(v, ti);
+    b.lda(ti, 2);
+    b.cvtqt(d, ti);
+    b.switch_to(body);
+    b.divt(v, v, d);
+    b.addt(v, v, d); // keep the value from underflowing to zero
+    b.subq_imm(i, i, 1);
+    b.bne(i, body);
+    b.switch_to(done);
+    let out = b.vreg_int("out");
+    b.lda(out, 0x4000);
+    b.stt(out, 0, v);
+    b.finish().expect("well formed")
+}
+
+/// A streaming store loop touching `words` sequential memory words —
+/// exercises write-allocate misses and the inverted MSHR.
+#[must_use]
+pub fn streaming_stores(words: u32) -> Program<Vreg> {
+    let mut b = ProgramBuilder::new("streaming-stores");
+    let i = b.vreg_int("i");
+    let p = b.vreg_int("p");
+    let v = b.vreg_int("v");
+    let body = b.new_block("body");
+    b.lda(i, i64::from(words));
+    b.lda(p, 0x0100_0000);
+    b.lda(v, 7);
+    b.switch_to(body);
+    b.stq(p, 0, v);
+    b.addq_imm(p, p, 8);
+    b.addq_imm(v, v, 3);
+    b.subq_imm(i, i, 1);
+    b.bne(i, body);
+    b.finish().expect("well formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcl_trace::Vm;
+
+    #[test]
+    fn dependent_chain_computes_its_length() {
+        let p = dependent_chain(64);
+        let mut vm = Vm::new(&p);
+        vm.run_to_end().unwrap();
+        assert_eq!(vm.memory().read(0x4000), 65);
+    }
+
+    #[test]
+    fn parallel_chains_all_advance() {
+        let p = parallel_chains(4, 10);
+        let mut vm = Vm::new(&p);
+        vm.run_to_end().unwrap();
+        for i in 0..4u64 {
+            assert_eq!(vm.memory().read(0x4000 + i * 8), i + 1 + 10);
+        }
+    }
+
+    #[test]
+    fn pingpong_grows_fibonacci_like() {
+        let p = pingpong(5);
+        let mut vm = Vm::new(&p);
+        vm.run_to_end().unwrap();
+        // a,c: (0,1) -> (1,2) -> (3,5) -> (8,13) -> (21,34) -> (55,89)
+        assert_eq!(vm.memory().read(0x4000), 55);
+        assert_eq!(vm.memory().read(0x4008), 89);
+    }
+
+    #[test]
+    fn divider_chain_converges() {
+        let p = divider_chain(20);
+        let mut vm = Vm::new(&p);
+        vm.run_to_end().unwrap();
+        let v = f64::from_bits(vm.memory().read(0x4000));
+        assert!(v.is_finite() && v > 0.0);
+    }
+
+    #[test]
+    fn streaming_stores_touch_every_word() {
+        let p = streaming_stores(100);
+        let mut vm = Vm::new(&p);
+        vm.run_to_end().unwrap();
+        assert_eq!(vm.memory().read(0x0100_0000), 7);
+        assert_eq!(vm.memory().read(0x0100_0000 + 99 * 8), 7 + 99 * 3);
+    }
+}

@@ -1,0 +1,164 @@
+//! An ora-shaped workload: a tight ray-tracing kernel dominated by
+//! square root and divide.
+//!
+//! SPEC92 `ora` (optical ray tracing) spends almost all of its time in a
+//! small loop whose critical path runs through floating-point square
+//! roots and divides — exactly the operations that occupy the paper's
+//! unpipelined divider for 16 cycles each. Control flow is a single,
+//! perfectly predictable back edge; iterations are independent except
+//! for a short accumulator chain, so performance is bound by divider
+//! occupancy and by how the scheduler spreads the chains across
+//! clusters.
+
+use mcl_trace::{Program, ProgramBuilder, Vreg};
+
+/// Where the kernel publishes its accumulator.
+pub const RESULT_BASE: u64 = 0x0080_0000;
+
+/// Builds the workload with `iters` iterations (four sphere tests
+/// each, about 51 dynamic instructions and eight divider operations per
+/// iteration).
+#[must_use]
+pub fn build(iters: u32) -> Program<Vreg> {
+    let mut b = ProgramBuilder::new("ora");
+
+    let sp = b.vreg_int("sp_out");
+    b.designate_global_candidate(sp);
+    b.reg_init(sp, RESULT_BASE);
+
+    let x = b.vreg_int("lcg");
+    let i = b.vreg_int("i");
+    let c1 = b.vreg_fp("c1");
+    let c2 = b.vreg_fp("c2");
+    let acc = b.vreg_fp("acc");
+    let ti = b.vreg_int("ti");
+
+    let ray = b.new_block("ray");
+    let done = b.new_block("done");
+
+    // entry
+    b.lda(x, 0x0EA7_BEEF);
+    b.lda(i, i64::from(iters));
+    b.lda(ti, 3);
+    b.cvtqt(c1, ti);
+    b.lda(ti, 5);
+    b.cvtqt(c2, ti);
+    b.lda(ti, 0);
+    b.cvtqt(acc, ti);
+
+    // ray: two sphere intersections per iteration, sharing the ray
+    // origin term (as ora's inner loop shares ray-setup values across
+    // the per-sphere tests).
+    b.switch_to(ray);
+    let bits = b.vreg_int("bits");
+    let bits2 = b.vreg_int("bits2");
+    let r0 = b.vreg_fp("r0");
+    let r1 = b.vreg_fp("r1");
+    let t1a = b.vreg_fp("t1a");
+    let t2a = b.vreg_fp("t2a");
+    let da = b.vreg_fp("da");
+    let sa = b.vreg_fp("sa");
+    let qa = b.vreg_fp("qa");
+    let t1b = b.vreg_fp("t1b");
+    let t2b = b.vreg_fp("t2b");
+    let db = b.vreg_fp("db");
+    let sb = b.vreg_fp("sb");
+    let qb = b.vreg_fp("qb");
+    let t1c = b.vreg_fp("t1c");
+    let t2c = b.vreg_fp("t2c");
+    let dc = b.vreg_fp("dc");
+    let sc = b.vreg_fp("sc");
+    let qc = b.vreg_fp("qc");
+    let t1d = b.vreg_fp("t1d");
+    let t2d = b.vreg_fp("t2d");
+    let dd = b.vreg_fp("dd");
+    let sd = b.vreg_fp("sd");
+    let qd = b.vreg_fp("qd");
+    b.mulq_imm(x, x, 1_103_515_245);
+    b.addq_imm(x, x, 12_345);
+    b.srl_imm(bits, x, 22);
+    b.and_imm(bits, bits, 1023);
+    b.addq_imm(bits, bits, 1); // keep the ray strictly positive
+    b.srl_imm(bits2, x, 9);
+    b.and_imm(bits2, bits2, 1023);
+    b.addq_imm(bits2, bits2, 1);
+    b.cvtqt(r0, bits);
+    b.cvtqt(r1, bits2);
+    // discriminant set-up for both spheres (sphere B shares the ray
+    // origin term t1a), followed by the root/divide tail for both.
+    b.mult(t1a, r0, c1);
+    b.addt(t2a, t1a, c2);
+    b.mult(da, t2a, t1a);
+    b.addt(da, da, t2a);
+    b.mult(t1b, r1, c2);
+    b.addt(t2b, t1b, t1a);
+    b.mult(db, t2b, t1b);
+    b.addt(db, db, t2b);
+    b.mult(t1c, r1, c1);
+    b.addt(t2c, t1c, t1b);
+    b.mult(dc, t2c, t1c);
+    b.addt(dc, dc, t2c);
+    b.mult(t1d, r0, c2);
+    b.addt(t2d, t1d, t1c);
+    b.mult(dd, t2d, t1d);
+    b.addt(dd, dd, t2d);
+    b.sqrtt(sa, da); // 16 cycles, occupies a divider
+    b.divt(qa, t2a, sa); // 16 more divider cycles
+    b.sqrtt(sb, db);
+    b.divt(qb, t2b, sb);
+    b.sqrtt(sc, dc);
+    b.divt(qc, t2c, sc);
+    b.sqrtt(sd, dd);
+    b.divt(qd, t2d, sd);
+    b.addt(acc, acc, qa);
+    b.addt(acc, acc, qb);
+    b.addt(acc, acc, qc);
+    b.addt(acc, acc, qd);
+    b.subq_imm(i, i, 1);
+    b.bne(i, ray);
+
+    // done
+    b.switch_to(done);
+    b.stt(sp, 0, acc);
+
+    b.finish().expect("ora workload is well formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcl_isa::InstrClass;
+    use mcl_trace::Vm;
+
+    #[test]
+    fn executes_and_accumulates() {
+        let p = build(300);
+        let mut vm = Vm::new(&p);
+        vm.run_to_end().unwrap();
+        let acc = f64::from_bits(vm.memory().read(RESULT_BASE));
+        assert!(acc.is_finite() && acc > 0.0);
+    }
+
+    #[test]
+    fn eight_divider_operations_per_iteration() {
+        let p = build(200);
+        let mut vm = Vm::new(&p);
+        let steps = vm.run_collect().unwrap();
+        let div_class = steps.iter().filter(|s| s.op.class() == InstrClass::FpDiv).count();
+        assert_eq!(div_class, 1600, "four sqrts + four divides per iteration");
+    }
+
+    #[test]
+    fn branches_are_highly_predictable() {
+        // The only conditional branch is the loop back edge.
+        let p = build(500);
+        let mut vm = Vm::new(&p);
+        let steps = vm.run_collect().unwrap();
+        let branches: Vec<bool> = steps
+            .iter()
+            .filter_map(|s| s.branch.filter(|b| b.conditional).map(|b| b.taken))
+            .collect();
+        assert_eq!(branches.len(), 500);
+        assert_eq!(branches.iter().filter(|&&t| !t).count(), 1, "only the exit is not taken");
+    }
+}

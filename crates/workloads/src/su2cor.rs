@@ -1,0 +1,168 @@
+//! A su2cor-shaped workload: regular vector loops with a reduction.
+//!
+//! SPEC92 `su2cor` (quantum-physics Monte Carlo on a lattice) spends its
+//! time in regular, vectorisable floating-point loops over arrays. This
+//! kernel makes several passes of a fused multiply-add sweep
+//! (`c[j] = a[j]*k + b[j]`) with a running reduction — long predictable
+//! loops, streaming loads and stores, floating-point-other dominated.
+
+use mcl_trace::{Program, ProgramBuilder, Vreg};
+
+use crate::HostLcg;
+
+/// Vector length (doubles).
+pub const VECTOR_LEN: u64 = 4096;
+/// Base address of vector `a`.
+pub const A_BASE: u64 = 0x0090_0000;
+/// Base address of vector `b`.
+pub const B_BASE: u64 = 0x00A0_0000;
+/// Base address of vector `c` (written).
+pub const C_BASE: u64 = 0x00B0_0000;
+/// Where the reduction is published.
+pub const RESULT_BASE: u64 = 0x00C0_0000;
+
+/// Builds the workload with `passes` full sweeps over the vectors
+/// (about 14 dynamic instructions per element visited across the
+/// compute sweep and the reduction sweep).
+#[must_use]
+pub fn build(passes: u32) -> Program<Vreg> {
+    let mut b = ProgramBuilder::new("su2cor");
+
+    // Host-initialised input vectors with small bounded values.
+    let mut lcg = HostLcg::new(0x5125);
+    for j in 0..VECTOR_LEN {
+        b.mem_init_f64(A_BASE + j * 8, (lcg.below(1000) as f64) / 100.0);
+        b.mem_init_f64(B_BASE + j * 8, (lcg.below(1000) as f64) / 100.0);
+    }
+
+    let gp = b.vreg_int("gp_a");
+    b.designate_global_candidate(gp);
+    b.reg_init(gp, A_BASE);
+
+    let p = b.vreg_int("pass");
+    let k = b.vreg_fp("k");
+    let sum = b.vreg_fp("sum");
+    let ti = b.vreg_int("ti");
+
+    let outer = b.new_block("outer");
+    let sweep = b.new_block("sweep");
+    let reduce_head = b.new_block("reduce_head");
+    let reduce = b.new_block("reduce");
+    let next_pass = b.new_block("next_pass");
+    let done = b.new_block("done");
+
+    // entry
+    b.lda(p, i64::from(passes));
+    b.lda(ti, 3);
+    b.cvtqt(k, ti);
+    b.lda(ti, 0);
+    b.cvtqt(sum, ti);
+
+    // outer: reset the element cursor.
+    b.switch_to(outer);
+    let j = b.vreg_int("j");
+    let off = b.vreg_int("off");
+    b.lda(j, VECTOR_LEN as i64);
+    b.lda(off, 0);
+
+    // sweep: c[j] = a[j]*k + b[j], two elements per iteration — fully
+    // parallel work, the vectorisable heart of su2cor.
+    b.switch_to(sweep);
+    let pa = b.vreg_int("pa");
+    let fa = b.vreg_fp("fa");
+    let fb = b.vreg_fp("fb");
+    let fc = b.vreg_fp("fc");
+    let fa2 = b.vreg_fp("fa2");
+    let fb2 = b.vreg_fp("fb2");
+    let fc2 = b.vreg_fp("fc2");
+    b.addq(pa, gp, off);
+    b.ldt(fa, pa, 0);
+    b.ldt(fb, pa, (B_BASE - A_BASE) as i64);
+    b.mult(fc, fa, k);
+    b.addt(fc, fc, fb);
+    b.stt(pa, (C_BASE - A_BASE) as i64, fc);
+    b.ldt(fa2, pa, 8);
+    b.ldt(fb2, pa, (B_BASE - A_BASE) as i64 + 8);
+    b.mult(fc2, fa2, k);
+    b.addt(fc2, fc2, fb2);
+    b.stt(pa, (C_BASE - A_BASE) as i64 + 8, fc2);
+    b.addq_imm(off, off, 16);
+    b.subq_imm(j, j, 2);
+    b.bne(j, sweep);
+
+    // reduce_head: reset the cursor for the reduction pass.
+    b.switch_to(reduce_head);
+    b.lda(j, VECTOR_LEN as i64);
+    b.lda(off, 0);
+
+    // reduce: sum += c[j] (a serial accumulation sweep).
+    b.switch_to(reduce);
+    let pc = b.vreg_int("pc");
+    let fr = b.vreg_fp("fr");
+    b.lda(pc, C_BASE as i64);
+    b.addq(pc, pc, off);
+    b.ldt(fr, pc, 0);
+    b.addt(sum, sum, fr);
+    b.addq_imm(off, off, 8);
+    b.subq_imm(j, j, 1);
+    b.bne(j, reduce);
+
+    // next_pass
+    b.switch_to(next_pass);
+    b.subq_imm(p, p, 1);
+    b.bne(p, outer);
+
+    // done
+    b.switch_to(done);
+    let sp = b.vreg_int("out");
+    b.lda(sp, RESULT_BASE as i64);
+    b.stt(sp, 0, sum);
+
+    b.finish().expect("su2cor workload is well formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcl_trace::Vm;
+
+    #[test]
+    fn reduction_matches_a_host_computation() {
+        let p = build(1);
+        let mut vm = Vm::new(&p);
+        vm.run_to_end().unwrap();
+        // Recompute host-side.
+        let mut lcg = HostLcg::new(0x5125);
+        let mut a = Vec::new();
+        let mut bv = Vec::new();
+        for _ in 0..VECTOR_LEN {
+            a.push((lcg.below(1000) as f64) / 100.0);
+            bv.push((lcg.below(1000) as f64) / 100.0);
+        }
+        let expect: f64 = a.iter().zip(&bv).map(|(x, y)| x * 3.0 + y).sum();
+        let got = f64::from_bits(vm.memory().read(RESULT_BASE));
+        assert!((got - expect).abs() < 1e-6, "got {got}, expect {expect}");
+    }
+
+    #[test]
+    fn stores_cover_the_output_vector() {
+        let p = build(1);
+        let mut vm = Vm::new(&p);
+        vm.run_to_end().unwrap();
+        for j in [0, 1, VECTOR_LEN / 2, VECTOR_LEN - 1] {
+            let v = f64::from_bits(vm.memory().read(C_BASE + j * 8));
+            assert!(v.is_finite(), "c[{j}] missing");
+        }
+    }
+
+    #[test]
+    fn passes_scale_the_dynamic_length() {
+        let p1 = build(1);
+        let p2 = build(2);
+        let mut vm = Vm::new(&p1);
+        let one = vm.run_to_end().unwrap();
+        let mut vm = Vm::new(&p2);
+        let two = vm.run_to_end().unwrap();
+        assert!(two > one + VECTOR_LEN * 5);
+    }
+}

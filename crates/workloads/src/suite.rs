@@ -1,0 +1,150 @@
+//! The benchmark suite: the six SPEC92 analogues of the paper's
+//! evaluation, with their paper reference numbers.
+
+use mcl_trace::{Program, Vreg};
+use serde::{Deserialize, Serialize};
+
+/// The six benchmarks of the paper's Table 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Benchmark {
+    /// Integer LZW-style compression (`compress`).
+    Compress,
+    /// Mixed floating point, branchy (`doduc`).
+    Doduc,
+    /// Very branchy integer, pointer chasing (`gcc1`).
+    Gcc1,
+    /// Divider-bound floating-point kernel (`ora`).
+    Ora,
+    /// Regular floating-point vector loops (`su2cor`).
+    Su2cor,
+    /// Two-dimensional stencil (`tomcatv`).
+    Tomcatv,
+}
+
+impl Benchmark {
+    /// All six, in the paper's Table 2 row order.
+    pub const ALL: [Benchmark; 6] = [
+        Benchmark::Compress,
+        Benchmark::Doduc,
+        Benchmark::Gcc1,
+        Benchmark::Ora,
+        Benchmark::Su2cor,
+        Benchmark::Tomcatv,
+    ];
+
+    /// The benchmark's name, as printed in the paper.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Benchmark::Compress => "compress",
+            Benchmark::Doduc => "doduc",
+            Benchmark::Gcc1 => "gcc1",
+            Benchmark::Ora => "ora",
+            Benchmark::Su2cor => "su2cor",
+            Benchmark::Tomcatv => "tomcatv",
+        }
+    }
+
+    /// Builds the benchmark's intermediate-language program at a given
+    /// scale (iterations / passes / sweeps; see each module's docs).
+    #[must_use]
+    pub fn build(self, scale: u32) -> Program<Vreg> {
+        match self {
+            Benchmark::Compress => crate::compress::build(scale),
+            Benchmark::Doduc => crate::doduc::build(scale),
+            Benchmark::Gcc1 => crate::gcc::build(scale),
+            Benchmark::Ora => crate::ora::build(scale),
+            Benchmark::Su2cor => crate::su2cor::build(scale),
+            Benchmark::Tomcatv => crate::tomcatv::build(scale),
+        }
+    }
+
+    /// A default scale giving roughly 100–200 k dynamic instructions —
+    /// long enough for warm caches and trained predictors, short enough
+    /// for quick reproduction runs.
+    #[must_use]
+    pub fn default_scale(self) -> u32 {
+        match self {
+            Benchmark::Compress => 8_000,
+            Benchmark::Doduc => 6_000,
+            Benchmark::Gcc1 => 8_000,
+            Benchmark::Ora => 6_000,
+            Benchmark::Su2cor => 4,
+            Benchmark::Tomcatv => 4,
+        }
+    }
+
+    /// Builds the benchmark at its default scale.
+    #[must_use]
+    pub fn build_default(self) -> Program<Vreg> {
+        self.build(self.default_scale())
+    }
+
+    /// The paper's Table 2 percentages, `(none, local)`: the speedup
+    /// (positive) or slowdown (negative) of the dual-cluster processor
+    /// against the single-cluster processor without rescheduling and
+    /// with the local scheduler.
+    #[must_use]
+    pub fn paper_table2(self) -> (i32, i32) {
+        match self {
+            Benchmark::Compress => (-14, 6),
+            Benchmark::Doduc => (-21, -15),
+            Benchmark::Gcc1 => (-15, -10),
+            Benchmark::Ora => (-5, -22),
+            Benchmark::Su2cor => (-36, -25),
+            Benchmark::Tomcatv => (-41, -19),
+        }
+    }
+}
+
+impl std::fmt::Display for Benchmark {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcl_trace::Vm;
+
+    #[test]
+    fn every_benchmark_builds_and_runs_small() {
+        for bench in Benchmark::ALL {
+            let p = bench.build(bench.default_scale() / 100 + 1);
+            assert!(p.validate().is_ok(), "{bench} invalid");
+            let mut vm = Vm::new(&p);
+            let steps = vm.run_to_end().unwrap_or_else(|e| panic!("{bench}: {e}"));
+            assert!(steps > 100, "{bench} too short: {steps}");
+        }
+    }
+
+    #[test]
+    fn default_scales_give_medium_traces() {
+        for bench in Benchmark::ALL {
+            let p = bench.build_default();
+            let mut vm = Vm::new(&p);
+            let steps = vm.run_to_end().unwrap();
+            assert!(
+                (50_000..2_000_000).contains(&steps),
+                "{bench}: {steps} dynamic instructions"
+            );
+        }
+    }
+
+    #[test]
+    fn paper_reference_numbers_match_table2() {
+        // Spot checks transcribed from the paper.
+        assert_eq!(Benchmark::Compress.paper_table2(), (-14, 6));
+        assert_eq!(Benchmark::Tomcatv.paper_table2(), (-41, -19));
+        assert_eq!(Benchmark::Ora.paper_table2(), (-5, -22));
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<_> = Benchmark::ALL.iter().map(|b| b.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 6);
+    }
+}

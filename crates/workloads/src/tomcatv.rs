@@ -1,0 +1,172 @@
+//! A tomcatv-shaped workload: a two-dimensional five-point stencil.
+//!
+//! SPEC92 `tomcatv` (vectorised mesh generation) is dominated by nested
+//! loops sweeping a two-dimensional grid with neighbour accesses. This
+//! kernel applies a five-point stencil over a 64 × 64 grid of doubles:
+//! per point it loads the centre and four neighbours, combines them with
+//! multiplies and adds, and stores into an output grid; rows are
+//! traversed inner-loop sequentially (unit stride) with the row stride
+//! crossing cache lines — `tomcatv`'s signature access pattern.
+
+use mcl_trace::{Program, ProgramBuilder, Vreg};
+
+use crate::HostLcg;
+
+/// Grid edge length (doubles).
+pub const N: u64 = 64;
+/// Input grid base address.
+pub const IN_BASE: u64 = 0x00D0_0000;
+/// Output grid base address.
+pub const OUT_BASE: u64 = 0x00E0_0000;
+/// Where the checksum is published.
+pub const RESULT_BASE: u64 = 0x00F0_0000;
+
+/// Builds the workload with `sweeps` full stencil passes (about 17
+/// dynamic instructions per interior point).
+#[must_use]
+pub fn build(sweeps: u32) -> Program<Vreg> {
+    let mut b = ProgramBuilder::new("tomcatv");
+
+    let mut lcg = HostLcg::new(0x70CA);
+    for r in 0..N {
+        for c in 0..N {
+            let v = (lcg.below(1000) as f64) / 250.0;
+            b.mem_init_f64(IN_BASE + (r * N + c) * 8, v);
+        }
+    }
+
+    let gp = b.vreg_int("gp_grid");
+    b.designate_global_candidate(gp);
+    b.reg_init(gp, IN_BASE);
+
+    let it = b.vreg_int("sweep");
+    let quarter = b.vreg_fp("quarter");
+    let sum = b.vreg_fp("sum");
+    let ti = b.vreg_int("ti");
+    let tj = b.vreg_int("tj");
+
+    let sweep = b.new_block("sweep");
+    let row = b.new_block("row");
+    let col = b.new_block("col");
+    let row_end = b.new_block("row_end");
+    let sweep_end = b.new_block("sweep_end");
+    let done = b.new_block("done");
+
+    let row_bytes = (N * 8) as i64;
+
+    // entry: quarter = 1/4 (one divide, outside all loops).
+    b.lda(it, i64::from(sweeps));
+    b.lda(ti, 1);
+    b.cvtqt(quarter, ti);
+    b.lda(tj, 4);
+    let four = b.vreg_fp("four");
+    b.cvtqt(four, tj);
+    b.divt(quarter, quarter, four);
+    b.lda(ti, 0);
+    b.cvtqt(sum, ti);
+
+    // sweep: reset the row cursor to the first interior row.
+    b.switch_to(sweep);
+    let i = b.vreg_int("i");
+    let rowptr = b.vreg_int("rowptr");
+    b.lda(i, (N - 2) as i64);
+    b.addq_imm(rowptr, gp, row_bytes);
+
+    // row: reset the column cursor.
+    b.switch_to(row);
+    let j = b.vreg_int("j");
+    let p = b.vreg_int("p");
+    b.lda(j, (N - 2) as i64);
+    b.addq_imm(p, rowptr, 8);
+
+    // col: the five-point stencil.
+    b.switch_to(col);
+    let c = b.vreg_fp("c");
+    let nn = b.vreg_fp("nn");
+    let ss = b.vreg_fp("ss");
+    let ee = b.vreg_fp("ee");
+    let ww = b.vreg_fp("ww");
+    let t = b.vreg_fp("t");
+    b.ldt(c, p, 0);
+    b.ldt(nn, p, -row_bytes);
+    b.ldt(ss, p, row_bytes);
+    b.ldt(ww, p, -8);
+    b.ldt(ee, p, 8);
+    b.addt(t, nn, ss);
+    b.addt(t, t, ee);
+    b.addt(t, t, ww);
+    b.mult(t, t, quarter);
+    b.subt(t, t, c);
+    b.stt(p, (OUT_BASE - IN_BASE) as i64, t);
+    b.addt(sum, sum, t);
+    b.addq_imm(p, p, 8);
+    b.subq_imm(j, j, 1);
+    b.bne(j, col);
+
+    // row_end: advance to the next row.
+    b.switch_to(row_end);
+    b.addq_imm(rowptr, rowptr, row_bytes);
+    b.subq_imm(i, i, 1);
+    b.bne(i, row);
+
+    // sweep_end
+    b.switch_to(sweep_end);
+    b.subq_imm(it, it, 1);
+    b.bne(it, sweep);
+
+    // done
+    b.switch_to(done);
+    let out = b.vreg_int("out");
+    b.lda(out, RESULT_BASE as i64);
+    b.stt(out, 0, sum);
+
+    b.finish().expect("tomcatv workload is well formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcl_trace::Vm;
+
+    #[test]
+    fn stencil_matches_a_host_computation_at_a_point() {
+        let p = build(1);
+        let mut vm = Vm::new(&p);
+        vm.run_to_end().unwrap();
+        // Recreate the input grid host-side.
+        let mut lcg = HostLcg::new(0x70CA);
+        let mut grid = vec![0.0f64; (N * N) as usize];
+        for v in grid.iter_mut() {
+            *v = (lcg.below(1000) as f64) / 250.0;
+        }
+        let at = |r: u64, c: u64| grid[(r * N + c) as usize];
+        let (r, c) = (10u64, 20u64);
+        let expect = (at(r - 1, c) + at(r + 1, c) + at(r, c + 1) + at(r, c - 1)) * 0.25 - at(r, c);
+        let got = f64::from_bits(vm.memory().read(OUT_BASE + (r * N + c) * 8));
+        assert!((got - expect).abs() < 1e-9, "got {got}, expect {expect}");
+    }
+
+    #[test]
+    fn interior_points_are_all_written() {
+        let p = build(1);
+        let mut vm = Vm::new(&p);
+        vm.run_to_end().unwrap();
+        let corners_written = [
+            OUT_BASE + (N + 1) * 8,                 // (1,1)
+            OUT_BASE + ((N - 2) * N + (N - 2)) * 8, // (N-2,N-2)
+        ];
+        for addr in corners_written {
+            assert!(f64::from_bits(vm.memory().read(addr)).is_finite());
+        }
+        // Boundary untouched.
+        assert_eq!(vm.memory().read(OUT_BASE), 0);
+    }
+
+    #[test]
+    fn checksum_is_finite() {
+        let p = build(2);
+        let mut vm = Vm::new(&p);
+        vm.run_to_end().unwrap();
+        assert!(f64::from_bits(vm.memory().read(RESULT_BASE)).is_finite());
+    }
+}

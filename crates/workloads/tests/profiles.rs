@@ -1,0 +1,96 @@
+//! Regression guards for the behavioural profiles of the six synthetic
+//! benchmarks. The Table 2 shape rests on these properties (DESIGN.md
+//! §4); if a workload edit drifts out of its band, these tests catch it
+//! before the headline numbers silently change.
+
+use mcl_isa::InstrClass;
+use mcl_trace::analysis::{analyze, MixReport};
+use mcl_workloads::Benchmark;
+
+fn profile(bench: Benchmark) -> MixReport {
+    let il = bench.build((bench.default_scale() / 10).max(1));
+    analyze(&il).expect("workload executes")
+}
+
+#[test]
+fn compress_is_branchy_integer_with_table_traffic() {
+    let p = profile(Benchmark::Compress);
+    let int = p.class_fraction(InstrClass::IntAlu) + p.class_fraction(InstrClass::IntMul);
+    assert!(int > 0.6, "integer fraction {int}");
+    assert!(p.class_fraction(InstrClass::FpOther) < 0.01);
+    assert!(p.class_fraction(InstrClass::Store) > 0.05, "output + table stores");
+    assert!(p.mean_block_len() < 10.0, "short blocks: {}", p.mean_block_len());
+    // The probe + flush branches leave the taken rate well off the rails.
+    assert!((0.5..0.95).contains(&p.taken_rate()), "taken {}", p.taken_rate());
+}
+
+#[test]
+fn gcc1_has_the_shortest_blocks_and_pointer_loads() {
+    let p = profile(Benchmark::Gcc1);
+    assert!(p.mean_block_len() < 5.0, "gcc blocks are tiny: {}", p.mean_block_len());
+    assert!(p.class_fraction(InstrClass::Load) > 0.12, "pointer chasing");
+    assert!(p.class_fraction(InstrClass::FpOther) < 0.01);
+    // Data-dependent dispatch: the taken rate sits near a half.
+    assert!((0.4..0.7).contains(&p.taken_rate()), "taken {}", p.taken_rate());
+}
+
+#[test]
+fn doduc_is_mixed_floating_point_with_rare_divides() {
+    let p = profile(Benchmark::Doduc);
+    assert!(p.class_fraction(InstrClass::FpOther) > 0.4);
+    assert!(
+        (0.001..0.05).contains(&p.class_fraction(InstrClass::FpDiv)),
+        "rare divides: {}",
+        p.class_fraction(InstrClass::FpDiv)
+    );
+    assert!((0.4..0.8).contains(&p.taken_rate()), "data-dependent paths");
+}
+
+#[test]
+fn ora_is_divider_bound_with_one_predictable_branch() {
+    let p = profile(Benchmark::Ora);
+    assert!(
+        p.class_fraction(InstrClass::FpDiv) > 0.15,
+        "divider ops dominate: {}",
+        p.class_fraction(InstrClass::FpDiv)
+    );
+    assert!(p.taken_rate() > 0.99, "only the loop back edge");
+    assert!(p.mean_block_len() > 30.0, "one big block: {}", p.mean_block_len());
+    assert!(p.class_fraction(InstrClass::Load) < 0.01, "no memory traffic");
+}
+
+#[test]
+fn su2cor_streams_arrays_with_regular_loops() {
+    let p = profile(Benchmark::Su2cor);
+    assert!(p.class_fraction(InstrClass::Load) > 0.15, "array streams");
+    assert!(p.class_fraction(InstrClass::FpOther) > 0.15);
+    assert!(p.taken_rate() > 0.95, "regular loops");
+    assert!(p.data_bytes() > 64 * 1024, "larger than the cache: {}", p.data_bytes());
+}
+
+#[test]
+fn tomcatv_is_load_heavy_stencil_code() {
+    let p = profile(Benchmark::Tomcatv);
+    assert!(
+        p.class_fraction(InstrClass::Load) > 0.25,
+        "five-point stencil loads: {}",
+        p.class_fraction(InstrClass::Load)
+    );
+    assert!(p.class_fraction(InstrClass::FpOther) > 0.3);
+    assert!(p.taken_rate() > 0.95);
+}
+
+#[test]
+fn dynamic_lengths_sit_in_the_reproduction_band() {
+    // Full-scale runs must stay big enough for warm caches and small
+    // enough for quick reproduction (DESIGN.md: ~100-250k).
+    for bench in Benchmark::ALL {
+        let il = bench.build_default();
+        let report = analyze(&il).expect("runs");
+        assert!(
+            (90_000..300_000).contains(&report.instructions),
+            "{bench}: {} dynamic instructions",
+            report.instructions
+        );
+    }
+}

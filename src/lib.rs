@@ -1,0 +1,64 @@
+//! # multicluster
+//!
+//! A from-scratch reproduction of *The Multicluster Architecture:
+//! Reducing Cycle Time Through Partitioning* (Farkas, Chow, Jouppi,
+//! Vranesic — MICRO-30, 1997): a cycle-level simulator for clustered
+//! dynamically-scheduled processors together with the static
+//! instruction-scheduling toolchain the paper introduces.
+//!
+//! This crate is a facade that re-exports the workspace's member crates
+//! under stable module names:
+//!
+//! - [`isa`] — registers, opcodes, instruction classes, Table 1 issue
+//!   rules, and the register-to-cluster assignment.
+//! - [`trace`] — the intermediate-language program model (live ranges,
+//!   basic blocks, control-flow graphs) and the virtual machine that
+//!   executes programs to produce dynamic instruction traces and profiles.
+//! - [`mem`] — set-associative caches, the inverted MSHR, and the memory
+//!   interface.
+//! - [`bpred`] — bimodal, global-history, and McFarling combining branch
+//!   predictors.
+//! - [`sched`] — the static scheduling pipeline: live-range partitioning
+//!   (the paper's "local scheduler"), Briggs-style graph-colouring
+//!   register allocation with cross-cluster spill preference, and list
+//!   scheduling.
+//! - [`core`] — the multicluster processor simulator itself (fetch,
+//!   distribution with dual execution, dispatch queues, transfer buffers,
+//!   replay exceptions, issue, retire) plus the Palacharla-derived
+//!   cycle-time model.
+//! - [`workloads`] — the six SPEC92-shaped synthetic benchmarks used by
+//!   the evaluation, plus microkernels.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use multicluster::core::{Processor, ProcessorConfig};
+//! use multicluster::sched::{SchedulePipeline, SchedulerKind};
+//! use multicluster::workloads::microkernels;
+//!
+//! // Build a small workload, schedule it for a dual-cluster processor,
+//! // and simulate both configurations.
+//! let program = microkernels::dependent_chain(64);
+//!
+//! let dual_cfg = ProcessorConfig::dual_cluster_8way();
+//! let scheduled = SchedulePipeline::new(SchedulerKind::Local, &dual_cfg.register_assignment())
+//!     .run(&program)
+//!     .expect("schedulable");
+//! let dual = Processor::new(dual_cfg).run_program(&scheduled.program).expect("runs");
+//!
+//! let single_cfg = ProcessorConfig::single_cluster_8way();
+//! let native = SchedulePipeline::new(SchedulerKind::Naive, &single_cfg.register_assignment())
+//!     .run(&program)
+//!     .expect("schedulable");
+//! let single = Processor::new(single_cfg).run_program(&native.program).expect("runs");
+//!
+//! assert!(dual.stats.cycles > 0 && single.stats.cycles > 0);
+//! ```
+
+pub use mcl_bpred as bpred;
+pub use mcl_core as core;
+pub use mcl_isa as isa;
+pub use mcl_mem as mem;
+pub use mcl_sched as sched;
+pub use mcl_trace as trace;
+pub use mcl_workloads as workloads;

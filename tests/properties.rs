@@ -1,0 +1,167 @@
+//! Property-based tests over randomly generated programs: the
+//! scheduling pipeline must preserve semantics, partitioning must be
+//! total, and the simulator must retire exactly the trace.
+
+use multicluster::core::{Processor, ProcessorConfig};
+use multicluster::isa::assign::RegisterAssignment;
+use multicluster::sched::{
+    LocalScheduler, Partition, PartitionConfig, SchedulePipeline, SchedulerKind,
+};
+use multicluster::trace::{vm::trace_program, Profile, Program, ProgramBuilder, Vm, Vreg};
+use proptest::prelude::*;
+
+/// One randomly chosen straight-line operation over a small register
+/// pool.
+#[derive(Debug, Clone)]
+enum RandOp {
+    Lda { dest: usize, imm: i64 },
+    Add { dest: usize, a: usize, b: usize },
+    Sub { dest: usize, a: usize, b: usize },
+    Mul { dest: usize, a: usize, b: usize },
+    Xor { dest: usize, a: usize, b: usize },
+    Shift { dest: usize, a: usize, by: u8 },
+    FCvt { dest: usize, a: usize },
+    FAdd { dest: usize, a: usize, b: usize },
+    FMul { dest: usize, a: usize, b: usize },
+    Store { addr_slot: usize, val: usize },
+    Load { dest: usize, addr_slot: usize },
+}
+
+const POOL: usize = 10;
+const FPOOL: usize = 6;
+const SLOTS: usize = 4;
+
+fn rand_op() -> impl Strategy<Value = RandOp> {
+    prop_oneof![
+        (0..POOL, -1000i64..1000).prop_map(|(dest, imm)| RandOp::Lda { dest, imm }),
+        (0..POOL, 0..POOL, 0..POOL).prop_map(|(dest, a, b)| RandOp::Add { dest, a, b }),
+        (0..POOL, 0..POOL, 0..POOL).prop_map(|(dest, a, b)| RandOp::Sub { dest, a, b }),
+        (0..POOL, 0..POOL, 0..POOL).prop_map(|(dest, a, b)| RandOp::Mul { dest, a, b }),
+        (0..POOL, 0..POOL, 0..POOL).prop_map(|(dest, a, b)| RandOp::Xor { dest, a, b }),
+        (0..POOL, 0..POOL, 0u8..40).prop_map(|(dest, a, by)| RandOp::Shift { dest, a, by }),
+        (0..FPOOL, 0..POOL).prop_map(|(dest, a)| RandOp::FCvt { dest, a }),
+        (0..FPOOL, 0..FPOOL, 0..FPOOL).prop_map(|(dest, a, b)| RandOp::FAdd { dest, a, b }),
+        (0..FPOOL, 0..FPOOL, 0..FPOOL).prop_map(|(dest, a, b)| RandOp::FMul { dest, a, b }),
+        (0..SLOTS, 0..POOL).prop_map(|(addr_slot, val)| RandOp::Store { addr_slot, val }),
+        (0..POOL, 0..SLOTS).prop_map(|(dest, addr_slot)| RandOp::Load { dest, addr_slot }),
+    ]
+}
+
+/// Builds a valid straight-line program from random operations and
+/// returns it plus the observation addresses.
+fn build_program(ops: &[RandOp]) -> (Program<Vreg>, Vec<u64>) {
+    let mut b = ProgramBuilder::new("random");
+    let ints: Vec<Vreg> = (0..POOL).map(|i| b.vreg_int(&format!("r{i}"))).collect();
+    let fps: Vec<Vreg> = (0..FPOOL).map(|i| b.vreg_fp(&format!("f{i}"))).collect();
+    // Give every register a defined initial value so reads are total.
+    for (i, &v) in ints.iter().enumerate() {
+        b.reg_init(v, i as u64 * 17 + 3);
+    }
+    for (i, &v) in fps.iter().enumerate() {
+        b.reg_init(v, ((i + 1) as f64).to_bits());
+    }
+    let base = 0x5000u64;
+    for op in ops {
+        match *op {
+            RandOp::Lda { dest, imm } => b.lda(ints[dest], imm),
+            RandOp::Add { dest, a, b: c } => b.addq(ints[dest], ints[a], ints[c]),
+            RandOp::Sub { dest, a, b: c } => b.subq(ints[dest], ints[a], ints[c]),
+            RandOp::Mul { dest, a, b: c } => b.mulq(ints[dest], ints[a], ints[c]),
+            RandOp::Xor { dest, a, b: c } => b.xor(ints[dest], ints[a], ints[c]),
+            RandOp::Shift { dest, a, by } => b.sll_imm(ints[dest], ints[a], i64::from(by)),
+            RandOp::FCvt { dest, a } => b.cvtqt(fps[dest], ints[a]),
+            RandOp::FAdd { dest, a, b: c } => b.addt(fps[dest], fps[a], fps[c]),
+            RandOp::FMul { dest, a, b: c } => b.mult(fps[dest], fps[a], fps[c]),
+            RandOp::Store { addr_slot, val } => {
+                let addr = b.vreg_int("addr");
+                b.lda(addr, (base + addr_slot as u64 * 8) as i64);
+                b.stq(addr, 0, ints[val]);
+            }
+            RandOp::Load { dest, addr_slot } => {
+                let addr = b.vreg_int("addr");
+                b.lda(addr, (base + addr_slot as u64 * 8) as i64);
+                b.ldq(ints[dest], addr, 0);
+            }
+        }
+    }
+    // Publish every integer register so the whole state is observable.
+    let out = b.vreg_int("out");
+    b.lda(out, 0x7000);
+    for (i, &v) in ints.iter().enumerate() {
+        b.stq(out, (i as i64) * 8, v);
+    }
+    for (i, &v) in fps.iter().enumerate() {
+        b.stt(out, ((POOL + i) as i64) * 8, v);
+    }
+    let observe: Vec<u64> = (0..POOL + FPOOL).map(|i| 0x7000 + i as u64 * 8).collect();
+    (b.finish().expect("generated program is valid"), observe)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn scheduling_preserves_semantics(ops in prop::collection::vec(rand_op(), 1..60)) {
+        let (il, observe) = build_program(&ops);
+        let mut vm = Vm::new(&il);
+        vm.run_to_end().unwrap();
+        let golden: Vec<u64> = observe.iter().map(|&a| vm.memory().read(a)).collect();
+
+        let assign = RegisterAssignment::even_odd_with_default_globals(2);
+        for kind in [
+            SchedulerKind::Naive,
+            SchedulerKind::Local,
+            SchedulerKind::RoundRobin,
+            SchedulerKind::BankSplit,
+        ] {
+            let scheduled = SchedulePipeline::new(kind, &assign).run(&il).unwrap();
+            let mut vm = Vm::new(&scheduled.program);
+            vm.run_to_end().unwrap();
+            for (&addr, &expect) in observe.iter().zip(&golden) {
+                prop_assert_eq!(vm.memory().read(addr), expect, "{:?} at {:#x}", kind, addr);
+            }
+        }
+    }
+
+    #[test]
+    fn partitioning_is_total(ops in prop::collection::vec(rand_op(), 1..60)) {
+        let (il, _) = build_program(&ops);
+        let profile = Profile::from_counts(vec![1; il.blocks.len()]);
+        let part = LocalScheduler::new(PartitionConfig::default()).partition(&il, &profile);
+        for block in &il.blocks {
+            for instr in &block.instrs {
+                for r in instr.named_regs() {
+                    prop_assert!(
+                        part.is_global(r) || part.cluster_of(r).is_some(),
+                        "{} unassigned", r
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn simulation_retires_the_whole_trace(ops in prop::collection::vec(rand_op(), 1..40)) {
+        let (il, _) = build_program(&ops);
+        let assign = RegisterAssignment::even_odd_with_default_globals(2);
+        let scheduled = SchedulePipeline::new(SchedulerKind::Local, &assign).run(&il).unwrap();
+        let (trace, _) = trace_program(&scheduled.program).unwrap();
+        for cfg in [ProcessorConfig::single_cluster_8way(), ProcessorConfig::dual_cluster_8way()] {
+            let retire_width = cfg.retire_width;
+            let result = Processor::new(cfg).run_trace(&trace).unwrap();
+            prop_assert_eq!(result.stats.retired, trace.len() as u64);
+            // Retirement is bounded by width.
+            prop_assert!(
+                result.stats.cycles >= trace.len() as u64 / u64::from(retire_width)
+            );
+        }
+    }
+
+    #[test]
+    fn round_robin_partition_counts_are_balanced(ops in prop::collection::vec(rand_op(), 1..60)) {
+        let (il, _) = build_program(&ops);
+        let part = Partition::round_robin(&il, 2);
+        let counts = part.counts(2);
+        prop_assert!(counts[0].abs_diff(counts[1]) <= 1, "{:?}", counts);
+    }
+}

@@ -1,0 +1,73 @@
+//! Serialization round-trips: configurations, programs, traces, and
+//! statistics survive serde (the bench harness persists all of these).
+
+use multicluster::core::{Processor, ProcessorConfig, SimStats};
+use multicluster::isa::assign::RegisterAssignment;
+use multicluster::trace::{vm::trace_program, Program, TraceOp, Vreg};
+use multicluster::workloads::Benchmark;
+
+fn json_roundtrip<T>(value: &T) -> T
+where
+    T: serde::Serialize + serde::de::DeserializeOwned,
+{
+    let text = serde_json::to_string(value).expect("serializes");
+    serde_json::from_str(&text).expect("deserializes")
+}
+
+#[test]
+fn processor_configs_roundtrip() {
+    for cfg in [
+        ProcessorConfig::single_cluster_8way(),
+        ProcessorConfig::dual_cluster_8way(),
+        ProcessorConfig::single_cluster_4way(),
+        ProcessorConfig::dual_cluster_4way(),
+    ] {
+        assert_eq!(json_roundtrip(&cfg), cfg);
+    }
+}
+
+#[test]
+fn register_assignments_roundtrip() {
+    for assign in [
+        RegisterAssignment::single_cluster(),
+        RegisterAssignment::even_odd_with_default_globals(2),
+    ] {
+        assert_eq!(json_roundtrip(&assign), assign);
+    }
+}
+
+#[test]
+fn programs_and_traces_roundtrip() {
+    let il: Program<Vreg> = Benchmark::Gcc1.build(20);
+    assert_eq!(json_roundtrip(&il), il);
+
+    let assign = RegisterAssignment::even_odd_with_default_globals(2);
+    let scheduled = multicluster::sched::SchedulePipeline::new(
+        multicluster::sched::SchedulerKind::Local,
+        &assign,
+    )
+    .run(&il)
+    .unwrap();
+    assert_eq!(json_roundtrip(&scheduled.program), scheduled.program);
+
+    let (trace, _) = trace_program(&scheduled.program).unwrap();
+    let roundtripped: Vec<TraceOp> = json_roundtrip(&trace);
+    assert_eq!(roundtripped, trace);
+}
+
+#[test]
+fn stats_roundtrip_after_a_real_run() {
+    let il = Benchmark::Compress.build(50);
+    let assign = RegisterAssignment::even_odd_with_default_globals(2);
+    let scheduled = multicluster::sched::SchedulePipeline::new(
+        multicluster::sched::SchedulerKind::Local,
+        &assign,
+    )
+    .run(&il)
+    .unwrap();
+    let result = Processor::new(ProcessorConfig::dual_cluster_8way())
+        .run_program(&scheduled.program)
+        .unwrap();
+    let stats: SimStats = json_roundtrip(&result.stats);
+    assert_eq!(stats, result.stats);
+}
