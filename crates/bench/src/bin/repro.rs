@@ -17,39 +17,73 @@
 //! repro pipeline <bench>       per-instruction pipeline diagram
 //! repro all [divisor]         everything above
 //! ```
+//!
+//! Every subcommand (except `pipeline`) expands into independent
+//! experiment cells executed by the parallel runner; `--jobs N` (or
+//! `--jobs=N`) sets the worker count, defaulting to the machine's
+//! available parallelism. Results are collected in cell order before
+//! anything is printed, so the output is byte-identical for every job
+//! count. Each run also writes `BENCH_repro.json` with per-cell wall
+//! time, simulated cycles, and throughput.
 
+use std::ops::Range;
 use std::process::ExitCode;
+use std::time::Instant;
 
-use mcl_bench::{ablate, crossover, figure6, scenarios, table1, table2};
+use mcl_bench::runner::{self, Cell};
+use mcl_bench::{ablate, crossover, figure6, scenarios, table1, table2, Table2Row};
 use mcl_workloads::Benchmark;
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let cmd = args.first().map_or("all", String::as_str);
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let jobs = match take_jobs_flag(&mut args) {
+        Ok(jobs) => jobs.unwrap_or_else(runner::default_jobs),
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let cmd = args.first().cloned().unwrap_or_else(|| "all".to_owned());
     let divisor: u32 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(1);
 
-    let result = match cmd {
-        "table1" => run_table1(),
-        "table2" => run_table2(divisor),
-        "scenarios" => run_scenarios(),
-        "fig6" => run_fig6(),
-        "crossover" => run_crossover(divisor),
-        "ablate-buffers" => run_ablate_buffers(divisor),
-        "ablate-threshold" => run_ablate_threshold(divisor),
-        "ablate-dq" => run_ablate_dq(divisor),
-        "ablate-globals" => run_ablate_globals(divisor),
-        "ablate-width" => run_ablate_width(divisor),
-        "ablate-unroll" => run_ablate_unroll(divisor),
-        "mix" => run_mix(divisor),
-        "schedulers" => run_schedulers(divisor),
-        "pipeline" => run_pipeline(args.get(1).map_or("compress", String::as_str)),
-        "all" => run_all(divisor),
+    if cmd == "pipeline" {
+        return match run_pipeline(args.get(1).map_or("compress", String::as_str)) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    let mut plan = Plan::default();
+    match cmd.as_str() {
+        "table1" => plan_table1(&mut plan),
+        "table2" => {
+            plan_table2(&mut plan, divisor, mcl_only().as_deref());
+        }
+        "scenarios" => plan_scenarios(&mut plan),
+        "fig6" => plan_fig6(&mut plan),
+        "crossover" => {
+            let rows = plan_table2_cells(&mut plan, divisor, None);
+            plan_crossover(&mut plan, rows);
+        }
+        "ablate-buffers" => plan_ablate_buffers(&mut plan, divisor),
+        "ablate-threshold" => plan_ablate_threshold(&mut plan, divisor),
+        "ablate-dq" => plan_ablate_dq(&mut plan, divisor),
+        "ablate-globals" => plan_ablate_globals(&mut plan, divisor),
+        "ablate-width" => plan_ablate_width(&mut plan, divisor),
+        "ablate-unroll" => plan_ablate_unroll(&mut plan, divisor),
+        "mix" => plan_mix(&mut plan, divisor),
+        "schedulers" => plan_schedulers(&mut plan, divisor),
+        "all" => plan_all(&mut plan, divisor),
         other => {
             eprintln!("unknown subcommand `{other}`; see the module docs for usage");
             return ExitCode::FAILURE;
         }
-    };
-    match result {
+    }
+
+    match plan.execute(&cmd, divisor, jobs) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");
@@ -58,120 +92,398 @@ fn main() -> ExitCode {
     }
 }
 
-fn run_table1() -> Result<(), mcl_bench::Error> {
-    println!("{}", table1::render());
-    Ok(())
+/// Extracts `--jobs N` / `--jobs=N` from the argument list.
+fn take_jobs_flag(args: &mut Vec<String>) -> Result<Option<usize>, String> {
+    let mut jobs = None;
+    let mut i = 0;
+    while i < args.len() {
+        let value = if args[i] == "--jobs" {
+            if i + 1 >= args.len() {
+                return Err("--jobs requires a value".to_owned());
+            }
+            let v = args[i + 1].clone();
+            args.drain(i..=i + 1);
+            v
+        } else if let Some(v) = args[i].strip_prefix("--jobs=") {
+            let v = v.to_owned();
+            args.remove(i);
+            v
+        } else {
+            i += 1;
+            continue;
+        };
+        let parsed: usize =
+            value.parse().map_err(|_| format!("invalid --jobs value `{value}`"))?;
+        if parsed == 0 {
+            return Err("--jobs must be at least 1".to_owned());
+        }
+        jobs = Some(parsed);
+    }
+    Ok(jobs)
 }
 
-fn run_table2(divisor: u32) -> Result<(), mcl_bench::Error> {
-    let only = std::env::var("MCL_ONLY").ok();
-    let rows = table2::table2_filtered(divisor, only.as_deref())?;
-    println!("{}", table2::render(&rows));
-    println!("{}", table2::render_details(&rows));
-    Ok(())
+fn mcl_only() -> Option<String> {
+    std::env::var("MCL_ONLY").ok()
 }
 
-fn run_scenarios() -> Result<(), mcl_bench::Error> {
-    let timelines = scenarios::run_all()?;
-    println!("{}", scenarios::render(&timelines));
-    Ok(())
+/// What one cell computed: either a pre-rendered text fragment or a
+/// Table 2 row (kept structured so the crossover section can reuse it).
+enum Payload {
+    Text(String),
+    Row(Box<Table2Row>),
 }
 
-fn run_fig6() -> Result<(), mcl_bench::Error> {
-    println!("{}", figure6::render());
-    Ok(())
+fn text(p: &Payload) -> &str {
+    match p {
+        Payload::Text(s) => s,
+        Payload::Row(_) => unreachable!("section expected a text payload"),
+    }
 }
 
-fn run_crossover(divisor: u32) -> Result<(), mcl_bench::Error> {
-    let rows = table2::table2(divisor)?;
-    let cross = crossover::from_table2(&rows);
-    println!("{}", crossover::render(&cross));
-    Ok(())
+fn rows_of(ps: &[Payload]) -> Vec<Table2Row> {
+    ps.iter()
+        .map(|p| match p {
+            Payload::Row(r) => (**r).clone(),
+            Payload::Text(_) => unreachable!("section expected row payloads"),
+        })
+        .collect()
+}
+
+type Render = Box<dyn FnOnce(&[Payload])>;
+
+/// An execution plan: a flat list of cells (executed once, possibly in
+/// parallel) plus ordered sections that render slices of the results.
+#[derive(Default)]
+struct Plan {
+    cells: Vec<Cell<Payload>>,
+    sections: Vec<(Range<usize>, Render)>,
+}
+
+impl Plan {
+    /// Appends cells and a renderer over exactly those cells.
+    fn section(&mut self, cells: Vec<Cell<Payload>>, render: Render) -> Range<usize> {
+        let start = self.cells.len();
+        self.cells.extend(cells);
+        let range = start..self.cells.len();
+        self.sections.push((range.clone(), render));
+        range
+    }
+
+    /// Appends a renderer over an existing cell range (no new work) —
+    /// how the crossover section shares Table 2's rows.
+    fn derived_section(&mut self, range: Range<usize>, render: Render) {
+        self.sections.push((range, render));
+    }
+
+    /// Runs all cells on the worker pool, renders the sections in
+    /// order, and writes `BENCH_repro.json`.
+    fn execute(self, command: &str, divisor: u32, jobs: usize) -> Result<(), mcl_bench::Error> {
+        let start = Instant::now();
+        let (payloads, metrics) = runner::run_cells(jobs, self.cells)?;
+        for (range, render) in self.sections {
+            render(&payloads[range]);
+        }
+        let total_wall = start.elapsed().as_secs_f64();
+        let path = std::path::Path::new("BENCH_repro.json");
+        if let Err(e) = runner::write_report(path, command, divisor, jobs, total_wall, &metrics) {
+            eprintln!("warning: could not write {}: {e}", path.display());
+        }
+        Ok(())
+    }
 }
 
 fn scaled(b: Benchmark, divisor: u32) -> u32 {
     (b.default_scale() / divisor.max(1)).max(1)
 }
 
-fn run_ablate_buffers(divisor: u32) -> Result<(), mcl_bench::Error> {
-    for bench in Benchmark::ALL {
-        let points = ablate::buffers(bench, scaled(bench, divisor), &[1, 2, 4, 8, 16, 32])?;
-        println!(
-            "{}",
-            ablate::render_sweep(
-                &format!("A1: transfer-buffer entries per cluster — {bench}"),
-                "entries",
-                &points
-            )
+fn plan_table1(plan: &mut Plan) {
+    plan.section(
+        vec![Cell::new("table1", || Ok((Payload::Text(table1::render()), 0)))],
+        Box::new(|ps| println!("{}", text(&ps[0]))),
+    );
+}
+
+/// Adds one Table 2 cell per benchmark (no rendering); returns the cell
+/// range so both the Table 2 and crossover sections can consume it.
+fn plan_table2_cells(plan: &mut Plan, divisor: u32, only: Option<&str>) -> Range<usize> {
+    let start = plan.cells.len();
+    for &bench in Benchmark::ALL.iter().filter(|b| only.is_none_or(|name| b.name() == name)) {
+        let scale = scaled(bench, divisor);
+        plan.cells.push(Cell::new(format!("table2/{bench}"), move || {
+            let row = table2::table2_row(bench, scale)?;
+            let cycles = row.single_cycles + row.dual_none_cycles + row.dual_local_cycles;
+            Ok((Payload::Row(Box::new(row)), cycles))
+        }));
+    }
+    start..plan.cells.len()
+}
+
+fn plan_table2(plan: &mut Plan, divisor: u32, only: Option<&str>) -> Range<usize> {
+    let range = plan_table2_cells(plan, divisor, only);
+    plan.derived_section(
+        range.clone(),
+        Box::new(|ps| {
+            let rows = rows_of(ps);
+            println!("{}", table2::render(&rows));
+            println!("{}", table2::render_details(&rows));
+        }),
+    );
+    range
+}
+
+fn plan_crossover(plan: &mut Plan, table2_cells: Range<usize>) {
+    plan.derived_section(
+        table2_cells,
+        Box::new(|ps| {
+            let rows = rows_of(ps);
+            let cross = crossover::from_table2(&rows);
+            println!("{}", crossover::render(&cross));
+        }),
+    );
+}
+
+fn plan_scenarios(plan: &mut Plan) {
+    plan.section(
+        vec![Cell::new("scenarios", || {
+            let timelines = scenarios::run_all()?;
+            Ok((Payload::Text(scenarios::render(&timelines)), 0))
+        })],
+        Box::new(|ps| println!("{}", text(&ps[0]))),
+    );
+}
+
+fn plan_fig6(plan: &mut Plan) {
+    plan.section(
+        vec![Cell::new("fig6", || Ok((Payload::Text(figure6::render()), 0)))],
+        Box::new(|ps| println!("{}", text(&ps[0]))),
+    );
+}
+
+/// The common shape of the sweep ablations (A1/A2/A3/A6): one cell per
+/// benchmark, each rendering its own sweep table.
+fn plan_sweep(
+    plan: &mut Plan,
+    id: &str,
+    divisor: u32,
+    sweep: impl Fn(Benchmark, u32) -> Result<(String, u64), mcl_bench::Error>
+        + Send
+        + Clone
+        + 'static,
+) {
+    let cells = Benchmark::ALL
+        .iter()
+        .map(|&bench| {
+            let sweep = sweep.clone();
+            Cell::new(format!("{id}/{bench}"), move || {
+                let (rendered, cycles) = sweep(bench, scaled(bench, divisor))?;
+                Ok((Payload::Text(rendered), cycles))
+            })
+        })
+        .collect();
+    plan.section(
+        cells,
+        Box::new(|ps| {
+            for p in ps {
+                println!("{}", text(p));
+            }
+        }),
+    );
+}
+
+fn sum_cycles(points: &[ablate::SweepPoint]) -> u64 {
+    points.iter().map(|p| p.cycles).sum()
+}
+
+fn plan_ablate_buffers(plan: &mut Plan, divisor: u32) {
+    plan_sweep(plan, "ablate-buffers", divisor, |bench, scale| {
+        let points = ablate::buffers(bench, scale, &[1, 2, 4, 8, 16, 32])?;
+        let rendered = ablate::render_sweep(
+            &format!("A1: transfer-buffer entries per cluster — {bench}"),
+            "entries",
+            &points,
         );
-    }
-    Ok(())
+        Ok((rendered, sum_cycles(&points)))
+    });
 }
 
-fn run_ablate_threshold(divisor: u32) -> Result<(), mcl_bench::Error> {
-    for bench in Benchmark::ALL {
-        let points =
-            ablate::threshold(bench, scaled(bench, divisor), &[1.0, 2.0, 4.0, 8.0, 16.0, 32.0])?;
-        println!(
-            "{}",
-            ablate::render_sweep(
-                &format!("A2: local-scheduler imbalance threshold — {bench}"),
-                "threshold",
-                &points
-            )
+fn plan_ablate_threshold(plan: &mut Plan, divisor: u32) {
+    plan_sweep(plan, "ablate-threshold", divisor, |bench, scale| {
+        let points = ablate::threshold(bench, scale, &[1.0, 2.0, 4.0, 8.0, 16.0, 32.0])?;
+        let rendered = ablate::render_sweep(
+            &format!("A2: local-scheduler imbalance threshold — {bench}"),
+            "threshold",
+            &points,
         );
-    }
-    Ok(())
+        Ok((rendered, sum_cycles(&points)))
+    });
 }
 
-fn run_ablate_dq(divisor: u32) -> Result<(), mcl_bench::Error> {
-    for bench in Benchmark::ALL {
-        let points = ablate::dq_single(bench, scaled(bench, divisor), &[16, 32, 64, 128, 256])?;
-        println!(
-            "{}",
-            ablate::render_sweep(
-                &format!("A3: single-cluster dispatch-queue size — {bench}"),
-                "entries",
-                &points
-            )
+fn plan_ablate_dq(plan: &mut Plan, divisor: u32) {
+    plan_sweep(plan, "ablate-dq", divisor, |bench, scale| {
+        let points = ablate::dq_single(bench, scale, &[16, 32, 64, 128, 256])?;
+        let rendered = ablate::render_sweep(
+            &format!("A3: single-cluster dispatch-queue size — {bench}"),
+            "entries",
+            &points,
         );
-    }
-    Ok(())
+        Ok((rendered, sum_cycles(&points)))
+    });
 }
 
-fn run_ablate_globals(divisor: u32) -> Result<(), mcl_bench::Error> {
-    println!("A4: global-register designation (dual-cluster, local scheduler)\n");
-    println!("{:<10} {:>14} {:>14}", "benchmark", "with globals", "all-local");
-    for bench in Benchmark::ALL {
-        let (with, without) = ablate::globals(bench, scaled(bench, divisor))?;
-        println!("{:<10} {:>14} {:>14}", bench.name(), with.cycles, without.cycles);
-    }
-    println!();
-    Ok(())
+fn plan_ablate_unroll(plan: &mut Plan, divisor: u32) {
+    plan_sweep(plan, "ablate-unroll", divisor, |bench, scale| {
+        let points = ablate::unroll(bench, scale, &[1, 2, 4])?;
+        let rendered = ablate::render_sweep(
+            &format!("A6: loop unrolling (dual-cluster, local scheduler) — {bench}"),
+            "factor",
+            &points,
+        );
+        Ok((rendered, sum_cycles(&points)))
+    });
 }
 
-fn run_ablate_width(divisor: u32) -> Result<(), mcl_bench::Error> {
-    println!("A5: four-way issue (single 4-way vs dual 2x2-way)\n");
-    println!("{:<10} {:>12} {:>12} {:>12}", "benchmark", "C_single4", "none%", "local%");
-    for bench in Benchmark::ALL {
-        let (single, none_pct, local_pct) = ablate::width4(bench, scaled(bench, divisor))?;
-        println!("{:<10} {:>12} {:>11.1}% {:>11.1}%", bench.name(), single, none_pct, local_pct);
-    }
-    println!();
-    Ok(())
+fn plan_ablate_globals(plan: &mut Plan, divisor: u32) {
+    let cells = Benchmark::ALL
+        .iter()
+        .map(|&bench| {
+            Cell::new(format!("ablate-globals/{bench}"), move || {
+                let (with, without) = ablate::globals(bench, scaled(bench, divisor))?;
+                let line = format!(
+                    "{:<10} {:>14} {:>14}",
+                    bench.name(),
+                    with.cycles,
+                    without.cycles
+                );
+                Ok((Payload::Text(line), with.cycles + without.cycles))
+            })
+        })
+        .collect();
+    plan.section(
+        cells,
+        Box::new(|ps| {
+            println!("A4: global-register designation (dual-cluster, local scheduler)\n");
+            println!("{:<10} {:>14} {:>14}", "benchmark", "with globals", "all-local");
+            for p in ps {
+                println!("{}", text(p));
+            }
+            println!();
+        }),
+    );
 }
 
-fn run_mix(divisor: u32) -> Result<(), mcl_bench::Error> {
-    use mcl_trace::analysis::{analyze, MixReport};
-    println!("Workload behavioural profiles (intermediate-language form)\n");
-    println!("{}", MixReport::render_header());
-    for bench in Benchmark::ALL {
-        let il = bench.build(scaled(bench, divisor));
-        let report = analyze(&il).map_err(mcl_bench::Error::Vm)?;
-        println!("{}", report.render_row());
+fn plan_ablate_width(plan: &mut Plan, divisor: u32) {
+    let cells = Benchmark::ALL
+        .iter()
+        .map(|&bench| {
+            Cell::new(format!("ablate-width/{bench}"), move || {
+                let (single, none_pct, local_pct) = ablate::width4(bench, scaled(bench, divisor))?;
+                let line = format!(
+                    "{:<10} {:>12} {:>11.1}% {:>11.1}%",
+                    bench.name(),
+                    single,
+                    none_pct,
+                    local_pct
+                );
+                Ok((Payload::Text(line), single))
+            })
+        })
+        .collect();
+    plan.section(
+        cells,
+        Box::new(|ps| {
+            println!("A5: four-way issue (single 4-way vs dual 2x2-way)\n");
+            println!("{:<10} {:>12} {:>12} {:>12}", "benchmark", "C_single4", "none%", "local%");
+            for p in ps {
+                println!("{}", text(p));
+            }
+            println!();
+        }),
+    );
+}
+
+fn plan_schedulers(plan: &mut Plan, divisor: u32) {
+    let cells = Benchmark::ALL
+        .iter()
+        .map(|&bench| {
+            Cell::new(format!("schedulers/{bench}"), move || {
+                let mut lines = Vec::new();
+                let mut cycles_total = 0;
+                for (kind, cycles, dual) in ablate::schedulers(bench, scaled(bench, divisor))? {
+                    lines.push(format!(
+                        "{:<10} {:>22} {:>10} {:>6.1}%",
+                        bench.name(),
+                        kind,
+                        cycles,
+                        dual
+                    ));
+                    cycles_total += cycles;
+                }
+                Ok((Payload::Text(lines.join("\n")), cycles_total))
+            })
+        })
+        .collect();
+    plan.section(
+        cells,
+        Box::new(|ps| {
+            println!("B1: dual-cluster cycles by partitioning strategy\n");
+            println!("{:<10} {:>22} {:>10} {:>7}", "benchmark", "scheduler", "cycles", "dual%");
+            for p in ps {
+                println!("{}", text(p));
+            }
+            println!();
+        }),
+    );
+}
+
+fn plan_mix(plan: &mut Plan, divisor: u32) {
+    use mcl_trace::analysis::analyze;
+    let cells = Benchmark::ALL
+        .iter()
+        .map(|&bench| {
+            Cell::new(format!("mix/{bench}"), move || {
+                let il = bench.build(scaled(bench, divisor));
+                let report = analyze(&il).map_err(mcl_bench::Error::Vm)?;
+                Ok((Payload::Text(report.render_row()), 0))
+            })
+        })
+        .collect();
+    plan.section(
+        cells,
+        Box::new(|ps| {
+            use mcl_trace::analysis::MixReport;
+            println!("Workload behavioural profiles (intermediate-language form)\n");
+            println!("{}", MixReport::render_header());
+            for p in ps {
+                println!("{}", text(p));
+            }
+            println!();
+        }),
+    );
+}
+
+fn plan_all(plan: &mut Plan, divisor: u32) {
+    plan_table1(plan);
+    let table2_cells = plan_table2(plan, divisor, mcl_only().as_deref());
+    plan_scenarios(plan);
+    plan_fig6(plan);
+    // The crossover analysis derives from Table 2's rows; reuse them
+    // instead of re-simulating — unless MCL_ONLY restricted Table 2, in
+    // which case crossover still covers every benchmark (as the serial
+    // driver always did).
+    if mcl_only().is_none() {
+        plan_crossover(plan, table2_cells);
+    } else {
+        let full_rows = plan_table2_cells(plan, divisor, None);
+        plan_crossover(plan, full_rows);
     }
-    println!();
-    Ok(())
+    plan_ablate_buffers(plan, divisor);
+    plan_ablate_threshold(plan, divisor);
+    plan_ablate_dq(plan, divisor);
+    plan_ablate_globals(plan, divisor);
+    plan_ablate_width(plan, divisor);
+    plan_ablate_unroll(plan, divisor);
+    plan_schedulers(plan, divisor);
+    plan_mix(plan, divisor);
 }
 
 fn run_pipeline(bench_name: &str) -> Result<(), mcl_bench::Error> {
@@ -208,49 +520,5 @@ fn run_pipeline(bench_name: &str) -> Result<(), mcl_bench::Error> {
             PipeViewOptions { first_seq: mid, last_seq: mid + 47, max_cycles: 110 }
         )
     );
-    Ok(())
-}
-
-fn run_schedulers(divisor: u32) -> Result<(), mcl_bench::Error> {
-    println!("B1: dual-cluster cycles by partitioning strategy\n");
-    println!("{:<10} {:>22} {:>10} {:>7}", "benchmark", "scheduler", "cycles", "dual%");
-    for bench in Benchmark::ALL {
-        for (kind, cycles, dual) in ablate::schedulers(bench, scaled(bench, divisor))? {
-            println!("{:<10} {:>22} {:>10} {:>6.1}%", bench.name(), kind, cycles, dual);
-        }
-    }
-    println!();
-    Ok(())
-}
-
-fn run_ablate_unroll(divisor: u32) -> Result<(), mcl_bench::Error> {
-    for bench in Benchmark::ALL {
-        let points = ablate::unroll(bench, scaled(bench, divisor), &[1, 2, 4])?;
-        println!(
-            "{}",
-            ablate::render_sweep(
-                &format!("A6: loop unrolling (dual-cluster, local scheduler) — {bench}"),
-                "factor",
-                &points
-            )
-        );
-    }
-    Ok(())
-}
-
-fn run_all(divisor: u32) -> Result<(), mcl_bench::Error> {
-    run_table1()?;
-    run_table2(divisor)?;
-    run_scenarios()?;
-    run_fig6()?;
-    run_crossover(divisor)?;
-    run_ablate_buffers(divisor)?;
-    run_ablate_threshold(divisor)?;
-    run_ablate_dq(divisor)?;
-    run_ablate_globals(divisor)?;
-    run_ablate_width(divisor)?;
-    run_ablate_unroll(divisor)?;
-    run_schedulers(divisor)?;
-    run_mix(divisor)?;
     Ok(())
 }

@@ -1,0 +1,157 @@
+//! A minimal hand-rolled JSON emitter.
+//!
+//! The build has no registry access, so `serde_json` is unavailable;
+//! the benchmark driver only ever needs to *write* one small report
+//! (`BENCH_repro.json`), which this module covers: objects, arrays,
+//! strings, integers, and finite floats.
+
+use std::fmt::Write as _;
+
+/// A JSON value under construction.
+#[derive(Debug, Clone)]
+pub enum Json {
+    /// A string (escaped on render).
+    Str(String),
+    /// An integer.
+    U64(u64),
+    /// A finite float (rendered with six decimal places; NaN and
+    /// infinities render as `null`, which JSON has no number for).
+    F64(f64),
+    /// An ordered list of values.
+    Array(Vec<Json>),
+    /// An object with insertion-ordered keys.
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// An empty object.
+    #[must_use]
+    pub fn object() -> Json {
+        Json::Object(Vec::new())
+    }
+
+    /// Adds a field to an object (panics on non-objects — emitter
+    /// misuse is a programming error, not input-dependent).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is not an object.
+    pub fn field(&mut self, key: &str, value: Json) -> &mut Json {
+        let Json::Object(fields) = self else { panic!("field() on a non-object") };
+        fields.push((key.to_owned(), value));
+        self
+    }
+
+    /// Renders the value as compact JSON.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Str(s) => write_escaped(s, out),
+            Json::U64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Json::F64(v) => {
+                if v.is_finite() {
+                    let _ = write!(out, "{v:.6}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Object(fields) => {
+                out.push('{');
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(key, out);
+                    out.push(':');
+                    value.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+impl From<&str> for Json {
+    fn from(s: &str) -> Json {
+        Json::Str(s.to_owned())
+    }
+}
+
+impl From<u64> for Json {
+    fn from(v: u64) -> Json {
+        Json::U64(v)
+    }
+}
+
+impl From<f64> for Json {
+    fn from(v: f64) -> Json {
+        Json::F64(v)
+    }
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_nested_report_shape() {
+        let mut cell = Json::object();
+        cell.field("id", "table2/compress".into())
+            .field("cycles", 1234u64.into())
+            .field("wall_seconds", 0.5f64.into());
+        let mut report = Json::object();
+        report.field("jobs", 8u64.into()).field("cells", Json::Array(vec![cell]));
+        assert_eq!(
+            report.render(),
+            "{\"jobs\":8,\"cells\":[{\"id\":\"table2/compress\",\
+             \"cycles\":1234,\"wall_seconds\":0.500000}]}"
+        );
+    }
+
+    #[test]
+    fn escapes_strings() {
+        assert_eq!(Json::Str("a\"b\\c\nd\u{1}".into()).render(), r#""a\"b\\c\nd\u0001""#);
+    }
+
+    #[test]
+    fn non_finite_floats_render_null() {
+        assert_eq!(Json::F64(f64::NAN).render(), "null");
+        assert_eq!(Json::F64(f64::INFINITY).render(), "null");
+    }
+}

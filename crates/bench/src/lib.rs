@@ -15,6 +15,10 @@
 //! - [`ablate`] — parameter sweeps the paper discusses in prose:
 //!   transfer-buffer sizing, the imbalance threshold, dispatch-queue
 //!   size, global-register designation, and issue width.
+//! - [`runner`] — the parallel experiment driver: expands experiments
+//!   into independent cells, runs them on a scoped worker pool, and
+//!   collects deterministically so `--jobs N` output is byte-identical
+//!   to a serial run. Writes `BENCH_repro.json` (see [`json`]).
 //!
 //! Everything here is a library so the `repro` binary and the criterion
 //! benches share one implementation.
@@ -29,6 +33,8 @@ use mcl_workloads::Benchmark;
 
 pub mod ablate;
 pub mod figure6;
+pub mod json;
+pub mod runner;
 pub mod scenarios;
 pub mod table1;
 pub mod table2;

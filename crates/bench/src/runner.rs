@@ -1,0 +1,264 @@
+//! Parallel experiment driver.
+//!
+//! Every `repro` experiment expands into independent *cells* — one
+//! (workload, configuration) unit each, typically "one benchmark of one
+//! experiment". Cells run on a [`std::thread::scope`] worker pool that
+//! claims work by atomic index, and results land in per-cell slots, so
+//! collection order equals submission order regardless of which worker
+//! finished first. Rendering happens after collection, which is what
+//! makes `--jobs N` output byte-identical to a serial run.
+//!
+//! The pool also records per-cell wall time and simulated cycles; the
+//! driver writes them to `BENCH_repro.json` via [`report_json`].
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use crate::json::Json;
+use crate::Error;
+
+/// One independent unit of work.
+///
+/// The closure returns its payload plus the number of simulated cycles
+/// it accounted for (0 for cells that only render static material).
+pub struct Cell<R> {
+    /// Stable identifier, e.g. `table2/compress`.
+    pub id: String,
+    /// The work itself.
+    pub run: Box<dyn FnOnce() -> Result<(R, u64), Error> + Send>,
+}
+
+impl<R> Cell<R> {
+    /// Convenience constructor.
+    pub fn new(
+        id: impl Into<String>,
+        run: impl FnOnce() -> Result<(R, u64), Error> + Send + 'static,
+    ) -> Cell<R> {
+        Cell { id: id.into(), run: Box::new(run) }
+    }
+}
+
+/// Timing record of one executed cell.
+#[derive(Debug, Clone)]
+pub struct CellMetric {
+    /// The cell's identifier.
+    pub id: String,
+    /// Wall-clock time the cell took on its worker.
+    pub wall_seconds: f64,
+    /// Simulated cycles the cell accounted for.
+    pub simulated_cycles: u64,
+}
+
+impl CellMetric {
+    /// Simulation throughput of this cell (simulated cycles per
+    /// wall-clock second); 0 when the cell did no simulation work.
+    #[must_use]
+    pub fn cycles_per_second(&self) -> f64 {
+        if self.wall_seconds > 0.0 {
+            self.simulated_cycles as f64 / self.wall_seconds
+        } else {
+            0.0
+        }
+    }
+}
+
+/// The default worker count: the machine's available parallelism.
+#[must_use]
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZero::get)
+}
+
+/// Runs every cell and returns the payloads in cell order plus one
+/// metric per cell (same order).
+///
+/// With `jobs <= 1` the cells run serially on the calling thread; with
+/// more, a scoped worker pool claims cells by atomic index. Either way
+/// the result order is the submission order, so callers can render
+/// deterministically.
+///
+/// # Errors
+///
+/// Returns the error of the earliest (by cell order) failing cell.
+/// Unlike the serial path, later cells may already have run by then;
+/// cells must therefore be independent, which experiment cells are.
+pub fn run_cells<R: Send>(
+    jobs: usize,
+    cells: Vec<Cell<R>>,
+) -> Result<(Vec<R>, Vec<CellMetric>), Error> {
+    let n = cells.len();
+    let mut slots: Vec<(String, Result<(R, u64), Error>, f64)> = if jobs <= 1 || n <= 1 {
+        cells
+            .into_iter()
+            .map(|cell| {
+                let start = Instant::now();
+                let result = (cell.run)();
+                (cell.id, result, start.elapsed().as_secs_f64())
+            })
+            .collect()
+    } else {
+        let work: Vec<Mutex<Option<Cell<R>>>> =
+            cells.into_iter().map(|c| Mutex::new(Some(c))).collect();
+        let done: Vec<Mutex<Option<(String, Result<(R, u64), Error>, f64)>>> =
+            (0..n).map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..jobs.min(n) {
+                s.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let cell = work[i].lock().unwrap().take().expect("each cell claimed once");
+                    let start = Instant::now();
+                    let result = (cell.run)();
+                    *done[i].lock().unwrap() =
+                        Some((cell.id, result, start.elapsed().as_secs_f64()));
+                });
+            }
+        });
+        done.into_iter()
+            .map(|slot| slot.into_inner().unwrap().expect("every cell ran"))
+            .collect()
+    };
+
+    let mut payloads = Vec::with_capacity(n);
+    let mut metrics = Vec::with_capacity(n);
+    for (id, result, wall_seconds) in slots.drain(..) {
+        let (payload, simulated_cycles) = result?;
+        payloads.push(payload);
+        metrics.push(CellMetric { id, wall_seconds, simulated_cycles });
+    }
+    Ok((payloads, metrics))
+}
+
+/// Builds the `BENCH_repro.json` report.
+#[must_use]
+pub fn report_json(
+    command: &str,
+    divisor: u32,
+    jobs: usize,
+    total_wall_seconds: f64,
+    metrics: &[CellMetric],
+) -> Json {
+    let total_cycles: u64 = metrics.iter().map(|m| m.simulated_cycles).sum();
+    let mut report = Json::object();
+    report
+        .field("command", command.into())
+        .field("divisor", u64::from(divisor).into())
+        .field("jobs", (jobs as u64).into())
+        .field("total_wall_seconds", total_wall_seconds.into())
+        .field("total_simulated_cycles", total_cycles.into())
+        .field(
+            "simulated_cycles_per_second",
+            if total_wall_seconds > 0.0 {
+                (total_cycles as f64 / total_wall_seconds).into()
+            } else {
+                0.0.into()
+            },
+        )
+        .field(
+            "cells",
+            Json::Array(
+                metrics
+                    .iter()
+                    .map(|m| {
+                        let mut cell = Json::object();
+                        cell.field("id", m.id.as_str().into())
+                            .field("wall_seconds", m.wall_seconds.into())
+                            .field("simulated_cycles", m.simulated_cycles.into())
+                            .field("simulated_cycles_per_second", m.cycles_per_second().into());
+                        cell
+                    })
+                    .collect(),
+            ),
+        );
+    report
+}
+
+/// Writes the report to `path`, newline-terminated.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_report(
+    path: &std::path::Path,
+    command: &str,
+    divisor: u32,
+    jobs: usize,
+    total_wall_seconds: f64,
+    metrics: &[CellMetric],
+) -> std::io::Result<()> {
+    let json = report_json(command, divisor, jobs, total_wall_seconds, metrics);
+    std::fs::write(path, json.render() + "\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counting_cells(n: usize) -> Vec<Cell<usize>> {
+        (0..n)
+            .map(|i| {
+                Cell::new(format!("cell/{i}"), move || {
+                    // Make early cells the slowest so workers finish out
+                    // of submission order; collection must reorder.
+                    std::thread::sleep(std::time::Duration::from_millis(
+                        (n - i) as u64 * 2,
+                    ));
+                    Ok((i, i as u64 * 10))
+                })
+            })
+            .collect()
+    }
+
+    #[test]
+    fn parallel_results_are_in_cell_order() {
+        let (payloads, metrics) = run_cells(4, counting_cells(12)).unwrap();
+        assert_eq!(payloads, (0..12).collect::<Vec<_>>());
+        let ids: Vec<&str> = metrics.iter().map(|m| m.id.as_str()).collect();
+        assert_eq!(ids[0], "cell/0");
+        assert_eq!(ids[11], "cell/11");
+        assert_eq!(metrics[7].simulated_cycles, 70);
+    }
+
+    #[test]
+    fn serial_and_parallel_agree() {
+        let (serial, _) = run_cells(1, counting_cells(8)).unwrap();
+        let (parallel, _) = run_cells(8, counting_cells(8)).unwrap();
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn first_failing_cell_in_order_wins() {
+        let cells: Vec<Cell<usize>> = (0..6)
+            .map(|i| {
+                Cell::new(format!("cell/{i}"), move || {
+                    if i >= 2 {
+                        Err(Error::Vm(mcl_trace::VmError::MaxStepsExceeded { limit: i as u64 }))
+                    } else {
+                        Ok((i, 0))
+                    }
+                })
+            })
+            .collect();
+        let err = run_cells(3, cells).err().expect("must fail");
+        // Cells 2..6 all fail; the reported error is cell 2's, the
+        // earliest in submission order.
+        assert!(matches!(err, Error::Vm(mcl_trace::VmError::MaxStepsExceeded { limit: 2 })));
+    }
+
+    #[test]
+    fn report_shape_is_stable() {
+        let metrics = vec![CellMetric {
+            id: "table2/compress".into(),
+            wall_seconds: 2.0,
+            simulated_cycles: 100,
+        }];
+        let json = report_json("table2", 1, 8, 2.5, &metrics).render();
+        assert!(json.starts_with("{\"command\":\"table2\","));
+        assert!(json.contains("\"total_simulated_cycles\":100"));
+        assert!(json.contains("\"simulated_cycles_per_second\":50.000000"));
+        assert!(json.contains("\"cells\":[{\"id\":\"table2/compress\""));
+    }
+}

@@ -1,0 +1,66 @@
+//! Determinism regression for the experiment driver: the same
+//! (workload, configuration) cell must produce identical statistics
+//! when run twice serially and when run through the parallel runner,
+//! regardless of the job count.
+
+use mcl_bench::runner::{run_cells, Cell};
+use mcl_bench::{table2, Table2Row};
+use mcl_workloads::Benchmark;
+
+/// A scale small enough for tests but large enough to exercise
+/// replays, mispredictions, and cross-cluster traffic.
+fn small_scale(b: Benchmark) -> u32 {
+    (b.default_scale() / 64).max(1)
+}
+
+fn assert_rows_equal(a: &Table2Row, b: &Table2Row, context: &str) {
+    assert_eq!(a.name, b.name, "{context}");
+    assert_eq!(a.single_cycles, b.single_cycles, "{context}: {}", a.name);
+    assert_eq!(a.dual_none_cycles, b.dual_none_cycles, "{context}: {}", a.name);
+    assert_eq!(a.dual_local_cycles, b.dual_local_cycles, "{context}: {}", a.name);
+    assert_eq!(a.stats, b.stats, "{context}: full stats of {}", a.name);
+}
+
+#[test]
+fn same_cell_twice_serially_is_identical() {
+    let bench = Benchmark::ALL[0];
+    let a = table2::table2_row(bench, small_scale(bench)).expect("runs");
+    let b = table2::table2_row(bench, small_scale(bench)).expect("runs");
+    assert_rows_equal(&a, &b, "two serial runs");
+}
+
+#[test]
+fn parallel_runner_matches_serial_execution() {
+    // Reference: every benchmark's row computed directly, in order.
+    let reference: Vec<Table2Row> = Benchmark::ALL
+        .iter()
+        .map(|&b| table2::table2_row(b, small_scale(b)).expect("runs"))
+        .collect();
+
+    let make_cells = || -> Vec<Cell<Table2Row>> {
+        Benchmark::ALL
+            .iter()
+            .map(|&b| {
+                Cell::new(format!("table2/{b}"), move || {
+                    let row = table2::table2_row(b, small_scale(b))?;
+                    let cycles = row.single_cycles;
+                    Ok((row, cycles))
+                })
+            })
+            .collect()
+    };
+
+    for jobs in [1, 4] {
+        let (rows, metrics) = run_cells(jobs, make_cells()).expect("runs");
+        assert_eq!(rows.len(), reference.len());
+        for (got, want) in rows.iter().zip(&reference) {
+            assert_rows_equal(got, want, &format!("runner with {jobs} jobs"));
+        }
+        // Metrics come back in submission order too.
+        let ids: Vec<String> =
+            metrics.iter().map(|m| m.id.clone()).collect();
+        let want_ids: Vec<String> =
+            Benchmark::ALL.iter().map(|b| format!("table2/{b}")).collect();
+        assert_eq!(ids, want_ids);
+    }
+}

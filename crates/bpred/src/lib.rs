@@ -40,7 +40,6 @@ pub use bimodal::Bimodal;
 pub use combining::McFarling;
 pub use gshare::Gshare;
 
-use serde::{Deserialize, Serialize};
 
 /// A conditional-branch direction predictor.
 ///
@@ -62,7 +61,7 @@ pub trait BranchPredictor {
 /// A two-bit saturating counter, the building block of all three tables.
 ///
 /// States 0–1 predict not-taken, 2–3 predict taken.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TwoBit(u8);
 
 impl TwoBit {
@@ -94,7 +93,7 @@ impl TwoBit {
 }
 
 /// Simple baseline predictors for ablations.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum StaticPredictor {
     /// Predict every conditional branch taken.
     AlwaysTaken,
@@ -118,7 +117,7 @@ impl BranchPredictor for StaticPredictor {
 }
 
 /// Selects and sizes a predictor; used by processor configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PredictorConfig {
     /// The paper's McFarling combining predictor with the given per-table
     /// entry count (a power of two).

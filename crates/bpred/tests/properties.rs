@@ -1,8 +1,12 @@
 //! Property tests for the branch predictors: totality, determinism, and
 //! learning guarantees on structured streams.
+//!
+//! Cases are generated with the dependency-free [`mcl_testutil::Rng`]
+//! (the build has no registry access, so `proptest` is unavailable);
+//! seeds are fixed, so every run checks the same cases.
 
 use mcl_bpred::{Bimodal, BranchPredictor, Gshare, McFarling, PredictorConfig, StaticPredictor};
-use proptest::prelude::*;
+use mcl_testutil::{check_cases, Rng};
 
 fn predictors() -> Vec<Box<dyn BranchPredictor + Send>> {
     vec![
@@ -13,26 +17,24 @@ fn predictors() -> Vec<Box<dyn BranchPredictor + Send>> {
     ]
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn predictors_are_total_over_arbitrary_pcs(
-        pcs in prop::collection::vec(any::<u64>(), 1..200),
-        outcomes in prop::collection::vec(any::<bool>(), 1..200),
-    ) {
+#[test]
+fn predictors_are_total_over_arbitrary_pcs() {
+    check_cases(64, |rng| {
+        let pcs = rng.vec_in(1, 200, Rng::next_u64);
+        let outcomes = rng.vec(pcs.len(), Rng::flip);
         for mut p in predictors() {
             for (&pc, &taken) in pcs.iter().zip(&outcomes) {
                 let _ = p.predict(pc);
                 p.update(pc, taken);
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn predictions_are_deterministic(
-        stream in prop::collection::vec((0u64..1024, any::<bool>()), 1..200),
-    ) {
+#[test]
+fn predictions_are_deterministic() {
+    check_cases(64, |rng| {
+        let stream = rng.vec_in(1, 200, |r| (r.below(1024), r.flip()));
         let run = |mut p: Box<dyn BranchPredictor + Send>| -> Vec<bool> {
             stream
                 .iter()
@@ -43,24 +45,31 @@ proptest! {
                 })
                 .collect()
         };
-        prop_assert_eq!(run(Box::new(McFarling::new(256))), run(Box::new(McFarling::new(256))));
-        prop_assert_eq!(run(Box::new(Gshare::new(256))), run(Box::new(Gshare::new(256))));
-    }
+        assert_eq!(run(Box::new(McFarling::new(256))), run(Box::new(McFarling::new(256))));
+        assert_eq!(run(Box::new(Gshare::new(256))), run(Box::new(Gshare::new(256))));
+    });
+}
 
-    #[test]
-    fn bimodal_learns_any_strongly_biased_branch(pc in any::<u64>(), bias in any::<bool>()) {
+#[test]
+fn bimodal_learns_any_strongly_biased_branch() {
+    check_cases(64, |rng| {
+        let pc = rng.next_u64();
+        let bias = rng.flip();
         let mut p = Bimodal::new(1024);
         for _ in 0..4 {
             p.update(pc, bias);
         }
-        prop_assert_eq!(p.predict(pc), bias);
-    }
+        assert_eq!(p.predict(pc), bias);
+    });
+}
 
-    #[test]
-    fn mcfarling_learns_short_periodic_patterns(period in 2usize..8, pc in 0u64..4096) {
+#[test]
+fn mcfarling_learns_short_periodic_patterns() {
+    check_cases(32, |rng| {
+        let period = rng.range(2, 8);
+        let pc = rng.below(4096) * 4;
         // A strict period-k pattern is history-predictable; after
         // warmup, the combining predictor should be nearly perfect.
-        let pc = pc * 4;
         let mut p = McFarling::new(4096);
         let mut correct = 0usize;
         let total = 600usize;
@@ -72,11 +81,14 @@ proptest! {
             p.update(pc, outcome);
         }
         let rate = correct as f64 / (total - 200) as f64;
-        prop_assert!(rate > 0.9, "period {period}: {rate}");
-    }
+        assert!(rate > 0.9, "period {period}: {rate}");
+    });
+}
 
-    #[test]
-    fn predict_never_mutates(pcs in prop::collection::vec(0u64..4096, 1..100)) {
+#[test]
+fn predict_never_mutates() {
+    check_cases(64, |rng| {
+        let pcs = rng.vec_in(1, 100, |r| r.below(4096));
         // Calling predict many times between updates changes nothing:
         // the paper's delayed-update semantics depend on this.
         let mut p = McFarling::new(256);
@@ -90,8 +102,8 @@ proptest! {
             }
         }
         let after: Vec<bool> = pcs.iter().map(|&pc| p.predict(pc * 4)).collect();
-        prop_assert_eq!(before, after);
-    }
+        assert_eq!(before, after);
+    });
 }
 
 #[test]

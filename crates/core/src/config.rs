@@ -4,7 +4,6 @@ use mcl_bpred::PredictorConfig;
 use mcl_isa::{assign::RegisterAssignment, IssueRules, Latencies};
 use mcl_mem::CacheConfig;
 
-use serde::{Deserialize, Serialize};
 
 /// Complete configuration of a simulated processor (single-cluster or
 /// multicluster).
@@ -20,7 +19,7 @@ use serde::{Deserialize, Serialize};
 /// Both fetch up to 12 instructions per cycle, retire up to 8 per cycle,
 /// share 64 KB two-way instruction and data caches with a 16-cycle
 /// memory interface, and use the McFarling combining branch predictor.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ProcessorConfig {
     /// Number of clusters (1 or 2).
     pub clusters: u8,
@@ -79,7 +78,7 @@ pub struct ProcessorConfig {
 /// (Section 6: "the compiler could provide the hardware with hints to
 /// indicate when the reassignment could be made, and to directly specify
 /// the architectural-register-to-cluster assignment").
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ReassignmentPoint {
     /// The instruction address whose first dispatch triggers the switch.
     pub trigger_pc: u64,

@@ -12,11 +12,10 @@
 //! overhead of partitioning (Table 2) is smaller than that cycle-time
 //! advantage.
 
-use serde::{Deserialize, Serialize};
 
 /// A process generation with published 4-issue/8-issue critical-path
 /// delays.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FeatureSize {
     /// 0.35 µm: 1248 ps (4-issue) vs 1484 ps (8-issue), +18 %.
     F0_35um,

@@ -15,6 +15,51 @@ use mcl_trace::TraceOp;
 /// 4. dual execution for a global destination (sources all readable by
 ///    the master);
 /// 5. dual execution with both an operand forward and a global result.
+/// The physical-register allocations of one instruction, as
+/// (cluster, bank) pairs — at most one per cluster, held inline so the
+/// dispatch hot path never allocates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PhysRegs {
+    len: u8,
+    regs: [(ClusterId, RegBank); 2],
+}
+
+impl PhysRegs {
+    /// No allocations (instructions without a destination).
+    #[must_use]
+    pub fn none() -> PhysRegs {
+        PhysRegs { len: 0, regs: [(ClusterId::C0, RegBank::Int); 2] }
+    }
+
+    fn push(&mut self, cluster: ClusterId, bank: RegBank) {
+        self.regs[usize::from(self.len)] = (cluster, bank);
+        self.len += 1;
+    }
+
+    /// Number of allocations (0–2).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        usize::from(self.len)
+    }
+
+    /// Whether no physical register is needed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The (cluster, bank) pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (ClusterId, RegBank)> + '_ {
+        self.regs[..usize::from(self.len)].iter().copied()
+    }
+}
+
+impl Default for PhysRegs {
+    fn default() -> PhysRegs {
+        PhysRegs::none()
+    }
+}
+
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Distribution {
     /// The clusters the instruction is distributed to.
@@ -44,15 +89,16 @@ impl Distribution {
     /// (cluster, bank) pairs: one in the destination's cluster for a
     /// local destination, one per cluster for a global destination.
     #[must_use]
-    pub fn phys_needed(&self, op: &TraceOp, assign: &RegisterAssignment) -> Vec<(ClusterId, RegBank)> {
-        let Some(dest) = op.dest else { return Vec::new() };
+    pub fn phys_needed(&self, op: &TraceOp, assign: &RegisterAssignment) -> PhysRegs {
+        let Some(dest) = op.dest else { return PhysRegs::none() };
         let bank = dest.bank();
-        assign
-            .clusters_of(dest)
-            .iter()
-            .filter(|c| c.index() < usize::from(assign.clusters()))
-            .map(|c| (c, bank))
-            .collect()
+        let mut regs = PhysRegs::none();
+        for c in assign.clusters_of(dest).iter() {
+            if c.index() < usize::from(assign.clusters()) {
+                regs.push(c, bank);
+            }
+        }
+        regs
     }
 }
 

@@ -3,10 +3,9 @@
 use std::fmt;
 
 use mcl_isa::ClusterId;
-use serde::{Deserialize, Serialize};
 
 /// What happened to an instruction copy at some cycle.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum EventKind {
     /// The instruction was distributed (renamed and inserted into the
     /// dispatch queue of the given cluster).
@@ -58,7 +57,7 @@ impl fmt::Display for EventKind {
 }
 
 /// One logged event.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Event {
     /// Cycle at which the event occurred.
     pub cycle: u64,
@@ -72,7 +71,7 @@ pub struct Event {
 
 /// An append-only event log (enabled by
 /// [`crate::ProcessorConfig::record_events`]).
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct EventLog {
     events: Vec<Event>,
 }

@@ -155,22 +155,134 @@ impl Processor {
 const OTB: u8 = 0;
 const RTB: u8 = 1;
 
+/// Action discriminants for the per-cluster ready/wakeup machinery.
+const ACT_MASTER: u8 = 0;
+const ACT_SLAVE: u8 = 1;
+
+/// Completion-event discriminants (master done / slave register write).
+const DONE_EVT: u8 = 0;
+const WRITE_EVT: u8 = 1;
+
+/// Upper bound on configurable divider units (the presets use 1 or 2).
+const MAX_DIVIDERS: usize = 8;
+
+/// Null link in the waiter arena.
+const NIL: u32 = u32::MAX;
+
 /// (resolve cycle, seq, pc, taken, mispredicted) — ordered by resolve
 /// cycle then age for the pending-branch min-heap.
 type PendingBranch = (u64, u64, u64, bool, bool);
+
+/// Dispatch-time operand availability (see [`Sim::avail_for`]).
+enum Avail {
+    /// Readable from the given cycle.
+    Known(u64),
+    /// Known when the producer at this window index completes.
+    WaitDone(usize),
+    /// Known when the producer at this window index writes its slave
+    /// register copy.
+    WaitWrite(usize),
+}
+
+/// Issue-readiness bookkeeping for one copy (master or slave) of an
+/// instruction: how many operand-availability times are still unknown,
+/// and the earliest issue cycle once all are known.
+#[derive(Debug, Clone, Copy, Default)]
+struct WaitState {
+    /// Operands whose availability cycle is not yet known (producer has
+    /// not issued). The copy joins the ready queue when this hits zero.
+    unknown: u8,
+    /// Max over the known operand-availability cycles.
+    ready_at: u64,
+    /// Currently enqueued in the per-cluster ready set.
+    in_ready: bool,
+}
+
+/// One registration on a producer's wakeup list.
+#[derive(Debug, Clone, Copy)]
+struct Waiter {
+    consumer: u64,
+    action: u8,
+    next: u32,
+}
+
+/// A free-list arena of wakeup-list nodes: zero allocations once the
+/// steady-state high-water mark is reached.
+#[derive(Debug, Default)]
+struct WaiterArena {
+    nodes: Vec<Waiter>,
+    free: u32,
+}
+
+impl WaiterArena {
+    fn new() -> WaiterArena {
+        WaiterArena { nodes: Vec::new(), free: NIL }
+    }
+
+    /// Links a new waiter in front of `head`, returning the new head.
+    fn push(&mut self, head: u32, consumer: u64, action: u8) -> u32 {
+        if self.free != NIL {
+            let idx = self.free;
+            let node = &mut self.nodes[idx as usize];
+            self.free = node.next;
+            *node = Waiter { consumer, action, next: head };
+            idx
+        } else {
+            self.nodes.push(Waiter { consumer, action, next: head });
+            u32::try_from(self.nodes.len() - 1).expect("waiter arena fits u32")
+        }
+    }
+
+    fn release(&mut self, idx: u32) {
+        self.nodes[idx as usize].next = self.free;
+        self.free = idx;
+    }
+
+    /// Releases a whole list.
+    fn release_list(&mut self, head: u32) {
+        let mut idx = head;
+        while idx != NIL {
+            let next = self.nodes[idx as usize].next;
+            self.release(idx);
+            idx = next;
+        }
+    }
+
+    /// Drops every waiter with `consumer >= from_seq` (squashed by a
+    /// replay), returning the new head. Order is not preserved; delivery
+    /// order does not matter (availability folds through `max`).
+    fn purge_squashed(&mut self, head: u32, from_seq: u64) -> u32 {
+        let mut new_head = NIL;
+        let mut idx = head;
+        while idx != NIL {
+            let node = self.nodes[idx as usize];
+            if node.consumer < from_seq {
+                self.nodes[idx as usize].next = new_head;
+                new_head = idx;
+            } else {
+                self.release(idx);
+            }
+            idx = node.next;
+        }
+        new_head
+    }
+}
 
 #[derive(Debug, Clone)]
 struct DynInstr {
     op: TraceOp,
     dist: Distribution,
-    /// Producer (by sequence number) of each source operand; `None`
-    /// means the value was ready at dispatch.
-    src_dep: [Option<u64>; 2],
-    /// The cluster each source is read in (slave cluster for forwarded
-    /// operands, master cluster otherwise).
-    src_read_cluster: [ClusterId; 2],
     /// Physical registers allocated at dispatch, freed at retire/squash.
-    phys: Vec<(ClusterId, RegBank)>,
+    phys: crate::dist::PhysRegs,
+
+    /// Readiness bookkeeping for the master copy.
+    m_wait: WaitState,
+    /// Readiness bookkeeping for the slave copy (unused when single).
+    s_wait: WaitState,
+    /// Wakeup list notified when `master_done` becomes known.
+    w_done: u32,
+    /// Wakeup list notified when `slave_write` becomes known.
+    w_write: u32,
 
     master_issued: Option<u64>,
     /// Cycle from which consumers in the master's cluster may issue.
@@ -230,10 +342,33 @@ struct Sim<'a> {
     fp_free: [i64; 2],
     otb_free: [u32; 2],
     rtb_free: [u32; 2],
-    /// Busy-until cycle of each unpipelined divider unit, per cluster.
-    div_busy_until: [Vec<u64>; 2],
+    /// Busy-until cycle of each unpipelined divider unit, per cluster
+    /// (fixed storage; `dividers` are in use).
+    div_busy_until: [[u64; MAX_DIVIDERS]; 2],
+    dividers: usize,
     /// Per cluster, per dense register index: youngest in-flight writer.
-    producers: [Vec<Option<u64>>; 2],
+    producers: [[Option<u64>; 64]; 2],
+
+    /// Wakeup-list node storage.
+    waiters: WaiterArena,
+    /// Per cluster: copies whose operands are all available, ordered by
+    /// age — the issue pass walks exactly these.
+    ready: [std::collections::BTreeSet<(u64, u8)>; 2],
+    /// Per cluster: lazily-invalidated min-heap over copies still
+    /// waiting for operands (issue-disorder accounting).
+    waiting_min: [BinaryHeap<Reverse<(u64, u8)>>; 2],
+    /// (ready cycle, cluster, seq, action): copies whose last operand
+    /// time became known, to enter the ready set at that cycle.
+    future_ready: BinaryHeap<Reverse<(u64, u8, u64, u8)>>,
+    /// (cycle, seq): scheduled scenario-five wake checks.
+    wake_events: BinaryHeap<Reverse<(u64, u64)>>,
+    /// (cycle, seq, DONE/WRITE): scheduled completions, for the
+    /// progress check (lazily invalidated on squash).
+    completions: BinaryHeap<Reverse<(u64, u64, u8)>>,
+    /// Reusable snapshot of one cluster's ready set for the issue pass.
+    scratch_pass: Vec<(u64, u8)>,
+    /// Reusable drain buffer for replay squashes.
+    scratch_squash: Vec<DynInstr>,
 
     fetch_resume_at: u64,
     fetch_stall: FetchStall,
@@ -273,6 +408,7 @@ impl<'a> Sim<'a> {
     fn new(cfg: &'a ProcessorConfig, trace: &'a [TraceOp]) -> Sim<'a> {
         let assign = cfg.register_assignment();
         let (int_free, fp_free) = free_lists_for(cfg, &assign);
+        assert!(cfg.fp_dividers as usize <= MAX_DIVIDERS, "too many divider units");
 
         Sim {
             cfg,
@@ -287,11 +423,17 @@ impl<'a> Sim<'a> {
             fp_free,
             otb_free: [cfg.operand_buffer; 2],
             rtb_free: [cfg.result_buffer; 2],
-            div_busy_until: [
-                vec![0; cfg.fp_dividers as usize],
-                vec![0; cfg.fp_dividers as usize],
-            ],
-            producers: [vec![None; 64], vec![None; 64]],
+            div_busy_until: [[0; MAX_DIVIDERS]; 2],
+            dividers: cfg.fp_dividers as usize,
+            producers: [[None; 64]; 2],
+            waiters: WaiterArena::new(),
+            ready: [std::collections::BTreeSet::new(), std::collections::BTreeSet::new()],
+            waiting_min: [BinaryHeap::new(), BinaryHeap::new()],
+            future_ready: BinaryHeap::new(),
+            wake_events: BinaryHeap::new(),
+            completions: BinaryHeap::new(),
+            scratch_pass: Vec::new(),
+            scratch_squash: Vec::new(),
             fetch_resume_at: 0,
             fetch_stall: FetchStall::Icache,
             fetch_blocked_by: None,
@@ -335,6 +477,7 @@ impl<'a> Sim<'a> {
             self.process_branch_resolutions();
             let retired = self.retire();
             let woke = self.wake_suspended_slaves();
+            self.drain_future_ready();
             let mut issued = 0;
             for c in 0..usize::from(self.cfg.clusters) {
                 issued += self.issue_cluster(ClusterId::new(c as u8));
@@ -392,16 +535,16 @@ impl<'a> Sim<'a> {
             if !front.complete(self.now) {
                 break;
             }
-            let seq = front.op.seq;
-            let phys = front.phys.clone();
-            for (c, bank) in phys {
+            let d = self.window.pop_front().expect("front exists");
+            let seq = d.op.seq;
+            for (c, bank) in d.phys.iter() {
                 match bank {
                     RegBank::Int => self.int_free[c.index()] += 1,
                     RegBank::Fp => self.fp_free[c.index()] += 1,
                 }
             }
+            debug_assert!(d.w_done == NIL && d.w_write == NIL, "waiters notified before retire");
             self.log(seq, None, EventKind::Retired);
-            self.window.pop_front();
             self.base = seq + 1;
             self.last_replay_base = None; // retirement = forward progress
             self.stats.retired += 1;
@@ -415,24 +558,29 @@ impl<'a> Sim<'a> {
     fn wake_suspended_slaves(&mut self) -> u32 {
         let mut woke = 0;
         let now = self.now;
-        let mut actions: Vec<usize> = Vec::new();
-        for (wi, d) in self.window.iter().enumerate() {
-            if d.dist.slave_receives
-                && d.forwards()
-                && !d.woke
-                && d.slave_issued.is_some()
-                && matches!(d.master_done, Some(done) if done <= now)
-            {
-                actions.push(wi);
+        // Wake checks are scheduled at master completion; (cycle, seq)
+        // heap order reproduces the window-order scan of the paper's
+        // per-cycle wake pass.
+        while let Some(&Reverse((cycle, seq))) = self.wake_events.peek() {
+            if cycle > now {
+                break;
             }
-        }
-        for wi in actions {
-            let (seq, slave) = {
+            self.wake_events.pop();
+            let Some(wi) = self.win_index(seq) else { continue };
+            let eligible = {
                 let d = &self.window[wi];
-                (d.op.seq, d.dist.slave.expect("scenario five has a slave"))
+                d.dist.slave_receives
+                    && d.forwards()
+                    && !d.woke
+                    && d.slave_issued.is_some()
+                    && matches!(d.master_done, Some(done) if done <= now)
             };
-            {
+            if !eligible {
+                continue; // stale event from a squashed incarnation
+            }
+            let slave = {
                 let d = &mut self.window[wi];
+                let slave = d.dist.slave.expect("scenario five has a slave");
                 d.woke = true;
                 d.slave_write = Some(now + 1);
                 if d.rtb_held {
@@ -444,7 +592,11 @@ impl<'a> Sim<'a> {
                     d.dq_slave_freed = true;
                     self.dq_free[slave.index()] += 1;
                 }
-            }
+                slave
+            };
+            let head = std::mem::replace(&mut self.window[wi].w_write, NIL);
+            self.notify_waiters(head, now + 1);
+            self.completions.push(Reverse((now + 1, seq, WRITE_EVT)));
             self.buffer_frees.push(Reverse((now + 1, slave.index() as u8, RTB)));
             self.log(seq, Some(slave), EventKind::SlaveWoke);
             self.log_at(now + 1, seq, Some(slave), EventKind::RegWritten);
@@ -455,108 +607,169 @@ impl<'a> Sim<'a> {
 
     // -- issue ----------------------------------------------------------------
 
-    /// Whether the value produced by `dep` is readable from `cluster` at
-    /// cycle `now`.
-    fn dep_ready(&self, dep: Option<u64>, cluster: ClusterId) -> bool {
-        let Some(p) = dep else { return true };
-        if p < self.base {
-            return true; // producer retired
+    /// Window index of a live instruction, if `seq` is still in flight.
+    fn win_index(&self, seq: u64) -> Option<usize> {
+        if seq < self.base {
+            return None;
         }
-        let Some(d) = self.window.get((p - self.base) as usize) else {
-            return true;
-        };
-        let ready = if Some(cluster) == d.dist.slave && d.dist.slave_receives {
-            d.slave_write
+        let wi = (seq - self.base) as usize;
+        (wi < self.window.len()).then_some(wi)
+    }
+
+    /// Operand availability as seen from `cluster` at dispatch time:
+    /// the cycle is either already known, or becomes known when the
+    /// producer's completion (`master_done`) or slave register write
+    /// (`slave_write`) is scheduled — the returned window index says
+    /// which wakeup list to register on.
+    fn avail_for(&self, dep: Option<u64>, cluster: ClusterId) -> Avail {
+        let Some(p) = dep else { return Avail::Known(0) };
+        let Some(wi) = self.win_index(p) else { return Avail::Known(0) };
+        let d = &self.window[wi];
+        if Some(cluster) == d.dist.slave && d.dist.slave_receives {
+            match d.slave_write {
+                Some(t) => Avail::Known(t),
+                None => Avail::WaitWrite(wi),
+            }
         } else {
-            d.master_done
-        };
-        matches!(ready, Some(r) if r <= self.now)
+            match d.master_done {
+                Some(t) => Avail::Known(t),
+                None => Avail::WaitDone(wi),
+            }
+        }
+    }
+
+    /// Records that operand availability for (`consumer`, `action`)
+    /// became known (`avail`), enqueueing the copy once its last
+    /// operand time is in.
+    fn deliver(&mut self, consumer: u64, action: u8, avail: u64) {
+        let Some(wi) = self.win_index(consumer) else { return };
+        let d = &mut self.window[wi];
+        let st = if action == ACT_MASTER { &mut d.m_wait } else { &mut d.s_wait };
+        debug_assert!(st.unknown > 0, "delivery without a registration");
+        if st.unknown == 0 {
+            return;
+        }
+        st.unknown -= 1;
+        if avail > st.ready_at {
+            st.ready_at = avail;
+        }
+        if st.unknown == 0 {
+            let cluster = if action == ACT_MASTER {
+                d.dist.master
+            } else {
+                d.dist.slave.expect("slave action implies a slave")
+            };
+            self.future_ready.push(Reverse((st.ready_at, cluster.index() as u8, consumer, action)));
+        }
+    }
+
+    /// Delivers `avail` to every waiter on a wakeup list.
+    fn notify_waiters(&mut self, head: u32, avail: u64) {
+        let mut idx = head;
+        while idx != NIL {
+            let node = self.waiters.nodes[idx as usize];
+            self.waiters.release(idx);
+            self.deliver(node.consumer, node.action, avail);
+            idx = node.next;
+        }
+    }
+
+    /// Moves copies whose ready cycle has arrived into the per-cluster
+    /// ready sets. Runs once per cycle, before the issue passes.
+    fn drain_future_ready(&mut self) {
+        let now = self.now;
+        while let Some(&Reverse((cycle, cl, seq, action))) = self.future_ready.peek() {
+            if cycle > now {
+                break;
+            }
+            self.future_ready.pop();
+            let Some(wi) = self.win_index(seq) else { continue };
+            let d = &mut self.window[wi];
+            // Validate against the *current* incarnation: a squash and
+            // re-dispatch may have left a stale event behind.
+            let (cluster_ok, issued, st) = if action == ACT_MASTER {
+                (d.dist.master.index() == usize::from(cl), d.master_issued.is_some(), &mut d.m_wait)
+            } else {
+                (
+                    d.dist.slave.is_some_and(|s| s.index() == usize::from(cl)),
+                    d.slave_issued.is_some(),
+                    &mut d.s_wait,
+                )
+            };
+            if !cluster_ok || issued || st.in_ready || st.unknown != 0 || st.ready_at > now {
+                continue;
+            }
+            st.in_ready = true;
+            self.ready[usize::from(cl)].insert((seq, action));
+        }
+    }
+
+    /// The oldest copy for `cluster` still waiting on operands, if any
+    /// (lazily discarding entries that issued, squashed, or went ready).
+    fn min_waiting(&mut self, cluster: usize) -> Option<u64> {
+        while let Some(&Reverse((seq, action))) = self.waiting_min[cluster].peek() {
+            let live = match self.win_index(seq) {
+                None => false,
+                Some(wi) => {
+                    let d = &self.window[wi];
+                    if action == ACT_MASTER {
+                        d.dist.master.index() == cluster
+                            && d.master_issued.is_none()
+                            && !d.m_wait.in_ready
+                    } else {
+                        d.dist.slave.is_some_and(|s| s.index() == cluster)
+                            && d.slave_issued.is_none()
+                            && !d.s_wait.in_ready
+                    }
+                }
+            };
+            if live {
+                return Some(seq);
+            }
+            self.waiting_min[cluster].pop();
+        }
+        None
     }
 
     #[allow(clippy::too_many_lines)]
     fn issue_cluster(&mut self, cluster: ClusterId) -> u32 {
+        let ci = cluster.index();
         let mut budget = self.cfg.issue_rules.budget();
         let mut issued = 0;
-        let mut older_waiting = 0u64;
+        // Ready-but-blocked copies iterated earlier in this pass: they
+        // count toward issue disorder exactly as skipped window slots
+        // did in the full-scan formulation.
+        let mut blocked_in_pass = 0u64;
         let now = self.now;
 
-        for wi in 0..self.window.len() {
+        // Snapshot the ready set (age order); deliveries during the
+        // pass only schedule *future* cycles, so the set itself gains
+        // nothing this cycle, and issued copies are removed directly.
+        let mut pass = std::mem::take(&mut self.scratch_pass);
+        pass.clear();
+        pass.extend(self.ready[ci].iter().copied());
+
+        for &(seq, act) in &pass {
             if budget.is_exhausted() {
                 break;
             }
-            // ---- classify the pending action for this cluster ----
             enum Action {
                 Master,
                 SlaveForward,
                 SlaveReceive,
             }
-            let (action, seq) = {
-                let d = &self.window[wi];
-                let a = if d.dist.master == cluster && d.master_issued.is_none() {
-                    Some(Action::Master)
-                } else if d.dist.slave == Some(cluster) && d.slave_issued.is_none() {
-                    if d.forwards() {
-                        Some(Action::SlaveForward)
-                    } else {
-                        Some(Action::SlaveReceive)
-                    }
-                } else {
-                    None
-                };
-                match a {
-                    Some(a) => (a, d.op.seq),
-                    None => continue,
-                }
+            let wi = self.win_index(seq).expect("ready copies are in flight");
+            let d = &self.window[wi];
+            let action = if act == ACT_MASTER {
+                debug_assert!(d.dist.master == cluster && d.master_issued.is_none());
+                Action::Master
+            } else if d.forwards() {
+                Action::SlaveForward
+            } else {
+                Action::SlaveReceive
             };
-
-            // ---- readiness ----
-            let ready = {
-                let d = &self.window[wi];
-                match action {
-                    Action::Master => {
-                        let mut ok = true;
-                        for i in 0..2 {
-                            if d.op.srcs[i].is_none() {
-                                continue;
-                            }
-                            if d.dist.forwarded_src[i] {
-                                // Inter-copy dependence: removed when the
-                                // slave issues; master may issue the next
-                                // cycle (Section 2.1 scenario two).
-                                ok &= matches!(d.slave_issued, Some(s) if s < now);
-                            } else {
-                                ok &= self.dep_ready(d.src_dep[i], d.src_read_cluster[i]);
-                            }
-                        }
-                        ok
-                    }
-                    Action::SlaveForward => {
-                        let mut ok = true;
-                        for i in 0..2 {
-                            if d.dist.forwarded_src[i] {
-                                ok &= self.dep_ready(d.src_dep[i], d.src_read_cluster[i]);
-                            }
-                        }
-                        ok
-                    }
-                    Action::SlaveReceive => {
-                        // Dependence on the master removed two cycles
-                        // before completion; never before one cycle
-                        // after master issue (Section 2.1 scenario 3).
-                        match (d.master_issued, d.master_done) {
-                            (Some(mi), Some(md)) => now >= (mi + 1).max(md.saturating_sub(1)),
-                            _ => false,
-                        }
-                    }
-                }
-            };
-            if !ready {
-                older_waiting += 1;
-                continue;
-            }
 
             // ---- structural resources ----
-            let d = &self.window[wi];
             let class = d.op.class();
             let slot_class = match action {
                 Action::Master => class,
@@ -572,15 +785,15 @@ impl<'a> Sim<'a> {
                 }
             };
             if !budget.can_take(slot_class) {
-                older_waiting += 1;
+                blocked_in_pass += 1;
                 continue;
             }
             match action {
                 Action::Master => {
                     if class == InstrClass::FpDiv
-                        && !self.div_busy_until[cluster.index()].iter().any(|&b| b <= now)
+                        && !self.div_busy_until[ci][..self.dividers].iter().any(|&b| b <= now)
                     {
-                        older_waiting += 1;
+                        blocked_in_pass += 1;
                         continue;
                     }
                     if d.dist.slave_receives {
@@ -588,7 +801,7 @@ impl<'a> Sim<'a> {
                         if self.rtb_free[slave.index()] == 0 {
                             self.stats.rtb_full_stalls += 1;
                             self.blocked_on_buffer = true;
-                            older_waiting += 1;
+                            blocked_in_pass += 1;
                             continue;
                         }
                     }
@@ -598,7 +811,7 @@ impl<'a> Sim<'a> {
                     if self.otb_free[master.index()] == 0 {
                         self.stats.otb_full_stalls += 1;
                         self.blocked_on_buffer = true;
-                        older_waiting += 1;
+                        blocked_in_pass += 1;
                         continue;
                     }
                 }
@@ -607,19 +820,28 @@ impl<'a> Sim<'a> {
 
             // ---- issue ----
             assert!(budget.try_take(slot_class));
-            if older_waiting > 0 {
+            // Out-of-order issue: an older copy for this cluster was
+            // passed over, either blocked earlier in this pass or still
+            // waiting on operands.
+            if blocked_in_pass > 0 || self.min_waiting(ci).is_some_and(|w| w < seq) {
                 self.stats.issue_disorder += 1;
             }
             issued += 1;
-            self.stats.per_cluster_issued[cluster.index()] += 1;
+            self.stats.per_cluster_issued[ci] += 1;
+            self.ready[ci].remove(&(seq, act));
+            {
+                let d = &mut self.window[wi];
+                let st = if act == ACT_MASTER { &mut d.m_wait } else { &mut d.s_wait };
+                st.in_ready = false;
+            }
 
             match action {
                 Action::Master => self.issue_master(wi, cluster),
                 Action::SlaveForward => self.issue_slave_forward(wi, cluster),
                 Action::SlaveReceive => self.issue_slave_receive(wi, cluster),
             }
-            let _ = seq;
         }
+        self.scratch_pass = pass;
         issued
     }
 
@@ -645,7 +867,7 @@ impl<'a> Sim<'a> {
                 now + u64::from(latency)
             }
             InstrClass::FpDiv => {
-                let unit = self.div_busy_until[cluster.index()]
+                let unit = self.div_busy_until[cluster.index()][..self.dividers]
                     .iter_mut()
                     .find(|b| **b <= now)
                     .expect("issue checked for a free divider");
@@ -669,6 +891,21 @@ impl<'a> Sim<'a> {
                 d.mispredicted,
             )
         };
+
+        // The completion time is now known: wake consumers in this
+        // cluster, schedule the slave copy (receive-only slaves may
+        // issue from (issue+1).max(done-1); scenario-five slaves are
+        // woken at completion), and record the completion event.
+        let head = std::mem::replace(&mut self.window[wi].w_done, NIL);
+        self.notify_waiters(head, done);
+        if slave_info.is_some() {
+            if fwd {
+                self.wake_events.push(Reverse((done, seq)));
+            } else {
+                self.deliver(seq, ACT_SLAVE, (now + 1).max(done.saturating_sub(1)));
+            }
+        }
+        self.completions.push(Reverse((done, seq, DONE_EVT)));
 
         // Free the master's dispatch-queue entry.
         {
@@ -721,15 +958,26 @@ impl<'a> Sim<'a> {
 
     fn issue_slave_forward(&mut self, wi: usize, cluster: ClusterId) {
         let now = self.now;
-        let (seq, master, receives) = {
+        let (seq, master, receives, n_forwarded) = {
             let d = &mut self.window[wi];
             d.slave_issued = Some(now);
-            (d.op.seq, d.dist.master, d.dist.slave_receives)
+            (
+                d.op.seq,
+                d.dist.master,
+                d.dist.slave_receives,
+                d.dist.forwarded_src.iter().filter(|&&f| f).count(),
+            )
         };
         // Allocate the operand-buffer entry in the master's cluster.
         self.otb_free[master.index()] -= 1;
         self.window[wi].otb_held = true;
         self.stats.operands_forwarded += 1;
+
+        // The inter-copy dependence lifts: the master reads the
+        // forwarded operand(s) from the next cycle on.
+        for _ in 0..n_forwarded {
+            self.deliver(seq, ACT_MASTER, now + 1);
+        }
 
         // Non-receiving slaves are finished once the operand is written;
         // scenario-five slaves stay suspended in the queue.
@@ -757,6 +1005,11 @@ impl<'a> Sim<'a> {
             }
             d.op.seq
         };
+        // The write time is now known: wake consumers in this cluster
+        // and record the completion event.
+        let head = std::mem::replace(&mut self.window[wi].w_write, NIL);
+        self.notify_waiters(head, now + 1);
+        self.completions.push(Reverse((now + 1, seq, WRITE_EVT)));
         // The slave reads the entry, then writes its register.
         self.buffer_frees.push(Reverse((now + 1, cluster.index() as u8, RTB)));
         {
@@ -861,7 +1114,7 @@ impl<'a> Sim<'a> {
             }
             let mut int_needed = [0i64; 2];
             let mut fp_needed = [0i64; 2];
-            for &(c, bank) in &phys {
+            for (c, bank) in phys.iter() {
                 match bank {
                     RegBank::Int => int_needed[c.index()] += 1,
                     RegBank::Fp => fp_needed[c.index()] += 1,
@@ -915,6 +1168,82 @@ impl<'a> Sim<'a> {
                 }
             }
 
+            // Ready-queue bookkeeping: resolve each copy's operand
+            // times now, or register on the producer's wakeup list so
+            // the copy enters the ready set the moment its last operand
+            // time becomes known.
+            let seq = op.seq;
+            let mut m_wait = WaitState::default();
+            let mut s_wait = WaitState::default();
+            for i in 0..2 {
+                if op.srcs[i].is_none() {
+                    continue;
+                }
+                if dist.forwarded_src[i] {
+                    // Inter-copy dependence: lifted when the slave copy
+                    // forwards the operand (Section 2.1 scenario two).
+                    m_wait.unknown += 1;
+                } else {
+                    match self.avail_for(src_dep[i], src_read_cluster[i]) {
+                        Avail::Known(t) => m_wait.ready_at = m_wait.ready_at.max(t),
+                        Avail::WaitDone(pi) => {
+                            m_wait.unknown += 1;
+                            let head = self.window[pi].w_done;
+                            self.window[pi].w_done = self.waiters.push(head, seq, ACT_MASTER);
+                        }
+                        Avail::WaitWrite(pi) => {
+                            m_wait.unknown += 1;
+                            let head = self.window[pi].w_write;
+                            self.window[pi].w_write = self.waiters.push(head, seq, ACT_MASTER);
+                        }
+                    }
+                }
+            }
+            if let Some(s) = dist.slave {
+                if dist.forwarded_src.iter().any(|&f| f) {
+                    for i in 0..2 {
+                        if !dist.forwarded_src[i] {
+                            continue;
+                        }
+                        match self.avail_for(src_dep[i], src_read_cluster[i]) {
+                            Avail::Known(t) => s_wait.ready_at = s_wait.ready_at.max(t),
+                            Avail::WaitDone(pi) => {
+                                s_wait.unknown += 1;
+                                let head = self.window[pi].w_done;
+                                self.window[pi].w_done = self.waiters.push(head, seq, ACT_SLAVE);
+                            }
+                            Avail::WaitWrite(pi) => {
+                                s_wait.unknown += 1;
+                                let head = self.window[pi].w_write;
+                                self.window[pi].w_write = self.waiters.push(head, seq, ACT_SLAVE);
+                            }
+                        }
+                    }
+                } else {
+                    // Receive-only slave: schedulable once its master
+                    // issues (scenarios three and four).
+                    s_wait.unknown = 1;
+                }
+                if s_wait.unknown == 0 {
+                    self.future_ready.push(Reverse((
+                        s_wait.ready_at,
+                        s.index() as u8,
+                        seq,
+                        ACT_SLAVE,
+                    )));
+                }
+                self.waiting_min[s.index()].push(Reverse((seq, ACT_SLAVE)));
+            }
+            if m_wait.unknown == 0 {
+                self.future_ready.push(Reverse((
+                    m_wait.ready_at,
+                    dist.master.index() as u8,
+                    seq,
+                    ACT_MASTER,
+                )));
+            }
+            self.waiting_min[dist.master.index()].push(Reverse((seq, ACT_MASTER)));
+
             // Branch prediction at queue-insert time (Section 4.2,
             // footnote 2).
             let mut mispredicted = false;
@@ -929,16 +1258,17 @@ impl<'a> Sim<'a> {
                 }
             }
 
-            let seq = op.seq;
             let master = dist.master;
             let slave = dist.slave;
             let taken = op.branch.is_some_and(|b| b.taken);
             self.window.push_back(DynInstr {
                 op,
                 dist,
-                src_dep,
-                src_read_cluster,
                 phys,
+                m_wait,
+                s_wait,
+                w_done: NIL,
+                w_write: NIL,
                 master_issued: None,
                 master_done: None,
                 slave_issued: None,
@@ -979,10 +1309,7 @@ impl<'a> Sim<'a> {
         let future_work = self.fetch_resume_at > now
             || !self.pending_bpred.is_empty()
             || !self.buffer_frees.is_empty()
-            || self.window.iter().any(|d| {
-                matches!(d.master_done, Some(t) if t > now)
-                    || matches!(d.slave_write, Some(t) if t > now)
-            });
+            || self.has_future_completion(now);
         if future_work {
             self.no_progress_cycles = 0;
             return Ok(());
@@ -1016,16 +1343,47 @@ impl<'a> Sim<'a> {
         Ok(())
     }
 
+    /// Whether some in-flight instruction completes (master done or
+    /// slave register write) strictly after `now`. Exact: every such
+    /// time pushes a completion event when scheduled; events from
+    /// squashed incarnations are discarded against the live window.
+    fn has_future_completion(&mut self, now: u64) -> bool {
+        while let Some(&Reverse((cycle, seq, kind))) = self.completions.peek() {
+            if cycle <= now {
+                self.completions.pop();
+                continue;
+            }
+            let live = match self.win_index(seq) {
+                None => false,
+                Some(wi) => {
+                    let d = &self.window[wi];
+                    if kind == DONE_EVT {
+                        d.master_done == Some(cycle)
+                    } else {
+                        d.slave_write == Some(cycle)
+                    }
+                }
+            };
+            if live {
+                return true;
+            }
+            self.completions.pop();
+        }
+        false
+    }
+
     /// Squashes instruction `from_seq` and everything younger, then
     /// restarts dispatch from it after the replay penalty.
     fn replay_from(&mut self, from_seq: u64) {
         let now = self.now;
         self.stats.replays += 1;
         let keep = (from_seq - self.base) as usize;
-        let squashed: Vec<DynInstr> = self.window.drain(keep..).collect();
+        let mut squashed = std::mem::take(&mut self.scratch_squash);
+        squashed.clear();
+        squashed.extend(self.window.drain(keep..));
         for d in &squashed {
             self.stats.replay_squashed += 1;
-            for &(c, bank) in &d.phys {
+            for (c, bank) in d.phys.iter() {
                 match bank {
                     RegBank::Int => self.int_free[c.index()] += 1,
                     RegBank::Fp => self.fp_free[c.index()] += 1,
@@ -1045,7 +1403,26 @@ impl<'a> Sim<'a> {
             if d.otb_held {
                 self.otb_free[d.dist.master.index()] += 1;
             }
+            self.waiters.release_list(d.w_done);
+            self.waiters.release_list(d.w_write);
             self.log(d.op.seq, None, EventKind::ReplaySquashed);
+        }
+        squashed.clear();
+        self.scratch_squash = squashed;
+        // Squashed copies leave the ready sets; registrations *by*
+        // squashed consumers on surviving producers are dropped so a
+        // re-dispatched incarnation cannot see a double delivery. The
+        // future-ready/wake/completion heaps and the waiting heaps
+        // validate lazily against the live window instead.
+        for c in 0..2 {
+            let stale = self.ready[c].split_off(&(from_seq, 0));
+            drop(stale);
+        }
+        for wi in 0..self.window.len() {
+            let head = self.window[wi].w_done;
+            self.window[wi].w_done = self.waiters.purge_squashed(head, from_seq);
+            let head = self.window[wi].w_write;
+            self.window[wi].w_write = self.waiters.purge_squashed(head, from_seq);
         }
         // Drop pending predictor updates for squashed branches.
         let kept: Vec<_> = self
@@ -1059,9 +1436,11 @@ impl<'a> Sim<'a> {
             table.iter_mut().for_each(|e| *e = None);
         }
         let n = usize::from(self.cfg.clusters);
-        let survivors: Vec<(u64, Option<ArchReg>)> =
-            self.window.iter().map(|d| (d.op.seq, d.op.dest)).collect();
-        for (seq, dest) in survivors {
+        for wi in 0..self.window.len() {
+            let (seq, dest) = {
+                let d = &self.window[wi];
+                (d.op.seq, d.op.dest)
+            };
             if let Some(dest) = dest {
                 for c in self.assign.clusters_of(dest).iter() {
                     if c.index() < n {
@@ -1333,5 +1712,73 @@ mod tests {
         let a = run(ProcessorConfig::dual_cluster_8way(), &p);
         let b = run(ProcessorConfig::dual_cluster_8way(), &p);
         assert_eq!(a.stats, b.stats);
+    }
+
+    #[test]
+    fn waiter_arena_purge_drops_squashed_consumers_and_recycles_nodes() {
+        let mut arena = WaiterArena::new();
+        let mut head = NIL;
+        head = arena.push(head, 1, ACT_MASTER);
+        head = arena.push(head, 5, ACT_SLAVE);
+        head = arena.push(head, 3, ACT_MASTER);
+
+        // Consumers 3 and 5 are squashed; only consumer 1 survives.
+        let head = arena.purge_squashed(head, 3);
+        let mut survivors = Vec::new();
+        let mut cur = head;
+        while cur != NIL {
+            let w = &arena.nodes[cur as usize];
+            survivors.push((w.consumer, w.action));
+            cur = w.next;
+        }
+        assert_eq!(survivors, vec![(1, ACT_MASTER)]);
+
+        // The two purged nodes went back to the free list: further
+        // pushes must reuse them rather than grow the arena.
+        let len_before = arena.nodes.len();
+        let mut head2 = arena.push(NIL, 7, ACT_MASTER);
+        head2 = arena.push(head2, 9, ACT_SLAVE);
+        let _ = head2;
+        assert_eq!(arena.nodes.len(), len_before, "freed nodes are recycled");
+    }
+
+    #[test]
+    fn replay_drains_window_and_filters_pending_predictor_updates() {
+        // Four independent instructions on cluster 0, all dispatched in
+        // one group; squashing from seq 2 must drain exactly the two
+        // younger entries and drop their pending predictor updates.
+        let mut b = ProgramBuilder::<ArchReg>::new("squash");
+        for i in 0..4i64 {
+            b.lda(ArchReg::int(2 + 2 * u8::try_from(i).unwrap()), i);
+        }
+        let p = b.finish().unwrap();
+        let (trace, _) = trace_program(&p).unwrap();
+        let cfg = ProcessorConfig::dual_cluster_8way();
+        let mut sim = Sim::new(&cfg, &trace);
+        // The first fetch group takes a cold icache miss; step cycles
+        // until the whole group has dispatched.
+        let mut dispatched = 0;
+        for _ in 0..100 {
+            dispatched += sim.dispatch();
+            if dispatched == 4 {
+                break;
+            }
+            sim.now += 1;
+        }
+        assert_eq!(dispatched, 4);
+        assert_eq!(sim.window.len(), 4);
+
+        // Synthetic in-flight predictor updates for seqs 1 and 3 (the
+        // real path enqueues these at master issue of a conditional).
+        sim.pending_bpred.push(Reverse((9, 1, 0x40, true, false)));
+        sim.pending_bpred.push(Reverse((9, 3, 0x44, true, true)));
+
+        sim.replay_from(2);
+        assert_eq!(sim.window.len(), 2, "seqs 2 and 3 are drained");
+        assert_eq!(sim.stats.replay_squashed, 2);
+        assert_eq!(sim.cursor, 2, "fetch restarts at the squash point");
+        let pending: Vec<u64> =
+            sim.pending_bpred.iter().map(|Reverse((_, seq, ..))| *seq).collect();
+        assert_eq!(pending, vec![1], "squashed branch updates are dropped");
     }
 }

@@ -1,7 +1,6 @@
 //! Simulation statistics.
 
 use mcl_mem::CacheStats;
-use serde::{Deserialize, Serialize};
 
 /// Counters accumulated over one simulation run.
 ///
@@ -10,7 +9,7 @@ use serde::{Deserialize, Serialize};
 /// took the cycles it did — fetch-stall causes, dual-distribution mix,
 /// transfer-buffer pressure, replay exceptions, branch prediction, and
 /// cache behaviour.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct SimStats {
     /// Simulated clock cycles (the paper's metric).
     pub cycles: u64,

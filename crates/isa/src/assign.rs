@@ -14,7 +14,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
 
 use crate::cluster::ClusterId;
 use crate::reg::ArchReg;
@@ -34,7 +33,7 @@ use crate::reg::ArchReg;
 /// assert_eq!(set.len(), 2);
 /// assert_eq!(set.single(), None);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub struct ClusterSet(u8);
 
 impl ClusterSet {
@@ -130,7 +129,7 @@ impl FromIterator<ClusterId> for ClusterSet {
 
 /// The assignment of one architectural register: local to a cluster, or
 /// global (assigned to every cluster).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum RegAssignment {
     /// Assigned to exactly one cluster; one physical register maintains
     /// its value.
@@ -176,7 +175,7 @@ impl RegAssignment {
 /// assert!(a.assignment_of(ArchReg::SP).is_global());
 /// assert!(a.assignment_of(ArchReg::ZERO).is_global());
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RegisterAssignment {
     clusters: u8,
     table: Vec<RegAssignment>,

@@ -2,7 +2,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
 
 use crate::reg::RegBank;
 
@@ -12,7 +11,7 @@ use crate::reg::RegBank;
 /// Loads and stores are distinct classes here (they have different
 /// destination behaviour) but share the combined "loads & stores" issue
 /// limit of Table 1.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum InstrClass {
     /// Integer multiply (6-cycle latency, fully pipelined).
     IntMul,

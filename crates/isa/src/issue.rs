@@ -13,7 +13,6 @@
 //! single load-delay slot), control flow 1. All units except the divider
 //! are fully pipelined.
 
-use serde::{Deserialize, Serialize};
 
 use crate::class::InstrClass;
 use crate::op::Opcode;
@@ -34,7 +33,7 @@ use crate::op::Opcode;
 /// assert_eq!(dual.total, 4);
 /// assert_eq!(dual.class_limit(InstrClass::Load), 2);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct IssueRules {
     /// Maximum instructions issued per cycle, all classes combined.
     pub total: u32,
@@ -178,7 +177,7 @@ impl IssueBudget {
 /// occupancy the simulator models separately. The load latency given here
 /// is the cache-hit latency *including* the single load-delay slot, i.e.
 /// a dependent instruction can issue two cycles after the load.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Latencies {
     /// Integer multiply (Table 1: 6).
     pub int_mul: u32,

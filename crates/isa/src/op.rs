@@ -13,7 +13,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
 
 use crate::class::InstrClass;
 use crate::reg::RegBank;
@@ -22,7 +21,7 @@ use crate::reg::RegBank;
 ///
 /// Table 1: the divider "is not pipelined and has an eight-cycle latency
 /// for 32-bit divides, and a 16-cycle latency for 64-bit divides".
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DivWidth {
     /// 32-bit (single-precision): 8-cycle divider occupancy.
     W32,
@@ -65,7 +64,7 @@ impl DivWidth {
 /// assert_eq!(Opcode::Ldt.dest_bank(), Some(RegBank::Fp));
 /// assert!(Opcode::Bne.is_conditional_branch());
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Opcode {
     // --- integer multiply ---
     /// Integer multiply: `dest = src0 * src1`.

@@ -8,7 +8,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
 
 /// Number of architectural registers per bank.
 pub const REGS_PER_BANK: u8 = 32;
@@ -18,7 +17,7 @@ pub const REGS_PER_BANK: u8 = 32;
 /// The multicluster architecture gives each cluster one register file per
 /// bank (Figure 1 of the paper), and issue rules are expressed per bank
 /// (Table 1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum RegBank {
     /// The integer register file (`r0`–`r31`).
     Int,
@@ -67,7 +66,7 @@ impl fmt::Display for RegBank {
 /// assert_eq!(r4.to_string(), "r4");
 /// assert!(ArchReg::ZERO.is_zero());
 /// ```
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ArchReg {
     bank: RegBank,
     index: u8,

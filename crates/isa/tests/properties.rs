@@ -1,23 +1,24 @@
 //! Property tests for the ISA layer: issue budgets never exceed their
 //! rules, cluster sets behave like sets, and assignments are total.
+//!
+//! Cases are generated with the dependency-free [`mcl_testutil::Rng`]
+//! (the build has no registry access, so `proptest` is unavailable);
+//! seeds are fixed, so every run checks the same cases.
 
 use mcl_isa::{
     assign::{RegAssignment, RegisterAssignment},
     ArchReg, ClusterId, ClusterSet, InstrClass, IssueRules, Opcode,
 };
-use proptest::prelude::*;
+use mcl_testutil::{check_cases, Rng};
 
-fn any_class() -> impl Strategy<Value = InstrClass> {
-    prop::sample::select(InstrClass::ALL.to_vec())
+fn any_class(rng: &mut Rng) -> InstrClass {
+    *rng.pick(&InstrClass::ALL)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn issue_budget_never_exceeds_any_limit(
-        classes in prop::collection::vec(any_class(), 0..40)
-    ) {
+#[test]
+fn issue_budget_never_exceeds_any_limit() {
+    check_cases(128, |rng| {
+        let classes = rng.vec_in(0, 40, any_class);
         for rules in [IssueRules::single_cluster_8way(), IssueRules::dual_cluster_4way()] {
             let mut budget = rules.budget();
             let mut taken_total = 0u32;
@@ -34,74 +35,79 @@ proptest! {
                     taken_by_group[g] += 1;
                 }
             }
-            prop_assert!(taken_total <= rules.total);
-            prop_assert!(taken_by_group[0] <= rules.int_all);
-            prop_assert!(taken_by_group[1] <= rules.fp_all);
-            prop_assert!(taken_by_group[2] <= rules.mem);
-            prop_assert!(taken_by_group[3] <= rules.control);
-            prop_assert_eq!(budget.taken(), taken_total);
+            assert!(taken_total <= rules.total);
+            assert!(taken_by_group[0] <= rules.int_all);
+            assert!(taken_by_group[1] <= rules.fp_all);
+            assert!(taken_by_group[2] <= rules.mem);
+            assert!(taken_by_group[3] <= rules.control);
+            assert_eq!(budget.taken(), taken_total);
         }
-    }
+    });
+}
 
-    #[test]
-    fn can_take_is_consistent_with_try_take(
-        classes in prop::collection::vec(any_class(), 0..40)
-    ) {
+#[test]
+fn can_take_is_consistent_with_try_take() {
+    check_cases(128, |rng| {
+        let classes = rng.vec_in(0, 40, any_class);
         let rules = IssueRules::dual_cluster_4way();
         let mut budget = rules.budget();
         for class in classes {
             let could = budget.can_take(class);
             let did = budget.try_take(class);
-            prop_assert_eq!(could, did);
+            assert_eq!(could, did);
         }
-    }
+    });
+}
 
-    #[test]
-    fn cluster_set_behaves_like_a_set(ids in prop::collection::vec(0u8..8, 0..16)) {
+#[test]
+fn cluster_set_behaves_like_a_set() {
+    check_cases(128, |rng| {
+        let ids = rng.vec_in(0, 16, |r| r.below(8) as u8);
         let mut set = ClusterSet::empty();
         let mut reference = std::collections::BTreeSet::new();
         for id in ids {
             set.insert(ClusterId::new(id));
             reference.insert(id);
         }
-        prop_assert_eq!(set.len(), reference.len());
+        assert_eq!(set.len(), reference.len());
         for id in 0..8u8 {
-            prop_assert_eq!(set.contains(ClusterId::new(id)), reference.contains(&id));
+            assert_eq!(set.contains(ClusterId::new(id)), reference.contains(&id));
         }
         let collected: Vec<u8> = set.iter().map(|c| c.index() as u8).collect();
         let expected: Vec<u8> = reference.into_iter().collect();
-        prop_assert_eq!(collected, expected);
-    }
+        assert_eq!(collected, expected);
+    });
+}
 
-    #[test]
-    fn even_odd_assignment_is_total_and_consistent(clusters in 1u8..=4) {
+#[test]
+fn even_odd_assignment_is_total_and_consistent() {
+    for clusters in 1u8..=4 {
         let a = RegisterAssignment::even_odd_with_default_globals(clusters);
-        prop_assert_eq!(a.clusters(), clusters);
+        assert_eq!(a.clusters(), clusters);
         for reg in ArchReg::all() {
             let assignment = a.assignment_of(reg);
             match assignment {
                 RegAssignment::Local(c) => {
-                    prop_assert!(c.index() < usize::from(clusters), "{reg} -> {c}");
-                    prop_assert_eq!(a.clusters_of(reg).single(), Some(c));
+                    assert!(c.index() < usize::from(clusters), "{reg} -> {c}");
+                    assert_eq!(a.clusters_of(reg).single(), Some(c));
                 }
                 RegAssignment::Global => {
-                    prop_assert_eq!(a.clusters_of(reg).len(), usize::from(clusters));
+                    assert_eq!(a.clusters_of(reg).len(), usize::from(clusters));
                 }
             }
         }
         // Locals + globals partition the 64 registers.
-        let locals: usize = (0..clusters)
-            .map(|c| a.local_registers_of(ClusterId::new(c)).count())
-            .sum();
+        let locals: usize =
+            (0..clusters).map(|c| a.local_registers_of(ClusterId::new(c)).count()).sum();
         let globals = a.global_registers().count();
-        prop_assert_eq!(locals + globals + 2, 64, "2 hardwired zeros");
+        assert_eq!(locals + globals + 2, 64, "2 hardwired zeros");
     }
+}
 
-    #[test]
-    fn latency_table_is_positive_for_all_opcodes(_x in 0..1i32) {
-        let lat = mcl_isa::Latencies::table1();
-        for &op in Opcode::all() {
-            prop_assert!(lat.of(op) >= 1, "{op}");
-        }
+#[test]
+fn latency_table_is_positive_for_all_opcodes() {
+    let lat = mcl_isa::Latencies::table1();
+    for &op in Opcode::all() {
+        assert!(lat.of(op) >= 1, "{op}");
     }
 }

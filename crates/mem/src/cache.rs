@@ -1,11 +1,10 @@
 //! Set-associative caches with timing.
 
-use serde::{Deserialize, Serialize};
 
 use crate::mshr::{InvertedMshr, MshrStats};
 
 /// Geometry and timing of a cache.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheConfig {
     /// Total capacity in bytes.
     pub size_bytes: usize,
@@ -66,7 +65,7 @@ pub enum Access {
 }
 
 /// Access statistics.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// Total accesses.
     pub accesses: u64,

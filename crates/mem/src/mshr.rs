@@ -2,10 +2,9 @@
 
 use std::collections::HashMap;
 
-use serde::{Deserialize, Serialize};
 
 /// Occupancy statistics for an [`InvertedMshr`].
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct MshrStats {
     /// Primary misses: fills initiated.
     pub fills: u64,

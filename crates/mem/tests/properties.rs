@@ -1,10 +1,14 @@
 //! Property tests for the cache: timing sanity and agreement with a
 //! reference presence model.
+//!
+//! Cases are generated with the dependency-free [`mcl_testutil::Rng`]
+//! (the build has no registry access, so `proptest` is unavailable);
+//! seeds are fixed, so every run checks the same cases.
 
 use std::collections::HashMap;
 
 use mcl_mem::{Access, Cache, CacheConfig};
-use proptest::prelude::*;
+use mcl_testutil::check_cases;
 
 /// A reference model of *presence*: which line would a
 /// set-associative LRU cache of this geometry hold?
@@ -49,11 +53,10 @@ fn small_config() -> CacheConfig {
     CacheConfig { size_bytes: 1024, assoc: 2, line_bytes: 32, miss_latency: 16 }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn presence_matches_the_reference_model(addrs in prop::collection::vec(0u64..4096, 1..300)) {
+#[test]
+fn presence_matches_the_reference_model() {
+    check_cases(64, |rng| {
+        let addrs = rng.vec_in(1, 300, |r| r.below(4096));
         let mut cache = Cache::new(small_config());
         let mut reference = RefCache::new(small_config());
         // Space accesses far apart so every fill completes: presence is
@@ -63,60 +66,66 @@ proptest! {
             let expect_hit = reference.access(addr);
             let got = cache.access(addr, now, false);
             match got {
-                Access::Hit => prop_assert!(expect_hit, "unexpected hit at {addr:#x}"),
+                Access::Hit => assert!(expect_hit, "unexpected hit at {addr:#x}"),
                 Access::Miss { ready_at, merged } => {
-                    prop_assert!(!expect_hit, "unexpected miss at {addr:#x}");
-                    prop_assert!(!merged, "fills are spaced; no merges");
-                    prop_assert!(ready_at == now + 16);
+                    assert!(!expect_hit, "unexpected miss at {addr:#x}");
+                    assert!(!merged, "fills are spaced; no merges");
+                    assert!(ready_at == now + 16);
                 }
             }
             now += 20; // beyond the fill latency
         }
         let stats = cache.stats();
-        prop_assert_eq!(stats.accesses, addrs.len() as u64);
-        prop_assert_eq!(stats.hits + stats.misses + stats.merged_misses, stats.accesses);
-    }
+        assert_eq!(stats.accesses, addrs.len() as u64);
+        assert_eq!(stats.hits + stats.misses + stats.merged_misses, stats.accesses);
+    });
+}
 
-    #[test]
-    fn ready_time_is_never_in_the_past(
-        addrs in prop::collection::vec(0u64..100_000, 1..200),
-        gaps in prop::collection::vec(0u64..4, 1..200),
-    ) {
+#[test]
+fn ready_time_is_never_in_the_past() {
+    check_cases(64, |rng| {
+        let addrs = rng.vec_in(1, 200, |r| r.below(100_000));
+        let gaps = rng.vec(addrs.len(), |r| r.below(4));
         let mut cache = Cache::new(small_config());
         let mut now = 0u64;
         for (&addr, &gap) in addrs.iter().zip(&gaps) {
             if let Access::Miss { ready_at, .. } = cache.access(addr, now, false) {
-                prop_assert!(ready_at > now);
-                prop_assert!(ready_at <= now + 16);
+                assert!(ready_at > now);
+                assert!(ready_at <= now + 16);
             }
             now += gap;
         }
-    }
+    });
+}
 
-    #[test]
-    fn merged_misses_share_the_fill_time(line in 0u64..64) {
+#[test]
+fn merged_misses_share_the_fill_time() {
+    for line in 0u64..64 {
         let mut cache = Cache::new(small_config());
         let base = line * 32;
         let first = cache.access(base, 0, false);
         let Access::Miss { ready_at, .. } = first else {
-            return Err(TestCaseError::fail("cold access must miss"));
+            panic!("cold access must miss");
         };
         // Every access to the same line before the fill merges to the
         // same completion time.
         for t in 1..16u64 {
             match cache.access(base + (t % 4) * 8, t, false) {
                 Access::Miss { ready_at: r, merged } => {
-                    prop_assert!(merged);
-                    prop_assert_eq!(r, ready_at);
+                    assert!(merged);
+                    assert_eq!(r, ready_at);
                 }
-                Access::Hit => return Err(TestCaseError::fail("line is still filling")),
+                Access::Hit => panic!("line is still filling"),
             }
         }
-        prop_assert!(matches!(cache.access(base, ready_at, false), Access::Hit));
+        assert!(matches!(cache.access(base, ready_at, false), Access::Hit));
     }
+}
 
-    #[test]
-    fn probe_never_mutates(addrs in prop::collection::vec(0u64..4096, 1..100)) {
+#[test]
+fn probe_never_mutates() {
+    check_cases(64, |rng| {
+        let addrs = rng.vec_in(1, 100, |r| r.below(4096));
         let mut cache = Cache::new(small_config());
         let mut now = 0;
         for &addr in &addrs {
@@ -127,6 +136,6 @@ proptest! {
         for &addr in &addrs {
             let _ = cache.probe(addr, now);
         }
-        prop_assert_eq!(cache.stats(), stats_before);
-    }
+        assert_eq!(cache.stats(), stats_before);
+    });
 }

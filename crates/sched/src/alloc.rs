@@ -29,7 +29,6 @@ use std::collections::{HashMap, HashSet};
 use mcl_isa::{assign::RegisterAssignment, ArchReg, ClusterId, RegBank};
 use mcl_trace::{Block, Instr, Program, RegName, Vreg};
 
-use serde::{Deserialize, Serialize};
 
 use crate::cfg::Cfg;
 use crate::interference::InterferenceGraph;
@@ -41,7 +40,7 @@ use crate::partition::Partition;
 pub const SPILL_BASE: u64 = 0x7800_0000;
 
 /// How the allocator treats clusters.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AllocatorKind {
     /// Respect the live-range partition: each live range is coloured
     /// with the architectural registers of its assigned cluster, and
@@ -53,7 +52,7 @@ pub enum AllocatorKind {
 }
 
 /// Spill/retry statistics from one allocation.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SpillStats {
     /// Live ranges moved to the other cluster instead of memory.
     pub cross_cluster_moves: u64,

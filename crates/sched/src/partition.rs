@@ -38,10 +38,9 @@ use std::collections::{HashMap, HashSet};
 use mcl_isa::ClusterId;
 use mcl_trace::{BlockId, Instr, Profile, Program, Vreg};
 
-use serde::{Deserialize, Serialize};
 
 /// Tuning knobs for the local scheduler.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PartitionConfig {
     /// Number of clusters (the imbalance heuristic supports exactly 2,
     /// matching the paper's evaluation).

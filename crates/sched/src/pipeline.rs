@@ -3,14 +3,13 @@
 use mcl_isa::{assign::RegisterAssignment, ArchReg, Latencies};
 use mcl_trace::{Profile, Program, ValidateError, Vm, VmError, Vreg};
 
-use serde::{Deserialize, Serialize};
 
 use crate::alloc::{allocate, Allocation, AllocError, AllocatorKind, SpillStats};
 use crate::listsched::list_schedule;
 use crate::partition::{LocalScheduler, Partition, PartitionConfig};
 
 /// Which scheduler produces the register assignment.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SchedulerKind {
     /// Cluster-blind allocation — models the paper's *native binary*
     /// ("none" column of Table 2).
@@ -30,7 +29,7 @@ pub enum SchedulerKind {
 }
 
 /// Pipeline tuning.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ScheduleOptions {
     /// The local scheduler's imbalance constant (Section 3.5).
     pub imbalance_threshold: f64,
@@ -56,7 +55,7 @@ impl Default for ScheduleOptions {
 }
 
 /// Statistics from one pipeline run.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct ScheduleStats {
     /// Spill/retry statistics from register allocation.
     pub spill: SpillStats,

@@ -1,0 +1,125 @@
+//! Deterministic pseudo-random generation for the test suites.
+//!
+//! The repository builds with no registry access, so the property tests
+//! cannot use `proptest` or `rand`. [`Rng`] is a small splitmix64
+//! generator with the handful of helpers the suites need; every test
+//! fixes its seeds, so failures reproduce exactly.
+
+/// A splitmix64 pseudo-random generator (Steele, Lea & Flood 2014).
+///
+/// Statistically strong enough for test-case generation, one `u64` of
+/// state, and fully deterministic for a given seed.
+#[derive(Debug, Clone)]
+pub struct Rng {
+    state: u64,
+}
+
+impl Rng {
+    /// Creates a generator from a seed.
+    #[must_use]
+    pub fn new(seed: u64) -> Rng {
+        Rng { state: seed.wrapping_add(0x9e37_79b9_7f4a_7c15) }
+    }
+
+    /// The next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform value in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "empty range");
+        // Multiply-shift range reduction (Lemire); bias is negligible
+        // for test-case generation.
+        ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
+    }
+
+    /// A uniform `usize` in `[lo, hi)`.
+    pub fn range(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo < hi, "empty range");
+        lo + self.below((hi - lo) as u64) as usize
+    }
+
+    /// A uniform `i64` in `[lo, hi)`.
+    pub fn range_i64(&mut self, lo: i64, hi: i64) -> i64 {
+        assert!(lo < hi, "empty range");
+        lo + self.below(hi.wrapping_sub(lo) as u64) as i64
+    }
+
+    /// A fair coin flip.
+    pub fn flip(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+
+    /// A vector of `len` values drawn from `f`.
+    pub fn vec<T>(&mut self, len: usize, mut f: impl FnMut(&mut Rng) -> T) -> Vec<T> {
+        (0..len).map(|_| f(self)).collect()
+    }
+
+    /// A vector whose length is drawn from `[min_len, max_len)`.
+    pub fn vec_in<T>(
+        &mut self,
+        min_len: usize,
+        max_len: usize,
+        f: impl FnMut(&mut Rng) -> T,
+    ) -> Vec<T> {
+        let len = self.range(min_len, max_len);
+        self.vec(len, f)
+    }
+
+    /// One element of a non-empty slice.
+    pub fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        &items[self.range(0, items.len())]
+    }
+}
+
+/// Runs `body` once per seed in `0..cases`, labelling panics with the
+/// failing seed so a failure reproduces directly.
+pub fn check_cases(cases: u64, body: impl Fn(&mut Rng)) {
+    for seed in 0..cases {
+        let mut rng = Rng::new(seed);
+        body(&mut rng);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        let mut a = Rng::new(42);
+        let mut b = Rng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut rng = Rng::new(7);
+        for bound in [1u64, 2, 3, 10, 1000] {
+            for _ in 0..200 {
+                assert!(rng.below(bound) < bound);
+            }
+        }
+    }
+
+    #[test]
+    fn range_covers_both_ends_eventually() {
+        let mut rng = Rng::new(1);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[rng.range(0, 4)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

@@ -9,13 +9,12 @@
 use std::collections::HashSet;
 
 use mcl_isa::InstrClass;
-use serde::{Deserialize, Serialize};
 
 use crate::vreg::RegName;
 use crate::{Program, Step, Vm, VmError};
 
 /// A dynamic behavioural profile of one program execution.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MixReport {
     /// Program name.
     pub name: String,

@@ -3,7 +3,6 @@
 use std::fmt;
 
 use mcl_isa::{InstrClass, Opcode};
-use serde::{Deserialize, Serialize};
 
 use crate::program::BlockId;
 use crate::vreg::RegName;
@@ -24,7 +23,7 @@ use crate::vreg::RegName;
 ///   [`Instr::target`] block; `jmp`/`ret` jump through `srcs[0]`
 ///   dynamically. A conditional branch falls through to the next block in
 ///   layout order when not taken.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Instr<R> {
     /// The operation.
     pub op: Opcode,

@@ -1,6 +1,5 @@
 //! Execution profiles.
 
-use serde::{Deserialize, Serialize};
 
 use crate::program::BlockId;
 
@@ -11,7 +10,7 @@ use crate::program::BlockId;
 /// to be executed", with "estimates derived from profiling the execution
 /// of the application" — this type carries those estimates. Profiles are
 /// produced by [`crate::Vm`] runs and consumed by `mcl-sched`.
-#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct Profile {
     counts: Vec<u64>,
 }

@@ -2,13 +2,12 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
 
 use crate::instr::Instr;
 use crate::vreg::RegName;
 
 /// Identifies a basic block within a [`Program`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct BlockId(u32);
 
 impl BlockId {
@@ -36,7 +35,7 @@ impl fmt::Display for BlockId {
 /// Only the final instruction may be control flow. A block whose final
 /// instruction is not control flow *falls through* to the next block in
 /// layout order.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Block<R> {
     /// Human-readable label, for diagnostics and listings.
     pub label: String,
@@ -51,7 +50,7 @@ pub struct Block<R> {
 /// (`Program<Vreg>`, instructions name live ranges) and *machine
 /// programs* (`Program<ArchReg>`). The scheduling pipeline in `mcl-sched`
 /// lowers the former to the latter.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Program<R> {
     /// Program name, for reports.
     pub name: String,

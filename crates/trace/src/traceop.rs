@@ -1,10 +1,9 @@
 //! Dynamic-instruction records consumed by the cycle-level simulator.
 
 use mcl_isa::{ArchReg, InstrClass, Opcode};
-use serde::{Deserialize, Serialize};
 
 /// The dynamic outcome of a control-flow instruction.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BranchInfo {
     /// Whether control actually transferred (conditional branches may
     /// fall through).
@@ -21,7 +20,7 @@ pub struct BranchInfo {
 /// One dynamic instruction of a trace: what the processor front end sees,
 /// in fetch order, annotated with the execution-time facts (memory
 /// address, branch outcome) a trace-driven simulator needs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TraceOp {
     /// Position in the dynamic instruction stream (0-based).
     pub seq: u64,

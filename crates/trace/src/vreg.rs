@@ -4,7 +4,6 @@ use std::fmt;
 use std::hash::Hash;
 
 use mcl_isa::{ArchReg, RegBank};
-use serde::{Deserialize, Serialize};
 
 /// A register name space usable in a [`crate::Program`].
 ///
@@ -66,7 +65,7 @@ impl RegName for ArchReg {
 /// assert_eq!(Vreg::fp(7).to_string(), "w7");
 /// assert_ne!(Vreg::int(7), Vreg::fp(7));
 /// ```
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Vreg {
     bank: RegBank,
     index: u32,

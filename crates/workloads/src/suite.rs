@@ -2,10 +2,9 @@
 //! evaluation, with their paper reference numbers.
 
 use mcl_trace::{Program, Vreg};
-use serde::{Deserialize, Serialize};
 
 /// The six benchmarks of the paper's Table 2.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Benchmark {
     /// Integer LZW-style compression (`compress`).
     Compress,

@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Offline CI: tier-1 verification plus a parallel-driver smoke test.
+#
+# Everything here works without network or registry access — the
+# workspace has no external dependencies on the tier-1 path.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: build =="
+cargo build --release
+
+echo "== tier-1: tests (root package) =="
+cargo test -q
+
+echo "== workspace tests =="
+cargo test --release --workspace -q
+
+echo "== smoke: parallel experiment driver =="
+smoke_dir="$(mktemp -d)"
+trap 'rm -rf "$smoke_dir"' EXIT
+cargo build --release -p mcl-bench
+(cd "$smoke_dir" && "$OLDPWD/target/release/repro" table2 --jobs 2 > table2_j2.txt)
+(cd "$smoke_dir" && "$OLDPWD/target/release/repro" table2 --jobs 1 > table2_j1.txt)
+if ! diff -q "$smoke_dir/table2_j1.txt" "$smoke_dir/table2_j2.txt"; then
+    echo "FAIL: parallel and serial table2 output differ" >&2
+    exit 1
+fi
+test -s "$smoke_dir/BENCH_repro.json" || {
+    echo "FAIL: BENCH_repro.json was not written" >&2
+    exit 1
+}
+
+echo "CI OK"

@@ -1,6 +1,10 @@
 //! Property-based tests over randomly generated programs: the
 //! scheduling pipeline must preserve semantics, partitioning must be
 //! total, and the simulator must retire exactly the trace.
+//!
+//! Cases are generated with the dependency-free [`mcl_testutil::Rng`]
+//! (the build has no registry access, so `proptest` is unavailable);
+//! seeds are fixed, so every run checks the same cases.
 
 use multicluster::core::{Processor, ProcessorConfig};
 use multicluster::isa::assign::RegisterAssignment;
@@ -8,7 +12,8 @@ use multicluster::sched::{
     LocalScheduler, Partition, PartitionConfig, SchedulePipeline, SchedulerKind,
 };
 use multicluster::trace::{vm::trace_program, Profile, Program, ProgramBuilder, Vm, Vreg};
-use proptest::prelude::*;
+
+use mcl_testutil::{check_cases, Rng};
 
 /// One randomly chosen straight-line operation over a small register
 /// pool.
@@ -31,20 +36,32 @@ const POOL: usize = 10;
 const FPOOL: usize = 6;
 const SLOTS: usize = 4;
 
-fn rand_op() -> impl Strategy<Value = RandOp> {
-    prop_oneof![
-        (0..POOL, -1000i64..1000).prop_map(|(dest, imm)| RandOp::Lda { dest, imm }),
-        (0..POOL, 0..POOL, 0..POOL).prop_map(|(dest, a, b)| RandOp::Add { dest, a, b }),
-        (0..POOL, 0..POOL, 0..POOL).prop_map(|(dest, a, b)| RandOp::Sub { dest, a, b }),
-        (0..POOL, 0..POOL, 0..POOL).prop_map(|(dest, a, b)| RandOp::Mul { dest, a, b }),
-        (0..POOL, 0..POOL, 0..POOL).prop_map(|(dest, a, b)| RandOp::Xor { dest, a, b }),
-        (0..POOL, 0..POOL, 0u8..40).prop_map(|(dest, a, by)| RandOp::Shift { dest, a, by }),
-        (0..FPOOL, 0..POOL).prop_map(|(dest, a)| RandOp::FCvt { dest, a }),
-        (0..FPOOL, 0..FPOOL, 0..FPOOL).prop_map(|(dest, a, b)| RandOp::FAdd { dest, a, b }),
-        (0..FPOOL, 0..FPOOL, 0..FPOOL).prop_map(|(dest, a, b)| RandOp::FMul { dest, a, b }),
-        (0..SLOTS, 0..POOL).prop_map(|(addr_slot, val)| RandOp::Store { addr_slot, val }),
-        (0..POOL, 0..SLOTS).prop_map(|(dest, addr_slot)| RandOp::Load { dest, addr_slot }),
-    ]
+fn rand_op(rng: &mut Rng) -> RandOp {
+    match rng.range(0, 11) {
+        0 => RandOp::Lda { dest: rng.range(0, POOL), imm: rng.range_i64(-1000, 1000) },
+        1 => RandOp::Add { dest: rng.range(0, POOL), a: rng.range(0, POOL), b: rng.range(0, POOL) },
+        2 => RandOp::Sub { dest: rng.range(0, POOL), a: rng.range(0, POOL), b: rng.range(0, POOL) },
+        3 => RandOp::Mul { dest: rng.range(0, POOL), a: rng.range(0, POOL), b: rng.range(0, POOL) },
+        4 => RandOp::Xor { dest: rng.range(0, POOL), a: rng.range(0, POOL), b: rng.range(0, POOL) },
+        5 => RandOp::Shift {
+            dest: rng.range(0, POOL),
+            a: rng.range(0, POOL),
+            by: rng.below(40) as u8,
+        },
+        6 => RandOp::FCvt { dest: rng.range(0, FPOOL), a: rng.range(0, POOL) },
+        7 => RandOp::FAdd {
+            dest: rng.range(0, FPOOL),
+            a: rng.range(0, FPOOL),
+            b: rng.range(0, FPOOL),
+        },
+        8 => RandOp::FMul {
+            dest: rng.range(0, FPOOL),
+            a: rng.range(0, FPOOL),
+            b: rng.range(0, FPOOL),
+        },
+        9 => RandOp::Store { addr_slot: rng.range(0, SLOTS), val: rng.range(0, POOL) },
+        _ => RandOp::Load { dest: rng.range(0, POOL), addr_slot: rng.range(0, SLOTS) },
+    }
 }
 
 /// Builds a valid straight-line program from random operations and
@@ -97,11 +114,10 @@ fn build_program(ops: &[RandOp]) -> (Program<Vreg>, Vec<u64>) {
     (b.finish().expect("generated program is valid"), observe)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn scheduling_preserves_semantics(ops in prop::collection::vec(rand_op(), 1..60)) {
+#[test]
+fn scheduling_preserves_semantics() {
+    check_cases(48, |rng| {
+        let ops = rng.vec_in(1, 60, rand_op);
         let (il, observe) = build_program(&ops);
         let mut vm = Vm::new(&il);
         vm.run_to_end().unwrap();
@@ -118,30 +134,33 @@ proptest! {
             let mut vm = Vm::new(&scheduled.program);
             vm.run_to_end().unwrap();
             for (&addr, &expect) in observe.iter().zip(&golden) {
-                prop_assert_eq!(vm.memory().read(addr), expect, "{:?} at {:#x}", kind, addr);
+                assert_eq!(vm.memory().read(addr), expect, "{kind:?} at {addr:#x}");
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn partitioning_is_total(ops in prop::collection::vec(rand_op(), 1..60)) {
+#[test]
+fn partitioning_is_total() {
+    check_cases(48, |rng| {
+        let ops = rng.vec_in(1, 60, rand_op);
         let (il, _) = build_program(&ops);
         let profile = Profile::from_counts(vec![1; il.blocks.len()]);
         let part = LocalScheduler::new(PartitionConfig::default()).partition(&il, &profile);
         for block in &il.blocks {
             for instr in &block.instrs {
                 for r in instr.named_regs() {
-                    prop_assert!(
-                        part.is_global(r) || part.cluster_of(r).is_some(),
-                        "{} unassigned", r
-                    );
+                    assert!(part.is_global(r) || part.cluster_of(r).is_some(), "{r} unassigned");
                 }
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn simulation_retires_the_whole_trace(ops in prop::collection::vec(rand_op(), 1..40)) {
+#[test]
+fn simulation_retires_the_whole_trace() {
+    check_cases(48, |rng| {
+        let ops = rng.vec_in(1, 40, rand_op);
         let (il, _) = build_program(&ops);
         let assign = RegisterAssignment::even_odd_with_default_globals(2);
         let scheduled = SchedulePipeline::new(SchedulerKind::Local, &assign).run(&il).unwrap();
@@ -149,19 +168,20 @@ proptest! {
         for cfg in [ProcessorConfig::single_cluster_8way(), ProcessorConfig::dual_cluster_8way()] {
             let retire_width = cfg.retire_width;
             let result = Processor::new(cfg).run_trace(&trace).unwrap();
-            prop_assert_eq!(result.stats.retired, trace.len() as u64);
+            assert_eq!(result.stats.retired, trace.len() as u64);
             // Retirement is bounded by width.
-            prop_assert!(
-                result.stats.cycles >= trace.len() as u64 / u64::from(retire_width)
-            );
+            assert!(result.stats.cycles >= trace.len() as u64 / u64::from(retire_width));
         }
-    }
+    });
+}
 
-    #[test]
-    fn round_robin_partition_counts_are_balanced(ops in prop::collection::vec(rand_op(), 1..60)) {
+#[test]
+fn round_robin_partition_counts_are_balanced() {
+    check_cases(48, |rng| {
+        let ops = rng.vec_in(1, 60, rand_op);
         let (il, _) = build_program(&ops);
         let part = Partition::round_robin(&il, 2);
         let counts = part.counts(2);
-        prop_assert!(counts[0].abs_diff(counts[1]) <= 1, "{:?}", counts);
-    }
+        assert!(counts[0].abs_diff(counts[1]) <= 1, "{counts:?}");
+    });
 }
