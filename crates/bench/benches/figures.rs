@@ -3,7 +3,7 @@
 //! walkthrough, and one point of each ablation.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use mcl_bench::{ablate, figure6, scenarios};
+use mcl_bench::{ablate, figure6, scenarios, TraceStore};
 use mcl_workloads::Benchmark;
 
 fn bench_scenarios(c: &mut Criterion) {
@@ -24,14 +24,26 @@ fn bench_figure6(c: &mut Criterion) {
 fn bench_ablations(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablate");
     group.sample_size(10);
+    // A fresh store per iteration keeps the sweep's trace build inside
+    // the measured work, as before the shared store existed.
     group.bench_function("buffers-compress", |b| {
-        b.iter(|| ablate::buffers(Benchmark::Compress, 400, &[4, 8]).unwrap().len());
+        b.iter(|| {
+            ablate::buffers(&TraceStore::new(), Benchmark::Compress, 400, &[4, 8])
+                .unwrap()
+                .0
+                .len()
+        });
     });
     group.bench_function("dq-compress", |b| {
-        b.iter(|| ablate::dq_single(Benchmark::Compress, 400, &[64, 128]).unwrap().len());
+        b.iter(|| {
+            ablate::dq_single(&TraceStore::new(), Benchmark::Compress, 400, &[64, 128])
+                .unwrap()
+                .0
+                .len()
+        });
     });
     group.bench_function("width4-gcc1", |b| {
-        b.iter(|| ablate::width4(Benchmark::Gcc1, 400).unwrap());
+        b.iter(|| ablate::width4(&TraceStore::new(), Benchmark::Gcc1, 400).unwrap().0);
     });
     group.finish();
 }

@@ -3,13 +3,19 @@
 //! local scheduler's imbalance threshold (Section 3.5), dispatch-queue
 //! size (the compress anomaly, Section 4.2), global-register
 //! designation (Section 3.1 step 3), and issue width (Section 4).
+//!
+//! Every sweep routes through a shared [`TraceStore`], so sweeps that
+//! vary only the processor configuration build their trace once, and
+//! sweeps over the same benchmark reuse each other's schedules. Each
+//! function returns its result plus the [`CellCost`] it incurred.
 
 use mcl_core::{speedup_percent, ProcessorConfig};
-use mcl_isa::assign::RegisterAssignment;
-use mcl_sched::{unroll_self_loops, ScheduleOptions, SchedulerKind};
+use mcl_sched::SchedulerKind;
 use mcl_workloads::Benchmark;
 
-use crate::{schedule_and_trace, simulate, Error};
+use crate::runner::CellCost;
+use crate::store::{SimProduct, TraceRequest};
+use crate::{Error, TraceStore};
 
 /// One point of a one-dimensional sweep.
 #[derive(Debug, Clone)]
@@ -39,26 +45,38 @@ fn point(param: u64, stats: &mcl_core::SimStats) -> SweepPoint {
     }
 }
 
+fn charge(cost: &mut CellCost, product: &SimProduct) {
+    cost.simulated_cycles += product.stats.cycles;
+    cost.trace_build_seconds += product.trace_build_seconds;
+    cost.simulate_seconds += product.simulate_seconds;
+}
+
 /// A1 — transfer-buffer sizing: dual-cluster cycles and replay count as
 /// the operand/result buffers shrink and grow.
 ///
 /// # Errors
 ///
 /// Propagates harness failures.
-pub fn buffers(bench: Benchmark, scale: u32, sizes: &[u32]) -> Result<Vec<SweepPoint>, Error> {
-    let il = bench.build(scale);
-    let assign = RegisterAssignment::even_odd_with_default_globals(2);
-    let trace = schedule_and_trace(&il, SchedulerKind::Local, &assign, None)?;
-    sizes
+pub fn buffers(
+    store: &TraceStore,
+    bench: Benchmark,
+    scale: u32,
+    sizes: &[u32],
+) -> Result<(Vec<SweepPoint>, CellCost), Error> {
+    let req = TraceRequest::new(bench, scale, SchedulerKind::Local);
+    let mut cost = CellCost::default();
+    let points = sizes
         .iter()
         .map(|&size| {
             let mut cfg = ProcessorConfig::dual_cluster_8way();
             cfg.operand_buffer = size;
             cfg.result_buffer = size;
-            let stats = simulate(&cfg, &trace)?;
-            Ok(point(u64::from(size), &stats))
+            let product = store.sim(&req, &cfg)?;
+            charge(&mut cost, &product);
+            Ok(point(u64::from(size), &product.stats))
         })
-        .collect()
+        .collect::<Result<_, Error>>()?;
+    Ok((points, cost))
 }
 
 /// A2 — the local scheduler's imbalance threshold.
@@ -67,22 +85,24 @@ pub fn buffers(bench: Benchmark, scale: u32, sizes: &[u32]) -> Result<Vec<SweepP
 ///
 /// Propagates harness failures.
 pub fn threshold(
+    store: &TraceStore,
     bench: Benchmark,
     scale: u32,
     thresholds: &[f64],
-) -> Result<Vec<SweepPoint>, Error> {
-    let il = bench.build(scale);
-    let assign = RegisterAssignment::even_odd_with_default_globals(2);
+) -> Result<(Vec<SweepPoint>, CellCost), Error> {
     let cfg = ProcessorConfig::dual_cluster_8way();
-    thresholds
+    let mut cost = CellCost::default();
+    let points = thresholds
         .iter()
         .map(|&th| {
-            let options = ScheduleOptions { imbalance_threshold: th, ..Default::default() };
-            let trace = schedule_and_trace(&il, SchedulerKind::Local, &assign, Some(options))?;
-            let stats = simulate(&cfg, &trace)?;
-            Ok(point(th as u64, &stats))
+            let req =
+                TraceRequest::new(bench, scale, SchedulerKind::Local).with_threshold(th);
+            let product = store.sim(&req, &cfg)?;
+            charge(&mut cost, &product);
+            Ok(point(th as u64, &product.stats))
         })
-        .collect()
+        .collect::<Result<_, Error>>()?;
+    Ok((points, cost))
 }
 
 /// A3 — dispatch-queue size on the *single-cluster* machine: the
@@ -92,19 +112,25 @@ pub fn threshold(
 /// # Errors
 ///
 /// Propagates harness failures.
-pub fn dq_single(bench: Benchmark, scale: u32, sizes: &[u32]) -> Result<Vec<SweepPoint>, Error> {
-    let il = bench.build(scale);
-    let assign = RegisterAssignment::even_odd_with_default_globals(2);
-    let trace = schedule_and_trace(&il, SchedulerKind::Naive, &assign, None)?;
-    sizes
+pub fn dq_single(
+    store: &TraceStore,
+    bench: Benchmark,
+    scale: u32,
+    sizes: &[u32],
+) -> Result<(Vec<SweepPoint>, CellCost), Error> {
+    let req = TraceRequest::new(bench, scale, SchedulerKind::Naive);
+    let mut cost = CellCost::default();
+    let points = sizes
         .iter()
         .map(|&size| {
             let mut cfg = ProcessorConfig::single_cluster_8way();
             cfg.dq_entries = size;
-            let stats = simulate(&cfg, &trace)?;
-            Ok(point(u64::from(size), &stats))
+            let product = store.sim(&req, &cfg)?;
+            charge(&mut cost, &product);
+            Ok(point(u64::from(size), &product.stats))
         })
-        .collect()
+        .collect::<Result<_, Error>>()?;
+    Ok((points, cost))
 }
 
 /// A4 — global-register designation on/off: Table 2 "local" percentage
@@ -113,14 +139,20 @@ pub fn dq_single(bench: Benchmark, scale: u32, sizes: &[u32]) -> Result<Vec<Swee
 /// # Errors
 ///
 /// Propagates harness failures.
-pub fn globals(bench: Benchmark, scale: u32) -> Result<(SweepPoint, SweepPoint), Error> {
-    let il = bench.build(scale);
-    let assign = RegisterAssignment::even_odd_with_default_globals(2);
+pub fn globals(
+    store: &TraceStore,
+    bench: Benchmark,
+    scale: u32,
+) -> Result<((SweepPoint, SweepPoint), CellCost), Error> {
     let cfg = ProcessorConfig::dual_cluster_8way();
-    let with = simulate(&cfg, &schedule_and_trace(&il, SchedulerKind::Local, &assign, None)?)?;
+    let mut cost = CellCost::default();
+    let with =
+        store.sim(&TraceRequest::new(bench, scale, SchedulerKind::Local), &cfg)?;
+    charge(&mut cost, &with);
     let without =
-        simulate(&cfg, &schedule_and_trace(&il, SchedulerKind::LocalNoGlobals, &assign, None)?)?;
-    Ok((point(1, &with), point(0, &without)))
+        store.sim(&TraceRequest::new(bench, scale, SchedulerKind::LocalNoGlobals), &cfg)?;
+    charge(&mut cost, &without);
+    Ok(((point(1, &with.stats), point(0, &without.stats)), cost))
 }
 
 /// A5 — issue width: the four-way single-cluster machine against its
@@ -131,18 +163,27 @@ pub fn globals(bench: Benchmark, scale: u32) -> Result<(SweepPoint, SweepPoint),
 /// # Errors
 ///
 /// Propagates harness failures.
-pub fn width4(bench: Benchmark, scale: u32) -> Result<(u64, f64, f64), Error> {
-    let il = bench.build(scale);
-    let assign = RegisterAssignment::even_odd_with_default_globals(2);
-    let native = schedule_and_trace(&il, SchedulerKind::Naive, &assign, None)?;
-    let local = schedule_and_trace(&il, SchedulerKind::Local, &assign, None)?;
-    let single = simulate(&ProcessorConfig::single_cluster_4way(), &native)?;
-    let dual_none = simulate(&ProcessorConfig::dual_cluster_4way(), &native)?;
-    let dual_local = simulate(&ProcessorConfig::dual_cluster_4way(), &local)?;
+pub fn width4(
+    store: &TraceStore,
+    bench: Benchmark,
+    scale: u32,
+) -> Result<((u64, f64, f64), CellCost), Error> {
+    let native = TraceRequest::new(bench, scale, SchedulerKind::Naive);
+    let local = TraceRequest::new(bench, scale, SchedulerKind::Local);
+    let mut cost = CellCost::default();
+    let single = store.sim(&native, &ProcessorConfig::single_cluster_4way())?;
+    charge(&mut cost, &single);
+    let dual_none = store.sim(&native, &ProcessorConfig::dual_cluster_4way())?;
+    charge(&mut cost, &dual_none);
+    let dual_local = store.sim(&local, &ProcessorConfig::dual_cluster_4way())?;
+    charge(&mut cost, &dual_local);
     Ok((
-        single.cycles,
-        speedup_percent(dual_none.cycles, single.cycles),
-        speedup_percent(dual_local.cycles, single.cycles),
+        (
+            single.stats.cycles,
+            speedup_percent(dual_none.stats.cycles, single.stats.cycles),
+            speedup_percent(dual_local.stats.cycles, single.stats.cycles),
+        ),
+        cost,
     ))
 }
 
@@ -154,35 +195,45 @@ pub fn width4(bench: Benchmark, scale: u32) -> Result<(u64, f64, f64), Error> {
 /// # Errors
 ///
 /// Propagates harness failures.
-pub fn unroll(bench: Benchmark, scale: u32, factors: &[u32]) -> Result<Vec<SweepPoint>, Error> {
-    let il = bench.build(scale);
-    let assign = RegisterAssignment::even_odd_with_default_globals(2);
+pub fn unroll(
+    store: &TraceStore,
+    bench: Benchmark,
+    scale: u32,
+    factors: &[u32],
+) -> Result<(Vec<SweepPoint>, CellCost), Error> {
     let cfg = ProcessorConfig::dual_cluster_8way();
-    factors
+    let mut cost = CellCost::default();
+    let points = factors
         .iter()
         .map(|&factor| {
-            let unrolled = unroll_self_loops(&il, factor);
-            let trace = schedule_and_trace(&unrolled, SchedulerKind::Local, &assign, None)?;
-            let stats = simulate(&cfg, &trace)?;
-            Ok(point(u64::from(factor), &stats))
+            let req =
+                TraceRequest::new(bench, scale, SchedulerKind::Local).with_unroll(factor);
+            let product = store.sim(&req, &cfg)?;
+            charge(&mut cost, &product);
+            Ok(point(u64::from(factor), &product.stats))
         })
-        .collect()
+        .collect::<Result<_, Error>>()?;
+    Ok((points, cost))
 }
+
+/// One scheduler-comparison row: `(kind name, cycles, dual fraction %)`.
+pub type SchedulerRow = (String, u64, f64);
 
 /// B1 — scheduler comparison: dual-cluster cycles under each
 /// partitioning strategy (the native cluster-blind binary, round-robin,
 /// the historic int/fp bank split, and the paper's local scheduler).
 ///
-/// Returns `(kind name, cycles, dual fraction %)` per scheduler.
-///
 /// # Errors
 ///
 /// Propagates harness failures.
-pub fn schedulers(bench: Benchmark, scale: u32) -> Result<Vec<(String, u64, f64)>, Error> {
-    let il = bench.build(scale);
-    let assign = RegisterAssignment::even_odd_with_default_globals(2);
+pub fn schedulers(
+    store: &TraceStore,
+    bench: Benchmark,
+    scale: u32,
+) -> Result<(Vec<SchedulerRow>, CellCost), Error> {
     let cfg = ProcessorConfig::dual_cluster_8way();
-    [
+    let mut cost = CellCost::default();
+    let rows = [
         SchedulerKind::Naive,
         SchedulerKind::RoundRobin,
         SchedulerKind::BankSplit,
@@ -190,11 +241,16 @@ pub fn schedulers(bench: Benchmark, scale: u32) -> Result<Vec<(String, u64, f64)
     ]
     .into_iter()
     .map(|kind| {
-        let trace = schedule_and_trace(&il, kind, &assign, None)?;
-        let stats = simulate(&cfg, &trace)?;
-        Ok((format!("{kind:?}"), stats.cycles, stats.dual_fraction() * 100.0))
+        let product = store.sim(&TraceRequest::new(bench, scale, kind), &cfg)?;
+        charge(&mut cost, &product);
+        Ok((
+            format!("{kind:?}"),
+            product.stats.cycles,
+            product.stats.dual_fraction() * 100.0,
+        ))
     })
-    .collect()
+    .collect::<Result<_, Error>>()?;
+    Ok((rows, cost))
 }
 
 /// Renders a sweep as a table.

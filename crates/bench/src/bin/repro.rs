@@ -28,10 +28,11 @@
 
 use std::ops::Range;
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Instant;
 
-use mcl_bench::runner::{self, Cell};
-use mcl_bench::{ablate, crossover, figure6, scenarios, table1, table2, Table2Row};
+use mcl_bench::runner::{self, Cell, CellCost};
+use mcl_bench::{ablate, crossover, figure6, scenarios, table1, table2, Table2Row, TraceStore};
 use mcl_workloads::Benchmark;
 
 fn main() -> ExitCode {
@@ -56,34 +57,38 @@ fn main() -> ExitCode {
         };
     }
 
+    // One trace store shared by every cell: distinct traces build once
+    // and are reused across experiments (and across workers under
+    // `--jobs N`).
+    let store = Arc::new(TraceStore::new());
     let mut plan = Plan::default();
     match cmd.as_str() {
         "table1" => plan_table1(&mut plan),
         "table2" => {
-            plan_table2(&mut plan, divisor, mcl_only().as_deref());
+            plan_table2(&mut plan, &store, divisor, mcl_only().as_deref());
         }
         "scenarios" => plan_scenarios(&mut plan),
         "fig6" => plan_fig6(&mut plan),
         "crossover" => {
-            let rows = plan_table2_cells(&mut plan, divisor, None);
+            let rows = plan_table2_cells(&mut plan, &store, divisor, None);
             plan_crossover(&mut plan, rows);
         }
-        "ablate-buffers" => plan_ablate_buffers(&mut plan, divisor),
-        "ablate-threshold" => plan_ablate_threshold(&mut plan, divisor),
-        "ablate-dq" => plan_ablate_dq(&mut plan, divisor),
-        "ablate-globals" => plan_ablate_globals(&mut plan, divisor),
-        "ablate-width" => plan_ablate_width(&mut plan, divisor),
-        "ablate-unroll" => plan_ablate_unroll(&mut plan, divisor),
+        "ablate-buffers" => plan_ablate_buffers(&mut plan, &store, divisor),
+        "ablate-threshold" => plan_ablate_threshold(&mut plan, &store, divisor),
+        "ablate-dq" => plan_ablate_dq(&mut plan, &store, divisor),
+        "ablate-globals" => plan_ablate_globals(&mut plan, &store, divisor),
+        "ablate-width" => plan_ablate_width(&mut plan, &store, divisor),
+        "ablate-unroll" => plan_ablate_unroll(&mut plan, &store, divisor),
         "mix" => plan_mix(&mut plan, divisor),
-        "schedulers" => plan_schedulers(&mut plan, divisor),
-        "all" => plan_all(&mut plan, divisor),
+        "schedulers" => plan_schedulers(&mut plan, &store, divisor),
+        "all" => plan_all(&mut plan, &store, divisor),
         other => {
             eprintln!("unknown subcommand `{other}`; see the module docs for usage");
             return ExitCode::FAILURE;
         }
     }
 
-    match plan.execute(&cmd, divisor, jobs) {
+    match plan.execute(&cmd, divisor, jobs, &store) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");
@@ -177,7 +182,13 @@ impl Plan {
 
     /// Runs all cells on the worker pool, renders the sections in
     /// order, and writes `BENCH_repro.json`.
-    fn execute(self, command: &str, divisor: u32, jobs: usize) -> Result<(), mcl_bench::Error> {
+    fn execute(
+        self,
+        command: &str,
+        divisor: u32,
+        jobs: usize,
+        store: &TraceStore,
+    ) -> Result<(), mcl_bench::Error> {
         let start = Instant::now();
         let (payloads, metrics) = runner::run_cells(jobs, self.cells)?;
         for (range, render) in self.sections {
@@ -185,41 +196,55 @@ impl Plan {
         }
         let total_wall = start.elapsed().as_secs_f64();
         let path = std::path::Path::new("BENCH_repro.json");
-        if let Err(e) = runner::write_report(path, command, divisor, jobs, total_wall, &metrics) {
+        if let Err(e) = runner::write_report(
+            path,
+            command,
+            divisor,
+            jobs,
+            total_wall,
+            &store.counters(),
+            &metrics,
+        ) {
             eprintln!("warning: could not write {}: {e}", path.display());
         }
         Ok(())
     }
 }
 
-fn scaled(b: Benchmark, divisor: u32) -> u32 {
-    (b.default_scale() / divisor.max(1)).max(1)
-}
-
 fn plan_table1(plan: &mut Plan) {
     plan.section(
-        vec![Cell::new("table1", || Ok((Payload::Text(table1::render()), 0)))],
+        vec![Cell::new("table1", || Ok((Payload::Text(table1::render()), CellCost::default())))],
         Box::new(|ps| println!("{}", text(&ps[0]))),
     );
 }
 
 /// Adds one Table 2 cell per benchmark (no rendering); returns the cell
 /// range so both the Table 2 and crossover sections can consume it.
-fn plan_table2_cells(plan: &mut Plan, divisor: u32, only: Option<&str>) -> Range<usize> {
+fn plan_table2_cells(
+    plan: &mut Plan,
+    store: &Arc<TraceStore>,
+    divisor: u32,
+    only: Option<&str>,
+) -> Range<usize> {
     let start = plan.cells.len();
     for &bench in Benchmark::ALL.iter().filter(|b| only.is_none_or(|name| b.name() == name)) {
-        let scale = scaled(bench, divisor);
+        let scale = bench.scaled(divisor);
+        let store = Arc::clone(store);
         plan.cells.push(Cell::new(format!("table2/{bench}"), move || {
-            let row = table2::table2_row(bench, scale)?;
-            let cycles = row.single_cycles + row.dual_none_cycles + row.dual_local_cycles;
-            Ok((Payload::Row(Box::new(row)), cycles))
+            let (row, cost) = table2::table2_row_with(&store, bench, scale)?;
+            Ok((Payload::Row(Box::new(row)), cost))
         }));
     }
     start..plan.cells.len()
 }
 
-fn plan_table2(plan: &mut Plan, divisor: u32, only: Option<&str>) -> Range<usize> {
-    let range = plan_table2_cells(plan, divisor, only);
+fn plan_table2(
+    plan: &mut Plan,
+    store: &Arc<TraceStore>,
+    divisor: u32,
+    only: Option<&str>,
+) -> Range<usize> {
+    let range = plan_table2_cells(plan, store, divisor, only);
     plan.derived_section(
         range.clone(),
         Box::new(|ps| {
@@ -246,7 +271,7 @@ fn plan_scenarios(plan: &mut Plan) {
     plan.section(
         vec![Cell::new("scenarios", || {
             let timelines = scenarios::run_all()?;
-            Ok((Payload::Text(scenarios::render(&timelines)), 0))
+            Ok((Payload::Text(scenarios::render(&timelines)), CellCost::default()))
         })],
         Box::new(|ps| println!("{}", text(&ps[0]))),
     );
@@ -254,7 +279,7 @@ fn plan_scenarios(plan: &mut Plan) {
 
 fn plan_fig6(plan: &mut Plan) {
     plan.section(
-        vec![Cell::new("fig6", || Ok((Payload::Text(figure6::render()), 0)))],
+        vec![Cell::new("fig6", || Ok((Payload::Text(figure6::render()), CellCost::default())))],
         Box::new(|ps| println!("{}", text(&ps[0]))),
     );
 }
@@ -264,8 +289,9 @@ fn plan_fig6(plan: &mut Plan) {
 fn plan_sweep(
     plan: &mut Plan,
     id: &str,
+    store: &Arc<TraceStore>,
     divisor: u32,
-    sweep: impl Fn(Benchmark, u32) -> Result<(String, u64), mcl_bench::Error>
+    sweep: impl Fn(&TraceStore, Benchmark, u32) -> Result<(String, CellCost), mcl_bench::Error>
         + Send
         + Clone
         + 'static,
@@ -274,9 +300,10 @@ fn plan_sweep(
         .iter()
         .map(|&bench| {
             let sweep = sweep.clone();
+            let store = Arc::clone(store);
             Cell::new(format!("{id}/{bench}"), move || {
-                let (rendered, cycles) = sweep(bench, scaled(bench, divisor))?;
-                Ok((Payload::Text(rendered), cycles))
+                let (rendered, cost) = sweep(&store, bench, bench.scaled(divisor))?;
+                Ok((Payload::Text(rendered), cost))
             })
         })
         .collect();
@@ -290,71 +317,70 @@ fn plan_sweep(
     );
 }
 
-fn sum_cycles(points: &[ablate::SweepPoint]) -> u64 {
-    points.iter().map(|p| p.cycles).sum()
-}
-
-fn plan_ablate_buffers(plan: &mut Plan, divisor: u32) {
-    plan_sweep(plan, "ablate-buffers", divisor, |bench, scale| {
-        let points = ablate::buffers(bench, scale, &[1, 2, 4, 8, 16, 32])?;
+fn plan_ablate_buffers(plan: &mut Plan, store: &Arc<TraceStore>, divisor: u32) {
+    plan_sweep(plan, "ablate-buffers", store, divisor, |store, bench, scale| {
+        let (points, cost) = ablate::buffers(store, bench, scale, &[1, 2, 4, 8, 16, 32])?;
         let rendered = ablate::render_sweep(
             &format!("A1: transfer-buffer entries per cluster — {bench}"),
             "entries",
             &points,
         );
-        Ok((rendered, sum_cycles(&points)))
+        Ok((rendered, cost))
     });
 }
 
-fn plan_ablate_threshold(plan: &mut Plan, divisor: u32) {
-    plan_sweep(plan, "ablate-threshold", divisor, |bench, scale| {
-        let points = ablate::threshold(bench, scale, &[1.0, 2.0, 4.0, 8.0, 16.0, 32.0])?;
+fn plan_ablate_threshold(plan: &mut Plan, store: &Arc<TraceStore>, divisor: u32) {
+    plan_sweep(plan, "ablate-threshold", store, divisor, |store, bench, scale| {
+        let (points, cost) =
+            ablate::threshold(store, bench, scale, &[1.0, 2.0, 4.0, 8.0, 16.0, 32.0])?;
         let rendered = ablate::render_sweep(
             &format!("A2: local-scheduler imbalance threshold — {bench}"),
             "threshold",
             &points,
         );
-        Ok((rendered, sum_cycles(&points)))
+        Ok((rendered, cost))
     });
 }
 
-fn plan_ablate_dq(plan: &mut Plan, divisor: u32) {
-    plan_sweep(plan, "ablate-dq", divisor, |bench, scale| {
-        let points = ablate::dq_single(bench, scale, &[16, 32, 64, 128, 256])?;
+fn plan_ablate_dq(plan: &mut Plan, store: &Arc<TraceStore>, divisor: u32) {
+    plan_sweep(plan, "ablate-dq", store, divisor, |store, bench, scale| {
+        let (points, cost) = ablate::dq_single(store, bench, scale, &[16, 32, 64, 128, 256])?;
         let rendered = ablate::render_sweep(
             &format!("A3: single-cluster dispatch-queue size — {bench}"),
             "entries",
             &points,
         );
-        Ok((rendered, sum_cycles(&points)))
+        Ok((rendered, cost))
     });
 }
 
-fn plan_ablate_unroll(plan: &mut Plan, divisor: u32) {
-    plan_sweep(plan, "ablate-unroll", divisor, |bench, scale| {
-        let points = ablate::unroll(bench, scale, &[1, 2, 4])?;
+fn plan_ablate_unroll(plan: &mut Plan, store: &Arc<TraceStore>, divisor: u32) {
+    plan_sweep(plan, "ablate-unroll", store, divisor, |store, bench, scale| {
+        let (points, cost) = ablate::unroll(store, bench, scale, &[1, 2, 4])?;
         let rendered = ablate::render_sweep(
             &format!("A6: loop unrolling (dual-cluster, local scheduler) — {bench}"),
             "factor",
             &points,
         );
-        Ok((rendered, sum_cycles(&points)))
+        Ok((rendered, cost))
     });
 }
 
-fn plan_ablate_globals(plan: &mut Plan, divisor: u32) {
+fn plan_ablate_globals(plan: &mut Plan, store: &Arc<TraceStore>, divisor: u32) {
     let cells = Benchmark::ALL
         .iter()
         .map(|&bench| {
+            let store = Arc::clone(store);
             Cell::new(format!("ablate-globals/{bench}"), move || {
-                let (with, without) = ablate::globals(bench, scaled(bench, divisor))?;
+                let ((with, without), cost) =
+                    ablate::globals(&store, bench, bench.scaled(divisor))?;
                 let line = format!(
                     "{:<10} {:>14} {:>14}",
                     bench.name(),
                     with.cycles,
                     without.cycles
                 );
-                Ok((Payload::Text(line), with.cycles + without.cycles))
+                Ok((Payload::Text(line), cost))
             })
         })
         .collect();
@@ -371,12 +397,14 @@ fn plan_ablate_globals(plan: &mut Plan, divisor: u32) {
     );
 }
 
-fn plan_ablate_width(plan: &mut Plan, divisor: u32) {
+fn plan_ablate_width(plan: &mut Plan, store: &Arc<TraceStore>, divisor: u32) {
     let cells = Benchmark::ALL
         .iter()
         .map(|&bench| {
+            let store = Arc::clone(store);
             Cell::new(format!("ablate-width/{bench}"), move || {
-                let (single, none_pct, local_pct) = ablate::width4(bench, scaled(bench, divisor))?;
+                let ((single, none_pct, local_pct), cost) =
+                    ablate::width4(&store, bench, bench.scaled(divisor))?;
                 let line = format!(
                     "{:<10} {:>12} {:>11.1}% {:>11.1}%",
                     bench.name(),
@@ -384,7 +412,7 @@ fn plan_ablate_width(plan: &mut Plan, divisor: u32) {
                     none_pct,
                     local_pct
                 );
-                Ok((Payload::Text(line), single))
+                Ok((Payload::Text(line), cost))
             })
         })
         .collect();
@@ -401,24 +429,26 @@ fn plan_ablate_width(plan: &mut Plan, divisor: u32) {
     );
 }
 
-fn plan_schedulers(plan: &mut Plan, divisor: u32) {
+fn plan_schedulers(plan: &mut Plan, store: &Arc<TraceStore>, divisor: u32) {
     let cells = Benchmark::ALL
         .iter()
         .map(|&bench| {
+            let store = Arc::clone(store);
             Cell::new(format!("schedulers/{bench}"), move || {
-                let mut lines = Vec::new();
-                let mut cycles_total = 0;
-                for (kind, cycles, dual) in ablate::schedulers(bench, scaled(bench, divisor))? {
-                    lines.push(format!(
-                        "{:<10} {:>22} {:>10} {:>6.1}%",
-                        bench.name(),
-                        kind,
-                        cycles,
-                        dual
-                    ));
-                    cycles_total += cycles;
-                }
-                Ok((Payload::Text(lines.join("\n")), cycles_total))
+                let (rows, cost) = ablate::schedulers(&store, bench, bench.scaled(divisor))?;
+                let lines: Vec<String> = rows
+                    .into_iter()
+                    .map(|(kind, cycles, dual)| {
+                        format!(
+                            "{:<10} {:>22} {:>10} {:>6.1}%",
+                            bench.name(),
+                            kind,
+                            cycles,
+                            dual
+                        )
+                    })
+                    .collect();
+                Ok((Payload::Text(lines.join("\n")), cost))
             })
         })
         .collect();
@@ -441,9 +471,9 @@ fn plan_mix(plan: &mut Plan, divisor: u32) {
         .iter()
         .map(|&bench| {
             Cell::new(format!("mix/{bench}"), move || {
-                let il = bench.build(scaled(bench, divisor));
+                let il = bench.build(bench.scaled(divisor));
                 let report = analyze(&il).map_err(mcl_bench::Error::Vm)?;
-                Ok((Payload::Text(report.render_row()), 0))
+                Ok((Payload::Text(report.render_row()), CellCost::default()))
             })
         })
         .collect();
@@ -461,9 +491,9 @@ fn plan_mix(plan: &mut Plan, divisor: u32) {
     );
 }
 
-fn plan_all(plan: &mut Plan, divisor: u32) {
+fn plan_all(plan: &mut Plan, store: &Arc<TraceStore>, divisor: u32) {
     plan_table1(plan);
-    let table2_cells = plan_table2(plan, divisor, mcl_only().as_deref());
+    let table2_cells = plan_table2(plan, store, divisor, mcl_only().as_deref());
     plan_scenarios(plan);
     plan_fig6(plan);
     // The crossover analysis derives from Table 2's rows; reuse them
@@ -473,16 +503,16 @@ fn plan_all(plan: &mut Plan, divisor: u32) {
     if mcl_only().is_none() {
         plan_crossover(plan, table2_cells);
     } else {
-        let full_rows = plan_table2_cells(plan, divisor, None);
+        let full_rows = plan_table2_cells(plan, store, divisor, None);
         plan_crossover(plan, full_rows);
     }
-    plan_ablate_buffers(plan, divisor);
-    plan_ablate_threshold(plan, divisor);
-    plan_ablate_dq(plan, divisor);
-    plan_ablate_globals(plan, divisor);
-    plan_ablate_width(plan, divisor);
-    plan_ablate_unroll(plan, divisor);
-    plan_schedulers(plan, divisor);
+    plan_ablate_buffers(plan, store, divisor);
+    plan_ablate_threshold(plan, store, divisor);
+    plan_ablate_dq(plan, store, divisor);
+    plan_ablate_globals(plan, store, divisor);
+    plan_ablate_width(plan, store, divisor);
+    plan_ablate_unroll(plan, store, divisor);
+    plan_schedulers(plan, store, divisor);
     plan_mix(plan, divisor);
 }
 
@@ -490,7 +520,7 @@ fn run_pipeline(bench_name: &str) -> Result<(), mcl_bench::Error> {
     use mcl_core::{render_pipeline, PipeViewOptions, Processor, ProcessorConfig};
     use mcl_isa::assign::RegisterAssignment;
     use mcl_sched::SchedulerKind;
-    use mcl_trace::vm::trace_program;
+    use mcl_trace::vm::trace_program_packed;
 
     let Some(bench) = Benchmark::ALL.iter().find(|b| b.name() == bench_name) else {
         eprintln!("unknown benchmark `{bench_name}`");
@@ -501,9 +531,9 @@ fn run_pipeline(bench_name: &str) -> Result<(), mcl_bench::Error> {
     let scheduled = mcl_sched::SchedulePipeline::new(SchedulerKind::Local, &assign)
         .run(&il)
         .map_err(mcl_bench::Error::Schedule)?;
-    let (trace, _) = trace_program(&scheduled.program).map_err(mcl_bench::Error::Vm)?;
+    let (trace, _) = trace_program_packed(&scheduled.program, 0).map_err(mcl_bench::Error::Vm)?;
     let result = Processor::new(ProcessorConfig::dual_cluster_8way().with_events())
-        .run_trace(&trace)
+        .run_packed(&trace)
         .map_err(mcl_bench::Error::Sim)?;
     let events = result.events.expect("events enabled");
     // Show a steady-state window of 48 instructions.

@@ -36,9 +36,11 @@ pub mod figure6;
 pub mod json;
 pub mod runner;
 pub mod scenarios;
+pub mod store;
 pub mod table1;
 pub mod table2;
 
+pub use store::{SimProduct, TraceRequest, TraceStore};
 pub use table2::{table2, table2_row, Table2Row};
 
 /// Harness errors.
@@ -50,6 +52,10 @@ pub enum Error {
     Vm(VmError),
     /// Simulation failed.
     Sim(SimError),
+    /// A memoized build in the shared [`TraceStore`] failed (the
+    /// underlying error, rendered — cached failures are served to every
+    /// waiter).
+    Store(String),
 }
 
 impl fmt::Display for Error {
@@ -58,6 +64,7 @@ impl fmt::Display for Error {
             Error::Schedule(e) => write!(f, "scheduling: {e}"),
             Error::Vm(e) => write!(f, "trace generation: {e}"),
             Error::Sim(e) => write!(f, "simulation: {e}"),
+            Error::Store(e) => write!(f, "trace store: {e}"),
         }
     }
 }
@@ -123,18 +130,37 @@ pub fn run_all_configs(
     bench: Benchmark,
     scale: u32,
 ) -> Result<(SimStats, SimStats, SimStats), Error> {
-    let il = bench.build(scale);
-    let dual_assign = RegisterAssignment::even_odd_with_default_globals(2);
+    let (stats, _) = run_all_configs_with(&TraceStore::new(), bench, scale)?;
+    Ok(stats)
+}
 
+/// [`run_all_configs`] routed through a shared [`TraceStore`], also
+/// returning the cell cost (cycles of all three runs plus the
+/// build/simulate wall-time split).
+///
+/// # Errors
+///
+/// Propagates scheduling/trace/simulation failures.
+pub fn run_all_configs_with(
+    store: &TraceStore,
+    bench: Benchmark,
+    scale: u32,
+) -> Result<((SimStats, SimStats, SimStats), runner::CellCost), Error> {
     // The paper compiles ONE native binary (no cluster knowledge) and
     // runs it on both machines; the rescheduled binary runs on the dual.
-    let native = schedule_and_trace(&il, SchedulerKind::Naive, &dual_assign, None)?;
-    let local = schedule_and_trace(&il, SchedulerKind::Local, &dual_assign, None)?;
+    let native = TraceRequest::new(bench, scale, SchedulerKind::Naive);
+    let local = TraceRequest::new(bench, scale, SchedulerKind::Local);
 
-    let single = simulate(&ProcessorConfig::single_cluster_8way(), &native)?;
-    let dual_none = simulate(&ProcessorConfig::dual_cluster_8way(), &native)?;
-    let dual_local = simulate(&ProcessorConfig::dual_cluster_8way(), &local)?;
-    Ok((single, dual_none, dual_local))
+    let mut cost = runner::CellCost::default();
+    let single = store.sim(&native, &ProcessorConfig::single_cluster_8way())?;
+    let dual_none = store.sim(&native, &ProcessorConfig::dual_cluster_8way())?;
+    let dual_local = store.sim(&local, &ProcessorConfig::dual_cluster_8way())?;
+    for product in [&single, &dual_none, &dual_local] {
+        cost.simulated_cycles += product.stats.cycles;
+        cost.trace_build_seconds += product.trace_build_seconds;
+        cost.simulate_seconds += product.simulate_seconds;
+    }
+    Ok(((single.stats, dual_none.stats, dual_local.stats), cost))
 }
 
 /// The cycle-time crossover analysis of Sections 4.2 and 5.

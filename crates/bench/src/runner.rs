@@ -8,32 +8,64 @@
 //! finished first. Rendering happens after collection, which is what
 //! makes `--jobs N` output byte-identical to a serial run.
 //!
-//! The pool also records per-cell wall time and simulated cycles; the
-//! driver writes them to `BENCH_repro.json` via [`report_json`].
+//! The pool also records per-cell wall time, simulated cycles, and the
+//! trace-build/simulate split reported by the cells (see [`CellCost`]);
+//! the driver writes them to `BENCH_repro.json` via [`report_json`].
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
 use crate::json::Json;
+use crate::store::StoreCounters;
 use crate::Error;
+
+/// What one cell spent: simulated cycles it accounted for, and its wall
+/// time split into trace building (scheduling + VM interpretation,
+/// including time spent waiting on or hitting the shared trace store)
+/// and cycle-level simulation.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CellCost {
+    /// Simulated cycles the cell accounted for (0 for cells that only
+    /// render static material).
+    pub simulated_cycles: u64,
+    /// Seconds spent obtaining traces (store hits cost ~0).
+    pub trace_build_seconds: f64,
+    /// Seconds spent in cycle-level simulation (store hits cost ~0).
+    pub simulate_seconds: f64,
+}
+
+impl CellCost {
+    /// A cost accounting only simulated cycles (for cells that do not
+    /// route work through the trace store).
+    #[must_use]
+    pub fn cycles(simulated_cycles: u64) -> CellCost {
+        CellCost { simulated_cycles, ..CellCost::default() }
+    }
+
+    /// Accumulates another cost into this one.
+    pub fn add(&mut self, other: &CellCost) {
+        self.simulated_cycles += other.simulated_cycles;
+        self.trace_build_seconds += other.trace_build_seconds;
+        self.simulate_seconds += other.simulate_seconds;
+    }
+}
 
 /// One independent unit of work.
 ///
-/// The closure returns its payload plus the number of simulated cycles
-/// it accounted for (0 for cells that only render static material).
+/// The closure returns its payload plus the [`CellCost`] it incurred.
 pub struct Cell<R> {
     /// Stable identifier, e.g. `table2/compress`.
     pub id: String,
     /// The work itself.
-    pub run: Box<dyn FnOnce() -> Result<(R, u64), Error> + Send>,
+    pub run: Box<dyn FnOnce() -> Result<(R, CellCost), Error> + Send>,
 }
 
 impl<R> Cell<R> {
     /// Convenience constructor.
     pub fn new(
         id: impl Into<String>,
-        run: impl FnOnce() -> Result<(R, u64), Error> + Send + 'static,
+        run: impl FnOnce() -> Result<(R, CellCost), Error> + Send + 'static,
     ) -> Cell<R> {
         Cell { id: id.into(), run: Box::new(run) }
     }
@@ -48,6 +80,10 @@ pub struct CellMetric {
     pub wall_seconds: f64,
     /// Simulated cycles the cell accounted for.
     pub simulated_cycles: u64,
+    /// Seconds the cell spent obtaining traces.
+    pub trace_build_seconds: f64,
+    /// Seconds the cell spent in cycle-level simulation.
+    pub simulate_seconds: f64,
 }
 
 impl CellMetric {
@@ -62,6 +98,9 @@ impl CellMetric {
         }
     }
 }
+
+/// One finished cell, pre-collection: its id, outcome, and wall time.
+type FinishedCell<R> = (String, Result<(R, CellCost), Error>, f64);
 
 /// The default worker count: the machine's available parallelism.
 #[must_use]
@@ -87,7 +126,7 @@ pub fn run_cells<R: Send>(
     cells: Vec<Cell<R>>,
 ) -> Result<(Vec<R>, Vec<CellMetric>), Error> {
     let n = cells.len();
-    let mut slots: Vec<(String, Result<(R, u64), Error>, f64)> = if jobs <= 1 || n <= 1 {
+    let mut slots: Vec<FinishedCell<R>> = if jobs <= 1 || n <= 1 {
         cells
             .into_iter()
             .map(|cell| {
@@ -99,7 +138,7 @@ pub fn run_cells<R: Send>(
     } else {
         let work: Vec<Mutex<Option<Cell<R>>>> =
             cells.into_iter().map(|c| Mutex::new(Some(c))).collect();
-        let done: Vec<Mutex<Option<(String, Result<(R, u64), Error>, f64)>>> =
+        let done: Vec<Mutex<Option<FinishedCell<R>>>> =
             (0..n).map(|_| Mutex::new(None)).collect();
         let next = AtomicUsize::new(0);
         std::thread::scope(|s| {
@@ -125,12 +164,24 @@ pub fn run_cells<R: Send>(
     let mut payloads = Vec::with_capacity(n);
     let mut metrics = Vec::with_capacity(n);
     for (id, result, wall_seconds) in slots.drain(..) {
-        let (payload, simulated_cycles) = result?;
+        let (payload, cost) = result?;
         payloads.push(payload);
-        metrics.push(CellMetric { id, wall_seconds, simulated_cycles });
+        metrics.push(CellMetric {
+            id,
+            wall_seconds,
+            simulated_cycles: cost.simulated_cycles,
+            trace_build_seconds: cost.trace_build_seconds,
+            simulate_seconds: cost.simulate_seconds,
+        });
     }
     Ok((payloads, metrics))
 }
+
+/// The `BENCH_repro.json` schema version. Version 2 added the top-level
+/// aggregates (`schema_version`, `total_trace_build_seconds`,
+/// `total_simulate_seconds`, `store`) and the per-cell
+/// trace-build/simulate split.
+pub const REPORT_SCHEMA_VERSION: u64 = 2;
 
 /// Builds the `BENCH_repro.json` report.
 #[must_use]
@@ -139,11 +190,21 @@ pub fn report_json(
     divisor: u32,
     jobs: usize,
     total_wall_seconds: f64,
+    store: &StoreCounters,
     metrics: &[CellMetric],
 ) -> Json {
     let total_cycles: u64 = metrics.iter().map(|m| m.simulated_cycles).sum();
+    let total_build: f64 = metrics.iter().map(|m| m.trace_build_seconds).sum();
+    let total_sim: f64 = metrics.iter().map(|m| m.simulate_seconds).sum();
+    let mut store_json = Json::object();
+    store_json
+        .field("trace_hits", store.trace_hits.into())
+        .field("trace_misses", store.trace_misses.into())
+        .field("sim_hits", store.sim_hits.into())
+        .field("sim_misses", store.sim_misses.into());
     let mut report = Json::object();
     report
+        .field("schema_version", REPORT_SCHEMA_VERSION.into())
         .field("command", command.into())
         .field("divisor", u64::from(divisor).into())
         .field("jobs", (jobs as u64).into())
@@ -157,6 +218,9 @@ pub fn report_json(
                 0.0.into()
             },
         )
+        .field("total_trace_build_seconds", total_build.into())
+        .field("total_simulate_seconds", total_sim.into())
+        .field("store", store_json)
         .field(
             "cells",
             Json::Array(
@@ -167,7 +231,9 @@ pub fn report_json(
                         cell.field("id", m.id.as_str().into())
                             .field("wall_seconds", m.wall_seconds.into())
                             .field("simulated_cycles", m.simulated_cycles.into())
-                            .field("simulated_cycles_per_second", m.cycles_per_second().into());
+                            .field("simulated_cycles_per_second", m.cycles_per_second().into())
+                            .field("trace_build_seconds", m.trace_build_seconds.into())
+                            .field("simulate_seconds", m.simulate_seconds.into());
                         cell
                     })
                     .collect(),
@@ -187,9 +253,10 @@ pub fn write_report(
     divisor: u32,
     jobs: usize,
     total_wall_seconds: f64,
+    store: &StoreCounters,
     metrics: &[CellMetric],
 ) -> std::io::Result<()> {
-    let json = report_json(command, divisor, jobs, total_wall_seconds, metrics);
+    let json = report_json(command, divisor, jobs, total_wall_seconds, store, metrics);
     std::fs::write(path, json.render() + "\n")
 }
 
@@ -206,7 +273,7 @@ mod tests {
                     std::thread::sleep(std::time::Duration::from_millis(
                         (n - i) as u64 * 2,
                     ));
-                    Ok((i, i as u64 * 10))
+                    Ok((i, CellCost::cycles(i as u64 * 10)))
                 })
             })
             .collect()
@@ -237,7 +304,7 @@ mod tests {
                     if i >= 2 {
                         Err(Error::Vm(mcl_trace::VmError::MaxStepsExceeded { limit: i as u64 }))
                     } else {
-                        Ok((i, 0))
+                        Ok((i, CellCost::default()))
                     }
                 })
             })
@@ -254,11 +321,20 @@ mod tests {
             id: "table2/compress".into(),
             wall_seconds: 2.0,
             simulated_cycles: 100,
+            trace_build_seconds: 0.5,
+            simulate_seconds: 1.25,
         }];
-        let json = report_json("table2", 1, 8, 2.5, &metrics).render();
-        assert!(json.starts_with("{\"command\":\"table2\","));
+        let counters = StoreCounters { trace_hits: 3, trace_misses: 1, sim_hits: 2, sim_misses: 4 };
+        let json = report_json("table2", 1, 8, 2.5, &counters, &metrics).render();
+        assert!(json.starts_with("{\"schema_version\":2,\"command\":\"table2\","));
         assert!(json.contains("\"total_simulated_cycles\":100"));
-        assert!(json.contains("\"simulated_cycles_per_second\":50.000000"));
+        assert!(json.contains("\"simulated_cycles_per_second\":40.000000"));
+        assert!(json.contains("\"total_trace_build_seconds\":0.500000"));
+        assert!(json.contains("\"total_simulate_seconds\":1.250000"));
+        assert!(json.contains(
+            "\"store\":{\"trace_hits\":3,\"trace_misses\":1,\"sim_hits\":2,\"sim_misses\":4}"
+        ));
         assert!(json.contains("\"cells\":[{\"id\":\"table2/compress\""));
+        assert!(json.contains("\"trace_build_seconds\":0.500000"));
     }
 }

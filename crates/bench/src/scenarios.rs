@@ -2,7 +2,7 @@
 //! scenarios.
 
 use mcl_core::{Processor, ProcessorConfig};
-use mcl_trace::vm::trace_program;
+use mcl_trace::vm::trace_program_packed;
 use mcl_workloads::scenarios::{all, Scenario};
 
 use crate::Error;
@@ -34,9 +34,9 @@ pub fn run_all() -> Result<Vec<ScenarioTimeline>, Error> {
 }
 
 fn run_one(s: Scenario) -> Result<ScenarioTimeline, Error> {
-    let (trace, _) = trace_program(&s.program)?;
+    let (trace, _) = trace_program_packed(&s.program, 0)?;
     let result = Processor::new(ProcessorConfig::dual_cluster_8way().with_events())
-        .run_trace(&trace)?;
+        .run_packed(&trace)?;
     let events = result.events.expect("events enabled");
     Ok(ScenarioTimeline {
         number: s.number,

@@ -4,7 +4,8 @@
 use mcl_core::{speedup_percent, SimStats};
 use mcl_workloads::Benchmark;
 
-use crate::{run_all_configs, Error};
+use crate::runner::CellCost;
+use crate::{run_all_configs_with, Error, TraceStore};
 
 /// One row of Table 2, with the measurements behind it.
 #[derive(Debug, Clone)]
@@ -35,8 +36,22 @@ pub struct Table2Row {
 ///
 /// Propagates scheduling/trace/simulation failures.
 pub fn table2_row(bench: Benchmark, scale: u32) -> Result<Table2Row, Error> {
-    let (single, dual_none, dual_local) = run_all_configs(bench, scale)?;
-    Ok(Table2Row {
+    Ok(table2_row_with(&TraceStore::new(), bench, scale)?.0)
+}
+
+/// [`table2_row`] routed through a shared [`TraceStore`], also returning
+/// the cell cost.
+///
+/// # Errors
+///
+/// Propagates scheduling/trace/simulation failures.
+pub fn table2_row_with(
+    store: &TraceStore,
+    bench: Benchmark,
+    scale: u32,
+) -> Result<(Table2Row, CellCost), Error> {
+    let ((single, dual_none, dual_local), cost) = run_all_configs_with(store, bench, scale)?;
+    let row = Table2Row {
         name: bench.name().to_owned(),
         single_cycles: single.cycles,
         dual_none_cycles: dual_none.cycles,
@@ -45,11 +60,13 @@ pub fn table2_row(bench: Benchmark, scale: u32) -> Result<Table2Row, Error> {
         local_pct: speedup_percent(dual_local.cycles, single.cycles),
         paper: bench.paper_table2(),
         stats: (single, dual_none, dual_local),
-    })
+    };
+    Ok((row, cost))
 }
 
 /// Runs the full Table 2 at each benchmark's default scale (or scaled by
-/// `scale_divisor` for quick runs).
+/// `scale_divisor` for quick runs), sharing one trace store across the
+/// rows.
 ///
 /// # Errors
 ///
@@ -67,12 +84,13 @@ pub fn table2_filtered(
     scale_divisor: u32,
     only: Option<&str>,
 ) -> Result<Vec<Table2Row>, Error> {
+    let store = TraceStore::new();
     Benchmark::ALL
         .iter()
         .filter(|b| only.is_none_or(|name| b.name() == name))
         .map(|&b| {
             let scale = (b.default_scale() / scale_divisor.max(1)).max(1);
-            table2_row(b, scale)
+            Ok(table2_row_with(&store, b, scale)?.0)
         })
         .collect()
 }

@@ -1,10 +1,12 @@
 //! Determinism regression for the experiment driver: the same
 //! (workload, configuration) cell must produce identical statistics
-//! when run twice serially and when run through the parallel runner,
-//! regardless of the job count.
+//! when run twice serially, when served from a warm trace store, and
+//! when run through the parallel runner, regardless of the job count.
+
+use std::sync::Arc;
 
 use mcl_bench::runner::{run_cells, Cell};
-use mcl_bench::{table2, Table2Row};
+use mcl_bench::{table2, Table2Row, TraceStore};
 use mcl_workloads::Benchmark;
 
 /// A scale small enough for tests but large enough to exercise
@@ -30,6 +32,25 @@ fn same_cell_twice_serially_is_identical() {
 }
 
 #[test]
+fn store_cached_rows_match_fresh_rows() {
+    // A warm store must serve bit-identical statistics: run every row
+    // once against a fresh store each time (all misses), then again
+    // against one shared store (first pass seeds it, second pass is all
+    // hits).
+    let shared = TraceStore::new();
+    for bench in Benchmark::ALL {
+        let scale = small_scale(bench);
+        let fresh = table2::table2_row(bench, scale).expect("runs");
+        let (seeded, _) = table2::table2_row_with(&shared, bench, scale).expect("runs");
+        let (served, _) = table2::table2_row_with(&shared, bench, scale).expect("runs");
+        assert_rows_equal(&seeded, &fresh, "store miss vs fresh store");
+        assert_rows_equal(&served, &fresh, "store hit vs fresh store");
+    }
+    let counters = shared.counters();
+    assert!(counters.sim_hits > 0, "second pass must hit the sim cache");
+}
+
+#[test]
 fn parallel_runner_matches_serial_execution() {
     // Reference: every benchmark's row computed directly, in order.
     let reference: Vec<Table2Row> = Benchmark::ALL
@@ -37,21 +58,24 @@ fn parallel_runner_matches_serial_execution() {
         .map(|&b| table2::table2_row(b, small_scale(b)).expect("runs"))
         .collect();
 
-    let make_cells = || -> Vec<Cell<Table2Row>> {
+    let make_cells = |store: &Arc<TraceStore>| -> Vec<Cell<Table2Row>> {
         Benchmark::ALL
             .iter()
             .map(|&b| {
+                let store = Arc::clone(store);
                 Cell::new(format!("table2/{b}"), move || {
-                    let row = table2::table2_row(b, small_scale(b))?;
-                    let cycles = row.single_cycles;
-                    Ok((row, cycles))
+                    table2::table2_row_with(&store, b, small_scale(b))
                 })
             })
             .collect()
     };
 
     for jobs in [1, 4] {
-        let (rows, metrics) = run_cells(jobs, make_cells()).expect("runs");
+        // Each job count gets its own store, mirroring one `repro`
+        // invocation; under 4 jobs the workers race to build and share
+        // traces, which must not change any result.
+        let store = Arc::new(TraceStore::new());
+        let (rows, metrics) = run_cells(jobs, make_cells(&store)).expect("runs");
         assert_eq!(rows.len(), reference.len());
         for (got, want) in rows.iter().zip(&reference) {
             assert_rows_equal(got, want, &format!("runner with {jobs} jobs"));

@@ -15,6 +15,7 @@ use mcl_trace::TraceOp;
 /// 4. dual execution for a global destination (sources all readable by
 ///    the master);
 /// 5. dual execution with both an operand forward and a global result.
+///
 /// The physical-register allocations of one instruction, as
 /// (cluster, bank) pairs — at most one per cluster, held inline so the
 /// dispatch hot path never allocates.

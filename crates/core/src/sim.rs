@@ -16,7 +16,7 @@ use std::fmt;
 use mcl_bpred::BranchPredictor;
 use mcl_isa::{ArchReg, ClusterId, InstrClass, RegBank};
 use mcl_mem::{Access, Cache};
-use mcl_trace::{vm::trace_program, Program, TraceOp, VmError};
+use mcl_trace::{vm::trace_program, PackedTrace, Program, TraceOp, TraceSource, VmError};
 
 use crate::config::ProcessorConfig;
 use crate::dist::{distribute, Distribution};
@@ -143,6 +143,18 @@ impl Processor {
     ///
     /// See [`SimError`].
     pub fn run_trace(&mut self, trace: &[TraceOp]) -> Result<SimResult, SimError> {
+        let mut sim = Sim::new(&self.config, trace);
+        sim.run()
+    }
+
+    /// Simulates a packed dynamic instruction stream (same timing model
+    /// and results as [`Processor::run_trace`], ~3× less memory traffic
+    /// per fetched instruction).
+    ///
+    /// # Errors
+    ///
+    /// See [`SimError`].
+    pub fn run_packed(&mut self, trace: &PackedTrace) -> Result<SimResult, SimError> {
         let mut sim = Sim::new(&self.config, trace);
         sim.run()
     }
@@ -327,10 +339,10 @@ enum FetchStall {
     Replay,
 }
 
-struct Sim<'a> {
+struct Sim<'a, T: TraceSource + ?Sized> {
     cfg: &'a ProcessorConfig,
     assign: mcl_isa::assign::RegisterAssignment,
-    trace: &'a [TraceOp],
+    trace: &'a T,
     cursor: usize,
     now: u64,
 
@@ -404,8 +416,8 @@ struct Sim<'a> {
     reassign_draining: bool,
 }
 
-impl<'a> Sim<'a> {
-    fn new(cfg: &'a ProcessorConfig, trace: &'a [TraceOp]) -> Sim<'a> {
+impl<'a, T: TraceSource + ?Sized> Sim<'a, T> {
+    fn new(cfg: &'a ProcessorConfig, trace: &'a T) -> Sim<'a, T> {
         let assign = cfg.register_assignment();
         let (int_free, fp_free) = free_lists_for(cfg, &assign);
         assert!(cfg.fp_dividers as usize <= MAX_DIVIDERS, "too many divider units");
@@ -1047,7 +1059,7 @@ impl<'a> Sim<'a> {
         let line_bytes = self.cfg.icache.line_bytes as u64;
 
         while dispatched < self.cfg.fetch_width && self.cursor < self.trace.len() {
-            let op = self.trace[self.cursor];
+            let op = self.trace.get(self.cursor);
 
             // Dynamic register reassignment (Section 6): the first
             // dispatch of a trigger PC drains the pipeline, pays the
@@ -1754,7 +1766,7 @@ mod tests {
         let p = b.finish().unwrap();
         let (trace, _) = trace_program(&p).unwrap();
         let cfg = ProcessorConfig::dual_cluster_8way();
-        let mut sim = Sim::new(&cfg, &trace);
+        let mut sim = Sim::new(&cfg, trace.as_slice());
         // The first fetch group takes a cold icache miss; step cycles
         // until the whole group has dispatched.
         let mut dispatched = 0;

@@ -306,6 +306,20 @@ impl Opcode {
             Stq, Ldt, Stt, Br, Beq, Bne, Blt, Bge, Jmp, Jsr, Ret,
         ]
     }
+
+    /// A compact byte encoding of the opcode (its declaration index),
+    /// used by packed trace records. Inverse of [`Opcode::from_code`].
+    #[must_use]
+    pub fn code(self) -> u8 {
+        self as u8
+    }
+
+    /// Decodes an opcode byte produced by [`Opcode::code`]; `None` for
+    /// out-of-range bytes.
+    #[must_use]
+    pub fn from_code(code: u8) -> Option<Opcode> {
+        Opcode::all().get(usize::from(code)).copied()
+    }
 }
 
 impl fmt::Display for Opcode {
@@ -363,6 +377,16 @@ mod tests {
         assert_eq!(Opcode::Cmpteq.dest_bank(), Some(RegBank::Int));
         assert_eq!(Opcode::Cmptlt.dest_bank(), Some(RegBank::Int));
         assert_eq!(Opcode::Cmpteq.src_banks(), [Some(RegBank::Fp), Some(RegBank::Fp)]);
+    }
+
+    #[test]
+    fn byte_codes_round_trip() {
+        for (i, &op) in Opcode::all().iter().enumerate() {
+            assert_eq!(usize::from(op.code()), i);
+            assert_eq!(Opcode::from_code(op.code()), Some(op));
+        }
+        assert_eq!(Opcode::from_code(Opcode::all().len() as u8), None);
+        assert_eq!(Opcode::from_code(u8::MAX), None);
     }
 
     #[test]

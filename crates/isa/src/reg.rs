@@ -144,6 +144,22 @@ impl ArchReg {
         }
     }
 
+    /// The inverse of [`ArchReg::dense_index`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 64`.
+    #[must_use]
+    pub fn from_dense_index(index: usize) -> ArchReg {
+        let per_bank = usize::from(REGS_PER_BANK);
+        if index < per_bank {
+            ArchReg { bank: RegBank::Int, index: index as u8 }
+        } else {
+            assert!(index < 2 * per_bank, "dense index {index} out of range");
+            ArchReg { bank: RegBank::Fp, index: (index - per_bank) as u8 }
+        }
+    }
+
     /// Iterates over every architectural register in both banks.
     pub fn all() -> impl Iterator<Item = ArchReg> {
         RegBank::ALL
@@ -194,6 +210,19 @@ mod tests {
             seen[idx] = true;
         }
         assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn dense_index_round_trips() {
+        for reg in ArchReg::all() {
+            assert_eq!(ArchReg::from_dense_index(reg.dense_index()), reg);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn from_dense_index_rejects_out_of_range() {
+        let _ = ArchReg::from_dense_index(64);
     }
 
     #[test]

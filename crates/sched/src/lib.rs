@@ -65,5 +65,6 @@ pub use liveness::Liveness;
 pub use partition::{LocalScheduler, Partition, PartitionConfig};
 pub use unroll::unroll_self_loops;
 pub use pipeline::{
-    ScheduleError, ScheduleOptions, SchedulePipeline, ScheduleStats, Scheduled, SchedulerKind,
+    PreparedIl, ScheduleError, ScheduleOptions, SchedulePipeline, ScheduleStats, Scheduled,
+    SchedulerKind,
 };

@@ -9,7 +9,7 @@ use crate::listsched::list_schedule;
 use crate::partition::{LocalScheduler, Partition, PartitionConfig};
 
 /// Which scheduler produces the register assignment.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SchedulerKind {
     /// Cluster-blind allocation — models the paper's *native binary*
     /// ("none" column of Table 2).
@@ -64,6 +64,42 @@ pub struct ScheduleStats {
     pub profiled_steps: u64,
     /// Live ranges assigned to each cluster by the partitioner.
     pub partition_counts: Vec<usize>,
+}
+
+/// The kind-independent front half of the pipeline: the prepass-scheduled
+/// intermediate-language program plus its execution profile.
+///
+/// Produced by [`SchedulePipeline::prepare`] and consumed by
+/// [`SchedulePipeline::run_prepared`]; callers that schedule one program
+/// under several scheduler kinds or partitioner thresholds (as the
+/// benchmark harness does) prepare once and share the result — the
+/// profiling run is by far the most expensive step.
+#[derive(Debug, Clone)]
+pub struct PreparedIl {
+    scheduled_il: Program<Vreg>,
+    profile: Profile,
+    profiled_steps: u64,
+}
+
+impl PreparedIl {
+    /// The prepass-scheduled intermediate-language program.
+    #[must_use]
+    pub fn scheduled_il(&self) -> &Program<Vreg> {
+        &self.scheduled_il
+    }
+
+    /// The per-block execution profile.
+    #[must_use]
+    pub fn profile(&self) -> &Profile {
+        &self.profile
+    }
+
+    /// Instructions executed by the profiling run (0 when a profile was
+    /// supplied via [`ScheduleOptions::profile`]).
+    #[must_use]
+    pub fn profiled_steps(&self) -> u64 {
+        self.profiled_steps
+    }
 }
 
 /// A scheduled (machine-level) program plus the decisions behind it.
@@ -161,25 +197,37 @@ impl SchedulePipeline {
         self.kind
     }
 
-    /// Runs the pipeline on an IL program.
+    /// Runs the pipeline on an IL program — equivalent to
+    /// [`SchedulePipeline::prepare`] followed by
+    /// [`SchedulePipeline::run_prepared`].
     ///
     /// # Errors
     ///
     /// See [`ScheduleError`].
     pub fn run(&self, il: &Program<Vreg>) -> Result<Scheduled, ScheduleError> {
+        self.run_prepared(&self.prepare(il)?)
+    }
+
+    /// The kind-independent front half: validation, prepass code
+    /// scheduling (step 2), and profiling (footnote 1 of Section 3.5).
+    ///
+    /// The result depends only on the program and the options' prepass /
+    /// profile / latency fields — not on the scheduler kind or the
+    /// imbalance threshold — so it can be shared across
+    /// [`SchedulePipeline::run_prepared`] calls with different kinds.
+    ///
+    /// # Errors
+    ///
+    /// See [`ScheduleError`].
+    pub fn prepare(&self, il: &Program<Vreg>) -> Result<PreparedIl, ScheduleError> {
         il.validate()?;
 
         // Step 2: prepass code scheduling.
-        let mut scheduled_il = if self.options.prepass_schedule {
+        let scheduled_il = if self.options.prepass_schedule {
             list_schedule(il, &self.options.latencies)
         } else {
             il.clone()
         };
-
-        // Step 3 (ablation): optionally ignore global designations.
-        if self.kind == SchedulerKind::LocalNoGlobals {
-            scheduled_il.global_candidates.clear();
-        }
 
         // Profiling (footnote 1 of Section 3.5).
         let mut profiled_steps = 0;
@@ -192,21 +240,45 @@ impl SchedulePipeline {
             }
         };
 
+        Ok(PreparedIl { scheduled_il, profile, profiled_steps })
+    }
+
+    /// The kind-dependent back half: live-range partitioning (step 4)
+    /// and register allocation (step 5) over a prepared program.
+    ///
+    /// # Errors
+    ///
+    /// See [`ScheduleError`].
+    pub fn run_prepared(&self, prepared: &PreparedIl) -> Result<Scheduled, ScheduleError> {
+        // Step 3 (ablation): optionally ignore global designations. The
+        // designation is invisible to the profiling VM, so clearing it
+        // here (on a copy) matches clearing it before profiling.
+        let no_globals;
+        let scheduled_il = if self.kind == SchedulerKind::LocalNoGlobals {
+            let mut p = prepared.scheduled_il.clone();
+            p.global_candidates.clear();
+            no_globals = p;
+            &no_globals
+        } else {
+            &prepared.scheduled_il
+        };
+        let profile = &prepared.profile;
+
         // Step 4: live-range partitioning.
         let multicluster = self.assignment.clusters() > 1;
         let mut partition = match (self.kind, multicluster) {
-            (_, false) | (SchedulerKind::Naive, _) => Partition::single_cluster(&scheduled_il),
+            (_, false) | (SchedulerKind::Naive, _) => Partition::single_cluster(scheduled_il),
             (SchedulerKind::Local | SchedulerKind::LocalNoGlobals, true) => {
                 let config = PartitionConfig {
                     clusters: self.assignment.clusters(),
                     imbalance_threshold: self.options.imbalance_threshold,
                 };
-                LocalScheduler::new(config).partition(&scheduled_il, &profile)
+                LocalScheduler::new(config).partition(scheduled_il, profile)
             }
             (SchedulerKind::RoundRobin, true) => {
-                Partition::round_robin(&scheduled_il, self.assignment.clusters())
+                Partition::round_robin(scheduled_il, self.assignment.clusters())
             }
-            (SchedulerKind::BankSplit, true) => Partition::by_bank(&scheduled_il),
+            (SchedulerKind::BankSplit, true) => Partition::by_bank(scheduled_il),
         };
 
         // Step 5: register allocation (spill code inserted as needed).
@@ -215,13 +287,17 @@ impl SchedulePipeline {
             _ => AllocatorKind::ClusterAware,
         };
         let Allocation { program, map: _, stats: spill } =
-            allocate(&scheduled_il, &mut partition, &self.assignment, alloc_kind)?;
+            allocate(scheduled_il, &mut partition, &self.assignment, alloc_kind)?;
 
         let partition_counts = partition.counts(self.assignment.clusters().max(1));
         Ok(Scheduled {
             program,
             partition,
-            stats: ScheduleStats { spill, profiled_steps, partition_counts },
+            stats: ScheduleStats {
+                spill,
+                profiled_steps: prepared.profiled_steps,
+                partition_counts,
+            },
         })
     }
 }

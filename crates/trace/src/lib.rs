@@ -50,6 +50,7 @@ pub mod analysis;
 pub mod asm;
 pub mod builder;
 pub mod instr;
+pub mod packed;
 pub mod profile;
 pub mod program;
 pub mod traceop;
@@ -59,6 +60,7 @@ pub mod vreg;
 pub use asm::ParseError;
 pub use builder::ProgramBuilder;
 pub use instr::Instr;
+pub use packed::{PackedOp, PackedTrace, TraceSource};
 pub use profile::Profile;
 pub use program::{Block, BlockId, Layout, Program, ValidateError};
 pub use traceop::{BranchInfo, TraceOp};

@@ -1,0 +1,353 @@
+//! Compact trace records for the simulator's fetch/dispatch loop.
+//!
+//! A [`TraceOp`] is the lossless, ergonomic view of one dynamic
+//! instruction (~72 bytes: `seq`, three `Option<ArchReg>`, an
+//! `Option<u64>` address, an `Option<BranchInfo>`). The cycle-level
+//! simulator streams millions of them, so `mcl-bench` stores traces as
+//! [`PackedTrace`]s instead: 24-byte [`PackedOp`] records that drop the
+//! sequence number (it equals the record's index), encode registers as
+//! dense-index bytes with a sentinel, and fold the memory-address /
+//! branch-outcome presence into flag bits. The paper's own methodology
+//! (Section 4.1, ATOM trace-driven simulation) generates each trace once
+//! and replays it under many machine configurations — the packed form is
+//! what makes holding those shared traces cheap.
+//!
+//! [`TraceSource`] abstracts over the two storages so the simulator's
+//! dispatch loop monomorphizes over either without an intermediate copy.
+//!
+//! # Invariant
+//!
+//! A packed record has one 64-bit auxiliary slot shared by the memory
+//! address and the branch target, so an op may carry `mem_addr` *or*
+//! `branch`, not both. The VM guarantees this (loads/stores are not
+//! control flow); [`PackedTrace::push`] panics otherwise.
+
+use mcl_isa::{ArchReg, Opcode};
+
+use crate::traceop::{BranchInfo, TraceOp};
+
+/// Register-byte sentinel meaning "no register".
+const NO_REG: u8 = 0xFF;
+
+/// Flag bit: the auxiliary word holds a memory address.
+const HAS_MEM: u8 = 1 << 0;
+/// Flag bit: the auxiliary word holds a branch target.
+const HAS_BRANCH: u8 = 1 << 1;
+/// Flag bit: the branch was taken.
+const TAKEN: u8 = 1 << 2;
+/// Flag bit: the branch is conditional (predictor-visible).
+const CONDITIONAL: u8 = 1 << 3;
+
+/// One packed dynamic instruction: 24 bytes instead of [`TraceOp`]'s ~72.
+///
+/// The sequence number is implicit (the record's index in its
+/// [`PackedTrace`]); registers are [`ArchReg::dense_index`] bytes with
+/// `0xFF` for "none"; the memory address and branch target share one
+/// auxiliary word discriminated by flag bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PackedOp {
+    pc: u64,
+    /// Memory address (`HAS_MEM`), branch target (`HAS_BRANCH`), or 0.
+    aux: u64,
+    op: u8,
+    dest: u8,
+    src0: u8,
+    src1: u8,
+    flags: u8,
+}
+
+impl PackedOp {
+    /// Packs a [`TraceOp`], discarding its sequence number.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the op carries both a memory address and a branch
+    /// outcome (see the [module invariant](self)).
+    #[must_use]
+    pub fn pack(op: &TraceOp) -> PackedOp {
+        let mut flags = 0;
+        let aux = match (op.mem_addr, op.branch) {
+            (Some(addr), None) => {
+                flags |= HAS_MEM;
+                addr
+            }
+            (None, Some(b)) => {
+                flags |= HAS_BRANCH;
+                if b.taken {
+                    flags |= TAKEN;
+                }
+                if b.conditional {
+                    flags |= CONDITIONAL;
+                }
+                b.target_pc
+            }
+            (None, None) => 0,
+            (Some(_), Some(_)) => {
+                panic!("trace op at pc {:#x} has both a memory address and a branch", op.pc)
+            }
+        };
+        PackedOp {
+            pc: op.pc,
+            aux,
+            op: op.op.code(),
+            dest: pack_reg(op.dest),
+            src0: pack_reg(op.srcs[0]),
+            src1: pack_reg(op.srcs[1]),
+            flags,
+        }
+    }
+
+    /// Unpacks into a [`TraceOp`] with the given sequence number.
+    #[must_use]
+    pub fn unpack(&self, seq: u64) -> TraceOp {
+        let (mem_addr, branch) = if self.flags & HAS_MEM != 0 {
+            (Some(self.aux), None)
+        } else if self.flags & HAS_BRANCH != 0 {
+            let info = BranchInfo {
+                taken: self.flags & TAKEN != 0,
+                target_pc: self.aux,
+                conditional: self.flags & CONDITIONAL != 0,
+            };
+            (None, Some(info))
+        } else {
+            (None, None)
+        };
+        TraceOp {
+            seq,
+            pc: self.pc,
+            op: Opcode::from_code(self.op).expect("packed records hold valid opcode bytes"),
+            dest: unpack_reg(self.dest),
+            srcs: [unpack_reg(self.src0), unpack_reg(self.src1)],
+            mem_addr,
+            branch,
+        }
+    }
+}
+
+fn pack_reg(reg: Option<ArchReg>) -> u8 {
+    match reg {
+        Some(r) => r.dense_index() as u8,
+        None => NO_REG,
+    }
+}
+
+fn unpack_reg(byte: u8) -> Option<ArchReg> {
+    if byte == NO_REG {
+        None
+    } else {
+        Some(ArchReg::from_dense_index(usize::from(byte)))
+    }
+}
+
+/// An immutable-after-build dynamic instruction stream in packed form.
+///
+/// # Example
+///
+/// ```
+/// use mcl_isa::{ArchReg, Opcode};
+/// use mcl_trace::{PackedTrace, TraceOp, TraceSource};
+///
+/// let op = TraceOp {
+///     seq: 0,
+///     pc: 0x1000,
+///     op: Opcode::Addq,
+///     dest: Some(ArchReg::int(3)),
+///     srcs: [Some(ArchReg::int(1)), Some(ArchReg::int(2))],
+///     mem_addr: None,
+///     branch: None,
+/// };
+/// let trace = PackedTrace::from_ops(&[op]);
+/// assert_eq!(trace.len(), 1);
+/// assert_eq!(trace.get(0), op);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
+pub struct PackedTrace {
+    ops: Vec<PackedOp>,
+}
+
+impl PackedTrace {
+    /// An empty trace.
+    #[must_use]
+    pub fn new() -> PackedTrace {
+        PackedTrace::default()
+    }
+
+    /// An empty trace with room for `capacity` records.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> PackedTrace {
+        PackedTrace { ops: Vec::with_capacity(capacity) }
+    }
+
+    /// Packs a whole slice (sequence numbers must equal indices, as VM
+    /// traces guarantee).
+    #[must_use]
+    pub fn from_ops(ops: &[TraceOp]) -> PackedTrace {
+        let mut trace = PackedTrace::with_capacity(ops.len());
+        for op in ops {
+            trace.push(op);
+        }
+        trace
+    }
+
+    /// Appends one op (its `seq` becomes implicit and must equal
+    /// [`PackedTrace::len`] at the time of the push).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the op violates the [module invariant](self).
+    pub fn push(&mut self, op: &TraceOp) {
+        debug_assert_eq!(op.seq, self.ops.len() as u64, "trace seq must equal its index");
+        self.ops.push(PackedOp::pack(op));
+    }
+
+    /// The number of dynamic instructions.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the trace is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// The op at `index`, unpacked (with `seq == index`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    #[must_use]
+    pub fn get(&self, index: usize) -> TraceOp {
+        self.ops[index].unpack(index as u64)
+    }
+
+    /// Iterates over the unpacked ops in sequence order.
+    pub fn iter(&self) -> impl Iterator<Item = TraceOp> + '_ {
+        self.ops.iter().enumerate().map(|(i, op)| op.unpack(i as u64))
+    }
+
+    /// Unpacks the whole trace (for tests and tools wanting the fat
+    /// form).
+    #[must_use]
+    pub fn to_ops(&self) -> Vec<TraceOp> {
+        self.iter().collect()
+    }
+
+    /// Bytes per stored record (24, vs [`TraceOp`]'s ~72).
+    #[must_use]
+    pub fn bytes_per_op() -> usize {
+        std::mem::size_of::<PackedOp>()
+    }
+}
+
+/// A random-access dynamic instruction stream the simulator can fetch
+/// from: a fat [`TraceOp`] slice or a [`PackedTrace`].
+pub trait TraceSource {
+    /// The number of dynamic instructions.
+    fn len(&self) -> usize;
+
+    /// Whether the stream is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The op at `index` (with its sequence number materialized).
+    fn get(&self, index: usize) -> TraceOp;
+}
+
+impl TraceSource for [TraceOp] {
+    fn len(&self) -> usize {
+        <[TraceOp]>::len(self)
+    }
+
+    #[inline]
+    fn get(&self, index: usize) -> TraceOp {
+        self[index]
+    }
+}
+
+impl TraceSource for PackedTrace {
+    fn len(&self) -> usize {
+        PackedTrace::len(self)
+    }
+
+    #[inline]
+    fn get(&self, index: usize) -> TraceOp {
+        PackedTrace::get(self, index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn packed_records_are_24_bytes() {
+        assert_eq!(PackedTrace::bytes_per_op(), 24);
+    }
+
+    fn branch_op(seq: u64) -> TraceOp {
+        TraceOp {
+            seq,
+            pc: 0x2000,
+            op: Opcode::Bne,
+            dest: None,
+            srcs: [Some(ArchReg::int(5)), None],
+            mem_addr: None,
+            branch: Some(BranchInfo { taken: true, target_pc: 0x1000, conditional: true }),
+        }
+    }
+
+    #[test]
+    fn branch_and_memory_ops_round_trip() {
+        let ops = [
+            TraceOp {
+                seq: 0,
+                pc: 0x1000,
+                op: Opcode::Ldt,
+                dest: Some(ArchReg::fp(7)),
+                srcs: [Some(ArchReg::int(30)), None],
+                mem_addr: Some(0x9008),
+                branch: None,
+            },
+            branch_op(1),
+        ];
+        let trace = PackedTrace::from_ops(&ops);
+        assert_eq!(trace.to_ops(), ops);
+    }
+
+    #[test]
+    fn sentinel_registers_survive() {
+        // r0 and f31-adjacent dense indices must not collide with the
+        // sentinel; None must come back as None.
+        let op = TraceOp {
+            seq: 0,
+            pc: 0,
+            op: Opcode::Br,
+            dest: None,
+            srcs: [None, None],
+            mem_addr: None,
+            branch: Some(BranchInfo { taken: true, target_pc: 0, conditional: false }),
+        };
+        assert_eq!(PackedTrace::from_ops(&[op]).get(0), op);
+    }
+
+    #[test]
+    #[should_panic(expected = "both a memory address and a branch")]
+    fn mem_plus_branch_is_rejected() {
+        let mut op = branch_op(0);
+        op.mem_addr = Some(0x10);
+        let _ = PackedOp::pack(&op);
+    }
+
+    #[test]
+    fn trace_source_views_agree() {
+        let ops = vec![branch_op(0), branch_op(1)];
+        let packed = PackedTrace::from_ops(&ops);
+        assert_eq!(TraceSource::len(&packed), TraceSource::len(ops.as_slice()));
+        for i in 0..ops.len() {
+            assert_eq!(TraceSource::get(&packed, i), TraceSource::get(ops.as_slice(), i));
+        }
+    }
+}

@@ -214,7 +214,19 @@ impl<'p, R: RegName> Vm<'p, R> {
     ///
     /// Returns the first [`VmError`] encountered.
     pub fn run_collect(&mut self) -> Result<Vec<Step<R>>, VmError> {
-        self.by_ref().collect()
+        let mut steps = Vec::with_capacity(self.static_len());
+        for step in self.by_ref() {
+            steps.push(step?);
+        }
+        Ok(steps)
+    }
+
+    /// The program's static instruction count — the trace length of a
+    /// straight-line execution and a lower bound for looping ones, used
+    /// to seed trace-vector capacity instead of growing from empty.
+    #[must_use]
+    pub fn static_len(&self) -> usize {
+        self.program.blocks.iter().map(|b| b.instrs.len()).sum()
     }
 
     /// The current value of `reg` (zero registers always read zero).
@@ -502,11 +514,46 @@ impl<R: RegName> Iterator for Vm<'_, R> {
 /// Returns the first [`VmError`] encountered.
 pub fn trace_program(program: &Program<ArchReg>) -> Result<(Vec<TraceOp>, Profile), VmError> {
     let mut vm = Vm::new(program);
-    let mut ops = Vec::new();
+    let mut ops = Vec::with_capacity(vm.static_len());
     for step in vm.by_ref() {
         ops.push(TraceOp::from(step?));
     }
     Ok((ops, vm.profile().clone()))
+}
+
+/// Like [`trace_program`], but collects directly into a
+/// [`PackedTrace`](crate::PackedTrace) preallocated to `capacity_hint`
+/// records (pass [`dynamic_len_estimate`] when a profile of the program
+/// is available, or 0 to fall back to the static instruction count).
+///
+/// # Errors
+///
+/// Returns the first [`VmError`] encountered.
+pub fn trace_program_packed(
+    program: &Program<ArchReg>,
+    capacity_hint: usize,
+) -> Result<(crate::PackedTrace, Profile), VmError> {
+    let mut vm = Vm::new(program);
+    let capacity = capacity_hint.max(vm.static_len());
+    let mut ops = crate::PackedTrace::with_capacity(capacity);
+    for step in vm.by_ref() {
+        ops.push(&TraceOp::from(step?));
+    }
+    Ok((ops, vm.profile().clone()))
+}
+
+/// Estimates a program's dynamic trace length from a per-block execution
+/// profile: the profile-weighted sum of block sizes. Exact when the
+/// profile came from an execution of a program with the same control
+/// flow (e.g. its pre-allocation intermediate-language form).
+#[must_use]
+pub fn dynamic_len_estimate<R>(program: &Program<R>, profile: &Profile) -> usize {
+    program
+        .blocks
+        .iter()
+        .enumerate()
+        .map(|(i, b)| profile.count(BlockId::new(i)) as usize * b.instrs.len())
+        .sum()
 }
 
 fn write_slot<R: RegName>(regs: &mut Vec<u64>, reg: R, value: u64) {

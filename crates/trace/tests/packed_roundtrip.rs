@@ -1,0 +1,62 @@
+//! Property test: packing a [`TraceOp`] sequence into the compact
+//! [`PackedTrace`] representation and unpacking it again is lossless,
+//! for arbitrary (valid) operand/memory/branch shapes.
+
+use mcl_isa::op::Opcode;
+use mcl_isa::reg::ArchReg;
+use mcl_testutil::{check_cases, Rng};
+use mcl_trace::{BranchInfo, PackedTrace, TraceOp, TraceSource};
+
+fn random_reg(rng: &mut Rng) -> Option<ArchReg> {
+    if rng.flip() {
+        None
+    } else {
+        Some(ArchReg::from_dense_index(rng.range(0, 64)))
+    }
+}
+
+/// A random but *valid* trace op: sequential `seq`, and never both a
+/// memory address and a branch record (the VM never produces both, and
+/// the packed form rejects it).
+fn random_op(rng: &mut Rng, seq: u64) -> TraceOp {
+    let op = *rng.pick(Opcode::all());
+    let mem_addr = if rng.flip() { Some(rng.next_u64()) } else { None };
+    let branch = if mem_addr.is_none() && rng.flip() {
+        Some(BranchInfo {
+            taken: rng.flip(),
+            target_pc: rng.next_u64(),
+            conditional: rng.flip(),
+        })
+    } else {
+        None
+    };
+    TraceOp {
+        seq,
+        pc: rng.next_u64(),
+        op,
+        dest: random_reg(rng),
+        srcs: [random_reg(rng), random_reg(rng)],
+        mem_addr,
+        branch,
+    }
+}
+
+#[test]
+fn packed_trace_round_trips_random_sequences() {
+    check_cases(200, |rng| {
+        let len = rng.range(0, 64);
+        let ops: Vec<TraceOp> =
+            (0..len as u64).map(|seq| random_op(rng, seq)).collect();
+
+        let packed = PackedTrace::from_ops(&ops);
+        assert_eq!(packed.len(), ops.len());
+
+        // Element-wise through both the packed accessor and the
+        // TraceSource view, plus the bulk conversion.
+        for (i, want) in ops.iter().enumerate() {
+            assert_eq!(&packed.get(i), want, "op #{i}");
+            assert_eq!(&TraceSource::get(&packed, i), want, "op #{i} via TraceSource");
+        }
+        assert_eq!(packed.to_ops(), ops);
+    });
+}

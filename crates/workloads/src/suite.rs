@@ -79,6 +79,13 @@ impl Benchmark {
         self.build(self.default_scale())
     }
 
+    /// The default scale divided by `divisor` (for quick runs), clamped
+    /// so it never reaches zero.
+    #[must_use]
+    pub fn scaled(self, divisor: u32) -> u32 {
+        (self.default_scale() / divisor.max(1)).max(1)
+    }
+
     /// The paper's Table 2 percentages, `(none, local)`: the speedup
     /// (positive) or slowdown (negative) of the dual-cluster processor
     /// against the single-cluster processor without rescheduling and

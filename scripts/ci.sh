@@ -9,6 +9,9 @@ cd "$(dirname "$0")/.."
 echo "== tier-1: build =="
 cargo build --release
 
+echo "== lint: clippy =="
+cargo clippy --workspace -- -D warnings
+
 echo "== tier-1: tests (root package) =="
 cargo test -q
 
