@@ -15,7 +15,8 @@
 //! repro mix                    workload behavioural profiles
 //! repro schedulers             B1: partitioning-strategy comparison
 //! repro pipeline <bench>       per-instruction pipeline diagram
-//! repro all [divisor]         everything above
+//! repro selftest [divisor]    differential + fault-injection self-checks
+//! repro all [divisor]         everything above (except selftest)
 //! ```
 //!
 //! Every subcommand (except `pipeline`) expands into independent
@@ -24,15 +25,29 @@
 //! available parallelism. Results are collected in cell order before
 //! anything is printed, so the output is byte-identical for every job
 //! count. Each run also writes `BENCH_repro.json` with per-cell wall
-//! time, simulated cycles, and throughput.
+//! time, simulated cycles, throughput, and completion status.
+//!
+//! Robustness flags:
+//!
+//! - `--keep-going` — cells are already panic-isolated; additionally
+//!   render every section whose cells all succeeded instead of rendering
+//!   nothing when something failed. The exit code is still nonzero.
+//! - `--check LEVEL` — run every simulation with the architectural
+//!   invariant checker at `off`, `retire`, or `cycle` level
+//!   (see `mcl_core::check`).
+//! - `--watchdog SECS` — mark cells exceeding a soft wall-clock budget
+//!   in `BENCH_repro.json` (`watchdog_exceeded`); advisory, not a kill.
 
 use std::ops::Range;
 use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Instant;
 
-use mcl_bench::runner::{self, Cell, CellCost};
-use mcl_bench::{ablate, crossover, figure6, scenarios, table1, table2, Table2Row, TraceStore};
+use mcl_bench::runner::{self, Cell, CellCost, CellStatus, RunInfo};
+use mcl_bench::{
+    ablate, crossover, figure6, scenarios, selftest, table1, table2, Table2Row, TraceStore,
+};
+use mcl_core::check::CheckLevel;
 use mcl_workloads::Benchmark;
 
 fn main() -> ExitCode {
@@ -44,6 +59,43 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let keep_going = take_switch(&mut args, "--keep-going");
+    let check_level = match take_value_flag(&mut args, "--check") {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let watchdog = match take_value_flag(&mut args, "--watchdog") {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Some(level) = check_level {
+        match level.parse::<CheckLevel>() {
+            // Configuration presets built anywhere below (including deep
+            // inside experiment cells) read this process-wide default.
+            Ok(level) => mcl_core::check::set_global_level(level),
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let watchdog_seconds = match watchdog {
+        None => None,
+        Some(v) => match v.parse::<f64>() {
+            Ok(secs) if secs > 0.0 => Some(secs),
+            _ => {
+                eprintln!("error: invalid --watchdog value `{v}`");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+    let options = RunOptions { keep_going, watchdog_seconds };
     let cmd = args.first().cloned().unwrap_or_else(|| "all".to_owned());
     let divisor: u32 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(1);
 
@@ -81,6 +133,7 @@ fn main() -> ExitCode {
         "ablate-unroll" => plan_ablate_unroll(&mut plan, &store, divisor),
         "mix" => plan_mix(&mut plan, divisor),
         "schedulers" => plan_schedulers(&mut plan, &store, divisor),
+        "selftest" => plan_selftest(&mut plan, divisor),
         "all" => plan_all(&mut plan, &store, divisor),
         other => {
             eprintln!("unknown subcommand `{other}`; see the module docs for usage");
@@ -88,13 +141,31 @@ fn main() -> ExitCode {
         }
     }
 
-    match plan.execute(&cmd, divisor, jobs, &store) {
+    // Test hook: append one deliberately panicking cell, to exercise
+    // the fault-isolated driver end to end (used by scripts/ci.sh).
+    if std::env::var("MCL_PANIC_CELL").is_ok() {
+        plan.section(
+            vec![Cell::new("panic-probe", || {
+                panic!("deliberate panic injected via MCL_PANIC_CELL")
+            })],
+            Box::new(|_| {}),
+        );
+    }
+
+    match plan.execute(&cmd, divisor, jobs, options, &store) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");
             ExitCode::FAILURE
         }
     }
+}
+
+/// Driver-level robustness options.
+#[derive(Clone, Copy, Default)]
+struct RunOptions {
+    keep_going: bool,
+    watchdog_seconds: Option<f64>,
 }
 
 /// Extracts `--jobs N` / `--jobs=N` from the argument list.
@@ -127,12 +198,42 @@ fn take_jobs_flag(args: &mut Vec<String>) -> Result<Option<usize>, String> {
     Ok(jobs)
 }
 
+/// Extracts a boolean `--flag` switch; returns whether it was present.
+fn take_switch(args: &mut Vec<String>, flag: &str) -> bool {
+    let before = args.len();
+    args.retain(|a| a != flag);
+    args.len() != before
+}
+
+/// Extracts `--flag VALUE` / `--flag=VALUE` from the argument list.
+fn take_value_flag(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, String> {
+    let mut value = None;
+    let prefix = format!("{flag}=");
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == flag {
+            if i + 1 >= args.len() {
+                return Err(format!("{flag} requires a value"));
+            }
+            value = Some(args[i + 1].clone());
+            args.drain(i..=i + 1);
+        } else if let Some(v) = args[i].strip_prefix(&prefix) {
+            value = Some(v.to_owned());
+            args.remove(i);
+        } else {
+            i += 1;
+        }
+    }
+    Ok(value)
+}
+
 fn mcl_only() -> Option<String> {
     std::env::var("MCL_ONLY").ok()
 }
 
 /// What one cell computed: either a pre-rendered text fragment or a
 /// Table 2 row (kept structured so the crossover section can reuse it).
+#[derive(Clone)]
 enum Payload {
     Text(String),
     Row(Box<Table2Row>),
@@ -180,34 +281,79 @@ impl Plan {
         self.sections.push((range, render));
     }
 
-    /// Runs all cells on the worker pool, renders the sections in
-    /// order, and writes `BENCH_repro.json`.
+    /// Runs all cells on the worker pool (panic-isolated), renders the
+    /// sections in order, and writes `BENCH_repro.json` — including the
+    /// per-cell statuses of a failed run.
+    ///
+    /// When everything succeeds, every section renders and the output is
+    /// byte-identical to the pre-isolation driver. On failure the report
+    /// is still written and the run exits nonzero; with `keep_going` the
+    /// sections whose cells all succeeded still render first.
     fn execute(
         self,
         command: &str,
         divisor: u32,
         jobs: usize,
+        options: RunOptions,
         store: &TraceStore,
-    ) -> Result<(), mcl_bench::Error> {
+    ) -> Result<(), String> {
         let start = Instant::now();
-        let (payloads, metrics) = runner::run_cells(jobs, self.cells)?;
-        for (range, render) in self.sections {
-            render(&payloads[range]);
+        let (payloads, metrics) =
+            runner::run_cells_isolated(jobs, self.cells, options.watchdog_seconds);
+        let failed: Vec<String> = metrics
+            .iter()
+            .filter(|m| m.status != CellStatus::Ok)
+            .map(|m| {
+                format!(
+                    "cell `{}` {}: {}",
+                    m.id,
+                    m.status.name(),
+                    m.status.message().unwrap_or("unknown failure")
+                )
+            })
+            .collect();
+
+        if failed.is_empty() {
+            let payloads: Vec<Payload> =
+                payloads.into_iter().map(|p| p.expect("no cell failed")).collect();
+            for (range, render) in self.sections {
+                render(&payloads[range]);
+            }
+        } else if options.keep_going {
+            for (range, render) in self.sections {
+                if payloads[range.clone()].iter().all(Option::is_some) {
+                    let complete: Vec<Payload> = payloads[range]
+                        .iter()
+                        .map(|p| p.clone().expect("checked complete"))
+                        .collect();
+                    render(&complete);
+                } else {
+                    eprintln!("warning: section with failed cells skipped");
+                }
+            }
         }
-        let total_wall = start.elapsed().as_secs_f64();
+
         let path = std::path::Path::new("BENCH_repro.json");
-        if let Err(e) = runner::write_report(
-            path,
-            command,
+        let info = RunInfo {
+            command: command.to_owned(),
             divisor,
             jobs,
-            total_wall,
-            &store.counters(),
-            &metrics,
-        ) {
+            total_wall_seconds: start.elapsed().as_secs_f64(),
+            keep_going: options.keep_going,
+            watchdog_seconds: options.watchdog_seconds,
+        };
+        if let Err(e) = runner::write_report(path, &info, &store.counters(), &metrics) {
             eprintln!("warning: could not write {}: {e}", path.display());
         }
-        Ok(())
+
+        if failed.is_empty() {
+            Ok(())
+        } else {
+            for f in &failed {
+                eprintln!("error: {f}");
+            }
+            Err(format!("{} of {} cells failed", failed.len(), metrics.len()))
+        }
     }
 }
 
@@ -483,6 +629,37 @@ fn plan_mix(plan: &mut Plan, divisor: u32) {
             use mcl_trace::analysis::MixReport;
             println!("Workload behavioural profiles (intermediate-language form)\n");
             println!("{}", MixReport::render_header());
+            for p in ps {
+                println!("{}", text(p));
+            }
+            println!();
+        }),
+    );
+}
+
+fn selftest_cell(
+    name: &'static str,
+    f: impl FnOnce() -> Result<(String, CellCost), mcl_bench::Error> + Send + 'static,
+) -> Cell<Payload> {
+    Cell::new(format!("selftest/{name}"), move || {
+        let (detail, cost) = f()?;
+        Ok((Payload::Text(format!("{name:<16} ok — {detail}")), cost))
+    })
+}
+
+fn plan_selftest(plan: &mut Plan, divisor: u32) {
+    let cells = vec![
+        selftest_cell("packed-vs-fat", move || selftest::packed_vs_fat(divisor)),
+        selftest_cell("store-vs-fresh", move || selftest::store_vs_fresh(divisor)),
+        selftest_cell("jobs-agree", move || selftest::jobs_agree(divisor)),
+        selftest_cell("fuzz-checker", || selftest::fuzz_checker(24)),
+        selftest_cell("leak-fault", selftest::leak_fault_caught),
+        selftest_cell("corrupt-packed", selftest::corrupt_packed_rejected),
+    ];
+    plan.section(
+        cells,
+        Box::new(|ps| {
+            println!("Self-checks (differential + fault injection)\n");
             for p in ps {
                 println!("{}", text(p));
             }

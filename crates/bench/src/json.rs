@@ -17,6 +17,10 @@ pub enum Json {
     /// A finite float (rendered with six decimal places; NaN and
     /// infinities render as `null`, which JSON has no number for).
     F64(f64),
+    /// A boolean.
+    Bool(bool),
+    /// The null value.
+    Null,
     /// An ordered list of values.
     Array(Vec<Json>),
     /// An object with insertion-ordered keys.
@@ -63,6 +67,8 @@ impl Json {
                     out.push_str("null");
                 }
             }
+            Json::Bool(v) => out.push_str(if *v { "true" } else { "false" }),
+            Json::Null => out.push_str("null"),
             Json::Array(items) => {
                 out.push('[');
                 for (i, item) in items.iter().enumerate() {
@@ -104,6 +110,12 @@ impl From<u64> for Json {
 impl From<f64> for Json {
     fn from(v: f64) -> Json {
         Json::F64(v)
+    }
+}
+
+impl From<bool> for Json {
+    fn from(v: bool) -> Json {
+        Json::Bool(v)
     }
 }
 
@@ -153,5 +165,12 @@ mod tests {
     fn non_finite_floats_render_null() {
         assert_eq!(Json::F64(f64::NAN).render(), "null");
         assert_eq!(Json::F64(f64::INFINITY).render(), "null");
+    }
+
+    #[test]
+    fn booleans_and_null_render_bare() {
+        let mut obj = Json::object();
+        obj.field("ok", true.into()).field("bad", false.into()).field("missing", Json::Null);
+        assert_eq!(obj.render(), "{\"ok\":true,\"bad\":false,\"missing\":null}");
     }
 }

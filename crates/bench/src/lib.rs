@@ -36,6 +36,7 @@ pub mod figure6;
 pub mod json;
 pub mod runner;
 pub mod scenarios;
+pub mod selftest;
 pub mod store;
 pub mod table1;
 pub mod table2;
@@ -56,6 +57,17 @@ pub enum Error {
     /// underlying error, rendered — cached failures are served to every
     /// waiter).
     Store(String),
+    /// A cell panicked on its worker thread; the panic was caught by the
+    /// [`runner`] so the remaining cells could finish.
+    Panic {
+        /// The id of the panicking cell.
+        cell: String,
+        /// The panic payload, rendered.
+        message: String,
+    },
+    /// A differential or fault-injection self-check found the harness
+    /// disagreeing with itself (see [`selftest`]).
+    SelfCheck(String),
 }
 
 impl fmt::Display for Error {
@@ -65,6 +77,8 @@ impl fmt::Display for Error {
             Error::Vm(e) => write!(f, "trace generation: {e}"),
             Error::Sim(e) => write!(f, "simulation: {e}"),
             Error::Store(e) => write!(f, "trace store: {e}"),
+            Error::Panic { cell, message } => write!(f, "cell `{cell}` panicked: {message}"),
+            Error::SelfCheck(e) => write!(f, "self-check: {e}"),
         }
     }
 }

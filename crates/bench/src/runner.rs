@@ -11,7 +11,15 @@
 //! The pool also records per-cell wall time, simulated cycles, and the
 //! trace-build/simulate split reported by the cells (see [`CellCost`]);
 //! the driver writes them to `BENCH_repro.json` via [`report_json`].
+//!
+//! Cells are fault-isolated: each runs under [`std::panic::catch_unwind`],
+//! so one panicking cell cannot take down its worker thread or the whole
+//! run. [`run_cells`] turns the first failure (by cell order) into an
+//! error as before; [`run_cells_isolated`] instead records a per-cell
+//! [`CellStatus`] and returns every payload that survived, which is what
+//! `repro --keep-going` builds on.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
@@ -71,13 +79,50 @@ impl<R> Cell<R> {
     }
 }
 
+/// How one cell ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CellStatus {
+    /// The cell returned a payload.
+    Ok,
+    /// The cell returned an error (rendered).
+    Error(String),
+    /// The cell panicked; the payload message is rendered.
+    Panicked(String),
+}
+
+impl CellStatus {
+    /// The status name as written to `BENCH_repro.json`.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            CellStatus::Ok => "ok",
+            CellStatus::Error(_) => "error",
+            CellStatus::Panicked(_) => "panicked",
+        }
+    }
+
+    /// The failure message, if any.
+    #[must_use]
+    pub fn message(&self) -> Option<&str> {
+        match self {
+            CellStatus::Ok => None,
+            CellStatus::Error(m) | CellStatus::Panicked(m) => Some(m),
+        }
+    }
+}
+
 /// Timing record of one executed cell.
 #[derive(Debug, Clone)]
 pub struct CellMetric {
     /// The cell's identifier.
     pub id: String,
+    /// How the cell ended.
+    pub status: CellStatus,
     /// Wall-clock time the cell took on its worker.
     pub wall_seconds: f64,
+    /// Whether the cell overran the soft wall-clock watchdog (recorded,
+    /// never enforced — cells are not killable mid-simulation).
+    pub watchdog_exceeded: bool,
     /// Simulated cycles the cell accounted for.
     pub simulated_cycles: u64,
     /// Seconds the cell spent obtaining traces.
@@ -108,6 +153,58 @@ pub fn default_jobs() -> usize {
     std::thread::available_parallelism().map_or(1, std::num::NonZero::get)
 }
 
+/// Renders a caught panic payload (the standard `&str` / `String`
+/// payloads of `panic!`, or a placeholder for exotic ones).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+/// Runs one cell with panic isolation; a panic becomes
+/// [`Error::Panic`].
+fn execute_cell<R>(cell: Cell<R>) -> FinishedCell<R> {
+    let Cell { id, run } = cell;
+    let start = Instant::now();
+    let result = match catch_unwind(AssertUnwindSafe(run)) {
+        Ok(result) => result,
+        Err(payload) => {
+            Err(Error::Panic { cell: id.clone(), message: panic_message(payload.as_ref()) })
+        }
+    };
+    (id, result, start.elapsed().as_secs_f64())
+}
+
+/// Runs every cell (serially or on the worker pool) and returns the
+/// outcomes in submission order, panics caught.
+fn run_raw<R: Send>(jobs: usize, cells: Vec<Cell<R>>) -> Vec<FinishedCell<R>> {
+    let n = cells.len();
+    if jobs <= 1 || n <= 1 {
+        return cells.into_iter().map(execute_cell).collect();
+    }
+    let work: Vec<Mutex<Option<Cell<R>>>> =
+        cells.into_iter().map(|c| Mutex::new(Some(c))).collect();
+    let done: Vec<Mutex<Option<FinishedCell<R>>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..jobs.min(n) {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let cell = work[i].lock().unwrap().take().expect("each cell claimed once");
+                *done[i].lock().unwrap() = Some(execute_cell(cell));
+            });
+        }
+    });
+    done.into_iter().map(|slot| slot.into_inner().unwrap().expect("every cell ran")).collect()
+}
+
 /// Runs every cell and returns the payloads in cell order plus one
 /// metric per cell (same order).
 ///
@@ -118,57 +215,25 @@ pub fn default_jobs() -> usize {
 ///
 /// # Errors
 ///
-/// Returns the error of the earliest (by cell order) failing cell.
-/// Unlike the serial path, later cells may already have run by then;
-/// cells must therefore be independent, which experiment cells are.
+/// Returns the error of the earliest (by cell order) failing cell — a
+/// panicking cell counts as failing with [`Error::Panic`]. Unlike the
+/// serial path, later cells may already have run by then; cells must
+/// therefore be independent, which experiment cells are.
 pub fn run_cells<R: Send>(
     jobs: usize,
     cells: Vec<Cell<R>>,
 ) -> Result<(Vec<R>, Vec<CellMetric>), Error> {
-    let n = cells.len();
-    let mut slots: Vec<FinishedCell<R>> = if jobs <= 1 || n <= 1 {
-        cells
-            .into_iter()
-            .map(|cell| {
-                let start = Instant::now();
-                let result = (cell.run)();
-                (cell.id, result, start.elapsed().as_secs_f64())
-            })
-            .collect()
-    } else {
-        let work: Vec<Mutex<Option<Cell<R>>>> =
-            cells.into_iter().map(|c| Mutex::new(Some(c))).collect();
-        let done: Vec<Mutex<Option<FinishedCell<R>>>> =
-            (0..n).map(|_| Mutex::new(None)).collect();
-        let next = AtomicUsize::new(0);
-        std::thread::scope(|s| {
-            for _ in 0..jobs.min(n) {
-                s.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
-                        break;
-                    }
-                    let cell = work[i].lock().unwrap().take().expect("each cell claimed once");
-                    let start = Instant::now();
-                    let result = (cell.run)();
-                    *done[i].lock().unwrap() =
-                        Some((cell.id, result, start.elapsed().as_secs_f64()));
-                });
-            }
-        });
-        done.into_iter()
-            .map(|slot| slot.into_inner().unwrap().expect("every cell ran"))
-            .collect()
-    };
-
-    let mut payloads = Vec::with_capacity(n);
-    let mut metrics = Vec::with_capacity(n);
-    for (id, result, wall_seconds) in slots.drain(..) {
+    let slots = run_raw(jobs, cells);
+    let mut payloads = Vec::with_capacity(slots.len());
+    let mut metrics = Vec::with_capacity(slots.len());
+    for (id, result, wall_seconds) in slots {
         let (payload, cost) = result?;
         payloads.push(payload);
         metrics.push(CellMetric {
             id,
+            status: CellStatus::Ok,
             wall_seconds,
+            watchdog_exceeded: false,
             simulated_cycles: cost.simulated_cycles,
             trace_build_seconds: cost.trace_build_seconds,
             simulate_seconds: cost.simulate_seconds,
@@ -177,25 +242,81 @@ pub fn run_cells<R: Send>(
     Ok((payloads, metrics))
 }
 
+/// Runs every cell with fault isolation: errors and panics are recorded
+/// per cell instead of aborting the run.
+///
+/// Returns one payload slot per cell (`None` for failed cells) and one
+/// metric per cell, both in submission order. `watchdog_seconds`, when
+/// set, marks cells whose wall time exceeded it — a *soft* watchdog: the
+/// overrun is recorded in the report, not enforced by killing the cell
+/// (worker threads cannot be cancelled mid-simulation without poisoning
+/// shared state).
+#[must_use]
+pub fn run_cells_isolated<R: Send>(
+    jobs: usize,
+    cells: Vec<Cell<R>>,
+    watchdog_seconds: Option<f64>,
+) -> (Vec<Option<R>>, Vec<CellMetric>) {
+    let slots = run_raw(jobs, cells);
+    let mut payloads = Vec::with_capacity(slots.len());
+    let mut metrics = Vec::with_capacity(slots.len());
+    for (id, result, wall_seconds) in slots {
+        let (payload, status, cost) = match result {
+            Ok((payload, cost)) => (Some(payload), CellStatus::Ok, cost),
+            Err(Error::Panic { message, .. }) => {
+                (None, CellStatus::Panicked(message), CellCost::default())
+            }
+            Err(e) => (None, CellStatus::Error(e.to_string()), CellCost::default()),
+        };
+        payloads.push(payload);
+        metrics.push(CellMetric {
+            id,
+            status,
+            wall_seconds,
+            watchdog_exceeded: watchdog_seconds.is_some_and(|limit| wall_seconds > limit),
+            simulated_cycles: cost.simulated_cycles,
+            trace_build_seconds: cost.trace_build_seconds,
+            simulate_seconds: cost.simulate_seconds,
+        });
+    }
+    (payloads, metrics)
+}
+
 /// The `BENCH_repro.json` schema version. Version 2 added the top-level
 /// aggregates (`schema_version`, `total_trace_build_seconds`,
 /// `total_simulate_seconds`, `store`) and the per-cell
-/// trace-build/simulate split.
-pub const REPORT_SCHEMA_VERSION: u64 = 2;
+/// trace-build/simulate split. Version 3 added fault-isolation fields:
+/// top-level `keep_going`, `watchdog_seconds`, and `failed_cells`, and
+/// per-cell `status` (`ok` / `error` / `panicked`), `error`, and
+/// `watchdog_exceeded`.
+pub const REPORT_SCHEMA_VERSION: u64 = 3;
+
+/// Identity and options of one driver run, recorded at the top of the
+/// report.
+#[derive(Debug, Clone, Default)]
+pub struct RunInfo {
+    /// The subcommand that ran (e.g. `table2`).
+    pub command: String,
+    /// The scale divisor the run used.
+    pub divisor: u32,
+    /// Worker count.
+    pub jobs: usize,
+    /// Wall-clock time of the whole run.
+    pub total_wall_seconds: f64,
+    /// Whether the run continued past failed cells (`--keep-going`).
+    pub keep_going: bool,
+    /// The soft wall-clock watchdog, if one was set (`--watchdog`).
+    pub watchdog_seconds: Option<f64>,
+}
 
 /// Builds the `BENCH_repro.json` report.
 #[must_use]
-pub fn report_json(
-    command: &str,
-    divisor: u32,
-    jobs: usize,
-    total_wall_seconds: f64,
-    store: &StoreCounters,
-    metrics: &[CellMetric],
-) -> Json {
+pub fn report_json(info: &RunInfo, store: &StoreCounters, metrics: &[CellMetric]) -> Json {
+    let total_wall_seconds = info.total_wall_seconds;
     let total_cycles: u64 = metrics.iter().map(|m| m.simulated_cycles).sum();
     let total_build: f64 = metrics.iter().map(|m| m.trace_build_seconds).sum();
     let total_sim: f64 = metrics.iter().map(|m| m.simulate_seconds).sum();
+    let failed = metrics.iter().filter(|m| m.status != CellStatus::Ok).count();
     let mut store_json = Json::object();
     store_json
         .field("trace_hits", store.trace_hits.into())
@@ -205,9 +326,12 @@ pub fn report_json(
     let mut report = Json::object();
     report
         .field("schema_version", REPORT_SCHEMA_VERSION.into())
-        .field("command", command.into())
-        .field("divisor", u64::from(divisor).into())
-        .field("jobs", (jobs as u64).into())
+        .field("command", info.command.as_str().into())
+        .field("divisor", u64::from(info.divisor).into())
+        .field("jobs", (info.jobs as u64).into())
+        .field("keep_going", info.keep_going.into())
+        .field("watchdog_seconds", info.watchdog_seconds.map_or(Json::Null, Json::F64))
+        .field("failed_cells", (failed as u64).into())
         .field("total_wall_seconds", total_wall_seconds.into())
         .field("total_simulated_cycles", total_cycles.into())
         .field(
@@ -229,6 +353,9 @@ pub fn report_json(
                     .map(|m| {
                         let mut cell = Json::object();
                         cell.field("id", m.id.as_str().into())
+                            .field("status", m.status.name().into())
+                            .field("error", m.status.message().map_or(Json::Null, Json::from))
+                            .field("watchdog_exceeded", m.watchdog_exceeded.into())
                             .field("wall_seconds", m.wall_seconds.into())
                             .field("simulated_cycles", m.simulated_cycles.into())
                             .field("simulated_cycles_per_second", m.cycles_per_second().into())
@@ -249,14 +376,11 @@ pub fn report_json(
 /// Propagates filesystem errors.
 pub fn write_report(
     path: &std::path::Path,
-    command: &str,
-    divisor: u32,
-    jobs: usize,
-    total_wall_seconds: f64,
+    info: &RunInfo,
     store: &StoreCounters,
     metrics: &[CellMetric],
 ) -> std::io::Result<()> {
-    let json = report_json(command, divisor, jobs, total_wall_seconds, store, metrics);
+    let json = report_json(info, store, metrics);
     std::fs::write(path, json.render() + "\n")
 }
 
@@ -317,16 +441,40 @@ mod tests {
 
     #[test]
     fn report_shape_is_stable() {
-        let metrics = vec![CellMetric {
-            id: "table2/compress".into(),
-            wall_seconds: 2.0,
-            simulated_cycles: 100,
-            trace_build_seconds: 0.5,
-            simulate_seconds: 1.25,
-        }];
+        let metrics = vec![
+            CellMetric {
+                id: "table2/compress".into(),
+                status: CellStatus::Ok,
+                wall_seconds: 2.0,
+                watchdog_exceeded: false,
+                simulated_cycles: 100,
+                trace_build_seconds: 0.5,
+                simulate_seconds: 1.25,
+            },
+            CellMetric {
+                id: "table2/broken".into(),
+                status: CellStatus::Panicked("boom".into()),
+                wall_seconds: 0.25,
+                watchdog_exceeded: true,
+                simulated_cycles: 0,
+                trace_build_seconds: 0.0,
+                simulate_seconds: 0.0,
+            },
+        ];
         let counters = StoreCounters { trace_hits: 3, trace_misses: 1, sim_hits: 2, sim_misses: 4 };
-        let json = report_json("table2", 1, 8, 2.5, &counters, &metrics).render();
-        assert!(json.starts_with("{\"schema_version\":2,\"command\":\"table2\","));
+        let info = RunInfo {
+            command: "table2".into(),
+            divisor: 1,
+            jobs: 8,
+            total_wall_seconds: 2.5,
+            keep_going: true,
+            watchdog_seconds: Some(0.2),
+        };
+        let json = report_json(&info, &counters, &metrics).render();
+        assert!(json.starts_with("{\"schema_version\":3,\"command\":\"table2\","));
+        assert!(json.contains("\"keep_going\":true"));
+        assert!(json.contains("\"watchdog_seconds\":0.200000"));
+        assert!(json.contains("\"failed_cells\":1"));
         assert!(json.contains("\"total_simulated_cycles\":100"));
         assert!(json.contains("\"simulated_cycles_per_second\":40.000000"));
         assert!(json.contains("\"total_trace_build_seconds\":0.500000"));
@@ -334,7 +482,80 @@ mod tests {
         assert!(json.contains(
             "\"store\":{\"trace_hits\":3,\"trace_misses\":1,\"sim_hits\":2,\"sim_misses\":4}"
         ));
-        assert!(json.contains("\"cells\":[{\"id\":\"table2/compress\""));
+        assert!(json.contains(
+            "\"cells\":[{\"id\":\"table2/compress\",\"status\":\"ok\",\"error\":null,\
+             \"watchdog_exceeded\":false,"
+        ));
+        assert!(json.contains(
+            "{\"id\":\"table2/broken\",\"status\":\"panicked\",\"error\":\"boom\",\
+             \"watchdog_exceeded\":true,"
+        ));
         assert!(json.contains("\"trace_build_seconds\":0.500000"));
+    }
+
+    #[test]
+    fn watchdog_is_off_by_default_and_renders_null() {
+        let json = report_json(&RunInfo::default(), &StoreCounters::default(), &[]).render();
+        assert!(json.contains("\"keep_going\":false"));
+        assert!(json.contains("\"watchdog_seconds\":null"));
+        assert!(json.contains("\"failed_cells\":0"));
+    }
+
+    fn mixed_cells() -> Vec<Cell<usize>> {
+        (0..5)
+            .map(|i| {
+                Cell::new(format!("cell/{i}"), move || match i {
+                    2 => panic!("cell {i} exploded"),
+                    3 => Err(Error::Store("cache poisoned".into())),
+                    _ => Ok((i, CellCost::cycles(7))),
+                })
+            })
+            .collect()
+    }
+
+    #[test]
+    fn panicking_cell_becomes_an_ordinary_error_in_run_cells() {
+        // Both serial and parallel paths must catch the panic rather
+        // than unwind through the pool.
+        for jobs in [1, 4] {
+            let err = run_cells(jobs, mixed_cells()).err().expect("must fail");
+            match err {
+                Error::Panic { cell, message } => {
+                    assert_eq!(cell, "cell/2");
+                    assert_eq!(message, "cell 2 exploded");
+                }
+                other => panic!("expected Panic, got {other}"),
+            }
+        }
+    }
+
+    #[test]
+    fn isolated_run_keeps_surviving_payloads_and_records_statuses() {
+        for jobs in [1, 4] {
+            let (payloads, metrics) = run_cells_isolated(jobs, mixed_cells(), None);
+            assert_eq!(payloads, vec![Some(0), Some(1), None, None, Some(4)]);
+            assert_eq!(metrics[0].status, CellStatus::Ok);
+            assert_eq!(metrics[2].status, CellStatus::Panicked("cell 2 exploded".into()));
+            assert_eq!(
+                metrics[3].status,
+                CellStatus::Error("trace store: cache poisoned".into())
+            );
+            assert!(metrics.iter().all(|m| !m.watchdog_exceeded), "no watchdog configured");
+        }
+    }
+
+    #[test]
+    fn soft_watchdog_marks_slow_cells() {
+        let cells: Vec<Cell<u32>> = vec![
+            Cell::new("fast", || Ok((1, CellCost::default()))),
+            Cell::new("slow", || {
+                std::thread::sleep(std::time::Duration::from_millis(30));
+                Ok((2, CellCost::default()))
+            }),
+        ];
+        let (_, metrics) = run_cells_isolated(1, cells, Some(0.01));
+        assert!(!metrics[0].watchdog_exceeded);
+        assert!(metrics[1].watchdog_exceeded);
+        assert_eq!(metrics[1].status, CellStatus::Ok, "the watchdog is advisory");
     }
 }

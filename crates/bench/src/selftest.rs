@@ -1,0 +1,364 @@
+//! Differential and fault-injection self-checks (`repro selftest`).
+//!
+//! Each check cross-validates two independent paths through the harness
+//! that must agree, or injects a known fault and demands the safety net
+//! catches it:
+//!
+//! - [`packed_vs_fat`] — simulating a [`PackedTrace`] must give exactly
+//!   the statistics of simulating its unpacked [`mcl_trace::TraceOp`]
+//!   form;
+//! - [`store_vs_fresh`] — a memoized [`TraceStore`] simulation must
+//!   equal a from-scratch schedule/trace/simulate of the same cell;
+//! - [`jobs_agree`] — the worker pool at `--jobs N` must produce the
+//!   payloads of a serial run;
+//! - [`fuzz_checker`] — randomized straightline programs (deterministic
+//!   [`mcl_testutil::Rng`] seeds) run under the cycle-level invariant
+//!   checker on both machine presets, and the checker must neither fire
+//!   nor perturb the statistics;
+//! - [`leak_fault_caught`] — an injected transfer-buffer leak
+//!   ([`FaultInjection`]) must surface as `SimError::Invariant`;
+//! - [`corrupt_packed_rejected`] — corrupted or truncated serialized
+//!   traces must fail [`PackedTrace::from_bytes`] with the right typed
+//!   error.
+//!
+//! Every check returns its success detail plus the [`CellCost`] it
+//! incurred, so `repro selftest` runs them as ordinary cells of the
+//! hardened driver.
+
+use mcl_core::{CheckLevel, FaultInjection, Processor, ProcessorConfig, SimError};
+use mcl_isa::ArchReg;
+use mcl_sched::SchedulerKind;
+use mcl_testutil::Rng;
+use mcl_trace::{vm::trace_program, PackedDecodeError, PackedTrace, Program, ProgramBuilder};
+use mcl_workloads::Benchmark;
+
+use crate::runner::{run_cells, Cell, CellCost};
+use crate::{schedule_and_trace, simulate, Error, TraceRequest, TraceStore};
+
+fn quick_scale(bench: Benchmark, divisor: u32) -> u32 {
+    (bench.default_scale() / divisor.max(1)).max(1)
+}
+
+fn mismatch(what: &str, detail: String) -> Error {
+    Error::SelfCheck(format!("{what}: {detail}"))
+}
+
+/// Simulating the packed and the unpacked form of one trace must give
+/// identical statistics.
+///
+/// # Errors
+///
+/// [`Error::SelfCheck`] on divergence; simulation errors propagate.
+pub fn packed_vs_fat(divisor: u32) -> Result<(String, CellCost), Error> {
+    let bench = Benchmark::Compress;
+    let store = TraceStore::new();
+    let req = TraceRequest::new(bench, quick_scale(bench, divisor), SchedulerKind::Naive);
+    let (packed, trace_build_seconds) = store.trace(&req)?;
+    let cfg = ProcessorConfig::dual_cluster_8way();
+    let from_packed = Processor::new(cfg.clone()).run_packed(&packed)?.stats;
+    let fat = packed.to_ops();
+    let from_fat = Processor::new(cfg).run_trace(&fat)?.stats;
+    if from_packed != from_fat {
+        return Err(mismatch(
+            "packed-vs-fat",
+            format!("packed {} cycles, fat {} cycles", from_packed.cycles, from_fat.cycles),
+        ));
+    }
+    let cost = CellCost {
+        simulated_cycles: from_packed.cycles + from_fat.cycles,
+        trace_build_seconds,
+        simulate_seconds: 0.0,
+    };
+    Ok((format!("{} ops, {} cycles, stats identical", fat.len(), from_packed.cycles), cost))
+}
+
+/// A memoized [`TraceStore`] simulation must equal an independent
+/// schedule → trace → simulate pipeline.
+///
+/// # Errors
+///
+/// [`Error::SelfCheck`] on divergence; pipeline errors propagate.
+pub fn store_vs_fresh(divisor: u32) -> Result<(String, CellCost), Error> {
+    let bench = Benchmark::Ora;
+    let scale = quick_scale(bench, divisor);
+    let store = TraceStore::new();
+    let req = TraceRequest::new(bench, scale, SchedulerKind::Local);
+    let cfg = ProcessorConfig::dual_cluster_8way();
+    let memoized = store.sim(&req, &cfg)?;
+
+    let il = store.il(bench, scale);
+    let fresh_trace = schedule_and_trace(&il, SchedulerKind::Local, store.assignment(), None)?;
+    let fresh = simulate(&cfg, &fresh_trace)?;
+    if memoized.stats != fresh {
+        return Err(mismatch(
+            "store-vs-fresh",
+            format!("store {} cycles, fresh {} cycles", memoized.stats.cycles, fresh.cycles),
+        ));
+    }
+    let cost = CellCost {
+        simulated_cycles: memoized.stats.cycles + fresh.cycles,
+        trace_build_seconds: memoized.trace_build_seconds,
+        simulate_seconds: memoized.simulate_seconds,
+    };
+    Ok((format!("{} cycles from both paths", fresh.cycles), cost))
+}
+
+/// The worker pool must return serial-run payloads at any job count.
+///
+/// # Errors
+///
+/// [`Error::SelfCheck`] on divergence; cell errors propagate.
+pub fn jobs_agree(divisor: u32) -> Result<(String, CellCost), Error> {
+    fn cycle_cells(divisor: u32) -> Vec<Cell<u64>> {
+        let store = std::sync::Arc::new(TraceStore::new());
+        [Benchmark::Compress, Benchmark::Ora, Benchmark::Tomcatv]
+            .into_iter()
+            .flat_map(|bench| {
+                [ProcessorConfig::single_cluster_8way(), ProcessorConfig::dual_cluster_8way()]
+                    .into_iter()
+                    .enumerate()
+                    .map({
+                        let store = std::sync::Arc::clone(&store);
+                        move |(i, cfg)| {
+                            let store = std::sync::Arc::clone(&store);
+                            Cell::new(format!("{}/{i}", bench.name()), move || {
+                                let req = TraceRequest::new(
+                                    bench,
+                                    quick_scale(bench, divisor),
+                                    SchedulerKind::Naive,
+                                );
+                                let product = store.sim(&req, &cfg)?;
+                                let cost = CellCost {
+                                    simulated_cycles: product.stats.cycles,
+                                    trace_build_seconds: product.trace_build_seconds,
+                                    simulate_seconds: product.simulate_seconds,
+                                };
+                                Ok((product.stats.cycles, cost))
+                            })
+                        }
+                    })
+            })
+            .collect()
+    }
+
+    let (serial, serial_metrics) = run_cells(1, cycle_cells(divisor))?;
+    let (parallel, _) = run_cells(4, cycle_cells(divisor))?;
+    if serial != parallel {
+        return Err(mismatch("jobs-agree", format!("serial {serial:?} vs parallel {parallel:?}")));
+    }
+    let mut cost = CellCost::default();
+    for m in &serial_metrics {
+        cost.simulated_cycles += m.simulated_cycles;
+        cost.trace_build_seconds += m.trace_build_seconds;
+        cost.simulate_seconds += m.simulate_seconds;
+    }
+    Ok((format!("{} cells agree between --jobs 1 and --jobs 4", serial.len()), cost))
+}
+
+/// A random but valid straightline program: integer and floating-point
+/// ALU traffic over registers of both clusters, so dual distribution,
+/// transfer buffers, suspended slaves, and (with tiny buffers) replays
+/// all get exercised.
+fn random_program(rng: &mut Rng) -> Program<ArchReg> {
+    let mut b = ProgramBuilder::<ArchReg>::new("fuzz");
+    // Avoid the architecturally special registers: GP/SP (29/30) and the
+    // hardwired zeros (31).
+    let int = |rng: &mut Rng| ArchReg::int(rng.range(0, 29) as u8);
+    let fp = |rng: &mut Rng| ArchReg::fp(rng.range(0, 31) as u8);
+    for i in 0..6 {
+        b.lda(ArchReg::int(i), rng.range_i64(-1000, 1000));
+    }
+    for _ in 0..rng.range(4, 48) {
+        match rng.below(6) {
+            0 => {
+                let (d, a, s) = (int(rng), int(rng), int(rng));
+                b.addq(d, a, s);
+            }
+            1 => {
+                let (d, a) = (int(rng), int(rng));
+                let imm = rng.range_i64(-128, 128);
+                b.addq_imm(d, a, imm);
+            }
+            2 => {
+                let (d, a, s) = (int(rng), int(rng), int(rng));
+                b.mulq(d, a, s);
+            }
+            3 | 4 => {
+                let (d, a, s) = (fp(rng), fp(rng), fp(rng));
+                b.addt(d, a, s);
+            }
+            _ => {
+                let (d, a, s) = (fp(rng), fp(rng), fp(rng));
+                b.mult(d, a, s);
+            }
+        }
+    }
+    b.finish().expect("generated programs are structurally valid")
+}
+
+/// Runs `cases` random programs under the cycle-level checker on both
+/// machine presets (plus a tiny-buffer dual machine that forces replay
+/// exceptions through the checker) and demands a clean, unperturbed run.
+///
+/// # Errors
+///
+/// [`Error::SelfCheck`] if the checker fires on, or perturbs, a valid
+/// program.
+pub fn fuzz_checker(cases: u64) -> Result<(String, CellCost), Error> {
+    let mut tiny = ProcessorConfig::dual_cluster_8way();
+    tiny.operand_buffer = 1;
+    tiny.result_buffer = 1;
+    let presets = [
+        ProcessorConfig::single_cluster_8way(),
+        ProcessorConfig::dual_cluster_8way(),
+        tiny,
+    ];
+    let mut cost = CellCost::default();
+    for seed in 0..cases {
+        let mut rng = Rng::new(seed);
+        let program = random_program(&mut rng);
+        let (trace, _) = trace_program(&program).map_err(Error::Vm)?;
+        for cfg in &presets {
+            let off = cfg.clone().with_check_level(CheckLevel::Off);
+            let baseline = Processor::new(off)
+                .run_trace(&trace)
+                .map_err(|e| mismatch("fuzz-checker", format!("seed {seed} failed plain: {e}")))?
+                .stats;
+            let checked = Processor::new(cfg.clone().with_check_level(CheckLevel::Cycle))
+                .run_trace(&trace)
+                .map_err(|e| {
+                    mismatch("fuzz-checker", format!("seed {seed} tripped the checker: {e}"))
+                })?
+                .stats;
+            if checked != baseline {
+                return Err(mismatch(
+                    "fuzz-checker",
+                    format!(
+                        "seed {seed}: checker perturbed the run ({} vs {} cycles)",
+                        checked.cycles, baseline.cycles
+                    ),
+                ));
+            }
+            cost.simulated_cycles += baseline.cycles + checked.cycles;
+        }
+    }
+    Ok((format!("{cases} random programs validated on {} presets", presets.len()), cost))
+}
+
+/// Injects transfer-buffer leaks and demands the cycle-level checker
+/// reports them as invariant violations.
+///
+/// # Errors
+///
+/// [`Error::SelfCheck`] if a leak goes unnoticed or is misattributed.
+pub fn leak_fault_caught() -> Result<(String, CellCost), Error> {
+    // Alternating even/odd destinations: every add crosses clusters.
+    let mut b = ProgramBuilder::<ArchReg>::new("leak");
+    let (e, o) = (ArchReg::int(2), ArchReg::int(3));
+    b.lda(e, 0);
+    for _ in 0..20 {
+        b.addq_imm(o, e, 1);
+        b.addq_imm(e, o, 1);
+    }
+    let program = b.finish().expect("valid");
+
+    let faults = [
+        (FaultInjection::LeakOperandBuffer { cycle: 0 }, "otb-accounting"),
+        (FaultInjection::LeakResultBuffer { cycle: 0 }, "rtb-accounting"),
+    ];
+    for (fault, want_rule) in faults {
+        let mut cfg = ProcessorConfig::dual_cluster_8way().with_check_level(CheckLevel::Cycle);
+        cfg.faults = vec![fault.clone()];
+        match Processor::new(cfg).run_program(&program) {
+            Err(SimError::Invariant { rule, .. }) if rule == want_rule => {}
+            Err(SimError::Invariant { rule, .. }) => {
+                return Err(mismatch(
+                    "leak-fault",
+                    format!("{fault:?} reported as `{rule}`, expected `{want_rule}`"),
+                ));
+            }
+            Err(e) => {
+                return Err(mismatch("leak-fault", format!("{fault:?} surfaced as {e}")));
+            }
+            Ok(_) => {
+                return Err(mismatch(
+                    "leak-fault",
+                    format!("checker missed the injected {fault:?}"),
+                ));
+            }
+        }
+    }
+    Ok(("operand and result leaks both caught as invariant violations".to_owned(),
+        CellCost::default()))
+}
+
+/// Corrupts a serialized trace and demands typed decode errors.
+///
+/// # Errors
+///
+/// [`Error::SelfCheck`] if corruption decodes successfully or fails with
+/// the wrong error.
+pub fn corrupt_packed_rejected() -> Result<(String, CellCost), Error> {
+    let mut b = ProgramBuilder::<ArchReg>::new("wire");
+    b.lda(ArchReg::int(2), 7);
+    b.addq_imm(ArchReg::int(3), ArchReg::int(2), 1);
+    b.mulq(ArchReg::int(4), ArchReg::int(3), ArchReg::int(2));
+    let program = b.finish().expect("valid");
+    let (trace, _) = trace_program(&program).map_err(Error::Vm)?;
+    let packed = PackedTrace::from_ops(&trace);
+    let good = packed.to_bytes();
+
+    if PackedTrace::from_bytes(&good).as_ref() != Ok(&packed) {
+        return Err(mismatch("corrupt-packed", "clean bytes failed to round-trip".to_owned()));
+    }
+
+    // No opcode has code 0xFF; record 1's opcode byte sits after the
+    // 16 pc/aux bytes.
+    let mut bad_op = good.clone();
+    bad_op[PackedTrace::WIRE_BYTES_PER_OP + 16] = u8::MAX;
+    match PackedTrace::from_bytes(&bad_op) {
+        Err(PackedDecodeError::BadOpcode { index: 1, code: u8::MAX }) => {}
+        other => {
+            return Err(mismatch(
+                "corrupt-packed",
+                format!("opcode corruption decoded as {other:?}"),
+            ));
+        }
+    }
+
+    let truncated = &good[..good.len() - 3];
+    match PackedTrace::from_bytes(truncated) {
+        Err(PackedDecodeError::Truncated { .. }) => {}
+        other => {
+            return Err(mismatch("corrupt-packed", format!("truncation decoded as {other:?}")));
+        }
+    }
+    Ok(("opcode corruption and truncation both rejected with typed errors".to_owned(),
+        CellCost::default()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_injection_checks_pass() {
+        leak_fault_caught().unwrap();
+        corrupt_packed_rejected().unwrap();
+    }
+
+    #[test]
+    fn fuzzing_a_few_seeds_is_clean() {
+        let (detail, cost) = fuzz_checker(6).unwrap();
+        assert!(detail.contains("6 random programs"));
+        assert!(cost.simulated_cycles > 0);
+    }
+
+    #[test]
+    fn differential_checks_pass_at_a_coarse_scale() {
+        let divisor = 64;
+        packed_vs_fat(divisor).unwrap();
+        store_vs_fresh(divisor).unwrap();
+        jobs_agree(divisor).unwrap();
+    }
+}

@@ -1,0 +1,296 @@
+//! Architectural invariant checking.
+//!
+//! The execution model of Section 2.1 rests on exact resource
+//! accounting: every dispatch-queue slot, physical register, and
+//! operand/result transfer-buffer entry that is allocated must be held
+//! by exactly one in-flight instruction or be scheduled to free at a
+//! known cycle. A bookkeeping bug anywhere in that machinery silently
+//! corrupts cycle counts — the paper's metric — long before it crashes.
+//!
+//! [`CheckLevel`] selects how aggressively the simulator re-derives and
+//! cross-checks that state from the window:
+//!
+//! - [`CheckLevel::Off`] — no checking (the default; zero cost);
+//! - [`CheckLevel::Retire`] — validate on every cycle that retires at
+//!   least one instruction (bounds the lag between a corruption and its
+//!   detection by one retirement, at a few percent overhead);
+//! - [`CheckLevel::Cycle`] — validate every cycle (immediate detection;
+//!   the full window walk makes long runs several times slower).
+//!
+//! Violations surface as [`SimError::Invariant`](crate::SimError) with
+//! the failing rule, a detail string, and a pipeview-style window
+//! snapshot, instead of a debug-only assert or silent divergence.
+//!
+//! The checker never mutates simulation state, so enabling it cannot
+//! change any statistic of a correct run — `repro` output is
+//! byte-identical with the checker on or off.
+
+use std::str::FromStr;
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// How much architectural-invariant validation the simulator performs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum CheckLevel {
+    /// No validation.
+    #[default]
+    Off,
+    /// Validate at every retiring cycle.
+    Retire,
+    /// Validate every cycle.
+    Cycle,
+}
+
+impl CheckLevel {
+    /// The level's command-line name (`off` / `retire` / `cycle`).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            CheckLevel::Off => "off",
+            CheckLevel::Retire => "retire",
+            CheckLevel::Cycle => "cycle",
+        }
+    }
+
+    fn from_u8(v: u8) -> CheckLevel {
+        match v {
+            1 => CheckLevel::Retire,
+            2 => CheckLevel::Cycle,
+            _ => CheckLevel::Off,
+        }
+    }
+
+    fn as_u8(self) -> u8 {
+        match self {
+            CheckLevel::Off => 0,
+            CheckLevel::Retire => 1,
+            CheckLevel::Cycle => 2,
+        }
+    }
+}
+
+impl FromStr for CheckLevel {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<CheckLevel, String> {
+        match s {
+            "off" => Ok(CheckLevel::Off),
+            "retire" => Ok(CheckLevel::Retire),
+            "cycle" => Ok(CheckLevel::Cycle),
+            other => Err(format!("unknown check level `{other}` (use off, retire, or cycle)")),
+        }
+    }
+}
+
+/// The process-wide default check level, read by the
+/// [`ProcessorConfig`](crate::ProcessorConfig) presets.
+static GLOBAL_LEVEL: AtomicU8 = AtomicU8::new(0);
+
+/// Sets the default check level for every configuration constructed
+/// afterwards. Drivers call this once at startup (e.g. `repro --check
+/// retire`) so the level reaches configurations built deep inside
+/// experiment code; explicitly-set `check_level` fields are unaffected.
+pub fn set_global_level(level: CheckLevel) {
+    GLOBAL_LEVEL.store(level.as_u8(), Ordering::Relaxed);
+}
+
+/// The current process-wide default check level.
+#[must_use]
+pub fn global_level() -> CheckLevel {
+    CheckLevel::from_u8(GLOBAL_LEVEL.load(Ordering::Relaxed))
+}
+
+/// A deliberate fault injected into the simulator's resource
+/// accounting, for proving the checker catches real corruption (used by
+/// `repro selftest`). Leaks are applied to every cluster at the start
+/// of the given cycle and are *not* visible to the checker's expected
+/// values — a leak must therefore surface as an accounting violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultInjection {
+    /// Decrement every cluster's operand-transfer-buffer free count by
+    /// one without any holder.
+    LeakOperandBuffer {
+        /// The cycle at which the leak is applied.
+        cycle: u64,
+    },
+    /// Decrement every cluster's result-transfer-buffer free count by
+    /// one without any holder.
+    LeakResultBuffer {
+        /// The cycle at which the leak is applied.
+        cycle: u64,
+    },
+}
+
+/// One detected invariant violation (converted by the simulator into
+/// [`SimError::Invariant`](crate::SimError) with cycle and snapshot
+/// attached).
+#[derive(Debug, Clone)]
+pub(crate) struct Violation {
+    pub(crate) rule: &'static str,
+    pub(crate) detail: String,
+}
+
+impl Violation {
+    pub(crate) fn new(rule: &'static str, detail: impl Into<String>) -> Violation {
+        Violation { rule, detail: detail.into() }
+    }
+}
+
+/// Per-cluster resource accounting collected from the live window, to
+/// be checked against configured capacities.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct ClusterTally {
+    pub(crate) dq_free: u64,
+    pub(crate) dq_held: u64,
+    pub(crate) dq_capacity: u64,
+    pub(crate) otb_free: u64,
+    pub(crate) otb_held: u64,
+    pub(crate) otb_pending: u64,
+    pub(crate) otb_capacity: u64,
+    pub(crate) rtb_free: u64,
+    pub(crate) rtb_held: u64,
+    pub(crate) rtb_pending: u64,
+    pub(crate) rtb_capacity: u64,
+    pub(crate) int_free: i64,
+    pub(crate) int_held: i64,
+    pub(crate) int_capacity: i64,
+    pub(crate) fp_free: i64,
+    pub(crate) fp_held: i64,
+    pub(crate) fp_capacity: i64,
+    pub(crate) issued: u32,
+    pub(crate) issue_limit: u32,
+}
+
+/// Checks one cluster's tally: every resource's free + held (+ pending,
+/// for the transfer buffers, whose frees are scheduled a cycle ahead)
+/// must equal its capacity, and the cycle's issue count must respect
+/// the per-cluster width.
+pub(crate) fn verify_cluster(cluster: usize, t: &ClusterTally) -> Result<(), Violation> {
+    if t.dq_free + t.dq_held != t.dq_capacity {
+        return Err(Violation::new(
+            "dq-accounting",
+            format!(
+                "cluster {cluster}: {} free + {} held != {} dispatch-queue entries",
+                t.dq_free, t.dq_held, t.dq_capacity
+            ),
+        ));
+    }
+    if t.otb_free + t.otb_held + t.otb_pending != t.otb_capacity {
+        return Err(Violation::new(
+            "otb-accounting",
+            format!(
+                "cluster {cluster}: {} free + {} held + {} pending != {} operand-buffer entries",
+                t.otb_free, t.otb_held, t.otb_pending, t.otb_capacity
+            ),
+        ));
+    }
+    if t.rtb_free + t.rtb_held + t.rtb_pending != t.rtb_capacity {
+        return Err(Violation::new(
+            "rtb-accounting",
+            format!(
+                "cluster {cluster}: {} free + {} held + {} pending != {} result-buffer entries",
+                t.rtb_free, t.rtb_held, t.rtb_pending, t.rtb_capacity
+            ),
+        ));
+    }
+    if t.int_free < 0 || t.int_free + t.int_held != t.int_capacity {
+        return Err(Violation::new(
+            "phys-reg-accounting",
+            format!(
+                "cluster {cluster}: {} free + {} held != {} available integer registers",
+                t.int_free, t.int_held, t.int_capacity
+            ),
+        ));
+    }
+    if t.fp_free < 0 || t.fp_free + t.fp_held != t.fp_capacity {
+        return Err(Violation::new(
+            "phys-reg-accounting",
+            format!(
+                "cluster {cluster}: {} free + {} held != {} available floating-point registers",
+                t.fp_free, t.fp_held, t.fp_capacity
+            ),
+        ));
+    }
+    if t.issued > t.issue_limit {
+        return Err(Violation::new(
+            "issue-width",
+            format!(
+                "cluster {cluster}: issued {} copies in one cycle, width is {}",
+                t.issued, t.issue_limit
+            ),
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_parses_and_names_round_trip() {
+        for level in [CheckLevel::Off, CheckLevel::Retire, CheckLevel::Cycle] {
+            assert_eq!(level.name().parse::<CheckLevel>().unwrap(), level);
+        }
+        assert!("paranoid".parse::<CheckLevel>().is_err());
+    }
+
+    #[test]
+    fn balanced_tally_verifies() {
+        let t = ClusterTally {
+            dq_free: 60,
+            dq_held: 4,
+            dq_capacity: 64,
+            otb_free: 6,
+            otb_held: 1,
+            otb_pending: 1,
+            otb_capacity: 8,
+            rtb_free: 8,
+            rtb_capacity: 8,
+            int_free: 30,
+            int_held: 2,
+            int_capacity: 32,
+            fp_free: 32,
+            fp_capacity: 32,
+            issued: 4,
+            issue_limit: 4,
+            ..ClusterTally::default()
+        };
+        assert!(verify_cluster(0, &t).is_ok());
+    }
+
+    #[test]
+    fn each_imbalance_names_its_rule() {
+        let ok = ClusterTally {
+            dq_capacity: 8,
+            dq_free: 8,
+            otb_capacity: 2,
+            otb_free: 2,
+            rtb_capacity: 2,
+            rtb_free: 2,
+            int_capacity: 32,
+            int_free: 32,
+            fp_capacity: 32,
+            fp_free: 32,
+            issue_limit: 4,
+            ..ClusterTally::default()
+        };
+        let mut t = ok;
+        t.dq_free = 7;
+        assert_eq!(verify_cluster(0, &t).unwrap_err().rule, "dq-accounting");
+        let mut t = ok;
+        t.otb_free = 1;
+        assert_eq!(verify_cluster(0, &t).unwrap_err().rule, "otb-accounting");
+        let mut t = ok;
+        t.rtb_pending = 1;
+        assert_eq!(verify_cluster(0, &t).unwrap_err().rule, "rtb-accounting");
+        let mut t = ok;
+        t.int_held = 1;
+        assert_eq!(verify_cluster(0, &t).unwrap_err().rule, "phys-reg-accounting");
+        let mut t = ok;
+        t.fp_free = -1;
+        assert_eq!(verify_cluster(1, &t).unwrap_err().rule, "phys-reg-accounting");
+        let mut t = ok;
+        t.issued = 5;
+        assert_eq!(verify_cluster(0, &t).unwrap_err().rule, "issue-width");
+    }
+}

@@ -4,6 +4,8 @@ use mcl_bpred::PredictorConfig;
 use mcl_isa::{assign::RegisterAssignment, IssueRules, Latencies};
 use mcl_mem::CacheConfig;
 
+use crate::check::{self, CheckLevel, FaultInjection};
+
 
 /// Complete configuration of a simulated processor (single-cluster or
 /// multicluster).
@@ -72,6 +74,19 @@ pub struct ProcessorConfig {
     /// Cycles charged for moving architectural state at a reassignment
     /// point (after the pipeline drain).
     pub reassignment_penalty: u64,
+    /// How much architectural-invariant validation to perform while
+    /// simulating (see [`crate::check`]). The presets default to the
+    /// process-wide level set via [`check::set_global_level`] (normally
+    /// [`CheckLevel::Off`]).
+    pub check_level: CheckLevel,
+    /// Consecutive zero-progress cycles (with nothing scheduled and no
+    /// attributable transfer-buffer deadlock) tolerated before the
+    /// simulator gives up with [`SimError::Wedged`](crate::SimError).
+    pub wedge_threshold: u32,
+    /// Deliberate resource-accounting faults to inject, for validating
+    /// that the invariant checker catches real corruption (used by
+    /// `repro selftest`; empty in normal runs).
+    pub faults: Vec<FaultInjection>,
 }
 
 /// One compiler-directed reassignment of the architectural registers
@@ -112,6 +127,9 @@ impl ProcessorConfig {
             record_events: false,
             reassignments: Vec::new(),
             reassignment_penalty: 32,
+            check_level: check::global_level(),
+            wedge_threshold: 1000,
+            faults: Vec::new(),
         }
     }
 
@@ -186,6 +204,14 @@ impl ProcessorConfig {
         self
     }
 
+    /// Returns the configuration with the given invariant-checking
+    /// level.
+    #[must_use]
+    pub fn with_check_level(mut self, level: CheckLevel) -> ProcessorConfig {
+        self.check_level = level;
+        self
+    }
+
     /// Validates internal consistency.
     ///
     /// # Panics
@@ -206,6 +232,7 @@ impl ProcessorConfig {
                 "multicluster configurations need transfer buffers"
             );
         }
+        assert!(self.wedge_threshold >= 1, "wedge threshold must allow at least one stall cycle");
     }
 }
 

@@ -23,7 +23,10 @@
 //! - [`stats`] — run statistics ([`SimStats::cycles`] is the paper's
 //!   metric) and the Table 2 speedup convention;
 //! - [`delay`] — the Palacharla-derived cycle-time model behind the
-//!   paper's 0.35 µm / 0.18 µm crossover analysis.
+//!   paper's 0.35 µm / 0.18 µm crossover analysis;
+//! - [`check`] — the architectural invariant checker: per-cluster
+//!   resource accounting, waiter/completion liveness, and replay
+//!   forward progress, validated at retire or cycle granularity.
 //!
 //! # Example
 //!
@@ -46,6 +49,7 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+pub mod check;
 pub mod config;
 pub mod delay;
 pub mod dist;
@@ -54,6 +58,7 @@ pub mod pipeview;
 pub mod sim;
 pub mod stats;
 
+pub use check::{CheckLevel, FaultInjection};
 pub use config::ProcessorConfig;
 pub use delay::FeatureSize;
 pub use dist::{distribute, Distribution};

@@ -104,6 +104,71 @@ pub fn render(log: &EventLog, options: PipeViewOptions) -> String {
     out
 }
 
+/// One in-flight instruction in a window snapshot (see
+/// [`render_window`]): the live scheduling state the invariant checker
+/// attaches to a violation report.
+#[derive(Debug, Clone)]
+pub struct WindowRow {
+    /// Dynamic sequence number.
+    pub seq: u64,
+    /// Execution scenario (1–5, Section 2.1).
+    pub scenario: u8,
+    /// Master cluster.
+    pub master: u8,
+    /// Slave cluster, if dual-distributed.
+    pub slave: Option<u8>,
+    /// Master issue cycle, if issued.
+    pub master_issued: Option<u64>,
+    /// Master completion cycle, if scheduled.
+    pub master_done: Option<u64>,
+    /// Slave issue cycle, if issued.
+    pub slave_issued: Option<u64>,
+    /// Slave register-write cycle, if scheduled.
+    pub slave_write: Option<u64>,
+    /// Holds an operand-transfer-buffer entry (master's cluster).
+    pub otb_held: bool,
+    /// Holds a result-transfer-buffer entry (slave's cluster).
+    pub rtb_held: bool,
+}
+
+/// Renders an instruction-window snapshot, one line per in-flight
+/// instruction, in the spirit of the Figure 2–5 views: what issued
+/// when, what is still pending, and which transfer-buffer entries are
+/// held. Used to make invariant-violation reports actionable.
+#[must_use]
+pub fn render_window(cycle: u64, base: u64, rows: &[WindowRow]) -> String {
+    use std::fmt::Write as _;
+    fn c(v: Option<u64>) -> String {
+        v.map_or_else(|| "-".to_owned(), |t| t.to_string())
+    }
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "window at cycle {cycle}: base #{base}, {} in flight (issue/done cycles; + = buffer entry held)",
+        rows.len()
+    );
+    for r in rows {
+        let master = format!("M{}[i{},d{}]", r.master, c(r.master_issued), c(r.master_done));
+        let slave = match r.slave {
+            Some(s) => format!("S{}[i{},w{}]", s, c(r.slave_issued), c(r.slave_write)),
+            None => "-".to_owned(),
+        };
+        let mut held = String::new();
+        if r.otb_held {
+            held.push_str(" +otb");
+        }
+        if r.rtb_held {
+            held.push_str(" +rtb");
+        }
+        let _ = writeln!(
+            out,
+            "  #{:<6} s{} {:<20} {:<20}{held}",
+            r.seq, r.scenario, master, slave
+        );
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -157,6 +222,42 @@ mod tests {
             PipeViewOptions { first_seq: 100, last_seq: 200, ..PipeViewOptions::default() },
         );
         assert!(empty.contains("no events"));
+    }
+
+    #[test]
+    fn window_snapshot_lists_every_row() {
+        let rows = vec![
+            WindowRow {
+                seq: 12,
+                scenario: 2,
+                master: 0,
+                slave: Some(1),
+                master_issued: None,
+                master_done: None,
+                slave_issued: Some(90),
+                slave_write: None,
+                otb_held: true,
+                rtb_held: false,
+            },
+            WindowRow {
+                seq: 13,
+                scenario: 1,
+                master: 1,
+                slave: None,
+                master_issued: Some(91),
+                master_done: Some(93),
+                slave_issued: None,
+                slave_write: None,
+                otb_held: false,
+                rtb_held: false,
+            },
+        ];
+        let view = render_window(95, 12, &rows);
+        assert!(view.contains("cycle 95"));
+        assert!(view.contains("base #12"));
+        assert!(view.contains("#12"));
+        assert!(view.contains("+otb"));
+        assert!(view.contains("M1[i91,d93]"));
     }
 
     #[test]

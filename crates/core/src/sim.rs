@@ -18,9 +18,11 @@ use mcl_isa::{ArchReg, ClusterId, InstrClass, RegBank};
 use mcl_mem::{Access, Cache};
 use mcl_trace::{vm::trace_program, PackedTrace, Program, TraceOp, TraceSource, VmError};
 
+use crate::check::{self, CheckLevel, FaultInjection};
 use crate::config::ProcessorConfig;
 use crate::dist::{distribute, Distribution};
 use crate::events::{EventKind, EventLog};
+use crate::pipeview::{render_window, WindowRow};
 use crate::stats::SimStats;
 
 /// The outcome of a simulation run.
@@ -45,11 +47,25 @@ pub enum SimError {
     },
     /// The simulator detected a hard stall it could not attribute to a
     /// transfer-buffer deadlock — a bug, reported rather than hidden.
+    /// The tolerated stall length is [`ProcessorConfig::wedge_threshold`].
     Wedged {
         /// The cycle at which progress stopped.
         cycle: u64,
         /// The oldest unretired instruction.
         oldest_seq: u64,
+    },
+    /// The invariant checker (see [`crate::check`]) found the
+    /// architectural state inconsistent — a simulator bug or injected
+    /// fault, reported with the failing rule and a window snapshot.
+    Invariant {
+        /// The cycle at which the violation was detected.
+        cycle: u64,
+        /// The violated rule (e.g. `otb-accounting`).
+        rule: &'static str,
+        /// Human-readable specifics of the imbalance.
+        detail: String,
+        /// A [`render_window`] view of the in-flight instructions.
+        snapshot: String,
     },
 }
 
@@ -60,6 +76,9 @@ impl fmt::Display for SimError {
             SimError::CycleLimit { limit } => write!(f, "cycle limit {limit} reached"),
             SimError::Wedged { cycle, oldest_seq } => {
                 write!(f, "simulator wedged at cycle {cycle} (oldest instruction #{oldest_seq})")
+            }
+            SimError::Invariant { cycle, rule, detail, snapshot } => {
+                write!(f, "invariant `{rule}` violated at cycle {cycle}: {detail}\n{snapshot}")
             }
         }
     }
@@ -224,11 +243,15 @@ struct Waiter {
 struct WaiterArena {
     nodes: Vec<Waiter>,
     free: u32,
+    /// Number of nodes on the free list. Maintained so the invariant
+    /// checker can audit `reachable + free == nodes` every validated
+    /// cycle without walking the free list.
+    free_len: u32,
 }
 
 impl WaiterArena {
     fn new() -> WaiterArena {
-        WaiterArena { nodes: Vec::new(), free: NIL }
+        WaiterArena { nodes: Vec::new(), free: NIL, free_len: 0 }
     }
 
     /// Links a new waiter in front of `head`, returning the new head.
@@ -237,6 +260,7 @@ impl WaiterArena {
             let idx = self.free;
             let node = &mut self.nodes[idx as usize];
             self.free = node.next;
+            self.free_len -= 1;
             *node = Waiter { consumer, action, next: head };
             idx
         } else {
@@ -248,6 +272,7 @@ impl WaiterArena {
     fn release(&mut self, idx: u32) {
         self.nodes[idx as usize].next = self.free;
         self.free = idx;
+        self.free_len += 1;
     }
 
     /// Releases a whole list.
@@ -405,6 +430,13 @@ struct Sim<'a, T: TraceSource + ?Sized> {
     /// a full transfer buffer.
     blocked_on_buffer: bool,
     no_progress_cycles: u32,
+    /// Invariant-checking level (from the configuration).
+    check: CheckLevel,
+    /// Replay exceptions taken since the last retirement; the checker's
+    /// replay-forward-progress rule bounds this.
+    replays_since_retire: u32,
+    /// Configured resource-accounting faults not yet applied.
+    pending_faults: Vec<FaultInjection>,
     /// The window base at the last replay; a second deadlock without any
     /// intervening retirement escalates to a full squash (guaranteed
     /// forward progress — the replayed youngest holder would otherwise
@@ -459,6 +491,9 @@ impl<'a, T: TraceSource + ?Sized> Sim<'a, T> {
             events: cfg.record_events.then(EventLog::new),
             blocked_on_buffer: false,
             no_progress_cycles: 0,
+            check: cfg.check_level,
+            replays_since_retire: 0,
+            pending_faults: cfg.faults.clone(),
             last_replay_base: None,
             pending_reassign: cfg.reassignments.clone(),
             reassign_draining: false,
@@ -483,26 +518,78 @@ impl<'a, T: TraceSource + ?Sized> Sim<'a, T> {
             if self.now >= self.cfg.max_cycles {
                 return Err(SimError::CycleLimit { limit: self.cfg.max_cycles });
             }
-            self.blocked_on_buffer = false;
-
-            self.process_buffer_frees();
-            self.process_branch_resolutions();
-            let retired = self.retire();
-            let woke = self.wake_suspended_slaves();
-            self.drain_future_ready();
-            let mut issued = 0;
-            for c in 0..usize::from(self.cfg.clusters) {
-                issued += self.issue_cluster(ClusterId::new(c as u8));
-            }
-            let dispatched = self.dispatch();
-
-            self.check_progress(retired + woke + issued + dispatched)?;
-            self.now += 1;
+            self.step()?;
         }
         self.stats.cycles = self.now;
         self.stats.icache = self.icache.stats();
         self.stats.dcache = self.dcache.stats();
         Ok(SimResult { stats: self.stats.clone(), events: self.events.take() })
+    }
+
+    /// Simulates one cycle.
+    fn step(&mut self) -> Result<(), SimError> {
+        self.blocked_on_buffer = false;
+        self.inject_faults();
+
+        self.process_buffer_frees();
+        self.process_branch_resolutions();
+        let retired = self.retire();
+        let woke = self.wake_suspended_slaves();
+        self.drain_future_ready();
+        let mut issued = 0;
+        let mut issued_per = [0u32; 2];
+        for c in 0..self.cfg.clusters {
+            let n = self.issue_cluster(ClusterId::new(c));
+            issued_per[usize::from(c)] = n;
+            issued += n;
+        }
+        let dispatched = self.dispatch();
+
+        let validate = match self.check {
+            CheckLevel::Off => false,
+            CheckLevel::Retire => retired > 0,
+            CheckLevel::Cycle => true,
+        };
+        if validate {
+            self.validate_invariants(&issued_per)?;
+        }
+        self.check_progress(retired + woke + issued + dispatched)?;
+        self.now += 1;
+        Ok(())
+    }
+
+    /// Applies due fault-injection hooks (testing only; see
+    /// [`ProcessorConfig::faults`]). A leak decrements a free count with
+    /// no matching holder, which a correct checker must report.
+    fn inject_faults(&mut self) {
+        if self.pending_faults.is_empty() {
+            return;
+        }
+        let now = self.now;
+        let n = usize::from(self.cfg.clusters);
+        let mut i = 0;
+        while i < self.pending_faults.len() {
+            let due = match &self.pending_faults[i] {
+                FaultInjection::LeakOperandBuffer { cycle }
+                | FaultInjection::LeakResultBuffer { cycle } => *cycle <= now,
+            };
+            if !due {
+                i += 1;
+                continue;
+            }
+            match self.pending_faults.remove(i) {
+                FaultInjection::LeakOperandBuffer { .. } => {
+                    for c in 0..n {
+                        self.otb_free[c] = self.otb_free[c].saturating_sub(1);
+                    }
+                }
+                FaultInjection::LeakResultBuffer { .. } => {
+                    for c in 0..n {
+                        self.rtb_free[c] = self.rtb_free[c].saturating_sub(1);
+                    }
+                }
+            }
+        }
     }
 
     // -- cycle-start event processing --------------------------------------
@@ -559,6 +646,7 @@ impl<'a, T: TraceSource + ?Sized> Sim<'a, T> {
             self.log(seq, None, EventKind::Retired);
             self.base = seq + 1;
             self.last_replay_base = None; // retirement = forward progress
+            self.replays_since_retire = 0;
             self.stats.retired += 1;
             retired += 1;
         }
@@ -1337,19 +1425,39 @@ impl<'a, T: TraceSource + ?Sized> Sim<'a, T> {
             // full squash (everything but the oldest instruction), which
             // guarantees progress: the oldest instruction's dependences
             // are all retired and every buffer entry is freed.
-            let victim = if self.last_replay_base == Some(self.base) && self.window.len() > 1 {
+            let escalate = self.last_replay_base == Some(self.base) && self.window.len() > 1;
+            let victim = if escalate {
                 Some(self.base + 1)
             } else {
                 self.window.iter().rev().find(|d| d.otb_held || d.rtb_held).map(|d| d.op.seq)
             };
             if let Some(seq) = victim {
+                if escalate {
+                    self.stats.replay_escalations += 1;
+                }
                 self.last_replay_base = Some(self.base);
                 self.replay_from(seq);
                 self.no_progress_cycles = 0;
+                self.replays_since_retire += 1;
+                // Replay forward progress: the escalation ladder
+                // guarantees at most two replays (one ordinary, one
+                // escalated) before the oldest instruction retires.
+                if self.check != CheckLevel::Off && self.replays_since_retire > 2 {
+                    return Err(SimError::Invariant {
+                        cycle: now,
+                        rule: "replay-progress",
+                        detail: format!(
+                            "{} replay exceptions without an intervening retirement \
+                             (window base #{})",
+                            self.replays_since_retire, self.base
+                        ),
+                        snapshot: self.window_snapshot(),
+                    });
+                }
                 return Ok(());
             }
         }
-        if self.no_progress_cycles > 1000 {
+        if self.no_progress_cycles > self.cfg.wedge_threshold {
             return Err(SimError::Wedged { cycle: now, oldest_seq: self.base });
         }
         Ok(())
@@ -1382,6 +1490,256 @@ impl<'a, T: TraceSource + ?Sized> Sim<'a, T> {
             self.completions.pop();
         }
         false
+    }
+
+    // -- invariant checking --------------------------------------------------
+
+    /// A [`render_window`] view of the live window (capped), for
+    /// attaching to violation reports.
+    fn window_snapshot(&self) -> String {
+        use std::fmt::Write as _;
+        const MAX_ROWS: usize = 48;
+        let rows: Vec<WindowRow> = self
+            .window
+            .iter()
+            .take(MAX_ROWS)
+            .map(|d| WindowRow {
+                seq: d.op.seq,
+                scenario: d.dist.scenario,
+                master: d.dist.master.index() as u8,
+                slave: d.dist.slave.map(|s| s.index() as u8),
+                master_issued: d.master_issued,
+                master_done: d.master_done,
+                slave_issued: d.slave_issued,
+                slave_write: d.slave_write,
+                otb_held: d.otb_held,
+                rtb_held: d.rtb_held,
+            })
+            .collect();
+        let mut snapshot = render_window(self.now, self.base, &rows);
+        if self.window.len() > MAX_ROWS {
+            let _ = writeln!(snapshot, "  ... {} more", self.window.len() - MAX_ROWS);
+        }
+        snapshot
+    }
+
+    /// Runs every invariant check against the end-of-cycle state,
+    /// converting the first violation into [`SimError::Invariant`].
+    fn validate_invariants(&self, issued_per: &[u32; 2]) -> Result<(), SimError> {
+        if let Err(v) = self.find_violation(issued_per) {
+            return Err(SimError::Invariant {
+                cycle: self.now,
+                rule: v.rule,
+                detail: v.detail,
+                snapshot: self.window_snapshot(),
+            });
+        }
+        Ok(())
+    }
+
+    fn find_violation(&self, issued_per: &[u32; 2]) -> Result<(), check::Violation> {
+        self.check_window_order()?;
+        self.check_resource_accounting(issued_per)?;
+        self.check_waiter_liveness()?;
+        self.check_completion_liveness()?;
+        Ok(())
+    }
+
+    /// In-order retirement: the window is contiguous in sequence
+    /// numbers starting at the retirement base.
+    fn check_window_order(&self) -> Result<(), check::Violation> {
+        for (i, d) in self.window.iter().enumerate() {
+            let expect = self.base + i as u64;
+            if d.op.seq != expect {
+                return Err(check::Violation::new(
+                    "window-order",
+                    format!("window slot {i} holds #{}, expected #{expect}", d.op.seq),
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Re-derives every cluster's resource holdings from the window and
+    /// checks free + held (+ pending frees) against the configured
+    /// capacities, plus the cycle's issue counts against the per-cluster
+    /// width.
+    fn check_resource_accounting(&self, issued_per: &[u32; 2]) -> Result<(), check::Violation> {
+        let n = usize::from(self.cfg.clusters);
+        let mut t = [check::ClusterTally::default(); 2];
+        let (int_cap, fp_cap) = free_lists_for(self.cfg, &self.assign);
+        for c in 0..n {
+            t[c].dq_free = u64::from(self.dq_free[c]);
+            t[c].dq_capacity = u64::from(self.cfg.dq_entries);
+            t[c].otb_free = u64::from(self.otb_free[c]);
+            t[c].otb_capacity = u64::from(self.cfg.operand_buffer);
+            t[c].rtb_free = u64::from(self.rtb_free[c]);
+            t[c].rtb_capacity = u64::from(self.cfg.result_buffer);
+            t[c].int_free = self.int_free[c];
+            t[c].int_capacity = int_cap[c];
+            t[c].fp_free = self.fp_free[c];
+            t[c].fp_capacity = fp_cap[c];
+            t[c].issued = issued_per[c];
+            t[c].issue_limit = self.cfg.issue_rules.total;
+        }
+        for d in &self.window {
+            let m = d.dist.master.index();
+            if !d.dq_master_freed {
+                t[m].dq_held += 1;
+            }
+            if d.otb_held {
+                t[m].otb_held += 1;
+            }
+            if let Some(s) = d.dist.slave {
+                if !d.dq_slave_freed {
+                    t[s.index()].dq_held += 1;
+                }
+                if d.rtb_held {
+                    t[s.index()].rtb_held += 1;
+                }
+            }
+            for (c, bank) in d.phys.iter() {
+                match bank {
+                    RegBank::Int => t[c.index()].int_held += 1,
+                    RegBank::Fp => t[c.index()].fp_held += 1,
+                }
+            }
+        }
+        // Scheduled frees all lie strictly in the future here (due ones
+        // were drained at cycle start), so they are exactly the entries
+        // that are neither free nor held.
+        for Reverse((_, cluster, kind)) in &self.buffer_frees {
+            let c = usize::from(*cluster);
+            if *kind == OTB {
+                t[c].otb_pending += 1;
+            } else {
+                t[c].rtb_pending += 1;
+            }
+        }
+        for (c, tally) in t.iter().enumerate().take(n) {
+            check::verify_cluster(c, tally)?;
+        }
+        Ok(())
+    }
+
+    /// Every wakeup-list registration names a live, younger consumer
+    /// that still has unknown operands, and every arena node is either
+    /// reachable from a window list or on the free list (no leaks, no
+    /// cycles).
+    fn check_waiter_liveness(&self) -> Result<(), check::Violation> {
+        let nodes = self.waiters.nodes.len();
+        let mut registrations: Vec<[u32; 2]> = vec![[0; 2]; self.window.len()];
+        let mut reachable = 0usize;
+        for d in &self.window {
+            for (head, list) in [(d.w_done, "done"), (d.w_write, "write")] {
+                let mut idx = head;
+                while idx != NIL {
+                    reachable += 1;
+                    if reachable > nodes {
+                        return Err(check::Violation::new(
+                            "waiter-liveness",
+                            format!("cycle in the {list} wakeup list of #{}", d.op.seq),
+                        ));
+                    }
+                    let node = self.waiters.nodes[idx as usize];
+                    let Some(ci) = self.win_index(node.consumer) else {
+                        return Err(check::Violation::new(
+                            "waiter-liveness",
+                            format!(
+                                "the {list} list of #{} names consumer #{}, which is \
+                                 retired or squashed",
+                                d.op.seq, node.consumer
+                            ),
+                        ));
+                    };
+                    if node.consumer <= d.op.seq {
+                        return Err(check::Violation::new(
+                            "waiter-liveness",
+                            format!(
+                                "consumer #{} is not younger than its producer #{}",
+                                node.consumer, d.op.seq
+                            ),
+                        ));
+                    }
+                    registrations[ci][usize::from(node.action)] += 1;
+                    idx = node.next;
+                }
+            }
+        }
+        for (ci, regs) in registrations.iter().enumerate() {
+            let d = &self.window[ci];
+            for (action, &count) in regs.iter().enumerate() {
+                let st = if action == usize::from(ACT_MASTER) { &d.m_wait } else { &d.s_wait };
+                if count > u32::from(st.unknown) {
+                    return Err(check::Violation::new(
+                        "waiter-liveness",
+                        format!(
+                            "#{} holds {count} wakeup registrations for {} unknown \
+                             operands",
+                            d.op.seq, st.unknown
+                        ),
+                    ));
+                }
+            }
+        }
+        let free = self.waiters.free_len as usize;
+        if reachable + free != nodes {
+            return Err(check::Violation::new(
+                "waiter-liveness",
+                format!("{reachable} reachable + {free} free != {nodes} waiter nodes (leak)"),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Every future completion time recorded in the window has a
+    /// matching event in the completions heap — otherwise the progress
+    /// check could miss pending work and misdiagnose a deadlock.
+    fn check_completion_liveness(&self) -> Result<(), check::Violation> {
+        // One pass over the heap marks which window entries have a
+        // matching event; stale events for squashed or retired
+        // instructions (lazy deletion) simply mark nothing.
+        let mut scheduled = vec![[false; 2]; self.window.len()];
+        for Reverse((time, seq, kind)) in &self.completions {
+            let Some(wi) = self.win_index(*seq) else { continue };
+            let d = &self.window[wi];
+            let (expect, slot) = if *kind == DONE_EVT {
+                (d.master_done, 0)
+            } else {
+                (d.slave_write, 1)
+            };
+            if expect == Some(*time) {
+                scheduled[wi][slot] = true;
+            }
+        }
+        let now = self.now;
+        for (wi, d) in self.window.iter().enumerate() {
+            if let Some(done) = d.master_done {
+                if done > now && !scheduled[wi][0] {
+                    return Err(check::Violation::new(
+                        "completion-liveness",
+                        format!(
+                            "#{} completes at cycle {done} with no scheduled completion \
+                             event",
+                            d.op.seq
+                        ),
+                    ));
+                }
+            }
+            if let Some(write) = d.slave_write {
+                if write > now && !scheduled[wi][1] {
+                    return Err(check::Violation::new(
+                        "completion-liveness",
+                        format!(
+                            "#{} writes its slave register copy at cycle {write} with no \
+                             scheduled completion event",
+                            d.op.seq
+                        ),
+                    ));
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Squashes instruction `from_seq` and everything younger, then
@@ -1752,6 +2110,182 @@ mod tests {
         head2 = arena.push(head2, 9, ACT_SLAVE);
         let _ = head2;
         assert_eq!(arena.nodes.len(), len_before, "freed nodes are recycled");
+    }
+
+    /// Alternating even/odd destinations: every add dual-distributes
+    /// and moves an operand or result through a transfer buffer.
+    fn pingpong_program(len: usize) -> Program<ArchReg> {
+        let mut b = ProgramBuilder::<ArchReg>::new("pingpong");
+        let e = ArchReg::int(2);
+        let o = ArchReg::int(3);
+        b.lda(e, 0);
+        for _ in 0..len {
+            b.addq_imm(o, e, 1);
+            b.addq_imm(e, o, 1);
+        }
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn wedge_threshold_is_a_knob_and_wedging_is_reported() {
+        // Leaking every transfer-buffer entry of a 1-entry-buffer
+        // machine makes forwarding impossible forever, with no entry
+        // *held* by anyone — exactly the unattributable hard stall the
+        // wedge detector exists for.
+        let p = pingpong_program(20);
+        let mut wedge_cycles = Vec::new();
+        for threshold in [8u32, 200] {
+            let mut cfg = ProcessorConfig::dual_cluster_8way();
+            cfg.operand_buffer = 1;
+            cfg.result_buffer = 1;
+            cfg.wedge_threshold = threshold;
+            cfg.faults = vec![
+                FaultInjection::LeakOperandBuffer { cycle: 0 },
+                FaultInjection::LeakResultBuffer { cycle: 0 },
+            ];
+            let err = Processor::new(cfg).run_program(&p).unwrap_err();
+            match err {
+                SimError::Wedged { cycle, oldest_seq } => {
+                    assert!(oldest_seq > 0, "the lda retires before the machine wedges");
+                    wedge_cycles.push(cycle);
+                }
+                other => panic!("expected Wedged, got {other}"),
+            }
+        }
+        assert!(
+            wedge_cycles[0] + 100 < wedge_cycles[1],
+            "a larger threshold must tolerate a longer stall: {wedge_cycles:?}"
+        );
+    }
+
+    #[test]
+    fn cycle_checker_catches_injected_buffer_leak_immediately() {
+        let p = pingpong_program(20);
+        let mut cfg = ProcessorConfig::dual_cluster_8way().with_check_level(CheckLevel::Cycle);
+        cfg.faults = vec![FaultInjection::LeakOperandBuffer { cycle: 0 }];
+        let err = Processor::new(cfg).run_program(&p).unwrap_err();
+        match err {
+            SimError::Invariant { cycle, rule, .. } => {
+                assert_eq!(rule, "otb-accounting");
+                assert_eq!(cycle, 0, "cycle-level checking detects the leak at once");
+            }
+            other => panic!("expected Invariant, got {other}"),
+        }
+    }
+
+    #[test]
+    fn retire_checker_catches_injected_buffer_leak_by_first_retirement() {
+        let p = pingpong_program(20);
+        let mut cfg = ProcessorConfig::dual_cluster_8way().with_check_level(CheckLevel::Retire);
+        cfg.faults = vec![FaultInjection::LeakResultBuffer { cycle: 0 }];
+        let err = Processor::new(cfg).run_program(&p).unwrap_err();
+        match err {
+            SimError::Invariant { cycle, rule, snapshot, .. } => {
+                assert_eq!(rule, "rtb-accounting");
+                assert!(cycle > 0, "retire-level checking waits for a retiring cycle");
+                assert!(snapshot.contains("window at cycle"), "snapshot: {snapshot}");
+            }
+            other => panic!("expected Invariant, got {other}"),
+        }
+    }
+
+    #[test]
+    fn checker_does_not_perturb_clean_runs() {
+        // Buffers of one entry force replay exceptions through the
+        // checker; the stats must match the unchecked run exactly.
+        let p = pingpong_program(50);
+        for mut cfg in [ProcessorConfig::dual_cluster_8way(), {
+            let mut tiny = ProcessorConfig::dual_cluster_8way();
+            tiny.operand_buffer = 1;
+            tiny.result_buffer = 1;
+            tiny
+        }] {
+            cfg.check_level = CheckLevel::Off;
+            let baseline = run(cfg.clone(), &p);
+            for level in [CheckLevel::Retire, CheckLevel::Cycle] {
+                let checked = run(cfg.clone().with_check_level(level), &p);
+                assert_eq!(checked.stats, baseline.stats, "level {level:?} diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn recurring_deadlock_at_same_base_escalates_and_still_retires() {
+        // Four independent instructions; fake a second transfer-buffer
+        // deadlock at an unchanged window base (the first replay's base
+        // is recorded in `last_replay_base`). The recovery must take the
+        // escalated full squash — keeping only the oldest instruction —
+        // and the run must still retire everything.
+        let mut b = ProgramBuilder::<ArchReg>::new("escalate");
+        for i in 0..4i64 {
+            b.lda(ArchReg::int(2 + 2 * u8::try_from(i).unwrap()), i);
+        }
+        let p = b.finish().unwrap();
+        let (trace, _) = trace_program(&p).unwrap();
+        let cfg = ProcessorConfig::dual_cluster_8way();
+        let mut sim = Sim::new(&cfg, trace.as_slice());
+        let mut dispatched = 0;
+        for _ in 0..100 {
+            dispatched += sim.dispatch();
+            if dispatched == 4 {
+                break;
+            }
+            sim.now += 1;
+        }
+        assert_eq!(dispatched, 4);
+
+        // A younger instruction holds a buffer entry, and the previous
+        // replay happened at this very base: the non-escalated victim
+        // choice (youngest holder) would deadlock again.
+        sim.otb_free[0] -= 1;
+        sim.window[2].otb_held = true;
+        sim.last_replay_base = Some(sim.base);
+        sim.blocked_on_buffer = true;
+        sim.no_progress_cycles = 1;
+        sim.check_progress(0).unwrap();
+
+        assert_eq!(sim.stats.replays, 1);
+        assert_eq!(sim.stats.replay_escalations, 1, "same-base recurrence escalates");
+        assert_eq!(sim.window.len(), 1, "full squash keeps only the oldest instruction");
+        assert_eq!(sim.otb_free[0], cfg.operand_buffer, "squash returned the held entry");
+
+        let result = sim.run().expect("escalated recovery completes the run");
+        assert_eq!(result.stats.retired, 4, "everything retires after re-dispatch");
+        assert_eq!(result.stats.replay_escalations, 1);
+    }
+
+    #[test]
+    fn completion_liveness_detects_a_cleared_event_heap() {
+        // Multiplies take several cycles, so a scheduled completion is
+        // observably in the future at end-of-cycle.
+        let mut b = ProgramBuilder::<ArchReg>::new("mul-chain");
+        let r = ArchReg::int(2);
+        b.lda(r, 3);
+        for _ in 0..10 {
+            b.mulq_imm(r, r, 3);
+        }
+        let p = b.finish().unwrap();
+        let (trace, _) = trace_program(&p).unwrap();
+        let cfg = ProcessorConfig::single_cluster_8way();
+        let mut sim = Sim::new(&cfg, trace.as_slice());
+        for _ in 0..200 {
+            sim.step().unwrap();
+            if sim.window.iter().any(|d| matches!(d.master_done, Some(t) if t > sim.now)) {
+                break;
+            }
+        }
+        assert!(
+            sim.window.iter().any(|d| matches!(d.master_done, Some(t) if t > sim.now)),
+            "an in-flight completion exists"
+        );
+        assert!(sim.validate_invariants(&[0, 0]).is_ok(), "live state validates");
+
+        sim.completions.clear();
+        let err = sim.validate_invariants(&[0, 0]).unwrap_err();
+        match err {
+            SimError::Invariant { rule, .. } => assert_eq!(rule, "completion-liveness"),
+            other => panic!("expected Invariant, got {other}"),
+        }
     }
 
     #[test]

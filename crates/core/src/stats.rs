@@ -38,6 +38,10 @@ pub struct SimStats {
     pub replays: u64,
     /// Instructions squashed by replay exceptions.
     pub replay_squashed: u64,
+    /// Replay exceptions escalated to a full squash because the same
+    /// deadlock recurred at the same window base without an intervening
+    /// retirement.
+    pub replay_escalations: u64,
     /// Dynamic register reassignments performed (Section 6 mechanism).
     pub reassignments: u64,
     /// Cycles spent draining and switching at reassignment points.

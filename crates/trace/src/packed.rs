@@ -22,12 +22,17 @@
 //! `branch`, not both. The VM guarantees this (loads/stores are not
 //! control flow); [`PackedTrace::push`] panics otherwise.
 
-use mcl_isa::{ArchReg, Opcode};
+use std::fmt;
+
+use mcl_isa::{reg::REGS_PER_BANK, ArchReg, Opcode};
 
 use crate::traceop::{BranchInfo, TraceOp};
 
 /// Register-byte sentinel meaning "no register".
 const NO_REG: u8 = 0xFF;
+
+/// Dense register indices run `0..2 * REGS_PER_BANK`.
+const DENSE_REGS: u8 = 2 * REGS_PER_BANK;
 
 /// Flag bit: the auxiliary word holds a memory address.
 const HAS_MEM: u8 = 1 << 0;
@@ -121,6 +126,92 @@ impl PackedOp {
             mem_addr,
             branch,
         }
+    }
+}
+
+/// Why a serialized trace failed to decode (see
+/// [`PackedTrace::from_bytes`]).
+///
+/// Every field of a wire record is validated before a [`PackedOp`] is
+/// built, so a corrupt input surfaces as one of these instead of a
+/// panic deep inside the simulator's fetch loop.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PackedDecodeError {
+    /// The byte stream is not a whole number of
+    /// [`PackedTrace::WIRE_BYTES_PER_OP`]-byte records.
+    Truncated {
+        /// Total input length in bytes.
+        len: usize,
+    },
+    /// A record's opcode byte names no [`Opcode`].
+    BadOpcode {
+        /// Record index.
+        index: usize,
+        /// The offending byte.
+        code: u8,
+    },
+    /// A register byte is neither the "no register" sentinel nor a
+    /// dense register index.
+    BadRegister {
+        /// Record index.
+        index: usize,
+        /// Which register slot (`"dest"`, `"src0"`, or `"src1"`).
+        field: &'static str,
+        /// The offending byte.
+        value: u8,
+    },
+    /// The flag byte uses undefined bits or an impossible combination
+    /// (memory and branch together, or branch-outcome bits without a
+    /// branch).
+    BadFlags {
+        /// Record index.
+        index: usize,
+        /// The offending byte.
+        flags: u8,
+    },
+    /// The auxiliary word is nonzero although the flags claim neither a
+    /// memory address nor a branch target.
+    BadAux {
+        /// Record index.
+        index: usize,
+    },
+}
+
+impl fmt::Display for PackedDecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PackedDecodeError::Truncated { len } => write!(
+                f,
+                "trace of {len} bytes is not a whole number of {}-byte records",
+                PackedTrace::WIRE_BYTES_PER_OP
+            ),
+            PackedDecodeError::BadOpcode { index, code } => {
+                write!(f, "record {index}: opcode byte {code:#04x} names no opcode")
+            }
+            PackedDecodeError::BadRegister { index, field, value } => {
+                write!(f, "record {index}: {field} register byte {value:#04x} is out of range")
+            }
+            PackedDecodeError::BadFlags { index, flags } => {
+                write!(f, "record {index}: flag byte {flags:#04x} is inconsistent")
+            }
+            PackedDecodeError::BadAux { index } => {
+                write!(f, "record {index}: auxiliary word set without a memory or branch flag")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PackedDecodeError {}
+
+fn check_reg_byte(
+    index: usize,
+    field: &'static str,
+    value: u8,
+) -> Result<(), PackedDecodeError> {
+    if value == NO_REG || value < DENSE_REGS {
+        Ok(())
+    } else {
+        Err(PackedDecodeError::BadRegister { index, field, value })
     }
 }
 
@@ -239,6 +330,67 @@ impl PackedTrace {
     pub fn bytes_per_op() -> usize {
         std::mem::size_of::<PackedOp>()
     }
+
+    /// Bytes per serialized record: the 21 payload bytes of a
+    /// [`PackedOp`] without its alignment padding.
+    pub const WIRE_BYTES_PER_OP: usize = 21;
+
+    /// Serializes the trace as fixed-width little-endian records
+    /// (`pc:8, aux:8, op:1, dest:1, src0:1, src1:1, flags:1`).
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.ops.len() * PackedTrace::WIRE_BYTES_PER_OP);
+        for op in &self.ops {
+            out.extend_from_slice(&op.pc.to_le_bytes());
+            out.extend_from_slice(&op.aux.to_le_bytes());
+            out.extend_from_slice(&[op.op, op.dest, op.src0, op.src1, op.flags]);
+        }
+        out
+    }
+
+    /// Deserializes a [`PackedTrace::to_bytes`] stream, validating every
+    /// record.
+    ///
+    /// Validation is what lets [`PackedOp::unpack`] assume well-formed
+    /// records: an opcode byte that names a real [`Opcode`], register
+    /// bytes that are the sentinel or a dense index, flag bits from the
+    /// defined set in a possible combination, and a zero auxiliary word
+    /// when no flag claims it.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PackedDecodeError`] naming the first corrupt record
+    /// and field.
+    pub fn from_bytes(bytes: &[u8]) -> Result<PackedTrace, PackedDecodeError> {
+        const W: usize = PackedTrace::WIRE_BYTES_PER_OP;
+        if !bytes.len().is_multiple_of(W) {
+            return Err(PackedDecodeError::Truncated { len: bytes.len() });
+        }
+        let mut ops = Vec::with_capacity(bytes.len() / W);
+        for (index, rec) in bytes.chunks_exact(W).enumerate() {
+            let pc = u64::from_le_bytes(rec[0..8].try_into().unwrap());
+            let aux = u64::from_le_bytes(rec[8..16].try_into().unwrap());
+            let [op, dest, src0, src1, flags] = [rec[16], rec[17], rec[18], rec[19], rec[20]];
+            if Opcode::from_code(op).is_none() {
+                return Err(PackedDecodeError::BadOpcode { index, code: op });
+            }
+            check_reg_byte(index, "dest", dest)?;
+            check_reg_byte(index, "src0", src0)?;
+            check_reg_byte(index, "src1", src1)?;
+            let defined = HAS_MEM | HAS_BRANCH | TAKEN | CONDITIONAL;
+            let impossible = flags & !defined != 0
+                || flags & HAS_MEM != 0 && flags & HAS_BRANCH != 0
+                || flags & (TAKEN | CONDITIONAL) != 0 && flags & HAS_BRANCH == 0;
+            if impossible {
+                return Err(PackedDecodeError::BadFlags { index, flags });
+            }
+            if aux != 0 && flags & (HAS_MEM | HAS_BRANCH) == 0 {
+                return Err(PackedDecodeError::BadAux { index });
+            }
+            ops.push(PackedOp { pc, aux, op, dest, src0, src1, flags });
+        }
+        Ok(PackedTrace { ops })
+    }
 }
 
 /// A random-access dynamic instruction stream the simulator can fetch
@@ -339,6 +491,80 @@ mod tests {
         let mut op = branch_op(0);
         op.mem_addr = Some(0x10);
         let _ = PackedOp::pack(&op);
+    }
+
+    #[test]
+    fn wire_round_trip_preserves_every_record() {
+        let ops = [
+            TraceOp {
+                seq: 0,
+                pc: 0x1000,
+                op: Opcode::Ldt,
+                dest: Some(ArchReg::fp(7)),
+                srcs: [Some(ArchReg::int(30)), None],
+                mem_addr: Some(0x9008),
+                branch: None,
+            },
+            branch_op(1),
+            TraceOp {
+                seq: 2,
+                pc: 0x1010,
+                op: Opcode::Addq,
+                dest: Some(ArchReg::int(3)),
+                srcs: [Some(ArchReg::int(1)), Some(ArchReg::int(2))],
+                mem_addr: None,
+                branch: None,
+            },
+        ];
+        let trace = PackedTrace::from_ops(&ops);
+        let bytes = trace.to_bytes();
+        assert_eq!(bytes.len(), ops.len() * PackedTrace::WIRE_BYTES_PER_OP);
+        assert_eq!(PackedTrace::from_bytes(&bytes).unwrap(), trace);
+        assert_eq!(PackedTrace::from_bytes(&[]).unwrap(), PackedTrace::new());
+    }
+
+    #[test]
+    fn decode_rejects_each_kind_of_corruption() {
+        let trace = PackedTrace::from_ops(&[branch_op(0)]);
+        let good = trace.to_bytes();
+
+        let truncated = &good[..good.len() - 1];
+        assert_eq!(
+            PackedTrace::from_bytes(truncated),
+            Err(PackedDecodeError::Truncated { len: 20 })
+        );
+
+        let mut bad_op = good.clone();
+        bad_op[16] = u8::MAX; // no opcode has code 0xFF
+        assert_eq!(
+            PackedTrace::from_bytes(&bad_op),
+            Err(PackedDecodeError::BadOpcode { index: 0, code: u8::MAX })
+        );
+
+        let mut bad_reg = good.clone();
+        bad_reg[18] = DENSE_REGS; // first invalid dense index
+        assert_eq!(
+            PackedTrace::from_bytes(&bad_reg),
+            Err(PackedDecodeError::BadRegister { index: 0, field: "src0", value: DENSE_REGS })
+        );
+
+        let mut bad_flags = good.clone();
+        bad_flags[20] = HAS_MEM | HAS_BRANCH;
+        assert_eq!(
+            PackedTrace::from_bytes(&bad_flags),
+            Err(PackedDecodeError::BadFlags { index: 0, flags: HAS_MEM | HAS_BRANCH })
+        );
+
+        let mut orphan_bits = good.clone();
+        orphan_bits[20] = TAKEN; // branch-outcome bit without HAS_BRANCH
+        assert_eq!(
+            PackedTrace::from_bytes(&orphan_bits),
+            Err(PackedDecodeError::BadFlags { index: 0, flags: TAKEN })
+        );
+
+        let mut bad_aux = good;
+        bad_aux[20] = 0; // drop HAS_BRANCH but leave the target word
+        assert_eq!(PackedTrace::from_bytes(&bad_aux), Err(PackedDecodeError::BadAux { index: 0 }));
     }
 
     #[test]

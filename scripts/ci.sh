@@ -33,4 +33,30 @@ test -s "$smoke_dir/BENCH_repro.json" || {
     exit 1
 }
 
+echo "== smoke: invariant checker does not change results =="
+(cd "$smoke_dir" && "$OLDPWD/target/release/repro" table2 4 > table2_plain.txt)
+(cd "$smoke_dir" && "$OLDPWD/target/release/repro" table2 4 --check retire > table2_checked.txt)
+if ! diff -q "$smoke_dir/table2_plain.txt" "$smoke_dir/table2_checked.txt"; then
+    echo "FAIL: --check retire changed table2 output" >&2
+    exit 1
+fi
+
+echo "== smoke: selftest (differential + fault injection) =="
+(cd "$smoke_dir" && "$OLDPWD/target/release/repro" selftest 8 --jobs 2)
+
+echo "== smoke: fault-isolated driver =="
+if (cd "$smoke_dir" && MCL_PANIC_CELL=1 "$OLDPWD/target/release/repro" table2 4 --keep-going \
+        > keepgoing.txt 2> keepgoing.err); then
+    echo "FAIL: run with an injected panic exited zero" >&2
+    exit 1
+fi
+grep -q '"id":"panic-probe","status":"panicked"' "$smoke_dir/BENCH_repro.json" || {
+    echo "FAIL: panicked cell not recorded in BENCH_repro.json" >&2
+    exit 1
+}
+grep -q 'compress' "$smoke_dir/keepgoing.txt" || {
+    echo "FAIL: --keep-going did not render the surviving sections" >&2
+    exit 1
+}
+
 echo "CI OK"
