@@ -46,9 +46,7 @@ fn point(param: u64, stats: &mcl_core::SimStats) -> SweepPoint {
 }
 
 fn charge(cost: &mut CellCost, product: &SimProduct) {
-    cost.simulated_cycles += product.stats.cycles;
-    cost.trace_build_seconds += product.trace_build_seconds;
-    cost.simulate_seconds += product.simulate_seconds;
+    cost.charge_sim(product);
 }
 
 /// A1 — transfer-buffer sizing: dual-cluster cycles and replay count as

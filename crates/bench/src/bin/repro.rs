@@ -17,6 +17,7 @@
 //! repro pipeline <bench>       per-instruction pipeline diagram
 //! repro selftest [divisor]    differential + fault-injection self-checks
 //! repro all [divisor]         everything above (except selftest)
+//! repro obs-validate <dir>     validate a directory of --obs exports
 //! ```
 //!
 //! Every subcommand (except `pipeline`) expands into independent
@@ -37,12 +38,25 @@
 //!   (see `mcl_core::check`).
 //! - `--watchdog SECS` — mark cells exceeding a soft wall-clock budget
 //!   in `BENCH_repro.json` (`watchdog_exceeded`); advisory, not a kill.
+//!
+//! Observability flags (see `mcl_bench::obs`):
+//!
+//! - `--obs OUT_DIR` — for every Table 2 cell, run an instrumented
+//!   companion simulation and export `<bench>.series.json` (interval
+//!   time series + latency histograms) and `<bench>.trace.json` (Chrome
+//!   trace events, Perfetto-loadable) into `OUT_DIR`. The cell's
+//!   reported statistics still come from the uninstrumented run, and
+//!   the two are cross-checked for byte identity.
+//! - `--sample-interval N` — sampling interval in cycles for `--obs`
+//!   (default 1024).
 
 use std::ops::Range;
+use std::path::PathBuf;
 use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Instant;
 
+use mcl_bench::obs::{self, ObsSettings};
 use mcl_bench::runner::{self, Cell, CellCost, CellStatus, RunInfo};
 use mcl_bench::{
     ablate, crossover, figure6, scenarios, selftest, table1, table2, Table2Row, TraceStore,
@@ -95,13 +109,53 @@ fn main() -> ExitCode {
             }
         },
     };
-    let options = RunOptions { keep_going, watchdog_seconds };
+    let obs_dir = match take_value_flag(&mut args, "--obs") {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let sample_interval = match take_value_flag(&mut args, "--sample-interval") {
+        Ok(None) => 1024,
+        Ok(Some(v)) => match v.parse::<u64>() {
+            Ok(n) if n > 0 => n,
+            _ => {
+                eprintln!("error: invalid --sample-interval value `{v}`");
+                return ExitCode::FAILURE;
+            }
+        },
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let obs_settings =
+        obs_dir.map(|dir| ObsSettings { dir: PathBuf::from(dir), sample_interval });
+    let options = RunOptions { keep_going, watchdog_seconds, obs: obs_settings };
     let cmd = args.first().cloned().unwrap_or_else(|| "all".to_owned());
     let divisor: u32 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(1);
 
     if cmd == "pipeline" {
         return match run_pipeline(args.get(1).map_or("compress", String::as_str)) {
             Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    if cmd == "obs-validate" {
+        let Some(dir) = args.get(1) else {
+            eprintln!("error: obs-validate requires a directory");
+            return ExitCode::FAILURE;
+        };
+        return match obs::validate_dir(std::path::Path::new(dir)) {
+            Ok(summary) => {
+                println!("obs-validate {dir}: {summary}");
+                ExitCode::SUCCESS
+            }
             Err(e) => {
                 eprintln!("error: {e}");
                 ExitCode::FAILURE
@@ -117,12 +171,12 @@ fn main() -> ExitCode {
     match cmd.as_str() {
         "table1" => plan_table1(&mut plan),
         "table2" => {
-            plan_table2(&mut plan, &store, divisor, mcl_only().as_deref());
+            plan_table2(&mut plan, &store, divisor, mcl_only().as_deref(), options.obs.as_ref());
         }
         "scenarios" => plan_scenarios(&mut plan),
         "fig6" => plan_fig6(&mut plan),
         "crossover" => {
-            let rows = plan_table2_cells(&mut plan, &store, divisor, None);
+            let rows = plan_table2_cells(&mut plan, &store, divisor, None, options.obs.as_ref());
             plan_crossover(&mut plan, rows);
         }
         "ablate-buffers" => plan_ablate_buffers(&mut plan, &store, divisor),
@@ -134,7 +188,7 @@ fn main() -> ExitCode {
         "mix" => plan_mix(&mut plan, divisor),
         "schedulers" => plan_schedulers(&mut plan, &store, divisor),
         "selftest" => plan_selftest(&mut plan, divisor),
-        "all" => plan_all(&mut plan, &store, divisor),
+        "all" => plan_all(&mut plan, &store, divisor, options.obs.as_ref()),
         other => {
             eprintln!("unknown subcommand `{other}`; see the module docs for usage");
             return ExitCode::FAILURE;
@@ -161,11 +215,12 @@ fn main() -> ExitCode {
     }
 }
 
-/// Driver-level robustness options.
-#[derive(Clone, Copy, Default)]
+/// Driver-level robustness and observability options.
+#[derive(Clone, Default)]
 struct RunOptions {
     keep_going: bool,
     watchdog_seconds: Option<f64>,
+    obs: Option<ObsSettings>,
 }
 
 /// Extracts `--jobs N` / `--jobs=N` from the argument list.
@@ -341,6 +396,8 @@ impl Plan {
             total_wall_seconds: start.elapsed().as_secs_f64(),
             keep_going: options.keep_going,
             watchdog_seconds: options.watchdog_seconds,
+            obs_dir: options.obs.as_ref().map(|s| s.dir.display().to_string()),
+            sample_interval: options.obs.as_ref().map_or(0, |s| s.sample_interval),
         };
         if let Err(e) = runner::write_report(path, &info, &store.counters(), &metrics) {
             eprintln!("warning: could not write {}: {e}", path.display());
@@ -366,18 +423,28 @@ fn plan_table1(plan: &mut Plan) {
 
 /// Adds one Table 2 cell per benchmark (no rendering); returns the cell
 /// range so both the Table 2 and crossover sections can consume it.
+///
+/// With `obs` set, each cell additionally runs an instrumented companion
+/// simulation and writes its exports ([`obs::observe_cell`]); the
+/// companion's cycles are not charged to the cell cost, so the report's
+/// aggregate statistics stay identical with `--obs` on or off.
 fn plan_table2_cells(
     plan: &mut Plan,
     store: &Arc<TraceStore>,
     divisor: u32,
     only: Option<&str>,
+    obs: Option<&ObsSettings>,
 ) -> Range<usize> {
     let start = plan.cells.len();
     for &bench in Benchmark::ALL.iter().filter(|b| only.is_none_or(|name| b.name() == name)) {
         let scale = bench.scaled(divisor);
         let store = Arc::clone(store);
+        let obs = obs.cloned();
         plan.cells.push(Cell::new(format!("table2/{bench}"), move || {
             let (row, cost) = table2::table2_row_with(&store, bench, scale)?;
+            if let Some(settings) = &obs {
+                obs::observe_cell(&store, bench, scale, settings)?;
+            }
             Ok((Payload::Row(Box::new(row)), cost))
         }));
     }
@@ -389,8 +456,9 @@ fn plan_table2(
     store: &Arc<TraceStore>,
     divisor: u32,
     only: Option<&str>,
+    obs: Option<&ObsSettings>,
 ) -> Range<usize> {
-    let range = plan_table2_cells(plan, store, divisor, only);
+    let range = plan_table2_cells(plan, store, divisor, only, obs);
     plan.derived_section(
         range.clone(),
         Box::new(|ps| {
@@ -652,6 +720,7 @@ fn plan_selftest(plan: &mut Plan, divisor: u32) {
         selftest_cell("packed-vs-fat", move || selftest::packed_vs_fat(divisor)),
         selftest_cell("store-vs-fresh", move || selftest::store_vs_fresh(divisor)),
         selftest_cell("jobs-agree", move || selftest::jobs_agree(divisor)),
+        selftest_cell("stall-identity", move || selftest::stall_identity(divisor)),
         selftest_cell("fuzz-checker", || selftest::fuzz_checker(24)),
         selftest_cell("leak-fault", selftest::leak_fault_caught),
         selftest_cell("corrupt-packed", selftest::corrupt_packed_rejected),
@@ -668,19 +737,20 @@ fn plan_selftest(plan: &mut Plan, divisor: u32) {
     );
 }
 
-fn plan_all(plan: &mut Plan, store: &Arc<TraceStore>, divisor: u32) {
+fn plan_all(plan: &mut Plan, store: &Arc<TraceStore>, divisor: u32, obs: Option<&ObsSettings>) {
     plan_table1(plan);
-    let table2_cells = plan_table2(plan, store, divisor, mcl_only().as_deref());
+    let table2_cells = plan_table2(plan, store, divisor, mcl_only().as_deref(), obs);
     plan_scenarios(plan);
     plan_fig6(plan);
     // The crossover analysis derives from Table 2's rows; reuse them
     // instead of re-simulating — unless MCL_ONLY restricted Table 2, in
     // which case crossover still covers every benchmark (as the serial
-    // driver always did).
+    // driver always did). The extra rows never re-export observability
+    // artifacts.
     if mcl_only().is_none() {
         plan_crossover(plan, table2_cells);
     } else {
-        let full_rows = plan_table2_cells(plan, store, divisor, None);
+        let full_rows = plan_table2_cells(plan, store, divisor, None, None);
         plan_crossover(plan, full_rows);
     }
     plan_ablate_buffers(plan, store, divisor);

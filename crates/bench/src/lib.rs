@@ -19,6 +19,9 @@
 //!   into independent cells, runs them on a scoped worker pool, and
 //!   collects deterministically so `--jobs N` output is byte-identical
 //!   to a serial run. Writes `BENCH_repro.json` (see [`json`]).
+//! - [`obs`] — the `--obs` exports: per-cell interval-sampled time
+//!   series, latency histograms, and Chrome trace-event files from an
+//!   instrumented companion simulation, plus `repro obs-validate`.
 //!
 //! Everything here is a library so the `repro` binary and the criterion
 //! benches share one implementation.
@@ -34,6 +37,7 @@ use mcl_workloads::Benchmark;
 pub mod ablate;
 pub mod figure6;
 pub mod json;
+pub mod obs;
 pub mod runner;
 pub mod scenarios;
 pub mod selftest;
@@ -41,7 +45,7 @@ pub mod store;
 pub mod table1;
 pub mod table2;
 
-pub use store::{SimProduct, TraceRequest, TraceStore};
+pub use store::{SimProduct, TracePhases, TraceRequest, TraceStore};
 pub use table2::{table2, table2_row, Table2Row};
 
 /// Harness errors.
@@ -68,6 +72,8 @@ pub enum Error {
     /// A differential or fault-injection self-check found the harness
     /// disagreeing with itself (see [`selftest`]).
     SelfCheck(String),
+    /// An observability export or validation failed (see [`obs`]).
+    Obs(String),
 }
 
 impl fmt::Display for Error {
@@ -79,6 +85,7 @@ impl fmt::Display for Error {
             Error::Store(e) => write!(f, "trace store: {e}"),
             Error::Panic { cell, message } => write!(f, "cell `{cell}` panicked: {message}"),
             Error::SelfCheck(e) => write!(f, "self-check: {e}"),
+            Error::Obs(e) => write!(f, "observability: {e}"),
         }
     }
 }
@@ -170,9 +177,7 @@ pub fn run_all_configs_with(
     let dual_none = store.sim(&native, &ProcessorConfig::dual_cluster_8way())?;
     let dual_local = store.sim(&local, &ProcessorConfig::dual_cluster_8way())?;
     for product in [&single, &dual_none, &dual_local] {
-        cost.simulated_cycles += product.stats.cycles;
-        cost.trace_build_seconds += product.trace_build_seconds;
-        cost.simulate_seconds += product.simulate_seconds;
+        cost.charge_sim(product);
     }
     Ok(((single.stats, dual_none.stats, dual_local.stats), cost))
 }

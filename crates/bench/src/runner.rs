@@ -25,13 +25,16 @@ use std::sync::Mutex;
 use std::time::Instant;
 
 use crate::json::Json;
-use crate::store::StoreCounters;
+use crate::store::{SimProduct, StoreCounters};
 use crate::Error;
 
 /// What one cell spent: simulated cycles it accounted for, and its wall
 /// time split into trace building (scheduling + VM interpretation,
 /// including time spent waiting on or hitting the shared trace store)
-/// and cycle-level simulation.
+/// and cycle-level simulation. Trace building further splits into the
+/// host-side phase timers of [`crate::store::TracePhases`] — IL build,
+/// prepass, cluster scheduling — which are nonzero only for the cell
+/// whose store call actually built that stage.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct CellCost {
     /// Simulated cycles the cell accounted for (0 for cells that only
@@ -41,6 +44,12 @@ pub struct CellCost {
     pub trace_build_seconds: f64,
     /// Seconds spent in cycle-level simulation (store hits cost ~0).
     pub simulate_seconds: f64,
+    /// Seconds spent building intermediate-language programs.
+    pub il_build_seconds: f64,
+    /// Seconds spent in the scheduler-independent prepass.
+    pub prepass_seconds: f64,
+    /// Seconds spent cluster-scheduling and packing traces.
+    pub schedule_seconds: f64,
 }
 
 impl CellCost {
@@ -56,6 +65,20 @@ impl CellCost {
         self.simulated_cycles += other.simulated_cycles;
         self.trace_build_seconds += other.trace_build_seconds;
         self.simulate_seconds += other.simulate_seconds;
+        self.il_build_seconds += other.il_build_seconds;
+        self.prepass_seconds += other.prepass_seconds;
+        self.schedule_seconds += other.schedule_seconds;
+    }
+
+    /// Accumulates one store-served simulation: its cycles, wall-time
+    /// split, and phase breakdown.
+    pub fn charge_sim(&mut self, product: &SimProduct) {
+        self.simulated_cycles += product.stats.cycles;
+        self.trace_build_seconds += product.trace_build_seconds;
+        self.simulate_seconds += product.simulate_seconds;
+        self.il_build_seconds += product.phases.il_seconds;
+        self.prepass_seconds += product.phases.prepass_seconds;
+        self.schedule_seconds += product.phases.schedule_seconds;
     }
 }
 
@@ -129,6 +152,12 @@ pub struct CellMetric {
     pub trace_build_seconds: f64,
     /// Seconds the cell spent in cycle-level simulation.
     pub simulate_seconds: f64,
+    /// Seconds the cell spent building IL programs.
+    pub il_build_seconds: f64,
+    /// Seconds the cell spent in the scheduler-independent prepass.
+    pub prepass_seconds: f64,
+    /// Seconds the cell spent cluster-scheduling and packing traces.
+    pub schedule_seconds: f64,
 }
 
 impl CellMetric {
@@ -237,6 +266,9 @@ pub fn run_cells<R: Send>(
             simulated_cycles: cost.simulated_cycles,
             trace_build_seconds: cost.trace_build_seconds,
             simulate_seconds: cost.simulate_seconds,
+            il_build_seconds: cost.il_build_seconds,
+            prepass_seconds: cost.prepass_seconds,
+            schedule_seconds: cost.schedule_seconds,
         });
     }
     Ok((payloads, metrics))
@@ -277,6 +309,9 @@ pub fn run_cells_isolated<R: Send>(
             simulated_cycles: cost.simulated_cycles,
             trace_build_seconds: cost.trace_build_seconds,
             simulate_seconds: cost.simulate_seconds,
+            il_build_seconds: cost.il_build_seconds,
+            prepass_seconds: cost.prepass_seconds,
+            schedule_seconds: cost.schedule_seconds,
         });
     }
     (payloads, metrics)
@@ -288,8 +323,12 @@ pub fn run_cells_isolated<R: Send>(
 /// trace-build/simulate split. Version 3 added fault-isolation fields:
 /// top-level `keep_going`, `watchdog_seconds`, and `failed_cells`, and
 /// per-cell `status` (`ok` / `error` / `panicked`), `error`, and
-/// `watchdog_exceeded`.
-pub const REPORT_SCHEMA_VERSION: u64 = 3;
+/// `watchdog_exceeded`. Version 4 added the host-side phase timers —
+/// top-level `total_il_build_seconds` / `total_prepass_seconds` /
+/// `total_schedule_seconds` and the matching per-cell fields — plus the
+/// top-level `obs` object (`dir`, `sample_interval`; `null` when the run
+/// had no `--obs`).
+pub const REPORT_SCHEMA_VERSION: u64 = 4;
 
 /// Identity and options of one driver run, recorded at the top of the
 /// report.
@@ -307,6 +346,10 @@ pub struct RunInfo {
     pub keep_going: bool,
     /// The soft wall-clock watchdog, if one was set (`--watchdog`).
     pub watchdog_seconds: Option<f64>,
+    /// The observability export directory, when `--obs` was set.
+    pub obs_dir: Option<String>,
+    /// The `--sample-interval` of an observability run (cycles).
+    pub sample_interval: u64,
 }
 
 /// Builds the `BENCH_repro.json` report.
@@ -316,7 +359,19 @@ pub fn report_json(info: &RunInfo, store: &StoreCounters, metrics: &[CellMetric]
     let total_cycles: u64 = metrics.iter().map(|m| m.simulated_cycles).sum();
     let total_build: f64 = metrics.iter().map(|m| m.trace_build_seconds).sum();
     let total_sim: f64 = metrics.iter().map(|m| m.simulate_seconds).sum();
+    let total_il: f64 = metrics.iter().map(|m| m.il_build_seconds).sum();
+    let total_prepass: f64 = metrics.iter().map(|m| m.prepass_seconds).sum();
+    let total_schedule: f64 = metrics.iter().map(|m| m.schedule_seconds).sum();
     let failed = metrics.iter().filter(|m| m.status != CellStatus::Ok).count();
+    let obs_json = match &info.obs_dir {
+        Some(dir) => {
+            let mut obs = Json::object();
+            obs.field("dir", dir.as_str().into())
+                .field("sample_interval", info.sample_interval.into());
+            obs
+        }
+        None => Json::Null,
+    };
     let mut store_json = Json::object();
     store_json
         .field("trace_hits", store.trace_hits.into())
@@ -344,7 +399,11 @@ pub fn report_json(info: &RunInfo, store: &StoreCounters, metrics: &[CellMetric]
         )
         .field("total_trace_build_seconds", total_build.into())
         .field("total_simulate_seconds", total_sim.into())
+        .field("total_il_build_seconds", total_il.into())
+        .field("total_prepass_seconds", total_prepass.into())
+        .field("total_schedule_seconds", total_schedule.into())
         .field("store", store_json)
+        .field("obs", obs_json)
         .field(
             "cells",
             Json::Array(
@@ -360,7 +419,10 @@ pub fn report_json(info: &RunInfo, store: &StoreCounters, metrics: &[CellMetric]
                             .field("simulated_cycles", m.simulated_cycles.into())
                             .field("simulated_cycles_per_second", m.cycles_per_second().into())
                             .field("trace_build_seconds", m.trace_build_seconds.into())
-                            .field("simulate_seconds", m.simulate_seconds.into());
+                            .field("simulate_seconds", m.simulate_seconds.into())
+                            .field("il_build_seconds", m.il_build_seconds.into())
+                            .field("prepass_seconds", m.prepass_seconds.into())
+                            .field("schedule_seconds", m.schedule_seconds.into());
                         cell
                     })
                     .collect(),
@@ -433,7 +495,7 @@ mod tests {
                 })
             })
             .collect();
-        let err = run_cells(3, cells).err().expect("must fail");
+        let err = run_cells(3, cells).expect_err("must fail");
         // Cells 2..6 all fail; the reported error is cell 2's, the
         // earliest in submission order.
         assert!(matches!(err, Error::Vm(mcl_trace::VmError::MaxStepsExceeded { limit: 2 })));
@@ -450,6 +512,9 @@ mod tests {
                 simulated_cycles: 100,
                 trace_build_seconds: 0.5,
                 simulate_seconds: 1.25,
+                il_build_seconds: 0.125,
+                prepass_seconds: 0.25,
+                schedule_seconds: 0.0625,
             },
             CellMetric {
                 id: "table2/broken".into(),
@@ -459,6 +524,9 @@ mod tests {
                 simulated_cycles: 0,
                 trace_build_seconds: 0.0,
                 simulate_seconds: 0.0,
+                il_build_seconds: 0.0,
+                prepass_seconds: 0.0,
+                schedule_seconds: 0.0,
             },
         ];
         let counters = StoreCounters { trace_hits: 3, trace_misses: 1, sim_hits: 2, sim_misses: 4 };
@@ -469,9 +537,11 @@ mod tests {
             total_wall_seconds: 2.5,
             keep_going: true,
             watchdog_seconds: Some(0.2),
+            obs_dir: None,
+            sample_interval: 0,
         };
         let json = report_json(&info, &counters, &metrics).render();
-        assert!(json.starts_with("{\"schema_version\":3,\"command\":\"table2\","));
+        assert!(json.starts_with("{\"schema_version\":4,\"command\":\"table2\","));
         assert!(json.contains("\"keep_going\":true"));
         assert!(json.contains("\"watchdog_seconds\":0.200000"));
         assert!(json.contains("\"failed_cells\":1"));
@@ -479,9 +549,13 @@ mod tests {
         assert!(json.contains("\"simulated_cycles_per_second\":40.000000"));
         assert!(json.contains("\"total_trace_build_seconds\":0.500000"));
         assert!(json.contains("\"total_simulate_seconds\":1.250000"));
+        assert!(json.contains("\"total_il_build_seconds\":0.125000"));
+        assert!(json.contains("\"total_prepass_seconds\":0.250000"));
+        assert!(json.contains("\"total_schedule_seconds\":0.062500"));
         assert!(json.contains(
             "\"store\":{\"trace_hits\":3,\"trace_misses\":1,\"sim_hits\":2,\"sim_misses\":4}"
         ));
+        assert!(json.contains("\"obs\":null"), "no --obs recorded for this run");
         assert!(json.contains(
             "\"cells\":[{\"id\":\"table2/compress\",\"status\":\"ok\",\"error\":null,\
              \"watchdog_exceeded\":false,"
@@ -491,6 +565,19 @@ mod tests {
              \"watchdog_exceeded\":true,"
         ));
         assert!(json.contains("\"trace_build_seconds\":0.500000"));
+        assert!(json.contains("\"simulate_seconds\":1.250000,\"il_build_seconds\":0.125000,\
+                               \"prepass_seconds\":0.250000,\"schedule_seconds\":0.062500"));
+    }
+
+    #[test]
+    fn obs_run_records_dir_and_interval() {
+        let info = RunInfo {
+            obs_dir: Some("out/obs".into()),
+            sample_interval: 1024,
+            ..RunInfo::default()
+        };
+        let json = report_json(&info, &StoreCounters::default(), &[]).render();
+        assert!(json.contains("\"obs\":{\"dir\":\"out/obs\",\"sample_interval\":1024}"));
     }
 
     #[test]
@@ -499,6 +586,7 @@ mod tests {
         assert!(json.contains("\"keep_going\":false"));
         assert!(json.contains("\"watchdog_seconds\":null"));
         assert!(json.contains("\"failed_cells\":0"));
+        assert!(json.contains("\"obs\":null"));
     }
 
     fn mixed_cells() -> Vec<Cell<usize>> {
@@ -518,7 +606,7 @@ mod tests {
         // Both serial and parallel paths must catch the panic rather
         // than unwind through the pool.
         for jobs in [1, 4] {
-            let err = run_cells(jobs, mixed_cells()).err().expect("must fail");
+            let err = run_cells(jobs, mixed_cells()).expect_err("must fail");
             match err {
                 Error::Panic { cell, message } => {
                     assert_eq!(cell, "cell/2");

@@ -11,6 +11,9 @@
 //!   equal a from-scratch schedule/trace/simulate of the same cell;
 //! - [`jobs_agree`] — the worker pool at `--jobs N` must produce the
 //!   payloads of a serial run;
+//! - [`stall_identity`] — every benchmark × machine preset must satisfy
+//!   the stall-accounting identity of [`mcl_core::stats::SimStats`]
+//!   (every cycle lands in exactly one dispatch/drain/stall bucket);
 //! - [`fuzz_checker`] — randomized straightline programs (deterministic
 //!   [`mcl_testutil::Rng`] seeds) run under the cycle-level invariant
 //!   checker on both machine presets, and the checker must neither fire
@@ -67,7 +70,7 @@ pub fn packed_vs_fat(divisor: u32) -> Result<(String, CellCost), Error> {
     let cost = CellCost {
         simulated_cycles: from_packed.cycles + from_fat.cycles,
         trace_build_seconds,
-        simulate_seconds: 0.0,
+        ..CellCost::default()
     };
     Ok((format!("{} ops, {} cycles, stats identical", fat.len(), from_packed.cycles), cost))
 }
@@ -95,11 +98,8 @@ pub fn store_vs_fresh(divisor: u32) -> Result<(String, CellCost), Error> {
             format!("store {} cycles, fresh {} cycles", memoized.stats.cycles, fresh.cycles),
         ));
     }
-    let cost = CellCost {
-        simulated_cycles: memoized.stats.cycles + fresh.cycles,
-        trace_build_seconds: memoized.trace_build_seconds,
-        simulate_seconds: memoized.simulate_seconds,
-    };
+    let mut cost = CellCost::cycles(fresh.cycles);
+    cost.charge_sim(&memoized);
     Ok((format!("{} cycles from both paths", fresh.cycles), cost))
 }
 
@@ -128,11 +128,8 @@ pub fn jobs_agree(divisor: u32) -> Result<(String, CellCost), Error> {
                                     SchedulerKind::Naive,
                                 );
                                 let product = store.sim(&req, &cfg)?;
-                                let cost = CellCost {
-                                    simulated_cycles: product.stats.cycles,
-                                    trace_build_seconds: product.trace_build_seconds,
-                                    simulate_seconds: product.simulate_seconds,
-                                };
+                                let mut cost = CellCost::default();
+                                cost.charge_sim(&product);
                                 Ok((product.stats.cycles, cost))
                             })
                         }
@@ -151,8 +148,52 @@ pub fn jobs_agree(divisor: u32) -> Result<(String, CellCost), Error> {
         cost.simulated_cycles += m.simulated_cycles;
         cost.trace_build_seconds += m.trace_build_seconds;
         cost.simulate_seconds += m.simulate_seconds;
+        cost.il_build_seconds += m.il_build_seconds;
+        cost.prepass_seconds += m.prepass_seconds;
+        cost.schedule_seconds += m.schedule_seconds;
     }
     Ok((format!("{} cells agree between --jobs 1 and --jobs 4", serial.len()), cost))
+}
+
+/// Every repro benchmark, on every machine preset, must satisfy the
+/// stall-accounting identity documented on
+/// [`mcl_core::stats::SimStats`]: total cycles = dispatching cycles +
+/// drain cycles + the six stall counters, i.e. the simulator charged
+/// every cycle to exactly one bucket.
+///
+/// # Errors
+///
+/// [`Error::SelfCheck`] naming the first unbalanced cell; harness
+/// errors propagate.
+pub fn stall_identity(divisor: u32) -> Result<(String, CellCost), Error> {
+    let mut tiny = ProcessorConfig::dual_cluster_8way();
+    tiny.operand_buffer = 1;
+    tiny.result_buffer = 1;
+    let presets = [
+        ("single", ProcessorConfig::single_cluster_8way()),
+        ("dual", ProcessorConfig::dual_cluster_8way()),
+        ("dual-tiny-buffers", tiny),
+    ];
+    let store = TraceStore::new();
+    let mut cost = CellCost::default();
+    let mut cells = 0u32;
+    for bench in Benchmark::ALL {
+        for kind in [SchedulerKind::Naive, SchedulerKind::Local] {
+            let req = TraceRequest::new(bench, quick_scale(bench, divisor), kind);
+            for (preset, cfg) in &presets {
+                let product = store.sim(&req, cfg)?;
+                cost.charge_sim(&product);
+                product.stats.check_stall_identity().map_err(|detail| {
+                    mismatch(
+                        "stall-identity",
+                        format!("{}/{kind:?}/{preset}: {detail}", bench.name()),
+                    )
+                })?;
+                cells += 1;
+            }
+        }
+    }
+    Ok((format!("{cells} benchmark × scheduler × preset cells balance"), cost))
 }
 
 /// A random but valid straightline program: integer and floating-point
@@ -360,5 +401,12 @@ mod tests {
         packed_vs_fat(divisor).unwrap();
         store_vs_fresh(divisor).unwrap();
         jobs_agree(divisor).unwrap();
+    }
+
+    #[test]
+    fn stall_identity_holds_at_a_coarse_scale() {
+        let (detail, cost) = stall_identity(64).unwrap();
+        assert!(detail.contains("36 benchmark"), "{detail}");
+        assert!(cost.simulated_cycles > 0);
     }
 }

@@ -151,15 +151,49 @@ pub struct StoreCounters {
     pub sim_misses: u64,
 }
 
+/// Host-side wall-clock breakdown of one call's trace acquisition.
+///
+/// Phase fields are nonzero only on the call that actually built the
+/// stage (store hits and lock waits report ≈0 there);
+/// [`TracePhases::total_seconds`] is always this call's full wall time
+/// obtaining the trace, so `total ≥ il + prepass + schedule` and the
+/// slack is memoization (or waiting on another worker's build).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct TracePhases {
+    /// Seconds building (or unrolling) the intermediate language.
+    pub il_seconds: f64,
+    /// Seconds in the scheduler-kind-independent prepass (list
+    /// scheduling + profiling VM run).
+    pub prepass_seconds: f64,
+    /// Seconds scheduling for clusters and interpreting the scheduled
+    /// program into a packed trace.
+    pub schedule_seconds: f64,
+    /// Total seconds this call spent obtaining the trace.
+    pub total_seconds: f64,
+}
+
+impl TracePhases {
+    /// Accumulates another breakdown into this one.
+    pub fn add(&mut self, other: &TracePhases) {
+        self.il_seconds += other.il_seconds;
+        self.prepass_seconds += other.prepass_seconds;
+        self.schedule_seconds += other.schedule_seconds;
+        self.total_seconds += other.total_seconds;
+    }
+}
+
 /// One simulation served by the store, with its cost attribution.
 #[derive(Debug, Clone)]
 pub struct SimProduct {
     /// The simulation statistics.
     pub stats: SimStats,
-    /// Seconds this call spent obtaining the trace (≈0 on a store hit).
+    /// Seconds this call spent obtaining the trace (≈0 on a store hit);
+    /// equals [`TracePhases::total_seconds`] of [`SimProduct::phases`].
     pub trace_build_seconds: f64,
     /// Seconds this call spent simulating (≈0 on a store hit).
     pub simulate_seconds: f64,
+    /// Phase breakdown of the trace acquisition.
+    pub phases: TracePhases,
 }
 
 /// A per-key build slot: the map lock is held only to fetch the slot;
@@ -311,18 +345,32 @@ impl TraceStore {
     /// Scheduling or trace-generation failures surface as
     /// [`Error::Store`] (identically on every call for the same key).
     pub fn trace(&self, req: &TraceRequest) -> Result<(Arc<PackedTrace>, f64), Error> {
-        let ((_, trace), seconds) = self.canon_trace(req)?;
-        Ok((trace, seconds))
+        let ((_, trace), phases) = self.canon_trace(req)?;
+        Ok((trace, phases.total_seconds))
     }
 
-    fn canon_trace(&self, req: &TraceRequest) -> Result<(CanonTrace, f64), Error> {
+    /// Like [`TraceStore::trace`], but with the full phase breakdown.
+    ///
+    /// # Errors
+    ///
+    /// See [`TraceStore::trace`].
+    pub fn trace_with_phases(
+        &self,
+        req: &TraceRequest,
+    ) -> Result<(Arc<PackedTrace>, TracePhases), Error> {
+        let ((_, trace), phases) = self.canon_trace(req)?;
+        Ok((trace, phases))
+    }
+
+    fn canon_trace(&self, req: &TraceRequest) -> Result<(CanonTrace, TracePhases), Error> {
         let start = Instant::now();
         let key = req.key();
         let slot = slot_of(&self.traces, key);
         let mut built = false;
+        let mut phases = TracePhases::default();
         let result = slot.get_or_init(|| {
             built = true;
-            self.build_trace(key).map(|trace| self.canonicalize(trace))
+            self.build_trace(key, &mut phases).map(|trace| self.canonicalize(trace))
         });
         if built {
             self.trace_misses.fetch_add(1, Ordering::Relaxed);
@@ -330,7 +378,8 @@ impl TraceStore {
             self.trace_hits.fetch_add(1, Ordering::Relaxed);
         }
         let canon = result.clone().map_err(Error::Store)?;
-        Ok((canon, start.elapsed().as_secs_f64()))
+        phases.total_seconds = start.elapsed().as_secs_f64();
+        Ok((canon, phases))
     }
 
     /// Folds a freshly built trace into the content-addressed pool:
@@ -349,8 +398,17 @@ impl TraceStore {
         entry
     }
 
-    fn build_trace(&self, key: TraceKey) -> Result<PackedTrace, String> {
+    fn build_trace(&self, key: TraceKey, phases: &mut TracePhases) -> Result<PackedTrace, String> {
+        // Force the stages one at a time so their costs separate; each
+        // is memoized, so a phase another request already built (or is
+        // building) reports only the lookup/wait time here.
+        let t_il = Instant::now();
+        let _ = self.il_at(key.il);
+        phases.il_seconds = t_il.elapsed().as_secs_f64();
+        let t_prepass = Instant::now();
         let prepared = self.prepared_at(key.il).map_err(|e| e.to_string())?;
+        phases.prepass_seconds = t_prepass.elapsed().as_secs_f64();
+        let t_schedule = Instant::now();
         let options = ScheduleOptions {
             imbalance_threshold: f64::from_bits(key.threshold_bits),
             ..ScheduleOptions::default()
@@ -362,6 +420,7 @@ impl TraceStore {
         let hint = dynamic_len_estimate(&scheduled.program, prepared.profile());
         let (trace, _) =
             trace_program_packed(&scheduled.program, hint).map_err(|e| e.to_string())?;
+        phases.schedule_seconds = t_schedule.elapsed().as_secs_f64();
         Ok(trace)
     }
 
@@ -375,7 +434,7 @@ impl TraceStore {
     /// See [`TraceStore::trace`]; simulation failures also surface as
     /// [`Error::Store`].
     pub fn sim(&self, req: &TraceRequest, config: &ProcessorConfig) -> Result<SimProduct, Error> {
-        let ((content_id, trace), trace_build_seconds) = self.canon_trace(req)?;
+        let ((content_id, trace), phases) = self.canon_trace(req)?;
         let start = Instant::now();
         // `ProcessorConfig` is not `Hash`; its derived `Debug` rendering
         // covers every field and so is a faithful key. Keying on the
@@ -399,8 +458,9 @@ impl TraceStore {
         let stats = result.clone().map_err(Error::Store)?;
         Ok(SimProduct {
             stats,
-            trace_build_seconds,
+            trace_build_seconds: phases.total_seconds,
             simulate_seconds: start.elapsed().as_secs_f64(),
+            phases,
         })
     }
 }
@@ -480,6 +540,27 @@ mod tests {
         // Both trace requests were misses (each built), but the second
         // simulation was served from the content-keyed cache.
         assert_eq!((c.sim_hits, c.sim_misses), (1, 1));
+    }
+
+    #[test]
+    fn phase_breakdown_attributes_only_the_building_call() {
+        let store = TraceStore::new();
+        let req = TraceRequest::new(Benchmark::Compress, 40, SchedulerKind::Local);
+        let (_, built) = store.trace_with_phases(&req).unwrap();
+        assert!(built.schedule_seconds > 0.0, "the building call times its phases");
+        assert!(
+            built.total_seconds
+                >= built.il_seconds + built.prepass_seconds + built.schedule_seconds,
+            "total covers the phases: {built:?}"
+        );
+        // A store hit reports no phase work, only (tiny) total wait.
+        let (_, hit) = store.trace_with_phases(&req).unwrap();
+        assert_eq!(hit.il_seconds, 0.0);
+        assert_eq!(hit.prepass_seconds, 0.0);
+        assert_eq!(hit.schedule_seconds, 0.0);
+        // And the sim product carries the same breakdown.
+        let product = store.sim(&req, &ProcessorConfig::dual_cluster_8way()).unwrap();
+        assert_eq!(product.trace_build_seconds, product.phases.total_seconds);
     }
 
     #[test]

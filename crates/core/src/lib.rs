@@ -26,7 +26,11 @@
 //!   paper's 0.35 µm / 0.18 µm crossover analysis;
 //! - [`check`] — the architectural invariant checker: per-cluster
 //!   resource accounting, waiter/completion liveness, and replay
-//!   forward progress, validated at retire or cycle granularity.
+//!   forward progress, validated at retire or cycle granularity;
+//! - [`obs`] — the observability layer: [`Probe`] hook points compiled
+//!   out on the default [`obs::NullProbe`] path, plus the interval
+//!   sampler / latency histograms / lifecycle event ring behind
+//!   `repro --obs`.
 //!
 //! # Example
 //!
@@ -54,6 +58,7 @@ pub mod config;
 pub mod delay;
 pub mod dist;
 pub mod events;
+pub mod obs;
 pub mod pipeview;
 pub mod sim;
 pub mod stats;
@@ -63,6 +68,7 @@ pub use config::ProcessorConfig;
 pub use delay::FeatureSize;
 pub use dist::{distribute, Distribution};
 pub use events::{Event, EventKind, EventLog};
+pub use obs::{CycleSnapshot, Histogram, IntervalSampler, ObsConfig, ObsProbe, Probe, StallCause};
 pub use pipeview::{render as render_pipeline, PipeViewOptions};
 pub use sim::{Processor, SimError, SimResult};
 pub use stats::{speedup_percent, SimStats};

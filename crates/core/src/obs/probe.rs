@@ -1,0 +1,308 @@
+//! The batteries-included probe behind `repro --obs`.
+
+use std::collections::{HashMap, VecDeque};
+
+use mcl_isa::ClusterId;
+
+use crate::events::EventKind;
+use crate::obs::{
+    CopyKind, CycleSnapshot, EventRing, Histogram, IntervalSampler, Probe, Sample, StallCause,
+    TransferKind, TransferPhase,
+};
+
+/// Configuration for [`ObsProbe`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ObsConfig {
+    /// Cycles per [`Sample`] (clamped to at least 1).
+    pub sample_interval: u64,
+    /// Lifecycle events retained in the ring (clamped to at least 1).
+    pub ring_capacity: usize,
+}
+
+impl Default for ObsConfig {
+    fn default() -> ObsConfig {
+        ObsConfig { sample_interval: 1024, ring_capacity: 1024 }
+    }
+}
+
+/// Per-instruction dispatch/issue/completion cycles, tracked in window
+/// order for latency attribution.
+#[derive(Debug, Clone, Copy)]
+struct Inflight {
+    dispatch: u64,
+    done: Option<u64>,
+}
+
+/// A [`Probe`] combining an [`IntervalSampler`] time series, latency
+/// [`Histogram`]s, and a bounded [`EventRing`].
+///
+/// Latencies are measured on the master copy (the copy that computes):
+/// dispatch→issue, issue→complete, complete→retire, and the residency
+/// of operand/result transfer-buffer entries. Instructions squashed by
+/// a replay drop out of latency tracking; their re-dispatched
+/// incarnation is measured fresh.
+#[derive(Debug, Clone)]
+pub struct ObsProbe {
+    sampler: IntervalSampler,
+    dispatch_to_issue: Histogram,
+    issue_to_complete: Histogram,
+    complete_to_retire: Histogram,
+    otb_residency: Histogram,
+    rtb_residency: Histogram,
+    ring: EventRing,
+    inflight: VecDeque<Inflight>,
+    inflight_base: u64,
+    otb_alloc: HashMap<u64, u64>,
+    rtb_alloc: HashMap<u64, u64>,
+    last_cycle: u64,
+}
+
+impl ObsProbe {
+    /// A probe with the given configuration.
+    #[must_use]
+    pub fn new(config: ObsConfig) -> ObsProbe {
+        ObsProbe {
+            sampler: IntervalSampler::new(config.sample_interval),
+            dispatch_to_issue: Histogram::new(),
+            issue_to_complete: Histogram::new(),
+            complete_to_retire: Histogram::new(),
+            otb_residency: Histogram::new(),
+            rtb_residency: Histogram::new(),
+            ring: EventRing::new(config.ring_capacity),
+            inflight: VecDeque::new(),
+            inflight_base: 0,
+            otb_alloc: HashMap::new(),
+            rtb_alloc: HashMap::new(),
+            last_cycle: 0,
+        }
+    }
+
+    /// Flushes the trailing partial sampling interval. Call once after
+    /// the run (successful or not); further hook calls are undefined
+    /// only in the sense that they start a new partial interval.
+    pub fn finish(&mut self) {
+        self.sampler.finish();
+    }
+
+    /// The interval time series.
+    #[must_use]
+    pub fn samples(&self) -> &[Sample] {
+        self.sampler.samples()
+    }
+
+    /// The configured sampling interval.
+    #[must_use]
+    pub fn sample_interval(&self) -> u64 {
+        self.sampler.interval()
+    }
+
+    /// Dispatch→issue latency of master copies.
+    #[must_use]
+    pub fn dispatch_to_issue(&self) -> &Histogram {
+        &self.dispatch_to_issue
+    }
+
+    /// Issue→completion latency of master copies.
+    #[must_use]
+    pub fn issue_to_complete(&self) -> &Histogram {
+        &self.issue_to_complete
+    }
+
+    /// Completion→retire latency.
+    #[must_use]
+    pub fn complete_to_retire(&self) -> &Histogram {
+        &self.complete_to_retire
+    }
+
+    /// Operand-transfer-buffer entry residency.
+    #[must_use]
+    pub fn otb_residency(&self) -> &Histogram {
+        &self.otb_residency
+    }
+
+    /// Result-transfer-buffer entry residency.
+    #[must_use]
+    pub fn rtb_residency(&self) -> &Histogram {
+        &self.rtb_residency
+    }
+
+    /// The histograms as `(stable name, histogram)` pairs, for export.
+    #[must_use]
+    pub fn histograms(&self) -> [(&'static str, &Histogram); 5] {
+        [
+            ("dispatch_to_issue", &self.dispatch_to_issue),
+            ("issue_to_complete", &self.issue_to_complete),
+            ("complete_to_retire", &self.complete_to_retire),
+            ("otb_residency", &self.otb_residency),
+            ("rtb_residency", &self.rtb_residency),
+        ]
+    }
+
+    /// The lifecycle event ring.
+    #[must_use]
+    pub fn ring(&self) -> &EventRing {
+        &self.ring
+    }
+
+    /// Last cycle seen by [`Probe::cycle_end`].
+    #[must_use]
+    pub fn last_cycle(&self) -> u64 {
+        self.last_cycle
+    }
+
+    fn inflight_at(&mut self, seq: u64) -> Option<&mut Inflight> {
+        let idx = seq.checked_sub(self.inflight_base)?;
+        self.inflight.get_mut(usize::try_from(idx).ok()?)
+    }
+}
+
+impl Probe for ObsProbe {
+    fn dispatched(&mut self, cycle: u64, seq: u64, master: ClusterId, slave: Option<ClusterId>) {
+        self.sampler.on_dispatch();
+        self.ring.push(cycle, seq, Some(master), EventKind::Distributed);
+        if let Some(s) = slave {
+            self.ring.push(cycle, seq, Some(s), EventKind::Distributed);
+        }
+        if self.inflight.is_empty() {
+            self.inflight_base = seq;
+        }
+        debug_assert_eq!(seq, self.inflight_base + self.inflight.len() as u64);
+        self.inflight.push_back(Inflight { dispatch: cycle, done: None });
+    }
+
+    fn issued(&mut self, cycle: u64, seq: u64, cluster: ClusterId, copy: CopyKind, done: u64) {
+        self.sampler.on_issue();
+        match copy {
+            CopyKind::Master => {
+                self.ring.push(cycle, seq, Some(cluster), EventKind::MasterIssued);
+                if let Some(entry) = self.inflight_at(seq) {
+                    entry.done = Some(done);
+                    let dispatch = entry.dispatch;
+                    self.dispatch_to_issue.record(cycle.saturating_sub(dispatch));
+                    self.issue_to_complete.record(done.saturating_sub(cycle));
+                }
+            }
+            CopyKind::Slave => {
+                self.ring.push(cycle, seq, Some(cluster), EventKind::SlaveIssued);
+            }
+        }
+    }
+
+    fn forwarded(
+        &mut self,
+        cycle: u64,
+        seq: u64,
+        kind: TransferKind,
+        phase: TransferPhase,
+        _cluster: ClusterId,
+    ) {
+        let (alloc_map, residency) = match kind {
+            TransferKind::Operand => (&mut self.otb_alloc, &mut self.otb_residency),
+            TransferKind::Result => (&mut self.rtb_alloc, &mut self.rtb_residency),
+        };
+        match phase {
+            TransferPhase::Alloc => {
+                alloc_map.insert(seq, cycle);
+            }
+            TransferPhase::Release => {
+                if let Some(alloc) = alloc_map.remove(&seq) {
+                    residency.record(cycle.saturating_sub(alloc));
+                }
+            }
+        }
+    }
+
+    fn completed(&mut self, cycle: u64, seq: u64, cluster: ClusterId) {
+        self.ring.push(cycle, seq, Some(cluster), EventKind::ExecDone);
+    }
+
+    fn retired(&mut self, cycle: u64, seq: u64) {
+        self.sampler.on_retire();
+        self.ring.push(cycle, seq, None, EventKind::Retired);
+        debug_assert_eq!(seq, self.inflight_base);
+        if let Some(entry) = self.inflight.pop_front() {
+            self.inflight_base += 1;
+            if let Some(done) = entry.done {
+                self.complete_to_retire.record(cycle.saturating_sub(done));
+            }
+        }
+        // Buffer entries always release before retirement; drop any
+        // residue so the maps stay bounded by the window size.
+        self.otb_alloc.remove(&seq);
+        self.rtb_alloc.remove(&seq);
+    }
+
+    fn replayed(&mut self, cycle: u64, from_seq: u64, _squashed: u64) {
+        self.sampler.on_replay();
+        self.ring.push(cycle, from_seq, None, EventKind::ReplaySquashed);
+        if from_seq <= self.inflight_base {
+            self.inflight.clear();
+        } else {
+            let keep = usize::try_from(from_seq - self.inflight_base).unwrap_or(usize::MAX);
+            self.inflight.truncate(keep);
+        }
+        // Squashed holders' buffer entries free without a release hook.
+        self.otb_alloc.retain(|&seq, _| seq < from_seq);
+        self.rtb_alloc.retain(|&seq, _| seq < from_seq);
+    }
+
+    fn stalled(&mut self, _cycle: u64, cause: StallCause) {
+        self.sampler.on_stall(cause);
+    }
+
+    fn cycle_end(&mut self, snap: &CycleSnapshot) {
+        self.last_cycle = snap.cycle;
+        self.sampler.on_cycle_end(snap);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const C0: ClusterId = ClusterId::C0;
+
+    #[test]
+    fn lifecycle_latencies_feed_the_histograms() {
+        let mut p = ObsProbe::new(ObsConfig { sample_interval: 4, ring_capacity: 16 });
+        p.dispatched(0, 0, C0, None);
+        p.issued(2, 0, C0, CopyKind::Master, 5);
+        p.completed(5, 0, C0);
+        p.retired(7, 0);
+        assert_eq!(p.dispatch_to_issue().count(), 1);
+        assert_eq!(p.dispatch_to_issue().max(), Some(2));
+        assert_eq!(p.issue_to_complete().max(), Some(3));
+        assert_eq!(p.complete_to_retire().max(), Some(2));
+        assert_eq!(p.ring().len(), 4);
+    }
+
+    #[test]
+    fn transfer_residency_pairs_alloc_with_release() {
+        let mut p = ObsProbe::new(ObsConfig::default());
+        p.forwarded(3, 9, TransferKind::Operand, TransferPhase::Alloc, C0);
+        p.forwarded(8, 9, TransferKind::Operand, TransferPhase::Release, C0);
+        // Release with no matching alloc is ignored.
+        p.forwarded(9, 10, TransferKind::Result, TransferPhase::Release, C0);
+        assert_eq!(p.otb_residency().count(), 1);
+        assert_eq!(p.otb_residency().max(), Some(5));
+        assert_eq!(p.rtb_residency().count(), 0);
+    }
+
+    #[test]
+    fn replay_drops_squashed_instructions_from_tracking() {
+        let mut p = ObsProbe::new(ObsConfig::default());
+        for seq in 0..4 {
+            p.dispatched(seq, seq, C0, None);
+        }
+        p.forwarded(4, 2, TransferKind::Result, TransferPhase::Alloc, C0);
+        p.replayed(5, 2, 2);
+        // Seq 2 re-dispatches and is measured fresh.
+        p.dispatched(10, 2, C0, None);
+        p.issued(11, 2, C0, CopyKind::Master, 12);
+        assert_eq!(p.dispatch_to_issue().max(), Some(1));
+        // The squashed alloc must not pair with a later release.
+        p.forwarded(12, 2, TransferKind::Result, TransferPhase::Alloc, C0);
+        p.forwarded(13, 2, TransferKind::Result, TransferPhase::Release, C0);
+        assert_eq!(p.rtb_residency().max(), Some(1));
+    }
+}

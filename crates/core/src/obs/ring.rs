@@ -1,0 +1,118 @@
+//! Bounded lifecycle event ring for post-mortem rendering.
+
+use std::collections::VecDeque;
+
+use mcl_isa::ClusterId;
+
+use crate::events::{Event, EventKind, EventLog};
+
+/// A bounded ring of the last K instruction lifecycle [`Event`]s.
+///
+/// Unlike the unbounded [`EventLog`] (which is opt-in and per-run), the
+/// ring is always safe to leave on: once full, each push evicts the
+/// oldest event. On a [`crate::SimError`] the surviving tail can be
+/// rendered through [`crate::pipeview`] via [`EventRing::to_log`].
+#[derive(Debug, Clone)]
+pub struct EventRing {
+    cap: usize,
+    buf: VecDeque<Event>,
+    dropped: u64,
+}
+
+impl EventRing {
+    /// A ring holding at most `capacity` events (clamped to at least 1).
+    #[must_use]
+    pub fn new(capacity: usize) -> EventRing {
+        let cap = capacity.max(1);
+        EventRing { cap, buf: VecDeque::with_capacity(cap), dropped: 0 }
+    }
+
+    /// Appends an event, evicting the oldest when full.
+    pub fn push(&mut self, cycle: u64, seq: u64, cluster: Option<ClusterId>, kind: EventKind) {
+        if self.buf.len() == self.cap {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(Event { cycle, seq, cluster, kind });
+    }
+
+    /// Maximum number of retained events.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Number of retained events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether no events are retained.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Number of events evicted so far.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Retained events, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &Event> {
+        self.buf.iter()
+    }
+
+    /// Smallest and largest instruction sequence number retained.
+    #[must_use]
+    pub fn seq_range(&self) -> Option<(u64, u64)> {
+        let mut it = self.buf.iter().map(|e| e.seq);
+        let first = it.next()?;
+        let (mut lo, mut hi) = (first, first);
+        for seq in it {
+            lo = lo.min(seq);
+            hi = hi.max(seq);
+        }
+        Some((lo, hi))
+    }
+
+    /// Copies the retained tail into an [`EventLog`] for rendering.
+    #[must_use]
+    pub fn to_log(&self) -> EventLog {
+        let mut log = EventLog::new();
+        for e in &self.buf {
+            log.push(e.cycle, e.seq, e.cluster, e.kind);
+        }
+        log
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_is_bounded_and_keeps_the_tail() {
+        let mut ring = EventRing::new(3);
+        for seq in 0..5 {
+            ring.push(seq, seq, None, EventKind::Retired);
+        }
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.dropped(), 2);
+        let seqs: Vec<u64> = ring.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, [2, 3, 4]);
+        assert_eq!(ring.seq_range(), Some((2, 4)));
+        assert_eq!(ring.to_log().events().len(), 3);
+    }
+
+    #[test]
+    fn empty_ring() {
+        let ring = EventRing::new(0); // clamped to 1
+        assert_eq!(ring.capacity(), 1);
+        assert!(ring.is_empty());
+        assert_eq!(ring.seq_range(), None);
+        assert!(ring.to_log().events().is_empty());
+    }
+}

@@ -1,0 +1,214 @@
+//! Per-interval time series ("pipeline weather").
+
+use crate::obs::{CycleSnapshot, StallCause};
+
+/// One closed sampling interval.
+///
+/// Throughput fields (`retired`, `dispatched`, `issued`, `replays`,
+/// `stalls`) are deltas over the interval; occupancy fields are a
+/// point-in-time snapshot at the interval's last cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Sample {
+    /// Last cycle of the interval (inclusive).
+    pub cycle_end: u64,
+    /// Cycles covered (the configured interval, except a trailing
+    /// partial interval flushed by [`IntervalSampler::finish`]).
+    pub cycles: u64,
+    /// Instructions retired during the interval.
+    pub retired: u64,
+    /// Instructions dispatched during the interval.
+    pub dispatched: u64,
+    /// Copies issued during the interval.
+    pub issued: u64,
+    /// Replay exceptions taken during the interval.
+    pub replays: u64,
+    /// Whole stalled cycles, by cause ([`StallCause::index`] order).
+    pub stalls: [u64; StallCause::COUNT],
+    /// In-flight instructions at interval close.
+    pub window: u32,
+    /// Occupied dispatch-queue entries at interval close, per cluster.
+    pub dq_used: [u32; 2],
+    /// Occupied operand-buffer entries at interval close, per cluster.
+    pub otb_used: [u32; 2],
+    /// Occupied result-buffer entries at interval close, per cluster.
+    pub rtb_used: [u32; 2],
+    /// Free integer physical registers at interval close, per cluster.
+    pub int_free: [i64; 2],
+    /// Free fp physical registers at interval close, per cluster.
+    pub fp_free: [i64; 2],
+}
+
+impl Sample {
+    /// Retired instructions per cycle over the interval.
+    #[must_use]
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.retired as f64 / self.cycles as f64
+        }
+    }
+}
+
+/// Accumulates per-cycle deltas and closes a [`Sample`] every N cycles.
+///
+/// Feed it from probe hooks (`on_retire` etc.), call
+/// [`IntervalSampler::on_cycle_end`] once per simulated cycle, and
+/// [`IntervalSampler::finish`] once after the run to flush a trailing
+/// partial interval.
+#[derive(Debug, Clone)]
+pub struct IntervalSampler {
+    interval: u64,
+    samples: Vec<Sample>,
+    acc: Sample,
+    cycles_in: u64,
+    last_snap: CycleSnapshot,
+}
+
+impl IntervalSampler {
+    /// A sampler closing one [`Sample`] every `interval` cycles
+    /// (clamped to at least 1).
+    #[must_use]
+    pub fn new(interval: u64) -> IntervalSampler {
+        IntervalSampler {
+            interval: interval.max(1),
+            samples: Vec::new(),
+            acc: Sample::default(),
+            cycles_in: 0,
+            last_snap: CycleSnapshot::default(),
+        }
+    }
+
+    /// The configured interval length.
+    #[must_use]
+    pub fn interval(&self) -> u64 {
+        self.interval
+    }
+
+    /// Counts one retirement.
+    pub fn on_retire(&mut self) {
+        self.acc.retired += 1;
+    }
+
+    /// Counts one dispatch.
+    pub fn on_dispatch(&mut self) {
+        self.acc.dispatched += 1;
+    }
+
+    /// Counts one issued copy.
+    pub fn on_issue(&mut self) {
+        self.acc.issued += 1;
+    }
+
+    /// Counts one replay exception.
+    pub fn on_replay(&mut self) {
+        self.acc.replays += 1;
+    }
+
+    /// Counts one whole stalled cycle attributed to `cause`.
+    pub fn on_stall(&mut self, cause: StallCause) {
+        self.acc.stalls[cause.index()] += 1;
+    }
+
+    /// Advances one cycle; closes the interval when due.
+    pub fn on_cycle_end(&mut self, snap: &CycleSnapshot) {
+        self.cycles_in += 1;
+        self.last_snap = *snap;
+        if (snap.cycle + 1).is_multiple_of(self.interval) {
+            self.close();
+        }
+    }
+
+    /// Flushes a trailing partial interval, if any.
+    pub fn finish(&mut self) {
+        if self.cycles_in > 0 {
+            self.close();
+        }
+    }
+
+    /// The closed samples so far.
+    #[must_use]
+    pub fn samples(&self) -> &[Sample] {
+        &self.samples
+    }
+
+    fn close(&mut self) {
+        let snap = &self.last_snap;
+        self.acc.cycle_end = snap.cycle;
+        self.acc.cycles = self.cycles_in;
+        self.acc.window = snap.window;
+        self.acc.dq_used = snap.dq_used;
+        self.acc.otb_used = snap.otb_used;
+        self.acc.rtb_used = snap.rtb_used;
+        self.acc.int_free = snap.int_free;
+        self.acc.fp_free = snap.fp_free;
+        self.samples.push(self.acc);
+        self.acc = Sample::default();
+        self.cycles_in = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(cycle: u64) -> CycleSnapshot {
+        CycleSnapshot { cycle, window: cycle as u32, ..CycleSnapshot::default() }
+    }
+
+    #[test]
+    fn closes_every_interval_and_flushes_partial() {
+        let mut s = IntervalSampler::new(4);
+        for cycle in 0..10 {
+            s.on_retire();
+            if cycle % 2 == 0 {
+                s.on_dispatch();
+            }
+            s.on_cycle_end(&snap(cycle));
+        }
+        s.finish();
+        let samples = s.samples();
+        assert_eq!(samples.len(), 3);
+        assert_eq!(samples[0].cycle_end, 3);
+        assert_eq!(samples[0].cycles, 4);
+        assert_eq!(samples[1].cycle_end, 7);
+        assert_eq!(samples[1].cycles, 4);
+        assert_eq!(samples[2].cycle_end, 9);
+        assert_eq!(samples[2].cycles, 2, "trailing partial interval");
+        // Deltas sum to the run totals; occupancy is point-in-time.
+        assert_eq!(samples.iter().map(|s| s.retired).sum::<u64>(), 10);
+        assert_eq!(samples.iter().map(|s| s.dispatched).sum::<u64>(), 5);
+        assert_eq!(samples[1].window, 7);
+        assert_eq!(samples[2].ipc(), 1.0);
+    }
+
+    #[test]
+    fn empty_run_produces_no_samples() {
+        let mut s = IntervalSampler::new(8);
+        s.finish();
+        assert!(s.samples().is_empty());
+        s.finish(); // idempotent
+        assert!(s.samples().is_empty());
+    }
+
+    #[test]
+    fn interval_of_one_samples_every_cycle() {
+        let mut s = IntervalSampler::new(1);
+        for cycle in 0..3 {
+            s.on_stall(StallCause::DispatchQueue);
+            s.on_cycle_end(&snap(cycle));
+        }
+        s.finish();
+        assert_eq!(s.samples().len(), 3);
+        for (i, sample) in s.samples().iter().enumerate() {
+            assert_eq!(sample.cycle_end, i as u64);
+            assert_eq!(sample.cycles, 1);
+            assert_eq!(sample.stalls[StallCause::DispatchQueue.index()], 1);
+        }
+    }
+
+    #[test]
+    fn zero_interval_is_clamped() {
+        assert_eq!(IntervalSampler::new(0).interval(), 1);
+    }
+}

@@ -22,6 +22,7 @@ use crate::check::{self, CheckLevel, FaultInjection};
 use crate::config::ProcessorConfig;
 use crate::dist::{distribute, Distribution};
 use crate::events::{EventKind, EventLog};
+use crate::obs::{CopyKind, CycleSnapshot, NullProbe, Probe, StallCause, TransferKind, TransferPhase};
 use crate::pipeview::{render_window, WindowRow};
 use crate::stats::SimStats;
 
@@ -175,6 +176,38 @@ impl Processor {
     /// See [`SimError`].
     pub fn run_packed(&mut self, trace: &PackedTrace) -> Result<SimResult, SimError> {
         let mut sim = Sim::new(&self.config, trace);
+        sim.run()
+    }
+
+    /// Like [`Processor::run_trace`], with an observability [`Probe`]
+    /// attached. The probe observes and never perturbs: statistics and
+    /// results are identical to the unobserved run.
+    ///
+    /// # Errors
+    ///
+    /// See [`SimError`].
+    pub fn run_trace_observed<P: Probe>(
+        &mut self,
+        trace: &[TraceOp],
+        probe: &mut P,
+    ) -> Result<SimResult, SimError> {
+        let mut sim = Sim::with_probe(&self.config, trace, probe);
+        sim.run()
+    }
+
+    /// Like [`Processor::run_packed`], with an observability [`Probe`]
+    /// attached. The probe observes and never perturbs: statistics and
+    /// results are identical to the unobserved run.
+    ///
+    /// # Errors
+    ///
+    /// See [`SimError`].
+    pub fn run_packed_observed<P: Probe>(
+        &mut self,
+        trace: &PackedTrace,
+        probe: &mut P,
+    ) -> Result<SimResult, SimError> {
+        let mut sim = Sim::with_probe(&self.config, trace, probe);
         sim.run()
     }
 }
@@ -358,13 +391,19 @@ impl DynInstr {
     }
 }
 
+/// Why fetch is waiting for `fetch_resume_at`; each variant charges its
+/// own `SimStats` stall counter, one cycle at a time, in `dispatch`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum FetchStall {
     Icache,
     Replay,
+    /// Redirect after a resolved mispredicted branch.
+    Branch,
+    /// Dynamic-reassignment state-movement penalty.
+    Reassign,
 }
 
-struct Sim<'a, T: TraceSource + ?Sized> {
+struct Sim<'a, T: TraceSource + ?Sized, P: Probe = NullProbe> {
     cfg: &'a ProcessorConfig,
     assign: mcl_isa::assign::RegisterAssignment,
     trace: &'a T,
@@ -446,10 +485,20 @@ struct Sim<'a, T: TraceSource + ?Sized> {
     pending_reassign: Vec<crate::config::ReassignmentPoint>,
     /// A reassignment is waiting for the pipeline to drain.
     reassign_draining: bool,
+    /// The observability probe; every call site is gated on the
+    /// monomorphization-time constant `P::ENABLED`, so the default
+    /// [`NullProbe`] build carries no probe code at all.
+    probe: P,
 }
 
 impl<'a, T: TraceSource + ?Sized> Sim<'a, T> {
     fn new(cfg: &'a ProcessorConfig, trace: &'a T) -> Sim<'a, T> {
+        Sim::with_probe(cfg, trace, NullProbe)
+    }
+}
+
+impl<'a, T: TraceSource + ?Sized, P: Probe> Sim<'a, T, P> {
+    fn with_probe(cfg: &'a ProcessorConfig, trace: &'a T, probe: P) -> Sim<'a, T, P> {
         let assign = cfg.register_assignment();
         let (int_free, fp_free) = free_lists_for(cfg, &assign);
         assert!(cfg.fp_dividers as usize <= MAX_DIVIDERS, "too many divider units");
@@ -497,6 +546,7 @@ impl<'a, T: TraceSource + ?Sized> Sim<'a, T> {
             last_replay_base: None,
             pending_reassign: cfg.reassignments.clone(),
             reassign_draining: false,
+            probe,
         }
     }
 
@@ -544,6 +594,9 @@ impl<'a, T: TraceSource + ?Sized> Sim<'a, T> {
             issued += n;
         }
         let dispatched = self.dispatch();
+        if dispatched > 0 {
+            self.stats.dispatch_cycles += 1;
+        }
 
         let validate = match self.check {
             CheckLevel::Off => false,
@@ -554,8 +607,29 @@ impl<'a, T: TraceSource + ?Sized> Sim<'a, T> {
             self.validate_invariants(&issued_per)?;
         }
         self.check_progress(retired + woke + issued + dispatched)?;
+        if P::ENABLED {
+            let snap = self.cycle_snapshot();
+            self.probe.cycle_end(&snap);
+        }
         self.now += 1;
         Ok(())
+    }
+
+    /// End-of-cycle occupancy for [`Probe::cycle_end`].
+    fn cycle_snapshot(&self) -> CycleSnapshot {
+        let mut snap = CycleSnapshot {
+            cycle: self.now,
+            window: self.window.len() as u32,
+            ..CycleSnapshot::default()
+        };
+        for c in 0..usize::from(self.cfg.clusters) {
+            snap.dq_used[c] = self.cfg.dq_entries.saturating_sub(self.dq_free[c]);
+            snap.otb_used[c] = self.cfg.operand_buffer.saturating_sub(self.otb_free[c]);
+            snap.rtb_used[c] = self.cfg.result_buffer.saturating_sub(self.rtb_free[c]);
+            snap.int_free[c] = self.int_free[c];
+            snap.fp_free[c] = self.fp_free[c];
+        }
+        snap
     }
 
     /// Applies due fault-injection hooks (testing only; see
@@ -617,10 +691,12 @@ impl<'a, T: TraceSource + ?Sized> Sim<'a, T> {
             self.predictor.update(pc, taken);
             if mispredicted && self.fetch_blocked_by == Some(seq) {
                 self.fetch_blocked_by = None;
-                // Redirect costs one further cycle after resolution.
+                // Redirect costs one further cycle after resolution;
+                // `dispatch` charges it to `stall_branch` when it hits
+                // the waiting period (no eager increment here — the
+                // blocked cycles themselves are counted as they pass).
                 self.fetch_resume_at = self.fetch_resume_at.max(self.now + 1);
-                self.fetch_stall = FetchStall::Replay;
-                self.stats.stall_branch += 1;
+                self.fetch_stall = FetchStall::Branch;
             }
         }
     }
@@ -644,6 +720,9 @@ impl<'a, T: TraceSource + ?Sized> Sim<'a, T> {
             }
             debug_assert!(d.w_done == NIL && d.w_write == NIL, "waiters notified before retire");
             self.log(seq, None, EventKind::Retired);
+            if P::ENABLED {
+                self.probe.retired(self.now, seq);
+            }
             self.base = seq + 1;
             self.last_replay_base = None; // retirement = forward progress
             self.replays_since_retire = 0;
@@ -698,6 +777,9 @@ impl<'a, T: TraceSource + ?Sized> Sim<'a, T> {
             self.notify_waiters(head, now + 1);
             self.completions.push(Reverse((now + 1, seq, WRITE_EVT)));
             self.buffer_frees.push(Reverse((now + 1, slave.index() as u8, RTB)));
+            if P::ENABLED {
+                self.probe.forwarded(now + 1, seq, TransferKind::Result, TransferPhase::Release, slave);
+            }
             self.log(seq, Some(slave), EventKind::SlaveWoke);
             self.log_at(now + 1, seq, Some(slave), EventKind::RegWritten);
             woke += 1;
@@ -1023,6 +1105,15 @@ impl<'a, T: TraceSource + ?Sized> Sim<'a, T> {
             if d.otb_held {
                 d.otb_held = false;
                 self.buffer_frees.push(Reverse((now + 1, cluster.index() as u8, OTB)));
+                if P::ENABLED {
+                    self.probe.forwarded(
+                        now + 1,
+                        seq,
+                        TransferKind::Operand,
+                        TransferPhase::Release,
+                        cluster,
+                    );
+                }
             }
         }
 
@@ -1033,6 +1124,9 @@ impl<'a, T: TraceSource + ?Sized> Sim<'a, T> {
             self.window[wi].rtb_held = true;
             self.stats.results_forwarded += 1;
             self.log_at(done, seq, Some(slave), EventKind::ResultWritten);
+            if P::ENABLED {
+                self.probe.forwarded(now, seq, TransferKind::Result, TransferPhase::Alloc, slave);
+            }
         }
 
         // Branch resolution.
@@ -1045,6 +1139,10 @@ impl<'a, T: TraceSource + ?Sized> Sim<'a, T> {
 
         self.log(seq, Some(cluster), EventKind::MasterIssued);
         self.log_at(done, seq, Some(cluster), EventKind::ExecDone);
+        if P::ENABLED {
+            self.probe.issued(now, seq, cluster, CopyKind::Master, done);
+            self.probe.completed(done, seq, cluster);
+        }
         // The master writes a register copy only when its own cluster
         // holds the destination (always, except scenario three).
         let master_writes = {
@@ -1072,6 +1170,11 @@ impl<'a, T: TraceSource + ?Sized> Sim<'a, T> {
         self.otb_free[master.index()] -= 1;
         self.window[wi].otb_held = true;
         self.stats.operands_forwarded += 1;
+        if P::ENABLED {
+            // The forwarded operand is readable from `now + 1`.
+            self.probe.issued(now, seq, cluster, CopyKind::Slave, now + 1);
+            self.probe.forwarded(now, seq, TransferKind::Operand, TransferPhase::Alloc, master);
+        }
 
         // The inter-copy dependence lifts: the master reads the
         // forwarded operand(s) from the next cycle on.
@@ -1112,6 +1215,10 @@ impl<'a, T: TraceSource + ?Sized> Sim<'a, T> {
         self.completions.push(Reverse((now + 1, seq, WRITE_EVT)));
         // The slave reads the entry, then writes its register.
         self.buffer_frees.push(Reverse((now + 1, cluster.index() as u8, RTB)));
+        if P::ENABLED {
+            self.probe.issued(now, seq, cluster, CopyKind::Slave, now + 1);
+            self.probe.forwarded(now + 1, seq, TransferKind::Result, TransferPhase::Release, cluster);
+        }
         {
             let d = &mut self.window[wi];
             if !d.dq_slave_freed {
@@ -1128,16 +1235,38 @@ impl<'a, T: TraceSource + ?Sized> Sim<'a, T> {
     fn dispatch(&mut self) -> u32 {
         let now = self.now;
         if self.cursor >= self.trace.len() {
+            // Post-trace drain: nothing left to fetch, not a stall.
+            self.stats.drain_cycles += 1;
             return 0;
         }
         if self.fetch_blocked_by.is_some() {
             self.stats.stall_branch += 1;
+            if P::ENABLED {
+                self.probe.stalled(now, StallCause::BranchWait);
+            }
             return 0;
         }
         if now < self.fetch_resume_at {
-            match self.fetch_stall {
-                FetchStall::Icache => self.stats.stall_icache += 1,
-                FetchStall::Replay => self.stats.stall_replay += 1,
+            let cause = match self.fetch_stall {
+                FetchStall::Icache => {
+                    self.stats.stall_icache += 1;
+                    StallCause::Icache
+                }
+                FetchStall::Replay => {
+                    self.stats.stall_replay += 1;
+                    StallCause::Replay
+                }
+                FetchStall::Branch => {
+                    self.stats.stall_branch += 1;
+                    StallCause::BranchRedirect
+                }
+                FetchStall::Reassign => {
+                    self.stats.stall_reassign += 1;
+                    StallCause::Reassign
+                }
+            };
+            if P::ENABLED {
+                self.probe.stalled(now, cause);
             }
             return 0;
         }
@@ -1159,6 +1288,9 @@ impl<'a, T: TraceSource + ?Sized> Sim<'a, T> {
                 if !self.window.is_empty() {
                     if dispatched == 0 {
                         self.stats.stall_reassign += 1;
+                        if P::ENABLED {
+                            self.probe.stalled(now, StallCause::Reassign);
+                        }
                     }
                     return dispatched;
                 }
@@ -1169,9 +1301,16 @@ impl<'a, T: TraceSource + ?Sized> Sim<'a, T> {
                 self.fp_free = fp_free;
                 self.reassign_draining = false;
                 self.stats.reassignments += 1;
-                self.stats.stall_reassign += self.cfg.reassignment_penalty;
+                // The switch consumes this cycle; the remaining
+                // `reassignment_penalty - 1` wait cycles are charged one
+                // at a time by the `fetch_resume_at` check above (the
+                // window is empty here, so `dispatched == 0`).
+                self.stats.stall_reassign += 1;
+                if P::ENABLED {
+                    self.probe.stalled(now, StallCause::Reassign);
+                }
                 self.fetch_resume_at = now + self.cfg.reassignment_penalty;
-                self.fetch_stall = FetchStall::Replay;
+                self.fetch_stall = FetchStall::Reassign;
                 // Rename state restarts under the new assignment (the
                 // window is empty, so every mapping is architectural).
                 for table in &mut self.producers {
@@ -1190,6 +1329,9 @@ impl<'a, T: TraceSource + ?Sized> Sim<'a, T> {
                         self.fetch_stall = FetchStall::Icache;
                         if dispatched == 0 {
                             self.stats.stall_icache += 1;
+                            if P::ENABLED {
+                                self.probe.stalled(now, StallCause::Icache);
+                            }
                         }
                         return dispatched;
                     }
@@ -1209,6 +1351,9 @@ impl<'a, T: TraceSource + ?Sized> Sim<'a, T> {
             if !dq_ok {
                 if dispatched == 0 {
                     self.stats.stall_dq += 1;
+                    if P::ENABLED {
+                        self.probe.stalled(now, StallCause::DispatchQueue);
+                    }
                 }
                 return dispatched;
             }
@@ -1225,6 +1370,9 @@ impl<'a, T: TraceSource + ?Sized> Sim<'a, T> {
             if !regs_ok {
                 if dispatched == 0 {
                     self.stats.stall_regs += 1;
+                    if P::ENABLED {
+                        self.probe.stalled(now, StallCause::Registers);
+                    }
                 }
                 return dispatched;
             }
@@ -1383,6 +1531,9 @@ impl<'a, T: TraceSource + ?Sized> Sim<'a, T> {
             self.log(seq, Some(master), EventKind::Distributed);
             if let Some(s) = slave {
                 self.log(seq, Some(s), EventKind::Distributed);
+            }
+            if P::ENABLED {
+                self.probe.dispatched(now, seq, master, slave);
             }
 
             self.cursor += 1;
@@ -1777,8 +1928,12 @@ impl<'a, T: TraceSource + ?Sized> Sim<'a, T> {
             self.waiters.release_list(d.w_write);
             self.log(d.op.seq, None, EventKind::ReplaySquashed);
         }
+        let squash_count = squashed.len() as u64;
         squashed.clear();
         self.scratch_squash = squashed;
+        if P::ENABLED {
+            self.probe.replayed(now, from_seq, squash_count);
+        }
         // Squashed copies leave the ready sets; registrations *by*
         // squashed consumers on surviving producers are dropped so a
         // re-dispatched incarnation cannot see a double delivery. The

@@ -9,10 +9,31 @@ use mcl_mem::CacheStats;
 /// took the cycles it did — fetch-stall causes, dual-distribution mix,
 /// transfer-buffer pressure, replay exceptions, branch prediction, and
 /// cache behaviour.
+///
+/// # The stall-accounting identity
+///
+/// Every simulated cycle is charged to exactly one front-end bucket:
+/// either at least one instruction dispatched ([`SimStats::dispatch_cycles`]),
+/// or the trace was exhausted and the window was draining
+/// ([`SimStats::drain_cycles`]), or dispatch was stalled for exactly one
+/// attributed cause. So, for every run:
+///
+/// ```text
+/// cycles == dispatch_cycles + drain_cycles
+///         + stall_icache + stall_branch + stall_dq + stall_regs
+///         + stall_replay + stall_reassign
+/// ```
+///
+/// [`SimStats::check_stall_identity`] verifies this; `repro selftest`
+/// asserts it for every benchmark/configuration cell.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct SimStats {
     /// Simulated clock cycles (the paper's metric).
     pub cycles: u64,
+    /// Cycles in which at least one instruction dispatched.
+    pub dispatch_cycles: u64,
+    /// Cycles after the trace was exhausted, spent draining the window.
+    pub drain_cycles: u64,
     /// Instructions retired.
     pub retired: u64,
     /// Dynamic instructions distributed to exactly one cluster.
@@ -60,8 +81,8 @@ pub struct SimStats {
 
     /// Fetch/dispatch stall cycles by cause.
     pub stall_icache: u64,
-    /// Cycles dispatch was blocked waiting for a mispredicted branch to
-    /// resolve.
+    /// Cycles dispatch was blocked on a mispredicted branch: waiting for
+    /// it to resolve, plus the post-resolution redirect cycle.
     pub stall_branch: u64,
     /// Cycles dispatch was blocked on a full dispatch queue.
     pub stall_dq: u64,
@@ -120,6 +141,47 @@ impl SimStats {
     pub fn ratio_against(&self, single_cluster_cycles: u64) -> f64 {
         self.cycles as f64 / single_cluster_cycles as f64
     }
+
+    /// Total whole-cycle front-end stalls, summed over causes.
+    #[must_use]
+    pub fn stall_cycles(&self) -> u64 {
+        self.stall_icache
+            + self.stall_branch
+            + self.stall_dq
+            + self.stall_regs
+            + self.stall_replay
+            + self.stall_reassign
+    }
+
+    /// Verifies the stall-accounting identity (see the type-level docs):
+    /// every cycle is a dispatch cycle, a drain cycle, or exactly one
+    /// attributed stall.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the imbalance when the identity does not
+    /// hold — a simulator accounting bug.
+    pub fn check_stall_identity(&self) -> Result<(), String> {
+        let accounted = self.dispatch_cycles + self.drain_cycles + self.stall_cycles();
+        if accounted == self.cycles {
+            return Ok(());
+        }
+        Err(format!(
+            "stall accounting does not cover the run: cycles={} but \
+             dispatch={} + drain={} + icache={} + branch={} + dq={} + regs={} \
+             + replay={} + reassign={} = {}",
+            self.cycles,
+            self.dispatch_cycles,
+            self.drain_cycles,
+            self.stall_icache,
+            self.stall_branch,
+            self.stall_dq,
+            self.stall_regs,
+            self.stall_replay,
+            self.stall_reassign,
+            accounted,
+        ))
+    }
 }
 
 /// The percentage speedup the paper reports in Table 2:
@@ -166,5 +228,28 @@ mod tests {
         assert_eq!(stats.ipc(), 0.0);
         assert_eq!(stats.mispredict_rate(), 0.0);
         assert_eq!(stats.dual_fraction(), 0.0);
+    }
+
+    #[test]
+    fn stall_identity_accepts_balanced_and_rejects_unbalanced() {
+        let mut stats = SimStats {
+            cycles: 100,
+            dispatch_cycles: 60,
+            drain_cycles: 10,
+            stall_icache: 5,
+            stall_branch: 9,
+            stall_dq: 6,
+            stall_regs: 4,
+            stall_replay: 3,
+            stall_reassign: 3,
+            ..SimStats::default()
+        };
+        stats.check_stall_identity().expect("balanced");
+        assert_eq!(stats.stall_cycles(), 30);
+        stats.stall_dq += 1;
+        let err = stats.check_stall_identity().expect_err("unbalanced");
+        assert!(err.contains("cycles=100"), "describes the imbalance: {err}");
+        // The empty run trivially satisfies the identity.
+        SimStats::default().check_stall_identity().expect("empty run");
     }
 }

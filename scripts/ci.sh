@@ -59,4 +59,56 @@ grep -q 'compress' "$smoke_dir/keepgoing.txt" || {
     exit 1
 }
 
+echo "== smoke: observability exports =="
+(cd "$smoke_dir" && "$OLDPWD/target/release/repro" table2 4 > table2_noobs.txt)
+cp "$smoke_dir/BENCH_repro.json" "$smoke_dir/BENCH_noobs.json"
+(cd "$smoke_dir" && "$OLDPWD/target/release/repro" table2 4 --obs obs_out > table2_obs.txt)
+if ! diff -q "$smoke_dir/table2_noobs.txt" "$smoke_dir/table2_obs.txt"; then
+    echo "FAIL: --obs changed table2 output" >&2
+    exit 1
+fi
+target/release/repro obs-validate "$smoke_dir/obs_out"
+cycles_noobs="$(grep -o '"total_simulated_cycles":[0-9]*' "$smoke_dir/BENCH_noobs.json")"
+cycles_obs="$(grep -o '"total_simulated_cycles":[0-9]*' "$smoke_dir/BENCH_repro.json")"
+if [ -z "$cycles_noobs" ] || [ "$cycles_noobs" != "$cycles_obs" ]; then
+    echo "FAIL: --obs changed total_simulated_cycles ($cycles_noobs vs $cycles_obs)" >&2
+    exit 1
+fi
+
+echo "== guard: disabled-probe overhead =="
+# Compare min-of-3 serial `repro all` wall time against the previous
+# commit. Wall-clock comparisons on shared CI hosts are noisy, so the
+# guard uses the min of three runs and a generous default tolerance
+# (override with MCL_OBS_GUARD_TOLERANCE); it warns and skips when the
+# baseline cannot be built (shallow clone, first commit, ...).
+guard_tol="${MCL_OBS_GUARD_TOLERANCE:-0.15}"
+baseline_ref="${MCL_BASELINE_REF:-HEAD~1}"
+base_dir="$(mktemp -d)"
+trap 'rm -rf "$smoke_dir"; git worktree remove --force "$base_dir/src" >/dev/null 2>&1 || true; rm -rf "$base_dir"' EXIT
+min_wall() {
+    # Runs `repro all 8 --jobs 1` three times with the given binary and
+    # prints the minimum total_wall_seconds reported in BENCH_repro.json.
+    local bin="$1" best="" wall
+    for _ in 1 2 3; do
+        (cd "$smoke_dir" && "$bin" all 8 --jobs 1 > /dev/null)
+        wall="$(grep -o '"total_wall_seconds":[0-9.]*' "$smoke_dir/BENCH_repro.json" | head -1 | cut -d: -f2)"
+        best="$(awk -v a="${best:-$wall}" -v b="$wall" 'BEGIN { print (a < b) ? a : b }')"
+    done
+    echo "$best"
+}
+if git worktree add --detach "$base_dir/src" "$baseline_ref" >/dev/null 2>&1 \
+    && (cd "$base_dir/src" && CARGO_TARGET_DIR="$base_dir/target" cargo build --release -q -p mcl-bench); then
+    current="$(min_wall "$PWD/target/release/repro")"
+    baseline="$(min_wall "$base_dir/target/release/repro")"
+    if awk -v cur="$current" -v base="$baseline" -v tol="$guard_tol" \
+            'BEGIN { exit !(cur <= base * (1 + tol)) }'; then
+        echo "overhead OK: ${current}s current vs ${baseline}s baseline (tolerance ${guard_tol})"
+    else
+        echo "FAIL: disabled-probe overhead ${current}s vs baseline ${baseline}s exceeds tolerance ${guard_tol}" >&2
+        exit 1
+    fi
+else
+    echo "WARN: baseline $baseline_ref unavailable; skipping overhead guard" >&2
+fi
+
 echo "CI OK"
