@@ -16,8 +16,9 @@
 //! repro schedulers             B1: partitioning-strategy comparison
 //! repro pipeline <bench>       per-instruction pipeline diagram
 //! repro selftest [divisor]    differential + fault-injection self-checks
-//! repro all [divisor]         everything above (except selftest)
-//! repro obs-validate <dir>     validate a directory of --obs exports
+//! repro explain [divisor]     critical-path cycle-loss attribution
+//! repro all [divisor]         everything above (except selftest/explain)
+//! repro obs-validate <dir>     validate a directory of exports
 //! ```
 //!
 //! Every subcommand (except `pipeline`) expands into independent
@@ -41,14 +42,29 @@
 //!
 //! Observability flags (see `mcl_bench::obs`):
 //!
-//! - `--obs OUT_DIR` — for every Table 2 cell, run an instrumented
-//!   companion simulation and export `<bench>.series.json` (interval
-//!   time series + latency histograms) and `<bench>.trace.json` (Chrome
-//!   trace events, Perfetto-loadable) into `OUT_DIR`. The cell's
-//!   reported statistics still come from the uninstrumented run, and
-//!   the two are cross-checked for byte identity.
+//! - `--obs OUT_DIR` — for every Table 2, ablation, and scenario cell,
+//!   run an instrumented companion simulation and export
+//!   `<stem>.series.json` (interval time series + latency histograms)
+//!   and `<stem>.trace.json` (Chrome trace events, Perfetto-loadable)
+//!   into `OUT_DIR`. The cell's reported statistics still come from the
+//!   uninstrumented run, and the two are cross-checked for byte
+//!   identity. Ablation cells export their family-representative
+//!   configuration under `ablate-<family>-<bench>`; scenario cells
+//!   export under `scenario<N>`.
 //! - `--sample-interval N` — sampling interval in cycles for `--obs`
 //!   (default 1024).
+//!
+//! Explain flags (see `mcl_bench::explain`):
+//!
+//! - `repro explain [divisor]` — for every benchmark, rerun the
+//!   dual-cluster/local Table 2 cell with the critical-path attribution
+//!   probe, write `<bench>.critpath.json` (into `--obs OUT_DIR`, or
+//!   `critpath_out` by default), and print the per-cause cycle
+//!   breakdown. The attribution identity (causes sum exactly to total
+//!   cycles) is enforced on every cell.
+//! - `--baseline single|dual-none` — differential mode: also attribute
+//!   the named Table 2 reference cell and report the per-cause share of
+//!   the slowdown against it.
 
 use std::ops::Range;
 use std::path::PathBuf;
@@ -56,12 +72,16 @@ use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Instant;
 
-use mcl_bench::obs::{self, ObsSettings};
+use mcl_bench::explain::{self, Baseline};
+use mcl_bench::obs::{self, ObsSettings, ObsTarget};
 use mcl_bench::runner::{self, Cell, CellCost, CellStatus, RunInfo};
 use mcl_bench::{
-    ablate, crossover, figure6, scenarios, selftest, table1, table2, Table2Row, TraceStore,
+    ablate, crossover, figure6, scenarios, selftest, table1, table2, Table2Row, TraceRequest,
+    TraceStore,
 };
 use mcl_core::check::CheckLevel;
+use mcl_core::ProcessorConfig;
+use mcl_sched::SchedulerKind;
 use mcl_workloads::Benchmark;
 
 fn main() -> ExitCode {
@@ -130,9 +150,24 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let baseline = match take_value_flag(&mut args, "--baseline") {
+        Ok(None) => None,
+        Ok(Some(v)) => match Baseline::parse(&v) {
+            Ok(b) => Some(b),
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     let obs_settings =
         obs_dir.map(|dir| ObsSettings { dir: PathBuf::from(dir), sample_interval });
-    let options = RunOptions { keep_going, watchdog_seconds, obs: obs_settings };
+    let mut options =
+        RunOptions { keep_going, watchdog_seconds, obs: obs_settings, explain: None };
     let cmd = args.first().cloned().unwrap_or_else(|| "all".to_owned());
     let divisor: u32 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(1);
 
@@ -173,21 +208,32 @@ fn main() -> ExitCode {
         "table2" => {
             plan_table2(&mut plan, &store, divisor, mcl_only().as_deref(), options.obs.as_ref());
         }
-        "scenarios" => plan_scenarios(&mut plan),
+        "scenarios" => plan_scenarios(&mut plan, options.obs.as_ref()),
         "fig6" => plan_fig6(&mut plan),
         "crossover" => {
             let rows = plan_table2_cells(&mut plan, &store, divisor, None, options.obs.as_ref());
             plan_crossover(&mut plan, rows);
         }
-        "ablate-buffers" => plan_ablate_buffers(&mut plan, &store, divisor),
-        "ablate-threshold" => plan_ablate_threshold(&mut plan, &store, divisor),
-        "ablate-dq" => plan_ablate_dq(&mut plan, &store, divisor),
-        "ablate-globals" => plan_ablate_globals(&mut plan, &store, divisor),
-        "ablate-width" => plan_ablate_width(&mut plan, &store, divisor),
-        "ablate-unroll" => plan_ablate_unroll(&mut plan, &store, divisor),
+        "ablate-buffers" => plan_ablate_buffers(&mut plan, &store, divisor, options.obs.as_ref()),
+        "ablate-threshold" => {
+            plan_ablate_threshold(&mut plan, &store, divisor, options.obs.as_ref());
+        }
+        "ablate-dq" => plan_ablate_dq(&mut plan, &store, divisor, options.obs.as_ref()),
+        "ablate-globals" => plan_ablate_globals(&mut plan, &store, divisor, options.obs.as_ref()),
+        "ablate-width" => plan_ablate_width(&mut plan, &store, divisor, options.obs.as_ref()),
+        "ablate-unroll" => plan_ablate_unroll(&mut plan, &store, divisor, options.obs.as_ref()),
         "mix" => plan_mix(&mut plan, divisor),
         "schedulers" => plan_schedulers(&mut plan, &store, divisor),
         "selftest" => plan_selftest(&mut plan, divisor),
+        "explain" => {
+            let dir = options
+                .obs
+                .as_ref()
+                .map_or_else(|| PathBuf::from("critpath_out"), |s| s.dir.clone());
+            options.explain =
+                Some((dir.display().to_string(), baseline.map(|b| b.name().to_owned())));
+            plan_explain(&mut plan, &store, divisor, dir, baseline, mcl_only().as_deref());
+        }
         "all" => plan_all(&mut plan, &store, divisor, options.obs.as_ref()),
         other => {
             eprintln!("unknown subcommand `{other}`; see the module docs for usage");
@@ -221,6 +267,9 @@ struct RunOptions {
     keep_going: bool,
     watchdog_seconds: Option<f64>,
     obs: Option<ObsSettings>,
+    /// `(export dir, baseline name)` of a `repro explain` run, recorded
+    /// in `BENCH_repro.json`.
+    explain: Option<(String, Option<String>)>,
 }
 
 /// Extracts `--jobs N` / `--jobs=N` from the argument list.
@@ -398,6 +447,8 @@ impl Plan {
             watchdog_seconds: options.watchdog_seconds,
             obs_dir: options.obs.as_ref().map(|s| s.dir.display().to_string()),
             sample_interval: options.obs.as_ref().map_or(0, |s| s.sample_interval),
+            explain_dir: options.explain.as_ref().map(|(dir, _)| dir.clone()),
+            explain_baseline: options.explain.as_ref().and_then(|(_, b)| b.clone()),
         };
         if let Err(e) = runner::write_report(path, &info, &store.counters(), &metrics) {
             eprintln!("warning: could not write {}: {e}", path.display());
@@ -481,10 +532,16 @@ fn plan_crossover(plan: &mut Plan, table2_cells: Range<usize>) {
     );
 }
 
-fn plan_scenarios(plan: &mut Plan) {
+fn plan_scenarios(plan: &mut Plan, obs: Option<&ObsSettings>) {
+    let obs = obs.cloned();
     plan.section(
-        vec![Cell::new("scenarios", || {
+        vec![Cell::new("scenarios", move || {
             let timelines = scenarios::run_all()?;
+            if let Some(settings) = &obs {
+                for s in mcl_workloads::scenarios::all() {
+                    obs::observe_scenario(&s, settings)?;
+                }
+            }
             Ok((Payload::Text(scenarios::render(&timelines)), CellCost::default()))
         })],
         Box::new(|ps| println!("{}", text(&ps[0]))),
@@ -531,9 +588,46 @@ fn plan_sweep(
     );
 }
 
-fn plan_ablate_buffers(plan: &mut Plan, store: &Arc<TraceStore>, divisor: u32) {
-    plan_sweep(plan, "ablate-buffers", store, divisor, |store, bench, scale| {
+/// Exports the family-representative instrumented companion of one
+/// ablation cell (`--obs` on `repro ablate-*`): the sweep's statistics
+/// come from the ordinary uninstrumented runs; the export covers one
+/// canonical `(request, configuration)` of the family under the stem
+/// `<family>-<bench>`.
+fn observe_ablate(
+    store: &TraceStore,
+    family: &str,
+    bench: Benchmark,
+    req: &TraceRequest,
+    cfg: &ProcessorConfig,
+    (config_label, sched_label): (&'static str, &'static str),
+    obs: Option<&ObsSettings>,
+) -> Result<(), mcl_bench::Error> {
+    if let Some(settings) = obs {
+        let stem = format!("{family}-{bench}");
+        obs::observe_request(
+            store,
+            req,
+            cfg,
+            ObsTarget { stem: &stem, config_label, sched_label },
+            settings,
+        )?;
+    }
+    Ok(())
+}
+
+fn plan_ablate_buffers(plan: &mut Plan, store: &Arc<TraceStore>, divisor: u32, obs: Option<&ObsSettings>) {
+    let obs = obs.cloned();
+    plan_sweep(plan, "ablate-buffers", store, divisor, move |store, bench, scale| {
         let (points, cost) = ablate::buffers(store, bench, scale, &[1, 2, 4, 8, 16, 32])?;
+        observe_ablate(
+            store,
+            "ablate-buffers",
+            bench,
+            &TraceRequest::new(bench, scale, SchedulerKind::Local),
+            &ProcessorConfig::dual_cluster_8way(),
+            ("dual_cluster_8way", "local"),
+            obs.as_ref(),
+        )?;
         let rendered = ablate::render_sweep(
             &format!("A1: transfer-buffer entries per cluster — {bench}"),
             "entries",
@@ -543,10 +637,20 @@ fn plan_ablate_buffers(plan: &mut Plan, store: &Arc<TraceStore>, divisor: u32) {
     });
 }
 
-fn plan_ablate_threshold(plan: &mut Plan, store: &Arc<TraceStore>, divisor: u32) {
-    plan_sweep(plan, "ablate-threshold", store, divisor, |store, bench, scale| {
+fn plan_ablate_threshold(plan: &mut Plan, store: &Arc<TraceStore>, divisor: u32, obs: Option<&ObsSettings>) {
+    let obs = obs.cloned();
+    plan_sweep(plan, "ablate-threshold", store, divisor, move |store, bench, scale| {
         let (points, cost) =
             ablate::threshold(store, bench, scale, &[1.0, 2.0, 4.0, 8.0, 16.0, 32.0])?;
+        observe_ablate(
+            store,
+            "ablate-threshold",
+            bench,
+            &TraceRequest::new(bench, scale, SchedulerKind::Local),
+            &ProcessorConfig::dual_cluster_8way(),
+            ("dual_cluster_8way", "local"),
+            obs.as_ref(),
+        )?;
         let rendered = ablate::render_sweep(
             &format!("A2: local-scheduler imbalance threshold — {bench}"),
             "threshold",
@@ -556,9 +660,19 @@ fn plan_ablate_threshold(plan: &mut Plan, store: &Arc<TraceStore>, divisor: u32)
     });
 }
 
-fn plan_ablate_dq(plan: &mut Plan, store: &Arc<TraceStore>, divisor: u32) {
-    plan_sweep(plan, "ablate-dq", store, divisor, |store, bench, scale| {
+fn plan_ablate_dq(plan: &mut Plan, store: &Arc<TraceStore>, divisor: u32, obs: Option<&ObsSettings>) {
+    let obs = obs.cloned();
+    plan_sweep(plan, "ablate-dq", store, divisor, move |store, bench, scale| {
         let (points, cost) = ablate::dq_single(store, bench, scale, &[16, 32, 64, 128, 256])?;
+        observe_ablate(
+            store,
+            "ablate-dq",
+            bench,
+            &TraceRequest::new(bench, scale, SchedulerKind::Naive),
+            &ProcessorConfig::single_cluster_8way(),
+            ("single_cluster_8way", "naive"),
+            obs.as_ref(),
+        )?;
         let rendered = ablate::render_sweep(
             &format!("A3: single-cluster dispatch-queue size — {bench}"),
             "entries",
@@ -568,9 +682,19 @@ fn plan_ablate_dq(plan: &mut Plan, store: &Arc<TraceStore>, divisor: u32) {
     });
 }
 
-fn plan_ablate_unroll(plan: &mut Plan, store: &Arc<TraceStore>, divisor: u32) {
-    plan_sweep(plan, "ablate-unroll", store, divisor, |store, bench, scale| {
+fn plan_ablate_unroll(plan: &mut Plan, store: &Arc<TraceStore>, divisor: u32, obs: Option<&ObsSettings>) {
+    let obs = obs.cloned();
+    plan_sweep(plan, "ablate-unroll", store, divisor, move |store, bench, scale| {
         let (points, cost) = ablate::unroll(store, bench, scale, &[1, 2, 4])?;
+        observe_ablate(
+            store,
+            "ablate-unroll",
+            bench,
+            &TraceRequest::new(bench, scale, SchedulerKind::Local).with_unroll(2),
+            &ProcessorConfig::dual_cluster_8way(),
+            ("dual_cluster_8way", "local"),
+            obs.as_ref(),
+        )?;
         let rendered = ablate::render_sweep(
             &format!("A6: loop unrolling (dual-cluster, local scheduler) — {bench}"),
             "factor",
@@ -580,14 +704,24 @@ fn plan_ablate_unroll(plan: &mut Plan, store: &Arc<TraceStore>, divisor: u32) {
     });
 }
 
-fn plan_ablate_globals(plan: &mut Plan, store: &Arc<TraceStore>, divisor: u32) {
+fn plan_ablate_globals(plan: &mut Plan, store: &Arc<TraceStore>, divisor: u32, obs: Option<&ObsSettings>) {
     let cells = Benchmark::ALL
         .iter()
         .map(|&bench| {
             let store = Arc::clone(store);
+            let obs = obs.cloned();
             Cell::new(format!("ablate-globals/{bench}"), move || {
                 let ((with, without), cost) =
                     ablate::globals(&store, bench, bench.scaled(divisor))?;
+                observe_ablate(
+                    &store,
+                    "ablate-globals",
+                    bench,
+                    &TraceRequest::new(bench, bench.scaled(divisor), SchedulerKind::LocalNoGlobals),
+                    &ProcessorConfig::dual_cluster_8way(),
+                    ("dual_cluster_8way", "local_no_globals"),
+                    obs.as_ref(),
+                )?;
                 let line = format!(
                     "{:<10} {:>14} {:>14}",
                     bench.name(),
@@ -611,14 +745,24 @@ fn plan_ablate_globals(plan: &mut Plan, store: &Arc<TraceStore>, divisor: u32) {
     );
 }
 
-fn plan_ablate_width(plan: &mut Plan, store: &Arc<TraceStore>, divisor: u32) {
+fn plan_ablate_width(plan: &mut Plan, store: &Arc<TraceStore>, divisor: u32, obs: Option<&ObsSettings>) {
     let cells = Benchmark::ALL
         .iter()
         .map(|&bench| {
             let store = Arc::clone(store);
+            let obs = obs.cloned();
             Cell::new(format!("ablate-width/{bench}"), move || {
                 let ((single, none_pct, local_pct), cost) =
                     ablate::width4(&store, bench, bench.scaled(divisor))?;
+                observe_ablate(
+                    &store,
+                    "ablate-width",
+                    bench,
+                    &TraceRequest::new(bench, bench.scaled(divisor), SchedulerKind::Local),
+                    &ProcessorConfig::dual_cluster_4way(),
+                    ("dual_cluster_4way", "local"),
+                    obs.as_ref(),
+                )?;
                 let line = format!(
                     "{:<10} {:>12} {:>11.1}% {:>11.1}%",
                     bench.name(),
@@ -721,6 +865,7 @@ fn plan_selftest(plan: &mut Plan, divisor: u32) {
         selftest_cell("store-vs-fresh", move || selftest::store_vs_fresh(divisor)),
         selftest_cell("jobs-agree", move || selftest::jobs_agree(divisor)),
         selftest_cell("stall-identity", move || selftest::stall_identity(divisor)),
+        selftest_cell("critpath-identity", move || selftest::critpath_identity(divisor)),
         selftest_cell("fuzz-checker", || selftest::fuzz_checker(24)),
         selftest_cell("leak-fault", selftest::leak_fault_caught),
         selftest_cell("corrupt-packed", selftest::corrupt_packed_rejected),
@@ -737,10 +882,45 @@ fn plan_selftest(plan: &mut Plan, divisor: u32) {
     );
 }
 
+/// Adds one explain cell per benchmark: the critical-path attribution
+/// of the dual-cluster/local run (differential against `baseline` when
+/// given), exporting `<bench>.critpath.json` into `dir`.
+fn plan_explain(
+    plan: &mut Plan,
+    store: &Arc<TraceStore>,
+    divisor: u32,
+    dir: PathBuf,
+    baseline: Option<Baseline>,
+    only: Option<&str>,
+) {
+    let cells = Benchmark::ALL
+        .iter()
+        .filter(|b| only.is_none_or(|name| b.name() == name))
+        .map(|&bench| {
+            let store = Arc::clone(store);
+            let dir = dir.clone();
+            Cell::new(format!("explain/{bench}"), move || {
+                let (rendered, cost) =
+                    explain::explain_cell(&store, bench, bench.scaled(divisor), &dir, baseline)?;
+                Ok((Payload::Text(rendered), cost))
+            })
+        })
+        .collect();
+    plan.section(
+        cells,
+        Box::new(move |ps| {
+            println!("Critical-path cycle-loss attribution (dual-cluster, local scheduler)\n");
+            for p in ps {
+                println!("{}", text(p));
+            }
+        }),
+    );
+}
+
 fn plan_all(plan: &mut Plan, store: &Arc<TraceStore>, divisor: u32, obs: Option<&ObsSettings>) {
     plan_table1(plan);
     let table2_cells = plan_table2(plan, store, divisor, mcl_only().as_deref(), obs);
-    plan_scenarios(plan);
+    plan_scenarios(plan, obs);
     plan_fig6(plan);
     // The crossover analysis derives from Table 2's rows; reuse them
     // instead of re-simulating — unless MCL_ONLY restricted Table 2, in
@@ -753,12 +933,12 @@ fn plan_all(plan: &mut Plan, store: &Arc<TraceStore>, divisor: u32, obs: Option<
         let full_rows = plan_table2_cells(plan, store, divisor, None, None);
         plan_crossover(plan, full_rows);
     }
-    plan_ablate_buffers(plan, store, divisor);
-    plan_ablate_threshold(plan, store, divisor);
-    plan_ablate_dq(plan, store, divisor);
-    plan_ablate_globals(plan, store, divisor);
-    plan_ablate_width(plan, store, divisor);
-    plan_ablate_unroll(plan, store, divisor);
+    plan_ablate_buffers(plan, store, divisor, obs);
+    plan_ablate_threshold(plan, store, divisor, obs);
+    plan_ablate_dq(plan, store, divisor, obs);
+    plan_ablate_globals(plan, store, divisor, obs);
+    plan_ablate_width(plan, store, divisor, obs);
+    plan_ablate_unroll(plan, store, divisor, obs);
     plan_schedulers(plan, store, divisor);
     plan_mix(plan, divisor);
 }

@@ -22,6 +22,10 @@
 //! - [`obs`] — the `--obs` exports: per-cell interval-sampled time
 //!   series, latency histograms, and Chrome trace-event files from an
 //!   instrumented companion simulation, plus `repro obs-validate`.
+//! - [`explain`] — `repro explain`: exact critical-path cycle-loss
+//!   attribution of each Table 2 cell (`<bench>.critpath.json` plus a
+//!   rendered per-cause report), optionally differential against the
+//!   single-cluster or dual-native baseline.
 //!
 //! Everything here is a library so the `repro` binary and the criterion
 //! benches share one implementation.
@@ -35,6 +39,7 @@ use mcl_trace::{vm::trace_program, Program, TraceOp, VmError, Vreg};
 use mcl_workloads::Benchmark;
 
 pub mod ablate;
+pub mod explain;
 pub mod figure6;
 pub mod json;
 pub mod obs;

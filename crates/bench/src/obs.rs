@@ -57,6 +57,18 @@ fn obs_err(context: &str, detail: impl std::fmt::Display) -> Error {
     Error::Obs(format!("{context}: {detail}"))
 }
 
+/// Identity of one instrumented export: the file stem the artifacts
+/// are written under plus the labels recorded inside the series export.
+#[derive(Debug, Clone, Copy)]
+pub struct ObsTarget<'a> {
+    /// Export file stem (`<stem>.series.json`, `<stem>.trace.json`).
+    pub stem: &'a str,
+    /// Processor-configuration label recorded in the export.
+    pub config_label: &'a str,
+    /// Scheduler label recorded in the export.
+    pub sched_label: &'a str,
+}
+
 /// Runs the instrumented companion simulation of one Table 2 cell and
 /// writes its exports; returns the file names written.
 ///
@@ -73,9 +85,73 @@ pub fn observe_cell(
     scale: u32,
     settings: &ObsSettings,
 ) -> Result<Vec<String>, Error> {
-    let req = TraceRequest::new(bench, scale, SchedulerKind::Local);
-    let (trace, _) = store.trace(&req)?;
+    observe_request(
+        store,
+        &TraceRequest::new(bench, scale, SchedulerKind::Local),
+        &ProcessorConfig::dual_cluster_8way(),
+        ObsTarget { stem: bench.name(), config_label: "dual_cluster_8way", sched_label: "local" },
+        settings,
+    )
+}
+
+/// Generalised form of [`observe_cell`]: runs the instrumented
+/// companion of any store-served `(request, configuration)` pair and
+/// writes its exports under `target.stem` — how `repro ablate` and
+/// `repro scenarios` cells export observability artifacts for their
+/// family-representative configuration.
+///
+/// # Errors
+///
+/// As [`observe_cell`].
+pub fn observe_request(
+    store: &TraceStore,
+    req: &TraceRequest,
+    cfg: &ProcessorConfig,
+    target: ObsTarget<'_>,
+    settings: &ObsSettings,
+) -> Result<Vec<String>, Error> {
+    let (trace, _) = store.trace(req)?;
+    let expected = store.sim(req, cfg)?;
+    observe_trace(&trace, cfg, &expected.stats, target, settings)
+}
+
+/// Instrumented companion of one prescheduled scenario program
+/// (`repro scenarios --obs`): exports under the stem `scenario<N>`.
+///
+/// # Errors
+///
+/// As [`observe_cell`]; the cross-check reference is a fresh
+/// uninstrumented run of the same program.
+pub fn observe_scenario(
+    scenario: &mcl_workloads::scenarios::Scenario,
+    settings: &ObsSettings,
+) -> Result<Vec<String>, Error> {
+    let (trace, _) = mcl_trace::vm::trace_program_packed(&scenario.program, 0)?;
     let cfg = ProcessorConfig::dual_cluster_8way();
+    let expected = Processor::new(cfg.clone()).run_packed(&trace)?;
+    let stem = format!("scenario{}", scenario.number);
+    observe_trace(
+        &trace,
+        &cfg,
+        &expected.stats,
+        ObsTarget {
+            stem: &stem,
+            config_label: "dual_cluster_8way",
+            sched_label: "prescheduled",
+        },
+        settings,
+    )
+}
+
+/// The shared export path: instrumented run, byte-identity cross-check
+/// against `expected`, series + Chrome trace written under the stem.
+fn observe_trace(
+    trace: &mcl_trace::PackedTrace,
+    cfg: &ProcessorConfig,
+    expected: &mcl_core::SimStats,
+    target: ObsTarget<'_>,
+    settings: &ObsSettings,
+) -> Result<Vec<String>, Error> {
     let mut probe = ObsProbe::new(ObsConfig {
         sample_interval: settings.sample_interval,
         ring_capacity: RING_CAPACITY,
@@ -83,12 +159,12 @@ pub fn observe_cell(
     std::fs::create_dir_all(&settings.dir)
         .map_err(|e| obs_err(&format!("creating {}", settings.dir.display()), e))?;
 
-    let observed = match Processor::new(cfg.clone()).run_packed_observed(&trace, &mut probe) {
+    let observed = match Processor::new(cfg.clone()).run_packed_observed(trace, &mut probe) {
         Ok(result) => result,
         Err(e) => {
             probe.finish();
-            let name = format!("{}.postmortem.txt", bench.name());
-            let rendered = render_postmortem(bench, &e, probe.ring());
+            let name = format!("{}.postmortem.txt", target.stem);
+            let rendered = render_postmortem(target.stem, &e, probe.ring());
             let path = settings.dir.join(&name);
             std::fs::write(&path, rendered)
                 .map_err(|io| obs_err(&format!("writing {}", path.display()), io))?;
@@ -98,24 +174,21 @@ pub fn observe_cell(
     probe.finish();
 
     // The probe must have observed, never perturbed: the instrumented
-    // statistics must equal the store's uninstrumented run bit for bit.
-    let expected = store.sim(&req, &cfg)?;
-    if observed.stats != expected.stats {
+    // statistics must equal the uninstrumented run bit for bit.
+    if observed.stats != *expected {
         return Err(obs_err(
             "probe perturbation",
             format!(
-                "{}: instrumented run diverged from the store run \
+                "{}: instrumented run diverged from the reference run \
                  ({} vs {} cycles) — probes must not affect simulation",
-                bench.name(),
-                observed.stats.cycles,
-                expected.stats.cycles
+                target.stem, observed.stats.cycles, expected.cycles
             ),
         ));
     }
 
-    let series_name = format!("{}.series.json", bench.name());
-    let trace_name = format!("{}.trace.json", bench.name());
-    let series = series_json(bench, observed.stats.cycles, &probe);
+    let series_name = format!("{}.series.json", target.stem);
+    let trace_name = format!("{}.trace.json", target.stem);
+    let series = series_json(target, observed.stats.cycles, &probe);
     let chrome = chrome_trace_json(probe.ring());
     for (name, json) in [(&series_name, series), (&trace_name, chrome)] {
         let path = settings.dir.join(name);
@@ -125,11 +198,10 @@ pub fn observe_cell(
     Ok(vec![series_name, trace_name])
 }
 
-fn render_postmortem(bench: Benchmark, error: &SimError, ring: &EventRing) -> String {
+fn render_postmortem(stem: &str, error: &SimError, ring: &EventRing) -> String {
     let mut out = format!(
-        "instrumented run of {} failed: {error}\n\nlast {} lifecycle events \
+        "instrumented run of {stem} failed: {error}\n\nlast {} lifecycle events \
          ({} older events dropped):\n\n",
-        bench.name(),
         ring.len(),
         ring.dropped()
     );
@@ -179,7 +251,7 @@ fn i64_array(values: &[i64; 2]) -> Json {
     Json::Array(values.iter().map(|&v| Json::F64(v as f64)).collect())
 }
 
-fn series_json(bench: Benchmark, cycles: u64, probe: &ObsProbe) -> Json {
+fn series_json(target: ObsTarget<'_>, cycles: u64, probe: &ObsProbe) -> Json {
     let samples: Vec<Json> = probe
         .samples()
         .iter()
@@ -219,9 +291,9 @@ fn series_json(bench: Benchmark, cycles: u64, probe: &ObsProbe) -> Json {
         .field("dropped", ring.dropped().into());
     let mut obj = Json::object();
     obj.field("schema_version", SERIES_SCHEMA_VERSION.into())
-        .field("benchmark", bench.name().into())
-        .field("config", "dual_cluster_8way".into())
-        .field("scheduler", "local".into())
+        .field("benchmark", target.stem.into())
+        .field("config", target.config_label.into())
+        .field("scheduler", target.sched_label.into())
         .field("sample_interval", probe.sample_interval().into())
         .field("cycles", cycles.into())
         .field("samples", Json::Array(samples))
@@ -373,9 +445,14 @@ fn validate_trace(path: &Path) -> Result<usize, Error> {
     Ok(events.len())
 }
 
-/// Validates a directory of `--obs` exports: every `*.series.json` and
-/// `*.trace.json` must parse and carry the expected schema. Returns a
-/// one-line summary.
+/// Validates a directory of exports: every `*.series.json` and
+/// `*.trace.json` (from `--obs`) and every `*.critpath.json` (from
+/// `repro explain`) must parse and carry the expected schema — for
+/// critpath exports that includes re-checking the attribution identity
+/// from the file. Returns a one-line summary.
+///
+/// An empty or missing directory is a hard failure, never a vacuous
+/// pass: `repro obs-validate` exists to prove exports were produced.
 ///
 /// # Errors
 ///
@@ -389,7 +466,7 @@ pub fn validate_dir(dir: &Path) -> Result<String, Error> {
         .map(|e| e.path())
         .collect();
     names.sort();
-    let (mut series, mut traces, mut trace_events) = (0usize, 0usize, 0usize);
+    let (mut series, mut traces, mut trace_events, mut critpaths) = (0usize, 0usize, 0usize, 0usize);
     for path in &names {
         let Some(name) = path.file_name().and_then(|n| n.to_str()) else { continue };
         if name.ends_with(".series.json") {
@@ -398,16 +475,29 @@ pub fn validate_dir(dir: &Path) -> Result<String, Error> {
         } else if name.ends_with(".trace.json") {
             trace_events += validate_trace(path)?;
             traces += 1;
+        } else if name.ends_with(".critpath.json") {
+            crate::explain::validate_critpath(path)?;
+            critpaths += 1;
         }
     }
-    if series == 0 || traces == 0 {
+    if series == 0 && traces == 0 && critpaths == 0 {
+        return Err(obs_err(
+            &format!("{}", dir.display()),
+            "no observability exports found (empty or missing exports are a failure, \
+             not a vacuous pass)",
+        ));
+    }
+    // `--obs` always writes series and trace files in pairs; a lone kind
+    // means a partial or corrupted export run.
+    if (series == 0) != (traces == 0) {
         return Err(obs_err(
             &format!("{}", dir.display()),
             format!("expected both export kinds, found {series} series and {traces} trace files"),
         ));
     }
     Ok(format!(
-        "{series} series file(s) and {traces} Chrome trace file(s) ({trace_events} events) valid"
+        "{series} series file(s), {traces} Chrome trace file(s) ({trace_events} events), \
+         and {critpaths} critpath attribution file(s) valid"
     ))
 }
 

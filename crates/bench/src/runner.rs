@@ -327,8 +327,11 @@ pub fn run_cells_isolated<R: Send>(
 /// top-level `total_il_build_seconds` / `total_prepass_seconds` /
 /// `total_schedule_seconds` and the matching per-cell fields — plus the
 /// top-level `obs` object (`dir`, `sample_interval`; `null` when the run
-/// had no `--obs`).
-pub const REPORT_SCHEMA_VERSION: u64 = 4;
+/// had no `--obs`). Version 5 added the top-level `explain` object
+/// (`dir` of the `*.critpath.json` exports and `baseline` — the
+/// `--baseline` name or `null`; the whole object is `null` for every
+/// command except `repro explain`).
+pub const REPORT_SCHEMA_VERSION: u64 = 5;
 
 /// Identity and options of one driver run, recorded at the top of the
 /// report.
@@ -350,6 +353,10 @@ pub struct RunInfo {
     pub obs_dir: Option<String>,
     /// The `--sample-interval` of an observability run (cycles).
     pub sample_interval: u64,
+    /// The critpath export directory of a `repro explain` run.
+    pub explain_dir: Option<String>,
+    /// The `--baseline` name of a differential `repro explain` run.
+    pub explain_baseline: Option<String>,
 }
 
 /// Builds the `BENCH_repro.json` report.
@@ -369,6 +376,19 @@ pub fn report_json(info: &RunInfo, store: &StoreCounters, metrics: &[CellMetric]
             obs.field("dir", dir.as_str().into())
                 .field("sample_interval", info.sample_interval.into());
             obs
+        }
+        None => Json::Null,
+    };
+    let explain_json = match &info.explain_dir {
+        Some(dir) => {
+            let mut explain = Json::object();
+            explain
+                .field("dir", dir.as_str().into())
+                .field(
+                    "baseline",
+                    info.explain_baseline.as_deref().map_or(Json::Null, Json::from),
+                );
+            explain
         }
         None => Json::Null,
     };
@@ -404,6 +424,7 @@ pub fn report_json(info: &RunInfo, store: &StoreCounters, metrics: &[CellMetric]
         .field("total_schedule_seconds", total_schedule.into())
         .field("store", store_json)
         .field("obs", obs_json)
+        .field("explain", explain_json)
         .field(
             "cells",
             Json::Array(
@@ -539,9 +560,11 @@ mod tests {
             watchdog_seconds: Some(0.2),
             obs_dir: None,
             sample_interval: 0,
+            explain_dir: None,
+            explain_baseline: None,
         };
         let json = report_json(&info, &counters, &metrics).render();
-        assert!(json.starts_with("{\"schema_version\":4,\"command\":\"table2\","));
+        assert!(json.starts_with("{\"schema_version\":5,\"command\":\"table2\","));
         assert!(json.contains("\"keep_going\":true"));
         assert!(json.contains("\"watchdog_seconds\":0.200000"));
         assert!(json.contains("\"failed_cells\":1"));
@@ -556,6 +579,7 @@ mod tests {
             "\"store\":{\"trace_hits\":3,\"trace_misses\":1,\"sim_hits\":2,\"sim_misses\":4}"
         ));
         assert!(json.contains("\"obs\":null"), "no --obs recorded for this run");
+        assert!(json.contains("\"explain\":null"), "not an explain run");
         assert!(json.contains(
             "\"cells\":[{\"id\":\"table2/compress\",\"status\":\"ok\",\"error\":null,\
              \"watchdog_exceeded\":false,"
@@ -578,6 +602,20 @@ mod tests {
         };
         let json = report_json(&info, &StoreCounters::default(), &[]).render();
         assert!(json.contains("\"obs\":{\"dir\":\"out/obs\",\"sample_interval\":1024}"));
+    }
+
+    #[test]
+    fn explain_run_records_dir_and_baseline() {
+        let info = RunInfo {
+            explain_dir: Some("critpath_out".into()),
+            explain_baseline: Some("single".into()),
+            ..RunInfo::default()
+        };
+        let json = report_json(&info, &StoreCounters::default(), &[]).render();
+        assert!(json.contains("\"explain\":{\"dir\":\"critpath_out\",\"baseline\":\"single\"}"));
+        let bare = RunInfo { explain_dir: Some("out".into()), ..RunInfo::default() };
+        let json = report_json(&bare, &StoreCounters::default(), &[]).render();
+        assert!(json.contains("\"explain\":{\"dir\":\"out\",\"baseline\":null}"));
     }
 
     #[test]

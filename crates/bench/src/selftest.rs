@@ -14,6 +14,10 @@
 //! - [`stall_identity`] — every benchmark × machine preset must satisfy
 //!   the stall-accounting identity of [`mcl_core::stats::SimStats`]
 //!   (every cycle lands in exactly one dispatch/drain/stall bucket);
+//! - [`critpath_identity`] — every benchmark × machine preset, rerun
+//!   with a [`mcl_core::CritPathProbe`] attached, must satisfy the
+//!   critical-path attribution identity (per-cause cycles sum exactly
+//!   to total cycles) without perturbing the statistics;
 //! - [`fuzz_checker`] — randomized straightline programs (deterministic
 //!   [`mcl_testutil::Rng`] seeds) run under the cycle-level invariant
 //!   checker on both machine presets, and the checker must neither fire
@@ -194,6 +198,69 @@ pub fn stall_identity(divisor: u32) -> Result<(String, CellCost), Error> {
         }
     }
     Ok((format!("{cells} benchmark × scheduler × preset cells balance"), cost))
+}
+
+/// Every benchmark × scheduler × machine preset, rerun with a
+/// [`mcl_core::CritPathProbe`] attached, must satisfy the critical-path
+/// attribution identity ([`mcl_core::CritAttribution::check_identity`]):
+/// the per-cause cycle breakdown sums exactly to the run's total cycles.
+/// The instrumented run must also reproduce the uninstrumented store
+/// run's statistics bit for bit — attaching the attribution probe can
+/// never change what it measures.
+///
+/// # Errors
+///
+/// [`Error::SelfCheck`] naming the first unbalanced or diverging cell;
+/// harness errors propagate.
+pub fn critpath_identity(divisor: u32) -> Result<(String, CellCost), Error> {
+    use mcl_core::CritPathProbe;
+
+    let mut tiny = ProcessorConfig::dual_cluster_8way();
+    tiny.operand_buffer = 1;
+    tiny.result_buffer = 1;
+    let presets = [
+        ("single", ProcessorConfig::single_cluster_8way()),
+        ("dual", ProcessorConfig::dual_cluster_8way()),
+        ("dual-tiny-buffers", tiny),
+    ];
+    let store = TraceStore::new();
+    let mut cost = CellCost::default();
+    let mut cells = 0u32;
+    for bench in Benchmark::ALL {
+        for kind in [SchedulerKind::Naive, SchedulerKind::Local] {
+            let req = TraceRequest::new(bench, quick_scale(bench, divisor), kind);
+            for (preset, cfg) in &presets {
+                let cell = |detail: String| {
+                    mismatch(
+                        "critpath-identity",
+                        format!("{}/{kind:?}/{preset}: {detail}", bench.name()),
+                    )
+                };
+                let product = store.sim(&req, cfg)?;
+                cost.charge_sim(&product);
+                let (trace, _) = store.trace(&req)?;
+                let mut probe = CritPathProbe::new();
+                let observed =
+                    Processor::new((*cfg).clone()).run_packed_observed(&trace, &mut probe)?;
+                if observed.stats != product.stats {
+                    return Err(cell(format!(
+                        "instrumented run diverged ({} vs {} cycles)",
+                        observed.stats.cycles, product.stats.cycles
+                    )));
+                }
+                let attr = probe.attribution(observed.stats.cycles);
+                attr.check_identity(observed.stats.cycles).map_err(cell)?;
+                if attr.retired != observed.stats.retired {
+                    return Err(cell(format!(
+                        "probe saw {} retirements, simulator reported {}",
+                        attr.retired, observed.stats.retired
+                    )));
+                }
+                cells += 1;
+            }
+        }
+    }
+    Ok((format!("{cells} benchmark × scheduler × preset attributions balance"), cost))
 }
 
 /// A random but valid straightline program: integer and floating-point
@@ -406,6 +473,13 @@ mod tests {
     #[test]
     fn stall_identity_holds_at_a_coarse_scale() {
         let (detail, cost) = stall_identity(64).unwrap();
+        assert!(detail.contains("36 benchmark"), "{detail}");
+        assert!(cost.simulated_cycles > 0);
+    }
+
+    #[test]
+    fn critpath_identity_holds_at_a_coarse_scale() {
+        let (detail, cost) = critpath_identity(64).unwrap();
         assert!(detail.contains("36 benchmark"), "{detail}");
         assert!(cost.simulated_cycles > 0);
     }

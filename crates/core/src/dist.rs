@@ -233,6 +233,7 @@ mod tests {
             srcs: [Some(a), Some(b)],
             mem_addr: None,
             branch: None,
+            sched_inserted: false,
         }
     }
 
@@ -311,6 +312,7 @@ mod tests {
             srcs: [None, None],
             mem_addr: None,
             branch: None,
+            sched_inserted: false,
         };
         let d0 = distribute(&br, &assign2(), &[5, 9]);
         assert_eq!(d0.master, ClusterId::C0);
@@ -331,6 +333,7 @@ mod tests {
             srcs: [Some(ArchReg::SP), None],
             mem_addr: Some(0x8000),
             branch: None,
+            sched_inserted: false,
         };
         let d = distribute(&ld, &assign2(), &[0, 0]);
         assert_eq!(d.scenario, 1);
@@ -364,6 +367,7 @@ mod tests {
             srcs: [Some(even(0)), Some(even(1))],
             mem_addr: Some(0x4000),
             branch: None,
+            sched_inserted: false,
         };
         let d = distribute(&store, &a, &[0, 0]);
         assert!(d.phys_needed(&store, &a).is_empty());
@@ -381,6 +385,7 @@ mod tests {
             srcs: [Some(even(1)), None],
             mem_addr: None,
             branch: None,
+            sched_inserted: false,
         };
         let d = distribute(&op, &assign2(), &[0, 0]);
         assert_eq!(d.master, ClusterId::C1);

@@ -68,7 +68,10 @@ pub use config::ProcessorConfig;
 pub use delay::FeatureSize;
 pub use dist::{distribute, Distribution};
 pub use events::{Event, EventKind, EventLog};
-pub use obs::{CycleSnapshot, Histogram, IntervalSampler, ObsConfig, ObsProbe, Probe, StallCause};
+pub use obs::{
+    CritAttribution, CritCause, CritPathProbe, CycleSnapshot, Histogram, IntervalSampler,
+    ObsConfig, ObsProbe, Probe, StallCause,
+};
 pub use pipeview::{render as render_pipeline, PipeViewOptions};
 pub use sim::{Processor, SimError, SimResult};
 pub use stats::{speedup_percent, SimStats};

@@ -212,6 +212,41 @@ mod tests {
     }
 
     #[test]
+    fn merge_combines_saturated_top_buckets() {
+        // Both operands carry samples in the open-ended top bucket
+        // (values >= 2^63) and sums large enough that the merged sum
+        // saturates rather than wrapping.
+        let mut a = Histogram::new();
+        a.record(u64::MAX);
+        a.record(1 << 63);
+        a.record(5);
+        let mut b = Histogram::new();
+        b.record(u64::MAX - 1);
+        b.record(u64::MAX);
+        assert_eq!(a.buckets()[64], 2);
+        assert_eq!(b.buckets()[64], 2);
+        assert_eq!(a.sum(), u64::MAX); // already saturated by record()
+
+        a.merge(&b);
+        assert_eq!(a.buckets()[64], 4);
+        assert_eq!(a.count(), 5);
+        assert_eq!(a.sum(), u64::MAX); // saturating, not wrapping
+        assert_eq!(a.min(), Some(5));
+        assert_eq!(a.max(), Some(u64::MAX));
+        let (lo, hi) = Histogram::bucket_bounds(64);
+        assert_eq!(lo, 1 << 63);
+        assert_eq!(hi, None);
+
+        // Merging the saturated histogram into an empty one preserves
+        // the top bucket and the saturated sum.
+        let mut fresh = Histogram::new();
+        fresh.merge(&a);
+        assert_eq!(fresh.buckets()[64], 4);
+        assert_eq!(fresh.sum(), u64::MAX);
+        assert_eq!(fresh, a);
+    }
+
+    #[test]
     fn merge_with_empty_is_identity() {
         let mut h = Histogram::new();
         h.record(9);

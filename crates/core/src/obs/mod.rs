@@ -16,11 +16,13 @@
 //! the last K lifecycle events for post-mortem rendering through
 //! [`crate::pipeview`].
 
+pub mod critpath;
 mod histogram;
 mod probe;
 mod ring;
 mod sampler;
 
+pub use critpath::{CritAttribution, CritCause, CritPathProbe};
 pub use histogram::{Histogram, HISTOGRAM_BUCKETS};
 pub use probe::{ObsConfig, ObsProbe};
 pub use ring::EventRing;
@@ -123,6 +125,21 @@ impl StallCause {
     }
 }
 
+/// Why an otherwise-ready instruction could not issue this cycle
+/// (passed to [`Probe::issue_blocked`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IssueBlock {
+    /// Issue-slot budget for the op's class was exhausted (including a
+    /// busy unpipelined divider).
+    Width,
+    /// A dual-distributed slave could not forward an operand: the
+    /// master cluster's operand transfer buffer is full.
+    OtbFull,
+    /// A dual-distributed master could not issue: the slave cluster's
+    /// result transfer buffer is full.
+    RtbFull,
+}
+
 /// End-of-cycle occupancy snapshot passed to [`Probe::cycle_end`].
 ///
 /// `*_used` counts are capacity minus the free count at the end of the
@@ -162,6 +179,34 @@ pub trait Probe {
 
     /// An instruction entered the window (master and optional slave).
     fn dispatched(&mut self, cycle: u64, seq: u64, master: ClusterId, slave: Option<ClusterId>) {}
+
+    /// Dispatch-time metadata for the op that just [`Probe::dispatched`]:
+    /// scheduler provenance, whether the master's result must cross to a
+    /// slave cluster, the earliest cycle its already-known operands
+    /// allow issue (`ready_floor`), and whether *all* operands were
+    /// known at dispatch (no outstanding producers).
+    fn op_dispatch_meta(
+        &mut self,
+        seq: u64,
+        sched_inserted: bool,
+        slave_receives: bool,
+        ready_floor: u64,
+        ready_known: bool,
+    ) {
+    }
+
+    /// An outstanding master-copy operand of `seq` was delivered; the
+    /// value becomes usable at cycle `avail`. `via_forward` marks
+    /// deliveries that crossed clusters through the operand transfer
+    /// buffer.
+    fn operand_delivered(&mut self, seq: u64, avail: u64, via_forward: bool) {}
+
+    /// A ready instruction was scanned by the issue logic this cycle
+    /// but could not issue, for `cause`.
+    fn issue_blocked(&mut self, cycle: u64, seq: u64, cause: IssueBlock) {}
+
+    /// The load at `seq` missed in the D-cache (reported at issue time).
+    fn load_missed(&mut self, seq: u64) {}
 
     /// A copy issued in `cluster`; `done` is the cycle its effect
     /// becomes visible (master completion, operand/result write).
@@ -211,6 +256,29 @@ impl<P: Probe + ?Sized> Probe for &mut P {
 
     fn dispatched(&mut self, cycle: u64, seq: u64, master: ClusterId, slave: Option<ClusterId>) {
         (**self).dispatched(cycle, seq, master, slave);
+    }
+
+    fn op_dispatch_meta(
+        &mut self,
+        seq: u64,
+        sched_inserted: bool,
+        slave_receives: bool,
+        ready_floor: u64,
+        ready_known: bool,
+    ) {
+        (**self).op_dispatch_meta(seq, sched_inserted, slave_receives, ready_floor, ready_known);
+    }
+
+    fn operand_delivered(&mut self, seq: u64, avail: u64, via_forward: bool) {
+        (**self).operand_delivered(seq, avail, via_forward);
+    }
+
+    fn issue_blocked(&mut self, cycle: u64, seq: u64, cause: IssueBlock) {
+        (**self).issue_blocked(cycle, seq, cause);
+    }
+
+    fn load_missed(&mut self, seq: u64) {
+        (**self).load_missed(seq);
     }
 
     fn issued(&mut self, cycle: u64, seq: u64, cluster: ClusterId, copy: CopyKind, done: u64) {

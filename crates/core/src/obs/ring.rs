@@ -108,6 +108,43 @@ mod tests {
     }
 
     #[test]
+    fn ring_survives_many_full_wraparounds() {
+        let cap = 4;
+        let mut ring = EventRing::new(cap);
+        let total = 10 * cap as u64 + 3; // several full wraps plus a partial one
+        for seq in 0..total {
+            ring.push(seq * 2, seq, None, EventKind::Retired);
+        }
+        assert_eq!(ring.len(), cap);
+        assert_eq!(ring.dropped(), total - cap as u64);
+        // After any number of wraps the ring holds exactly the newest
+        // `cap` events, oldest first, with cycles intact.
+        let expect: Vec<u64> = (total - cap as u64..total).collect();
+        let seqs: Vec<u64> = ring.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, expect);
+        let cycles: Vec<u64> = ring.iter().map(|e| e.cycle).collect();
+        assert_eq!(cycles, expect.iter().map(|s| s * 2).collect::<Vec<_>>());
+        assert_eq!(ring.seq_range(), Some((total - cap as u64, total - 1)));
+        assert_eq!(ring.to_log().events().len(), cap);
+    }
+
+    #[test]
+    fn ring_at_exact_capacity_drops_nothing() {
+        let mut ring = EventRing::new(3);
+        for seq in 0..3 {
+            ring.push(seq, seq, None, EventKind::Retired);
+        }
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.dropped(), 0);
+        assert_eq!(ring.seq_range(), Some((0, 2)));
+        // One more push crosses the boundary: exactly one eviction.
+        ring.push(3, 3, None, EventKind::Retired);
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.dropped(), 1);
+        assert_eq!(ring.seq_range(), Some((1, 3)));
+    }
+
+    #[test]
     fn empty_ring() {
         let ring = EventRing::new(0); // clamped to 1
         assert_eq!(ring.capacity(), 1);

@@ -22,7 +22,9 @@ use crate::check::{self, CheckLevel, FaultInjection};
 use crate::config::ProcessorConfig;
 use crate::dist::{distribute, Distribution};
 use crate::events::{EventKind, EventLog};
-use crate::obs::{CopyKind, CycleSnapshot, NullProbe, Probe, StallCause, TransferKind, TransferPhase};
+use crate::obs::{
+    CopyKind, CycleSnapshot, IssueBlock, NullProbe, Probe, StallCause, TransferKind, TransferPhase,
+};
 use crate::pipeview::{render_window, WindowRow};
 use crate::stats::SimStats;
 
@@ -822,8 +824,10 @@ impl<'a, T: TraceSource + ?Sized, P: Probe> Sim<'a, T, P> {
 
     /// Records that operand availability for (`consumer`, `action`)
     /// became known (`avail`), enqueueing the copy once its last
-    /// operand time is in.
-    fn deliver(&mut self, consumer: u64, action: u8, avail: u64) {
+    /// operand time is in. `via_forward` marks deliveries that crossed
+    /// clusters through the operand transfer buffer (probe metadata
+    /// only — it never affects timing).
+    fn deliver(&mut self, consumer: u64, action: u8, avail: u64, via_forward: bool) {
         let Some(wi) = self.win_index(consumer) else { return };
         let d = &mut self.window[wi];
         let st = if action == ACT_MASTER { &mut d.m_wait } else { &mut d.s_wait };
@@ -835,13 +839,23 @@ impl<'a, T: TraceSource + ?Sized, P: Probe> Sim<'a, T, P> {
         if avail > st.ready_at {
             st.ready_at = avail;
         }
-        if st.unknown == 0 {
+        let all_known = st.unknown == 0;
+        let ready_at = st.ready_at;
+        let cluster_byte = if all_known {
             let cluster = if action == ACT_MASTER {
                 d.dist.master
             } else {
                 d.dist.slave.expect("slave action implies a slave")
             };
-            self.future_ready.push(Reverse((st.ready_at, cluster.index() as u8, consumer, action)));
+            cluster.index() as u8
+        } else {
+            0
+        };
+        if P::ENABLED && action == ACT_MASTER {
+            self.probe.operand_delivered(consumer, avail, via_forward);
+        }
+        if all_known {
+            self.future_ready.push(Reverse((ready_at, cluster_byte, consumer, action)));
         }
     }
 
@@ -851,7 +865,7 @@ impl<'a, T: TraceSource + ?Sized, P: Probe> Sim<'a, T, P> {
         while idx != NIL {
             let node = self.waiters.nodes[idx as usize];
             self.waiters.release(idx);
-            self.deliver(node.consumer, node.action, avail);
+            self.deliver(node.consumer, node.action, avail, false);
             idx = node.next;
         }
     }
@@ -967,6 +981,9 @@ impl<'a, T: TraceSource + ?Sized, P: Probe> Sim<'a, T, P> {
                 }
             };
             if !budget.can_take(slot_class) {
+                if P::ENABLED && act == ACT_MASTER {
+                    self.probe.issue_blocked(now, seq, IssueBlock::Width);
+                }
                 blocked_in_pass += 1;
                 continue;
             }
@@ -975,6 +992,9 @@ impl<'a, T: TraceSource + ?Sized, P: Probe> Sim<'a, T, P> {
                     if class == InstrClass::FpDiv
                         && !self.div_busy_until[ci][..self.dividers].iter().any(|&b| b <= now)
                     {
+                        if P::ENABLED {
+                            self.probe.issue_blocked(now, seq, IssueBlock::Width);
+                        }
                         blocked_in_pass += 1;
                         continue;
                     }
@@ -983,6 +1003,9 @@ impl<'a, T: TraceSource + ?Sized, P: Probe> Sim<'a, T, P> {
                         if self.rtb_free[slave.index()] == 0 {
                             self.stats.rtb_full_stalls += 1;
                             self.blocked_on_buffer = true;
+                            if P::ENABLED {
+                                self.probe.issue_blocked(now, seq, IssueBlock::RtbFull);
+                            }
                             blocked_in_pass += 1;
                             continue;
                         }
@@ -993,6 +1016,9 @@ impl<'a, T: TraceSource + ?Sized, P: Probe> Sim<'a, T, P> {
                     if self.otb_free[master.index()] == 0 {
                         self.stats.otb_full_stalls += 1;
                         self.blocked_on_buffer = true;
+                        if P::ENABLED {
+                            self.probe.issue_blocked(now, seq, IssueBlock::OtbFull);
+                        }
                         blocked_in_pass += 1;
                         continue;
                     }
@@ -1035,12 +1061,16 @@ impl<'a, T: TraceSource + ?Sized, P: Probe> Sim<'a, T, P> {
             (d.op.op, d.op.class(), d.op.mem_addr)
         };
         let latency = self.cfg.latencies.of(op);
+        let mut load_miss = false;
         let done = match class {
             InstrClass::Load => {
                 let addr = mem_addr.expect("loads carry an address");
                 match self.dcache.access(addr, now, false) {
                     Access::Hit => now + u64::from(latency),
-                    Access::Miss { ready_at, .. } => ready_at + 1,
+                    Access::Miss { ready_at, .. } => {
+                        load_miss = true;
+                        ready_at + 1
+                    }
                 }
             }
             InstrClass::Store => {
@@ -1084,7 +1114,7 @@ impl<'a, T: TraceSource + ?Sized, P: Probe> Sim<'a, T, P> {
             if fwd {
                 self.wake_events.push(Reverse((done, seq)));
             } else {
-                self.deliver(seq, ACT_SLAVE, (now + 1).max(done.saturating_sub(1)));
+                self.deliver(seq, ACT_SLAVE, (now + 1).max(done.saturating_sub(1)), false);
             }
         }
         self.completions.push(Reverse((done, seq, DONE_EVT)));
@@ -1142,6 +1172,9 @@ impl<'a, T: TraceSource + ?Sized, P: Probe> Sim<'a, T, P> {
         if P::ENABLED {
             self.probe.issued(now, seq, cluster, CopyKind::Master, done);
             self.probe.completed(done, seq, cluster);
+            if load_miss {
+                self.probe.load_missed(seq);
+            }
         }
         // The master writes a register copy only when its own cluster
         // holds the destination (always, except scenario three).
@@ -1179,7 +1212,7 @@ impl<'a, T: TraceSource + ?Sized, P: Probe> Sim<'a, T, P> {
         // The inter-copy dependence lifts: the master reads the
         // forwarded operand(s) from the next cycle on.
         for _ in 0..n_forwarded {
-            self.deliver(seq, ACT_MASTER, now + 1);
+            self.deliver(seq, ACT_MASTER, now + 1, true);
         }
 
         // Non-receiving slaves are finished once the operand is written;
@@ -1509,6 +1542,10 @@ impl<'a, T: TraceSource + ?Sized, P: Probe> Sim<'a, T, P> {
             let master = dist.master;
             let slave = dist.slave;
             let taken = op.branch.is_some_and(|b| b.taken);
+            let sched_inserted = op.sched_inserted;
+            let slave_receives = dist.slave_receives;
+            let ready_floor = m_wait.ready_at;
+            let ready_known = m_wait.unknown == 0;
             self.window.push_back(DynInstr {
                 op,
                 dist,
@@ -1534,6 +1571,13 @@ impl<'a, T: TraceSource + ?Sized, P: Probe> Sim<'a, T, P> {
             }
             if P::ENABLED {
                 self.probe.dispatched(now, seq, master, slave);
+                self.probe.op_dispatch_meta(
+                    seq,
+                    sched_inserted,
+                    slave_receives,
+                    ready_floor,
+                    ready_known,
+                );
             }
 
             self.cursor += 1;

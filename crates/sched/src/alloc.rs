@@ -397,6 +397,7 @@ fn spill_to_memory(
                     srcs: [None, None],
                     imm: slot as i64,
                     target: None,
+                    sched_inserted: true,
                 });
                 for src in &mut instr.srcs {
                     if *src == Some(v) {
@@ -416,6 +417,7 @@ fn spill_to_memory(
                     srcs: [None, Some(t)],
                     imm: slot as i64,
                     target: None,
+                    sched_inserted: true,
                 });
             } else {
                 out.push(instr);
@@ -453,6 +455,7 @@ fn rewrite(program: &Program<Vreg>, map: &HashMap<Vreg, ArchReg>) -> Program<Arc
                         srcs: [conv(i.srcs[0]), conv(i.srcs[1])],
                         imm: i.imm,
                         target: i.target,
+                        sched_inserted: i.sched_inserted,
                     })
                     .collect(),
             })

@@ -139,11 +139,11 @@ impl<R: RegName> ProgramBuilder<R> {
     // ---- three-register operate forms ------------------------------------
 
     fn op3(&mut self, op: Opcode, dest: R, a: R, b: R) {
-        self.push(Instr { op, dest: Some(dest), srcs: [Some(a), Some(b)], imm: 0, target: None });
+        self.push(Instr { op, dest: Some(dest), srcs: [Some(a), Some(b)], imm: 0, target: None, sched_inserted: false });
     }
 
     fn op2_imm(&mut self, op: Opcode, dest: R, a: R, imm: i64) {
-        self.push(Instr { op, dest: Some(dest), srcs: [Some(a), None], imm, target: None });
+        self.push(Instr { op, dest: Some(dest), srcs: [Some(a), None], imm, target: None, sched_inserted: false });
     }
 
     /// `dest = a + b`.
@@ -248,7 +248,7 @@ impl<R: RegName> ProgramBuilder<R> {
 
     /// `dest = imm` (load immediate).
     pub fn lda(&mut self, dest: R, imm: i64) {
-        self.push(Instr { op: Opcode::Lda, dest: Some(dest), srcs: [None, None], imm, target: None });
+        self.push(Instr { op: Opcode::Lda, dest: Some(dest), srcs: [None, None], imm, target: None, sched_inserted: false });
     }
 
     /// `dest = base + imm` (load address).
@@ -290,12 +290,12 @@ impl<R: RegName> ProgramBuilder<R> {
 
     /// `dest = sqrt(a)` (single precision, occupies the divider).
     pub fn sqrts(&mut self, dest: R, a: R) {
-        self.push(Instr { op: Opcode::Sqrts, dest: Some(dest), srcs: [Some(a), None], imm: 0, target: None });
+        self.push(Instr { op: Opcode::Sqrts, dest: Some(dest), srcs: [Some(a), None], imm: 0, target: None, sched_inserted: false });
     }
 
     /// `dest = sqrt(a)` (double precision, occupies the divider).
     pub fn sqrtt(&mut self, dest: R, a: R) {
-        self.push(Instr { op: Opcode::Sqrtt, dest: Some(dest), srcs: [Some(a), None], imm: 0, target: None });
+        self.push(Instr { op: Opcode::Sqrtt, dest: Some(dest), srcs: [Some(a), None], imm: 0, target: None, sched_inserted: false });
     }
 
     /// `dest(int) = (a == b) as u64` (floating-point compare).
@@ -310,17 +310,17 @@ impl<R: RegName> ProgramBuilder<R> {
 
     /// `dest(fp) = a as f64` (integer-to-float convert).
     pub fn cvtqt(&mut self, dest: R, a: R) {
-        self.push(Instr { op: Opcode::Cvtqt, dest: Some(dest), srcs: [Some(a), None], imm: 0, target: None });
+        self.push(Instr { op: Opcode::Cvtqt, dest: Some(dest), srcs: [Some(a), None], imm: 0, target: None, sched_inserted: false });
     }
 
     /// `dest(int) = trunc(a)` (float-to-integer convert).
     pub fn cvttq(&mut self, dest: R, a: R) {
-        self.push(Instr { op: Opcode::Cvttq, dest: Some(dest), srcs: [Some(a), None], imm: 0, target: None });
+        self.push(Instr { op: Opcode::Cvttq, dest: Some(dest), srcs: [Some(a), None], imm: 0, target: None, sched_inserted: false });
     }
 
     /// `dest = src` (floating-point move).
     pub fn fmov(&mut self, dest: R, src: R) {
-        self.push(Instr { op: Opcode::Fmov, dest: Some(dest), srcs: [Some(src), None], imm: 0, target: None });
+        self.push(Instr { op: Opcode::Fmov, dest: Some(dest), srcs: [Some(src), None], imm: 0, target: None, sched_inserted: false });
     }
 
     // ---- memory -------------------------------------------------------------
@@ -333,12 +333,13 @@ impl<R: RegName> ProgramBuilder<R> {
             srcs: [Some(base), None],
             imm: offset,
             target: None,
+            sched_inserted: false,
         });
     }
 
     /// `dest = mem[imm]` (integer load, absolute address).
     pub fn ldq_abs(&mut self, dest: R, addr: i64) {
-        self.push(Instr { op: Opcode::Ldq, dest: Some(dest), srcs: [None, None], imm: addr, target: None });
+        self.push(Instr { op: Opcode::Ldq, dest: Some(dest), srcs: [None, None], imm: addr, target: None, sched_inserted: false });
     }
 
     /// `mem[base + offset] = value` (integer store).
@@ -349,6 +350,7 @@ impl<R: RegName> ProgramBuilder<R> {
             srcs: [Some(base), Some(value)],
             imm: offset,
             target: None,
+            sched_inserted: false,
         });
     }
 
@@ -360,6 +362,7 @@ impl<R: RegName> ProgramBuilder<R> {
             srcs: [Some(base), None],
             imm: offset,
             target: None,
+            sched_inserted: false,
         });
     }
 
@@ -371,6 +374,7 @@ impl<R: RegName> ProgramBuilder<R> {
             srcs: [Some(base), Some(value)],
             imm: offset,
             target: None,
+            sched_inserted: false,
         });
     }
 
@@ -378,43 +382,43 @@ impl<R: RegName> ProgramBuilder<R> {
 
     /// Unconditional branch to `target`.
     pub fn br(&mut self, target: BlockId) {
-        self.push(Instr { op: Opcode::Br, dest: None, srcs: [None, None], imm: 0, target: Some(target) });
+        self.push(Instr { op: Opcode::Br, dest: None, srcs: [None, None], imm: 0, target: Some(target), sched_inserted: false });
     }
 
     /// Branch to `target` if `cond == 0`.
     pub fn beq(&mut self, cond: R, target: BlockId) {
-        self.push(Instr { op: Opcode::Beq, dest: None, srcs: [Some(cond), None], imm: 0, target: Some(target) });
+        self.push(Instr { op: Opcode::Beq, dest: None, srcs: [Some(cond), None], imm: 0, target: Some(target), sched_inserted: false });
     }
 
     /// Branch to `target` if `cond != 0`.
     pub fn bne(&mut self, cond: R, target: BlockId) {
-        self.push(Instr { op: Opcode::Bne, dest: None, srcs: [Some(cond), None], imm: 0, target: Some(target) });
+        self.push(Instr { op: Opcode::Bne, dest: None, srcs: [Some(cond), None], imm: 0, target: Some(target), sched_inserted: false });
     }
 
     /// Branch to `target` if `cond < 0` (signed).
     pub fn blt(&mut self, cond: R, target: BlockId) {
-        self.push(Instr { op: Opcode::Blt, dest: None, srcs: [Some(cond), None], imm: 0, target: Some(target) });
+        self.push(Instr { op: Opcode::Blt, dest: None, srcs: [Some(cond), None], imm: 0, target: Some(target), sched_inserted: false });
     }
 
     /// Branch to `target` if `cond >= 0` (signed).
     pub fn bge(&mut self, cond: R, target: BlockId) {
-        self.push(Instr { op: Opcode::Bge, dest: None, srcs: [Some(cond), None], imm: 0, target: Some(target) });
+        self.push(Instr { op: Opcode::Bge, dest: None, srcs: [Some(cond), None], imm: 0, target: Some(target), sched_inserted: false });
     }
 
     /// Call `target`, writing the return address to `link`.
     pub fn jsr(&mut self, link: R, target: BlockId) {
-        self.push(Instr { op: Opcode::Jsr, dest: Some(link), srcs: [None, None], imm: 0, target: Some(target) });
+        self.push(Instr { op: Opcode::Jsr, dest: Some(link), srcs: [None, None], imm: 0, target: Some(target), sched_inserted: false });
     }
 
     /// Return through `link` (jump to the address it holds; address 0
     /// halts the program).
     pub fn ret(&mut self, link: R) {
-        self.push(Instr { op: Opcode::Ret, dest: None, srcs: [Some(link), None], imm: 0, target: None });
+        self.push(Instr { op: Opcode::Ret, dest: None, srcs: [Some(link), None], imm: 0, target: None, sched_inserted: false });
     }
 
     /// Indirect jump through `addr` (address 0 halts the program).
     pub fn jmp(&mut self, addr: R) {
-        self.push(Instr { op: Opcode::Jmp, dest: None, srcs: [Some(addr), None], imm: 0, target: None });
+        self.push(Instr { op: Opcode::Jmp, dest: None, srcs: [Some(addr), None], imm: 0, target: None, sched_inserted: false });
     }
 }
 

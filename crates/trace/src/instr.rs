@@ -35,6 +35,12 @@ pub struct Instr<R> {
     pub imm: i64,
     /// Static control-flow target, for direct branches and calls.
     pub target: Option<BlockId>,
+    /// Scheduler provenance: `true` for instructions the scheduling
+    /// pass inserted (spill loads/stores for cross-cluster live-range
+    /// splits) rather than the workload author. Carried through the
+    /// trace so cycle-attribution can charge their cost to the
+    /// scheduler.
+    pub sched_inserted: bool,
 }
 
 impl<R: RegName> Instr<R> {
@@ -42,7 +48,7 @@ impl<R: RegName> Instr<R> {
     /// fields they need. Prefer the [`crate::ProgramBuilder`] helpers.
     #[must_use]
     pub fn new(op: Opcode) -> Instr<R> {
-        Instr { op, dest: None, srcs: [None, None], imm: 0, target: None }
+        Instr { op, dest: None, srcs: [None, None], imm: 0, target: None, sched_inserted: false }
     }
 
     /// The Table 1 instruction class.
@@ -122,6 +128,7 @@ mod tests {
             srcs: [Some(ArchReg::ZERO), Some(ArchReg::int(4))],
             imm: 0,
             target: None,
+            sched_inserted: false,
         };
         let reads: Vec<_> = instr.reads().collect();
         assert_eq!(reads, vec![ArchReg::int(4)]);
@@ -144,6 +151,7 @@ mod tests {
             srcs: [Some(Vreg::int(2)), None],
             imm: 5,
             target: None,
+            sched_inserted: false,
         };
         assert_eq!(instr.to_string(), "addq v1, v2, #5");
     }

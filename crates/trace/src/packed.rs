@@ -42,6 +42,10 @@ const HAS_BRANCH: u8 = 1 << 1;
 const TAKEN: u8 = 1 << 2;
 /// Flag bit: the branch is conditional (predictor-visible).
 const CONDITIONAL: u8 = 1 << 3;
+/// Flag bit: the instruction was inserted by the scheduling pass
+/// (spill code), not the workload — see
+/// [`crate::TraceOp::sched_inserted`].
+const SCHED_INSERTED: u8 = 1 << 4;
 
 /// One packed dynamic instruction: 24 bytes instead of [`TraceOp`]'s ~72.
 ///
@@ -91,6 +95,9 @@ impl PackedOp {
                 panic!("trace op at pc {:#x} has both a memory address and a branch", op.pc)
             }
         };
+        if op.sched_inserted {
+            flags |= SCHED_INSERTED;
+        }
         PackedOp {
             pc: op.pc,
             aux,
@@ -125,6 +132,7 @@ impl PackedOp {
             srcs: [unpack_reg(self.src0), unpack_reg(self.src1)],
             mem_addr,
             branch,
+            sched_inserted: self.flags & SCHED_INSERTED != 0,
         }
     }
 }
@@ -246,6 +254,7 @@ fn unpack_reg(byte: u8) -> Option<ArchReg> {
 ///     srcs: [Some(ArchReg::int(1)), Some(ArchReg::int(2))],
 ///     mem_addr: None,
 ///     branch: None,
+///     sched_inserted: false,
 /// };
 /// let trace = PackedTrace::from_ops(&[op]);
 /// assert_eq!(trace.len(), 1);
@@ -377,7 +386,7 @@ impl PackedTrace {
             check_reg_byte(index, "dest", dest)?;
             check_reg_byte(index, "src0", src0)?;
             check_reg_byte(index, "src1", src1)?;
-            let defined = HAS_MEM | HAS_BRANCH | TAKEN | CONDITIONAL;
+            let defined = HAS_MEM | HAS_BRANCH | TAKEN | CONDITIONAL | SCHED_INSERTED;
             let impossible = flags & !defined != 0
                 || flags & HAS_MEM != 0 && flags & HAS_BRANCH != 0
                 || flags & (TAKEN | CONDITIONAL) != 0 && flags & HAS_BRANCH == 0;
@@ -448,6 +457,7 @@ mod tests {
             srcs: [Some(ArchReg::int(5)), None],
             mem_addr: None,
             branch: Some(BranchInfo { taken: true, target_pc: 0x1000, conditional: true }),
+            sched_inserted: false,
         }
     }
 
@@ -462,6 +472,7 @@ mod tests {
                 srcs: [Some(ArchReg::int(30)), None],
                 mem_addr: Some(0x9008),
                 branch: None,
+                sched_inserted: true,
             },
             branch_op(1),
         ];
@@ -481,6 +492,7 @@ mod tests {
             srcs: [None, None],
             mem_addr: None,
             branch: Some(BranchInfo { taken: true, target_pc: 0, conditional: false }),
+            sched_inserted: false,
         };
         assert_eq!(PackedTrace::from_ops(&[op]).get(0), op);
     }
@@ -504,6 +516,7 @@ mod tests {
                 srcs: [Some(ArchReg::int(30)), None],
                 mem_addr: Some(0x9008),
                 branch: None,
+                sched_inserted: true,
             },
             branch_op(1),
             TraceOp {
@@ -514,6 +527,7 @@ mod tests {
                 srcs: [Some(ArchReg::int(1)), Some(ArchReg::int(2))],
                 mem_addr: None,
                 branch: None,
+                sched_inserted: false,
             },
         ];
         let trace = PackedTrace::from_ops(&ops);

@@ -358,7 +358,7 @@ mod tests {
     }
 
     fn lda(dest: Vreg, imm: i64) -> Instr<Vreg> {
-        Instr { op: Opcode::Lda, dest: Some(dest), srcs: [None, None], imm, target: None }
+        Instr { op: Opcode::Lda, dest: Some(dest), srcs: [None, None], imm, target: None, sched_inserted: false }
     }
 
     fn simple_program() -> Program<Vreg> {
@@ -415,6 +415,7 @@ mod tests {
             srcs: [None, None],
             imm: 0,
             target: Some(BlockId::new(1)),
+            sched_inserted: false,
         };
         assert!(matches!(p.validate(), Err(ValidateError::ControlFlowMidBlock { .. })));
     }
@@ -428,6 +429,7 @@ mod tests {
             srcs: [None, None],
             imm: 0,
             target: None,
+            sched_inserted: false,
         });
         assert!(matches!(p.validate(), Err(ValidateError::BadTarget { .. })));
     }
@@ -441,6 +443,7 @@ mod tests {
             srcs: [None, None],
             imm: 0,
             target: Some(BlockId::new(99)),
+            sched_inserted: false,
         });
         assert!(matches!(p.validate(), Err(ValidateError::TargetOutOfRange { .. })));
     }

@@ -38,6 +38,11 @@ pub struct TraceOp {
     pub mem_addr: Option<u64>,
     /// Control-flow outcome, for control-flow instructions.
     pub branch: Option<BranchInfo>,
+    /// Scheduler provenance: the static instruction was inserted by
+    /// the scheduling pass (spill code for cross-cluster live-range
+    /// splits), not the workload. Lets attribution charge these ops'
+    /// cycles to the scheduler that created them.
+    pub sched_inserted: bool,
 }
 
 impl TraceOp {
@@ -73,6 +78,7 @@ mod tests {
             srcs: [Some(ArchReg::int(2)), None],
             mem_addr: None,
             branch: Some(BranchInfo { taken: true, target_pc: 0x2000, conditional: true }),
+            sched_inserted: false,
         };
         assert!(op.is_conditional_branch());
         op.branch = Some(BranchInfo { taken: true, target_pc: 0x2000, conditional: false });
@@ -91,6 +97,7 @@ mod tests {
             srcs: [Some(ArchReg::int(2)), Some(ArchReg::int(4))],
             mem_addr: None,
             branch: None,
+            sched_inserted: false,
         };
         assert_eq!(op.reads().count(), 2);
     }

@@ -115,6 +115,9 @@ pub struct Step<R> {
     pub mem_addr: Option<u64>,
     /// Control-flow outcome, for control-flow instructions.
     pub branch: Option<BranchInfo>,
+    /// Whether the executed instruction was inserted by the scheduler
+    /// (see [`crate::Instr::sched_inserted`]).
+    pub sched_inserted: bool,
 }
 
 impl From<Step<ArchReg>> for TraceOp {
@@ -127,6 +130,7 @@ impl From<Step<ArchReg>> for TraceOp {
             srcs: step.srcs,
             mem_addr: step.mem_addr,
             branch: step.branch,
+            sched_inserted: step.sched_inserted,
         }
     }
 }
@@ -471,6 +475,7 @@ impl<'p, R: RegName> Vm<'p, R> {
             ],
             mem_addr,
             branch,
+            sched_inserted: instr.sched_inserted,
         }))
     }
 

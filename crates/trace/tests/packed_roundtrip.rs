@@ -38,6 +38,7 @@ fn random_op(rng: &mut Rng, seq: u64) -> TraceOp {
         srcs: [random_reg(rng), random_reg(rng)],
         mem_addr,
         branch,
+        sched_inserted: rng.flip(),
     }
 }
 

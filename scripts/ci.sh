@@ -75,6 +75,35 @@ if [ -z "$cycles_noobs" ] || [ "$cycles_noobs" != "$cycles_obs" ]; then
     exit 1
 fi
 
+echo "== smoke: critical-path explain =="
+# One cell with a baseline. The binary itself enforces that the
+# instrumented companion run is byte-identical to the uninstrumented
+# one (it exits nonzero on any divergence), so a zero exit here IS the
+# perturbation check; obs-validate re-checks the attribution identity
+# and schema from the exported JSON.
+(cd "$smoke_dir" && MCL_ONLY=compress "$OLDPWD/target/release/repro" explain 8 --baseline single \
+    --obs explain_out > explain.txt)
+grep -q 'compress:' "$smoke_dir/explain.txt" || {
+    echo "FAIL: explain report missing the compress cell" >&2
+    exit 1
+}
+test -s "$smoke_dir/explain_out/compress.critpath.json" || {
+    echo "FAIL: compress.critpath.json was not written" >&2
+    exit 1
+}
+target/release/repro obs-validate "$smoke_dir/explain_out"
+grep -q '"explain":{"dir":"explain_out","baseline":"single"}' "$smoke_dir/BENCH_repro.json" || {
+    echo "FAIL: explain run not recorded in BENCH_repro.json" >&2
+    exit 1
+}
+# The exported target cycles and the rendered report must agree (both
+# come from the same uninstrumented run the probe was checked against).
+json_cycles="$(grep -o '"cycles":[0-9]*' "$smoke_dir/explain_out/compress.critpath.json" | head -1 | cut -d: -f2)"
+grep -q "compress: ${json_cycles} cycles" "$smoke_dir/explain.txt" || {
+    echo "FAIL: critpath.json cycles ($json_cycles) disagree with the rendered report" >&2
+    exit 1
+}
+
 echo "== guard: disabled-probe overhead =="
 # Compare min-of-3 serial `repro all` wall time against the previous
 # commit. Wall-clock comparisons on shared CI hosts are noisy, so the
