@@ -17,7 +17,8 @@
 //! repro pipeline <bench>       per-instruction pipeline diagram
 //! repro selftest [divisor]    differential + fault-injection self-checks
 //! repro explain [divisor]     critical-path cycle-loss attribution
-//! repro all [divisor]         everything above (except selftest/explain)
+//! repro bench [divisor]       ticked-vs-event engine microbenchmark
+//! repro all [divisor]         everything above (except selftest/explain/bench)
 //! repro obs-validate <dir>     validate a directory of exports
 //! ```
 //!
@@ -37,6 +38,10 @@
 //! - `--check LEVEL` — run every simulation with the architectural
 //!   invariant checker at `off`, `retire`, or `cycle` level
 //!   (see `mcl_core::check`).
+//! - `--engine ENGINE` — run every simulation on the `ticked` or the
+//!   `event` engine (default `event`; see `mcl_core::config::Engine`).
+//!   The engines produce byte-identical results; the event engine
+//!   fast-forwards across dead cycles and is several times faster.
 //! - `--watchdog SECS` — mark cells exceeding a soft wall-clock budget
 //!   in `BENCH_repro.json` (`watchdog_exceeded`); advisory, not a kill.
 //!
@@ -119,6 +124,22 @@ fn main() -> ExitCode {
             }
         }
     }
+    match take_value_flag(&mut args, "--engine") {
+        Ok(None) => {}
+        Ok(Some(v)) => match v.parse::<mcl_core::Engine>() {
+            // Like --check: presets built anywhere below read this
+            // process-wide default.
+            Ok(engine) => mcl_core::set_global_engine(engine),
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
     let watchdog_seconds = match watchdog {
         None => None,
         Some(v) => match v.parse::<f64>() {
@@ -174,6 +195,19 @@ fn main() -> ExitCode {
     if cmd == "pipeline" {
         return match run_pipeline(args.get(1).map_or("compress", String::as_str)) {
             Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    if cmd == "bench" {
+        return match mcl_bench::microbench::run(divisor) {
+            Ok(rows) => {
+                print!("{}", mcl_bench::microbench::render(&rows));
+                ExitCode::SUCCESS
+            }
             Err(e) => {
                 eprintln!("error: {e}");
                 ExitCode::FAILURE
@@ -442,6 +476,7 @@ impl Plan {
             command: command.to_owned(),
             divisor,
             jobs,
+            engine: mcl_core::global_engine().name().to_owned(),
             total_wall_seconds: start.elapsed().as_secs_f64(),
             keep_going: options.keep_going,
             watchdog_seconds: options.watchdog_seconds,

@@ -42,6 +42,7 @@ pub mod ablate;
 pub mod explain;
 pub mod figure6;
 pub mod json;
+pub mod microbench;
 pub mod obs;
 pub mod runner;
 pub mod scenarios;

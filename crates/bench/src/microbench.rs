@@ -1,0 +1,209 @@
+//! `repro bench` — the ticked-vs-event engine microbenchmark.
+//!
+//! Simulates the six Table 2 workloads (dual-cluster machine, local
+//! scheduler — the paper's headline configuration) under both
+//! simulation engines and reports wall-clock throughput side by side.
+//! Each (workload, engine) pair runs three times on the calling thread
+//! and keeps the fastest wall time, so scheduler noise and cold caches
+//! cannot manufacture a regression; the engines' statistics are also
+//! cross-checked for equality on every run, making the benchmark a
+//! differential test that happens to be timed.
+//!
+//! The rendered report ends with a machine-parseable summary line —
+//!
+//! ```text
+//! engine-bench: event/ticked = 4.83x (ticked 2.3M cyc/s, event 11.1M cyc/s)
+//! ```
+//!
+//! — which `scripts/ci.sh` greps to enforce the event engine's
+//! throughput floor. `repro bench` deliberately does not write
+//! `BENCH_repro.json`: it measures the engine, not the experiment
+//! suite.
+
+use std::time::Instant;
+
+use mcl_core::{Engine, Processor, ProcessorConfig};
+use mcl_sched::SchedulerKind;
+use mcl_trace::PackedTrace;
+use mcl_workloads::Benchmark;
+
+use crate::{Error, TraceRequest, TraceStore};
+
+/// Timing of one workload under both engines.
+#[derive(Debug, Clone)]
+pub struct BenchRow {
+    /// Workload name.
+    pub name: &'static str,
+    /// Simulated cycles of one run (identical for both engines by
+    /// construction — divergence is an error).
+    pub cycles: u64,
+    /// Fastest-of-three wall seconds under the ticked engine.
+    pub ticked_seconds: f64,
+    /// Fastest-of-three wall seconds under the event engine.
+    pub event_seconds: f64,
+    /// Simulated cycles the event engine covered by fast-forward jumps.
+    pub skipped_cycles: u64,
+    /// Fast-forward jumps the event engine took.
+    pub jumps: u64,
+}
+
+impl BenchRow {
+    /// Cycles per second under the ticked engine.
+    #[must_use]
+    pub fn ticked_cps(&self) -> f64 {
+        per_second(self.cycles, self.ticked_seconds)
+    }
+
+    /// Cycles per second under the event engine.
+    #[must_use]
+    pub fn event_cps(&self) -> f64 {
+        per_second(self.cycles, self.event_seconds)
+    }
+}
+
+fn per_second(cycles: u64, seconds: f64) -> f64 {
+    if seconds > 0.0 {
+        cycles as f64 / seconds
+    } else {
+        0.0
+    }
+}
+
+/// Runs one engine over a trace `reps` times serially and returns the
+/// statistics of the last run, its fast-forward counters, and the
+/// fastest wall time.
+fn time_engine(
+    cfg: &ProcessorConfig,
+    engine: Engine,
+    trace: &PackedTrace,
+    reps: u32,
+) -> Result<(mcl_core::SimStats, mcl_core::FastForward, f64), Error> {
+    let cfg = cfg.clone().with_engine(engine);
+    let mut best = f64::INFINITY;
+    let mut last = None;
+    for _ in 0..reps {
+        let start = Instant::now();
+        let result = Processor::new(cfg.clone()).run_packed(trace).map_err(Error::Sim)?;
+        best = best.min(start.elapsed().as_secs_f64());
+        last = Some((result.stats, result.ff));
+    }
+    let (stats, ff) = last.expect("at least one rep");
+    Ok((stats, ff, best))
+}
+
+/// Benchmarks both engines over the six Table 2 workloads at
+/// `divisor`-scaled sizes. Single-threaded by design: every simulation
+/// runs on the calling thread, so the ratio compares engines, not
+/// schedulers.
+///
+/// # Errors
+///
+/// Trace-building or simulation failures surface as the store's
+/// errors; an engine divergence (identical trace, different
+/// statistics) surfaces as [`Error::SelfCheck`].
+pub fn run(divisor: u32) -> Result<Vec<BenchRow>, Error> {
+    let store = TraceStore::new();
+    let cfg = ProcessorConfig::dual_cluster_8way();
+    let mut rows = Vec::new();
+    for bench in Benchmark::ALL {
+        let scale = bench.scaled(divisor);
+        let req = TraceRequest::new(bench, scale, SchedulerKind::Local);
+        let (trace, _) = store.trace(&req)?;
+        let (ticked_stats, _, ticked_seconds) = time_engine(&cfg, Engine::Ticked, &trace, 3)?;
+        let (event_stats, ff, event_seconds) = time_engine(&cfg, Engine::Event, &trace, 3)?;
+        if ticked_stats != event_stats {
+            return Err(Error::SelfCheck(format!(
+                "engine-bench: {bench} diverged — ticked {} cycles, event {} cycles",
+                ticked_stats.cycles, event_stats.cycles
+            )));
+        }
+        rows.push(BenchRow {
+            name: bench.name(),
+            cycles: event_stats.cycles,
+            ticked_seconds,
+            event_seconds,
+            skipped_cycles: ff.skipped_cycles,
+            jumps: ff.jumps,
+        });
+    }
+    Ok(rows)
+}
+
+fn format_cps(cps: f64) -> String {
+    if cps >= 1e6 {
+        format!("{:.1}M", cps / 1e6)
+    } else {
+        format!("{:.0}k", cps / 1e3)
+    }
+}
+
+/// Renders the comparison table plus the parseable summary line.
+#[must_use]
+pub fn render(rows: &[BenchRow]) -> String {
+    let mut out = String::new();
+    out.push_str("Engine microbenchmark (dual-cluster, local scheduler; min of 3)\n\n");
+    out.push_str(&format!(
+        "{:<10} {:>12} {:>12} {:>12} {:>8} {:>12} {:>8}\n",
+        "benchmark", "cycles", "ticked c/s", "event c/s", "speedup", "skipped", "jumps"
+    ));
+    let mut total_cycles = 0u64;
+    let mut total_ticked = 0.0f64;
+    let mut total_event = 0.0f64;
+    for r in rows {
+        let speedup = if r.event_seconds > 0.0 { r.ticked_seconds / r.event_seconds } else { 0.0 };
+        out.push_str(&format!(
+            "{:<10} {:>12} {:>12} {:>12} {:>7.2}x {:>12} {:>8}\n",
+            r.name,
+            r.cycles,
+            format_cps(r.ticked_cps()),
+            format_cps(r.event_cps()),
+            speedup,
+            r.skipped_cycles,
+            r.jumps,
+        ));
+        total_cycles += r.cycles;
+        total_ticked += r.ticked_seconds;
+        total_event += r.event_seconds;
+    }
+    let ticked_cps = per_second(total_cycles, total_ticked);
+    let event_cps = per_second(total_cycles, total_event);
+    let ratio = if event_cps > 0.0 && ticked_cps > 0.0 { event_cps / ticked_cps } else { 0.0 };
+    out.push_str(&format!(
+        "\nengine-bench: event/ticked = {:.2}x (ticked {} cyc/s, event {} cyc/s)\n",
+        ratio,
+        format_cps(ticked_cps),
+        format_cps(event_cps),
+    ));
+    // The skip totals are deterministic (they depend only on the traces
+    // and the fast-forward rules, never on wall time), so CI can pin a
+    // hard floor on them even on noisy machines.
+    let total_skipped: u64 = rows.iter().map(|r| r.skipped_cycles).sum();
+    let pct = if total_cycles > 0 {
+        100.0 * total_skipped as f64 / total_cycles as f64
+    } else {
+        0.0
+    };
+    out.push_str(&format!(
+        "engine-bench: skipped = {total_skipped}/{total_cycles} cycles ({pct:.1}%)\n",
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_rows_cover_every_workload_and_agree() {
+        let rows = run(256).expect("runs");
+        assert_eq!(rows.len(), Benchmark::ALL.len());
+        for r in &rows {
+            assert!(r.cycles > 0, "{}: simulated nothing", r.name);
+            assert!(r.skipped_cycles < r.cycles, "{}: skipped too much", r.name);
+        }
+        let rendered = render(&rows);
+        assert!(rendered.contains("engine-bench: event/ticked = "));
+        assert!(rendered.contains("engine-bench: skipped = "));
+        assert!(rendered.contains("compress"));
+    }
+}

@@ -24,6 +24,8 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
+use mcl_core::FastForward;
+
 use crate::json::Json;
 use crate::store::{SimProduct, StoreCounters};
 use crate::Error;
@@ -37,9 +39,16 @@ use crate::Error;
 /// whose store call actually built that stage.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct CellCost {
-    /// Simulated cycles the cell accounted for (0 for cells that only
-    /// render static material).
+    /// Cycles the cell actually simulated this run (0 for cells that
+    /// only render static material). Cycles served from the memoized
+    /// sim cache land in [`CellCost::cached_simulated_cycles`] instead,
+    /// so throughput aggregates divide real work by real wall time.
     pub simulated_cycles: u64,
+    /// Cycles whose statistics were served from the sim cache without
+    /// re-simulating.
+    pub cached_simulated_cycles: u64,
+    /// Dead-cycle fast-forward counters of the cell's fresh runs.
+    pub ff: FastForward,
     /// Seconds spent obtaining traces (store hits cost ~0).
     pub trace_build_seconds: f64,
     /// Seconds spent in cycle-level simulation (store hits cost ~0).
@@ -63,6 +72,8 @@ impl CellCost {
     /// Accumulates another cost into this one.
     pub fn add(&mut self, other: &CellCost) {
         self.simulated_cycles += other.simulated_cycles;
+        self.cached_simulated_cycles += other.cached_simulated_cycles;
+        self.ff.add(&other.ff);
         self.trace_build_seconds += other.trace_build_seconds;
         self.simulate_seconds += other.simulate_seconds;
         self.il_build_seconds += other.il_build_seconds;
@@ -70,10 +81,16 @@ impl CellCost {
         self.schedule_seconds += other.schedule_seconds;
     }
 
-    /// Accumulates one store-served simulation: its cycles, wall-time
-    /// split, and phase breakdown.
+    /// Accumulates one store-served simulation: its cycles (routed to
+    /// fresh or cached by whether the store actually simulated),
+    /// wall-time split, and phase breakdown.
     pub fn charge_sim(&mut self, product: &SimProduct) {
-        self.simulated_cycles += product.stats.cycles;
+        if product.fresh {
+            self.simulated_cycles += product.stats.cycles;
+            self.ff.add(&product.ff);
+        } else {
+            self.cached_simulated_cycles += product.stats.cycles;
+        }
         self.trace_build_seconds += product.trace_build_seconds;
         self.simulate_seconds += product.simulate_seconds;
         self.il_build_seconds += product.phases.il_seconds;
@@ -146,8 +163,14 @@ pub struct CellMetric {
     /// Whether the cell overran the soft wall-clock watchdog (recorded,
     /// never enforced — cells are not killable mid-simulation).
     pub watchdog_exceeded: bool,
-    /// Simulated cycles the cell accounted for.
+    /// Cycles the cell actually simulated this run.
     pub simulated_cycles: u64,
+    /// Cycles served from the memoized sim cache (no simulation work).
+    pub cached_simulated_cycles: u64,
+    /// Simulated cycles covered by dead-cycle fast-forward jumps.
+    pub skipped_cycles: u64,
+    /// Fast-forward jumps the cell's fresh runs took.
+    pub ff_jumps: u64,
     /// Seconds the cell spent obtaining traces.
     pub trace_build_seconds: f64,
     /// Seconds the cell spent in cycle-level simulation.
@@ -161,8 +184,10 @@ pub struct CellMetric {
 }
 
 impl CellMetric {
-    /// Simulation throughput of this cell (simulated cycles per
-    /// wall-clock second); 0 when the cell did no simulation work.
+    /// Simulation throughput of this cell (cycles it actually simulated
+    /// per wall-clock second); 0 when the cell did no simulation work.
+    /// Cache-served cycles are excluded — a cell that only replayed
+    /// memoized statistics reports 0, not an absurdly high rate.
     #[must_use]
     pub fn cycles_per_second(&self) -> f64 {
         if self.wall_seconds > 0.0 {
@@ -264,6 +289,9 @@ pub fn run_cells<R: Send>(
             wall_seconds,
             watchdog_exceeded: false,
             simulated_cycles: cost.simulated_cycles,
+            cached_simulated_cycles: cost.cached_simulated_cycles,
+            skipped_cycles: cost.ff.skipped_cycles,
+            ff_jumps: cost.ff.jumps,
             trace_build_seconds: cost.trace_build_seconds,
             simulate_seconds: cost.simulate_seconds,
             il_build_seconds: cost.il_build_seconds,
@@ -307,6 +335,9 @@ pub fn run_cells_isolated<R: Send>(
             wall_seconds,
             watchdog_exceeded: watchdog_seconds.is_some_and(|limit| wall_seconds > limit),
             simulated_cycles: cost.simulated_cycles,
+            cached_simulated_cycles: cost.cached_simulated_cycles,
+            skipped_cycles: cost.ff.skipped_cycles,
+            ff_jumps: cost.ff.jumps,
             trace_build_seconds: cost.trace_build_seconds,
             simulate_seconds: cost.simulate_seconds,
             il_build_seconds: cost.il_build_seconds,
@@ -330,8 +361,15 @@ pub fn run_cells_isolated<R: Send>(
 /// had no `--obs`). Version 5 added the top-level `explain` object
 /// (`dir` of the `*.critpath.json` exports and `baseline` — the
 /// `--baseline` name or `null`; the whole object is `null` for every
-/// command except `repro explain`).
-pub const REPORT_SCHEMA_VERSION: u64 = 5;
+/// command except `repro explain`). Version 6 added the top-level
+/// `engine` name (`ticked` / `event`), split cache-served cycles out of
+/// the throughput accounting — per-cell `simulated_cycles` (and the
+/// `total_simulated_cycles` / `simulated_cycles_per_second` aggregates)
+/// now count only cycles a cell actually simulated, with cache serves
+/// in the new `cached_simulated_cycles` fields — and added the
+/// event-engine dead-cycle counters (`skipped_cycles`, `ff_jumps`, and
+/// their `total_*` aggregates).
+pub const REPORT_SCHEMA_VERSION: u64 = 6;
 
 /// Identity and options of one driver run, recorded at the top of the
 /// report.
@@ -343,6 +381,8 @@ pub struct RunInfo {
     pub divisor: u32,
     /// Worker count.
     pub jobs: usize,
+    /// The simulation engine the run used (`ticked` / `event`).
+    pub engine: String,
     /// Wall-clock time of the whole run.
     pub total_wall_seconds: f64,
     /// Whether the run continued past failed cells (`--keep-going`).
@@ -364,6 +404,9 @@ pub struct RunInfo {
 pub fn report_json(info: &RunInfo, store: &StoreCounters, metrics: &[CellMetric]) -> Json {
     let total_wall_seconds = info.total_wall_seconds;
     let total_cycles: u64 = metrics.iter().map(|m| m.simulated_cycles).sum();
+    let total_cached: u64 = metrics.iter().map(|m| m.cached_simulated_cycles).sum();
+    let total_skipped: u64 = metrics.iter().map(|m| m.skipped_cycles).sum();
+    let total_jumps: u64 = metrics.iter().map(|m| m.ff_jumps).sum();
     let total_build: f64 = metrics.iter().map(|m| m.trace_build_seconds).sum();
     let total_sim: f64 = metrics.iter().map(|m| m.simulate_seconds).sum();
     let total_il: f64 = metrics.iter().map(|m| m.il_build_seconds).sum();
@@ -404,11 +447,15 @@ pub fn report_json(info: &RunInfo, store: &StoreCounters, metrics: &[CellMetric]
         .field("command", info.command.as_str().into())
         .field("divisor", u64::from(info.divisor).into())
         .field("jobs", (info.jobs as u64).into())
+        .field("engine", info.engine.as_str().into())
         .field("keep_going", info.keep_going.into())
         .field("watchdog_seconds", info.watchdog_seconds.map_or(Json::Null, Json::F64))
         .field("failed_cells", (failed as u64).into())
         .field("total_wall_seconds", total_wall_seconds.into())
         .field("total_simulated_cycles", total_cycles.into())
+        .field("total_cached_simulated_cycles", total_cached.into())
+        .field("total_skipped_cycles", total_skipped.into())
+        .field("total_ff_jumps", total_jumps.into())
         .field(
             "simulated_cycles_per_second",
             if total_wall_seconds > 0.0 {
@@ -438,6 +485,9 @@ pub fn report_json(info: &RunInfo, store: &StoreCounters, metrics: &[CellMetric]
                             .field("watchdog_exceeded", m.watchdog_exceeded.into())
                             .field("wall_seconds", m.wall_seconds.into())
                             .field("simulated_cycles", m.simulated_cycles.into())
+                            .field("cached_simulated_cycles", m.cached_simulated_cycles.into())
+                            .field("skipped_cycles", m.skipped_cycles.into())
+                            .field("ff_jumps", m.ff_jumps.into())
                             .field("simulated_cycles_per_second", m.cycles_per_second().into())
                             .field("trace_build_seconds", m.trace_build_seconds.into())
                             .field("simulate_seconds", m.simulate_seconds.into())
@@ -531,6 +581,9 @@ mod tests {
                 wall_seconds: 2.0,
                 watchdog_exceeded: false,
                 simulated_cycles: 100,
+                cached_simulated_cycles: 40,
+                skipped_cycles: 25,
+                ff_jumps: 5,
                 trace_build_seconds: 0.5,
                 simulate_seconds: 1.25,
                 il_build_seconds: 0.125,
@@ -543,6 +596,9 @@ mod tests {
                 wall_seconds: 0.25,
                 watchdog_exceeded: true,
                 simulated_cycles: 0,
+                cached_simulated_cycles: 0,
+                skipped_cycles: 0,
+                ff_jumps: 0,
                 trace_build_seconds: 0.0,
                 simulate_seconds: 0.0,
                 il_build_seconds: 0.0,
@@ -555,6 +611,7 @@ mod tests {
             command: "table2".into(),
             divisor: 1,
             jobs: 8,
+            engine: "event".into(),
             total_wall_seconds: 2.5,
             keep_going: true,
             watchdog_seconds: Some(0.2),
@@ -564,11 +621,19 @@ mod tests {
             explain_baseline: None,
         };
         let json = report_json(&info, &counters, &metrics).render();
-        assert!(json.starts_with("{\"schema_version\":5,\"command\":\"table2\","));
+        assert!(json.starts_with("{\"schema_version\":6,\"command\":\"table2\","));
+        assert!(json.contains("\"engine\":\"event\""));
         assert!(json.contains("\"keep_going\":true"));
         assert!(json.contains("\"watchdog_seconds\":0.200000"));
         assert!(json.contains("\"failed_cells\":1"));
         assert!(json.contains("\"total_simulated_cycles\":100"));
+        assert!(json.contains("\"total_cached_simulated_cycles\":40"));
+        assert!(json.contains("\"total_skipped_cycles\":25"));
+        assert!(json.contains("\"total_ff_jumps\":5"));
+        assert!(json.contains(
+            "\"simulated_cycles\":100,\"cached_simulated_cycles\":40,\
+             \"skipped_cycles\":25,\"ff_jumps\":5,"
+        ));
         assert!(json.contains("\"simulated_cycles_per_second\":40.000000"));
         assert!(json.contains("\"total_trace_build_seconds\":0.500000"));
         assert!(json.contains("\"total_simulate_seconds\":1.250000"));

@@ -47,7 +47,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
-use mcl_core::{Processor, ProcessorConfig, SimStats};
+use mcl_core::{FastForward, Processor, ProcessorConfig, SimStats};
 use mcl_isa::assign::RegisterAssignment;
 use mcl_sched::{
     unroll_self_loops, PreparedIl, ScheduleOptions, SchedulePipeline, SchedulerKind,
@@ -187,6 +187,15 @@ impl TracePhases {
 pub struct SimProduct {
     /// The simulation statistics.
     pub stats: SimStats,
+    /// Whether this call actually ran the simulator (`false` when the
+    /// statistics were served from the memoized cache). Throughput
+    /// accounting must only credit simulated cycles to fresh runs —
+    /// a cache hit simulates nothing.
+    pub fresh: bool,
+    /// Dead-cycle fast-forward counters of the run that produced the
+    /// statistics (all zero under `Engine::Ticked`). Cached serves
+    /// report the counters of the original run.
+    pub ff: FastForward,
     /// Seconds this call spent obtaining the trace (≈0 on a store hit);
     /// equals [`TracePhases::total_seconds`] of [`SimProduct::phases`].
     pub trace_build_seconds: f64,
@@ -214,6 +223,9 @@ type CanonTrace = (u64, Arc<PackedTrace>);
 
 /// An IL build slot (infallible — `Benchmark::build` cannot fail).
 type IlSlot = Arc<OnceLock<Arc<Program<Vreg>>>>;
+/// Memoized simulation result: statistics plus fast-forward counters,
+/// keyed by (canonical trace id, rendered configuration).
+type SimSlot = Slot<(SimStats, FastForward)>;
 
 /// The thread-safe, `Arc`-sharing memoization layer described in the
 /// [module docs](self).
@@ -248,7 +260,7 @@ pub struct TraceStore {
     /// correct).
     canonical: Mutex<HashMap<u64, Vec<CanonTrace>>>,
     next_content_id: AtomicU64,
-    sims: Mutex<HashMap<(u64, String), Slot<SimStats>>>,
+    sims: Mutex<HashMap<(u64, String), SimSlot>>,
     trace_hits: AtomicU64,
     trace_misses: AtomicU64,
     sim_hits: AtomicU64,
@@ -447,7 +459,7 @@ impl TraceStore {
             built = true;
             Processor::new(config.clone())
                 .run_packed(&trace)
-                .map(|r| r.stats)
+                .map(|r| (r.stats, r.ff))
                 .map_err(|e| e.to_string())
         });
         if built {
@@ -455,9 +467,11 @@ impl TraceStore {
         } else {
             self.sim_hits.fetch_add(1, Ordering::Relaxed);
         }
-        let stats = result.clone().map_err(Error::Store)?;
+        let (stats, ff) = result.clone().map_err(Error::Store)?;
         Ok(SimProduct {
             stats,
+            fresh: built,
+            ff,
             trace_build_seconds: phases.total_seconds,
             simulate_seconds: start.elapsed().as_secs_f64(),
             phases,
@@ -571,6 +585,9 @@ mod tests {
         let first = store.sim(&req, &cfg).unwrap();
         let cached = store.sim(&req, &cfg).unwrap();
         assert_eq!(first.stats, cached.stats);
+        assert!(first.fresh, "the first serve runs the simulator");
+        assert!(!cached.fresh, "the second serve is a cache hit");
+        assert_eq!(first.ff, cached.ff, "cached serves report the original run's counters");
         let fresh = crate::simulate(
             &cfg,
             &store.trace(&req).unwrap().0.to_ops(),

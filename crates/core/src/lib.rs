@@ -30,7 +30,11 @@
 //! - [`obs`] — the observability layer: [`Probe`] hook points compiled
 //!   out on the default [`obs::NullProbe`] path, plus the interval
 //!   sampler / latency histograms / lifecycle event ring behind
-//!   `repro --obs`.
+//!   `repro --obs`;
+//! - [`timeq`] — the time-wheel event queue both engines schedule
+//!   future work on, and that the event-driven engine
+//!   ([`config::Engine::Event`]) uses to fast-forward across dead
+//!   cycles.
 //!
 //! # Example
 //!
@@ -62,9 +66,10 @@ pub mod obs;
 pub mod pipeview;
 pub mod sim;
 pub mod stats;
+pub mod timeq;
 
 pub use check::{CheckLevel, FaultInjection};
-pub use config::ProcessorConfig;
+pub use config::{global_engine, set_global_engine, Engine, ProcessorConfig};
 pub use delay::FeatureSize;
 pub use dist::{distribute, Distribution};
 pub use events::{Event, EventKind, EventLog};
@@ -74,4 +79,4 @@ pub use obs::{
 };
 pub use pipeview::{render as render_pipeline, PipeViewOptions};
 pub use sim::{Processor, SimError, SimResult};
-pub use stats::{speedup_percent, SimStats};
+pub use stats::{speedup_percent, FastForward, SimStats};

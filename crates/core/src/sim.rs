@@ -19,14 +19,15 @@ use mcl_mem::{Access, Cache};
 use mcl_trace::{vm::trace_program, PackedTrace, Program, TraceOp, TraceSource, VmError};
 
 use crate::check::{self, CheckLevel, FaultInjection};
-use crate::config::ProcessorConfig;
+use crate::config::{Engine, ProcessorConfig};
 use crate::dist::{distribute, Distribution};
 use crate::events::{EventKind, EventLog};
 use crate::obs::{
     CopyKind, CycleSnapshot, IssueBlock, NullProbe, Probe, StallCause, TransferKind, TransferPhase,
 };
 use crate::pipeview::{render_window, WindowRow};
-use crate::stats::SimStats;
+use crate::stats::{FastForward, SimStats};
+use crate::timeq::{Entry, TimeQ};
 
 /// The outcome of a simulation run.
 #[derive(Debug, Clone)]
@@ -36,6 +37,8 @@ pub struct SimResult {
     pub stats: SimStats,
     /// The event log, when [`ProcessorConfig::record_events`] was set.
     pub events: Option<EventLog>,
+    /// Dead-cycle-skip counters (all zero under [`Engine::Ticked`]).
+    pub ff: FastForward,
 }
 
 /// Simulation errors.
@@ -235,9 +238,37 @@ const MAX_DIVIDERS: usize = 8;
 /// Null link in the waiter arena.
 const NIL: u32 = u32::MAX;
 
-/// (resolve cycle, seq, pc, taken, mispredicted) — ordered by resolve
-/// cycle then age for the pending-branch min-heap.
-type PendingBranch = (u64, u64, u64, bool, bool);
+/// Packs a pending branch resolution into a [`TimeQ`] data word:
+/// `pc << 2 | taken << 1 | mispredicted`.
+fn pack_branch(pc: u64, taken: bool, mispredicted: bool) -> u64 {
+    debug_assert!(pc < 1 << 62, "branch pc fits the packed data word");
+    (pc << 2) | (u64::from(taken) << 1) | u64::from(mispredicted)
+}
+
+/// Why dispatch can make no progress this cycle and, provably, on every
+/// cycle until the next scheduled event — computed by
+/// [`Sim::dead_dispatch_cause`] by mirroring the stall checks at the
+/// top of [`Sim::dispatch`]. Each variant names the stall bucket the
+/// skipped cycles are charged to (plus the fetch icache probe the
+/// dispatch-queue and register stalls repeat every cycle).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DeadCause {
+    /// Trace exhausted; the window is draining.
+    Drain,
+    /// Fetch is blocked behind an unresolved mispredicted branch.
+    BranchWait,
+    /// `now < fetch_resume_at`; charged to the active [`FetchStall`].
+    FetchWait,
+    /// A pending register reassignment is waiting for the window to
+    /// drain.
+    ReassignDrain,
+    /// The cursor instruction (a fetch icache hit, at this pc) needs a
+    /// dispatch-queue entry no cluster has free.
+    DispatchQueue(u64),
+    /// The cursor instruction (a fetch icache hit, at this pc) needs
+    /// physical registers no free list can supply.
+    Registers(u64),
+}
 
 /// Dispatch-time operand availability (see [`Sim::avail_for`]).
 enum Avail {
@@ -429,24 +460,38 @@ struct Sim<'a, T: TraceSource + ?Sized, P: Probe = NullProbe> {
 
     /// Wakeup-list node storage.
     waiters: WaiterArena,
-    /// Per cluster: copies whose operands are all available, ordered by
-    /// age — the issue pass walks exactly these.
-    ready: [std::collections::BTreeSet<(u64, u8)>; 2],
+    /// Per cluster: copies whose operands are all available, kept
+    /// sorted by age — the issue pass walks exactly these. A sorted
+    /// `Vec` beats a `BTreeSet` here: the set is small (a handful of
+    /// copies), is snapshotted every live cycle, and age-ordered
+    /// iteration is the hot operation.
+    ready: [Vec<(u64, u8)>; 2],
     /// Per cluster: lazily-invalidated min-heap over copies still
     /// waiting for operands (issue-disorder accounting).
     waiting_min: [BinaryHeap<Reverse<(u64, u8)>>; 2],
-    /// (ready cycle, cluster, seq, action): copies whose last operand
-    /// time became known, to enter the ready set at that cycle.
-    future_ready: BinaryHeap<Reverse<(u64, u8, u64, u8)>>,
-    /// (cycle, seq): scheduled scenario-five wake checks.
-    wake_events: BinaryHeap<Reverse<(u64, u64)>>,
-    /// (cycle, seq, DONE/WRITE): scheduled completions, for the
-    /// progress check (lazily invalidated on squash).
-    completions: BinaryHeap<Reverse<(u64, u64, u8)>>,
+    /// Copies whose last operand time became known, to enter the ready
+    /// set at the scheduled cycle. Key `seq << 1 | action`, data the
+    /// cluster index.
+    future_ready: TimeQ,
+    /// Scheduled scenario-five wake checks, keyed by seq.
+    wake_events: TimeQ,
+    /// Scheduled completions for the progress check (lazily invalidated
+    /// on squash). Key seq, data DONE/WRITE.
+    completions: TimeQ,
     /// Reusable snapshot of one cluster's ready set for the issue pass.
     scratch_pass: Vec<(u64, u8)>,
     /// Reusable drain buffer for replay squashes.
     scratch_squash: Vec<DynInstr>,
+    /// Reusable drain buffer for [`TimeQ::pop_due`] consumers.
+    scratch_events: Vec<Entry>,
+    /// Reusable per-window-slot tallies for the invariant checker
+    /// (wakeup registrations per copy, scheduled-completion marks).
+    scratch_regs: Vec<[u32; 2]>,
+    scratch_sched: Vec<[bool; 2]>,
+    /// Physical-register capacities under the current assignment
+    /// (recomputed on reassignment), so the per-cycle checker does not
+    /// re-derive them from the architectural register map.
+    reg_caps: ([i64; 2], [i64; 2]),
 
     fetch_resume_at: u64,
     fetch_stall: FetchStall,
@@ -454,10 +499,13 @@ struct Sim<'a, T: TraceSource + ?Sized, P: Probe = NullProbe> {
     /// fetch, if any.
     fetch_blocked_by: Option<u64>,
 
-    /// (resolve cycle, seq, pc, taken, mispredicted).
-    pending_bpred: BinaryHeap<Reverse<PendingBranch>>,
-    /// (cycle, cluster, OTB/RTB).
-    buffer_frees: BinaryHeap<Reverse<(u64, u8, u8)>>,
+    /// Pending predictor updates, keyed by seq so same-cycle
+    /// resolutions update the predictor in age order; data packed by
+    /// [`pack_branch`].
+    pending_bpred: TimeQ,
+    /// Scheduled transfer-buffer credit returns. Key
+    /// `cluster << 1 | OTB/RTB`.
+    buffer_frees: TimeQ,
 
     predictor: Box<dyn BranchPredictor + Send>,
     icache: Cache,
@@ -487,6 +535,8 @@ struct Sim<'a, T: TraceSource + ?Sized, P: Probe = NullProbe> {
     pending_reassign: Vec<crate::config::ReassignmentPoint>,
     /// A reassignment is waiting for the pipeline to drain.
     reassign_draining: bool,
+    /// Dead-cycle-skip counters (stay zero under [`Engine::Ticked`]).
+    ff: FastForward,
     /// The observability probe; every call site is gated on the
     /// monomorphization-time constant `P::ENABLED`, so the default
     /// [`NullProbe`] build carries no probe code at all.
@@ -522,18 +572,22 @@ impl<'a, T: TraceSource + ?Sized, P: Probe> Sim<'a, T, P> {
             dividers: cfg.fp_dividers as usize,
             producers: [[None; 64]; 2],
             waiters: WaiterArena::new(),
-            ready: [std::collections::BTreeSet::new(), std::collections::BTreeSet::new()],
+            ready: [Vec::new(), Vec::new()],
             waiting_min: [BinaryHeap::new(), BinaryHeap::new()],
-            future_ready: BinaryHeap::new(),
-            wake_events: BinaryHeap::new(),
-            completions: BinaryHeap::new(),
+            future_ready: TimeQ::new(),
+            wake_events: TimeQ::new(),
+            completions: TimeQ::new(),
             scratch_pass: Vec::new(),
             scratch_squash: Vec::new(),
+            scratch_events: Vec::new(),
+            scratch_regs: Vec::new(),
+            scratch_sched: Vec::new(),
+            reg_caps: (int_free, fp_free),
             fetch_resume_at: 0,
             fetch_stall: FetchStall::Icache,
             fetch_blocked_by: None,
-            pending_bpred: BinaryHeap::new(),
-            buffer_frees: BinaryHeap::new(),
+            pending_bpred: TimeQ::new(),
+            buffer_frees: TimeQ::new(),
             predictor: cfg.predictor.build(),
             icache: Cache::new(cfg.icache),
             dcache: Cache::new(cfg.dcache),
@@ -548,6 +602,7 @@ impl<'a, T: TraceSource + ?Sized, P: Probe> Sim<'a, T, P> {
             last_replay_base: None,
             pending_reassign: cfg.reassignments.clone(),
             reassign_draining: false,
+            ff: FastForward::default(),
             probe,
         }
     }
@@ -566,20 +621,36 @@ impl<'a, T: TraceSource + ?Sized, P: Probe> Sim<'a, T, P> {
     }
 
     fn run(&mut self) -> Result<SimResult, SimError> {
+        // Fast-forward only when nothing needs to see individual dead
+        // cycles: probes sample per cycle, and cycle-level checking
+        // validates per cycle, so both force single-stepping (their
+        // observations are of dead cycles that log nothing and change
+        // no stats, which is why on/off stays byte-identical).
+        let fast_forward =
+            self.cfg.engine == Engine::Event && !P::ENABLED && self.check != CheckLevel::Cycle;
         while self.cursor < self.trace.len() || !self.window.is_empty() {
             if self.now >= self.cfg.max_cycles {
                 return Err(SimError::CycleLimit { limit: self.cfg.max_cycles });
             }
-            self.step()?;
+            let activity = self.step()?;
+            // Anything dispatched, issued, retired, or woken this cycle
+            // can cascade into the next one, so the next cycle is never
+            // provably dead — don't even pay for the attempt.
+            if fast_forward && activity == 0 {
+                self.try_fast_forward();
+            }
         }
         self.stats.cycles = self.now;
         self.stats.icache = self.icache.stats();
         self.stats.dcache = self.dcache.stats();
-        Ok(SimResult { stats: self.stats.clone(), events: self.events.take() })
+        Ok(SimResult { stats: self.stats.clone(), events: self.events.take(), ff: self.ff })
     }
 
-    /// Simulates one cycle.
-    fn step(&mut self) -> Result<(), SimError> {
+    /// Simulates one cycle, returning how many retire/wake/issue/
+    /// dispatch actions it performed (the same count the progress
+    /// check sees; the event engine only attempts a fast-forward after
+    /// an actionless cycle).
+    fn step(&mut self) -> Result<u32, SimError> {
         self.blocked_on_buffer = false;
         self.inject_faults();
 
@@ -608,13 +679,14 @@ impl<'a, T: TraceSource + ?Sized, P: Probe> Sim<'a, T, P> {
         if validate {
             self.validate_invariants(&issued_per)?;
         }
-        self.check_progress(retired + woke + issued + dispatched)?;
+        let activity = retired + woke + issued + dispatched;
+        self.check_progress(activity)?;
         if P::ENABLED {
             let snap = self.cycle_snapshot();
             self.probe.cycle_end(&snap);
         }
         self.now += 1;
-        Ok(())
+        Ok(activity)
     }
 
     /// End-of-cycle occupancy for [`Probe::cycle_end`].
@@ -668,30 +740,282 @@ impl<'a, T: TraceSource + ?Sized, P: Probe> Sim<'a, T, P> {
         }
     }
 
+    // -- dead-cycle fast-forward -------------------------------------------
+
+    /// Event-engine core: after a stepped cycle that performed no
+    /// action, jump `now` straight to the next scheduled event if the
+    /// span in between is provably dead — no cluster could dispatch,
+    /// issue, or retire on any skipped cycle — charging the span to
+    /// the same stall bucket the ticked loop would have charged cycle
+    /// by cycle. Conservative: any doubt aborts the jump and the
+    /// engine single-steps, so the result is byte-identical to
+    /// [`Engine::Ticked`] by construction. Several checks below lean
+    /// on the actionless precondition (the caller gates on it): ready
+    /// copies were all evaluated against a fresh issue budget this
+    /// cycle, and no in-pass state (budget, buffers, dividers) was
+    /// consumed.
+    fn try_fast_forward(&mut self) {
+        let now = self.now;
+        // Run finished, or activity that could cascade this cycle:
+        // single-step. A non-zero no-progress count must keep ticking so
+        // the replay/wedge escalation sees the same cycle numbers.
+        if self.cursor >= self.trace.len() && self.window.is_empty() {
+            return;
+        }
+        if self.no_progress_cycles > 0 {
+            return;
+        }
+        // Issue: a ready copy is only compatible with a dead span when
+        // it is provably unissuable, side-effect free, on every skipped
+        // cycle. Because this cycle issued nothing, every ready copy
+        // was just evaluated against a fresh budget and blocked, for
+        // one of exactly three reasons, mirroring the issue pass's
+        // check order:
+        //
+        // - the width rules — a fresh budget that cannot accept the
+        //   class never will, so the copy never issues (no stats);
+        // - a busy divider, which frees at a known cycle that joins
+        //   the jump targets (no stats) — it is NOT always announced
+        //   by a completion event, because a squashed divide keeps its
+        //   unit busy after its event is discarded as stale;
+        // - a full transfer buffer, which only refills through a
+        //   scheduled buffer-free event (already a jump target). The
+        //   ticked loop charges `rtb_full_stalls`/`otb_full_stalls`
+        //   once per blocked copy per cycle, so the span charges the
+        //   per-cycle count times the span length below.
+        //
+        // Anything else would issue: abort.
+        let mut div_wake = None;
+        let mut rtb_stalls = 0u64;
+        let mut otb_stalls = 0u64;
+        for ci in 0..2 {
+            let rules = &self.cfg.issue_rules;
+            if rules.total == 0 {
+                // Budget exhausted before the first copy: the issue
+                // pass breaks immediately and evaluates nothing.
+                continue;
+            }
+            for &(seq, act) in &self.ready[ci] {
+                let Some(wi) = self.win_index(seq) else { return };
+                let d = &self.window[wi];
+                let slot_class = if act == ACT_MASTER {
+                    d.op.class()
+                } else if d.forwards() {
+                    let bank = (0..2)
+                        .find(|&i| d.dist.forwarded_src[i])
+                        .and_then(|i| d.op.srcs[i])
+                        .map_or(RegBank::Int, ArchReg::bank);
+                    InstrClass::for_operand_bank(bank)
+                } else {
+                    InstrClass::for_operand_bank(d.op.dest.map_or(RegBank::Int, ArchReg::bank))
+                };
+                if rules.class_limit(slot_class) == 0 {
+                    continue; // permanently width-blocked
+                }
+                if act == ACT_MASTER {
+                    if slot_class == InstrClass::FpDiv {
+                        let free =
+                            self.div_busy_until[ci][..self.dividers].iter().copied().min();
+                        if let Some(free) = free {
+                            if free > now {
+                                div_wake = Some(div_wake.map_or(free, |w: u64| w.min(free)));
+                                continue;
+                            }
+                        } else {
+                            // No dividers configured: unissuable, but the
+                            // ticked loop's wedge detection must see it.
+                            return;
+                        }
+                    }
+                    if d.dist.slave_receives {
+                        let slave = d.dist.slave.expect("receive implies slave");
+                        if self.rtb_free[slave.index()] == 0 {
+                            rtb_stalls += 1;
+                            continue;
+                        }
+                    }
+                } else if d.forwards() && self.otb_free[d.dist.master.index()] == 0 {
+                    otb_stalls += 1;
+                    continue;
+                }
+                return;
+            }
+        }
+        // Retire: the front might retire next cycle (retirement is
+        // in-order, so checking the front suffices).
+        if self.window.front().is_some_and(|d| d.complete(now)) {
+            return;
+        }
+        // Dispatch: the stall at the cursor must be one that only a
+        // scheduled event can lift.
+        let Some(cause) = self.dead_dispatch_cause() else { return };
+        // Earliest live completion (also discards stale events, exactly
+        // as the ticked progress check does when it consults the queue).
+        let live_completion = self.next_live_completion(now);
+        // The skipped cycles never run the wedge/replay escalation, so
+        // fast-forwarding is only sound if the ticked loop's progress
+        // check would also have seen future work on every one of them.
+        // Every term below is constant across the dead span.
+        if !self.window.is_empty() {
+            let span_future_work = self.fetch_resume_at > now
+                || !self.pending_bpred.is_empty()
+                || !self.buffer_frees.is_empty()
+                || live_completion.is_some();
+            if !span_future_work {
+                return;
+            }
+        }
+        // The jump target: the earliest cycle anything is scheduled to
+        // happen. Everything the engine does originates from one of
+        // these queues (or fetch resuming, or a fault firing).
+        let mut target = u64::MAX;
+        for cycle in [
+            self.future_ready.next_cycle(),
+            self.wake_events.next_cycle(),
+            self.buffer_frees.next_cycle(),
+            self.pending_bpred.next_cycle(),
+            live_completion,
+            div_wake,
+        ]
+        .into_iter()
+        .flatten()
+        {
+            target = target.min(cycle);
+        }
+        if self.fetch_resume_at > now {
+            target = target.min(self.fetch_resume_at);
+        }
+        for fault in &self.pending_faults {
+            let (FaultInjection::LeakOperandBuffer { cycle }
+            | FaultInjection::LeakResultBuffer { cycle }) = fault;
+            target = target.min((*cycle).max(now));
+        }
+        if target == u64::MAX {
+            return;
+        }
+        // The ticked loop errors out upon reaching the cycle limit;
+        // jumping past it would skip that check.
+        target = target.min(self.cfg.max_cycles);
+        if target <= now {
+            return;
+        }
+
+        let n = target - now;
+        match cause {
+            DeadCause::Drain => self.stats.drain_cycles += n,
+            DeadCause::BranchWait => self.stats.stall_branch += n,
+            DeadCause::FetchWait => match self.fetch_stall {
+                FetchStall::Icache => self.stats.stall_icache += n,
+                FetchStall::Replay => self.stats.stall_replay += n,
+                FetchStall::Branch => self.stats.stall_branch += n,
+                FetchStall::Reassign => self.stats.stall_reassign += n,
+            },
+            DeadCause::ReassignDrain => self.stats.stall_reassign += n,
+            DeadCause::DispatchQueue(pc) => {
+                self.stats.stall_dq += n;
+                // Each skipped cycle re-probes the fetch line and hits.
+                self.icache.record_repeat_hits(pc, n);
+            }
+            DeadCause::Registers(pc) => {
+                self.stats.stall_regs += n;
+                self.icache.record_repeat_hits(pc, n);
+            }
+        }
+        // Each skipped cycle re-runs the same issue pass against the
+        // same full buffers: charge the per-cycle stall counts once per
+        // skipped cycle, exactly as the ticked loop would.
+        self.stats.rtb_full_stalls += rtb_stalls * n;
+        self.stats.otb_full_stalls += otb_stalls * n;
+        self.ff.skipped_cycles += n;
+        self.ff.jumps += 1;
+        self.now = target;
+    }
+
+    /// Mirrors the stall checks at the top of [`Sim::dispatch`] without
+    /// mutating anything: the cause returned holds on the current cycle
+    /// and — because every input it reads is constant while nothing
+    /// dispatches, issues, retires, or pops an event — on every cycle
+    /// up to the next scheduled event. Returns `None` when dispatch
+    /// could make progress (or take an icache miss, which mutates cache
+    /// state and so must be stepped).
+    fn dead_dispatch_cause(&self) -> Option<DeadCause> {
+        if self.cursor >= self.trace.len() {
+            return Some(DeadCause::Drain);
+        }
+        if self.fetch_blocked_by.is_some() {
+            return Some(DeadCause::BranchWait);
+        }
+        if self.now < self.fetch_resume_at {
+            return Some(DeadCause::FetchWait);
+        }
+        let op = self.trace.get(self.cursor);
+        if self.reassign_draining
+            || self.pending_reassign.first().is_some_and(|r| r.trigger_pc == op.pc)
+        {
+            // With an empty window the switch itself would run: step it.
+            return (!self.window.is_empty()).then_some(DeadCause::ReassignDrain);
+        }
+        if !self.icache.probe(op.pc, self.now) {
+            return None;
+        }
+        let dist = distribute(&op, &self.assign, &self.balance);
+        let mut dq_needed = [0u32; 2];
+        dq_needed[dist.master.index()] += 1;
+        if let Some(s) = dist.slave {
+            dq_needed[s.index()] += 1;
+        }
+        if !(0..2).all(|c| self.dq_free[c] >= dq_needed[c]) {
+            return Some(DeadCause::DispatchQueue(op.pc));
+        }
+        let phys = dist.phys_needed(&op, &self.assign);
+        let mut int_needed = [0i64; 2];
+        let mut fp_needed = [0i64; 2];
+        for (c, bank) in phys.iter() {
+            match bank {
+                RegBank::Int => int_needed[c.index()] += 1,
+                RegBank::Fp => fp_needed[c.index()] += 1,
+            }
+        }
+        if !(0..2).all(|c| self.int_free[c] >= int_needed[c] && self.fp_free[c] >= fp_needed[c]) {
+            return Some(DeadCause::Registers(op.pc));
+        }
+        None
+    }
+
     // -- cycle-start event processing --------------------------------------
 
     fn process_buffer_frees(&mut self) {
-        while let Some(&Reverse((cycle, cluster, kind))) = self.buffer_frees.peek() {
-            if cycle > self.now {
-                break;
-            }
-            self.buffer_frees.pop();
-            match kind {
-                OTB => self.otb_free[usize::from(cluster)] += 1,
-                _ => self.rtb_free[usize::from(cluster)] += 1,
+        if self.buffer_frees.is_empty() {
+            return;
+        }
+        let mut due = std::mem::take(&mut self.scratch_events);
+        self.buffer_frees.pop_due(self.now, &mut due);
+        for e in &due {
+            let cluster = (e.key >> 1) as usize;
+            if e.key & 1 == u64::from(OTB) {
+                self.otb_free[cluster] += 1;
+            } else {
+                self.rtb_free[cluster] += 1;
             }
         }
+        due.clear();
+        self.scratch_events = due;
     }
 
     fn process_branch_resolutions(&mut self) {
-        while let Some(&Reverse((cycle, seq, pc, taken, mispredicted))) = self.pending_bpred.peek()
-        {
-            if cycle > self.now {
-                break;
-            }
-            self.pending_bpred.pop();
+        if self.pending_bpred.is_empty() {
+            return;
+        }
+        // Keyed by seq: same-cycle resolutions update the predictor in
+        // age order, as the heap formulation did.
+        let mut due = std::mem::take(&mut self.scratch_events);
+        self.pending_bpred.pop_due(self.now, &mut due);
+        for e in &due {
+            let pc = e.data >> 2;
+            let taken = e.data & 0b10 != 0;
+            let mispredicted = e.data & 0b1 != 0;
             self.predictor.update(pc, taken);
-            if mispredicted && self.fetch_blocked_by == Some(seq) {
+            if mispredicted && self.fetch_blocked_by == Some(e.key) {
                 self.fetch_blocked_by = None;
                 // Redirect costs one further cycle after resolution;
                 // `dispatch` charges it to `stall_branch` when it hits
@@ -701,6 +1025,8 @@ impl<'a, T: TraceSource + ?Sized, P: Probe> Sim<'a, T, P> {
                 self.fetch_stall = FetchStall::Branch;
             }
         }
+        due.clear();
+        self.scratch_events = due;
     }
 
     // -- retire -------------------------------------------------------------
@@ -739,14 +1065,16 @@ impl<'a, T: TraceSource + ?Sized, P: Probe> Sim<'a, T, P> {
     fn wake_suspended_slaves(&mut self) -> u32 {
         let mut woke = 0;
         let now = self.now;
+        if self.wake_events.is_empty() {
+            return 0;
+        }
         // Wake checks are scheduled at master completion; (cycle, seq)
-        // heap order reproduces the window-order scan of the paper's
+        // order reproduces the window-order scan of the paper's
         // per-cycle wake pass.
-        while let Some(&Reverse((cycle, seq))) = self.wake_events.peek() {
-            if cycle > now {
-                break;
-            }
-            self.wake_events.pop();
+        let mut due = std::mem::take(&mut self.scratch_events);
+        self.wake_events.pop_due(now, &mut due);
+        for e in &due {
+            let seq = e.key;
             let Some(wi) = self.win_index(seq) else { continue };
             let eligible = {
                 let d = &self.window[wi];
@@ -777,8 +1105,8 @@ impl<'a, T: TraceSource + ?Sized, P: Probe> Sim<'a, T, P> {
             };
             let head = std::mem::replace(&mut self.window[wi].w_write, NIL);
             self.notify_waiters(head, now + 1);
-            self.completions.push(Reverse((now + 1, seq, WRITE_EVT)));
-            self.buffer_frees.push(Reverse((now + 1, slave.index() as u8, RTB)));
+            self.completions.schedule(now + 1, seq, u64::from(WRITE_EVT));
+            self.buffer_frees.schedule(now + 1, (slave.index() as u64) << 1 | u64::from(RTB), 0);
             if P::ENABLED {
                 self.probe.forwarded(now + 1, seq, TransferKind::Result, TransferPhase::Release, slave);
             }
@@ -786,6 +1114,8 @@ impl<'a, T: TraceSource + ?Sized, P: Probe> Sim<'a, T, P> {
             self.log_at(now + 1, seq, Some(slave), EventKind::RegWritten);
             woke += 1;
         }
+        due.clear();
+        self.scratch_events = due;
         woke
     }
 
@@ -855,7 +1185,11 @@ impl<'a, T: TraceSource + ?Sized, P: Probe> Sim<'a, T, P> {
             self.probe.operand_delivered(consumer, avail, via_forward);
         }
         if all_known {
-            self.future_ready.push(Reverse((ready_at, cluster_byte, consumer, action)));
+            self.future_ready.schedule(
+                ready_at,
+                consumer << 1 | u64::from(action),
+                u64::from(cluster_byte),
+            );
         }
     }
 
@@ -874,20 +1208,24 @@ impl<'a, T: TraceSource + ?Sized, P: Probe> Sim<'a, T, P> {
     /// ready sets. Runs once per cycle, before the issue passes.
     fn drain_future_ready(&mut self) {
         let now = self.now;
-        while let Some(&Reverse((cycle, cl, seq, action))) = self.future_ready.peek() {
-            if cycle > now {
-                break;
-            }
-            self.future_ready.pop();
+        if self.future_ready.is_empty() {
+            return;
+        }
+        let mut due = std::mem::take(&mut self.scratch_events);
+        self.future_ready.pop_due(now, &mut due);
+        for e in &due {
+            let seq = e.key >> 1;
+            let action = (e.key & 1) as u8;
+            let cl = e.data as usize;
             let Some(wi) = self.win_index(seq) else { continue };
             let d = &mut self.window[wi];
             // Validate against the *current* incarnation: a squash and
             // re-dispatch may have left a stale event behind.
             let (cluster_ok, issued, st) = if action == ACT_MASTER {
-                (d.dist.master.index() == usize::from(cl), d.master_issued.is_some(), &mut d.m_wait)
+                (d.dist.master.index() == cl, d.master_issued.is_some(), &mut d.m_wait)
             } else {
                 (
-                    d.dist.slave.is_some_and(|s| s.index() == usize::from(cl)),
+                    d.dist.slave.is_some_and(|s| s.index() == cl),
                     d.slave_issued.is_some(),
                     &mut d.s_wait,
                 )
@@ -896,8 +1234,12 @@ impl<'a, T: TraceSource + ?Sized, P: Probe> Sim<'a, T, P> {
                 continue;
             }
             st.in_ready = true;
-            self.ready[usize::from(cl)].insert((seq, action));
+            if let Err(pos) = self.ready[cl].binary_search(&(seq, action)) {
+                self.ready[cl].insert(pos, (seq, action));
+            }
         }
+        due.clear();
+        self.scratch_events = due;
     }
 
     /// The oldest copy for `cluster` still waiting on operands, if any
@@ -930,6 +1272,9 @@ impl<'a, T: TraceSource + ?Sized, P: Probe> Sim<'a, T, P> {
     #[allow(clippy::too_many_lines)]
     fn issue_cluster(&mut self, cluster: ClusterId) -> u32 {
         let ci = cluster.index();
+        if self.ready[ci].is_empty() {
+            return 0;
+        }
         let mut budget = self.cfg.issue_rules.budget();
         let mut issued = 0;
         // Ready-but-blocked copies iterated earlier in this pass: they
@@ -943,7 +1288,7 @@ impl<'a, T: TraceSource + ?Sized, P: Probe> Sim<'a, T, P> {
         // nothing this cycle, and issued copies are removed directly.
         let mut pass = std::mem::take(&mut self.scratch_pass);
         pass.clear();
-        pass.extend(self.ready[ci].iter().copied());
+        pass.extend_from_slice(&self.ready[ci]);
 
         for &(seq, act) in &pass {
             if budget.is_exhausted() {
@@ -1036,7 +1381,9 @@ impl<'a, T: TraceSource + ?Sized, P: Probe> Sim<'a, T, P> {
             }
             issued += 1;
             self.stats.per_cluster_issued[ci] += 1;
-            self.ready[ci].remove(&(seq, act));
+            if let Ok(pos) = self.ready[ci].binary_search(&(seq, act)) {
+                self.ready[ci].remove(pos);
+            }
             {
                 let d = &mut self.window[wi];
                 let st = if act == ACT_MASTER { &mut d.m_wait } else { &mut d.s_wait };
@@ -1112,12 +1459,12 @@ impl<'a, T: TraceSource + ?Sized, P: Probe> Sim<'a, T, P> {
         self.notify_waiters(head, done);
         if slave_info.is_some() {
             if fwd {
-                self.wake_events.push(Reverse((done, seq)));
+                self.wake_events.schedule(done, seq, 0);
             } else {
                 self.deliver(seq, ACT_SLAVE, (now + 1).max(done.saturating_sub(1)), false);
             }
         }
-        self.completions.push(Reverse((done, seq, DONE_EVT)));
+        self.completions.schedule(done, seq, u64::from(DONE_EVT));
 
         // Free the master's dispatch-queue entry.
         {
@@ -1134,7 +1481,7 @@ impl<'a, T: TraceSource + ?Sized, P: Probe> Sim<'a, T, P> {
             let d = &mut self.window[wi];
             if d.otb_held {
                 d.otb_held = false;
-                self.buffer_frees.push(Reverse((now + 1, cluster.index() as u8, OTB)));
+                self.buffer_frees.schedule(now + 1, (cluster.index() as u64) << 1 | u64::from(OTB), 0);
                 if P::ENABLED {
                     self.probe.forwarded(
                         now + 1,
@@ -1161,7 +1508,7 @@ impl<'a, T: TraceSource + ?Sized, P: Probe> Sim<'a, T, P> {
 
         // Branch resolution.
         if is_cond {
-            self.pending_bpred.push(Reverse((done, seq, pc, taken, mispredicted)));
+            self.pending_bpred.schedule(done, seq, pack_branch(pc, taken, mispredicted));
             if mispredicted {
                 self.log_at(done, seq, Some(cluster), EventKind::Mispredicted);
             }
@@ -1245,9 +1592,9 @@ impl<'a, T: TraceSource + ?Sized, P: Probe> Sim<'a, T, P> {
         // and record the completion event.
         let head = std::mem::replace(&mut self.window[wi].w_write, NIL);
         self.notify_waiters(head, now + 1);
-        self.completions.push(Reverse((now + 1, seq, WRITE_EVT)));
+        self.completions.schedule(now + 1, seq, u64::from(WRITE_EVT));
         // The slave reads the entry, then writes its register.
-        self.buffer_frees.push(Reverse((now + 1, cluster.index() as u8, RTB)));
+        self.buffer_frees.schedule(now + 1, (cluster.index() as u64) << 1 | u64::from(RTB), 0);
         if P::ENABLED {
             self.probe.issued(now, seq, cluster, CopyKind::Slave, now + 1);
             self.probe.forwarded(now + 1, seq, TransferKind::Result, TransferPhase::Release, cluster);
@@ -1332,6 +1679,7 @@ impl<'a, T: TraceSource + ?Sized, P: Probe> Sim<'a, T, P> {
                 let (int_free, fp_free) = free_lists_for(self.cfg, &self.assign);
                 self.int_free = int_free;
                 self.fp_free = fp_free;
+                self.reg_caps = (int_free, fp_free);
                 self.reassign_draining = false;
                 self.stats.reassignments += 1;
                 // The switch consumes this cycle; the remaining
@@ -1506,22 +1854,20 @@ impl<'a, T: TraceSource + ?Sized, P: Probe> Sim<'a, T, P> {
                     s_wait.unknown = 1;
                 }
                 if s_wait.unknown == 0 {
-                    self.future_ready.push(Reverse((
+                    self.future_ready.schedule(
                         s_wait.ready_at,
-                        s.index() as u8,
-                        seq,
-                        ACT_SLAVE,
-                    )));
+                        seq << 1 | u64::from(ACT_SLAVE),
+                        s.index() as u64,
+                    );
                 }
                 self.waiting_min[s.index()].push(Reverse((seq, ACT_SLAVE)));
             }
             if m_wait.unknown == 0 {
-                self.future_ready.push(Reverse((
+                self.future_ready.schedule(
                     m_wait.ready_at,
-                    dist.master.index() as u8,
-                    seq,
-                    ACT_MASTER,
-                )));
+                    seq << 1 | u64::from(ACT_MASTER),
+                    dist.master.index() as u64,
+                );
             }
             self.waiting_min[dist.master.index()].push(Reverse((seq, ACT_MASTER)));
 
@@ -1663,28 +2009,37 @@ impl<'a, T: TraceSource + ?Sized, P: Probe> Sim<'a, T, P> {
     /// time pushes a completion event when scheduled; events from
     /// squashed incarnations are discarded against the live window.
     fn has_future_completion(&mut self, now: u64) -> bool {
-        while let Some(&Reverse((cycle, seq, kind))) = self.completions.peek() {
-            if cycle <= now {
-                self.completions.pop();
-                continue;
-            }
-            let live = match self.win_index(seq) {
+        self.next_live_completion(now).is_some()
+    }
+
+    /// The earliest cycle strictly after `now` at which a live,
+    /// in-flight instruction completes, discarding already-fired and
+    /// stale (squashed-incarnation) events along the way.
+    fn next_live_completion(&mut self, now: u64) -> Option<u64> {
+        // Drop events at or before `now`: they fired (or never will).
+        let mut due = std::mem::take(&mut self.scratch_events);
+        self.completions.pop_due(now, &mut due);
+        due.clear();
+        self.scratch_events = due;
+        // Walk future events in firing order until one is live.
+        loop {
+            let e = self.completions.peek_earliest()?;
+            let live = match self.win_index(e.key) {
                 None => false,
                 Some(wi) => {
                     let d = &self.window[wi];
-                    if kind == DONE_EVT {
-                        d.master_done == Some(cycle)
+                    if e.data == u64::from(DONE_EVT) {
+                        d.master_done == Some(e.cycle)
                     } else {
-                        d.slave_write == Some(cycle)
+                        d.slave_write == Some(e.cycle)
                     }
                 }
             };
             if live {
-                return true;
+                return Some(e.cycle);
             }
-            self.completions.pop();
+            self.completions.pop_earliest();
         }
-        false
     }
 
     // -- invariant checking --------------------------------------------------
@@ -1720,7 +2075,7 @@ impl<'a, T: TraceSource + ?Sized, P: Probe> Sim<'a, T, P> {
 
     /// Runs every invariant check against the end-of-cycle state,
     /// converting the first violation into [`SimError::Invariant`].
-    fn validate_invariants(&self, issued_per: &[u32; 2]) -> Result<(), SimError> {
+    fn validate_invariants(&mut self, issued_per: &[u32; 2]) -> Result<(), SimError> {
         if let Err(v) = self.find_violation(issued_per) {
             return Err(SimError::Invariant {
                 cycle: self.now,
@@ -1732,7 +2087,7 @@ impl<'a, T: TraceSource + ?Sized, P: Probe> Sim<'a, T, P> {
         Ok(())
     }
 
-    fn find_violation(&self, issued_per: &[u32; 2]) -> Result<(), check::Violation> {
+    fn find_violation(&mut self, issued_per: &[u32; 2]) -> Result<(), check::Violation> {
         self.check_window_order()?;
         self.check_resource_accounting(issued_per)?;
         self.check_waiter_liveness()?;
@@ -1762,7 +2117,7 @@ impl<'a, T: TraceSource + ?Sized, P: Probe> Sim<'a, T, P> {
     fn check_resource_accounting(&self, issued_per: &[u32; 2]) -> Result<(), check::Violation> {
         let n = usize::from(self.cfg.clusters);
         let mut t = [check::ClusterTally::default(); 2];
-        let (int_cap, fp_cap) = free_lists_for(self.cfg, &self.assign);
+        let (int_cap, fp_cap) = self.reg_caps;
         for c in 0..n {
             t[c].dq_free = u64::from(self.dq_free[c]);
             t[c].dq_capacity = u64::from(self.cfg.dq_entries);
@@ -1803,9 +2158,9 @@ impl<'a, T: TraceSource + ?Sized, P: Probe> Sim<'a, T, P> {
         // Scheduled frees all lie strictly in the future here (due ones
         // were drained at cycle start), so they are exactly the entries
         // that are neither free nor held.
-        for Reverse((_, cluster, kind)) in &self.buffer_frees {
-            let c = usize::from(*cluster);
-            if *kind == OTB {
+        for e in self.buffer_frees.iter() {
+            let c = (e.key >> 1) as usize;
+            if e.key & 1 == u64::from(OTB) {
                 t[c].otb_pending += 1;
             } else {
                 t[c].rtb_pending += 1;
@@ -1821,9 +2176,32 @@ impl<'a, T: TraceSource + ?Sized, P: Probe> Sim<'a, T, P> {
     /// that still has unknown operands, and every arena node is either
     /// reachable from a window list or on the free list (no leaks, no
     /// cycles).
-    fn check_waiter_liveness(&self) -> Result<(), check::Violation> {
+    fn check_waiter_liveness(&mut self) -> Result<(), check::Violation> {
         let nodes = self.waiters.nodes.len();
-        let mut registrations: Vec<[u32; 2]> = vec![[0; 2]; self.window.len()];
+        let mut registrations = std::mem::take(&mut self.scratch_regs);
+        registrations.clear();
+        registrations.resize(self.window.len(), [0; 2]);
+        let result = self.waiter_liveness_with(&mut registrations);
+        self.scratch_regs = registrations;
+        let reachable = result?;
+        let free = self.waiters.free_len as usize;
+        if reachable + free != nodes {
+            return Err(check::Violation::new(
+                "waiter-liveness",
+                format!("{reachable} reachable + {free} free != {nodes} waiter nodes (leak)"),
+            ));
+        }
+        Ok(())
+    }
+
+    /// The traversal half of [`Self::check_waiter_liveness`], split out
+    /// so the scratch tally buffer can be restored on either exit path.
+    /// Returns the number of reachable arena nodes.
+    fn waiter_liveness_with(
+        &self,
+        registrations: &mut [[u32; 2]],
+    ) -> Result<usize, check::Violation> {
+        let nodes = self.waiters.nodes.len();
         let mut reachable = 0usize;
         for d in &self.window {
             for (head, list) in [(d.w_done, "done"), (d.w_write, "write")] {
@@ -1877,33 +2255,40 @@ impl<'a, T: TraceSource + ?Sized, P: Probe> Sim<'a, T, P> {
                 }
             }
         }
-        let free = self.waiters.free_len as usize;
-        if reachable + free != nodes {
-            return Err(check::Violation::new(
-                "waiter-liveness",
-                format!("{reachable} reachable + {free} free != {nodes} waiter nodes (leak)"),
-            ));
-        }
-        Ok(())
+        Ok(reachable)
     }
 
     /// Every future completion time recorded in the window has a
     /// matching event in the completions heap — otherwise the progress
     /// check could miss pending work and misdiagnose a deadlock.
-    fn check_completion_liveness(&self) -> Result<(), check::Violation> {
-        // One pass over the heap marks which window entries have a
+    fn check_completion_liveness(&mut self) -> Result<(), check::Violation> {
+        let mut scheduled = std::mem::take(&mut self.scratch_sched);
+        scheduled.clear();
+        scheduled.resize(self.window.len(), [false; 2]);
+        let result = self.completion_liveness_with(&mut scheduled);
+        self.scratch_sched = scheduled;
+        result
+    }
+
+    /// The marking half of [`Self::check_completion_liveness`], split
+    /// out so the scratch mark buffer can be restored on either exit
+    /// path.
+    fn completion_liveness_with(
+        &self,
+        scheduled: &mut [[bool; 2]],
+    ) -> Result<(), check::Violation> {
+        // One pass over the queue marks which window entries have a
         // matching event; stale events for squashed or retired
         // instructions (lazy deletion) simply mark nothing.
-        let mut scheduled = vec![[false; 2]; self.window.len()];
-        for Reverse((time, seq, kind)) in &self.completions {
-            let Some(wi) = self.win_index(*seq) else { continue };
+        for e in self.completions.iter() {
+            let Some(wi) = self.win_index(e.key) else { continue };
             let d = &self.window[wi];
-            let (expect, slot) = if *kind == DONE_EVT {
+            let (expect, slot) = if e.data == u64::from(DONE_EVT) {
                 (d.master_done, 0)
             } else {
                 (d.slave_write, 1)
             };
-            if expect == Some(*time) {
+            if expect == Some(e.cycle) {
                 scheduled[wi][slot] = true;
             }
         }
@@ -1984,8 +2369,8 @@ impl<'a, T: TraceSource + ?Sized, P: Probe> Sim<'a, T, P> {
         // future-ready/wake/completion heaps and the waiting heaps
         // validate lazily against the live window instead.
         for c in 0..2 {
-            let stale = self.ready[c].split_off(&(from_seq, 0));
-            drop(stale);
+            let keep = self.ready[c].partition_point(|&e| e < (from_seq, 0));
+            self.ready[c].truncate(keep);
         }
         for wi in 0..self.window.len() {
             let head = self.window[wi].w_done;
@@ -1994,12 +2379,7 @@ impl<'a, T: TraceSource + ?Sized, P: Probe> Sim<'a, T, P> {
             self.window[wi].w_write = self.waiters.purge_squashed(head, from_seq);
         }
         // Drop pending predictor updates for squashed branches.
-        let kept: Vec<_> = self
-            .pending_bpred
-            .drain()
-            .filter(|Reverse((_, seq, ..))| *seq < from_seq)
-            .collect();
-        self.pending_bpred = kept.into_iter().collect();
+        self.pending_bpred.retain(|e| e.key < from_seq);
         // Rebuild the rename state from the surviving window.
         for table in &mut self.producers {
             table.iter_mut().for_each(|e| *e = None);
@@ -2515,15 +2895,14 @@ mod tests {
 
         // Synthetic in-flight predictor updates for seqs 1 and 3 (the
         // real path enqueues these at master issue of a conditional).
-        sim.pending_bpred.push(Reverse((9, 1, 0x40, true, false)));
-        sim.pending_bpred.push(Reverse((9, 3, 0x44, true, true)));
+        sim.pending_bpred.schedule(9, 1, pack_branch(0x40, true, false));
+        sim.pending_bpred.schedule(9, 3, pack_branch(0x44, true, true));
 
         sim.replay_from(2);
         assert_eq!(sim.window.len(), 2, "seqs 2 and 3 are drained");
         assert_eq!(sim.stats.replay_squashed, 2);
         assert_eq!(sim.cursor, 2, "fetch restarts at the squash point");
-        let pending: Vec<u64> =
-            sim.pending_bpred.iter().map(|Reverse((_, seq, ..))| *seq).collect();
+        let pending: Vec<u64> = sim.pending_bpred.iter().map(|e| e.key).collect();
         assert_eq!(pending, vec![1], "squashed branch updates are dropped");
     }
 }

@@ -26,6 +26,9 @@ use mcl_mem::CacheStats;
 ///
 /// [`SimStats::check_stall_identity`] verifies this; `repro selftest`
 /// asserts it for every benchmark/configuration cell.
+// `SimStats` is compared with `==` across engines (the ticked-vs-event
+// differential bar), so engine-mechanics counters like dead-cycle skips
+// live in `FastForward`, not here.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct SimStats {
     /// Simulated clock cycles (the paper's metric).
@@ -181,6 +184,31 @@ impl SimStats {
             self.stall_reassign,
             accounted,
         ))
+    }
+}
+
+/// Dead-cycle-skip counters from the event-driven engine.
+///
+/// These describe how the engine reached the answer, not the answer
+/// itself: the same run under [`Engine::Ticked`](crate::config::Engine)
+/// reports zeros here while producing byte-identical [`SimStats`].
+/// `skipped_cycles` are included in [`SimStats::cycles`] (and charged to
+/// their stall buckets) — this struct only attributes how many of them
+/// were covered by fast-forward jumps instead of ticks.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FastForward {
+    /// Simulated cycles covered by fast-forward jumps rather than ticks.
+    pub skipped_cycles: u64,
+    /// Number of fast-forward jumps taken.
+    pub jumps: u64,
+}
+
+impl FastForward {
+    /// Folds another run's counters into this one (used by the bench
+    /// driver to aggregate per-cell totals).
+    pub fn add(&mut self, other: &FastForward) {
+        self.skipped_cycles += other.skipped_cycles;
+        self.jumps += other.jumps;
     }
 }
 

@@ -184,6 +184,34 @@ impl Cache {
         Access::Miss { ready_at, merged }
     }
 
+    /// Records `n` repeated hit accesses to `addr` in one step, leaving
+    /// the cache in exactly the state `n` sequential [`Cache::access`]
+    /// hits would: `n` accesses, `n` hits, and the line's LRU stamp at
+    /// the final access. The event-driven engine uses this to replicate
+    /// the per-cycle fetch probe of a span of dispatch-stalled cycles
+    /// it fast-forwards over.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr`'s line is not resident — the caller must have
+    /// established the hit (e.g. via [`Cache::probe`]) first.
+    pub fn record_repeat_hits(&mut self, addr: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let (set_idx, tag) = self.index(addr);
+        self.stats.accesses += n;
+        self.stats.hits += n;
+        self.stamp += n;
+        let stamp = self.stamp;
+        let set = &mut self.sets[set_idx];
+        let way = set
+            .iter()
+            .position(|l| l.valid && l.tag == tag)
+            .expect("record_repeat_hits requires a resident line");
+        set[way].lru = stamp;
+    }
+
     /// Whether `addr`'s line is present and filled at cycle `now`,
     /// without updating LRU state or statistics.
     #[must_use]
@@ -336,6 +364,28 @@ mod tests {
         c.access(d, 60, false);
         assert!(!c.probe(a, 100));
         assert!(c.probe(b, 100));
+    }
+
+    #[test]
+    fn repeat_hits_match_sequential_accesses() {
+        let mut a = small_cache();
+        let mut b = small_cache();
+        a.access(0x100, 0, false);
+        b.access(0x100, 0, false);
+        for now in 20..25 {
+            a.access(0x100, now, false);
+        }
+        b.record_repeat_hits(0x100, 5);
+        assert_eq!(a.stats(), b.stats());
+        // The LRU stamps must agree too: a conflicting fill evicts the
+        // same victim in both.
+        a.access(0x180, 30, false);
+        b.access(0x180, 30, false);
+        a.access(0x200, 40, false);
+        b.access(0x200, 40, false);
+        for addr in [0x100u64, 0x180, 0x200] {
+            assert_eq!(a.probe(addr, 100), b.probe(addr, 100), "addr {addr:#x}");
+        }
     }
 
     #[test]

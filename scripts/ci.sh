@@ -104,6 +104,58 @@ grep -q "compress: ${json_cycles} cycles" "$smoke_dir/explain.txt" || {
     exit 1
 }
 
+echo "== smoke: event engine is byte-identical to ticked =="
+# The event engine must be a pure wall-clock optimization: the whole
+# experiment suite, probes off and on, renders byte-for-byte the same
+# under both engines (BENCH_repro.json differs only in wall-clock and
+# fast-forward fields, so the rendered reports are the identity check).
+(cd "$smoke_dir" && "$OLDPWD/target/release/repro" all 8 --jobs 2 --engine ticked > all_ticked.txt)
+(cd "$smoke_dir" && "$OLDPWD/target/release/repro" all 8 --jobs 2 --engine event > all_event.txt)
+if ! diff -q "$smoke_dir/all_ticked.txt" "$smoke_dir/all_event.txt"; then
+    echo "FAIL: --engine event changed repro all output (probes off)" >&2
+    exit 1
+fi
+(cd "$smoke_dir" && "$OLDPWD/target/release/repro" table2 4 --obs obs_eng_t --engine ticked > t2_obs_ticked.txt)
+(cd "$smoke_dir" && "$OLDPWD/target/release/repro" table2 4 --obs obs_eng_e --engine event > t2_obs_event.txt)
+if ! diff -q "$smoke_dir/t2_obs_ticked.txt" "$smoke_dir/t2_obs_event.txt"; then
+    echo "FAIL: --engine event changed table2 output (probes on)" >&2
+    exit 1
+fi
+if ! diff -r "$smoke_dir/obs_eng_t" "$smoke_dir/obs_eng_e" > /dev/null; then
+    echo "FAIL: --engine event changed the observability exports" >&2
+    exit 1
+fi
+
+echo "== smoke: selftest under the event engine =="
+(cd "$smoke_dir" && "$OLDPWD/target/release/repro" selftest 8 --jobs 2 --engine event)
+
+echo "== guard: event-engine throughput =="
+# `repro bench` is min-of-3 per (workload, engine) and cross-checks the
+# engines' statistics on every run. The skip totals are deterministic,
+# so they get a hard floor; the wall-clock ratio is noise-bound on
+# shared hosts (the dead fraction of this workload mix is time-weighted
+# ~1.2x, see EXPERIMENTS.md), so its guard is a no-regression bound
+# (override with MCL_ENGINE_GUARD_RATIO).
+ratio_floor="${MCL_ENGINE_GUARD_RATIO:-0.90}"
+skip_floor="${MCL_ENGINE_GUARD_SKIP_PCT:-25.0}"
+(cd "$smoke_dir" && "$OLDPWD/target/release/repro" bench 8 > bench.txt)
+cat "$smoke_dir/bench.txt"
+ratio="$(grep -o 'event/ticked = [0-9.]*' "$smoke_dir/bench.txt" | grep -o '[0-9.]*$')"
+skip_pct="$(grep -o 'cycles ([0-9.]*%)' "$smoke_dir/bench.txt" | grep -o '[0-9.]*')"
+if [ -z "$ratio" ] || [ -z "$skip_pct" ]; then
+    echo "FAIL: could not parse the engine-bench summary lines" >&2
+    exit 1
+fi
+if ! awk -v p="$skip_pct" -v f="$skip_floor" 'BEGIN { exit !(p >= f) }'; then
+    echo "FAIL: event engine skipped only ${skip_pct}% of cycles (floor ${skip_floor}%)" >&2
+    exit 1
+fi
+if ! awk -v r="$ratio" -v f="$ratio_floor" 'BEGIN { exit !(r >= f) }'; then
+    echo "FAIL: event/ticked throughput ratio ${ratio} below floor ${ratio_floor}" >&2
+    exit 1
+fi
+echo "engine guard OK: ratio ${ratio} (floor ${ratio_floor}), skipped ${skip_pct}% (floor ${skip_floor}%)"
+
 echo "== guard: disabled-probe overhead =="
 # Compare min-of-3 serial `repro all` wall time against the previous
 # commit. Wall-clock comparisons on shared CI hosts are noisy, so the
