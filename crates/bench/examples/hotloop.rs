@@ -1,0 +1,47 @@
+//! Developer timing harness for the simulator's live-cycle hot path.
+//!
+//! Runs a couple of contrasting workloads (`doduc`: almost every cycle
+//! live; `ora`: heavily fast-forwarded) many times in-process and
+//! reports the minimum wall time per engine, so per-change deltas are
+//! visible even on noisy machines. Not part of the repro suite — the
+//! authoritative numbers come from `repro bench`.
+//!
+//! ```text
+//! cargo run --release -p mcl-bench --example hotloop [reps]
+//! ```
+
+use std::time::Instant;
+
+use mcl_bench::{TraceRequest, TraceStore};
+use mcl_core::{Engine, Processor, ProcessorConfig};
+use mcl_sched::SchedulerKind;
+use mcl_workloads::Benchmark;
+
+fn main() {
+    let reps: u32 = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(10);
+    let store = TraceStore::new();
+    for bench in [Benchmark::Doduc, Benchmark::Ora, Benchmark::Compress] {
+        let req = TraceRequest::new(bench, bench.scaled(1), SchedulerKind::Local);
+        let (trace, _) = store.trace(&req).expect("trace builds");
+        for engine in [Engine::Ticked, Engine::Event] {
+            let cfg = ProcessorConfig::dual_cluster_8way().with_engine(engine);
+            let mut proc = Processor::new(cfg);
+            let mut best = f64::INFINITY;
+            let mut cycles = 0;
+            for _ in 0..reps {
+                let start = Instant::now();
+                let r = proc.run_packed(&trace).expect("runs");
+                best = best.min(start.elapsed().as_secs_f64());
+                cycles = r.stats.cycles;
+            }
+            println!(
+                "{:<10} {:?}: {} cycles, min {:.4}s, {:.2}M cyc/s",
+                bench.name(),
+                engine,
+                cycles,
+                best,
+                cycles as f64 / best / 1e6
+            );
+        }
+    }
+}

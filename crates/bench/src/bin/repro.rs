@@ -44,6 +44,13 @@
 //!   fast-forwards across dead cycles and is several times faster.
 //! - `--watchdog SECS` — mark cells exceeding a soft wall-clock budget
 //!   in `BENCH_repro.json` (`watchdog_exceeded`); advisory, not a kill.
+//! - `--shards K` — split each (long enough) fresh simulation into K
+//!   parallel time windows with functional warmup and merged statistics
+//!   (see `mcl_core::shard`). `--shards 1` (the default) is exactly the
+//!   serial path, byte-identical output; K > 1 trades bounded,
+//!   reported cycle-count divergence (with automatic serial fallback)
+//!   for wall-clock speed. `repro selftest` and `repro bench` honor the
+//!   flag too.
 //!
 //! Observability flags (see `mcl_bench::obs`):
 //!
@@ -150,6 +157,20 @@ fn main() -> ExitCode {
             }
         },
     };
+    let shards = match take_value_flag(&mut args, "--shards") {
+        Ok(None) => 1,
+        Ok(Some(v)) => match v.parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => {
+                eprintln!("error: invalid --shards value `{v}`");
+                return ExitCode::FAILURE;
+            }
+        },
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     let obs_dir = match take_value_flag(&mut args, "--obs") {
         Ok(v) => v,
         Err(e) => {
@@ -203,9 +224,9 @@ fn main() -> ExitCode {
     }
 
     if cmd == "bench" {
-        return match mcl_bench::microbench::run(divisor) {
+        return match mcl_bench::microbench::run(divisor, shards) {
             Ok(rows) => {
-                print!("{}", mcl_bench::microbench::render(&rows));
+                print!("{}", mcl_bench::microbench::render(&rows, divisor, shards));
                 ExitCode::SUCCESS
             }
             Err(e) => {
@@ -235,7 +256,7 @@ fn main() -> ExitCode {
     // One trace store shared by every cell: distinct traces build once
     // and are reused across experiments (and across workers under
     // `--jobs N`).
-    let store = Arc::new(TraceStore::new());
+    let store = Arc::new(TraceStore::new().with_shards(shards));
     let mut plan = Plan::default();
     match cmd.as_str() {
         "table1" => plan_table1(&mut plan),
@@ -258,7 +279,7 @@ fn main() -> ExitCode {
         "ablate-unroll" => plan_ablate_unroll(&mut plan, &store, divisor, options.obs.as_ref()),
         "mix" => plan_mix(&mut plan, divisor),
         "schedulers" => plan_schedulers(&mut plan, &store, divisor),
-        "selftest" => plan_selftest(&mut plan, divisor),
+        "selftest" => plan_selftest(&mut plan, divisor, shards),
         "explain" => {
             let dir = options
                 .obs
@@ -477,6 +498,7 @@ impl Plan {
             divisor,
             jobs,
             engine: mcl_core::global_engine().name().to_owned(),
+            shards: store.shards(),
             total_wall_seconds: start.elapsed().as_secs_f64(),
             keep_going: options.keep_going,
             watchdog_seconds: options.watchdog_seconds,
@@ -894,13 +916,15 @@ fn selftest_cell(
     })
 }
 
-fn plan_selftest(plan: &mut Plan, divisor: u32) {
+fn plan_selftest(plan: &mut Plan, divisor: u32, shards: usize) {
     let cells = vec![
         selftest_cell("packed-vs-fat", move || selftest::packed_vs_fat(divisor)),
         selftest_cell("store-vs-fresh", move || selftest::store_vs_fresh(divisor)),
         selftest_cell("jobs-agree", move || selftest::jobs_agree(divisor)),
-        selftest_cell("stall-identity", move || selftest::stall_identity(divisor)),
-        selftest_cell("critpath-identity", move || selftest::critpath_identity(divisor)),
+        selftest_cell("stall-identity", move || selftest::stall_identity(divisor, shards)),
+        selftest_cell("critpath-identity", move || {
+            selftest::critpath_identity(divisor, shards)
+        }),
         selftest_cell("fuzz-checker", || selftest::fuzz_checker(24)),
         selftest_cell("leak-fault", selftest::leak_fault_caught),
         selftest_cell("corrupt-packed", selftest::corrupt_packed_rejected),

@@ -59,6 +59,17 @@ pub struct CellCost {
     pub prepass_seconds: f64,
     /// Seconds spent cluster-scheduling and packing traces.
     pub schedule_seconds: f64,
+    /// Most parallel time windows any of this cell's fresh simulations
+    /// ran under (0 = every simulation was serial).
+    pub shard_windows: u64,
+    /// Largest divergence bound reported by this cell's fresh sharded
+    /// simulations (see `mcl_core::shard::ShardReport::divergence`).
+    pub shard_divergence: f64,
+    /// Fresh sharded simulations that fell back to the serial run.
+    pub shard_fallbacks: u64,
+    /// Seconds spent in shard warmup scans (summed over windows, which
+    /// overlap across workers).
+    pub warmup_seconds: f64,
 }
 
 impl CellCost {
@@ -79,15 +90,26 @@ impl CellCost {
         self.il_build_seconds += other.il_build_seconds;
         self.prepass_seconds += other.prepass_seconds;
         self.schedule_seconds += other.schedule_seconds;
+        self.shard_windows = self.shard_windows.max(other.shard_windows);
+        self.shard_divergence = self.shard_divergence.max(other.shard_divergence);
+        self.shard_fallbacks += other.shard_fallbacks;
+        self.warmup_seconds += other.warmup_seconds;
     }
 
     /// Accumulates one store-served simulation: its cycles (routed to
     /// fresh or cached by whether the store actually simulated),
-    /// wall-time split, and phase breakdown.
+    /// wall-time split, phase breakdown, and (for sharded runs) shard
+    /// telemetry.
     pub fn charge_sim(&mut self, product: &SimProduct) {
         if product.fresh {
             self.simulated_cycles += product.stats.cycles;
             self.ff.add(&product.ff);
+            if let Some(report) = &product.shard {
+                self.shard_windows = self.shard_windows.max(report.windows as u64);
+                self.shard_divergence = self.shard_divergence.max(report.divergence);
+                self.shard_fallbacks += u64::from(report.fell_back);
+                self.warmup_seconds += report.warmup_seconds;
+            }
         } else {
             self.cached_simulated_cycles += product.stats.cycles;
         }
@@ -181,19 +203,31 @@ pub struct CellMetric {
     pub prepass_seconds: f64,
     /// Seconds the cell spent cluster-scheduling and packing traces.
     pub schedule_seconds: f64,
+    /// Most parallel time windows any of the cell's fresh simulations
+    /// ran under (0 = all serial).
+    pub shard_windows: u64,
+    /// Largest divergence bound among the cell's fresh sharded
+    /// simulations.
+    pub shard_divergence: f64,
+    /// Fresh sharded simulations that fell back to serial.
+    pub shard_fallbacks: u64,
+    /// Seconds the cell spent in shard warmup scans.
+    pub warmup_seconds: f64,
 }
 
 impl CellMetric {
     /// Simulation throughput of this cell (cycles it actually simulated
-    /// per wall-clock second); 0 when the cell did no simulation work.
-    /// Cache-served cycles are excluded — a cell that only replayed
-    /// memoized statistics reports 0, not an absurdly high rate.
+    /// per wall-clock second). `None` when the cell simulated nothing —
+    /// cache-served cycles are excluded, so a fully-cached or
+    /// render-only cell has no throughput rather than a misleading 0
+    /// (rendered as `null` in the report, and excluded from the
+    /// aggregate throughput's denominator).
     #[must_use]
-    pub fn cycles_per_second(&self) -> f64 {
-        if self.wall_seconds > 0.0 {
-            self.simulated_cycles as f64 / self.wall_seconds
+    pub fn cycles_per_second(&self) -> Option<f64> {
+        if self.simulated_cycles > 0 && self.wall_seconds > 0.0 {
+            Some(self.simulated_cycles as f64 / self.wall_seconds)
         } else {
-            0.0
+            None
         }
     }
 }
@@ -297,6 +331,10 @@ pub fn run_cells<R: Send>(
             il_build_seconds: cost.il_build_seconds,
             prepass_seconds: cost.prepass_seconds,
             schedule_seconds: cost.schedule_seconds,
+            shard_windows: cost.shard_windows,
+            shard_divergence: cost.shard_divergence,
+            shard_fallbacks: cost.shard_fallbacks,
+            warmup_seconds: cost.warmup_seconds,
         });
     }
     Ok((payloads, metrics))
@@ -343,6 +381,10 @@ pub fn run_cells_isolated<R: Send>(
             il_build_seconds: cost.il_build_seconds,
             prepass_seconds: cost.prepass_seconds,
             schedule_seconds: cost.schedule_seconds,
+            shard_windows: cost.shard_windows,
+            shard_divergence: cost.shard_divergence,
+            shard_fallbacks: cost.shard_fallbacks,
+            warmup_seconds: cost.warmup_seconds,
         });
     }
     (payloads, metrics)
@@ -368,8 +410,18 @@ pub fn run_cells_isolated<R: Send>(
 /// now count only cycles a cell actually simulated, with cache serves
 /// in the new `cached_simulated_cycles` fields — and added the
 /// event-engine dead-cycle counters (`skipped_cycles`, `ff_jumps`, and
-/// their `total_*` aggregates).
-pub const REPORT_SCHEMA_VERSION: u64 = 6;
+/// their `total_*` aggregates). Version 7 added time-window sharding:
+/// the top-level `shards` (the `--shards` request) and `sharding`
+/// aggregate (`max_windows`, `fallbacks`, `max_divergence`,
+/// `warmup_seconds`), per-cell `shard_windows` / `shard_divergence` /
+/// `shard_fallbacks` / `warmup_seconds`; and fixed throughput
+/// reporting for cells that simulated nothing (fully cached or
+/// render-only): their `simulated_cycles_per_second` is now `null`
+/// instead of a misleading 0, and the aggregate
+/// `simulated_cycles_per_second` divides by `active_wall_seconds` —
+/// the summed wall time of cells that actually simulated (also new) —
+/// instead of the whole run's wall clock.
+pub const REPORT_SCHEMA_VERSION: u64 = 7;
 
 /// Identity and options of one driver run, recorded at the top of the
 /// report.
@@ -383,6 +435,9 @@ pub struct RunInfo {
     pub jobs: usize,
     /// The simulation engine the run used (`ticked` / `event`).
     pub engine: String,
+    /// Requested time-window shards per simulation (`--shards`; 0 is
+    /// normalized to 1, the serial path).
+    pub shards: usize,
     /// Wall-clock time of the whole run.
     pub total_wall_seconds: f64,
     /// Whether the run continued past failed cells (`--keep-going`).
@@ -412,6 +467,18 @@ pub fn report_json(info: &RunInfo, store: &StoreCounters, metrics: &[CellMetric]
     let total_il: f64 = metrics.iter().map(|m| m.il_build_seconds).sum();
     let total_prepass: f64 = metrics.iter().map(|m| m.prepass_seconds).sum();
     let total_schedule: f64 = metrics.iter().map(|m| m.schedule_seconds).sum();
+    // Throughput denominator: only cells that actually simulated.
+    // Fully-cached and render-only cells spend wall time but produce no
+    // fresh cycles; counting their wall would understate throughput.
+    let active_wall: f64 = metrics
+        .iter()
+        .filter(|m| m.simulated_cycles > 0)
+        .map(|m| m.wall_seconds)
+        .sum();
+    let max_windows: u64 = metrics.iter().map(|m| m.shard_windows).fold(0, u64::max);
+    let shard_fallbacks: u64 = metrics.iter().map(|m| m.shard_fallbacks).sum();
+    let max_divergence: f64 = metrics.iter().map(|m| m.shard_divergence).fold(0.0, f64::max);
+    let total_warmup: f64 = metrics.iter().map(|m| m.warmup_seconds).sum();
     let failed = metrics.iter().filter(|m| m.status != CellStatus::Ok).count();
     let obs_json = match &info.obs_dir {
         Some(dir) => {
@@ -448,6 +515,7 @@ pub fn report_json(info: &RunInfo, store: &StoreCounters, metrics: &[CellMetric]
         .field("divisor", u64::from(info.divisor).into())
         .field("jobs", (info.jobs as u64).into())
         .field("engine", info.engine.as_str().into())
+        .field("shards", (info.shards.max(1) as u64).into())
         .field("keep_going", info.keep_going.into())
         .field("watchdog_seconds", info.watchdog_seconds.map_or(Json::Null, Json::F64))
         .field("failed_cells", (failed as u64).into())
@@ -456,12 +524,13 @@ pub fn report_json(info: &RunInfo, store: &StoreCounters, metrics: &[CellMetric]
         .field("total_cached_simulated_cycles", total_cached.into())
         .field("total_skipped_cycles", total_skipped.into())
         .field("total_ff_jumps", total_jumps.into())
+        .field("active_wall_seconds", active_wall.into())
         .field(
             "simulated_cycles_per_second",
-            if total_wall_seconds > 0.0 {
-                (total_cycles as f64 / total_wall_seconds).into()
+            if total_cycles > 0 && active_wall > 0.0 {
+                (total_cycles as f64 / active_wall).into()
             } else {
-                0.0.into()
+                Json::Null
             },
         )
         .field("total_trace_build_seconds", total_build.into())
@@ -469,6 +538,15 @@ pub fn report_json(info: &RunInfo, store: &StoreCounters, metrics: &[CellMetric]
         .field("total_il_build_seconds", total_il.into())
         .field("total_prepass_seconds", total_prepass.into())
         .field("total_schedule_seconds", total_schedule.into())
+        .field("sharding", {
+            let mut sharding = Json::object();
+            sharding
+                .field("max_windows", max_windows.into())
+                .field("fallbacks", shard_fallbacks.into())
+                .field("max_divergence", max_divergence.into())
+                .field("warmup_seconds", total_warmup.into());
+            sharding
+        })
         .field("store", store_json)
         .field("obs", obs_json)
         .field("explain", explain_json)
@@ -488,12 +566,19 @@ pub fn report_json(info: &RunInfo, store: &StoreCounters, metrics: &[CellMetric]
                             .field("cached_simulated_cycles", m.cached_simulated_cycles.into())
                             .field("skipped_cycles", m.skipped_cycles.into())
                             .field("ff_jumps", m.ff_jumps.into())
-                            .field("simulated_cycles_per_second", m.cycles_per_second().into())
+                            .field(
+                                "simulated_cycles_per_second",
+                                m.cycles_per_second().map_or(Json::Null, Json::F64),
+                            )
                             .field("trace_build_seconds", m.trace_build_seconds.into())
                             .field("simulate_seconds", m.simulate_seconds.into())
                             .field("il_build_seconds", m.il_build_seconds.into())
                             .field("prepass_seconds", m.prepass_seconds.into())
-                            .field("schedule_seconds", m.schedule_seconds.into());
+                            .field("schedule_seconds", m.schedule_seconds.into())
+                            .field("shard_windows", m.shard_windows.into())
+                            .field("shard_divergence", m.shard_divergence.into())
+                            .field("shard_fallbacks", m.shard_fallbacks.into())
+                            .field("warmup_seconds", m.warmup_seconds.into());
                         cell
                     })
                     .collect(),
@@ -589,6 +674,10 @@ mod tests {
                 il_build_seconds: 0.125,
                 prepass_seconds: 0.25,
                 schedule_seconds: 0.0625,
+                shard_windows: 4,
+                shard_divergence: 0.0625,
+                shard_fallbacks: 0,
+                warmup_seconds: 0.25,
             },
             CellMetric {
                 id: "table2/broken".into(),
@@ -604,6 +693,10 @@ mod tests {
                 il_build_seconds: 0.0,
                 prepass_seconds: 0.0,
                 schedule_seconds: 0.0,
+                shard_windows: 0,
+                shard_divergence: 0.0,
+                shard_fallbacks: 0,
+                warmup_seconds: 0.0,
             },
         ];
         let counters = StoreCounters { trace_hits: 3, trace_misses: 1, sim_hits: 2, sim_misses: 4 };
@@ -612,6 +705,7 @@ mod tests {
             divisor: 1,
             jobs: 8,
             engine: "event".into(),
+            shards: 4,
             total_wall_seconds: 2.5,
             keep_going: true,
             watchdog_seconds: Some(0.2),
@@ -621,8 +715,9 @@ mod tests {
             explain_baseline: None,
         };
         let json = report_json(&info, &counters, &metrics).render();
-        assert!(json.starts_with("{\"schema_version\":6,\"command\":\"table2\","));
+        assert!(json.starts_with("{\"schema_version\":7,\"command\":\"table2\","));
         assert!(json.contains("\"engine\":\"event\""));
+        assert!(json.contains("\"shards\":4"));
         assert!(json.contains("\"keep_going\":true"));
         assert!(json.contains("\"watchdog_seconds\":0.200000"));
         assert!(json.contains("\"failed_cells\":1"));
@@ -634,7 +729,20 @@ mod tests {
             "\"simulated_cycles\":100,\"cached_simulated_cycles\":40,\
              \"skipped_cycles\":25,\"ff_jumps\":5,"
         ));
-        assert!(json.contains("\"simulated_cycles_per_second\":40.000000"));
+        // Throughput divides by the *active* wall (only the compress
+        // cell simulated): 100 cycles / 2.0 s, not / 2.5 s total.
+        assert!(json.contains("\"active_wall_seconds\":2.000000"));
+        assert!(json.contains("\"simulated_cycles_per_second\":50.000000"));
+        // The cell that simulated nothing reports null, not 0.
+        assert!(json.contains("\"simulated_cycles_per_second\":null"));
+        assert!(json.contains(
+            "\"sharding\":{\"max_windows\":4,\"fallbacks\":0,\
+             \"max_divergence\":0.062500,\"warmup_seconds\":0.250000}"
+        ));
+        assert!(json.contains(
+            "\"shard_windows\":4,\"shard_divergence\":0.062500,\
+             \"shard_fallbacks\":0,\"warmup_seconds\":0.250000"
+        ));
         assert!(json.contains("\"total_trace_build_seconds\":0.500000"));
         assert!(json.contains("\"total_simulate_seconds\":1.250000"));
         assert!(json.contains("\"total_il_build_seconds\":0.125000"));

@@ -169,7 +169,13 @@ pub fn jobs_agree(divisor: u32) -> Result<(String, CellCost), Error> {
 ///
 /// [`Error::SelfCheck`] naming the first unbalanced cell; harness
 /// errors propagate.
-pub fn stall_identity(divisor: u32) -> Result<(String, CellCost), Error> {
+///
+/// With `shards > 1` the store simulates each (long enough) trace as
+/// merged time windows, so this stage doubles as the proof that the
+/// identity is closed under the sharded merge: every window satisfies
+/// it, [`mcl_core::SimStats::absorb`] is field-wise addition, so the
+/// merged statistics must satisfy it too.
+pub fn stall_identity(divisor: u32, shards: usize) -> Result<(String, CellCost), Error> {
     let mut tiny = ProcessorConfig::dual_cluster_8way();
     tiny.operand_buffer = 1;
     tiny.result_buffer = 1;
@@ -178,7 +184,7 @@ pub fn stall_identity(divisor: u32) -> Result<(String, CellCost), Error> {
         ("dual", ProcessorConfig::dual_cluster_8way()),
         ("dual-tiny-buffers", tiny),
     ];
-    let store = TraceStore::new();
+    let store = TraceStore::new().with_shards(shards);
     let mut cost = CellCost::default();
     let mut cells = 0u32;
     for bench in Benchmark::ALL {
@@ -212,7 +218,12 @@ pub fn stall_identity(divisor: u32) -> Result<(String, CellCost), Error> {
 ///
 /// [`Error::SelfCheck`] naming the first unbalanced or diverging cell;
 /// harness errors propagate.
-pub fn critpath_identity(divisor: u32) -> Result<(String, CellCost), Error> {
+///
+/// Probed runs are always serial (probes observe absolute cycles), so
+/// the bit-for-bit comparison is against the store's serial product
+/// ([`TraceStore::sim_serial`]) even when the stage runs with
+/// `shards > 1`.
+pub fn critpath_identity(divisor: u32, shards: usize) -> Result<(String, CellCost), Error> {
     use mcl_core::CritPathProbe;
 
     let mut tiny = ProcessorConfig::dual_cluster_8way();
@@ -223,7 +234,7 @@ pub fn critpath_identity(divisor: u32) -> Result<(String, CellCost), Error> {
         ("dual", ProcessorConfig::dual_cluster_8way()),
         ("dual-tiny-buffers", tiny),
     ];
-    let store = TraceStore::new();
+    let store = TraceStore::new().with_shards(shards);
     let mut cost = CellCost::default();
     let mut cells = 0u32;
     for bench in Benchmark::ALL {
@@ -236,7 +247,7 @@ pub fn critpath_identity(divisor: u32) -> Result<(String, CellCost), Error> {
                         format!("{}/{kind:?}/{preset}: {detail}", bench.name()),
                     )
                 };
-                let product = store.sim(&req, cfg)?;
+                let product = store.sim_serial(&req, cfg)?;
                 cost.charge_sim(&product);
                 let (trace, _) = store.trace(&req)?;
                 let mut probe = CritPathProbe::new();
@@ -472,14 +483,21 @@ mod tests {
 
     #[test]
     fn stall_identity_holds_at_a_coarse_scale() {
-        let (detail, cost) = stall_identity(64).unwrap();
+        let (detail, cost) = stall_identity(64, 1).unwrap();
         assert!(detail.contains("36 benchmark"), "{detail}");
         assert!(cost.simulated_cycles > 0);
     }
 
     #[test]
     fn critpath_identity_holds_at_a_coarse_scale() {
-        let (detail, cost) = critpath_identity(64).unwrap();
+        let (detail, cost) = critpath_identity(64, 1).unwrap();
+        assert!(detail.contains("36 benchmark"), "{detail}");
+        assert!(cost.simulated_cycles > 0);
+    }
+
+    #[test]
+    fn stall_identity_survives_the_sharded_merge() {
+        let (detail, cost) = stall_identity(64, 4).unwrap();
         assert!(detail.contains("36 benchmark"), "{detail}");
         assert!(cost.simulated_cycles > 0);
     }

@@ -47,7 +47,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
-use mcl_core::{FastForward, Processor, ProcessorConfig, SimStats};
+use mcl_core::shard::planned_windows;
+use mcl_core::{FastForward, Processor, ProcessorConfig, ShardOptions, ShardReport, SimStats};
 use mcl_isa::assign::RegisterAssignment;
 use mcl_sched::{
     unroll_self_loops, PreparedIl, ScheduleOptions, SchedulePipeline, SchedulerKind,
@@ -203,6 +204,10 @@ pub struct SimProduct {
     pub simulate_seconds: f64,
     /// Phase breakdown of the trace acquisition.
     pub phases: TracePhases,
+    /// How the run was sharded (`None` when the store simulates
+    /// serially, i.e. `shards` ≤ 1). Cached serves report the original
+    /// run's report.
+    pub shard: Option<ShardReport>,
 }
 
 /// A per-key build slot: the map lock is held only to fetch the slot;
@@ -223,9 +228,10 @@ type CanonTrace = (u64, Arc<PackedTrace>);
 
 /// An IL build slot (infallible — `Benchmark::build` cannot fail).
 type IlSlot = Arc<OnceLock<Arc<Program<Vreg>>>>;
-/// Memoized simulation result: statistics plus fast-forward counters,
-/// keyed by (canonical trace id, rendered configuration).
-type SimSlot = Slot<(SimStats, FastForward)>;
+/// Memoized simulation result: statistics, fast-forward counters, and
+/// (for sharded runs) the shard report, keyed by (canonical trace id,
+/// rendered configuration + window plan).
+type SimSlot = Slot<(SimStats, FastForward, Option<ShardReport>)>;
 
 /// The thread-safe, `Arc`-sharing memoization layer described in the
 /// [module docs](self).
@@ -252,6 +258,10 @@ pub struct TraceStore {
     /// The register-to-cluster assignment every experiment uses (the
     /// paper's even/odd split with SP/GP global).
     assignment: RegisterAssignment,
+    /// Time-window sharding applied to fresh simulations
+    /// (`shards == 1`, the default, is exactly the serial path; see
+    /// `mcl_core::shard` for the contract).
+    shard_opts: ShardOptions,
     ils: Mutex<HashMap<IlKey, IlSlot>>,
     prepared: Mutex<HashMap<IlKey, Slot<Arc<PreparedIl>>>>,
     traces: Mutex<HashMap<TraceKey, Slot<CanonTrace>>>,
@@ -280,6 +290,7 @@ impl TraceStore {
     pub fn new() -> TraceStore {
         TraceStore {
             assignment: RegisterAssignment::even_odd_with_default_globals(2),
+            shard_opts: ShardOptions::new(1),
             ils: Mutex::new(HashMap::new()),
             prepared: Mutex::new(HashMap::new()),
             traces: Mutex::new(HashMap::new()),
@@ -291,6 +302,22 @@ impl TraceStore {
             sim_hits: AtomicU64::new(0),
             sim_misses: AtomicU64::new(0),
         }
+    }
+
+    /// Sets the time-window shard count applied to fresh simulations
+    /// (1 = serial, the default). Sharded results are memoized under
+    /// their (trace, config, window plan) key, so one store can serve
+    /// sharded and serial requests without mixing them up.
+    #[must_use]
+    pub fn with_shards(mut self, shards: usize) -> TraceStore {
+        self.shard_opts = ShardOptions::new(shards.max(1));
+        self
+    }
+
+    /// The shard count fresh simulations run under.
+    #[must_use]
+    pub fn shards(&self) -> usize {
+        self.shard_opts.shards
     }
 
     /// The register assignment the store schedules for.
@@ -446,28 +473,69 @@ impl TraceStore {
     /// See [`TraceStore::trace`]; simulation failures also surface as
     /// [`Error::Store`].
     pub fn sim(&self, req: &TraceRequest, config: &ProcessorConfig) -> Result<SimProduct, Error> {
+        self.sim_with(req, config, &self.shard_opts)
+    }
+
+    /// Like [`TraceStore::sim`], but always simulating serially
+    /// regardless of the store's shard count. The instrumented
+    /// companion runs behind `--obs` and `repro explain` cross-check
+    /// against this: probes force single-stepping, so the comparison
+    /// baseline must be the serial statistics even on a sharded store.
+    ///
+    /// # Errors
+    ///
+    /// See [`TraceStore::sim`].
+    pub fn sim_serial(
+        &self,
+        req: &TraceRequest,
+        config: &ProcessorConfig,
+    ) -> Result<SimProduct, Error> {
+        self.sim_with(req, config, &ShardOptions::new(1))
+    }
+
+    fn sim_with(
+        &self,
+        req: &TraceRequest,
+        config: &ProcessorConfig,
+        shard_opts: &ShardOptions,
+    ) -> Result<SimProduct, Error> {
         let ((content_id, trace), phases) = self.canon_trace(req)?;
         let start = Instant::now();
         // `ProcessorConfig` is not `Hash`; its derived `Debug` rendering
         // covers every field and so is a faithful key. Keying on the
         // content id (not the trace key) lets distinct requests whose
-        // traces came out identical share one simulation.
-        let key = (content_id, format!("{config:?}"));
+        // traces came out identical share one simulation. The window
+        // plan is part of the key: a sharded product never masquerades
+        // as the serial one (and a plan that resolves to one window —
+        // short trace, `--shards 1` — shares the serial entry exactly).
+        let windows = planned_windows(config, trace.len(), shard_opts);
+        let key = if windows <= 1 {
+            (content_id, format!("{config:?}"))
+        } else {
+            (content_id, format!("{config:?}|windows={windows}"))
+        };
         let slot = slot_of(&self.sims, key);
         let mut built = false;
         let result = slot.get_or_init(|| {
             built = true;
-            Processor::new(config.clone())
-                .run_packed(&trace)
-                .map(|r| (r.stats, r.ff))
-                .map_err(|e| e.to_string())
+            if windows <= 1 {
+                Processor::new(config.clone())
+                    .run_packed(&trace)
+                    .map(|r| (r.stats, r.ff, None))
+                    .map_err(|e| e.to_string())
+            } else {
+                Processor::new(config.clone())
+                    .run_sharded(&trace, shard_opts)
+                    .map(|(r, report)| (r.stats, r.ff, Some(report)))
+                    .map_err(|e| e.to_string())
+            }
         });
         if built {
             self.sim_misses.fetch_add(1, Ordering::Relaxed);
         } else {
             self.sim_hits.fetch_add(1, Ordering::Relaxed);
         }
-        let (stats, ff) = result.clone().map_err(Error::Store)?;
+        let (stats, ff, shard) = result.clone().map_err(Error::Store)?;
         Ok(SimProduct {
             stats,
             fresh: built,
@@ -475,6 +543,7 @@ impl TraceStore {
             trace_build_seconds: phases.total_seconds,
             simulate_seconds: start.elapsed().as_secs_f64(),
             phases,
+            shard,
         })
     }
 }

@@ -1,0 +1,183 @@
+//! Sharded-vs-serial differential: intra-run time-window sharding is an
+//! execution strategy, not a model change, so for any program the
+//! merged [`SimStats`] must match the serial run — byte-identical at
+//! `shards = 1`, and at higher shard counts exact on every summed
+//! counter with cycle counts inside the reported divergence bound (or
+//! an automatic serial fallback, which is again byte-identical).
+//!
+//! Mirrors `engine_differential.rs`: randomized IL programs from
+//! deterministic [`mcl_testutil::Rng`] seeds, run on the single-cluster
+//! preset, the dual-cluster preset, and a tiny-buffer dual machine that
+//! forces replay exceptions. The loops here are much longer — a window
+//! plan only engages past `2 × MIN_WINDOW_OPS` dynamic ops.
+
+use mcl_core::{shard::MIN_WINDOW_OPS, Processor, ProcessorConfig, ShardOptions};
+use mcl_isa::ArchReg;
+use mcl_testutil::Rng;
+use mcl_trace::{vm::trace_program, PackedTrace, Program, ProgramBuilder};
+
+/// Machine presets the differential runs on. The tiny-buffer dual
+/// machine forces transfer-buffer replays through the window workers.
+fn presets() -> Vec<(&'static str, ProcessorConfig)> {
+    let mut tiny = ProcessorConfig::dual_cluster_8way();
+    tiny.operand_buffer = 1;
+    tiny.result_buffer = 1;
+    vec![
+        ("single", ProcessorConfig::single_cluster_8way()),
+        ("dual", ProcessorConfig::dual_cluster_8way()),
+        ("dual-tiny-buffers", tiny),
+    ]
+}
+
+/// A random but valid *long* program: a counted loop whose body mixes
+/// integer and floating-point ALU ops over registers of both clusters
+/// with loads and stores over a small memory window. The iteration
+/// count is chosen so the dynamic trace clears four minimum windows,
+/// which is what makes `--shards 4` actually plan four windows.
+fn random_long_program(rng: &mut Rng) -> Program<ArchReg> {
+    let mut b = ProgramBuilder::<ArchReg>::new("shard-diff");
+    let int = |rng: &mut Rng| ArchReg::int(rng.range(2, 29) as u8);
+    let fp = |rng: &mut Rng| ArchReg::fp(rng.range(0, 31) as u8);
+    for slot in 0..16u64 {
+        b.mem_init(0x4000 + 8 * slot, rng.next_u64() >> 8);
+    }
+    for i in 2..8 {
+        b.lda(ArchReg::int(i), rng.range_i64(-1000, 1000));
+    }
+    let body_ops = rng.range(6, 20);
+    let per_iter = body_ops as i64 + 2; // body + decrement + branch
+    let iters = (4 * MIN_WINDOW_OPS as i64) / per_iter + 64;
+    b.lda(ArchReg::int(0), iters);
+    b.lda(ArchReg::int(1), 0x4000);
+
+    let body = b.new_block("body");
+    b.switch_to(body);
+    emit_random_ops(&mut b, rng, body_ops, &int, &fp);
+    b.subq_imm(ArchReg::int(0), ArchReg::int(0), 1);
+    b.bne(ArchReg::int(0), body);
+    b.finish().expect("generated programs are structurally valid")
+}
+
+fn emit_random_ops(
+    b: &mut ProgramBuilder<ArchReg>,
+    rng: &mut Rng,
+    count: usize,
+    int: &impl Fn(&mut Rng) -> ArchReg,
+    fp: &impl Fn(&mut Rng) -> ArchReg,
+) {
+    let base = ArchReg::int(1);
+    for _ in 0..count {
+        match rng.below(10) {
+            0 | 1 => {
+                let (d, a, s) = (int(rng), int(rng), int(rng));
+                b.addq(d, a, s);
+            }
+            2 | 3 => {
+                let (d, a) = (int(rng), int(rng));
+                let imm = rng.range_i64(-128, 128);
+                b.addq_imm(d, a, imm);
+            }
+            4 => {
+                let (d, a, s) = (int(rng), int(rng), int(rng));
+                b.mulq(d, a, s);
+            }
+            5 => {
+                let (d, a, s) = (fp(rng), fp(rng), fp(rng));
+                b.addt(d, a, s);
+            }
+            6 => {
+                let (d, a, s) = (fp(rng), fp(rng), fp(rng));
+                b.mult(d, a, s);
+            }
+            7 => {
+                let d = int(rng);
+                let offset = 8 * rng.range_i64(0, 16);
+                b.ldq(d, base, offset);
+            }
+            8 => {
+                let v = int(rng);
+                let offset = 8 * rng.range_i64(0, 16);
+                b.stq(base, offset, v);
+            }
+            _ => {
+                let (d, a) = (fp(rng), fp(rng));
+                b.sqrtt(d, a);
+            }
+        }
+    }
+}
+
+fn packed(seed: u64) -> PackedTrace {
+    let mut rng = Rng::new(seed);
+    let program = random_long_program(&mut rng);
+    let (trace, _) = trace_program(&program).expect("valid program");
+    PackedTrace::from_ops(&trace)
+}
+
+#[test]
+fn sharded_runs_match_serial_on_random_programs() {
+    let presets = presets();
+    let mut parallel_windows_seen = 0u32;
+    for seed in 0..3u64 {
+        let trace = packed(seed);
+        assert!(
+            trace.len() >= 4 * MIN_WINDOW_OPS,
+            "seed {seed}: trace too short to plan four windows ({} ops)",
+            trace.len()
+        );
+        for (name, cfg) in &presets {
+            let mut proc = Processor::new(cfg.clone());
+            let serial = proc.run_packed(&trace).expect("serial runs");
+            for shards in [1usize, 2, 4] {
+                let (sharded, report) = proc
+                    .run_sharded(&trace, &ShardOptions::new(shards))
+                    .expect("sharded runs");
+                if shards == 1 {
+                    assert_eq!(report.windows, 1);
+                    assert_eq!(report.serial_reason, Some("shards=1"));
+                }
+                if report.windows == 1 || report.fell_back {
+                    // Serial path (requested, or fallback): bit-exact.
+                    assert_eq!(
+                        sharded.stats, serial.stats,
+                        "seed {seed} preset {name} shards {shards}: serial path diverged"
+                    );
+                    continue;
+                }
+                parallel_windows_seen += 1;
+                assert_eq!(report.windows, shards, "seed {seed} preset {name}");
+                // Every summed counter is exact under the merge;
+                // retirement is the paper-facing one.
+                assert_eq!(
+                    sharded.stats.retired, serial.stats.retired,
+                    "seed {seed} preset {name} shards {shards}: retirement drifted"
+                );
+                sharded
+                    .stats
+                    .check_stall_identity()
+                    .unwrap_or_else(|e| panic!("seed {seed} preset {name} shards {shards}: {e}"));
+                // Cycles agree within the reported boundary bound.
+                let (s, p) = (serial.stats.cycles as f64, sharded.stats.cycles as f64);
+                let err = (s - p).abs() / s;
+                assert!(
+                    err <= report.divergence + 1e-9,
+                    "seed {seed} preset {name} shards {shards}: serial {s} vs sharded {p} \
+                     (err {err:.6} > reported bound {:.6})",
+                    report.divergence
+                );
+                assert!(
+                    report.divergence <= 0.02,
+                    "seed {seed} preset {name} shards {shards}: bound blew up: {report:?}"
+                );
+                assert_eq!(report.window_cycles.len(), shards);
+                assert!(report.warmup_ops > 0, "non-first windows must have warmed up");
+            }
+        }
+    }
+    // The suite must actually exercise the parallel merge path, or the
+    // differential proves nothing about it.
+    assert!(
+        parallel_windows_seen > 0,
+        "every configuration fell back to serial; the merge path went untested"
+    );
+}

@@ -64,6 +64,7 @@ pub mod dist;
 pub mod events;
 pub mod obs;
 pub mod pipeview;
+pub mod shard;
 pub mod sim;
 pub mod stats;
 pub mod timeq;
@@ -78,5 +79,6 @@ pub use obs::{
     ObsConfig, ObsProbe, Probe, StallCause,
 };
 pub use pipeview::{render as render_pipeline, PipeViewOptions};
+pub use shard::{planned_windows, ShardOptions, ShardReport};
 pub use sim::{Processor, SimError, SimResult};
 pub use stats::{speedup_percent, FastForward, SimStats};

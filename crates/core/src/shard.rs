@@ -1,0 +1,429 @@
+//! Intra-run time-window sharding: one long trace, K parallel workers.
+//!
+//! The event engine (see [`crate::timeq`] and DESIGN.md §12) removed
+//! the dead cycles; what remains is live-cycle cost, and a single run
+//! is inherently serial — cycle `n + 1` depends on cycle `n`. This
+//! module parallelizes *within* one run by partitioning the simulated
+//! timeline, the same decomposition ScaleSimulator applies to
+//! cycle-accurate simulation: split the dynamic instruction stream into
+//! K contiguous windows, give every window its own worker, and merge
+//! the per-window [`SimStats`] (every field is a pure sum, so the merge
+//! is plain addition and the stall-identity equation survives it).
+//!
+//! A window cannot start from cold-reset state — the serial run reaches
+//! its first instruction with warm caches and a trained predictor. Each
+//! worker therefore *functionally warms up* before simulating: it
+//! replays the entire pre-window trace through [`Cache::warm`] (install
+//! contents and LRU order, record nothing) and
+//! [`BranchPredictor::update`] (train on every conditional outcome).
+//! Warmup is a linear scan at tens of nanoseconds per op, orders of
+//! magnitude cheaper than simulating a cycle, so K windows cost
+//! ~`(K-1)/2` extra *scans* to buy a ~K-way split of the *simulation*.
+//!
+//! # Exactness contract
+//!
+//! `--shards 1` (or any serial fallback) takes the exact serial code
+//! path — byte-identical output, CI-enforced. For K > 1 the merged
+//! statistics are exact for everything warmup fully reconstructs —
+//! retired-instruction counts in particular are always exact — and
+//! approximate where a window boundary cuts pipeline state: each
+//! non-final window drains its pipeline (the serial run would overlap
+//! that drain with the next window's instructions) and each non-initial
+//! window refills from empty. The error is bounded by pipeline depth
+//! per boundary, not by window length. The engine *measures* that bound
+//! — `boundary_cycles` over merged cycles — reports it as
+//! [`ShardReport::divergence`], and automatically falls back to the
+//! serial run when it exceeds [`ShardOptions::max_divergence`]. A
+//! window that errors (e.g. a spurious wedge under approximate warm
+//! state) also falls back to serial rather than failing the run.
+//!
+//! Configurations whose semantics depend on absolute trace position or
+//! absolute cycle numbers (recorded event logs, dynamic reassignment
+//! points, fault injection) are always simulated serially.
+
+use std::time::Instant;
+
+use mcl_bpred::BranchPredictor;
+use mcl_mem::Cache;
+use mcl_trace::{PackedTrace, TraceOp, TraceSource};
+
+use crate::config::ProcessorConfig;
+use crate::sim::{Processor, SimError, SimResult};
+
+/// Minimum dynamic instructions per window. Below this the warmup scan
+/// and thread launch outweigh the split; short traces run serially.
+pub const MIN_WINDOW_OPS: usize = 8192;
+
+/// Default ceiling on [`ShardReport::divergence`] before the engine
+/// falls back to the serial run. Boundary artifacts are pipeline-depth
+/// cycles per window, so healthy runs measure well under 1%.
+pub const DEFAULT_MAX_DIVERGENCE: f64 = 0.02;
+
+/// Sharding parameters.
+#[derive(Debug, Clone)]
+pub struct ShardOptions {
+    /// Requested worker count (windows). 1 disables sharding.
+    pub shards: usize,
+    /// Divergence bound above which the run falls back to serial.
+    pub max_divergence: f64,
+}
+
+impl ShardOptions {
+    /// Options for `shards` workers with the default divergence bound.
+    #[must_use]
+    pub fn new(shards: usize) -> ShardOptions {
+        ShardOptions { shards, max_divergence: DEFAULT_MAX_DIVERGENCE }
+    }
+}
+
+/// How a sharded run was actually executed, and how far its merged
+/// statistics can be from the serial run's.
+#[derive(Debug, Clone, Default)]
+pub struct ShardReport {
+    /// Worker count requested ([`ShardOptions::shards`]).
+    pub requested: usize,
+    /// Windows actually simulated in parallel (1 = the serial path ran).
+    pub windows: usize,
+    /// The parallel result was discarded and the serial run used
+    /// (divergence bound exceeded, or a window erred).
+    pub fell_back: bool,
+    /// Why the run was serial, when it was (`windows == 1` or
+    /// `fell_back`).
+    pub serial_reason: Option<&'static str>,
+    /// Measured divergence bound: `boundary_cycles` as a fraction of
+    /// merged cycles. 0 for serial runs.
+    pub divergence: f64,
+    /// Upper bound on cycles the window boundaries can have added:
+    /// twice the non-final windows' drain cycles (each boundary costs
+    /// at most one lost drain overlap plus one pipeline refill).
+    pub boundary_cycles: u64,
+    /// Pre-window trace ops replayed for warmup, summed over windows.
+    pub warmup_ops: u64,
+    /// Wall-clock spent in warmup scans, summed over windows (overlaps
+    /// across workers; compare against per-window simulate time).
+    pub warmup_seconds: f64,
+    /// Simulated cycles per window, in window order.
+    pub window_cycles: Vec<u64>,
+}
+
+/// Functionally warmed microarchitectural state for one window worker.
+pub(crate) struct WarmState {
+    pub(crate) predictor: Box<dyn BranchPredictor + Send>,
+    pub(crate) icache: Cache,
+    pub(crate) dcache: Cache,
+}
+
+/// A contiguous slice of a packed trace, re-based so the window's first
+/// op has `seq == 0` (the simulator requires `seq` to equal the trace
+/// index).
+struct WindowView<'a> {
+    inner: &'a PackedTrace,
+    start: usize,
+    len: usize,
+}
+
+impl TraceSource for WindowView<'_> {
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    #[inline]
+    fn get(&self, index: usize) -> TraceOp {
+        debug_assert!(index < self.len);
+        let mut op = self.inner.get(self.start + index);
+        op.seq = index as u64;
+        op
+    }
+}
+
+/// The window count [`Processor::run_sharded`] will actually use for a
+/// trace of `len` ops under `cfg` and `opts` — 1 whenever any serial
+/// condition applies. Deterministic in its inputs, so callers (the
+/// bench trace store) can key memoized results on
+/// (trace, config, window plan) before running anything.
+#[must_use]
+pub fn planned_windows(cfg: &ProcessorConfig, len: usize, opts: &ShardOptions) -> usize {
+    if serial_reason(cfg, len, opts).is_some() {
+        1
+    } else {
+        opts.shards.min(len / MIN_WINDOW_OPS)
+    }
+}
+
+/// Why a run with these parameters must take the serial path, if it
+/// must.
+fn serial_reason(cfg: &ProcessorConfig, len: usize, opts: &ShardOptions) -> Option<&'static str> {
+    if opts.shards <= 1 {
+        Some("shards=1")
+    } else if cfg.record_events {
+        Some("event log records absolute cycles")
+    } else if !cfg.reassignments.is_empty() {
+        Some("reassignment points are trace-position-dependent")
+    } else if !cfg.faults.is_empty() {
+        Some("fault injection targets the serial run")
+    } else if len / MIN_WINDOW_OPS < 2 {
+        Some("trace shorter than two minimum windows")
+    } else {
+        None
+    }
+}
+
+/// Splits `len` ops into `windows` contiguous near-equal windows.
+/// Returns `(start, end)` pairs covering `0..len` exactly.
+#[must_use]
+pub fn plan_windows(len: usize, windows: usize) -> Vec<(usize, usize)> {
+    assert!(windows >= 1, "need at least one window");
+    let base = len / windows;
+    let extra = len % windows;
+    let mut plan = Vec::with_capacity(windows);
+    let mut start = 0;
+    for w in 0..windows {
+        let end = start + base + usize::from(w < extra);
+        plan.push((start, end));
+        start = end;
+    }
+    debug_assert_eq!(start, len);
+    plan
+}
+
+/// Replays `trace[..upto]` functionally: trains the predictor on every
+/// conditional outcome and installs icache/dcache contents (no
+/// statistics, no in-flight fills).
+fn warm_state(cfg: &ProcessorConfig, trace: &PackedTrace, upto: usize) -> WarmState {
+    let mut predictor = cfg.predictor.build();
+    let mut icache = Cache::new(cfg.icache);
+    let mut dcache = Cache::new(cfg.dcache);
+    for i in 0..upto {
+        let op = trace.get(i);
+        icache.warm(op.pc);
+        if let Some(addr) = op.mem_addr {
+            dcache.warm(addr);
+        }
+        if op.is_conditional_branch() {
+            let taken = op.branch.expect("conditional has branch info").taken;
+            predictor.update(op.pc, taken);
+        }
+    }
+    WarmState { predictor, icache, dcache }
+}
+
+/// One worker: warm up to `start`, then simulate `trace[start..end]`
+/// with full statistics. Returns the window result plus the warmup
+/// wall-clock seconds.
+fn run_one_window(
+    proc: &Processor,
+    trace: &PackedTrace,
+    start: usize,
+    end: usize,
+) -> Result<(SimResult, f64), SimError> {
+    let t0 = Instant::now();
+    let warm = (start > 0).then(|| warm_state(proc.config(), trace, start));
+    let warmup_seconds = t0.elapsed().as_secs_f64();
+    let view = WindowView { inner: trace, start, len: end - start };
+    proc.run_window(&view, warm).map(|r| (r, warmup_seconds))
+}
+
+impl Processor {
+    /// Simulates `trace` split into up to [`ShardOptions::shards`]
+    /// parallel time windows, merging the per-window statistics. See
+    /// the module docs for the exactness contract; the returned
+    /// [`ShardReport`] says how the run was actually executed.
+    ///
+    /// # Errors
+    ///
+    /// Any error of [`Processor::run_packed`] from the serial path. A
+    /// *window* error triggers a serial retry instead of failing.
+    pub fn run_sharded(
+        &self,
+        trace: &PackedTrace,
+        opts: &ShardOptions,
+    ) -> Result<(SimResult, ShardReport), SimError> {
+        let mut report = ShardReport {
+            requested: opts.shards,
+            windows: 1,
+            ..ShardReport::default()
+        };
+
+        if let Some(reason) = serial_reason(self.config(), trace.len(), opts) {
+            report.serial_reason = Some(reason);
+            let result = self.run_window(trace, None)?;
+            report.window_cycles = vec![result.stats.cycles];
+            return Ok((result, report));
+        }
+
+        let windows = opts.shards.min(trace.len() / MIN_WINDOW_OPS);
+        let plan = plan_windows(trace.len(), windows);
+        report.windows = windows;
+        report.warmup_ops = plan.iter().skip(1).map(|&(s, _)| s as u64).sum();
+
+        let mut outcomes: Vec<Option<Result<(SimResult, f64), SimError>>> =
+            plan.iter().map(|_| None).collect();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = plan
+                .iter()
+                .map(|&(start, end)| scope.spawn(move || run_one_window(self, trace, start, end)))
+                .collect();
+            for (slot, handle) in outcomes.iter_mut().zip(handles) {
+                *slot = Some(match handle.join() {
+                    Ok(outcome) => outcome,
+                    Err(payload) => std::panic::resume_unwind(payload),
+                });
+            }
+        });
+
+        let mut merged = SimResult {
+            stats: Default::default(),
+            events: None,
+            ff: Default::default(),
+        };
+        let mut window_error = false;
+        let mut window_drains = Vec::with_capacity(windows);
+        for outcome in outcomes.into_iter().map(|o| o.expect("worker joined")) {
+            match outcome {
+                Ok((result, warmup_seconds)) => {
+                    report.window_cycles.push(result.stats.cycles);
+                    window_drains.push(result.stats.drain_cycles);
+                    report.warmup_seconds += warmup_seconds;
+                    merged.stats.absorb(&result.stats);
+                    merged.ff.add(&result.ff);
+                }
+                Err(_) => {
+                    window_error = true;
+                    break;
+                }
+            }
+        }
+
+        if !window_error {
+            // Each internal boundary costs at most one lost drain
+            // overlap (the non-final window drains a pipeline the
+            // serial run would keep feeding) plus one refill of
+            // comparable depth in the window after it.
+            let internal_drains: u64 =
+                window_drains.iter().take(windows.saturating_sub(1)).sum();
+            report.boundary_cycles = 2 * internal_drains;
+            report.divergence = if merged.stats.cycles == 0 {
+                0.0
+            } else {
+                report.boundary_cycles as f64 / merged.stats.cycles as f64
+            };
+            if report.divergence <= opts.max_divergence {
+                return Ok((merged, report));
+            }
+        }
+
+        // Fallback: the parallel answer is out of tolerance (or a
+        // window erred under approximate warm state) — run serially.
+        report.fell_back = true;
+        report.serial_reason = Some(if window_error {
+            "a window erred; retried serially"
+        } else {
+            "divergence bound exceeded"
+        });
+        let result = self.run_window(trace, None)?;
+        report.window_cycles = vec![result.stats.cycles];
+        Ok((result, report))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcl_isa::ArchReg;
+    use mcl_trace::{vm::trace_program, ProgramBuilder};
+
+    /// A counted loop mixing int/fp work and loads, long enough to
+    /// clear the minimum-window floor (`iters` × ~13 dynamic ops).
+    fn long_trace(iters: i64) -> PackedTrace {
+        let mut b = ProgramBuilder::<ArchReg>::new("shard-loop");
+        for s in 0..8u64 {
+            b.mem_init(0x4000 + 8 * s, s * 3 + 1);
+        }
+        let i = ArchReg::int(4);
+        let base = ArchReg::int(1);
+        let r = ArchReg::int(2);
+        let o = ArchReg::int(3);
+        let f = ArchReg::fp(2);
+        let body = b.new_block("body");
+        b.lda(r, 0);
+        b.lda(base, 0x4000);
+        b.lda(i, iters);
+        b.switch_to(body);
+        b.ldq(o, base, 8);
+        b.addq_imm(r, r, 1);
+        b.addq(o, o, r);
+        b.addt(f, f, f);
+        b.mult(f, f, f);
+        b.addq_imm(o, o, 3);
+        b.stq(base, 16, o);
+        b.addq_imm(r, r, 1);
+        b.addq_imm(o, o, 1);
+        b.addq(r, r, o);
+        b.subq_imm(i, i, 1);
+        b.bne(i, body);
+        let p = b.finish().expect("valid program");
+        let (trace, _profile) = trace_program(&p).expect("traces");
+        PackedTrace::from_ops(&trace)
+    }
+
+    #[test]
+    fn plan_windows_partitions_exactly() {
+        for (len, windows) in [(10, 3), (8192, 4), (100_001, 7), (5, 5)] {
+            let plan = plan_windows(len, windows);
+            assert_eq!(plan.len(), windows);
+            assert_eq!(plan[0].0, 0);
+            assert_eq!(plan[windows - 1].1, len);
+            for w in 1..windows {
+                assert_eq!(plan[w].0, plan[w - 1].1, "contiguous");
+            }
+            let sizes: Vec<usize> = plan.iter().map(|&(s, e)| e - s).collect();
+            let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+            assert!(max - min <= 1, "near-equal: {sizes:?}");
+        }
+    }
+
+    #[test]
+    fn short_trace_takes_the_exact_serial_path() {
+        let trace = long_trace(64);
+        assert!(trace.len() < 2 * MIN_WINDOW_OPS);
+        let mut proc = Processor::new(ProcessorConfig::dual_cluster_8way());
+        let serial = proc.run_packed(&trace).expect("serial runs");
+        let (sharded, report) =
+            proc.run_sharded(&trace, &ShardOptions::new(4)).expect("sharded runs");
+        assert_eq!(report.windows, 1);
+        assert!(!report.fell_back);
+        assert_eq!(report.serial_reason, Some("trace shorter than two minimum windows"));
+        assert_eq!(sharded.stats, serial.stats);
+        assert_eq!(sharded.ff, serial.ff);
+    }
+
+    #[test]
+    fn sharded_long_trace_is_exact_on_sums_and_tight_on_cycles() {
+        let trace = long_trace(4000);
+        assert!(trace.len() >= 4 * MIN_WINDOW_OPS, "len = {}", trace.len());
+        let mut proc = Processor::new(ProcessorConfig::dual_cluster_8way());
+        let serial = proc.run_packed(&trace).expect("serial runs");
+        for shards in [2usize, 4] {
+            let (sharded, report) =
+                proc.run_sharded(&trace, &ShardOptions::new(shards)).expect("sharded runs");
+            assert_eq!(report.windows, shards);
+            assert!(!report.fell_back, "report: {report:?}");
+            // Retired-instruction counts are exact under sharding.
+            assert_eq!(sharded.stats.retired, serial.stats.retired);
+            // The stall identity survives the merge.
+            sharded.stats.check_stall_identity().expect("stall identity");
+            // Cycle counts agree within the reported divergence bound.
+            let (s, p) = (serial.stats.cycles as f64, sharded.stats.cycles as f64);
+            let err = (s - p).abs() / s;
+            assert!(
+                err <= report.divergence + 1e-9,
+                "shards={shards}: serial {s} vs sharded {p} (err {err:.5}, \
+                 reported bound {:.5})",
+                report.divergence
+            );
+            assert!(report.divergence < 0.02, "bound itself is small: {report:?}");
+            assert_eq!(report.window_cycles.len(), shards);
+            assert!(report.warmup_ops > 0);
+        }
+    }
+}

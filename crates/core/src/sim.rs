@@ -20,7 +20,7 @@ use mcl_trace::{vm::trace_program, PackedTrace, Program, TraceOp, TraceSource, V
 
 use crate::check::{self, CheckLevel, FaultInjection};
 use crate::config::{Engine, ProcessorConfig};
-use crate::dist::{distribute, Distribution};
+use crate::dist::{distribute, Distribution, PhysRegs};
 use crate::events::{EventKind, EventLog};
 use crate::obs::{
     CopyKind, CycleSnapshot, IssueBlock, NullProbe, Probe, StallCause, TransferKind, TransferPhase,
@@ -215,6 +215,26 @@ impl Processor {
         let mut sim = Sim::with_probe(&self.config, trace, probe);
         sim.run()
     }
+
+    /// Simulates a (window of a) trace, optionally starting from
+    /// functionally pre-warmed predictor and cache state instead of the
+    /// cold-reset state. This is the per-window worker of the
+    /// time-window sharding engine (see [`crate::shard`]); with
+    /// `warm == None` it is exactly [`Processor::run_packed`] modulo
+    /// `&self` vs `&mut self`.
+    pub(crate) fn run_window<T: TraceSource + ?Sized>(
+        &self,
+        trace: &T,
+        warm: Option<crate::shard::WarmState>,
+    ) -> Result<SimResult, SimError> {
+        let mut sim = Sim::new(&self.config, trace);
+        if let Some(w) = warm {
+            sim.predictor = w.predictor;
+            sim.icache = w.icache;
+            sim.dcache = w.dcache;
+        }
+        sim.run()
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -293,6 +313,98 @@ struct WaitState {
     ready_at: u64,
     /// Currently enqueued in the per-cluster ready set.
     in_ready: bool,
+}
+
+/// One copy in a per-cluster ready set, carrying the immutable
+/// per-incarnation facts the issue pass needs to classify it.
+///
+/// The issue pass re-scans every ready copy every live cycle, and in a
+/// width- or register-limited stretch most of those scans end in
+/// "blocked" — the paper's machine spends whole phases re-evaluating
+/// the same handful of copies against a fresh budget. Classification
+/// only needs the copy's issue-slot class, its transfer-buffer
+/// relationships, and its cluster indices; all of those are fixed from
+/// dispatch to squash. Caching them here keeps the (much larger)
+/// window entry — and its cache lines — out of the blocked path
+/// entirely: the window is only touched when a copy actually issues.
+///
+/// Sorted by `(seq, act)`, exactly as the former `(u64, u8)` pairs
+/// were, so the age-ordered walk and the binary searches are
+/// unchanged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct ReadyEntry {
+    /// Instruction sequence number (age order, the primary sort key).
+    seq: u64,
+    /// `ACT_MASTER` or `ACT_SLAVE` (the sort tiebreak).
+    act: u8,
+    /// Issue-slot class charged against the width budget.
+    slot_class: InstrClass,
+    /// `dist.slave_receives` of the incarnation.
+    slave_receives: bool,
+    /// Whether the slave copy forwards an operand (scenario two/five).
+    forwards: bool,
+    /// Master cluster index.
+    master: u8,
+    /// Slave cluster index (meaningful only when the copy has a slave).
+    slave: u8,
+}
+
+impl ReadyEntry {
+    /// The sort/search key: age order, master before slave.
+    fn key(&self) -> (u64, u8) {
+        (self.seq, self.act)
+    }
+
+    /// Builds the cached view of (`d`, `act`); `slot_class` mirrors the
+    /// classification the issue pass used to derive in-line.
+    fn of(d: &DynInstr, act: u8) -> ReadyEntry {
+        let slot_class = if act == ACT_MASTER {
+            d.op.class()
+        } else if d.forwards() {
+            let bank = (0..2)
+                .find(|&i| d.dist.forwarded_src[i])
+                .and_then(|i| d.op.srcs[i])
+                .map_or(RegBank::Int, ArchReg::bank);
+            InstrClass::for_operand_bank(bank)
+        } else {
+            InstrClass::for_operand_bank(d.op.dest.map_or(RegBank::Int, ArchReg::bank))
+        };
+        ReadyEntry {
+            seq: d.op.seq,
+            act,
+            slot_class,
+            slave_receives: d.dist.slave_receives,
+            forwards: d.forwards(),
+            master: d.dist.master.index() as u8,
+            slave: d.dist.slave.map_or(u8::MAX, |s| s.index() as u8),
+        }
+    }
+}
+
+/// Memoized front-end work for the op at a stalled dispatch cursor.
+///
+/// When dispatch blocks on a structural resource (dispatch-queue slots
+/// or physical registers), the simulator retries the same trace index
+/// every live cycle until the resource frees — recomputing the unpack,
+/// the distribution vote, and the physical-register demand each time,
+/// even though none of their inputs can change while the cursor holds
+/// still (`balance` and the assignment only move when something
+/// dispatches or reassigns, and both advance or clear the memo). The
+/// memo caches all of it keyed by cursor, so a stalled retry costs a
+/// handful of free-count compares. Register-starved workloads spend
+/// the majority of their cycles here (`stall_regs` in Table 2's `ora`
+/// row covers ~9 in 10 cycles), which makes this the single hottest
+/// path in the live-cycle loop.
+#[derive(Debug, Clone, Copy)]
+struct DispatchMemo {
+    /// Trace index the memo describes; a mismatch invalidates it.
+    cursor: usize,
+    op: TraceOp,
+    dist: Distribution,
+    phys: PhysRegs,
+    dq_needed: [u32; 2],
+    int_needed: [i64; 2],
+    fp_needed: [i64; 2],
 }
 
 /// One registration on a producer's wakeup list.
@@ -465,7 +577,7 @@ struct Sim<'a, T: TraceSource + ?Sized, P: Probe = NullProbe> {
     /// `Vec` beats a `BTreeSet` here: the set is small (a handful of
     /// copies), is snapshotted every live cycle, and age-ordered
     /// iteration is the hot operation.
-    ready: [Vec<(u64, u8)>; 2],
+    ready: [Vec<ReadyEntry>; 2],
     /// Per cluster: lazily-invalidated min-heap over copies still
     /// waiting for operands (issue-disorder accounting).
     waiting_min: [BinaryHeap<Reverse<(u64, u8)>>; 2],
@@ -476,10 +588,13 @@ struct Sim<'a, T: TraceSource + ?Sized, P: Probe = NullProbe> {
     /// Scheduled scenario-five wake checks, keyed by seq.
     wake_events: TimeQ,
     /// Scheduled completions for the progress check (lazily invalidated
-    /// on squash). Key seq, data DONE/WRITE.
-    completions: TimeQ,
+    /// on squash), as `(cycle, seq, DONE/WRITE)`. A plain lazy min-heap
+    /// rather than a [`TimeQ`]: the progress check only ever asks for
+    /// the earliest live entry, so O(1) peek beats the wheel's bitmap
+    /// walk, and tie order among same-cycle events is unobservable.
+    completions: BinaryHeap<Reverse<(u64, u64, u64)>>,
     /// Reusable snapshot of one cluster's ready set for the issue pass.
-    scratch_pass: Vec<(u64, u8)>,
+    scratch_pass: Vec<ReadyEntry>,
     /// Reusable drain buffer for replay squashes.
     scratch_squash: Vec<DynInstr>,
     /// Reusable drain buffer for [`TimeQ::pop_due`] consumers.
@@ -512,6 +627,10 @@ struct Sim<'a, T: TraceSource + ?Sized, P: Probe = NullProbe> {
     dcache: Cache,
 
     balance: [u64; 2],
+    /// See [`DispatchMemo`]: valid only while the cursor it names is
+    /// the next op to dispatch and no dispatch, replay, or
+    /// reassignment has run since it was recorded.
+    dispatch_memo: Option<DispatchMemo>,
     stats: SimStats,
     events: Option<EventLog>,
 
@@ -576,7 +695,7 @@ impl<'a, T: TraceSource + ?Sized, P: Probe> Sim<'a, T, P> {
             waiting_min: [BinaryHeap::new(), BinaryHeap::new()],
             future_ready: TimeQ::new(),
             wake_events: TimeQ::new(),
-            completions: TimeQ::new(),
+            completions: BinaryHeap::new(),
             scratch_pass: Vec::new(),
             scratch_squash: Vec::new(),
             scratch_events: Vec::new(),
@@ -592,6 +711,7 @@ impl<'a, T: TraceSource + ?Sized, P: Probe> Sim<'a, T, P> {
             icache: Cache::new(cfg.icache),
             dcache: Cache::new(cfg.dcache),
             balance: [0; 2],
+            dispatch_memo: None,
             stats: SimStats::default(),
             events: cfg.record_events.then(EventLog::new),
             blocked_on_buffer: false,
@@ -795,25 +915,15 @@ impl<'a, T: TraceSource + ?Sized, P: Probe> Sim<'a, T, P> {
                 // pass breaks immediately and evaluates nothing.
                 continue;
             }
-            for &(seq, act) in &self.ready[ci] {
-                let Some(wi) = self.win_index(seq) else { return };
-                let d = &self.window[wi];
-                let slot_class = if act == ACT_MASTER {
-                    d.op.class()
-                } else if d.forwards() {
-                    let bank = (0..2)
-                        .find(|&i| d.dist.forwarded_src[i])
-                        .and_then(|i| d.op.srcs[i])
-                        .map_or(RegBank::Int, ArchReg::bank);
-                    InstrClass::for_operand_bank(bank)
-                } else {
-                    InstrClass::for_operand_bank(d.op.dest.map_or(RegBank::Int, ArchReg::bank))
-                };
-                if rules.class_limit(slot_class) == 0 {
+            for &e in &self.ready[ci] {
+                if self.win_index(e.seq).is_none() {
+                    return;
+                }
+                if rules.class_limit(e.slot_class) == 0 {
                     continue; // permanently width-blocked
                 }
-                if act == ACT_MASTER {
-                    if slot_class == InstrClass::FpDiv {
+                if e.act == ACT_MASTER {
+                    if e.slot_class == InstrClass::FpDiv {
                         let free =
                             self.div_busy_until[ci][..self.dividers].iter().copied().min();
                         if let Some(free) = free {
@@ -827,14 +937,11 @@ impl<'a, T: TraceSource + ?Sized, P: Probe> Sim<'a, T, P> {
                             return;
                         }
                     }
-                    if d.dist.slave_receives {
-                        let slave = d.dist.slave.expect("receive implies slave");
-                        if self.rtb_free[slave.index()] == 0 {
-                            rtb_stalls += 1;
-                            continue;
-                        }
+                    if e.slave_receives && self.rtb_free[usize::from(e.slave)] == 0 {
+                        rtb_stalls += 1;
+                        continue;
                     }
-                } else if d.forwards() && self.otb_free[d.dist.master.index()] == 0 {
+                } else if e.forwards && self.otb_free[usize::from(e.master)] == 0 {
                     otb_stalls += 1;
                     continue;
                 }
@@ -947,6 +1054,26 @@ impl<'a, T: TraceSource + ?Sized, P: Probe> Sim<'a, T, P> {
         }
         if self.now < self.fetch_resume_at {
             return Some(DeadCause::FetchWait);
+        }
+        // An actionless cycle ran dispatch before this check, so a
+        // stall at the cursor left a memo behind; reuse it instead of
+        // re-deriving the distribution (the inputs match for the same
+        // reason the dispatch retry may reuse it).
+        if let Some(m) = self.dispatch_memo.filter(|m| m.cursor == self.cursor) {
+            if self.reassign_draining
+                || self.pending_reassign.first().is_some_and(|r| r.trigger_pc == m.op.pc)
+            {
+                return (!self.window.is_empty()).then_some(DeadCause::ReassignDrain);
+            }
+            if !(0..2).all(|c| self.dq_free[c] >= m.dq_needed[c]) {
+                return Some(DeadCause::DispatchQueue(m.op.pc));
+            }
+            if !(0..2)
+                .all(|c| self.int_free[c] >= m.int_needed[c] && self.fp_free[c] >= m.fp_needed[c])
+            {
+                return Some(DeadCause::Registers(m.op.pc));
+            }
+            return None;
         }
         let op = self.trace.get(self.cursor);
         if self.reassign_draining
@@ -1105,7 +1232,7 @@ impl<'a, T: TraceSource + ?Sized, P: Probe> Sim<'a, T, P> {
             };
             let head = std::mem::replace(&mut self.window[wi].w_write, NIL);
             self.notify_waiters(head, now + 1);
-            self.completions.schedule(now + 1, seq, u64::from(WRITE_EVT));
+            self.completions.push(Reverse((now + 1, seq, u64::from(WRITE_EVT))));
             self.buffer_frees.schedule(now + 1, (slave.index() as u64) << 1 | u64::from(RTB), 0);
             if P::ENABLED {
                 self.probe.forwarded(now + 1, seq, TransferKind::Result, TransferPhase::Release, slave);
@@ -1234,8 +1361,10 @@ impl<'a, T: TraceSource + ?Sized, P: Probe> Sim<'a, T, P> {
                 continue;
             }
             st.in_ready = true;
-            if let Err(pos) = self.ready[cl].binary_search(&(seq, action)) {
-                self.ready[cl].insert(pos, (seq, action));
+            let entry = ReadyEntry::of(&self.window[wi], action);
+            if let Err(pos) = self.ready[cl].binary_search_by_key(&(seq, action), ReadyEntry::key)
+            {
+                self.ready[cl].insert(pos, entry);
             }
         }
         due.clear();
@@ -1290,7 +1419,7 @@ impl<'a, T: TraceSource + ?Sized, P: Probe> Sim<'a, T, P> {
         pass.clear();
         pass.extend_from_slice(&self.ready[ci]);
 
-        for &(seq, act) in &pass {
+        for &e in &pass {
             if budget.is_exhausted() {
                 break;
             }
@@ -1299,32 +1428,19 @@ impl<'a, T: TraceSource + ?Sized, P: Probe> Sim<'a, T, P> {
                 SlaveForward,
                 SlaveReceive,
             }
-            let wi = self.win_index(seq).expect("ready copies are in flight");
-            let d = &self.window[wi];
+            let (seq, act) = (e.seq, e.act);
+            // Classification runs entirely off the cached entry — the
+            // window is only dereferenced when the copy issues.
             let action = if act == ACT_MASTER {
-                debug_assert!(d.dist.master == cluster && d.master_issued.is_none());
                 Action::Master
-            } else if d.forwards() {
+            } else if e.forwards {
                 Action::SlaveForward
             } else {
                 Action::SlaveReceive
             };
 
             // ---- structural resources ----
-            let class = d.op.class();
-            let slot_class = match action {
-                Action::Master => class,
-                Action::SlaveForward => {
-                    let bank = (0..2)
-                        .find(|&i| d.dist.forwarded_src[i])
-                        .and_then(|i| d.op.srcs[i])
-                        .map_or(RegBank::Int, ArchReg::bank);
-                    InstrClass::for_operand_bank(bank)
-                }
-                Action::SlaveReceive => {
-                    InstrClass::for_operand_bank(d.op.dest.map_or(RegBank::Int, ArchReg::bank))
-                }
-            };
+            let slot_class = e.slot_class;
             if !budget.can_take(slot_class) {
                 if P::ENABLED && act == ACT_MASTER {
                     self.probe.issue_blocked(now, seq, IssueBlock::Width);
@@ -1334,7 +1450,7 @@ impl<'a, T: TraceSource + ?Sized, P: Probe> Sim<'a, T, P> {
             }
             match action {
                 Action::Master => {
-                    if class == InstrClass::FpDiv
+                    if slot_class == InstrClass::FpDiv
                         && !self.div_busy_until[ci][..self.dividers].iter().any(|&b| b <= now)
                     {
                         if P::ENABLED {
@@ -1343,22 +1459,18 @@ impl<'a, T: TraceSource + ?Sized, P: Probe> Sim<'a, T, P> {
                         blocked_in_pass += 1;
                         continue;
                     }
-                    if d.dist.slave_receives {
-                        let slave = d.dist.slave.expect("receive implies slave");
-                        if self.rtb_free[slave.index()] == 0 {
-                            self.stats.rtb_full_stalls += 1;
-                            self.blocked_on_buffer = true;
-                            if P::ENABLED {
-                                self.probe.issue_blocked(now, seq, IssueBlock::RtbFull);
-                            }
-                            blocked_in_pass += 1;
-                            continue;
+                    if e.slave_receives && self.rtb_free[usize::from(e.slave)] == 0 {
+                        self.stats.rtb_full_stalls += 1;
+                        self.blocked_on_buffer = true;
+                        if P::ENABLED {
+                            self.probe.issue_blocked(now, seq, IssueBlock::RtbFull);
                         }
+                        blocked_in_pass += 1;
+                        continue;
                     }
                 }
                 Action::SlaveForward => {
-                    let master = d.dist.master;
-                    if self.otb_free[master.index()] == 0 {
+                    if self.otb_free[usize::from(e.master)] == 0 {
                         self.stats.otb_full_stalls += 1;
                         self.blocked_on_buffer = true;
                         if P::ENABLED {
@@ -1372,6 +1484,12 @@ impl<'a, T: TraceSource + ?Sized, P: Probe> Sim<'a, T, P> {
             }
 
             // ---- issue ----
+            let wi = self.win_index(seq).expect("ready copies are in flight");
+            debug_assert!(
+                act != ACT_MASTER
+                    || (self.window[wi].dist.master == cluster
+                        && self.window[wi].master_issued.is_none())
+            );
             assert!(budget.try_take(slot_class));
             // Out-of-order issue: an older copy for this cluster was
             // passed over, either blocked earlier in this pass or still
@@ -1381,7 +1499,7 @@ impl<'a, T: TraceSource + ?Sized, P: Probe> Sim<'a, T, P> {
             }
             issued += 1;
             self.stats.per_cluster_issued[ci] += 1;
-            if let Ok(pos) = self.ready[ci].binary_search(&(seq, act)) {
+            if let Ok(pos) = self.ready[ci].binary_search_by_key(&(seq, act), ReadyEntry::key) {
                 self.ready[ci].remove(pos);
             }
             {
@@ -1464,7 +1582,7 @@ impl<'a, T: TraceSource + ?Sized, P: Probe> Sim<'a, T, P> {
                 self.deliver(seq, ACT_SLAVE, (now + 1).max(done.saturating_sub(1)), false);
             }
         }
-        self.completions.schedule(done, seq, u64::from(DONE_EVT));
+        self.completions.push(Reverse((done, seq, u64::from(DONE_EVT))));
 
         // Free the master's dispatch-queue entry.
         {
@@ -1592,7 +1710,7 @@ impl<'a, T: TraceSource + ?Sized, P: Probe> Sim<'a, T, P> {
         // and record the completion event.
         let head = std::mem::replace(&mut self.window[wi].w_write, NIL);
         self.notify_waiters(head, now + 1);
-        self.completions.schedule(now + 1, seq, u64::from(WRITE_EVT));
+        self.completions.push(Reverse((now + 1, seq, u64::from(WRITE_EVT))));
         // The slave reads the entry, then writes its register.
         self.buffer_frees.schedule(now + 1, (cluster.index() as u64) << 1 | u64::from(RTB), 0);
         if P::ENABLED {
@@ -1656,7 +1774,13 @@ impl<'a, T: TraceSource + ?Sized, P: Probe> Sim<'a, T, P> {
         let line_bytes = self.cfg.icache.line_bytes as u64;
 
         while dispatched < self.cfg.fetch_width && self.cursor < self.trace.len() {
-            let op = self.trace.get(self.cursor);
+            // A valid memo replays the front-end work recorded the
+            // cycle this cursor first stalled; see [`DispatchMemo`].
+            let memo = self.dispatch_memo.filter(|m| m.cursor == self.cursor);
+            let op = match memo {
+                Some(m) => m.op,
+                None => self.trace.get(self.cursor),
+            };
 
             // Dynamic register reassignment (Section 6): the first
             // dispatch of a trigger PC drains the pipeline, pays the
@@ -1676,6 +1800,8 @@ impl<'a, T: TraceSource + ?Sized, P: Probe> Sim<'a, T, P> {
                 }
                 let point = self.pending_reassign.remove(0);
                 self.assign = point.assignment;
+                // Distribution votes depend on the assignment.
+                self.dispatch_memo = None;
                 let (int_free, fp_free) = free_lists_for(self.cfg, &self.assign);
                 self.int_free = int_free;
                 self.fp_free = fp_free;
@@ -1700,36 +1826,65 @@ impl<'a, T: TraceSource + ?Sized, P: Probe> Sim<'a, T, P> {
                 return dispatched;
             }
 
-            // Instruction cache (one access per line per group).
+            // Instruction cache (one access per line per group). The
+            // memo guarantees the line hit when it was recorded and
+            // nothing has touched the instruction cache since (fetch
+            // is its only client and the cursor has not moved), so a
+            // memoized retry records the repeat hit without the lookup.
             let line = op.pc / line_bytes;
             if last_line != Some(line) {
-                match self.icache.access(op.pc, now, false) {
-                    Access::Hit => {}
-                    Access::Miss { ready_at, .. } => {
-                        self.fetch_resume_at = ready_at;
-                        self.fetch_stall = FetchStall::Icache;
-                        if dispatched == 0 {
-                            self.stats.stall_icache += 1;
-                            if P::ENABLED {
-                                self.probe.stalled(now, StallCause::Icache);
+                if memo.is_some() {
+                    self.icache.record_repeat_hits(op.pc, 1);
+                } else {
+                    match self.icache.access(op.pc, now, false) {
+                        Access::Hit => {}
+                        Access::Miss { ready_at, .. } => {
+                            self.fetch_resume_at = ready_at;
+                            self.fetch_stall = FetchStall::Icache;
+                            if dispatched == 0 {
+                                self.stats.stall_icache += 1;
+                                if P::ENABLED {
+                                    self.probe.stalled(now, StallCause::Icache);
+                                }
                             }
+                            return dispatched;
                         }
-                        return dispatched;
                     }
                 }
                 last_line = Some(line);
             }
 
             // Distribution and resource checks.
-            let dist = distribute(&op, &self.assign, &self.balance);
-            let phys = dist.phys_needed(&op, &self.assign);
-            let mut dq_needed = [0u32; 2];
-            dq_needed[dist.master.index()] += 1;
-            if let Some(s) = dist.slave {
-                dq_needed[s.index()] += 1;
-            }
-            let dq_ok = (0..2).all(|c| self.dq_free[c] >= dq_needed[c]);
+            let m = memo.unwrap_or_else(|| {
+                let dist = distribute(&op, &self.assign, &self.balance);
+                let phys = dist.phys_needed(&op, &self.assign);
+                let mut dq_needed = [0u32; 2];
+                dq_needed[dist.master.index()] += 1;
+                if let Some(s) = dist.slave {
+                    dq_needed[s.index()] += 1;
+                }
+                let mut int_needed = [0i64; 2];
+                let mut fp_needed = [0i64; 2];
+                for (c, bank) in phys.iter() {
+                    match bank {
+                        RegBank::Int => int_needed[c.index()] += 1,
+                        RegBank::Fp => fp_needed[c.index()] += 1,
+                    }
+                }
+                DispatchMemo {
+                    cursor: self.cursor,
+                    op,
+                    dist,
+                    phys,
+                    dq_needed,
+                    int_needed,
+                    fp_needed,
+                }
+            });
+            let (dist, phys) = (m.dist, m.phys);
+            let dq_ok = (0..2).all(|c| self.dq_free[c] >= m.dq_needed[c]);
             if !dq_ok {
+                self.dispatch_memo = Some(m);
                 if dispatched == 0 {
                     self.stats.stall_dq += 1;
                     if P::ENABLED {
@@ -1738,17 +1893,10 @@ impl<'a, T: TraceSource + ?Sized, P: Probe> Sim<'a, T, P> {
                 }
                 return dispatched;
             }
-            let mut int_needed = [0i64; 2];
-            let mut fp_needed = [0i64; 2];
-            for (c, bank) in phys.iter() {
-                match bank {
-                    RegBank::Int => int_needed[c.index()] += 1,
-                    RegBank::Fp => fp_needed[c.index()] += 1,
-                }
-            }
             let regs_ok = (0..2)
-                .all(|c| self.int_free[c] >= int_needed[c] && self.fp_free[c] >= fp_needed[c]);
+                .all(|c| self.int_free[c] >= m.int_needed[c] && self.fp_free[c] >= m.fp_needed[c]);
             if !regs_ok {
+                self.dispatch_memo = Some(m);
                 if dispatched == 0 {
                     self.stats.stall_regs += 1;
                     if P::ENABLED {
@@ -1757,6 +1905,8 @@ impl<'a, T: TraceSource + ?Sized, P: Probe> Sim<'a, T, P> {
                 }
                 return dispatched;
             }
+            let (dq_needed, int_needed, fp_needed) = (m.dq_needed, m.int_needed, m.fp_needed);
+            self.dispatch_memo = None;
 
             // Commit the dispatch.
             for c in 0..2 {
@@ -2016,29 +2166,29 @@ impl<'a, T: TraceSource + ?Sized, P: Probe> Sim<'a, T, P> {
     /// in-flight instruction completes, discarding already-fired and
     /// stale (squashed-incarnation) events along the way.
     fn next_live_completion(&mut self, now: u64) -> Option<u64> {
-        // Drop events at or before `now`: they fired (or never will).
-        let mut due = std::mem::take(&mut self.scratch_events);
-        self.completions.pop_due(now, &mut due);
-        due.clear();
-        self.scratch_events = due;
-        // Walk future events in firing order until one is live.
+        // Walk events in firing order, dropping ones at or before `now`
+        // (they fired, or never will) and stale ones, until one is live.
         loop {
-            let e = self.completions.peek_earliest()?;
-            let live = match self.win_index(e.key) {
+            let &Reverse((cycle, seq, evt)) = self.completions.peek()?;
+            if cycle <= now {
+                self.completions.pop();
+                continue;
+            }
+            let live = match self.win_index(seq) {
                 None => false,
                 Some(wi) => {
                     let d = &self.window[wi];
-                    if e.data == u64::from(DONE_EVT) {
-                        d.master_done == Some(e.cycle)
+                    if evt == u64::from(DONE_EVT) {
+                        d.master_done == Some(cycle)
                     } else {
-                        d.slave_write == Some(e.cycle)
+                        d.slave_write == Some(cycle)
                     }
                 }
             };
             if live {
-                return Some(e.cycle);
+                return Some(cycle);
             }
-            self.completions.pop_earliest();
+            self.completions.pop();
         }
     }
 
@@ -2280,15 +2430,15 @@ impl<'a, T: TraceSource + ?Sized, P: Probe> Sim<'a, T, P> {
         // One pass over the queue marks which window entries have a
         // matching event; stale events for squashed or retired
         // instructions (lazy deletion) simply mark nothing.
-        for e in self.completions.iter() {
-            let Some(wi) = self.win_index(e.key) else { continue };
+        for &Reverse((cycle, seq, evt)) in self.completions.iter() {
+            let Some(wi) = self.win_index(seq) else { continue };
             let d = &self.window[wi];
-            let (expect, slot) = if e.data == u64::from(DONE_EVT) {
+            let (expect, slot) = if evt == u64::from(DONE_EVT) {
                 (d.master_done, 0)
             } else {
                 (d.slave_write, 1)
             };
-            if expect == Some(e.cycle) {
+            if expect == Some(cycle) {
                 scheduled[wi][slot] = true;
             }
         }
@@ -2369,7 +2519,7 @@ impl<'a, T: TraceSource + ?Sized, P: Probe> Sim<'a, T, P> {
         // future-ready/wake/completion heaps and the waiting heaps
         // validate lazily against the live window instead.
         for c in 0..2 {
-            let keep = self.ready[c].partition_point(|&e| e < (from_seq, 0));
+            let keep = self.ready[c].partition_point(|e| e.seq < from_seq);
             self.ready[c].truncate(keep);
         }
         for wi in 0..self.window.len() {
@@ -2404,6 +2554,9 @@ impl<'a, T: TraceSource + ?Sized, P: Probe> Sim<'a, T, P> {
             self.fetch_blocked_by = None;
         }
         self.cursor = usize::try_from(from_seq).expect("trace indices fit usize");
+        // The rewind restored balance and free lists; any memoized
+        // front-end work is stale.
+        self.dispatch_memo = None;
         self.fetch_resume_at = now + self.cfg.replay_penalty;
         self.fetch_stall = FetchStall::Replay;
     }

@@ -67,6 +67,12 @@ pub struct TimeQ {
     /// Entries at or beyond `base + WHEEL_SLOTS`, folded back into the
     /// wheel as the base advances.
     overflow: BinaryHeap<Reverse<Entry>>,
+    /// Cached delivery cycle of the earliest scheduled entry
+    /// (`u64::MAX` when empty). Lets [`TimeQ::pop_due`] answer the
+    /// overwhelmingly common nothing-due-yet case — the simulator polls
+    /// its queues every live cycle — with one compare instead of a
+    /// bitmap walk, and makes [`TimeQ::next_cycle`] O(1).
+    next_due: u64,
 }
 
 impl Default for TimeQ {
@@ -87,6 +93,7 @@ impl TimeQ {
             words: [0; WORDS],
             slots: vec![Vec::new(); WHEEL_SLOTS],
             overflow: BinaryHeap::new(),
+            next_due: u64::MAX,
         }
     }
 
@@ -110,10 +117,19 @@ impl TimeQ {
         let entry = Entry { cycle, key, tick: self.tick, data };
         self.len += 1;
         if cycle >= self.base + WHEEL_SLOTS as u64 {
+            if cycle < self.next_due {
+                self.next_due = cycle;
+            }
             self.overflow.push(Reverse(entry));
             return;
         }
-        let slot = (cycle.max(self.base) % WHEEL_SLOTS as u64) as usize;
+        // A cycle already drained past clamps into the base slot, so
+        // its delivery cycle (what the cache tracks) is the base.
+        let effective = cycle.max(self.base);
+        if effective < self.next_due {
+            self.next_due = effective;
+        }
+        let slot = (effective % WHEEL_SLOTS as u64) as usize;
         self.set_bit(slot);
         self.slots[slot].push(entry);
     }
@@ -122,6 +138,19 @@ impl TimeQ {
     /// `(cycle, key, tick)`, and advances the base past the drained
     /// span (so the base never trails `now`).
     pub fn pop_due(&mut self, now: u64, out: &mut Vec<Entry>) {
+        if now < self.next_due {
+            // Nothing due: the cache proves no occupied slot lies in
+            // `[base, now]`, so the base can jump without a scan. Slot
+            // assignments stay valid — every live entry's delivery
+            // cycle is `>= next_due > now`, within the new window.
+            self.base = self.base.max(now);
+            return;
+        }
+        self.pop_due_slow(now, out);
+        self.next_due = self.earliest_delivery();
+    }
+
+    fn pop_due_slow(&mut self, now: u64, out: &mut Vec<Entry>) {
         loop {
             if self.summary == 0 {
                 match self.overflow.peek() {
@@ -158,17 +187,25 @@ impl TimeQ {
 
     /// The cycle of the next `pop_due` delivery, if anything is
     /// scheduled. Late-clamped entries report their delivery cycle (the
-    /// base slot), not their original one.
+    /// base slot), not their original one. O(1) — served from the
+    /// cache `pop_due` and `schedule` maintain.
     #[must_use]
     pub fn next_cycle(&self) -> Option<u64> {
+        (self.len != 0).then_some(self.next_due)
+    }
+
+    /// Recomputes the earliest delivery cycle from the wheel bitmap and
+    /// the overflow heap (`u64::MAX` when empty) — the slow form of
+    /// [`TimeQ::next_cycle`], run after anything is removed.
+    fn earliest_delivery(&self) -> u64 {
         let wheel = self.first_occupied().map(|slot| {
             let start = (self.base % WHEEL_SLOTS as u64) as usize;
             self.base + ((slot + WHEEL_SLOTS - start) % WHEEL_SLOTS) as u64
         });
         let over = self.overflow.peek().map(|&Reverse(e)| e.cycle);
         match (wheel, over) {
-            (Some(a), Some(b)) => Some(a.min(b)),
-            (a, b) => a.or(b),
+            (Some(a), Some(b)) => a.min(b),
+            (a, b) => a.or(b).unwrap_or(u64::MAX),
         }
     }
 
@@ -195,10 +232,12 @@ impl TimeQ {
                 self.clear_bit(slot);
             }
             self.len -= 1;
+            self.next_due = self.earliest_delivery();
             return Some(e);
         }
         self.overflow.pop().map(|Reverse(e)| {
             self.len -= 1;
+            self.next_due = self.earliest_delivery();
             e
         })
     }
@@ -221,6 +260,7 @@ impl TimeQ {
             self.overflow.drain().filter(|Reverse(e)| keep(e)).collect();
         self.len -= before - kept.len();
         self.overflow = kept.into_iter().collect();
+        self.next_due = self.earliest_delivery();
     }
 
     /// Removes every entry and re-anchors at cycle 0, leaving the queue
@@ -235,6 +275,7 @@ impl TimeQ {
         self.len = 0;
         self.base = 0;
         self.tick = 0;
+        self.next_due = u64::MAX;
     }
 
     /// Visits every scheduled entry in no particular order. Walks the
@@ -336,7 +377,9 @@ impl TimeQ {
                 let slot = w * 64 + bits.trailing_zeros() as usize;
                 bits &= bits - 1;
                 let mut v = std::mem::take(&mut self.slots[slot]);
-                v.sort_unstable();
+                if v.len() > 1 {
+                    v.sort_unstable();
+                }
                 self.len -= v.len();
                 out.append(&mut v);
                 self.slots[slot] = v;
@@ -503,6 +546,118 @@ mod tests {
         let mut keys: Vec<u64> = q.iter().map(|e| e.key).collect();
         keys.sort_unstable();
         assert_eq!(keys, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn entries_at_exactly_the_wheel_horizon_ride_overflow_and_hand_back() {
+        let mut q = TimeQ::new();
+        // `base + WHEEL_SLOTS` is the first cycle the wheel cannot
+        // hold: it must go to the overflow heap, not wrap into slot 0
+        // (which currently means "cycle base").
+        q.schedule(WHEEL_SLOTS as u64, 1, 10);
+        assert_eq!(q.next_cycle(), Some(WHEEL_SLOTS as u64));
+        assert_eq!(drain(&mut q, WHEEL_SLOTS as u64 - 1), vec![]);
+        // Draining advances the base, so the horizon entry folds back
+        // into the wheel and pops at its exact cycle.
+        assert_eq!(drain(&mut q, WHEEL_SLOTS as u64), vec![(WHEEL_SLOTS as u64, 1, 10)]);
+        assert!(q.is_empty());
+
+        // Same handoff with a non-zero base: advance the base first,
+        // then park an entry exactly one wheel length ahead of it.
+        let mut q = TimeQ::new();
+        q.schedule(500, 1, 0);
+        assert_eq!(drain(&mut q, 500), vec![(500, 1, 0)]);
+        let horizon = 500 + WHEEL_SLOTS as u64;
+        q.schedule(horizon, 2, 20); // exactly base + WHEEL_SLOTS
+        q.schedule(horizon - 1, 3, 30); // last in-wheel slot
+        assert_eq!(q.next_cycle(), Some(horizon - 1));
+        assert_eq!(
+            drain(&mut q, horizon),
+            vec![(horizon - 1, 3, 30), (horizon, 2, 20)],
+            "horizon entry hands back from overflow in cycle order"
+        );
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn reinsertion_during_a_pop_cycle_pops_in_the_same_cycle() {
+        // The engine's pattern: pop the events due at `now`, process
+        // them, and processing schedules follow-up events at `now`
+        // itself (late clamp) or `now + 1`. A same-cycle re-insertion
+        // must come out of the very next pop at the same `now`, not be
+        // deferred a cycle or dropped by the drained-past logic.
+        let mut q = TimeQ::new();
+        q.schedule(10, 1, 0);
+        assert_eq!(drain(&mut q, 10), vec![(10, 1, 0)]);
+        // Re-insert at the already-drained cycle 10 (and one behind
+        // it): both clamp into the base slot and pop immediately.
+        q.schedule(10, 2, 0);
+        q.schedule(9, 3, 0);
+        assert_eq!(drain(&mut q, 10), vec![(9, 3, 0), (10, 2, 0)]);
+        // A chain of same-cycle re-insertions keeps popping at `now`,
+        // in insertion order for duplicate keys.
+        for i in 0..4 {
+            q.schedule(10, 7, i);
+            assert_eq!(drain(&mut q, 10), vec![(10, 7, i)]);
+        }
+        assert!(q.is_empty());
+        // And the base never trailed: a next-cycle entry still pops on
+        // time.
+        q.schedule(11, 1, 0);
+        assert_eq!(q.next_cycle(), Some(11));
+        assert_eq!(drain(&mut q, 11), vec![(11, 1, 0)]);
+    }
+
+    #[test]
+    fn heap_equivalence_at_the_wheel_boundary() {
+        // Seeded property test against the BinaryHeap oracle with
+        // offsets concentrated at `now + WHEEL_SLOTS ± 2`, so every
+        // drain exercises the wheel/overflow handoff both ways.
+        let mut seed = 0xDEAD_BEEF_CAFE_F00Du64;
+        let mut rng = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        let mut q = TimeQ::new();
+        let mut heap: BinaryHeap<Reverse<(u64, u64, u64)>> = BinaryHeap::new();
+        let mut now = 0u64;
+        let mut tick = 0u64;
+        for round in 0..3000u64 {
+            for _ in 0..(rng() % 3) {
+                let w = WHEEL_SLOTS as u64;
+                let cycle = match rng() % 8 {
+                    0 => now + w - 2,
+                    1 => now + w - 1,
+                    2 => now + w, // exactly the horizon
+                    3 => now + w + 1,
+                    4 => now + w + 2,
+                    5 => now + rng() % 4, // near term, same slots soon
+                    _ => now + 1 + rng() % (w / 2),
+                };
+                let key = rng() % 8;
+                tick += 1;
+                q.schedule(cycle, key, tick);
+                heap.push(Reverse((cycle, key, tick)));
+            }
+            // Mostly small steps; occasionally a jump of about one
+            // wheel length so the base crosses the wrap point.
+            now += if round % 17 == 0 { WHEEL_SLOTS as u64 - 3 + rng() % 6 } else { rng() % 4 };
+            let mut got = Vec::new();
+            q.pop_due(now, &mut got);
+            let mut want = Vec::new();
+            while let Some(&Reverse((c, ..))) = heap.peek() {
+                if c > now {
+                    break;
+                }
+                let Reverse((_, key, t)) = heap.pop().unwrap();
+                want.push((key, t));
+            }
+            let got: Vec<(u64, u64)> = got.iter().map(|e| (e.key, e.data)).collect();
+            assert_eq!(got, want, "divergence at now={now}");
+            assert_eq!(q.len(), heap.len(), "length divergence at now={now}");
+        }
     }
 
     #[test]

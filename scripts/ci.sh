@@ -129,6 +129,19 @@ fi
 echo "== smoke: selftest under the event engine =="
 (cd "$smoke_dir" && "$OLDPWD/target/release/repro" selftest 8 --jobs 2 --engine event)
 
+echo "== smoke: sharded execution =="
+# `--shards 1` is the exact serial path: byte-identical output. Higher
+# shard counts are divergence-bounded (checked below via the bench's
+# reported max divergence) and the selftest differential must pass
+# under them.
+(cd "$smoke_dir" && "$OLDPWD/target/release/repro" all 8 --jobs 2 > all_serial_ref.txt)
+(cd "$smoke_dir" && "$OLDPWD/target/release/repro" all 8 --jobs 2 --shards 1 > all_shards1.txt)
+if ! diff -q "$smoke_dir/all_serial_ref.txt" "$smoke_dir/all_shards1.txt"; then
+    echo "FAIL: --shards 1 changed repro all output" >&2
+    exit 1
+fi
+(cd "$smoke_dir" && "$OLDPWD/target/release/repro" selftest 8 --jobs 2 --shards 4)
+
 echo "== guard: event-engine throughput =="
 # `repro bench` is min-of-3 per (workload, engine) and cross-checks the
 # engines' statistics on every run. The skip totals are deterministic,
@@ -155,6 +168,48 @@ if ! awk -v r="$ratio" -v f="$ratio_floor" 'BEGIN { exit !(r >= f) }'; then
     exit 1
 fi
 echo "engine guard OK: ratio ${ratio} (floor ${ratio_floor}), skipped ${skip_pct}% (floor ${skip_floor}%)"
+
+append_history() {
+    # Appends a `repro bench` run's schema-versioned summary line to the
+    # perf trajectory log so the trend is tracked across PRs.
+    local src="$1" line
+    line="$(grep -o 'engine-bench: history = {.*}' "$src" | sed 's/^engine-bench: history = //')"
+    if [ -z "$line" ]; then
+        echo "FAIL: no history summary line in $src" >&2
+        exit 1
+    fi
+    printf '%s\n' "$line" >> BENCH_repro.history.jsonl
+}
+append_history "$smoke_dir/bench.txt"
+
+echo "== guard: sharded-path throughput and divergence =="
+# The same bench with `--shards 4`: the divergence bound must hold (the
+# run reports the max across workloads; above the bound the engine
+# falls back to serial, so a healthy report stays under it), and the
+# sharded/event wall-clock ratio gets a catastrophic-regression floor.
+# On single-core CI hosts sharding cannot beat serial (the workers time
+# slice), so the default floor only catches the sharded path becoming
+# pathologically slow; raise MCL_SHARD_GUARD_RATIO on multi-core hosts.
+shard_ratio_floor="${MCL_SHARD_GUARD_RATIO:-0.45}"
+shard_divergence_cap="${MCL_SHARD_GUARD_DIVERGENCE:-0.02}"
+(cd "$smoke_dir" && "$OLDPWD/target/release/repro" bench 8 --shards 4 > bench_sharded.txt)
+cat "$smoke_dir/bench_sharded.txt"
+shard_ratio="$(grep -o 'sharded/event = [0-9.]*' "$smoke_dir/bench_sharded.txt" | grep -o '[0-9.]*$')"
+shard_div="$(grep -o 'max divergence [0-9.]*' "$smoke_dir/bench_sharded.txt" | grep -o '[0-9.]*$')"
+if [ -z "$shard_ratio" ] || [ -z "$shard_div" ]; then
+    echo "FAIL: could not parse the sharded bench summary line" >&2
+    exit 1
+fi
+if ! awk -v d="$shard_div" -v c="$shard_divergence_cap" 'BEGIN { exit !(d <= c) }'; then
+    echo "FAIL: sharded max divergence ${shard_div} above cap ${shard_divergence_cap}" >&2
+    exit 1
+fi
+if ! awk -v r="$shard_ratio" -v f="$shard_ratio_floor" 'BEGIN { exit !(r >= f) }'; then
+    echo "FAIL: sharded/event throughput ratio ${shard_ratio} below floor ${shard_ratio_floor}" >&2
+    exit 1
+fi
+echo "shard guard OK: ratio ${shard_ratio} (floor ${shard_ratio_floor}), divergence ${shard_div} (cap ${shard_divergence_cap})"
+append_history "$smoke_dir/bench_sharded.txt"
 
 echo "== guard: disabled-probe overhead =="
 # Compare min-of-3 serial `repro all` wall time against the previous
