@@ -18,8 +18,10 @@
 //! repro selftest [divisor]    differential + fault-injection self-checks
 //! repro explain [divisor]     critical-path cycle-loss attribution
 //! repro bench [divisor]       ticked-vs-event engine microbenchmark
-//! repro all [divisor]         everything above (except selftest/explain/bench)
+//! repro chaos                  fault-injection chaos campaign
+//! repro all [divisor]         everything above (except selftest/explain/bench/chaos)
 //! repro obs-validate <dir>     validate a directory of exports
+//! repro history-append <file>  validated append of a history line (stdin)
 //! ```
 //!
 //! Every subcommand (except `pipeline`) expands into independent
@@ -42,8 +44,23 @@
 //!   `event` engine (default `event`; see `mcl_core::config::Engine`).
 //!   The engines produce byte-identical results; the event engine
 //!   fast-forwards across dead cycles and is several times faster.
-//! - `--watchdog SECS` — mark cells exceeding a soft wall-clock budget
-//!   in `BENCH_repro.json` (`watchdog_exceeded`); advisory, not a kill.
+//! - `--watchdog SECS` — each cell's simulations run under a hard
+//!   cooperative deadline: a cell whose simulation exceeds the budget is
+//!   cancelled with a structured timeout error and the run exits
+//!   nonzero. Cells that overrun the budget *outside* the simulator
+//!   (trace building, rendering) still complete, are marked
+//!   `watchdog_exceeded` in `BENCH_repro.json`, and also fail the run's
+//!   exit code. For `repro chaos` the value overrides the per-attempt
+//!   campaign budget (default 30 s).
+//! - `--store DIR` — a crash-safe persistent result store: serial
+//!   simulation results are cached on disk keyed by content hash of the
+//!   packed trace and configuration, so a warm rerun serves
+//!   byte-identical statistics without simulating. Entries are written
+//!   atomically, checksummed on read, and corrupt entries are
+//!   quarantined and transparently recomputed; the store is bounded
+//!   (LRU, `MCL_STORE_CAP_BYTES`, default 256 MiB) and safe for
+//!   concurrent `repro` processes. Disk counters land in
+//!   `BENCH_repro.json`.
 //! - `--shards K` — split each (long enough) fresh simulation into K
 //!   parallel time windows with functional warmup and merged statistics
 //!   (see `mcl_core::shard`). `--shards 1` (the default) is exactly the
@@ -157,6 +174,13 @@ fn main() -> ExitCode {
             }
         },
     };
+    let store_dir = match take_value_flag(&mut args, "--store") {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     let shards = match take_value_flag(&mut args, "--shards") {
         Ok(None) => 1,
         Ok(Some(v)) => match v.parse::<usize>() {
@@ -236,6 +260,21 @@ fn main() -> ExitCode {
         };
     }
 
+    if cmd == "chaos" {
+        let budget = watchdog_seconds.unwrap_or(mcl_bench::chaos::DEFAULT_WATCHDOG_SECONDS);
+        let report = mcl_bench::chaos::run(jobs, budget);
+        print!("{}", mcl_bench::chaos::render(&report));
+        return if report.passed() { ExitCode::SUCCESS } else { ExitCode::FAILURE };
+    }
+
+    if cmd == "history-append" {
+        let Some(path) = args.get(1) else {
+            eprintln!("error: history-append requires a history file path");
+            return ExitCode::FAILURE;
+        };
+        return run_history_append(std::path::Path::new(path));
+    }
+
     if cmd == "obs-validate" {
         let Some(dir) = args.get(1) else {
             eprintln!("error: obs-validate requires a directory");
@@ -255,8 +294,19 @@ fn main() -> ExitCode {
 
     // One trace store shared by every cell: distinct traces build once
     // and are reused across experiments (and across workers under
-    // `--jobs N`).
-    let store = Arc::new(TraceStore::new().with_shards(shards));
+    // `--jobs N`). With `--store DIR`, serial simulation results are
+    // additionally cached on disk across processes.
+    let mut store = TraceStore::new().with_shards(shards);
+    if let Some(dir) = store_dir {
+        match mcl_bench::PersistStore::open(std::path::Path::new(&dir)) {
+            Ok(persist) => store = store.with_persist(Arc::new(persist)),
+            Err(e) => {
+                eprintln!("error: --store {dir}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let store = Arc::new(store);
     let mut plan = Plan::default();
     match cmd.as_str() {
         "table1" => plan_table1(&mut plan),
@@ -312,6 +362,70 @@ fn main() -> ExitCode {
         Err(e) => {
             eprintln!("error: {e}");
             ExitCode::FAILURE
+        }
+    }
+}
+
+/// `repro history-append <file>`: reads one candidate history line from
+/// stdin, validates it against the existing file
+/// ([`mcl_bench::microbench::validate_history_line`]), and appends only
+/// well-formed, schema-current, non-duplicate lines. Skips warn on
+/// stderr but exit 0 — a benign rerun must not fail CI; only I/O errors
+/// are fatal.
+fn run_history_append(path: &std::path::Path) -> ExitCode {
+    use std::io::Read as _;
+
+    use mcl_bench::microbench::{malformed_history_lines, validate_history_line, HistoryVerdict};
+
+    let mut candidate = String::new();
+    if let Err(e) = std::io::stdin().read_to_string(&mut candidate) {
+        eprintln!("error: history-append: reading stdin: {e}");
+        return ExitCode::FAILURE;
+    }
+    let candidate = candidate.trim();
+    if candidate.is_empty() {
+        eprintln!("error: history-append: no candidate line on stdin");
+        return ExitCode::FAILURE;
+    }
+    let existing = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => String::new(),
+        Err(e) => {
+            eprintln!("error: history-append: reading {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    for (line, why) in malformed_history_lines(&existing) {
+        eprintln!("warning: history-append: {} line {line}: {why}", path.display());
+    }
+    match validate_history_line(&existing, candidate) {
+        HistoryVerdict::Append => {
+            // Append-only: existing lines are never rewritten, so a
+            // crash mid-append can at worst leave one torn trailing
+            // line — which the next run's validation pass reports.
+            use std::io::Write as _;
+            let result = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)
+                .and_then(|mut f| {
+                    let newline = if existing.is_empty() || existing.ends_with('\n') {
+                        ""
+                    } else {
+                        "\n"
+                    };
+                    writeln!(f, "{newline}{candidate}")
+                });
+            if let Err(e) = result {
+                eprintln!("error: history-append: writing {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+            println!("history-append: appended to {}", path.display());
+            ExitCode::SUCCESS
+        }
+        HistoryVerdict::Skip(why) => {
+            eprintln!("warning: history-append: skipped line ({why})");
+            ExitCode::SUCCESS
         }
     }
 }
@@ -471,6 +585,20 @@ impl Plan {
                 )
             })
             .collect();
+        // Soft-watchdog overruns (cells that completed Ok but blew the
+        // budget outside the simulator) still render — their payloads
+        // are valid — but fail the exit code: a budget the caller set is
+        // a contract, not a suggestion.
+        let overran: Vec<String> = metrics
+            .iter()
+            .filter(|m| m.status == CellStatus::Ok && m.watchdog_exceeded)
+            .map(|m| {
+                format!(
+                    "cell `{}` exceeded the soft watchdog budget ({:.3}s wall)",
+                    m.id, m.wall_seconds
+                )
+            })
+            .collect();
 
         if failed.is_empty() {
             let payloads: Vec<Payload> =
@@ -511,13 +639,17 @@ impl Plan {
             eprintln!("warning: could not write {}: {e}", path.display());
         }
 
-        if failed.is_empty() {
+        if failed.is_empty() && overran.is_empty() {
             Ok(())
         } else {
-            for f in &failed {
+            for f in failed.iter().chain(&overran) {
                 eprintln!("error: {f}");
             }
-            Err(format!("{} of {} cells failed", failed.len(), metrics.len()))
+            Err(format!(
+                "{} of {} cells failed",
+                failed.len() + overran.len(),
+                metrics.len()
+            ))
         }
     }
 }
@@ -928,6 +1060,7 @@ fn plan_selftest(plan: &mut Plan, divisor: u32, shards: usize) {
         selftest_cell("fuzz-checker", || selftest::fuzz_checker(24)),
         selftest_cell("leak-fault", selftest::leak_fault_caught),
         selftest_cell("corrupt-packed", selftest::corrupt_packed_rejected),
+        selftest_cell("store-recovery", move || selftest::store_recovery(divisor)),
     ];
     plan.section(
         cells,

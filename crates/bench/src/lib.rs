@@ -39,11 +39,13 @@ use mcl_trace::{vm::trace_program, Program, TraceOp, VmError, Vreg};
 use mcl_workloads::Benchmark;
 
 pub mod ablate;
+pub mod chaos;
 pub mod explain;
 pub mod figure6;
 pub mod json;
 pub mod microbench;
 pub mod obs;
+pub mod persist;
 pub mod runner;
 pub mod scenarios;
 pub mod selftest;
@@ -51,6 +53,7 @@ pub mod store;
 pub mod table1;
 pub mod table2;
 
+pub use persist::{PersistCounters, PersistStore};
 pub use store::{SimProduct, TracePhases, TraceRequest, TraceStore};
 pub use table2::{table2, table2_row, Table2Row};
 

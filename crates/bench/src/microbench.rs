@@ -20,12 +20,14 @@
 //! ```text
 //! engine-bench: event/ticked = 4.83x (ticked 2.3M cyc/s, event 11.1M cyc/s)
 //! engine-bench: sharded/event = 2.31x at 4 shards (warmup 0.012s, max divergence 0.0041)
-//! engine-bench: history = {"schema":7,...}
+//! engine-bench: history = {"schema":8,...}
 //! ```
 //!
 //! — which `scripts/ci.sh` greps to enforce the event engine's
 //! throughput floor, to gate the sharded path, and to append the
-//! `history` JSON object to `BENCH_repro.history.jsonl`. `repro bench`
+//! `history` JSON object to `BENCH_repro.history.jsonl` via
+//! `repro history-append` (which validates every candidate line with
+//! [`validate_history_line`] before it lands). `repro bench`
 //! deliberately does not write `BENCH_repro.json`: it measures the
 //! engine, not the experiment suite.
 
@@ -307,7 +309,7 @@ pub fn render(rows: &[BenchRow], divisor: u32, shards: usize) -> String {
         .duration_since(std::time::UNIX_EPOCH)
         .map_or(0, |d| d.as_secs());
     out.push_str(&format!(
-        "engine-bench: history = {{\"schema\":7,\"unix_seconds\":{unix_seconds},\
+        "engine-bench: history = {{\"schema\":8,\"unix_seconds\":{unix_seconds},\
          \"divisor\":{divisor},\"shards\":{shards},\"cycles\":{total_cycles},\
          \"ticked_cps\":{ticked_cps:.0},\"event_cps\":{event_cps:.0},\
          \"sharded_cps\":{sharded_cps:.0},\"event_over_ticked\":{ratio:.3},\
@@ -315,6 +317,80 @@ pub fn render(rows: &[BenchRow], divisor: u32, shards: usize) -> String {
          \"warmup_seconds\":{total_warmup:.4},\"max_divergence\":{max_divergence:.5}}}\n",
     ));
     out
+}
+
+/// The history schema version `repro bench` emits and
+/// `repro history-append` requires (kept in lockstep with
+/// [`crate::runner::REPORT_SCHEMA_VERSION`]).
+pub const HISTORY_SCHEMA_VERSION: u64 = 8;
+
+/// Keys every history line must carry.
+const HISTORY_REQUIRED_KEYS: &[&str] =
+    &["schema", "unix_seconds", "divisor", "shards", "cycles", "ticked_cps", "event_cps"];
+
+/// The verdict of [`validate_history_line`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HistoryVerdict {
+    /// The line is well-formed, schema-current, and new: append it.
+    Append,
+    /// The line must be skipped (with a warning); the payload says why
+    /// ("malformed: ...", "schema mismatch: ...", "duplicate of line N").
+    Skip(String),
+}
+
+/// Validates one candidate line against the existing history file
+/// content before it is appended to `BENCH_repro.history.jsonl`.
+///
+/// CI used to append the grepped summary line blindly; a malformed grep
+/// (or a rerun of the same report) would poison the history for every
+/// downstream consumer. The candidate must parse as a JSON object,
+/// carry every required key, declare `"schema"` equal to
+/// [`HISTORY_SCHEMA_VERSION`], and not duplicate an existing line
+/// byte-for-byte. Malformed *existing* lines never block an append —
+/// they are the reader's problem and are reported by the caller.
+#[must_use]
+pub fn validate_history_line(existing: &str, candidate: &str) -> HistoryVerdict {
+    let candidate = candidate.trim();
+    let parsed = match crate::json::Json::parse(candidate) {
+        Ok(v) => v,
+        Err(e) => return HistoryVerdict::Skip(format!("malformed: {e}")),
+    };
+    for key in HISTORY_REQUIRED_KEYS {
+        if parsed.get(key).is_none() {
+            return HistoryVerdict::Skip(format!("malformed: missing key `{key}`"));
+        }
+    }
+    match parsed.get("schema").and_then(crate::json::Json::as_u64) {
+        Some(HISTORY_SCHEMA_VERSION) => {}
+        Some(v) => {
+            return HistoryVerdict::Skip(format!(
+                "schema mismatch: line declares {v}, current is {HISTORY_SCHEMA_VERSION}"
+            ));
+        }
+        None => return HistoryVerdict::Skip("malformed: `schema` is not an integer".to_owned()),
+    }
+    for (i, line) in existing.lines().enumerate() {
+        if line.trim() == candidate {
+            return HistoryVerdict::Skip(format!("duplicate of line {}", i + 1));
+        }
+    }
+    HistoryVerdict::Append
+}
+
+/// Existing history lines that do not validate (reported as warnings by
+/// `repro history-append`; they never block an append).
+#[must_use]
+pub fn malformed_history_lines(existing: &str) -> Vec<(usize, String)> {
+    existing
+        .lines()
+        .enumerate()
+        .filter(|(_, line)| !line.trim().is_empty())
+        .filter_map(|(i, line)| match crate::json::Json::parse(line.trim()) {
+            Ok(v) if HISTORY_REQUIRED_KEYS.iter().all(|k| v.get(k).is_some()) => None,
+            Ok(_) => Some((i + 1, "missing required keys".to_owned())),
+            Err(e) => Some((i + 1, e)),
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -333,9 +409,68 @@ mod tests {
         let rendered = render(&rows, 256, 1);
         assert!(rendered.contains("engine-bench: event/ticked = "));
         assert!(rendered.contains("engine-bench: skipped = "));
-        assert!(rendered.contains("engine-bench: history = {\"schema\":7,"));
+        assert!(rendered.contains("engine-bench: history = {\"schema\":8,"));
         assert!(!rendered.contains("engine-bench: sharded/event"));
         assert!(rendered.contains("compress"));
+    }
+
+    fn history_line(schema: u64, unix: u64) -> String {
+        format!(
+            "{{\"schema\":{schema},\"unix_seconds\":{unix},\"divisor\":64,\"shards\":1,\
+             \"cycles\":1000,\"ticked_cps\":100,\"event_cps\":500}}"
+        )
+    }
+
+    #[test]
+    fn history_validation_gates_the_append() {
+        let good = history_line(HISTORY_SCHEMA_VERSION, 10);
+        assert_eq!(validate_history_line("", &good), HistoryVerdict::Append);
+        // A rendered report line validates against its own schema.
+        let rows = run(256, 1).expect("runs");
+        let rendered = render(&rows, 256, 1);
+        let emitted = rendered
+            .lines()
+            .find_map(|l| l.strip_prefix("engine-bench: history = "))
+            .expect("history line rendered");
+        assert_eq!(validate_history_line(&good, emitted), HistoryVerdict::Append);
+
+        match validate_history_line("", "not json at all") {
+            HistoryVerdict::Skip(why) => assert!(why.starts_with("malformed:"), "{why}"),
+            HistoryVerdict::Append => panic!("malformed line appended"),
+        }
+        match validate_history_line("", "{\"schema\":8}") {
+            HistoryVerdict::Skip(why) => assert!(why.contains("missing key"), "{why}"),
+            HistoryVerdict::Append => panic!("incomplete line appended"),
+        }
+        match validate_history_line("", &history_line(7, 10)) {
+            HistoryVerdict::Skip(why) => assert!(why.contains("schema mismatch"), "{why}"),
+            HistoryVerdict::Append => panic!("stale schema appended"),
+        }
+        let existing = format!("{}\n{good}\n", history_line(HISTORY_SCHEMA_VERSION, 5));
+        match validate_history_line(&existing, &good) {
+            HistoryVerdict::Skip(why) => assert_eq!(why, "duplicate of line 2"),
+            HistoryVerdict::Append => panic!("duplicate appended"),
+        }
+        // A different timestamp is a different run, not a duplicate.
+        assert_eq!(
+            validate_history_line(&existing, &history_line(HISTORY_SCHEMA_VERSION, 11)),
+            HistoryVerdict::Append
+        );
+    }
+
+    #[test]
+    fn malformed_existing_lines_are_reported_not_fatal() {
+        let existing = format!("garbage\n{}\n{{\"schema\":8}}\n", history_line(8, 5));
+        let bad = malformed_history_lines(&existing);
+        assert_eq!(bad.len(), 2);
+        assert_eq!(bad[0].0, 1);
+        assert_eq!(bad[1].0, 3);
+        assert_eq!(bad[1].1, "missing required keys");
+        // ...and they do not block a fresh append.
+        assert_eq!(
+            validate_history_line(&existing, &history_line(HISTORY_SCHEMA_VERSION, 12)),
+            HistoryVerdict::Append
+        );
     }
 
     #[test]

@@ -182,8 +182,11 @@ pub struct CellMetric {
     pub status: CellStatus,
     /// Wall-clock time the cell took on its worker.
     pub wall_seconds: f64,
-    /// Whether the cell overran the soft wall-clock watchdog (recorded,
-    /// never enforced — cells are not killable mid-simulation).
+    /// Whether the cell's wall time overran the `--watchdog` budget.
+    /// Simulations past the budget are cancelled by the hard
+    /// cooperative watchdog (surfacing as a failed cell); this flag
+    /// additionally catches overruns outside the simulator's poll
+    /// (trace building, rendering) and fails the run's exit code.
     pub watchdog_exceeded: bool,
     /// Cycles the cell actually simulated this run.
     pub simulated_cycles: u64,
@@ -254,9 +257,17 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 }
 
 /// Runs one cell with panic isolation; a panic becomes
-/// [`Error::Panic`].
-fn execute_cell<R>(cell: Cell<R>) -> FinishedCell<R> {
+/// [`Error::Panic`]. When `watchdog_seconds` is set, the cell runs
+/// with the cooperative hard-watchdog deadline armed for its budget:
+/// a runaway simulation is cancelled with a structured
+/// `SimError::Timeout` instead of running to the cycle limit. The
+/// guard is per-cell, so a timed-out cell never leaks its deadline
+/// into the next one scheduled on the same worker.
+fn execute_cell<R>(cell: Cell<R>, watchdog_seconds: Option<f64>) -> FinishedCell<R> {
     let Cell { id, run } = cell;
+    let _watchdog = watchdog_seconds
+        .filter(|s| *s > 0.0)
+        .map(|s| mcl_core::watchdog::arm_for(std::time::Duration::from_secs_f64(s)));
     let start = Instant::now();
     let result = match catch_unwind(AssertUnwindSafe(run)) {
         Ok(result) => result,
@@ -269,10 +280,14 @@ fn execute_cell<R>(cell: Cell<R>) -> FinishedCell<R> {
 
 /// Runs every cell (serially or on the worker pool) and returns the
 /// outcomes in submission order, panics caught.
-fn run_raw<R: Send>(jobs: usize, cells: Vec<Cell<R>>) -> Vec<FinishedCell<R>> {
+fn run_raw<R: Send>(
+    jobs: usize,
+    cells: Vec<Cell<R>>,
+    watchdog_seconds: Option<f64>,
+) -> Vec<FinishedCell<R>> {
     let n = cells.len();
     if jobs <= 1 || n <= 1 {
-        return cells.into_iter().map(execute_cell).collect();
+        return cells.into_iter().map(|c| execute_cell(c, watchdog_seconds)).collect();
     }
     let work: Vec<Mutex<Option<Cell<R>>>> =
         cells.into_iter().map(|c| Mutex::new(Some(c))).collect();
@@ -286,7 +301,7 @@ fn run_raw<R: Send>(jobs: usize, cells: Vec<Cell<R>>) -> Vec<FinishedCell<R>> {
                     break;
                 }
                 let cell = work[i].lock().unwrap().take().expect("each cell claimed once");
-                *done[i].lock().unwrap() = Some(execute_cell(cell));
+                *done[i].lock().unwrap() = Some(execute_cell(cell, watchdog_seconds));
             });
         }
     });
@@ -311,7 +326,7 @@ pub fn run_cells<R: Send>(
     jobs: usize,
     cells: Vec<Cell<R>>,
 ) -> Result<(Vec<R>, Vec<CellMetric>), Error> {
-    let slots = run_raw(jobs, cells);
+    let slots = run_raw(jobs, cells, None);
     let mut payloads = Vec::with_capacity(slots.len());
     let mut metrics = Vec::with_capacity(slots.len());
     for (id, result, wall_seconds) in slots {
@@ -345,17 +360,21 @@ pub fn run_cells<R: Send>(
 ///
 /// Returns one payload slot per cell (`None` for failed cells) and one
 /// metric per cell, both in submission order. `watchdog_seconds`, when
-/// set, marks cells whose wall time exceeded it — a *soft* watchdog: the
-/// overrun is recorded in the report, not enforced by killing the cell
-/// (worker threads cannot be cancelled mid-simulation without poisoning
-/// shared state).
+/// set, is enforced two ways: the *hard* cooperative watchdog arms the
+/// budget as a per-cell deadline the simulator polls (a runaway
+/// simulation is cancelled with `SimError::Timeout`, surfacing as a
+/// failed cell), and the *soft* check additionally marks any cell whose
+/// total wall time exceeded the budget — e.g. one that overran in trace
+/// building or rendering, which the simulator's poll cannot see. Soft
+/// overruns are recorded as `watchdog_exceeded`; the driver fails the
+/// run's exit code on them.
 #[must_use]
 pub fn run_cells_isolated<R: Send>(
     jobs: usize,
     cells: Vec<Cell<R>>,
     watchdog_seconds: Option<f64>,
 ) -> (Vec<Option<R>>, Vec<CellMetric>) {
-    let slots = run_raw(jobs, cells);
+    let slots = run_raw(jobs, cells, watchdog_seconds);
     let mut payloads = Vec::with_capacity(slots.len());
     let mut metrics = Vec::with_capacity(slots.len());
     for (id, result, wall_seconds) in slots {
@@ -420,8 +439,15 @@ pub fn run_cells_isolated<R: Send>(
 /// instead of a misleading 0, and the aggregate
 /// `simulated_cycles_per_second` divides by `active_wall_seconds` —
 /// the summed wall time of cells that actually simulated (also new) —
-/// instead of the whole run's wall clock.
-pub const REPORT_SCHEMA_VERSION: u64 = 7;
+/// instead of the whole run's wall clock. Version 8 added the
+/// persistent disk store (`repro --store DIR`): the `store` object
+/// gained `disk_hits` / `disk_misses` / `disk_stores` /
+/// `disk_evictions` / `disk_quarantined` (all 0 when no store is
+/// attached), and upgraded the watchdog semantics — `--watchdog` now
+/// also arms the hard cooperative per-cell deadline (runaway
+/// simulations fail with a structured timeout) and soft
+/// `watchdog_exceeded` overruns fail the process exit code.
+pub const REPORT_SCHEMA_VERSION: u64 = 8;
 
 /// Identity and options of one driver run, recorded at the top of the
 /// report.
@@ -507,7 +533,12 @@ pub fn report_json(info: &RunInfo, store: &StoreCounters, metrics: &[CellMetric]
         .field("trace_hits", store.trace_hits.into())
         .field("trace_misses", store.trace_misses.into())
         .field("sim_hits", store.sim_hits.into())
-        .field("sim_misses", store.sim_misses.into());
+        .field("sim_misses", store.sim_misses.into())
+        .field("disk_hits", store.disk_hits.into())
+        .field("disk_misses", store.disk_misses.into())
+        .field("disk_stores", store.disk_stores.into())
+        .field("disk_evictions", store.disk_evictions.into())
+        .field("disk_quarantined", store.disk_quarantined.into());
     let mut report = Json::object();
     report
         .field("schema_version", REPORT_SCHEMA_VERSION.into())
@@ -699,7 +730,17 @@ mod tests {
                 warmup_seconds: 0.0,
             },
         ];
-        let counters = StoreCounters { trace_hits: 3, trace_misses: 1, sim_hits: 2, sim_misses: 4 };
+        let counters = StoreCounters {
+            trace_hits: 3,
+            trace_misses: 1,
+            sim_hits: 2,
+            sim_misses: 4,
+            disk_hits: 5,
+            disk_misses: 2,
+            disk_stores: 2,
+            disk_evictions: 1,
+            disk_quarantined: 1,
+        };
         let info = RunInfo {
             command: "table2".into(),
             divisor: 1,
@@ -715,7 +756,7 @@ mod tests {
             explain_baseline: None,
         };
         let json = report_json(&info, &counters, &metrics).render();
-        assert!(json.starts_with("{\"schema_version\":7,\"command\":\"table2\","));
+        assert!(json.starts_with("{\"schema_version\":8,\"command\":\"table2\","));
         assert!(json.contains("\"engine\":\"event\""));
         assert!(json.contains("\"shards\":4"));
         assert!(json.contains("\"keep_going\":true"));
@@ -749,7 +790,9 @@ mod tests {
         assert!(json.contains("\"total_prepass_seconds\":0.250000"));
         assert!(json.contains("\"total_schedule_seconds\":0.062500"));
         assert!(json.contains(
-            "\"store\":{\"trace_hits\":3,\"trace_misses\":1,\"sim_hits\":2,\"sim_misses\":4}"
+            "\"store\":{\"trace_hits\":3,\"trace_misses\":1,\"sim_hits\":2,\"sim_misses\":4,\
+             \"disk_hits\":5,\"disk_misses\":2,\"disk_stores\":2,\"disk_evictions\":1,\
+             \"disk_quarantined\":1}"
         ));
         assert!(json.contains("\"obs\":null"), "no --obs recorded for this run");
         assert!(json.contains("\"explain\":null"), "not an explain run");
@@ -844,6 +887,37 @@ mod tests {
     }
 
     #[test]
+    fn hard_watchdog_cancels_runaway_simulations() {
+        // A vanishingly small budget on a run long enough to cross the
+        // simulator's poll stride: the cooperative poll must cancel the
+        // run with a structured timeout, which the isolated runner
+        // records as a failed cell.
+        let cells: Vec<Cell<u64>> = vec![Cell::new("runaway", || {
+            use mcl_isa::ArchReg;
+            let mut b = mcl_trace::ProgramBuilder::<ArchReg>::new("runaway");
+            b.lda(ArchReg::int(1), 1);
+            for _ in 0..6000 {
+                b.addq(ArchReg::int(1), ArchReg::int(1), ArchReg::int(1));
+            }
+            let program = b.finish().expect("valid chain program");
+            let result = mcl_core::Processor::new(
+                mcl_core::ProcessorConfig::single_cluster_8way(),
+            )
+            .run_program(&program)?;
+            Ok((result.stats.cycles, CellCost::default()))
+        })];
+        let (payloads, metrics) = run_cells_isolated(1, cells, Some(1e-9));
+        assert_eq!(payloads, vec![None], "the cancelled cell yields no payload");
+        match &metrics[0].status {
+            CellStatus::Error(m) => {
+                assert!(m.contains("hard watchdog deadline exceeded"), "unexpected error: {m}");
+            }
+            other => panic!("expected a timeout error, got {other:?}"),
+        }
+        assert!(metrics[0].watchdog_exceeded, "the soft marker agrees");
+    }
+
+    #[test]
     fn soft_watchdog_marks_slow_cells() {
         let cells: Vec<Cell<u32>> = vec![
             Cell::new("fast", || Ok((1, CellCost::default()))),
@@ -855,6 +929,10 @@ mod tests {
         let (_, metrics) = run_cells_isolated(1, cells, Some(0.01));
         assert!(!metrics[0].watchdog_exceeded);
         assert!(metrics[1].watchdog_exceeded);
-        assert_eq!(metrics[1].status, CellStatus::Ok, "the watchdog is advisory");
+        assert_eq!(
+            metrics[1].status,
+            CellStatus::Ok,
+            "a soft overrun outside the simulator still returns its payload"
+        );
     }
 }

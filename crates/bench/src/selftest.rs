@@ -26,7 +26,12 @@
 //!   ([`FaultInjection`]) must surface as `SimError::Invariant`;
 //! - [`corrupt_packed_rejected`] — corrupted or truncated serialized
 //!   traces must fail [`PackedTrace::from_bytes`] with the right typed
-//!   error.
+//!   error;
+//! - [`store_recovery`] — an on-disk [`crate::PersistStore`] entry
+//!   truncated mid-file (a simulated kill during a non-atomic write)
+//!   must be quarantined and transparently recomputed with
+//!   byte-identical statistics, and the recomputed entry must serve
+//!   warm afterwards.
 //!
 //! Every check returns its success detail plus the [`CellCost`] it
 //! incurred, so `repro selftest` runs them as ordinary cells of the
@@ -456,6 +461,99 @@ pub fn corrupt_packed_rejected() -> Result<(String, CellCost), Error> {
         CellCost::default()))
 }
 
+/// Truncates a persisted store entry mid-file and demands quarantine,
+/// transparent recomputation with identical statistics, and a warm
+/// serve of the recomputed entry.
+///
+/// This is the crash-recovery drill for [`crate::PersistStore`]: the
+/// store's own writes are atomic (temp file + rename), so a torn entry
+/// can only come from outside interference — which is exactly what this
+/// stage manufactures.
+///
+/// # Errors
+///
+/// [`Error::SelfCheck`] if the corruption is served, errors out, or the
+/// recomputed statistics diverge.
+pub fn store_recovery(divisor: u32) -> Result<(String, CellCost), Error> {
+    use std::sync::Arc;
+
+    use crate::PersistStore;
+
+    let bench = Benchmark::Compress;
+    let req = TraceRequest::new(bench, quick_scale(bench, divisor), SchedulerKind::Local);
+    let cfg = ProcessorConfig::dual_cluster_8way();
+    let dir = std::env::temp_dir()
+        .join(format!("mcl-selftest-store-recovery-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let fail = |detail: String| mismatch("store-recovery", detail);
+    let open = |what: &str| -> Result<Arc<PersistStore>, Error> {
+        PersistStore::open(&dir).map(Arc::new).map_err(|e| fail(format!("{what}: {e}")))
+    };
+
+    // "Process" 1 (cold): compute and persist the entry.
+    let cold = TraceStore::new().with_persist(open("cold open")?).sim(&req, &cfg)?;
+    let mut cost = CellCost::default();
+    cost.charge_sim(&cold);
+
+    // Kill-mid-write: truncate the entry in place. The store's own
+    // writes are temp-file + rename, so this torn state models external
+    // corruption (or a crashed copy), not a normal store.
+    let entries = dir.join("entries");
+    let entry = std::fs::read_dir(&entries)
+        .map_err(|e| fail(format!("reading {}: {e}", entries.display())))?
+        .filter_map(Result::ok)
+        .map(|d| d.path())
+        .find(|p| p.extension().is_some_and(|x| x == "bin"))
+        .ok_or_else(|| fail("no entry persisted by the cold run".to_owned()))?;
+    let full_len = std::fs::metadata(&entry).map_err(|e| fail(e.to_string()))?.len();
+    std::fs::OpenOptions::new()
+        .write(true)
+        .open(&entry)
+        .and_then(|f| f.set_len(full_len / 2))
+        .map_err(|e| fail(format!("truncating {}: {e}", entry.display())))?;
+
+    // "Process" 2 (warm, corrupted): must quarantine, recompute
+    // identical statistics, and re-persist.
+    let persist = open("post-truncation open")?;
+    let warm = TraceStore::new().with_persist(Arc::clone(&persist)).sim(&req, &cfg)?;
+    cost.charge_sim(&warm);
+    if warm.stats != cold.stats {
+        return Err(fail(format!(
+            "recomputed stats diverged ({} vs {} cycles)",
+            warm.stats.cycles, cold.stats.cycles
+        )));
+    }
+    let c = persist.counters();
+    if c.quarantined != 1 || persist.quarantine_len() != 1 {
+        return Err(fail(format!(
+            "expected exactly one quarantined entry, counters say {} (dir has {})",
+            c.quarantined,
+            persist.quarantine_len()
+        )));
+    }
+    if c.stores != 1 {
+        return Err(fail(format!("recomputed result not re-persisted (stores = {})", c.stores)));
+    }
+
+    // "Process" 3: the recomputed entry now serves warm from disk.
+    let persist = open("recovered open")?;
+    let served = TraceStore::new().with_persist(Arc::clone(&persist)).sim(&req, &cfg)?;
+    if served.stats != cold.stats {
+        return Err(fail(format!(
+            "recovered entry served different stats ({} vs {} cycles)",
+            served.stats.cycles, cold.stats.cycles
+        )));
+    }
+    if served.fresh || persist.counters().hits != 1 {
+        return Err(fail("recovered entry was not served from disk".to_owned()));
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    Ok((
+        "truncated entry quarantined, recomputed identically, and re-served warm".to_owned(),
+        cost,
+    ))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -492,6 +590,13 @@ mod tests {
     fn critpath_identity_holds_at_a_coarse_scale() {
         let (detail, cost) = critpath_identity(64, 1).unwrap();
         assert!(detail.contains("36 benchmark"), "{detail}");
+        assert!(cost.simulated_cycles > 0);
+    }
+
+    #[test]
+    fn store_recovery_quarantines_and_recomputes() {
+        let (detail, cost) = store_recovery(64).unwrap();
+        assert!(detail.contains("quarantined"), "{detail}");
         assert!(cost.simulated_cycles > 0);
     }
 

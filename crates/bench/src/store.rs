@@ -57,6 +57,7 @@ use mcl_trace::vm::{dynamic_len_estimate, trace_program_packed};
 use mcl_trace::{PackedTrace, Program, Vreg};
 use mcl_workloads::Benchmark;
 
+use crate::persist::{self, PersistStore};
 use crate::Error;
 
 /// Identifies a (possibly unrolled) intermediate-language program.
@@ -150,6 +151,17 @@ pub struct StoreCounters {
     pub sim_hits: u64,
     /// Simulation requests that ran the simulator.
     pub sim_misses: u64,
+    /// Simulations served from the persistent disk store (a subset of
+    /// `sim_misses` — the in-process memo missed but the disk hit).
+    pub disk_hits: u64,
+    /// Disk-store lookups that found no usable entry.
+    pub disk_misses: u64,
+    /// Results written to the persistent disk store.
+    pub disk_stores: u64,
+    /// Disk entries evicted by the LRU capacity sweep.
+    pub disk_evictions: u64,
+    /// Corrupt disk entries quarantined (each also counts a disk miss).
+    pub disk_quarantined: u64,
 }
 
 /// Host-side wall-clock breakdown of one call's trace acquisition.
@@ -271,6 +283,10 @@ pub struct TraceStore {
     canonical: Mutex<HashMap<u64, Vec<CanonTrace>>>,
     next_content_id: AtomicU64,
     sims: Mutex<HashMap<(u64, String), SimSlot>>,
+    /// The optional crash-safe on-disk result cache consulted when the
+    /// in-process memo misses (serial products only; see
+    /// [`TraceStore::with_persist`]).
+    persist: Option<Arc<PersistStore>>,
     trace_hits: AtomicU64,
     trace_misses: AtomicU64,
     sim_hits: AtomicU64,
@@ -297,6 +313,7 @@ impl TraceStore {
             canonical: Mutex::new(HashMap::new()),
             next_content_id: AtomicU64::new(0),
             sims: Mutex::new(HashMap::new()),
+            persist: None,
             trace_hits: AtomicU64::new(0),
             trace_misses: AtomicU64::new(0),
             sim_hits: AtomicU64::new(0),
@@ -320,6 +337,24 @@ impl TraceStore {
         self.shard_opts.shards
     }
 
+    /// Attaches a persistent on-disk result store (`repro --store DIR`).
+    /// When the in-process memo misses on a *serial* simulation (one
+    /// planned window — sharded products depend on the window plan and
+    /// are not persisted), the disk store is consulted before
+    /// simulating, and fresh results are written back. Disk serves are
+    /// not "fresh": they simulated nothing this run.
+    #[must_use]
+    pub fn with_persist(mut self, persist: Arc<PersistStore>) -> TraceStore {
+        self.persist = Some(persist);
+        self
+    }
+
+    /// The attached persistent store, if any.
+    #[must_use]
+    pub fn persist(&self) -> Option<&Arc<PersistStore>> {
+        self.persist.as_ref()
+    }
+
     /// The register assignment the store schedules for.
     #[must_use]
     pub fn assignment(&self) -> &RegisterAssignment {
@@ -329,11 +364,17 @@ impl TraceStore {
     /// A snapshot of the hit/miss counters.
     #[must_use]
     pub fn counters(&self) -> StoreCounters {
+        let disk = self.persist.as_deref().map(PersistStore::counters).unwrap_or_default();
         StoreCounters {
             trace_hits: self.trace_hits.load(Ordering::Relaxed),
             trace_misses: self.trace_misses.load(Ordering::Relaxed),
             sim_hits: self.sim_hits.load(Ordering::Relaxed),
             sim_misses: self.sim_misses.load(Ordering::Relaxed),
+            disk_hits: disk.hits,
+            disk_misses: disk.misses,
+            disk_stores: disk.stores,
+            disk_evictions: disk.evictions,
+            disk_quarantined: disk.quarantined,
         }
     }
 
@@ -509,20 +550,40 @@ impl TraceStore {
         // as the serial one (and a plan that resolves to one window —
         // short trace, `--shards 1` — shares the serial entry exactly).
         let windows = planned_windows(config, trace.len(), shard_opts);
-        let key = if windows <= 1 {
-            (content_id, format!("{config:?}"))
+        let sim_key = if windows <= 1 {
+            format!("{config:?}")
         } else {
-            (content_id, format!("{config:?}|windows={windows}"))
+            format!("{config:?}|windows={windows}")
         };
-        let slot = slot_of(&self.sims, key);
+        let slot = slot_of(&self.sims, (content_id, sim_key.clone()));
         let mut built = false;
+        let mut disk_served = false;
         let result = slot.get_or_init(|| {
             built = true;
             if windows <= 1 {
-                Processor::new(config.clone())
+                // Serial products are content-addressed on disk: consult
+                // the persistent store before simulating, write back
+                // after a fresh success. A corrupt or missing entry is a
+                // plain miss (the store quarantines internally), never
+                // an error.
+                let persist_key = self
+                    .persist
+                    .as_deref()
+                    .map(|p| (p, persist::EntryKey::of(&trace, &sim_key)));
+                if let Some((p, ekey)) = &persist_key {
+                    if let Some((stats, ff)) = p.load(ekey) {
+                        disk_served = true;
+                        return Ok((stats, ff, None));
+                    }
+                }
+                let result = Processor::new(config.clone())
                     .run_packed(&trace)
                     .map(|r| (r.stats, r.ff, None))
-                    .map_err(|e| e.to_string())
+                    .map_err(|e| e.to_string());
+                if let (Some((p, ekey)), Ok((stats, ff, _))) = (&persist_key, &result) {
+                    p.store(ekey, stats, ff);
+                }
+                result
             } else {
                 Processor::new(config.clone())
                     .run_sharded(&trace, shard_opts)
@@ -538,7 +599,9 @@ impl TraceStore {
         let (stats, ff, shard) = result.clone().map_err(Error::Store)?;
         Ok(SimProduct {
             stats,
-            fresh: built,
+            // A disk serve simulated nothing this run: throughput
+            // accounting must not credit its cycles to this call.
+            fresh: built && !disk_served,
             ff,
             trace_build_seconds: phases.total_seconds,
             simulate_seconds: start.elapsed().as_secs_f64(),
@@ -644,6 +707,39 @@ mod tests {
         // And the sim product carries the same breakdown.
         let product = store.sim(&req, &ProcessorConfig::dual_cluster_8way()).unwrap();
         assert_eq!(product.trace_build_seconds, product.phases.total_seconds);
+    }
+
+    #[test]
+    fn persistent_store_serves_identical_stats_across_processes() {
+        // Two TraceStores sharing one disk store model two `repro`
+        // invocations: the first (cold) simulates and persists, the
+        // second (warm) serves from disk without simulating.
+        let dir = std::env::temp_dir()
+            .join(format!("mcl-store-persist-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let persist = Arc::new(crate::persist::PersistStore::open(&dir).unwrap());
+        let req = TraceRequest::new(Benchmark::Compress, 40, SchedulerKind::Local);
+        let cfg = ProcessorConfig::dual_cluster_8way();
+
+        let cold_store = TraceStore::new().with_persist(Arc::clone(&persist));
+        let cold = cold_store.sim(&req, &cfg).unwrap();
+        assert!(cold.fresh, "cold run simulates");
+        let c = cold_store.counters();
+        assert_eq!((c.disk_hits, c.disk_misses, c.disk_stores), (0, 1, 1));
+
+        let warm_store = TraceStore::new().with_persist(Arc::clone(&persist));
+        let warm = warm_store.sim(&req, &cfg).unwrap();
+        assert_eq!(cold.stats, warm.stats, "disk serve is byte-identical");
+        assert_eq!(cold.ff, warm.ff, "fast-forward counters persist too");
+        assert!(!warm.fresh, "a disk serve simulated nothing this run");
+        let w = warm_store.counters();
+        assert_eq!((w.disk_hits, w.disk_misses, w.disk_stores), (1, 1, 1));
+        // And the in-process memo still serves repeats without touching
+        // the disk again.
+        let again = warm_store.sim(&req, &cfg).unwrap();
+        assert_eq!(again.stats, warm.stats);
+        assert_eq!(warm_store.counters().disk_hits, 1);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -101,9 +101,13 @@ pub fn global_level() -> CheckLevel {
 
 /// A deliberate fault injected into the simulator's resource
 /// accounting, for proving the checker catches real corruption (used by
-/// `repro selftest`). Leaks are applied to every cluster at the start
-/// of the given cycle and are *not* visible to the checker's expected
-/// values — a leak must therefore surface as an accounting violation.
+/// `repro selftest` and the `repro chaos` campaign). Faults are applied
+/// at the start of the given cycle (some wait in a pending state until
+/// their target structure exists) and are *not* visible to the
+/// checker's expected values — every fault must therefore surface as a
+/// structured [`SimError`](crate::SimError): an accounting/liveness
+/// `Invariant` or a `Wedged` progress failure, never as silently wrong
+/// statistics.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum FaultInjection {
     /// Decrement every cluster's operand-transfer-buffer free count by
@@ -118,6 +122,86 @@ pub enum FaultInjection {
         /// The cycle at which the leak is applied.
         cycle: u64,
     },
+    /// Remove the earliest still-live future completion event from the
+    /// completion queue (as if the functional unit never signalled).
+    /// The fault stays pending until such an event exists. Detected by
+    /// the `completion-liveness` rule at [`CheckLevel::Cycle`].
+    DropCompletion {
+        /// The first cycle at which a live event may be dropped.
+        cycle: u64,
+    },
+    /// Remove the pending resolution event of the branch currently
+    /// blocking fetch (as if the resolution bus lost the update), so
+    /// fetch stays blocked forever. The fault waits until fetch is
+    /// blocked on a branch. Surfaces as `Wedged` once the window drains.
+    StickBranchResolution {
+        /// The first cycle at which a blocking branch may be stuck.
+        cycle: u64,
+    },
+    /// Increment every cluster's operand- and result-transfer-buffer
+    /// free counts by one (phantom credits above capacity). Detected by
+    /// the `otb-accounting`/`rtb-accounting` rules.
+    CorruptTransferCredit {
+        /// The cycle at which the credits are corrupted.
+        cycle: u64,
+    },
+    /// Delay the earliest scheduled cross-cluster operand delivery by
+    /// `delay` cycles (as if the transfer network stalled the packet).
+    /// The fault stays pending until a delivery is in flight. With a
+    /// delay far beyond `wedge_threshold` the consumer never issues and
+    /// the run surfaces as `Wedged`.
+    DelayOperandDelivery {
+        /// The first cycle at which a delivery may be delayed.
+        cycle: u64,
+        /// How many cycles the delivery is pushed back.
+        delay: u64,
+    },
+    /// Decrement every cluster's integer physical-register free count
+    /// by one without any holder. Detected by `phys-reg-accounting`.
+    LeakPhysReg {
+        /// The cycle at which the leak is applied.
+        cycle: u64,
+    },
+    /// Permanently stop the retirement stage from the given cycle (as
+    /// if the commit port latched up). The window fills and drains into
+    /// a `Wedged` report (or `replay-progress` when the machine loops
+    /// through buffer-blocked replays instead).
+    StallRetire {
+        /// The first cycle at which retirement is suppressed.
+        cycle: u64,
+    },
+}
+
+impl FaultInjection {
+    /// The cycle at which the fault first becomes applicable.
+    #[must_use]
+    pub fn cycle(&self) -> u64 {
+        match self {
+            FaultInjection::LeakOperandBuffer { cycle }
+            | FaultInjection::LeakResultBuffer { cycle }
+            | FaultInjection::DropCompletion { cycle }
+            | FaultInjection::StickBranchResolution { cycle }
+            | FaultInjection::CorruptTransferCredit { cycle }
+            | FaultInjection::DelayOperandDelivery { cycle, .. }
+            | FaultInjection::LeakPhysReg { cycle }
+            | FaultInjection::StallRetire { cycle } => *cycle,
+        }
+    }
+
+    /// A short stable name for reports and campaign matrices.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            FaultInjection::LeakOperandBuffer { .. } => "leak-operand-buffer",
+            FaultInjection::LeakResultBuffer { .. } => "leak-result-buffer",
+            FaultInjection::DropCompletion { .. } => "drop-completion",
+            FaultInjection::StickBranchResolution { .. } => "stick-branch-resolution",
+            FaultInjection::CorruptTransferCredit { .. } => "corrupt-transfer-credit",
+            FaultInjection::DelayOperandDelivery { .. } => "delay-operand-delivery",
+            FaultInjection::LeakPhysReg { .. } => "leak-phys-reg",
+            FaultInjection::StallRetire { .. } => "stall-retire",
+        }
+    }
 }
 
 /// One detected invariant violation (converted by the simulator into

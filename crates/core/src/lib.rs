@@ -34,7 +34,10 @@
 //! - [`timeq`] — the time-wheel event queue both engines schedule
 //!   future work on, and that the event-driven engine
 //!   ([`config::Engine::Event`]) uses to fast-forward across dead
-//!   cycles.
+//!   cycles;
+//! - [`watchdog`] — the cooperative hard-watchdog deadline token the
+//!   run loop polls, turning runaway cells into structured
+//!   [`SimError::Timeout`] reports.
 //!
 //! # Example
 //!
@@ -68,6 +71,7 @@ pub mod shard;
 pub mod sim;
 pub mod stats;
 pub mod timeq;
+pub mod watchdog;
 
 pub use check::{CheckLevel, FaultInjection};
 pub use config::{global_engine, set_global_engine, Engine, ProcessorConfig};
@@ -81,4 +85,4 @@ pub use obs::{
 pub use pipeview::{render as render_pipeline, PipeViewOptions};
 pub use shard::{planned_windows, ShardOptions, ShardReport};
 pub use sim::{Processor, SimError, SimResult};
-pub use stats::{speedup_percent, FastForward, SimStats};
+pub use stats::{speedup_percent, FastForward, SimStats, STATS_WIRE_VERSION};

@@ -258,10 +258,18 @@ impl Processor {
 
         let mut outcomes: Vec<Option<Result<(SimResult, f64), SimError>>> =
             plan.iter().map(|_| None).collect();
+        // The hard-watchdog deadline is thread-local: carry the
+        // spawning thread's token into each window worker.
+        let deadline = crate::watchdog::deadline();
         std::thread::scope(|scope| {
             let handles: Vec<_> = plan
                 .iter()
-                .map(|&(start, end)| scope.spawn(move || run_one_window(self, trace, start, end)))
+                .map(|&(start, end)| {
+                    scope.spawn(move || {
+                        let _watchdog = crate::watchdog::arm(deadline);
+                        run_one_window(self, trace, start, end)
+                    })
+                })
                 .collect();
             for (slot, handle) in outcomes.iter_mut().zip(handles) {
                 *slot = Some(match handle.join() {

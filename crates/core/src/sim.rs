@@ -73,6 +73,13 @@ pub enum SimError {
         /// A [`render_window`] view of the in-flight instructions.
         snapshot: String,
     },
+    /// The cooperative hard watchdog (see [`crate::watchdog`]) found
+    /// its wall-clock deadline exceeded and cancelled the run — a
+    /// structured timeout instead of a runaway cell.
+    Timeout {
+        /// The cycle the simulation had reached when it was cancelled.
+        cycle: u64,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -85,6 +92,9 @@ impl fmt::Display for SimError {
             }
             SimError::Invariant { cycle, rule, detail, snapshot } => {
                 write!(f, "invariant `{rule}` violated at cycle {cycle}: {detail}\n{snapshot}")
+            }
+            SimError::Timeout { cycle } => {
+                write!(f, "hard watchdog deadline exceeded at cycle {cycle}; run cancelled")
             }
         }
     }
@@ -645,6 +655,9 @@ struct Sim<'a, T: TraceSource + ?Sized, P: Probe = NullProbe> {
     replays_since_retire: u32,
     /// Configured resource-accounting faults not yet applied.
     pending_faults: Vec<FaultInjection>,
+    /// Set by [`FaultInjection::StallRetire`]: the retirement stage is
+    /// latched off for the rest of the run.
+    retire_stalled: bool,
     /// The window base at the last replay; a second deadlock without any
     /// intervening retirement escalates to a full squash (guaranteed
     /// forward progress — the replayed youngest holder would otherwise
@@ -719,6 +732,7 @@ impl<'a, T: TraceSource + ?Sized, P: Probe> Sim<'a, T, P> {
             check: cfg.check_level,
             replays_since_retire: 0,
             pending_faults: cfg.faults.clone(),
+            retire_stalled: false,
             last_replay_base: None,
             pending_reassign: cfg.reassignments.clone(),
             reassign_draining: false,
@@ -748,9 +762,26 @@ impl<'a, T: TraceSource + ?Sized, P: Probe> Sim<'a, T, P> {
         // no stats, which is why on/off stays byte-identical).
         let fast_forward =
             self.cfg.engine == Engine::Event && !P::ENABLED && self.check != CheckLevel::Cycle;
+        // Cooperative hard watchdog: the deadline is a thread-local
+        // token (not part of the configuration — configurations key
+        // result caches), polled every `WATCHDOG_STRIDE` steps so the
+        // wall-clock read stays off the per-cycle path. Steps, not
+        // cycles: the event engine jumps cycle counts arbitrarily.
+        const WATCHDOG_STRIDE: u32 = 4096;
+        let deadline = crate::watchdog::deadline();
+        let mut until_poll = WATCHDOG_STRIDE;
         while self.cursor < self.trace.len() || !self.window.is_empty() {
             if self.now >= self.cfg.max_cycles {
                 return Err(SimError::CycleLimit { limit: self.cfg.max_cycles });
+            }
+            if let Some(deadline) = deadline {
+                until_poll -= 1;
+                if until_poll == 0 {
+                    until_poll = WATCHDOG_STRIDE;
+                    if std::time::Instant::now() >= deadline {
+                        return Err(SimError::Timeout { cycle: self.now });
+                    }
+                }
             }
             let activity = self.step()?;
             // Anything dispatched, issued, retired, or woken this cycle
@@ -828,7 +859,10 @@ impl<'a, T: TraceSource + ?Sized, P: Probe> Sim<'a, T, P> {
 
     /// Applies due fault-injection hooks (testing only; see
     /// [`ProcessorConfig::faults`]). A leak decrements a free count with
-    /// no matching holder, which a correct checker must report.
+    /// no matching holder, which a correct checker must report; the
+    /// event-targeting faults wait in the pending list until their
+    /// target structure (a live completion, a blocking branch, an
+    /// in-flight operand delivery) exists, then corrupt it.
     fn inject_faults(&mut self) {
         if self.pending_faults.is_empty() {
             return;
@@ -837,15 +871,31 @@ impl<'a, T: TraceSource + ?Sized, P: Probe> Sim<'a, T, P> {
         let n = usize::from(self.cfg.clusters);
         let mut i = 0;
         while i < self.pending_faults.len() {
-            let due = match &self.pending_faults[i] {
-                FaultInjection::LeakOperandBuffer { cycle }
-                | FaultInjection::LeakResultBuffer { cycle } => *cycle <= now,
-            };
+            let fault = self.pending_faults[i].clone();
+            let armed = fault.cycle() <= now;
+            let due = armed
+                && match &fault {
+                    FaultInjection::LeakOperandBuffer { .. }
+                    | FaultInjection::LeakResultBuffer { .. }
+                    | FaultInjection::CorruptTransferCredit { .. }
+                    | FaultInjection::LeakPhysReg { .. }
+                    | FaultInjection::StallRetire { .. } => true,
+                    FaultInjection::DropCompletion { .. } => {
+                        self.next_live_completion(now).is_some()
+                    }
+                    FaultInjection::StickBranchResolution { .. } => {
+                        self.blocking_branch_resolution().is_some()
+                    }
+                    FaultInjection::DelayOperandDelivery { .. } => {
+                        !self.future_ready.is_empty()
+                    }
+                };
             if !due {
                 i += 1;
                 continue;
             }
-            match self.pending_faults.remove(i) {
+            self.pending_faults.remove(i);
+            match fault {
                 FaultInjection::LeakOperandBuffer { .. } => {
                     for c in 0..n {
                         self.otb_free[c] = self.otb_free[c].saturating_sub(1);
@@ -856,6 +906,72 @@ impl<'a, T: TraceSource + ?Sized, P: Probe> Sim<'a, T, P> {
                         self.rtb_free[c] = self.rtb_free[c].saturating_sub(1);
                     }
                 }
+                FaultInjection::DropCompletion { .. } => {
+                    self.drop_next_live_completion(now);
+                }
+                FaultInjection::StickBranchResolution { .. } => {
+                    let seq = self.blocking_branch_resolution().expect("checked due");
+                    self.pending_bpred.retain(|e| e.key != seq);
+                }
+                FaultInjection::CorruptTransferCredit { .. } => {
+                    for c in 0..n {
+                        self.otb_free[c] += 1;
+                        self.rtb_free[c] += 1;
+                    }
+                }
+                FaultInjection::DelayOperandDelivery { delay, .. } => {
+                    let e = self.future_ready.pop_earliest().expect("checked due");
+                    self.future_ready.schedule(
+                        e.cycle.saturating_add(delay),
+                        e.key,
+                        e.data,
+                    );
+                }
+                FaultInjection::LeakPhysReg { .. } => {
+                    for c in 0..n {
+                        self.int_free[c] -= 1;
+                    }
+                }
+                FaultInjection::StallRetire { .. } => {
+                    self.retire_stalled = true;
+                }
+            }
+        }
+    }
+
+    /// The sequence number of the mispredicted branch currently blocking
+    /// fetch, provided its resolution event is still scheduled (the
+    /// stick-branch-resolution fault's target).
+    fn blocking_branch_resolution(&self) -> Option<u64> {
+        let seq = self.fetch_blocked_by?;
+        self.pending_bpred.iter().any(|e| e.key == seq).then_some(seq)
+    }
+
+    /// Removes the earliest live completion event strictly after `now`
+    /// from the queue (the drop-completion fault). Stale and
+    /// already-fired entries discarded along the way would have been
+    /// discarded lazily anyway, so only the live event's loss is
+    /// observable.
+    fn drop_next_live_completion(&mut self, now: u64) {
+        while let Some(&Reverse((cycle, seq, evt))) = self.completions.peek() {
+            if cycle <= now {
+                self.completions.pop();
+                continue;
+            }
+            let live = match self.win_index(seq) {
+                None => false,
+                Some(wi) => {
+                    let d = &self.window[wi];
+                    if evt == u64::from(DONE_EVT) {
+                        d.master_done == Some(cycle)
+                    } else {
+                        d.slave_write == Some(cycle)
+                    }
+                }
+            };
+            self.completions.pop();
+            if live {
+                return;
             }
         }
     }
@@ -962,15 +1078,16 @@ impl<'a, T: TraceSource + ?Sized, P: Probe> Sim<'a, T, P> {
         // The skipped cycles never run the wedge/replay escalation, so
         // fast-forwarding is only sound if the ticked loop's progress
         // check would also have seen future work on every one of them.
-        // Every term below is constant across the dead span.
-        if !self.window.is_empty() {
-            let span_future_work = self.fetch_resume_at > now
-                || !self.pending_bpred.is_empty()
-                || !self.buffer_frees.is_empty()
-                || live_completion.is_some();
-            if !span_future_work {
-                return;
-            }
+        // Every term below is constant across the dead span. Applied
+        // with the window empty too: an empty window with trace left
+        // and no future work is exactly the span the progress check
+        // counts toward `Wedged`, so it must tick cycle by cycle.
+        let span_future_work = self.fetch_resume_at > now
+            || !self.pending_bpred.is_empty()
+            || !self.buffer_frees.is_empty()
+            || live_completion.is_some();
+        if !span_future_work {
+            return;
         }
         // The jump target: the earliest cycle anything is scheduled to
         // happen. Everything the engine does originates from one of
@@ -993,9 +1110,13 @@ impl<'a, T: TraceSource + ?Sized, P: Probe> Sim<'a, T, P> {
             target = target.min(self.fetch_resume_at);
         }
         for fault in &self.pending_faults {
-            let (FaultInjection::LeakOperandBuffer { cycle }
-            | FaultInjection::LeakResultBuffer { cycle }) = fault;
-            target = target.min((*cycle).max(now));
+            let cycle = fault.cycle();
+            if cycle <= now {
+                // An armed fault waiting for its target structure to
+                // exist must observe every cycle.
+                return;
+            }
+            target = target.min(cycle);
         }
         if target == u64::MAX {
             return;
@@ -1159,6 +1280,9 @@ impl<'a, T: TraceSource + ?Sized, P: Probe> Sim<'a, T, P> {
     // -- retire -------------------------------------------------------------
 
     fn retire(&mut self) -> u32 {
+        if self.retire_stalled {
+            return 0;
+        }
         let mut retired = 0;
         while retired < self.cfg.retire_width {
             let Some(front) = self.window.front() else { break };
@@ -2092,7 +2216,13 @@ impl<'a, T: TraceSource + ?Sized, P: Probe> Sim<'a, T, P> {
     // -- deadlock handling -----------------------------------------------------
 
     fn check_progress(&mut self, work_done: u32) -> Result<(), SimError> {
-        if work_done > 0 || self.window.is_empty() {
+        // An empty window only counts as progress when the run is over:
+        // with trace left to dispatch, a drained machine must still show
+        // future work (fetch resuming, a pending branch resolution, ...)
+        // or it is wedged — e.g. fetch blocked on a branch whose
+        // resolution was lost — and must be reported, not spun to the
+        // cycle limit.
+        if work_done > 0 || (self.window.is_empty() && self.cursor >= self.trace.len()) {
             self.no_progress_cycles = 0;
             return Ok(());
         }
@@ -2919,6 +3049,153 @@ mod tests {
             }
             other => panic!("expected Invariant, got {other}"),
         }
+    }
+
+    /// A warm loop with trailing straightline work: the loop-exit
+    /// branch (taken while iterating, finally not taken) guarantees at
+    /// least one misprediction that blocks fetch with trace remaining.
+    fn loop_with_tail_program() -> Program<ArchReg> {
+        let mut b = ProgramBuilder::<ArchReg>::new("loop-tail");
+        let r = ArchReg::int(2);
+        let i = ArchReg::int(4);
+        let body = b.new_block("body");
+        b.lda(r, 0);
+        b.lda(i, 8);
+        b.switch_to(body);
+        b.addq_imm(r, r, 1);
+        b.subq_imm(i, i, 1);
+        b.bne(i, body);
+        let tail = b.new_block("tail");
+        b.switch_to(tail);
+        for _ in 0..10 {
+            b.addq_imm(r, r, 1);
+        }
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn dropped_completion_event_trips_the_liveness_checker() {
+        // Multi-cycle multiplies: the drop fault targets a completion
+        // strictly in the future, which single-cycle adds never leave
+        // visible at a cycle boundary.
+        let mut b = ProgramBuilder::<ArchReg>::new("mul-chain");
+        let r = ArchReg::int(2);
+        b.lda(r, 3);
+        for _ in 0..10 {
+            b.mulq(r, r, r);
+        }
+        let p = b.finish().unwrap();
+        let mut cfg = ProcessorConfig::single_cluster_8way().with_check_level(CheckLevel::Cycle);
+        cfg.faults = vec![FaultInjection::DropCompletion { cycle: 0 }];
+        let err = Processor::new(cfg).run_program(&p).unwrap_err();
+        match err {
+            SimError::Invariant { rule, .. } => assert_eq!(rule, "completion-liveness"),
+            other => panic!("expected Invariant, got {other}"),
+        }
+    }
+
+    #[test]
+    fn stuck_branch_resolution_wedges_instead_of_spinning() {
+        // Losing the blocking branch's resolution leaves fetch blocked
+        // forever while the window drains empty — the tightened
+        // progress check must report Wedged (with trace left to run),
+        // not spin two billion cycles to the limit.
+        let p = loop_with_tail_program();
+        let mut cfg = ProcessorConfig::single_cluster_8way();
+        cfg.wedge_threshold = 64;
+        cfg.faults = vec![FaultInjection::StickBranchResolution { cycle: 0 }];
+        let err = Processor::new(cfg).run_program(&p).unwrap_err();
+        assert!(matches!(err, SimError::Wedged { .. }), "got {err}");
+    }
+
+    #[test]
+    fn stuck_branch_wedge_is_engine_identical() {
+        // The empty-window wedge span must tick cycle by cycle on both
+        // engines: the event engine may not fast-forward across cycles
+        // the ticked progress check counts toward the threshold.
+        let p = loop_with_tail_program();
+        let mut errs = Vec::new();
+        for engine in [Engine::Ticked, Engine::Event] {
+            let mut cfg = ProcessorConfig::single_cluster_8way().with_engine(engine);
+            cfg.wedge_threshold = 64;
+            cfg.faults = vec![FaultInjection::StickBranchResolution { cycle: 0 }];
+            match Processor::new(cfg).run_program(&p).unwrap_err() {
+                SimError::Wedged { cycle, oldest_seq } => errs.push((cycle, oldest_seq)),
+                other => panic!("expected Wedged, got {other}"),
+            }
+        }
+        assert_eq!(errs[0], errs[1], "engines disagree on the wedge report");
+    }
+
+    #[test]
+    fn corrupted_transfer_credit_trips_the_accounting_checker() {
+        let p = pingpong_program(20);
+        let mut cfg = ProcessorConfig::dual_cluster_8way().with_check_level(CheckLevel::Cycle);
+        cfg.faults = vec![FaultInjection::CorruptTransferCredit { cycle: 0 }];
+        let err = Processor::new(cfg).run_program(&p).unwrap_err();
+        match err {
+            SimError::Invariant { cycle, rule, .. } => {
+                assert_eq!(rule, "otb-accounting");
+                assert_eq!(cycle, 0, "phantom credits are visible immediately");
+            }
+            other => panic!("expected Invariant, got {other}"),
+        }
+    }
+
+    #[test]
+    fn delayed_operand_delivery_wedges_the_consumer() {
+        // Pushing an in-flight operand delivery past the wedge
+        // threshold starves its consumer forever; in-order retirement
+        // then blocks the whole machine on it.
+        let p = pingpong_program(20);
+        let mut cfg = ProcessorConfig::dual_cluster_8way();
+        cfg.wedge_threshold = 64;
+        cfg.faults = vec![FaultInjection::DelayOperandDelivery { cycle: 0, delay: 1 << 40 }];
+        let err = Processor::new(cfg).run_program(&p).unwrap_err();
+        assert!(matches!(err, SimError::Wedged { .. }), "got {err}");
+    }
+
+    #[test]
+    fn leaked_phys_reg_trips_the_accounting_checker() {
+        let p = pingpong_program(20);
+        let mut cfg = ProcessorConfig::dual_cluster_8way().with_check_level(CheckLevel::Cycle);
+        cfg.faults = vec![FaultInjection::LeakPhysReg { cycle: 0 }];
+        let err = Processor::new(cfg).run_program(&p).unwrap_err();
+        match err {
+            SimError::Invariant { rule, .. } => assert_eq!(rule, "phys-reg-accounting"),
+            other => panic!("expected Invariant, got {other}"),
+        }
+    }
+
+    #[test]
+    fn stalled_retirement_wedges() {
+        let p = chain_program(30);
+        let mut cfg = ProcessorConfig::single_cluster_8way();
+        cfg.wedge_threshold = 64;
+        cfg.faults = vec![FaultInjection::StallRetire { cycle: 0 }];
+        let err = Processor::new(cfg).run_program(&p).unwrap_err();
+        assert!(matches!(err, SimError::Wedged { .. }), "got {err}");
+    }
+
+    #[test]
+    fn hard_watchdog_cancels_with_a_structured_timeout() {
+        // A deadline of "now" is already exceeded by the first poll
+        // (every 4096 steps), so a long dependent chain must cancel.
+        let p = chain_program(6000);
+        let _armed = crate::watchdog::arm(Some(std::time::Instant::now()));
+        let err = Processor::new(ProcessorConfig::single_cluster_8way())
+            .run_program(&p)
+            .unwrap_err();
+        assert!(matches!(err, SimError::Timeout { .. }), "got {err}");
+    }
+
+    #[test]
+    fn hard_watchdog_with_headroom_does_not_fire() {
+        let p = chain_program(6000);
+        let baseline = run(ProcessorConfig::single_cluster_8way(), &p);
+        let _armed = crate::watchdog::arm_for(std::time::Duration::from_secs(3600));
+        let timed = run(ProcessorConfig::single_cluster_8way(), &p);
+        assert_eq!(timed.stats, baseline.stats, "an unhit deadline must not perturb the run");
     }
 
     #[test]

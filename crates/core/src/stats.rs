@@ -2,6 +2,13 @@
 
 use mcl_mem::CacheStats;
 
+/// Version tag of the [`SimStats::to_wire_bytes`] encoding. Bump it
+/// whenever a field is added, removed, or reordered — the exhaustive
+/// destructuring in the codec makes forgetting a compile error, and the
+/// on-disk result store treats any version mismatch as a stale entry to
+/// recompute, never as data to reinterpret.
+pub const STATS_WIRE_VERSION: u32 = 1;
+
 /// Counters accumulated over one simulation run.
 ///
 /// The paper's performance metric is the simulated clock-cycle count
@@ -200,6 +207,143 @@ impl SimStats {
         self.dcache.absorb(&other.dcache);
     }
 
+    /// Serializes the counters into the versioned little-endian wire
+    /// form the persistent result store caches. The destructuring is
+    /// exhaustive on purpose: adding a `SimStats` (or [`CacheStats`])
+    /// field without extending this codec — and bumping
+    /// [`STATS_WIRE_VERSION`] — does not compile.
+    #[must_use]
+    pub fn to_wire_bytes(&self) -> Vec<u8> {
+        let SimStats {
+            cycles,
+            dispatch_cycles,
+            drain_cycles,
+            retired,
+            single_distributed,
+            dual_distributed,
+            scenario,
+            per_cluster_dispatched,
+            per_cluster_issued,
+            branches,
+            mispredicts,
+            replays,
+            replay_squashed,
+            replay_escalations,
+            reassignments,
+            stall_reassign,
+            operands_forwarded,
+            results_forwarded,
+            otb_full_stalls,
+            rtb_full_stalls,
+            stall_icache,
+            stall_branch,
+            stall_dq,
+            stall_regs,
+            stall_replay,
+            issue_disorder,
+            icache,
+            dcache,
+        } = self;
+        let mut out = Vec::with_capacity(4 + 35 * 8);
+        out.extend_from_slice(&STATS_WIRE_VERSION.to_le_bytes());
+        let mut put = |v: u64| out.extend_from_slice(&v.to_le_bytes());
+        for v in [
+            *cycles,
+            *dispatch_cycles,
+            *drain_cycles,
+            *retired,
+            *single_distributed,
+            *dual_distributed,
+        ] {
+            put(v);
+        }
+        for v in scenario {
+            put(*v);
+        }
+        for v in per_cluster_dispatched.iter().chain(per_cluster_issued.iter()) {
+            put(*v);
+        }
+        for v in [
+            *branches,
+            *mispredicts,
+            *replays,
+            *replay_squashed,
+            *replay_escalations,
+            *reassignments,
+            *stall_reassign,
+            *operands_forwarded,
+            *results_forwarded,
+            *otb_full_stalls,
+            *rtb_full_stalls,
+            *stall_icache,
+            *stall_branch,
+            *stall_dq,
+            *stall_regs,
+            *stall_replay,
+            *issue_disorder,
+        ] {
+            put(v);
+        }
+        for cache in [icache, dcache] {
+            let CacheStats { accesses, hits, misses, merged_misses, evictions } = *cache;
+            for v in [accesses, hits, misses, merged_misses, evictions] {
+                put(v);
+            }
+        }
+        out
+    }
+
+    /// Decodes [`SimStats::to_wire_bytes`] output.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description on version mismatch, truncation, or
+    /// trailing bytes — callers (the result store) treat every such
+    /// entry as corrupt and recompute.
+    pub fn from_wire_bytes(bytes: &[u8]) -> Result<SimStats, String> {
+        let mut r = WireReader { bytes, at: 0 };
+        let version = r.u32()?;
+        if version != STATS_WIRE_VERSION {
+            return Err(format!(
+                "stats wire version {version}, expected {STATS_WIRE_VERSION}"
+            ));
+        }
+        let stats = SimStats {
+            cycles: r.u64()?,
+            dispatch_cycles: r.u64()?,
+            drain_cycles: r.u64()?,
+            retired: r.u64()?,
+            single_distributed: r.u64()?,
+            dual_distributed: r.u64()?,
+            scenario: [r.u64()?, r.u64()?, r.u64()?, r.u64()?, r.u64()?],
+            per_cluster_dispatched: [r.u64()?, r.u64()?],
+            per_cluster_issued: [r.u64()?, r.u64()?],
+            branches: r.u64()?,
+            mispredicts: r.u64()?,
+            replays: r.u64()?,
+            replay_squashed: r.u64()?,
+            replay_escalations: r.u64()?,
+            reassignments: r.u64()?,
+            stall_reassign: r.u64()?,
+            operands_forwarded: r.u64()?,
+            results_forwarded: r.u64()?,
+            otb_full_stalls: r.u64()?,
+            rtb_full_stalls: r.u64()?,
+            stall_icache: r.u64()?,
+            stall_branch: r.u64()?,
+            stall_dq: r.u64()?,
+            stall_regs: r.u64()?,
+            stall_replay: r.u64()?,
+            issue_disorder: r.u64()?,
+            icache: r.cache()?,
+            dcache: r.cache()?,
+        };
+        if r.at != bytes.len() {
+            return Err(format!("{} trailing bytes after stats", bytes.len() - r.at));
+        }
+        Ok(stats)
+    }
+
     /// Verifies the stall-accounting identity (see the type-level docs):
     /// every cycle is a dispatch cycle, a drain cycle, or exactly one
     /// attributed stall.
@@ -228,6 +372,41 @@ impl SimStats {
             self.stall_reassign,
             accounted,
         ))
+    }
+}
+
+/// Bounds-checked little-endian cursor for [`SimStats::from_wire_bytes`].
+struct WireReader<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl WireReader<'_> {
+    fn take(&mut self, n: usize) -> Result<&[u8], String> {
+        let end = self.at.checked_add(n).filter(|&e| e <= self.bytes.len()).ok_or_else(
+            || format!("stats truncated at byte {} (wanted {n} more)", self.at),
+        )?;
+        let s = &self.bytes[self.at..end];
+        self.at = end;
+        Ok(s)
+    }
+
+    fn u32(&mut self) -> Result<u32, String> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    fn u64(&mut self) -> Result<u64, String> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    fn cache(&mut self) -> Result<CacheStats, String> {
+        Ok(CacheStats {
+            accesses: self.u64()?,
+            hits: self.u64()?,
+            misses: self.u64()?,
+            merged_misses: self.u64()?,
+            evictions: self.u64()?,
+        })
     }
 }
 
@@ -300,6 +479,39 @@ mod tests {
         assert_eq!(stats.ipc(), 0.0);
         assert_eq!(stats.mispredict_rate(), 0.0);
         assert_eq!(stats.dual_fraction(), 0.0);
+    }
+
+    #[test]
+    fn wire_codec_round_trips_and_rejects_corruption() {
+        let mut stats = SimStats {
+            cycles: 123_456,
+            dispatch_cycles: 100_000,
+            drain_cycles: 3456,
+            retired: 250_000,
+            scenario: [1, 2, 3, 4, 5],
+            per_cluster_dispatched: [9, 8],
+            per_cluster_issued: [7, 6],
+            branches: 500,
+            mispredicts: 17,
+            stall_icache: 20_000,
+            issue_disorder: 42,
+            ..SimStats::default()
+        };
+        stats.icache.accesses = 99;
+        stats.dcache.misses = 3;
+        let wire = stats.to_wire_bytes();
+        assert_eq!(SimStats::from_wire_bytes(&wire).unwrap(), stats);
+
+        // Truncation, trailing garbage, and a wrong version all fail.
+        assert!(SimStats::from_wire_bytes(&wire[..wire.len() - 1]).is_err());
+        let mut long = wire.clone();
+        long.push(0);
+        assert!(SimStats::from_wire_bytes(&long).is_err());
+        let mut wrong = wire;
+        wrong[0] ^= 0xFF;
+        let err = SimStats::from_wire_bytes(&wrong).unwrap_err();
+        assert!(err.contains("version"), "{err}");
+        assert!(SimStats::from_wire_bytes(&[]).is_err());
     }
 
     #[test]

@@ -97,11 +97,16 @@ pub fn unroll_self_loops(program: &Program<Vreg>, factor: u32) -> Program<Vreg> 
         let head_live = live.live_in(BlockId::new(bi));
 
         // Registers private to one iteration may be renamed per copy.
-        let mut renameable: HashSet<Vreg> = HashSet::new();
+        // Program order, not a set: fresh indices are handed out in
+        // iteration order below, and the unrolled program's bytes must
+        // be identical across processes (content-addressed caching
+        // hashes the packed trace).
+        let mut renameable: Vec<Vreg> = Vec::new();
         for instr in &block.instrs {
             if let Some(d) = instr.writes() {
-                if !head_live.contains(&d) && !exit_live.contains(&d) {
-                    renameable.insert(d);
+                if !head_live.contains(&d) && !exit_live.contains(&d) && !renameable.contains(&d)
+                {
+                    renameable.push(d);
                 }
             }
         }

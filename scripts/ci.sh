@@ -142,6 +142,59 @@ if ! diff -q "$smoke_dir/all_serial_ref.txt" "$smoke_dir/all_shards1.txt"; then
 fi
 (cd "$smoke_dir" && "$OLDPWD/target/release/repro" selftest 8 --jobs 2 --shards 4)
 
+echo "== smoke: chaos fault-injection campaign =="
+# Every injected fault must surface as a structured error (invariant
+# violation or wedge) — never silently perturb statistics. The campaign
+# sweeps fault x workload x engine x check level and the binary exits
+# nonzero unless 100% of cells detect and 0% leak.
+(cd "$smoke_dir" && "$OLDPWD/target/release/repro" chaos --jobs 2 > chaos.txt)
+grep -q 'chaos: PASS (100% detected, 0% leaked)' "$smoke_dir/chaos.txt" || {
+    echo "FAIL: chaos campaign did not report a full pass" >&2
+    cat "$smoke_dir/chaos.txt" >&2
+    exit 1
+}
+grep -q ' 0 leaked into stats; 0 broken cells' "$smoke_dir/chaos.txt" || {
+    echo "FAIL: chaos campaign summary line malformed or reporting leaks" >&2
+    exit 1
+}
+
+echo "== smoke: persistent result store (cold vs warm) =="
+# A warm `--store` run must render byte-identical output while serving
+# every serial simulation from disk. The speedup guard compares the
+# cells' simulate time (the cached work), not total wall — traces are
+# rebuilt either way; override with MCL_STORE_GUARD_SPEEDUP.
+store_speedup_floor="${MCL_STORE_GUARD_SPEEDUP:-5.0}"
+(cd "$smoke_dir" && "$OLDPWD/target/release/repro" all 8 --jobs 1 --store result_store > all_cold.txt)
+cold_wall="$(grep -o '"total_simulate_seconds":[0-9.]*' "$smoke_dir/BENCH_repro.json" | head -1 | cut -d: -f2)"
+grep -q '"disk_stores":0' "$smoke_dir/BENCH_repro.json" && {
+    echo "FAIL: cold --store run persisted nothing" >&2
+    exit 1
+}
+(cd "$smoke_dir" && "$OLDPWD/target/release/repro" all 8 --jobs 1 --store result_store > all_warm.txt)
+warm_wall="$(grep -o '"total_simulate_seconds":[0-9.]*' "$smoke_dir/BENCH_repro.json" | head -1 | cut -d: -f2)"
+if ! diff -q "$smoke_dir/all_cold.txt" "$smoke_dir/all_warm.txt"; then
+    echo "FAIL: warm --store run changed repro all output" >&2
+    exit 1
+fi
+grep -q '"disk_misses":0' "$smoke_dir/BENCH_repro.json" || {
+    echo "FAIL: warm --store run missed the disk cache" >&2
+    exit 1
+}
+grep -q '"disk_quarantined":0' "$smoke_dir/BENCH_repro.json" || {
+    echo "FAIL: warm --store run quarantined entries" >&2
+    exit 1
+}
+if grep -q '"disk_hits":0' "$smoke_dir/BENCH_repro.json"; then
+    echo "FAIL: warm --store run served no cells from disk" >&2
+    exit 1
+fi
+if ! awk -v c="$cold_wall" -v w="$warm_wall" -v f="$store_speedup_floor" \
+        'BEGIN { exit !(w <= 0.000001 || c / w >= f) }'; then
+    echo "FAIL: warm --store simulate time (${warm_wall}s) not ${store_speedup_floor}x under cold (${cold_wall}s)" >&2
+    exit 1
+fi
+echo "store guard OK: simulate ${cold_wall}s cold vs ${warm_wall}s warm (floor ${store_speedup_floor}x), output byte-identical"
+
 echo "== guard: event-engine throughput =="
 # `repro bench` is min-of-3 per (workload, engine) and cross-checks the
 # engines' statistics on every run. The skip totals are deterministic,
@@ -171,14 +224,17 @@ echo "engine guard OK: ratio ${ratio} (floor ${ratio_floor}), skipped ${skip_pct
 
 append_history() {
     # Appends a `repro bench` run's schema-versioned summary line to the
-    # perf trajectory log so the trend is tracked across PRs.
+    # perf trajectory log so the trend is tracked across PRs. The binary
+    # validates every candidate (JSON shape, required keys, current
+    # schema, no duplicates) and skips-with-warning instead of poisoning
+    # the log; malformed existing lines are reported too.
     local src="$1" line
     line="$(grep -o 'engine-bench: history = {.*}' "$src" | sed 's/^engine-bench: history = //')"
     if [ -z "$line" ]; then
         echo "FAIL: no history summary line in $src" >&2
         exit 1
     fi
-    printf '%s\n' "$line" >> BENCH_repro.history.jsonl
+    printf '%s\n' "$line" | target/release/repro history-append BENCH_repro.history.jsonl
 }
 append_history "$smoke_dir/bench.txt"
 
