@@ -17,8 +17,10 @@
 //! repro pipeline <bench>       per-instruction pipeline diagram
 //! repro selftest [divisor]    differential + fault-injection self-checks
 //! repro explain [divisor]     critical-path cycle-loss attribution
+//! repro profile [divisor]     engine phase-cost host profile (ns/cycle)
 //! repro bench [divisor]       ticked-vs-event engine microbenchmark
 //! repro chaos                  fault-injection chaos campaign
+//! repro trend [file] [--gate]  perf-trend analysis of the bench history
 //! repro all [divisor]         everything above (except selftest/explain/bench/chaos)
 //! repro obs-validate <dir>     validate a directory of exports
 //! repro history-append <file>  validated append of a history line (stdin)
@@ -94,6 +96,30 @@
 //! - `--baseline single|dual-none` — differential mode: also attribute
 //!   the named Table 2 reference cell and report the per-cause share of
 //!   the slowdown against it.
+//!
+//! Profiling flags (see `mcl_bench::profile`, `mcl_bench::flight`, and
+//! `mcl_bench::trend`):
+//!
+//! - `repro profile [divisor]` — for every benchmark, rerun the
+//!   dual-cluster/local Table 2 cell on the event engine with the host
+//!   phase profiler, write `<bench>.hostprof.json` (into `--obs
+//!   OUT_DIR`, or `hostprof_out` by default), and print the ranked
+//!   host-ns-per-live-cycle phase breakdown. The sum-to-elapsed
+//!   identity (phase nanoseconds telescope to the sampled span, within
+//!   a stated slop of the cell's wall time) is enforced on every cell.
+//! - `--flight FILE` — record a whole-run host flight recording: one
+//!   Chrome trace-event file covering every cell, trace build,
+//!   simulation, persistent-store load/store, and shard-worker window
+//!   across the invocation, written to `FILE` after the run. Recording
+//!   off is one relaxed atomic load per site, and the recording never
+//!   alters results — `repro` output is byte-identical with the flag
+//!   on or off.
+//! - `repro trend [FILE] [--gate]` — parse the appended bench history
+//!   (`BENCH_repro.history.jsonl` by default, mixed schema versions
+//!   tolerated), compare the latest run against the per-group baseline
+//!   with noise-banded thresholds, and print a ranked per-metric
+//!   report. `--gate` exits nonzero when any metric regressed beyond
+//!   its noise band.
 
 use std::ops::Range;
 use std::path::PathBuf;
@@ -230,10 +256,28 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let flight_path = match take_value_flag(&mut args, "--flight") {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if flight_path.is_some() {
+        // Turn the recorder on before any cell, trace build, or store
+        // access so the recording covers the whole invocation.
+        mcl_bench::flight::enable();
+    }
     let obs_settings =
         obs_dir.map(|dir| ObsSettings { dir: PathBuf::from(dir), sample_interval });
-    let mut options =
-        RunOptions { keep_going, watchdog_seconds, obs: obs_settings, explain: None };
+    let mut options = RunOptions {
+        keep_going,
+        watchdog_seconds,
+        obs: obs_settings,
+        explain: None,
+        profile: None,
+        flight: flight_path,
+    };
     let cmd = args.first().cloned().unwrap_or_else(|| "all".to_owned());
     let divisor: u32 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(1);
 
@@ -265,6 +309,12 @@ fn main() -> ExitCode {
         let report = mcl_bench::chaos::run(jobs, budget);
         print!("{}", mcl_bench::chaos::render(&report));
         return if report.passed() { ExitCode::SUCCESS } else { ExitCode::FAILURE };
+    }
+
+    if cmd == "trend" {
+        let gate = take_switch(&mut args, "--gate");
+        let path = args.get(1).map_or("BENCH_repro.history.jsonl", String::as_str);
+        return run_trend(std::path::Path::new(path), gate);
     }
 
     if cmd == "history-append" {
@@ -338,6 +388,14 @@ fn main() -> ExitCode {
             options.explain =
                 Some((dir.display().to_string(), baseline.map(|b| b.name().to_owned())));
             plan_explain(&mut plan, &store, divisor, dir, baseline, mcl_only().as_deref());
+        }
+        "profile" => {
+            let dir = options
+                .obs
+                .as_ref()
+                .map_or_else(|| PathBuf::from("hostprof_out"), |s| s.dir.clone());
+            options.profile = Some(dir.display().to_string());
+            plan_profile(&mut plan, &store, divisor, dir, mcl_only().as_deref());
         }
         "all" => plan_all(&mut plan, &store, divisor, options.obs.as_ref()),
         other => {
@@ -430,6 +488,40 @@ fn run_history_append(path: &std::path::Path) -> ExitCode {
     }
 }
 
+/// `repro trend [FILE] [--gate]`: analyzes the appended bench history
+/// ([`mcl_bench::trend`]) and prints the per-group, per-metric report.
+/// Unreadable files, empty histories, and all-garbage histories are
+/// hard errors — a gate that silently passes on a missing history
+/// guards nothing. With `gate`, regressions beyond the noise band fail
+/// the exit code too.
+fn run_trend(path: &std::path::Path, gate: bool) -> ExitCode {
+    let history = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: trend: reading {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    match mcl_bench::trend::analyze(&history) {
+        Ok(report) => {
+            print!("{}", mcl_bench::trend::render(&report));
+            let regressions = report.regressions();
+            if gate && regressions > 0 {
+                eprintln!(
+                    "error: trend --gate: {regressions} metric(s) regressed beyond the noise band"
+                );
+                ExitCode::FAILURE
+            } else {
+                ExitCode::SUCCESS
+            }
+        }
+        Err(e) => {
+            eprintln!("error: trend: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 /// Driver-level robustness and observability options.
 #[derive(Clone, Default)]
 struct RunOptions {
@@ -439,6 +531,12 @@ struct RunOptions {
     /// `(export dir, baseline name)` of a `repro explain` run, recorded
     /// in `BENCH_repro.json`.
     explain: Option<(String, Option<String>)>,
+    /// Export dir of a `repro profile` run, recorded in
+    /// `BENCH_repro.json`.
+    profile: Option<String>,
+    /// `--flight FILE` target, recorded in `BENCH_repro.json`; the
+    /// recording is written there after every cell has finished.
+    flight: Option<String>,
 }
 
 /// Extracts `--jobs N` / `--jobs=N` from the argument list.
@@ -620,6 +718,16 @@ impl Plan {
             }
         }
 
+        // Write the flight recording once every cell has finished, so
+        // it covers the full run; an unwritable recording is a warning
+        // (like the report below), not a lost run.
+        if let Some(flight) = &options.flight {
+            match mcl_bench::flight::write(std::path::Path::new(flight)) {
+                Ok(()) => eprintln!("flight recording written to {flight}"),
+                Err(e) => eprintln!("warning: could not write flight recording {flight}: {e}"),
+            }
+        }
+
         let path = std::path::Path::new("BENCH_repro.json");
         let info = RunInfo {
             command: command.to_owned(),
@@ -634,6 +742,8 @@ impl Plan {
             sample_interval: options.obs.as_ref().map_or(0, |s| s.sample_interval),
             explain_dir: options.explain.as_ref().map(|(dir, _)| dir.clone()),
             explain_baseline: options.explain.as_ref().and_then(|(_, b)| b.clone()),
+            profile_dir: options.profile.clone(),
+            flight_path: options.flight.clone(),
         };
         if let Err(e) = runner::write_report(path, &info, &store.counters(), &metrics) {
             eprintln!("warning: could not write {}: {e}", path.display());
@@ -1057,6 +1167,9 @@ fn plan_selftest(plan: &mut Plan, divisor: u32, shards: usize) {
         selftest_cell("critpath-identity", move || {
             selftest::critpath_identity(divisor, shards)
         }),
+        selftest_cell("hostprof-identity", move || {
+            selftest::hostprof_identity(divisor, shards)
+        }),
         selftest_cell("fuzz-checker", || selftest::fuzz_checker(24)),
         selftest_cell("leak-fault", selftest::leak_fault_caught),
         selftest_cell("corrupt-packed", selftest::corrupt_packed_rejected),
@@ -1102,6 +1215,40 @@ fn plan_explain(
         cells,
         Box::new(move |ps| {
             println!("Critical-path cycle-loss attribution (dual-cluster, local scheduler)\n");
+            for p in ps {
+                println!("{}", text(p));
+            }
+        }),
+    );
+}
+
+/// Adds one profile cell per benchmark: the host phase-cost profile of
+/// the dual-cluster/local run on the event engine, exporting
+/// `<bench>.hostprof.json` into `dir`.
+fn plan_profile(
+    plan: &mut Plan,
+    store: &Arc<TraceStore>,
+    divisor: u32,
+    dir: PathBuf,
+    only: Option<&str>,
+) {
+    let cells = Benchmark::ALL
+        .iter()
+        .filter(|b| only.is_none_or(|name| b.name() == name))
+        .map(|&bench| {
+            let store = Arc::clone(store);
+            let dir = dir.clone();
+            Cell::new(format!("profile/{bench}"), move || {
+                let (rendered, cost) =
+                    mcl_bench::profile::profile_cell(&store, bench, bench.scaled(divisor), &dir)?;
+                Ok((Payload::Text(rendered), cost))
+            })
+        })
+        .collect();
+    plan.section(
+        cells,
+        Box::new(move |ps| {
+            println!("Engine phase-cost profile (dual-cluster, local scheduler, event engine)\n");
             for p in ps {
                 println!("{}", text(p));
             }

@@ -30,6 +30,13 @@ pub enum Json {
 }
 
 impl Json {
+    /// Maximum container nesting depth [`Json::parse`] accepts. The
+    /// parser is recursive, so unbounded nesting would overflow the
+    /// host stack on adversarial input; the deepest document this crate
+    /// ever emits nests four levels, so 128 is generous without
+    /// letting a corrupt file take the process down.
+    pub const MAX_DEPTH: usize = 128;
+
     /// An empty object.
     #[must_use]
     pub fn object() -> Json {
@@ -53,14 +60,15 @@ impl Json {
     /// Integers without a fraction or exponent that fit a `u64` become
     /// [`Json::U64`]; every other number becomes [`Json::F64`].
     /// Duplicate object keys are kept in order (accessors return the
-    /// first).
+    /// first). Containers nested deeper than [`Json::MAX_DEPTH`] are
+    /// rejected.
     ///
     /// # Errors
     ///
     /// Returns a message with a byte offset when the input is not valid
-    /// JSON or has trailing content.
+    /// JSON, nests too deep, or has trailing content.
     pub fn parse(input: &str) -> Result<Json, String> {
-        let mut p = Parser { bytes: input.as_bytes(), pos: 0 };
+        let mut p = Parser { bytes: input.as_bytes(), pos: 0, depth: 0 };
         p.skip_ws();
         let value = p.value()?;
         p.skip_ws();
@@ -202,6 +210,8 @@ impl From<bool> for Json {
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    /// Current container nesting depth, bounded by [`Json::MAX_DEPTH`].
+    depth: usize,
 }
 
 impl Parser<'_> {
@@ -250,7 +260,36 @@ impl Parser<'_> {
         }
     }
 
+    /// Bumps the nesting depth on container entry (the matching
+    /// decrement lives in the [`Parser::object`]/[`Parser::array`]
+    /// wrappers).
+    fn descend(&mut self) -> Result<(), String> {
+        self.depth += 1;
+        if self.depth > Json::MAX_DEPTH {
+            return Err(format!(
+                "nesting deeper than {} levels at byte {}",
+                Json::MAX_DEPTH,
+                self.pos
+            ));
+        }
+        Ok(())
+    }
+
     fn object(&mut self) -> Result<Json, String> {
+        self.descend()?;
+        let value = self.object_body();
+        self.depth -= 1;
+        value
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.descend()?;
+        let value = self.array_body();
+        self.depth -= 1;
+        value
+    }
+
+    fn object_body(&mut self) -> Result<Json, String> {
         self.expect(b'{')?;
         let mut fields = Vec::new();
         self.skip_ws();
@@ -277,7 +316,7 @@ impl Parser<'_> {
         }
     }
 
-    fn array(&mut self) -> Result<Json, String> {
+    fn array_body(&mut self) -> Result<Json, String> {
         self.expect(b'[')?;
         let mut items = Vec::new();
         self.skip_ws();
@@ -465,5 +504,67 @@ mod tests {
         for bad in ["", "{", "{\"a\":}", "[1,]", "tru", "\"open", "{} trailing", "12x"] {
             assert!(Json::parse(bad).is_err(), "accepted {bad:?}");
         }
+    }
+
+    #[test]
+    fn duplicate_keys_are_kept_in_order_and_get_returns_the_first() {
+        let v = Json::parse("{\"k\":1,\"other\":true,\"k\":2}").expect("parses");
+        assert_eq!(v.get("k").and_then(Json::as_u64), Some(1), "get() returns the first");
+        let Json::Object(fields) = &v else { panic!("object") };
+        assert_eq!(fields.len(), 3, "duplicates are kept, not merged");
+        assert_eq!(fields[2].0, "k");
+        assert_eq!(fields[2].1.as_u64(), Some(2));
+    }
+
+    #[test]
+    fn nesting_at_the_depth_limit_parses_and_one_past_is_rejected() {
+        let nest = |n: usize| format!("{}1{}", "[".repeat(n), "]".repeat(n));
+        assert!(Json::parse(&nest(Json::MAX_DEPTH)).is_ok());
+        let err = Json::parse(&nest(Json::MAX_DEPTH + 1)).expect_err("rejected");
+        assert!(err.contains("nesting deeper than"), "{err}");
+        // Objects count against the same budget as arrays.
+        let objects =
+            format!("{}1{}", "{\"k\":[".repeat(70), "]}".repeat(70));
+        let err = Json::parse(&objects).expect_err("140 levels rejected");
+        assert!(err.contains("nesting deeper than"), "{err}");
+        // Depth is nesting, not sibling count: a long flat array is fine.
+        let flat = format!("[{}1]", "1,".repeat(10_000));
+        assert!(Json::parse(&flat).is_ok());
+    }
+
+    #[test]
+    fn lone_surrogate_escapes_decode_as_replacement_characters() {
+        // A lone high surrogate is not a scalar value; the parser maps
+        // it to U+FFFD rather than erroring (the emitter never writes
+        // surrogates, so anything goes on the lenient side).
+        assert_eq!(Json::parse("\"\\ud800\"").unwrap().as_str(), Some("\u{fffd}"));
+        // Surrogate *pairs* are not combined either: each half decodes
+        // independently to U+FFFD.
+        assert_eq!(
+            Json::parse("\"\\ud83d\\ude00\"").unwrap().as_str(),
+            Some("\u{fffd}\u{fffd}")
+        );
+        // Truncated or non-hex escapes are hard errors, not U+FFFD.
+        assert!(Json::parse("\"\\u12\"").is_err());
+        assert!(Json::parse("\"\\uzzzz\"").is_err());
+    }
+
+    #[test]
+    fn numbers_beyond_u64_fall_back_to_floats() {
+        // u64::MAX still parses as an integer...
+        assert_eq!(Json::parse("18446744073709551615").unwrap().as_u64(), Some(u64::MAX));
+        // ...one past it overflows to a float, not an error.
+        let over = Json::parse("18446744073709551616").expect("parses");
+        assert!(over.as_u64().is_none());
+        assert!(matches!(over, Json::F64(_)));
+        // Negative integers are floats too (Json has no i64 variant and
+        // the emitter never writes negative integers).
+        assert!(matches!(Json::parse("-3").unwrap(), Json::F64(_)));
+        assert_eq!(Json::parse("-3").unwrap().as_f64(), Some(-3.0));
+        // An exponent beyond f64's range parses as infinity — which
+        // re-renders as null, like every non-finite float.
+        let huge = Json::parse("1e999").expect("parses");
+        assert_eq!(huge.as_f64(), Some(f64::INFINITY));
+        assert_eq!(huge.render(), "null");
     }
 }

@@ -26,6 +26,15 @@
 //!   attribution of each Table 2 cell (`<bench>.critpath.json` plus a
 //!   rendered per-cause report), optionally differential against the
 //!   single-cluster or dual-native baseline.
+//! - [`profile`] — `repro profile`: host-side phase-cost attribution of
+//!   the live-cycle loop (`<bench>.hostprof.json` plus a ranked
+//!   ns-per-live-cycle report), with a sum-to-elapsed identity check.
+//! - [`flight`] — the `--flight FILE` whole-run host flight recorder:
+//!   one Chrome trace of cell scheduling, store and persist I/O, and
+//!   shard worker occupancy across the entire invocation.
+//! - [`trend`] — `repro trend`: per-metric deltas and noise-banded
+//!   regression detection over `BENCH_repro.history.jsonl`, with
+//!   `--gate` for CI.
 //!
 //! Everything here is a library so the `repro` binary and the criterion
 //! benches share one implementation.
@@ -42,16 +51,19 @@ pub mod ablate;
 pub mod chaos;
 pub mod explain;
 pub mod figure6;
+pub mod flight;
 pub mod json;
 pub mod microbench;
 pub mod obs;
 pub mod persist;
+pub mod profile;
 pub mod runner;
 pub mod scenarios;
 pub mod selftest;
 pub mod store;
 pub mod table1;
 pub mod table2;
+pub mod trend;
 
 pub use persist::{PersistCounters, PersistStore};
 pub use store::{SimProduct, TracePhases, TraceRequest, TraceStore};

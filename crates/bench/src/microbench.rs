@@ -20,7 +20,7 @@
 //! ```text
 //! engine-bench: event/ticked = 4.83x (ticked 2.3M cyc/s, event 11.1M cyc/s)
 //! engine-bench: sharded/event = 2.31x at 4 shards (warmup 0.012s, max divergence 0.0041)
-//! engine-bench: history = {"schema":8,...}
+//! engine-bench: history = {"schema":9,...}
 //! ```
 //!
 //! — which `scripts/ci.sh` greps to enforce the event engine's
@@ -66,6 +66,12 @@ pub struct BenchRow {
     /// Wall seconds the sharded run spent in functional warmup
     /// (summed over workers, from the timed rep).
     pub warmup_seconds: f64,
+    /// Telescoped host nanoseconds of one profiled event-engine run
+    /// (sum of the hostprof phase buckets; see
+    /// [`mcl_core::obs::hostprof`]).
+    pub profile_total_ns: u64,
+    /// Live (actually stepped) cycles of that profiled run.
+    pub profile_live_cycles: u64,
 }
 
 impl BenchRow {
@@ -166,6 +172,22 @@ pub fn run(divisor: u32, shards: usize) -> Result<Vec<BenchRow>, Error> {
                 ticked_stats.cycles, event_stats.cycles
             )));
         }
+        // One host-profiled companion run per workload (event engine,
+        // real fast-forward path) feeds the `profile_ns_per_cycle`
+        // history metric — and doubles as a differential check that
+        // profiling never perturbs the machine.
+        let (profiled, prof_report) = Processor::new(cfg.clone().with_engine(Engine::Event))
+            .run_packed_profiled(&trace)
+            .map_err(Error::Sim)?;
+        if profiled.stats != event_stats {
+            return Err(Error::SelfCheck(format!(
+                "engine-bench: {bench} profiled run diverged — {} vs {} cycles",
+                profiled.stats.cycles, event_stats.cycles
+            )));
+        }
+        prof_report
+            .check_identity()
+            .map_err(|detail| Error::SelfCheck(format!("engine-bench: {bench}: {detail}")))?;
         let mut row = BenchRow {
             name: bench.name(),
             cycles: event_stats.cycles,
@@ -177,6 +199,8 @@ pub fn run(divisor: u32, shards: usize) -> Result<Vec<BenchRow>, Error> {
             shard_windows: 0,
             shard_divergence: 0.0,
             warmup_seconds: 0.0,
+            profile_total_ns: prof_report.total_ns(),
+            profile_live_cycles: prof_report.live_cycles,
         };
         if shards > 1 {
             let (sharded_stats, report, sharded_seconds) =
@@ -304,25 +328,36 @@ pub fn render(rows: &[BenchRow], divisor: u32, shards: usize) -> String {
     }
     // Single-line JSON summary for BENCH_repro.history.jsonl. Same
     // schema version as BENCH_repro.json; each `scripts/ci.sh` bench
-    // run appends exactly one object.
+    // run appends exactly one object. Schema 9 renamed `skipped_pct` to
+    // `skip_pct` and added `profile_ns_per_cycle` (the host-profiled
+    // companions' aggregate ns per live cycle) — `repro trend` aliases
+    // the old name when reading mixed-version history.
+    let total_prof_ns: u64 = rows.iter().map(|r| r.profile_total_ns).sum();
+    let total_prof_live: u64 = rows.iter().map(|r| r.profile_live_cycles).sum();
+    let profile_ns_per_cycle =
+        if total_prof_live > 0 { total_prof_ns as f64 / total_prof_live as f64 } else { 0.0 };
     let unix_seconds = std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
         .map_or(0, |d| d.as_secs());
     out.push_str(&format!(
-        "engine-bench: history = {{\"schema\":8,\"unix_seconds\":{unix_seconds},\
+        "engine-bench: history = {{\"schema\":{HISTORY_SCHEMA_VERSION},\
+         \"unix_seconds\":{unix_seconds},\
          \"divisor\":{divisor},\"shards\":{shards},\"cycles\":{total_cycles},\
          \"ticked_cps\":{ticked_cps:.0},\"event_cps\":{event_cps:.0},\
          \"sharded_cps\":{sharded_cps:.0},\"event_over_ticked\":{ratio:.3},\
-         \"sharded_over_event\":{shard_ratio:.3},\"skipped_pct\":{pct:.1},\
-         \"warmup_seconds\":{total_warmup:.4},\"max_divergence\":{max_divergence:.5}}}\n",
+         \"sharded_over_event\":{shard_ratio:.3},\"skip_pct\":{pct:.1},\
+         \"warmup_seconds\":{total_warmup:.4},\"max_divergence\":{max_divergence:.5},\
+         \"profile_ns_per_cycle\":{profile_ns_per_cycle:.1}}}\n",
     ));
     out
 }
 
 /// The history schema version `repro bench` emits and
 /// `repro history-append` requires (kept in lockstep with
-/// [`crate::runner::REPORT_SCHEMA_VERSION`]).
-pub const HISTORY_SCHEMA_VERSION: u64 = 8;
+/// [`crate::runner::REPORT_SCHEMA_VERSION`]). Version 9 renamed
+/// `skipped_pct` to `skip_pct` and added `profile_ns_per_cycle`;
+/// `repro trend` ([`crate::trend`]) upgrades older lines on read.
+pub const HISTORY_SCHEMA_VERSION: u64 = 9;
 
 /// Keys every history line must carry.
 const HISTORY_REQUIRED_KEYS: &[&str] =
@@ -377,8 +412,31 @@ pub fn validate_history_line(existing: &str, candidate: &str) -> HistoryVerdict 
     HistoryVerdict::Append
 }
 
+/// Checks one parsed history line beyond key presence: `schema` must be
+/// an integer and every other required key numeric. Returns the first
+/// problem, or `None` for a clean line.
+fn history_line_problem(v: &crate::json::Json) -> Option<String> {
+    for key in HISTORY_REQUIRED_KEYS {
+        if v.get(key).is_none() {
+            return Some(format!("missing required key `{key}`"));
+        }
+    }
+    if v.get("schema").and_then(crate::json::Json::as_u64).is_none() {
+        return Some("`schema` is not an integer".to_owned());
+    }
+    for key in HISTORY_REQUIRED_KEYS.iter().filter(|&&k| k != "schema") {
+        if v.get(key).and_then(crate::json::Json::as_f64).is_none() {
+            return Some(format!("`{key}` is not numeric"));
+        }
+    }
+    None
+}
+
 /// Existing history lines that do not validate (reported as warnings by
-/// `repro history-append`; they never block an append).
+/// `repro history-append`, each with its 1-based line number; they
+/// never block an append). A line is malformed when it fails to parse,
+/// misses a required key, or — value typing, not just presence —
+/// declares a non-integer `schema` or a non-numeric required metric.
 #[must_use]
 pub fn malformed_history_lines(existing: &str) -> Vec<(usize, String)> {
     existing
@@ -386,8 +444,7 @@ pub fn malformed_history_lines(existing: &str) -> Vec<(usize, String)> {
         .enumerate()
         .filter(|(_, line)| !line.trim().is_empty())
         .filter_map(|(i, line)| match crate::json::Json::parse(line.trim()) {
-            Ok(v) if HISTORY_REQUIRED_KEYS.iter().all(|k| v.get(k).is_some()) => None,
-            Ok(_) => Some((i + 1, "missing required keys".to_owned())),
+            Ok(v) => history_line_problem(&v).map(|why| (i + 1, why)),
             Err(e) => Some((i + 1, e)),
         })
         .collect()
@@ -406,10 +463,18 @@ mod tests {
             assert!(r.skipped_cycles < r.cycles, "{}: skipped too much", r.name);
             assert!(r.sharded_seconds.is_none(), "{}: sharded at 1 shard", r.name);
         }
+        for r in &rows {
+            assert!(r.profile_total_ns > 0, "{}: profiled nothing", r.name);
+            assert!(r.profile_live_cycles > 0, "{}: no live cycles profiled", r.name);
+            assert!(r.profile_live_cycles <= r.cycles, "{}: too many live cycles", r.name);
+        }
         let rendered = render(&rows, 256, 1);
         assert!(rendered.contains("engine-bench: event/ticked = "));
         assert!(rendered.contains("engine-bench: skipped = "));
-        assert!(rendered.contains("engine-bench: history = {\"schema\":8,"));
+        assert!(rendered.contains("engine-bench: history = {\"schema\":9,"));
+        assert!(rendered.contains("\"skip_pct\":"), "{rendered}");
+        assert!(rendered.contains("\"profile_ns_per_cycle\":"), "{rendered}");
+        assert!(!rendered.contains("\"skipped_pct\":"), "v9 renamed the field");
         assert!(!rendered.contains("engine-bench: sharded/event"));
         assert!(rendered.contains("compress"));
     }
@@ -460,17 +525,32 @@ mod tests {
 
     #[test]
     fn malformed_existing_lines_are_reported_not_fatal() {
-        let existing = format!("garbage\n{}\n{{\"schema\":8}}\n", history_line(8, 5));
+        let existing = format!("garbage\n{}\n{{\"schema\":9}}\n", history_line(9, 5));
         let bad = malformed_history_lines(&existing);
         assert_eq!(bad.len(), 2);
-        assert_eq!(bad[0].0, 1);
-        assert_eq!(bad[1].0, 3);
-        assert_eq!(bad[1].1, "missing required keys");
+        assert_eq!(bad[0].0, 1, "line numbers are 1-based");
+        assert_eq!(bad[1].0, 3, "reporting keeps going past the first problem");
+        assert_eq!(bad[1].1, "missing required key `unix_seconds`");
         // ...and they do not block a fresh append.
         assert_eq!(
             validate_history_line(&existing, &history_line(HISTORY_SCHEMA_VERSION, 12)),
             HistoryVerdict::Append
         );
+    }
+
+    #[test]
+    fn malformed_detection_checks_value_types_not_just_presence() {
+        // `schema` as a string and a non-numeric metric both count as
+        // malformed even though every required key is present.
+        let stringly = "{\"schema\":\"9\",\"unix_seconds\":10,\"divisor\":64,\"shards\":1,\
+                        \"cycles\":1000,\"ticked_cps\":100,\"event_cps\":500}";
+        let nonnum = "{\"schema\":9,\"unix_seconds\":10,\"divisor\":64,\"shards\":1,\
+                      \"cycles\":\"lots\",\"ticked_cps\":100,\"event_cps\":500}";
+        let existing = format!("{stringly}\n{}\n{nonnum}\n", history_line(9, 5));
+        let bad = malformed_history_lines(&existing);
+        assert_eq!(bad.len(), 2, "{bad:?}");
+        assert_eq!(bad[0], (1, "`schema` is not an integer".to_owned()));
+        assert_eq!(bad[1], (3, "`cycles` is not numeric".to_owned()));
     }
 
     #[test]

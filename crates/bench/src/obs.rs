@@ -365,6 +365,13 @@ fn chrome_trace_json(ring: &EventRing) -> Json {
             .field("tid", seq.into());
         events.push(obj);
     }
+    chrome_trace_document(events)
+}
+
+/// Wraps pre-built trace events in the Chrome trace document shape
+/// every trace export in this crate shares (`--obs` per-cell traces and
+/// the `--flight` whole-run recording).
+pub(crate) fn chrome_trace_document(events: Vec<Json>) -> Json {
     let mut obj = Json::object();
     obj.field("traceEvents", Json::Array(events)).field("displayTimeUnit", "ns".into());
     obj
@@ -428,7 +435,7 @@ fn validate_series(path: &Path) -> Result<(), Error> {
     Ok(())
 }
 
-fn validate_trace(path: &Path) -> Result<usize, Error> {
+pub(crate) fn validate_trace(path: &Path) -> Result<usize, Error> {
     let doc = parse_file(path)?;
     let events = doc
         .get("traceEvents")
@@ -448,10 +455,12 @@ fn validate_trace(path: &Path) -> Result<usize, Error> {
 }
 
 /// Validates a directory of exports: every `*.series.json` and
-/// `*.trace.json` (from `--obs`) and every `*.critpath.json` (from
-/// `repro explain`) must parse and carry the expected schema — for
-/// critpath exports that includes re-checking the attribution identity
-/// from the file. Returns a one-line summary.
+/// `*.trace.json` (from `--obs`), every `*.critpath.json` (from
+/// `repro explain`), every `*.hostprof.json` (from `repro profile`),
+/// and every `*.flight.json` (from `--flight`) must parse and carry
+/// the expected schema — for critpath and hostprof exports that
+/// includes re-checking the identity guarantees from the file. Returns
+/// a one-line summary.
 ///
 /// An empty or missing directory is a hard failure, never a vacuous
 /// pass: `repro obs-validate` exists to prove exports were produced.
@@ -469,20 +478,29 @@ pub fn validate_dir(dir: &Path) -> Result<String, Error> {
         .collect();
     names.sort();
     let (mut series, mut traces, mut trace_events, mut critpaths) = (0usize, 0usize, 0usize, 0usize);
+    let (mut hostprofs, mut flights) = (0usize, 0usize);
     for path in &names {
         let Some(name) = path.file_name().and_then(|n| n.to_str()) else { continue };
         if name.ends_with(".series.json") {
             validate_series(path)?;
             series += 1;
+        } else if name.ends_with(".flight.json") {
+            // Checked before `.trace.json` so a flight recording never
+            // trips the series/trace pairing rule below.
+            crate::flight::validate_flight(path)?;
+            flights += 1;
         } else if name.ends_with(".trace.json") {
             trace_events += validate_trace(path)?;
             traces += 1;
         } else if name.ends_with(".critpath.json") {
             crate::explain::validate_critpath(path)?;
             critpaths += 1;
+        } else if name.ends_with(".hostprof.json") {
+            crate::profile::validate_hostprof(path)?;
+            hostprofs += 1;
         }
     }
-    if series == 0 && traces == 0 && critpaths == 0 {
+    if series == 0 && traces == 0 && critpaths == 0 && hostprofs == 0 && flights == 0 {
         return Err(obs_err(
             &format!("{}", dir.display()),
             "no observability exports found (empty or missing exports are a failure, \
@@ -499,7 +517,8 @@ pub fn validate_dir(dir: &Path) -> Result<String, Error> {
     }
     Ok(format!(
         "{series} series file(s), {traces} Chrome trace file(s) ({trace_events} events), \
-         and {critpaths} critpath attribution file(s) valid"
+         {critpaths} critpath attribution file(s), {hostprofs} hostprof profile(s), \
+         and {flights} flight recording(s) valid"
     ))
 }
 

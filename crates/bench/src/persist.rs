@@ -227,6 +227,10 @@ impl PersistStore {
     /// is the LRU clock.
     #[must_use]
     pub fn load(&self, key: &EntryKey) -> Option<(SimStats, FastForward)> {
+        // Disk I/O latency and the hit/miss outcome both land in the
+        // flight recording; the span is renamed once the outcome is
+        // known and records at drop.
+        let mut flight = crate::flight::span("persist", || "load miss".to_owned());
         let path = self.entry_path(key);
         let bytes = match fs::read(&path) {
             Ok(bytes) => bytes,
@@ -238,6 +242,9 @@ impl PersistStore {
         match decode_entry(&bytes, key) {
             Ok(result) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
+                if let Some(s) = flight.as_mut() {
+                    s.rename("load hit");
+                }
                 // Best-effort LRU touch; a read-only store still serves.
                 if let Ok(f) = fs::File::options().append(true).open(&path) {
                     let _ = f.set_modified(SystemTime::now());
@@ -257,6 +264,7 @@ impl PersistStore {
     /// Failures are swallowed — the store is a cache, and a full disk
     /// must not fail the simulation that just succeeded.
     pub fn store(&self, key: &EntryKey, stats: &SimStats, ff: &FastForward) {
+        let _flight = crate::flight::span("persist", || "store".to_owned());
         let bytes = encode_entry(key, stats, ff);
         let tmp = self.root.join(format!(
             "tmp.{}.{}",

@@ -268,6 +268,9 @@ fn execute_cell<R>(cell: Cell<R>, watchdog_seconds: Option<f64>) -> FinishedCell
     let _watchdog = watchdog_seconds
         .filter(|s| *s > 0.0)
         .map(|s| mcl_core::watchdog::arm_for(std::time::Duration::from_secs_f64(s)));
+    // One flight span per cell on the worker that ran it — with
+    // `--flight` the whole `--jobs` schedule becomes visible.
+    let _flight = crate::flight::span("cell", || id.clone());
     let start = Instant::now();
     let result = match catch_unwind(AssertUnwindSafe(run)) {
         Ok(result) => result,
@@ -446,8 +449,13 @@ pub fn run_cells_isolated<R: Send>(
 /// attached), and upgraded the watchdog semantics — `--watchdog` now
 /// also arms the hard cooperative per-cell deadline (runaway
 /// simulations fail with a structured timeout) and soft
-/// `watchdog_exceeded` overruns fail the process exit code.
-pub const REPORT_SCHEMA_VERSION: u64 = 8;
+/// `watchdog_exceeded` overruns fail the process exit code. Version 9
+/// added the host observability surfaces: the top-level `profile`
+/// object (`dir` of the `*.hostprof.json` exports; `null` for every
+/// command except `repro profile`) and the top-level `flight` object
+/// (`file` of the whole-run flight recording; `null` when the run had
+/// no `--flight`).
+pub const REPORT_SCHEMA_VERSION: u64 = 9;
 
 /// Identity and options of one driver run, recorded at the top of the
 /// report.
@@ -478,6 +486,10 @@ pub struct RunInfo {
     pub explain_dir: Option<String>,
     /// The `--baseline` name of a differential `repro explain` run.
     pub explain_baseline: Option<String>,
+    /// The hostprof export directory of a `repro profile` run.
+    pub profile_dir: Option<String>,
+    /// The flight-recording path, when `--flight` was set.
+    pub flight_path: Option<String>,
 }
 
 /// Builds the `BENCH_repro.json` report.
@@ -525,6 +537,22 @@ pub fn report_json(info: &RunInfo, store: &StoreCounters, metrics: &[CellMetric]
                     info.explain_baseline.as_deref().map_or(Json::Null, Json::from),
                 );
             explain
+        }
+        None => Json::Null,
+    };
+    let profile_json = match &info.profile_dir {
+        Some(dir) => {
+            let mut profile = Json::object();
+            profile.field("dir", dir.as_str().into());
+            profile
+        }
+        None => Json::Null,
+    };
+    let flight_json = match &info.flight_path {
+        Some(file) => {
+            let mut flight = Json::object();
+            flight.field("file", file.as_str().into());
+            flight
         }
         None => Json::Null,
     };
@@ -581,6 +609,8 @@ pub fn report_json(info: &RunInfo, store: &StoreCounters, metrics: &[CellMetric]
         .field("store", store_json)
         .field("obs", obs_json)
         .field("explain", explain_json)
+        .field("profile", profile_json)
+        .field("flight", flight_json)
         .field(
             "cells",
             Json::Array(
@@ -754,9 +784,11 @@ mod tests {
             sample_interval: 0,
             explain_dir: None,
             explain_baseline: None,
+            profile_dir: None,
+            flight_path: None,
         };
         let json = report_json(&info, &counters, &metrics).render();
-        assert!(json.starts_with("{\"schema_version\":8,\"command\":\"table2\","));
+        assert!(json.starts_with("{\"schema_version\":9,\"command\":\"table2\","));
         assert!(json.contains("\"engine\":\"event\""));
         assert!(json.contains("\"shards\":4"));
         assert!(json.contains("\"keep_going\":true"));
@@ -796,6 +828,8 @@ mod tests {
         ));
         assert!(json.contains("\"obs\":null"), "no --obs recorded for this run");
         assert!(json.contains("\"explain\":null"), "not an explain run");
+        assert!(json.contains("\"profile\":null"), "not a profile run");
+        assert!(json.contains("\"flight\":null"), "no --flight recorded for this run");
         assert!(json.contains(
             "\"cells\":[{\"id\":\"table2/compress\",\"status\":\"ok\",\"error\":null,\
              \"watchdog_exceeded\":false,"
@@ -832,6 +866,18 @@ mod tests {
         let bare = RunInfo { explain_dir: Some("out".into()), ..RunInfo::default() };
         let json = report_json(&bare, &StoreCounters::default(), &[]).render();
         assert!(json.contains("\"explain\":{\"dir\":\"out\",\"baseline\":null}"));
+    }
+
+    #[test]
+    fn profile_and_flight_runs_record_their_targets() {
+        let info = RunInfo {
+            profile_dir: Some("hostprof_out".into()),
+            flight_path: Some("run.flight.json".into()),
+            ..RunInfo::default()
+        };
+        let json = report_json(&info, &StoreCounters::default(), &[]).render();
+        assert!(json.contains("\"profile\":{\"dir\":\"hostprof_out\"}"));
+        assert!(json.contains("\"flight\":{\"file\":\"run.flight.json\"}"));
     }
 
     #[test]

@@ -18,6 +18,11 @@
 //!   with a [`mcl_core::CritPathProbe`] attached, must satisfy the
 //!   critical-path attribution identity (per-cause cycles sum exactly
 //!   to total cycles) without perturbing the statistics;
+//! - [`hostprof_identity`] — every benchmark × machine preset, rerun
+//!   with the host phase profiler
+//!   ([`mcl_core::Processor::run_packed_profiled`]), must satisfy the
+//!   sum-to-elapsed identity (phase nanoseconds telescope to the
+//!   sampled host span) without perturbing the statistics;
 //! - [`fuzz_checker`] — randomized straightline programs (deterministic
 //!   [`mcl_testutil::Rng`] seeds) run under the cycle-level invariant
 //!   checker on both machine presets, and the checker must neither fire
@@ -277,6 +282,79 @@ pub fn critpath_identity(divisor: u32, shards: usize) -> Result<(String, CellCos
         }
     }
     Ok((format!("{cells} benchmark × scheduler × preset attributions balance"), cost))
+}
+
+/// Every benchmark × scheduler × machine preset, rerun with the host
+/// phase profiler ([`mcl_core::Processor::run_packed_profiled`]), must
+/// satisfy the sum-to-elapsed identity
+/// ([`mcl_core::HostProfReport::check_identity`]): the per-phase host
+/// nanoseconds telescope — one clock sample ends one phase and starts
+/// the next — so they sum exactly to the sampled span, and the span
+/// tracks the cell's elapsed wall time within the stated slop. The
+/// profiled run must also reproduce the uninstrumented store run's
+/// statistics bit for bit — charging host time to phases can never
+/// change what the machine does.
+///
+/// # Errors
+///
+/// [`Error::SelfCheck`] naming the first unbalanced or diverging cell;
+/// harness errors propagate.
+///
+/// Profiled runs are always serial (host phase costs are per-process),
+/// so the bit-for-bit comparison is against the store's serial product
+/// ([`TraceStore::sim_serial`]) even when the stage runs with
+/// `shards > 1`.
+pub fn hostprof_identity(divisor: u32, shards: usize) -> Result<(String, CellCost), Error> {
+    let mut tiny = ProcessorConfig::dual_cluster_8way();
+    tiny.operand_buffer = 1;
+    tiny.result_buffer = 1;
+    let presets = [
+        ("single", ProcessorConfig::single_cluster_8way()),
+        ("dual", ProcessorConfig::dual_cluster_8way()),
+        ("dual-tiny-buffers", tiny),
+    ];
+    let store = TraceStore::new().with_shards(shards);
+    let mut cost = CellCost::default();
+    let mut cells = 0u32;
+    for bench in Benchmark::ALL {
+        for kind in [SchedulerKind::Naive, SchedulerKind::Local] {
+            let req = TraceRequest::new(bench, quick_scale(bench, divisor), kind);
+            for (preset, cfg) in &presets {
+                let cell = |detail: String| {
+                    mismatch(
+                        "hostprof-identity",
+                        format!("{}/{kind:?}/{preset}: {detail}", bench.name()),
+                    )
+                };
+                let product = store.sim_serial(&req, cfg)?;
+                cost.charge_sim(&product);
+                let (trace, _) = store.trace(&req)?;
+                let (profiled, report) =
+                    Processor::new((*cfg).clone()).run_packed_profiled(&trace)?;
+                if profiled.stats != product.stats {
+                    return Err(cell(format!(
+                        "profiled run diverged ({} vs {} cycles)",
+                        profiled.stats.cycles, product.stats.cycles
+                    )));
+                }
+                report.check_identity().map_err(cell)?;
+                if report.cycles != profiled.stats.cycles {
+                    return Err(cell(format!(
+                        "profiler saw {} cycles, simulator reported {}",
+                        report.cycles, profiled.stats.cycles
+                    )));
+                }
+                if report.live_cycles > report.cycles {
+                    return Err(cell(format!(
+                        "{} live cycles exceed {} total cycles",
+                        report.live_cycles, report.cycles
+                    )));
+                }
+                cells += 1;
+            }
+        }
+    }
+    Ok((format!("{cells} benchmark × scheduler × preset profiles balance"), cost))
 }
 
 /// A random but valid straightline program: integer and floating-point
@@ -589,6 +667,13 @@ mod tests {
     #[test]
     fn critpath_identity_holds_at_a_coarse_scale() {
         let (detail, cost) = critpath_identity(64, 1).unwrap();
+        assert!(detail.contains("36 benchmark"), "{detail}");
+        assert!(cost.simulated_cycles > 0);
+    }
+
+    #[test]
+    fn hostprof_identity_holds_at_a_coarse_scale() {
+        let (detail, cost) = hostprof_identity(64, 1).unwrap();
         assert!(detail.contains("36 benchmark"), "{detail}");
         assert!(cost.simulated_cycles > 0);
     }

@@ -450,6 +450,9 @@ impl TraceStore {
         let mut phases = TracePhases::default();
         let result = slot.get_or_init(|| {
             built = true;
+            let _flight = crate::flight::span("store", || {
+                format!("trace-build {}/{:?}", req.bench.name(), req.kind)
+            });
             self.build_trace(key, &mut phases).map(|trace| self.canonicalize(trace))
         });
         if built {
@@ -576,6 +579,9 @@ impl TraceStore {
                         return Ok((stats, ff, None));
                     }
                 }
+                let _flight = crate::flight::span("sim", || {
+                    format!("simulate {}/{:?}", req.bench.name(), req.kind)
+                });
                 let result = Processor::new(config.clone())
                     .run_packed(&trace)
                     .map(|r| (r.stats, r.ff, None))
@@ -585,16 +591,49 @@ impl TraceStore {
                 }
                 result
             } else {
-                Processor::new(config.clone())
+                let _flight = crate::flight::span("sim", || {
+                    format!("simulate {}/{:?} sharded x{windows}", req.bench.name(), req.kind)
+                });
+                let shard_epoch = Instant::now();
+                let result = Processor::new(config.clone())
                     .run_sharded(&trace, shard_opts)
                     .map(|(r, report)| (r.stats, r.ff, Some(report)))
-                    .map_err(|e| e.to_string())
+                    .map_err(|e| e.to_string());
+                // Replay the shard workers' measured window schedule
+                // into the flight recording, one lane per window. Only
+                // fresh runs reach this closure, so cached serves never
+                // replay a stale timeline.
+                if let Ok((_, _, Some(report))) = &result {
+                    for t in &report.timeline {
+                        let lane = 1000 + t.window as u64;
+                        crate::flight::span_at(
+                            "shard",
+                            || format!("warmup w{}", t.window),
+                            shard_epoch,
+                            t.start_seconds,
+                            t.warmup_seconds,
+                            lane,
+                        );
+                        crate::flight::span_at(
+                            "shard",
+                            || format!("window w{}", t.window),
+                            shard_epoch,
+                            t.start_seconds + t.warmup_seconds,
+                            t.sim_seconds,
+                            lane,
+                        );
+                    }
+                }
+                result
             }
         });
         if built {
             self.sim_misses.fetch_add(1, Ordering::Relaxed);
         } else {
             self.sim_hits.fetch_add(1, Ordering::Relaxed);
+            crate::flight::instant("store", || {
+                format!("sim-hit {}/{:?}", req.bench.name(), req.kind)
+            });
         }
         let (stats, ff, shard) = result.clone().map_err(Error::Store)?;
         Ok(SimProduct {

@@ -79,10 +79,11 @@ pub use delay::FeatureSize;
 pub use dist::{distribute, Distribution};
 pub use events::{Event, EventKind, EventLog};
 pub use obs::{
-    CritAttribution, CritCause, CritPathProbe, CycleSnapshot, Histogram, IntervalSampler,
-    ObsConfig, ObsProbe, Probe, StallCause,
+    CritAttribution, CritCause, CritPathProbe, CycleSnapshot, Histogram, HostPhase, HostProf,
+    HostProfReport, IntervalSampler, NullHostProf, ObsConfig, ObsProbe, PhaseProf, Probe,
+    StallCause,
 };
 pub use pipeview::{render as render_pipeline, PipeViewOptions};
-pub use shard::{planned_windows, ShardOptions, ShardReport};
+pub use shard::{planned_windows, ShardOptions, ShardReport, WindowTiming};
 pub use sim::{Processor, SimError, SimResult};
 pub use stats::{speedup_percent, FastForward, SimStats, STATS_WIRE_VERSION};

@@ -18,12 +18,14 @@
 
 pub mod critpath;
 mod histogram;
+pub mod hostprof;
 mod probe;
 mod ring;
 mod sampler;
 
 pub use critpath::{CritAttribution, CritCause, CritPathProbe};
 pub use histogram::{Histogram, HISTOGRAM_BUCKETS};
+pub use hostprof::{HostPhase, HostProf, HostProfReport, NullHostProf, PhaseProf};
 pub use probe::{ObsConfig, ObsProbe};
 pub use ring::EventRing;
 pub use sampler::{IntervalSampler, Sample};

@@ -104,6 +104,24 @@ pub struct ShardReport {
     pub warmup_seconds: f64,
     /// Simulated cycles per window, in window order.
     pub window_cycles: Vec<u64>,
+    /// Host-side wall-clock schedule of each parallel window worker
+    /// (empty on the serial path), for the flight recorder's shard
+    /// occupancy spans.
+    pub timeline: Vec<WindowTiming>,
+}
+
+/// When one window worker ran on the host, as offsets from the sharded
+/// run's start.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct WindowTiming {
+    /// Window index, in trace order.
+    pub window: usize,
+    /// Seconds from run start to the worker picking up its window.
+    pub start_seconds: f64,
+    /// Seconds the worker spent in its functional warmup scan.
+    pub warmup_seconds: f64,
+    /// Seconds the worker spent simulating its window.
+    pub sim_seconds: f64,
 }
 
 /// Functionally warmed microarchitectural state for one window worker.
@@ -208,19 +226,31 @@ fn warm_state(cfg: &ProcessorConfig, trace: &PackedTrace, upto: usize) -> WarmSt
 }
 
 /// One worker: warm up to `start`, then simulate `trace[start..end]`
-/// with full statistics. Returns the window result plus the warmup
-/// wall-clock seconds.
+/// with full statistics. Returns the window result plus its host-side
+/// schedule relative to `epoch` (the sharded run's start).
 fn run_one_window(
     proc: &Processor,
     trace: &PackedTrace,
+    window: usize,
     start: usize,
     end: usize,
-) -> Result<(SimResult, f64), SimError> {
+    epoch: Instant,
+) -> Result<(SimResult, WindowTiming), SimError> {
+    let start_seconds = epoch.elapsed().as_secs_f64();
     let t0 = Instant::now();
     let warm = (start > 0).then(|| warm_state(proc.config(), trace, start));
     let warmup_seconds = t0.elapsed().as_secs_f64();
+    let t1 = Instant::now();
     let view = WindowView { inner: trace, start, len: end - start };
-    proc.run_window(&view, warm).map(|r| (r, warmup_seconds))
+    proc.run_window(&view, warm).map(|r| {
+        let timing = WindowTiming {
+            window,
+            start_seconds,
+            warmup_seconds,
+            sim_seconds: t1.elapsed().as_secs_f64(),
+        };
+        (r, timing)
+    })
 }
 
 impl Processor {
@@ -256,18 +286,20 @@ impl Processor {
         report.windows = windows;
         report.warmup_ops = plan.iter().skip(1).map(|&(s, _)| s as u64).sum();
 
-        let mut outcomes: Vec<Option<Result<(SimResult, f64), SimError>>> =
+        let mut outcomes: Vec<Option<Result<(SimResult, WindowTiming), SimError>>> =
             plan.iter().map(|_| None).collect();
         // The hard-watchdog deadline is thread-local: carry the
         // spawning thread's token into each window worker.
         let deadline = crate::watchdog::deadline();
+        let epoch = Instant::now();
         std::thread::scope(|scope| {
             let handles: Vec<_> = plan
                 .iter()
-                .map(|&(start, end)| {
+                .enumerate()
+                .map(|(w, &(start, end))| {
                     scope.spawn(move || {
                         let _watchdog = crate::watchdog::arm(deadline);
-                        run_one_window(self, trace, start, end)
+                        run_one_window(self, trace, w, start, end, epoch)
                     })
                 })
                 .collect();
@@ -288,10 +320,11 @@ impl Processor {
         let mut window_drains = Vec::with_capacity(windows);
         for outcome in outcomes.into_iter().map(|o| o.expect("worker joined")) {
             match outcome {
-                Ok((result, warmup_seconds)) => {
+                Ok((result, timing)) => {
                     report.window_cycles.push(result.stats.cycles);
                     window_drains.push(result.stats.drain_cycles);
-                    report.warmup_seconds += warmup_seconds;
+                    report.warmup_seconds += timing.warmup_seconds;
+                    report.timeline.push(timing);
                     merged.stats.absorb(&result.stats);
                     merged.ff.add(&result.ff);
                 }

@@ -23,7 +23,8 @@ use crate::config::{Engine, ProcessorConfig};
 use crate::dist::{distribute, Distribution, PhysRegs};
 use crate::events::{EventKind, EventLog};
 use crate::obs::{
-    CopyKind, CycleSnapshot, IssueBlock, NullProbe, Probe, StallCause, TransferKind, TransferPhase,
+    CopyKind, CycleSnapshot, HostPhase, HostProf, HostProfReport, IssueBlock, NullHostProf,
+    NullProbe, PhaseProf, Probe, StallCause, TransferKind, TransferPhase,
 };
 use crate::pipeview::{render_window, WindowRow};
 use crate::stats::{FastForward, SimStats};
@@ -224,6 +225,28 @@ impl Processor {
     ) -> Result<SimResult, SimError> {
         let mut sim = Sim::with_probe(&self.config, trace, probe);
         sim.run()
+    }
+
+    /// Like [`Processor::run_packed`], with the host phase profiler
+    /// attached: charges host nanoseconds to engine phases per live
+    /// cycle (see [`crate::obs::hostprof`]). The profiler observes the
+    /// *host*, never the simulated machine — statistics are identical
+    /// to the unprofiled run, and unlike a probe it does not force
+    /// single-stepping, so the event engine's fast-forward path is
+    /// profiled as it really runs.
+    ///
+    /// # Errors
+    ///
+    /// See [`SimError`].
+    pub fn run_packed_profiled(
+        &mut self,
+        trace: &PackedTrace,
+    ) -> Result<(SimResult, HostProfReport), SimError> {
+        let mut prof = PhaseProf::new();
+        let mut sim = Sim::with_parts(&self.config, trace, NullProbe, &mut prof);
+        let result = sim.run()?;
+        let cycles = result.stats.cycles;
+        Ok((result, prof.report(cycles)))
     }
 
     /// Simulates a (window of a) trace, optionally starting from
@@ -558,7 +581,7 @@ enum FetchStall {
     Reassign,
 }
 
-struct Sim<'a, T: TraceSource + ?Sized, P: Probe = NullProbe> {
+struct Sim<'a, T: TraceSource + ?Sized, P: Probe = NullProbe, H: HostProf = NullHostProf> {
     cfg: &'a ProcessorConfig,
     assign: mcl_isa::assign::RegisterAssignment,
     trace: &'a T,
@@ -673,16 +696,31 @@ struct Sim<'a, T: TraceSource + ?Sized, P: Probe = NullProbe> {
     /// monomorphization-time constant `P::ENABLED`, so the default
     /// [`NullProbe`] build carries no probe code at all.
     probe: P,
+    /// The host phase profiler; gated on `H::ENABLED` the same way.
+    /// Unlike probes it never forces single-stepping — a profiled run
+    /// takes the real engine path, fast-forward included.
+    hostprof: H,
 }
 
 impl<'a, T: TraceSource + ?Sized> Sim<'a, T> {
     fn new(cfg: &'a ProcessorConfig, trace: &'a T) -> Sim<'a, T> {
-        Sim::with_probe(cfg, trace, NullProbe)
+        Sim::with_parts(cfg, trace, NullProbe, NullHostProf)
     }
 }
 
 impl<'a, T: TraceSource + ?Sized, P: Probe> Sim<'a, T, P> {
     fn with_probe(cfg: &'a ProcessorConfig, trace: &'a T, probe: P) -> Sim<'a, T, P> {
+        Sim::with_parts(cfg, trace, probe, NullHostProf)
+    }
+}
+
+impl<'a, T: TraceSource + ?Sized, P: Probe, H: HostProf> Sim<'a, T, P, H> {
+    fn with_parts(
+        cfg: &'a ProcessorConfig,
+        trace: &'a T,
+        probe: P,
+        hostprof: H,
+    ) -> Sim<'a, T, P, H> {
         let assign = cfg.register_assignment();
         let (int_free, fp_free) = free_lists_for(cfg, &assign);
         assert!(cfg.fp_dividers as usize <= MAX_DIVIDERS, "too many divider units");
@@ -738,6 +776,7 @@ impl<'a, T: TraceSource + ?Sized, P: Probe> Sim<'a, T, P> {
             reassign_draining: false,
             ff: FastForward::default(),
             probe,
+            hostprof,
         }
     }
 
@@ -770,6 +809,9 @@ impl<'a, T: TraceSource + ?Sized, P: Probe> Sim<'a, T, P> {
         const WATCHDOG_STRIDE: u32 = 4096;
         let deadline = crate::watchdog::deadline();
         let mut until_poll = WATCHDOG_STRIDE;
+        if H::ENABLED {
+            self.hostprof.begin();
+        }
         while self.cursor < self.trace.len() || !self.window.is_empty() {
             if self.now >= self.cfg.max_cycles {
                 return Err(SimError::CycleLimit { limit: self.cfg.max_cycles });
@@ -788,8 +830,20 @@ impl<'a, T: TraceSource + ?Sized, P: Probe> Sim<'a, T, P> {
             // can cascade into the next one, so the next cycle is never
             // provably dead — don't even pay for the attempt.
             if fast_forward && activity == 0 {
+                if H::ENABLED {
+                    // Close the inter-phase span first so the progress
+                    // check and loop overhead stay charged to Loop, not
+                    // to the fast-forward bookkeeping.
+                    self.hostprof.mark(HostPhase::Loop);
+                }
                 self.try_fast_forward();
+                if H::ENABLED {
+                    self.hostprof.mark(HostPhase::FastForward);
+                }
             }
+        }
+        if H::ENABLED {
+            self.hostprof.finish();
         }
         self.stats.cycles = self.now;
         self.stats.icache = self.icache.stats();
@@ -802,14 +856,29 @@ impl<'a, T: TraceSource + ?Sized, P: Probe> Sim<'a, T, P> {
     /// check sees; the event engine only attempts a fast-forward after
     /// an actionless cycle).
     fn step(&mut self) -> Result<u32, SimError> {
+        if H::ENABLED {
+            // Telescoping sample: everything since the previous cycle's
+            // last mark (progress check, watchdog poll, loop overhead)
+            // lands in the Loop bucket.
+            self.hostprof.mark(HostPhase::Loop);
+        }
         self.blocked_on_buffer = false;
         self.inject_faults();
 
         self.process_buffer_frees();
         self.process_branch_resolutions();
+        if H::ENABLED {
+            self.hostprof.mark(HostPhase::TimeQ);
+        }
         let retired = self.retire();
+        if H::ENABLED {
+            self.hostprof.mark(HostPhase::Retire);
+        }
         let woke = self.wake_suspended_slaves();
         self.drain_future_ready();
+        if H::ENABLED {
+            self.hostprof.mark(HostPhase::Wakeup);
+        }
         let mut issued = 0;
         let mut issued_per = [0u32; 2];
         for c in 0..self.cfg.clusters {
@@ -817,9 +886,15 @@ impl<'a, T: TraceSource + ?Sized, P: Probe> Sim<'a, T, P> {
             issued_per[usize::from(c)] = n;
             issued += n;
         }
+        if H::ENABLED {
+            self.hostprof.mark(HostPhase::Issue);
+        }
         let dispatched = self.dispatch();
         if dispatched > 0 {
             self.stats.dispatch_cycles += 1;
+        }
+        if H::ENABLED {
+            self.hostprof.mark(HostPhase::Dispatch);
         }
 
         let validate = match self.check {
@@ -829,6 +904,10 @@ impl<'a, T: TraceSource + ?Sized, P: Probe> Sim<'a, T, P> {
         };
         if validate {
             self.validate_invariants(&issued_per)?;
+        }
+        if H::ENABLED {
+            self.hostprof.mark(HostPhase::Checker);
+            self.hostprof.live_cycle();
         }
         let activity = retired + woke + issued + dispatched;
         self.check_progress(activity)?;

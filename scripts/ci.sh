@@ -142,6 +142,53 @@ if ! diff -q "$smoke_dir/all_serial_ref.txt" "$smoke_dir/all_shards1.txt"; then
 fi
 (cd "$smoke_dir" && "$OLDPWD/target/release/repro" selftest 8 --jobs 2 --shards 4)
 
+echo "== smoke: host flight recorder =="
+# The recorder must be a pure observer: rendered output byte-identical
+# with recording on, under both engines, and the recording itself must
+# pass obs-validate's flight contract (completed spans, categorized
+# events, finite timestamps).
+(cd "$smoke_dir" && "$OLDPWD/target/release/repro" all 8 --jobs 2 \
+    --flight run.flight.json > all_flight.txt 2> flight.err)
+if ! diff -q "$smoke_dir/all_serial_ref.txt" "$smoke_dir/all_flight.txt"; then
+    echo "FAIL: --flight changed repro all output" >&2
+    exit 1
+fi
+grep -q '"flight":{"file":"run.flight.json"}' "$smoke_dir/BENCH_repro.json" || {
+    echo "FAIL: flight recording not recorded in BENCH_repro.json" >&2
+    exit 1
+}
+(cd "$smoke_dir" && "$OLDPWD/target/release/repro" all 8 --jobs 2 --engine ticked \
+    --flight flight_ticked.flight.json > all_ticked_flight.txt 2> /dev/null)
+if ! diff -q "$smoke_dir/all_ticked.txt" "$smoke_dir/all_ticked_flight.txt"; then
+    echo "FAIL: --flight changed repro all output under the ticked engine" >&2
+    exit 1
+fi
+mkdir "$smoke_dir/flight_dir"
+cp "$smoke_dir/run.flight.json" "$smoke_dir/flight_ticked.flight.json" "$smoke_dir/flight_dir/"
+target/release/repro obs-validate "$smoke_dir/flight_dir"
+
+echo "== smoke: engine phase-cost profile =="
+# The binary enforces the hostprof sum-to-elapsed identity and
+# bit-identical statistics on every profiled cell (it exits nonzero on
+# any violation); obs-validate re-checks the identity and schema from
+# the exported JSON. The full 36-cell identity sweep runs inside
+# `repro selftest` (hostprof-identity stage) above.
+(cd "$smoke_dir" && MCL_ONLY=compress "$OLDPWD/target/release/repro" profile 8 \
+    --obs hostprof_out > profile.txt)
+grep -q 'compress:.*ns/live-cycle' "$smoke_dir/profile.txt" || {
+    echo "FAIL: profile report missing the compress cell" >&2
+    exit 1
+}
+test -s "$smoke_dir/hostprof_out/compress.hostprof.json" || {
+    echo "FAIL: compress.hostprof.json was not written" >&2
+    exit 1
+}
+target/release/repro obs-validate "$smoke_dir/hostprof_out"
+grep -q '"profile":{"dir":"hostprof_out"}' "$smoke_dir/BENCH_repro.json" || {
+    echo "FAIL: profile run not recorded in BENCH_repro.json" >&2
+    exit 1
+}
+
 echo "== smoke: chaos fault-injection campaign =="
 # Every injected fault must surface as a structured error (invariant
 # violation or wedge) — never silently perturb statistics. The campaign
@@ -267,12 +314,26 @@ fi
 echo "shard guard OK: ratio ${shard_ratio} (floor ${shard_ratio_floor}), divergence ${shard_div} (cap ${shard_divergence_cap})"
 append_history "$smoke_dir/bench_sharded.txt"
 
+echo "== trend: perf trajectory (soft gate) =="
+# Noise-banded regression analysis over the history just appended to,
+# mixed schema versions included. Soft: one noisy CI host must not
+# block a merge, but the ranked report lands in the log either way
+# and a regression is loudly flagged.
+if target/release/repro trend BENCH_repro.history.jsonl --gate; then
+    echo "trend gate OK"
+else
+    echo "WARN: trend gate flagged a perf regression (soft stage; see the report above)" >&2
+fi
+
 echo "== guard: disabled-probe overhead =="
 # Compare min-of-3 serial `repro all` wall time against the previous
-# commit. Wall-clock comparisons on shared CI hosts are noisy, so the
-# guard uses the min of three runs and a generous default tolerance
-# (override with MCL_OBS_GUARD_TOLERANCE); it warns and skips when the
-# baseline cannot be built (shallow clone, first commit, ...).
+# commit. This also bounds the disabled cost of the hostprof phase
+# profiler and the flight recorder (neither flag is passed here, so
+# their hooks must compile to nothing / one relaxed load). Wall-clock
+# comparisons on shared CI hosts are noisy, so the guard uses the min
+# of three runs and a generous default tolerance (override with
+# MCL_OBS_GUARD_TOLERANCE); it warns and skips when the baseline
+# cannot be built (shallow clone, first commit, ...).
 guard_tol="${MCL_OBS_GUARD_TOLERANCE:-0.15}"
 baseline_ref="${MCL_BASELINE_REF:-HEAD~1}"
 base_dir="$(mktemp -d)"
