@@ -17,6 +17,7 @@
 //! repro pipeline <bench>       per-instruction pipeline diagram
 //! repro selftest [divisor]    differential + fault-injection self-checks
 //! repro explain [divisor]     critical-path cycle-loss attribution
+//! repro pipetrace [divisor]   per-instruction lifecycle trace (Konata + JSON)
 //! repro profile [divisor]     engine phase-cost host profile (ns/cycle)
 //! repro bench [divisor]       ticked-vs-event engine microbenchmark
 //! repro chaos                  fault-injection chaos campaign
@@ -96,6 +97,30 @@
 //! - `--baseline single|dual-none` — differential mode: also attribute
 //!   the named Table 2 reference cell and report the per-cause share of
 //!   the slowdown against it.
+//!
+//! Pipetrace flags (see `mcl_bench::pipetrace`):
+//!
+//! - `repro pipetrace [divisor]` — for every benchmark (or just
+//!   `MCL_ONLY`), rerun the dual-cluster/local Table 2 cell with the
+//!   per-instruction lifecycle probe and write two artifacts into
+//!   `--out DIR` (default `pipetrace_out`): `<bench>.konata`, a
+//!   Konata/O3-pipeview-compatible text trace (fetch/dispatch/execute/
+//!   complete stages, retire and flush records, inter-cluster
+//!   dependency arrows), and `<bench>.pipetrace.json`, the
+//!   machine-readable lifecycle list plus the inter-cluster dataflow
+//!   edge list (producer → consumer, delivery cycle, crossed buffer,
+//!   occupancy at send). The retire-exactness identity (every retired
+//!   op exactly once, monotone lifecycle, well-formed edges, count
+//!   equal to the simulator's retirements) is enforced on every cell.
+//! - `--range A..B` — restrict the recorded ops to retired sequence
+//!   numbers in `[A, B)`; `A..` and `..B` are accepted. Default: the
+//!   full run.
+//! - `--out DIR` — the export directory (`--obs OUT_DIR` is honored as
+//!   a fallback for symmetry with `explain` / `profile`).
+//! - `--baseline single|dual-none` — differential mode: also trace the
+//!   named Table 2 reference cell and report per-op slip (the change in
+//!   each aligned op's retire-to-retire gap), ranked by contribution;
+//!   the slips telescope exactly to the total retire-cycle drift.
 //!
 //! Profiling flags (see `mcl_bench::profile`, `mcl_bench::flight`, and
 //! `mcl_bench::trend`):
@@ -256,6 +281,27 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let range = match take_value_flag(&mut args, "--range") {
+        Ok(None) => None,
+        Ok(Some(v)) => match mcl_bench::pipetrace::parse_range(&v) {
+            Ok(r) => Some((v, r)),
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let out_dir = match take_value_flag(&mut args, "--out") {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     let flight_path = match take_value_flag(&mut args, "--flight") {
         Ok(v) => v,
         Err(e) => {
@@ -276,6 +322,7 @@ fn main() -> ExitCode {
         obs: obs_settings,
         explain: None,
         profile: None,
+        pipetrace: None,
         flight: flight_path,
     };
     let cmd = args.first().cloned().unwrap_or_else(|| "all".to_owned());
@@ -396,6 +443,24 @@ fn main() -> ExitCode {
                 .map_or_else(|| PathBuf::from("hostprof_out"), |s| s.dir.clone());
             options.profile = Some(dir.display().to_string());
             plan_profile(&mut plan, &store, divisor, dir, mcl_only().as_deref());
+        }
+        "pipetrace" => {
+            let dir = out_dir.map(PathBuf::from).unwrap_or_else(|| {
+                options
+                    .obs
+                    .as_ref()
+                    .map_or_else(|| PathBuf::from("pipetrace_out"), |s| s.dir.clone())
+            });
+            let (range_str, range) = match &range {
+                Some((s, r)) => (Some(s.clone()), *r),
+                None => (None, (0, u64::MAX)),
+            };
+            options.pipetrace = Some((
+                dir.display().to_string(),
+                range_str,
+                baseline.map(|b| b.name().to_owned()),
+            ));
+            plan_pipetrace(&mut plan, &store, divisor, dir, range, baseline, mcl_only().as_deref());
         }
         "all" => plan_all(&mut plan, &store, divisor, options.obs.as_ref()),
         other => {
@@ -534,6 +599,9 @@ struct RunOptions {
     /// Export dir of a `repro profile` run, recorded in
     /// `BENCH_repro.json`.
     profile: Option<String>,
+    /// `(export dir, range string, baseline name)` of a
+    /// `repro pipetrace` run, recorded in `BENCH_repro.json`.
+    pipetrace: Option<(String, Option<String>, Option<String>)>,
     /// `--flight FILE` target, recorded in `BENCH_repro.json`; the
     /// recording is written there after every cell has finished.
     flight: Option<String>,
@@ -743,6 +811,9 @@ impl Plan {
             explain_dir: options.explain.as_ref().map(|(dir, _)| dir.clone()),
             explain_baseline: options.explain.as_ref().and_then(|(_, b)| b.clone()),
             profile_dir: options.profile.clone(),
+            pipetrace_dir: options.pipetrace.as_ref().map(|(dir, _, _)| dir.clone()),
+            pipetrace_range: options.pipetrace.as_ref().and_then(|(_, r, _)| r.clone()),
+            pipetrace_baseline: options.pipetrace.as_ref().and_then(|(_, _, b)| b.clone()),
             flight_path: options.flight.clone(),
         };
         if let Err(e) = runner::write_report(path, &info, &store.counters(), &metrics) {
@@ -1167,6 +1238,9 @@ fn plan_selftest(plan: &mut Plan, divisor: u32, shards: usize) {
         selftest_cell("critpath-identity", move || {
             selftest::critpath_identity(divisor, shards)
         }),
+        selftest_cell("pipetrace-identity", move || {
+            selftest::pipetrace_identity(divisor, shards)
+        }),
         selftest_cell("hostprof-identity", move || {
             selftest::hostprof_identity(divisor, shards)
         }),
@@ -1215,6 +1289,49 @@ fn plan_explain(
         cells,
         Box::new(move |ps| {
             println!("Critical-path cycle-loss attribution (dual-cluster, local scheduler)\n");
+            for p in ps {
+                println!("{}", text(p));
+            }
+        }),
+    );
+}
+
+/// Adds one pipetrace cell per benchmark: the per-instruction lifecycle
+/// trace of the dual-cluster/local run (differential against `baseline`
+/// when given), exporting `<bench>.konata` and `<bench>.pipetrace.json`
+/// into `dir`.
+fn plan_pipetrace(
+    plan: &mut Plan,
+    store: &Arc<TraceStore>,
+    divisor: u32,
+    dir: PathBuf,
+    range: (u64, u64),
+    baseline: Option<Baseline>,
+    only: Option<&str>,
+) {
+    let cells = Benchmark::ALL
+        .iter()
+        .filter(|b| only.is_none_or(|name| b.name() == name))
+        .map(|&bench| {
+            let store = Arc::clone(store);
+            let dir = dir.clone();
+            Cell::new(format!("pipetrace/{bench}"), move || {
+                let (rendered, cost) = mcl_bench::pipetrace::pipetrace_cell(
+                    &store,
+                    bench,
+                    bench.scaled(divisor),
+                    &dir,
+                    range,
+                    baseline,
+                )?;
+                Ok((Payload::Text(rendered), cost))
+            })
+        })
+        .collect();
+    plan.section(
+        cells,
+        Box::new(move |ps| {
+            println!("Per-instruction pipeline lifecycle trace (dual-cluster, local scheduler)\n");
             for p in ps {
                 println!("{}", text(p));
             }

@@ -74,21 +74,21 @@ impl Baseline {
         }
     }
 
-    fn request(self, bench: Benchmark, scale: u32) -> TraceRequest {
+    pub(crate) fn request(self, bench: Benchmark, scale: u32) -> TraceRequest {
         // Both baselines run the native cluster-blind binary, exactly as
         // Table 2 does.
         let _ = self;
         TraceRequest::new(bench, scale, SchedulerKind::Naive)
     }
 
-    fn config(self) -> ProcessorConfig {
+    pub(crate) fn config(self) -> ProcessorConfig {
         match self {
             Baseline::Single => ProcessorConfig::single_cluster_8way(),
             Baseline::DualNone => ProcessorConfig::dual_cluster_8way(),
         }
     }
 
-    fn labels(self) -> (&'static str, &'static str) {
+    pub(crate) fn labels(self) -> (&'static str, &'static str) {
         match self {
             Baseline::Single => ("single_cluster_8way", "naive"),
             Baseline::DualNone => ("dual_cluster_8way", "naive"),

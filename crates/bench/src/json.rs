@@ -14,8 +14,12 @@ use std::fmt::Write as _;
 pub enum Json {
     /// A string (escaped on render).
     Str(String),
-    /// An integer.
+    /// A non-negative integer.
     U64(u64),
+    /// A negative integer (non-negative integers parse as
+    /// [`Json::U64`]; this variant carries signed values like the
+    /// pipetrace slip deltas exactly, where a float would).
+    I64(i64),
     /// A finite float (rendered with six decimal places; NaN and
     /// infinities render as `null`, which JSON has no number for).
     F64(f64),
@@ -114,11 +118,22 @@ impl Json {
         }
     }
 
+    /// The signed integer value, if `self` is an integer that fits.
+    #[must_use]
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Json::U64(v) => i64::try_from(*v).ok(),
+            Json::I64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
     /// The numeric value (integer or float), if `self` is a number.
     #[must_use]
     pub fn as_f64(&self) -> Option<f64> {
         match self {
             Json::U64(v) => Some(*v as f64),
+            Json::I64(v) => Some(*v as f64),
             Json::F64(v) => Some(*v),
             _ => None,
         }
@@ -145,6 +160,9 @@ impl Json {
         match self {
             Json::Str(s) => write_escaped(s, out),
             Json::U64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Json::I64(v) => {
                 let _ = write!(out, "{v}");
             }
             Json::F64(v) => {
@@ -191,6 +209,15 @@ impl From<&str> for Json {
 impl From<u64> for Json {
     fn from(v: u64) -> Json {
         Json::U64(v)
+    }
+}
+
+impl From<i64> for Json {
+    fn from(v: i64) -> Json {
+        match u64::try_from(v) {
+            Ok(u) => Json::U64(u),
+            Err(_) => Json::I64(v),
+        }
     }
 }
 
@@ -412,6 +439,11 @@ impl Parser<'_> {
             if let Ok(v) = text.parse::<u64>() {
                 return Ok(Json::U64(v));
             }
+            if text.starts_with('-') {
+                if let Ok(v) = text.parse::<i64>() {
+                    return Ok(Json::I64(v));
+                }
+            }
         }
         text.parse::<f64>()
             .map(Json::F64)
@@ -557,10 +589,16 @@ mod tests {
         let over = Json::parse("18446744073709551616").expect("parses");
         assert!(over.as_u64().is_none());
         assert!(matches!(over, Json::F64(_)));
-        // Negative integers are floats too (Json has no i64 variant and
-        // the emitter never writes negative integers).
-        assert!(matches!(Json::parse("-3").unwrap(), Json::F64(_)));
+        // Negative integers keep exact signed representation.
+        assert!(matches!(Json::parse("-3").unwrap(), Json::I64(-3)));
         assert_eq!(Json::parse("-3").unwrap().as_f64(), Some(-3.0));
+        assert_eq!(Json::parse("-3").unwrap().as_i64(), Some(-3));
+        assert_eq!(Json::parse("-3").unwrap().render(), "-3");
+        assert_eq!(Json::from(-7i64).render(), "-7");
+        // Non-negative i64 inputs normalize to the unsigned variant.
+        assert!(matches!(Json::from(7i64), Json::U64(7)));
+        // One below i64::MIN overflows to a float.
+        assert!(matches!(Json::parse("-9223372036854775809").unwrap(), Json::F64(_)));
         // An exponent beyond f64's range parses as infinity — which
         // re-renders as null, like every non-finite float.
         let huge = Json::parse("1e999").expect("parses");

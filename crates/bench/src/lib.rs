@@ -26,6 +26,12 @@
 //!   attribution of each Table 2 cell (`<bench>.critpath.json` plus a
 //!   rendered per-cause report), optionally differential against the
 //!   single-cluster or dual-native baseline.
+//! - [`pipetrace`] — `repro pipetrace`: per-instruction pipeline
+//!   lifecycle exports of each Table 2 cell (a Konata-compatible
+//!   `<bench>.konata` text trace plus `<bench>.pipetrace.json` with the
+//!   inter-cluster dataflow edge list), optionally differential with
+//!   per-op retire slips against a baseline, under a retire-exactness
+//!   identity.
 //! - [`profile`] — `repro profile`: host-side phase-cost attribution of
 //!   the live-cycle loop (`<bench>.hostprof.json` plus a ranked
 //!   ns-per-live-cycle report), with a sum-to-elapsed identity check.
@@ -56,6 +62,7 @@ pub mod json;
 pub mod microbench;
 pub mod obs;
 pub mod persist;
+pub mod pipetrace;
 pub mod profile;
 pub mod runner;
 pub mod scenarios;

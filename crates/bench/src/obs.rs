@@ -457,18 +457,21 @@ pub(crate) fn validate_trace(path: &Path) -> Result<usize, Error> {
 /// Validates a directory of exports: every `*.series.json` and
 /// `*.trace.json` (from `--obs`), every `*.critpath.json` (from
 /// `repro explain`), every `*.hostprof.json` (from `repro profile`),
+/// every `*.pipetrace.json` and `*.konata` (from `repro pipetrace`),
 /// and every `*.flight.json` (from `--flight`) must parse and carry
-/// the expected schema — for critpath and hostprof exports that
-/// includes re-checking the identity guarantees from the file. Returns
-/// a one-line summary.
+/// the expected schema — for critpath, hostprof, and pipetrace exports
+/// that includes re-checking the identity guarantees from the file.
+/// Returns a one-line summary.
 ///
 /// An empty or missing directory is a hard failure, never a vacuous
 /// pass: `repro obs-validate` exists to prove exports were produced.
+/// Every file is checked even after the first failure, so one pass
+/// reports ALL invalid exports, not just the lexicographically first.
 ///
 /// # Errors
 ///
-/// [`Error::Obs`] when the directory is unreadable, holds no exports, or
-/// any export fails validation.
+/// [`Error::Obs`] when the directory is unreadable or holds no exports,
+/// or — listing every failing file — when any export fails validation.
 pub fn validate_dir(dir: &Path) -> Result<String, Error> {
     let entries = std::fs::read_dir(dir)
         .map_err(|e| obs_err(&format!("reading {}", dir.display()), e))?;
@@ -478,29 +481,50 @@ pub fn validate_dir(dir: &Path) -> Result<String, Error> {
         .collect();
     names.sort();
     let (mut series, mut traces, mut trace_events, mut critpaths) = (0usize, 0usize, 0usize, 0usize);
-    let (mut hostprofs, mut flights) = (0usize, 0usize);
+    let (mut hostprofs, mut flights, mut pipetraces, mut konatas) = (0usize, 0usize, 0usize, 0usize);
+    // Validation failures accumulate: a directory with three broken
+    // exports reports all three, not just the first one hit.
+    let mut failures: Vec<String> = Vec::new();
+    let mut check = |counter: &mut usize, result: Result<(), Error>| {
+        *counter += 1;
+        if let Err(e) = result {
+            failures.push(e.to_string());
+        }
+    };
     for path in &names {
         let Some(name) = path.file_name().and_then(|n| n.to_str()) else { continue };
         if name.ends_with(".series.json") {
-            validate_series(path)?;
-            series += 1;
+            check(&mut series, validate_series(path));
         } else if name.ends_with(".flight.json") {
             // Checked before `.trace.json` so a flight recording never
             // trips the series/trace pairing rule below.
-            crate::flight::validate_flight(path)?;
-            flights += 1;
+            check(&mut flights, crate::flight::validate_flight(path).map(|_| ()));
+        } else if name.ends_with(".pipetrace.json") {
+            check(&mut pipetraces, crate::pipetrace::validate_pipetrace(path));
+        } else if name.ends_with(".konata") {
+            check(&mut konatas, crate::pipetrace::validate_konata(path));
         } else if name.ends_with(".trace.json") {
-            trace_events += validate_trace(path)?;
-            traces += 1;
+            check(&mut traces, validate_trace(path).map(|n| trace_events += n));
         } else if name.ends_with(".critpath.json") {
-            crate::explain::validate_critpath(path)?;
-            critpaths += 1;
+            check(&mut critpaths, crate::explain::validate_critpath(path));
         } else if name.ends_with(".hostprof.json") {
-            crate::profile::validate_hostprof(path)?;
-            hostprofs += 1;
+            check(&mut hostprofs, crate::profile::validate_hostprof(path));
         }
     }
-    if series == 0 && traces == 0 && critpaths == 0 && hostprofs == 0 && flights == 0 {
+    if !failures.is_empty() {
+        return Err(obs_err(
+            &format!("{}", dir.display()),
+            format!("{} invalid export(s):\n  {}", failures.len(), failures.join("\n  ")),
+        ));
+    }
+    if series == 0
+        && traces == 0
+        && critpaths == 0
+        && hostprofs == 0
+        && flights == 0
+        && pipetraces == 0
+        && konatas == 0
+    {
         return Err(obs_err(
             &format!("{}", dir.display()),
             "no observability exports found (empty or missing exports are a failure, \
@@ -518,6 +542,7 @@ pub fn validate_dir(dir: &Path) -> Result<String, Error> {
     Ok(format!(
         "{series} series file(s), {traces} Chrome trace file(s) ({trace_events} events), \
          {critpaths} critpath attribution file(s), {hostprofs} hostprof profile(s), \
+         {pipetraces} pipetrace export(s), {konatas} Konata trace(s), \
          and {flights} flight recording(s) valid"
     ))
 }
@@ -584,6 +609,20 @@ mod tests {
         std::fs::write(dir.join("x.series.json"), "{\"schema_version\":99}").unwrap();
         std::fs::write(dir.join("x.trace.json"), "{\"traceEvents\":[]}").unwrap();
         assert!(validate_dir(&dir).is_err(), "wrong schema_version must fail");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn validate_dir_reports_every_invalid_export_not_just_the_first() {
+        let dir = temp_dir("multi");
+        std::fs::write(dir.join("a.konata"), "not a konata file").unwrap();
+        std::fs::write(dir.join("b.pipetrace.json"), "{\"schema_version\":99}").unwrap();
+        std::fs::write(dir.join("c.critpath.json"), "{").unwrap();
+        let err = validate_dir(&dir).unwrap_err().to_string();
+        assert!(err.contains("3 invalid export(s)"), "{err}");
+        for name in ["a.konata", "b.pipetrace.json", "c.critpath.json"] {
+            assert!(err.contains(name), "missing {name} in: {err}");
+        }
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

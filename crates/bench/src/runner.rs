@@ -454,8 +454,12 @@ pub fn run_cells_isolated<R: Send>(
 /// object (`dir` of the `*.hostprof.json` exports; `null` for every
 /// command except `repro profile`) and the top-level `flight` object
 /// (`file` of the whole-run flight recording; `null` when the run had
-/// no `--flight`).
-pub const REPORT_SCHEMA_VERSION: u64 = 9;
+/// no `--flight`). Version 10 added the top-level `pipetrace` object
+/// (`dir` of the `*.konata` / `*.pipetrace.json` exports, `range` — the
+/// `--range` string or `null` for the full run — and `baseline` — the
+/// `--baseline` name or `null`; the whole object is `null` for every
+/// command except `repro pipetrace`).
+pub const REPORT_SCHEMA_VERSION: u64 = 10;
 
 /// Identity and options of one driver run, recorded at the top of the
 /// report.
@@ -488,6 +492,12 @@ pub struct RunInfo {
     pub explain_baseline: Option<String>,
     /// The hostprof export directory of a `repro profile` run.
     pub profile_dir: Option<String>,
+    /// The Konata/pipetrace export directory of a `repro pipetrace` run.
+    pub pipetrace_dir: Option<String>,
+    /// The `--range` string of a `repro pipetrace` run (`None` = full).
+    pub pipetrace_range: Option<String>,
+    /// The `--baseline` name of a differential `repro pipetrace` run.
+    pub pipetrace_baseline: Option<String>,
     /// The flight-recording path, when `--flight` was set.
     pub flight_path: Option<String>,
 }
@@ -545,6 +555,23 @@ pub fn report_json(info: &RunInfo, store: &StoreCounters, metrics: &[CellMetric]
             let mut profile = Json::object();
             profile.field("dir", dir.as_str().into());
             profile
+        }
+        None => Json::Null,
+    };
+    let pipetrace_json = match &info.pipetrace_dir {
+        Some(dir) => {
+            let mut pipetrace = Json::object();
+            pipetrace
+                .field("dir", dir.as_str().into())
+                .field(
+                    "range",
+                    info.pipetrace_range.as_deref().map_or(Json::Null, Json::from),
+                )
+                .field(
+                    "baseline",
+                    info.pipetrace_baseline.as_deref().map_or(Json::Null, Json::from),
+                );
+            pipetrace
         }
         None => Json::Null,
     };
@@ -610,6 +637,7 @@ pub fn report_json(info: &RunInfo, store: &StoreCounters, metrics: &[CellMetric]
         .field("obs", obs_json)
         .field("explain", explain_json)
         .field("profile", profile_json)
+        .field("pipetrace", pipetrace_json)
         .field("flight", flight_json)
         .field(
             "cells",
@@ -785,10 +813,13 @@ mod tests {
             explain_dir: None,
             explain_baseline: None,
             profile_dir: None,
+            pipetrace_dir: None,
+            pipetrace_range: None,
+            pipetrace_baseline: None,
             flight_path: None,
         };
         let json = report_json(&info, &counters, &metrics).render();
-        assert!(json.starts_with("{\"schema_version\":9,\"command\":\"table2\","));
+        assert!(json.starts_with("{\"schema_version\":10,\"command\":\"table2\","));
         assert!(json.contains("\"engine\":\"event\""));
         assert!(json.contains("\"shards\":4"));
         assert!(json.contains("\"keep_going\":true"));
@@ -829,6 +860,7 @@ mod tests {
         assert!(json.contains("\"obs\":null"), "no --obs recorded for this run");
         assert!(json.contains("\"explain\":null"), "not an explain run");
         assert!(json.contains("\"profile\":null"), "not a profile run");
+        assert!(json.contains("\"pipetrace\":null"), "not a pipetrace run");
         assert!(json.contains("\"flight\":null"), "no --flight recorded for this run");
         assert!(json.contains(
             "\"cells\":[{\"id\":\"table2/compress\",\"status\":\"ok\",\"error\":null,\
@@ -878,6 +910,24 @@ mod tests {
         let json = report_json(&info, &StoreCounters::default(), &[]).render();
         assert!(json.contains("\"profile\":{\"dir\":\"hostprof_out\"}"));
         assert!(json.contains("\"flight\":{\"file\":\"run.flight.json\"}"));
+    }
+
+    #[test]
+    fn pipetrace_run_records_dir_range_and_baseline() {
+        let info = RunInfo {
+            pipetrace_dir: Some("pipetrace_out".into()),
+            pipetrace_range: Some("100..200".into()),
+            pipetrace_baseline: Some("single".into()),
+            ..RunInfo::default()
+        };
+        let json = report_json(&info, &StoreCounters::default(), &[]).render();
+        assert!(json.contains(
+            "\"pipetrace\":{\"dir\":\"pipetrace_out\",\"range\":\"100..200\",\
+             \"baseline\":\"single\"}"
+        ));
+        let bare = RunInfo { pipetrace_dir: Some("out".into()), ..RunInfo::default() };
+        let json = report_json(&bare, &StoreCounters::default(), &[]).render();
+        assert!(json.contains("\"pipetrace\":{\"dir\":\"out\",\"range\":null,\"baseline\":null}"));
     }
 
     #[test]

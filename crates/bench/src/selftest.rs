@@ -18,6 +18,11 @@
 //!   with a [`mcl_core::CritPathProbe`] attached, must satisfy the
 //!   critical-path attribution identity (per-cause cycles sum exactly
 //!   to total cycles) without perturbing the statistics;
+//! - [`pipetrace_identity`] — every benchmark × machine preset, rerun
+//!   with a [`mcl_core::PipeTraceProbe`] attached, must satisfy the
+//!   retire-exactness identity (every retired op recorded exactly once,
+//!   monotone lifecycle stamps, well-formed dataflow edges, count equal
+//!   to the simulator's retirements) without perturbing the statistics;
 //! - [`hostprof_identity`] — every benchmark × machine preset, rerun
 //!   with the host phase profiler
 //!   ([`mcl_core::Processor::run_packed_profiled`]), must satisfy the
@@ -282,6 +287,71 @@ pub fn critpath_identity(divisor: u32, shards: usize) -> Result<(String, CellCos
         }
     }
     Ok((format!("{cells} benchmark × scheduler × preset attributions balance"), cost))
+}
+
+/// Every benchmark × scheduler × machine preset, rerun with a
+/// [`mcl_core::PipeTraceProbe`] attached, must satisfy the
+/// retire-exactness identity ([`mcl_core::PipeTrace::check_identity`]):
+/// every retired op recorded exactly once with a monotone
+/// fetch ≤ dispatch ≤ issue ≤ complete ≤ retire lifecycle, every
+/// dataflow edge referencing recorded ops, and the op count equal to
+/// the simulator's retirement count. The instrumented run must also
+/// reproduce the uninstrumented store run's statistics bit for bit —
+/// tracing lifecycles can never change them.
+///
+/// # Errors
+///
+/// [`Error::SelfCheck`] naming the first violating or diverging cell;
+/// harness errors propagate.
+///
+/// Probed runs are always serial (probes observe absolute cycles), so
+/// the bit-for-bit comparison is against the store's serial product
+/// ([`TraceStore::sim_serial`]) even when the stage runs with
+/// `shards > 1`. The tiny-buffer preset forces replay exceptions
+/// through the probe, so flushed-incarnation bookkeeping is covered on
+/// every benchmark.
+pub fn pipetrace_identity(divisor: u32, shards: usize) -> Result<(String, CellCost), Error> {
+    use mcl_core::PipeTraceProbe;
+
+    let mut tiny = ProcessorConfig::dual_cluster_8way();
+    tiny.operand_buffer = 1;
+    tiny.result_buffer = 1;
+    let presets = [
+        ("single", ProcessorConfig::single_cluster_8way()),
+        ("dual", ProcessorConfig::dual_cluster_8way()),
+        ("dual-tiny-buffers", tiny),
+    ];
+    let store = TraceStore::new().with_shards(shards);
+    let mut cost = CellCost::default();
+    let mut cells = 0u32;
+    for bench in Benchmark::ALL {
+        for kind in [SchedulerKind::Naive, SchedulerKind::Local] {
+            let req = TraceRequest::new(bench, quick_scale(bench, divisor), kind);
+            for (preset, cfg) in &presets {
+                let cell = |detail: String| {
+                    mismatch(
+                        "pipetrace-identity",
+                        format!("{}/{kind:?}/{preset}: {detail}", bench.name()),
+                    )
+                };
+                let product = store.sim_serial(&req, cfg)?;
+                cost.charge_sim(&product);
+                let (trace, _) = store.trace(&req)?;
+                let mut probe = PipeTraceProbe::new(0, u64::MAX);
+                let observed =
+                    Processor::new((*cfg).clone()).run_packed_observed(&trace, &mut probe)?;
+                if observed.stats != product.stats {
+                    return Err(cell(format!(
+                        "instrumented run diverged ({} vs {} cycles)",
+                        observed.stats.cycles, product.stats.cycles
+                    )));
+                }
+                probe.finish().check_identity(observed.stats.retired).map_err(cell)?;
+                cells += 1;
+            }
+        }
+    }
+    Ok((format!("{cells} benchmark × scheduler × preset lifecycles exact"), cost))
 }
 
 /// Every benchmark × scheduler × machine preset, rerun with the host
@@ -667,6 +737,13 @@ mod tests {
     #[test]
     fn critpath_identity_holds_at_a_coarse_scale() {
         let (detail, cost) = critpath_identity(64, 1).unwrap();
+        assert!(detail.contains("36 benchmark"), "{detail}");
+        assert!(cost.simulated_cycles > 0);
+    }
+
+    #[test]
+    fn pipetrace_identity_holds_at_a_coarse_scale() {
+        let (detail, cost) = pipetrace_identity(64, 1).unwrap();
         assert!(detail.contains("36 benchmark"), "{detail}");
         assert!(cost.simulated_cycles > 0);
     }

@@ -79,9 +79,9 @@ pub use delay::FeatureSize;
 pub use dist::{distribute, Distribution};
 pub use events::{Event, EventKind, EventLog};
 pub use obs::{
-    CritAttribution, CritCause, CritPathProbe, CycleSnapshot, Histogram, HostPhase, HostProf,
-    HostProfReport, IntervalSampler, NullHostProf, ObsConfig, ObsProbe, PhaseProf, Probe,
-    StallCause,
+    CritAttribution, CritCause, CritPathProbe, CycleSnapshot, DataflowEdge, FlushedOp, Histogram,
+    HostPhase, HostProf, HostProfReport, IntervalSampler, NullHostProf, ObsConfig, ObsProbe,
+    OpLifecycle, PhaseProf, PipeTrace, PipeTraceProbe, Probe, StallCause, TransferKind,
 };
 pub use pipeview::{render as render_pipeline, PipeViewOptions};
 pub use shard::{planned_windows, ShardOptions, ShardReport, WindowTiming};

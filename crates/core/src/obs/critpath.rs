@@ -30,7 +30,7 @@ use std::collections::VecDeque;
 
 use mcl_isa::ClusterId;
 
-use super::{CopyKind, IssueBlock, Probe, StallCause};
+use super::{CopyKind, DeliverySource, IssueBlock, Probe, StallCause};
 
 /// Where a cycle of execution time went, at retire-gap resolution.
 ///
@@ -414,7 +414,14 @@ impl Probe for CritPathProbe {
         }
     }
 
-    fn operand_delivered(&mut self, seq: u64, avail: u64, via_forward: bool) {
+    fn operand_delivered(
+        &mut self,
+        seq: u64,
+        avail: u64,
+        source: DeliverySource,
+        _producer: Option<u64>,
+    ) {
+        let via_forward = source == DeliverySource::OperandForward;
         if let Some(rec) = self.rec_mut(seq) {
             if avail > rec.ready {
                 rec.ready = avail;

@@ -19,6 +19,7 @@
 pub mod critpath;
 mod histogram;
 pub mod hostprof;
+pub mod pipetrace;
 mod probe;
 mod ring;
 mod sampler;
@@ -26,6 +27,7 @@ mod sampler;
 pub use critpath::{CritAttribution, CritCause, CritPathProbe};
 pub use histogram::{Histogram, HISTOGRAM_BUCKETS};
 pub use hostprof::{HostPhase, HostProf, HostProfReport, NullHostProf, PhaseProf};
+pub use pipetrace::{DataflowEdge, FlushedOp, OpLifecycle, PipeTrace, PipeTraceProbe};
 pub use probe::{ObsConfig, ObsProbe};
 pub use ring::EventRing;
 pub use sampler::{IntervalSampler, Sample};
@@ -127,6 +129,21 @@ impl StallCause {
     }
 }
 
+/// Where a delivered master-copy operand came from (passed to
+/// [`Probe::operand_delivered`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeliverySource {
+    /// The producer's master copy completed in a cluster the consumer
+    /// reads from directly (no inter-cluster transfer).
+    Completion,
+    /// The producer's slave copy wrote its register copy — the value
+    /// crossed clusters through the result transfer buffer.
+    SlaveWrite,
+    /// The consumer's own slave copy forwarded the operand through the
+    /// operand transfer buffer (Section 2.1 scenario two).
+    OperandForward,
+}
+
 /// Why an otherwise-ready instruction could not issue this cycle
 /// (passed to [`Probe::issue_blocked`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -179,6 +196,13 @@ pub trait Probe {
     /// every hook site compiles out entirely.
     const ENABLED: bool = true;
 
+    /// The instruction cache delivered the line holding `seq` this
+    /// cycle; the op is in the fetch group but may still stall at
+    /// dispatch (queue or register pressure). Fires again on every
+    /// retry cycle of a stalled group — a lifecycle recorder keeps the
+    /// first firing per incarnation as the fetch cycle.
+    fn fetched(&mut self, cycle: u64, seq: u64) {}
+
     /// An instruction entered the window (master and optional slave).
     fn dispatched(&mut self, cycle: u64, seq: u64, master: ClusterId, slave: Option<ClusterId>) {}
 
@@ -197,11 +221,28 @@ pub trait Probe {
     ) {
     }
 
+    /// Rename resolved a forwarded operand of `seq` (dispatch time):
+    /// the slave copy will read the value `producer` wrote. Fires once
+    /// per forwarded source with an in-flight producer, before
+    /// [`Probe::dispatched`] for `seq`; [`Probe::operand_delivered`]
+    /// with [`DeliverySource::OperandForward`] carries no producer, so
+    /// edge builders resolve it from this hook.
+    fn forwarded_operand_source(&mut self, seq: u64, producer: u64) {}
+
     /// An outstanding master-copy operand of `seq` was delivered; the
-    /// value becomes usable at cycle `avail`. `via_forward` marks
-    /// deliveries that crossed clusters through the operand transfer
-    /// buffer.
-    fn operand_delivered(&mut self, seq: u64, avail: u64, via_forward: bool) {}
+    /// value becomes usable at cycle `avail`. `source` says how the
+    /// value reached the master's cluster and `producer` names the
+    /// in-flight op whose completion or register write triggered the
+    /// delivery (`None` for [`DeliverySource::OperandForward`] — see
+    /// [`Probe::forwarded_operand_source`]).
+    fn operand_delivered(
+        &mut self,
+        seq: u64,
+        avail: u64,
+        source: DeliverySource,
+        producer: Option<u64>,
+    ) {
+    }
 
     /// A ready instruction was scanned by the issue logic this cycle
     /// but could not issue, for `cause`.
@@ -256,6 +297,10 @@ impl Probe for NullProbe {
 impl<P: Probe + ?Sized> Probe for &mut P {
     const ENABLED: bool = P::ENABLED;
 
+    fn fetched(&mut self, cycle: u64, seq: u64) {
+        (**self).fetched(cycle, seq);
+    }
+
     fn dispatched(&mut self, cycle: u64, seq: u64, master: ClusterId, slave: Option<ClusterId>) {
         (**self).dispatched(cycle, seq, master, slave);
     }
@@ -271,8 +316,18 @@ impl<P: Probe + ?Sized> Probe for &mut P {
         (**self).op_dispatch_meta(seq, sched_inserted, slave_receives, ready_floor, ready_known);
     }
 
-    fn operand_delivered(&mut self, seq: u64, avail: u64, via_forward: bool) {
-        (**self).operand_delivered(seq, avail, via_forward);
+    fn forwarded_operand_source(&mut self, seq: u64, producer: u64) {
+        (**self).forwarded_operand_source(seq, producer);
+    }
+
+    fn operand_delivered(
+        &mut self,
+        seq: u64,
+        avail: u64,
+        source: DeliverySource,
+        producer: Option<u64>,
+    ) {
+        (**self).operand_delivered(seq, avail, source, producer);
     }
 
     fn issue_blocked(&mut self, cycle: u64, seq: u64, cause: IssueBlock) {

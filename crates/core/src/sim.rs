@@ -23,8 +23,8 @@ use crate::config::{Engine, ProcessorConfig};
 use crate::dist::{distribute, Distribution, PhysRegs};
 use crate::events::{EventKind, EventLog};
 use crate::obs::{
-    CopyKind, CycleSnapshot, HostPhase, HostProf, HostProfReport, IssueBlock, NullHostProf,
-    NullProbe, PhaseProf, Probe, StallCause, TransferKind, TransferPhase,
+    CopyKind, CycleSnapshot, DeliverySource, HostPhase, HostProf, HostProfReport, IssueBlock,
+    NullHostProf, NullProbe, PhaseProf, Probe, StallCause, TransferKind, TransferPhase,
 };
 use crate::pipeview::{render_window, WindowRow};
 use crate::stats::{FastForward, SimStats};
@@ -1434,7 +1434,7 @@ impl<'a, T: TraceSource + ?Sized, P: Probe, H: HostProf> Sim<'a, T, P, H> {
                 slave
             };
             let head = std::mem::replace(&mut self.window[wi].w_write, NIL);
-            self.notify_waiters(head, now + 1);
+            self.notify_waiters(head, now + 1, DeliverySource::SlaveWrite, seq);
             self.completions.push(Reverse((now + 1, seq, u64::from(WRITE_EVT))));
             self.buffer_frees.schedule(now + 1, (slave.index() as u64) << 1 | u64::from(RTB), 0);
             if P::ENABLED {
@@ -1484,10 +1484,16 @@ impl<'a, T: TraceSource + ?Sized, P: Probe, H: HostProf> Sim<'a, T, P, H> {
 
     /// Records that operand availability for (`consumer`, `action`)
     /// became known (`avail`), enqueueing the copy once its last
-    /// operand time is in. `via_forward` marks deliveries that crossed
-    /// clusters through the operand transfer buffer (probe metadata
-    /// only — it never affects timing).
-    fn deliver(&mut self, consumer: u64, action: u8, avail: u64, via_forward: bool) {
+    /// operand time is in. `source` and `producer` describe how the
+    /// value arrived (probe metadata only — they never affect timing).
+    fn deliver(
+        &mut self,
+        consumer: u64,
+        action: u8,
+        avail: u64,
+        source: DeliverySource,
+        producer: Option<u64>,
+    ) {
         let Some(wi) = self.win_index(consumer) else { return };
         let d = &mut self.window[wi];
         let st = if action == ACT_MASTER { &mut d.m_wait } else { &mut d.s_wait };
@@ -1512,7 +1518,7 @@ impl<'a, T: TraceSource + ?Sized, P: Probe, H: HostProf> Sim<'a, T, P, H> {
             0
         };
         if P::ENABLED && action == ACT_MASTER {
-            self.probe.operand_delivered(consumer, avail, via_forward);
+            self.probe.operand_delivered(consumer, avail, source, producer);
         }
         if all_known {
             self.future_ready.schedule(
@@ -1523,13 +1529,15 @@ impl<'a, T: TraceSource + ?Sized, P: Probe, H: HostProf> Sim<'a, T, P, H> {
         }
     }
 
-    /// Delivers `avail` to every waiter on a wakeup list.
-    fn notify_waiters(&mut self, head: u32, avail: u64) {
+    /// Delivers `avail` to every waiter on a wakeup list. `source` and
+    /// `producer` identify the completion or register write that fired
+    /// the list (probe metadata only).
+    fn notify_waiters(&mut self, head: u32, avail: u64, source: DeliverySource, producer: u64) {
         let mut idx = head;
         while idx != NIL {
             let node = self.waiters.nodes[idx as usize];
             self.waiters.release(idx);
-            self.deliver(node.consumer, node.action, avail, false);
+            self.deliver(node.consumer, node.action, avail, source, Some(producer));
             idx = node.next;
         }
     }
@@ -1777,12 +1785,18 @@ impl<'a, T: TraceSource + ?Sized, P: Probe, H: HostProf> Sim<'a, T, P, H> {
         // issue from (issue+1).max(done-1); scenario-five slaves are
         // woken at completion), and record the completion event.
         let head = std::mem::replace(&mut self.window[wi].w_done, NIL);
-        self.notify_waiters(head, done);
+        self.notify_waiters(head, done, DeliverySource::Completion, seq);
         if slave_info.is_some() {
             if fwd {
                 self.wake_events.schedule(done, seq, 0);
             } else {
-                self.deliver(seq, ACT_SLAVE, (now + 1).max(done.saturating_sub(1)), false);
+                self.deliver(
+                    seq,
+                    ACT_SLAVE,
+                    (now + 1).max(done.saturating_sub(1)),
+                    DeliverySource::Completion,
+                    Some(seq),
+                );
             }
         }
         self.completions.push(Reverse((done, seq, u64::from(DONE_EVT))));
@@ -1880,7 +1894,7 @@ impl<'a, T: TraceSource + ?Sized, P: Probe, H: HostProf> Sim<'a, T, P, H> {
         // The inter-copy dependence lifts: the master reads the
         // forwarded operand(s) from the next cycle on.
         for _ in 0..n_forwarded {
-            self.deliver(seq, ACT_MASTER, now + 1, true);
+            self.deliver(seq, ACT_MASTER, now + 1, DeliverySource::OperandForward, None);
         }
 
         // Non-receiving slaves are finished once the operand is written;
@@ -1912,7 +1926,7 @@ impl<'a, T: TraceSource + ?Sized, P: Probe, H: HostProf> Sim<'a, T, P, H> {
         // The write time is now known: wake consumers in this cluster
         // and record the completion event.
         let head = std::mem::replace(&mut self.window[wi].w_write, NIL);
-        self.notify_waiters(head, now + 1);
+        self.notify_waiters(head, now + 1, DeliverySource::SlaveWrite, seq);
         self.completions.push(Reverse((now + 1, seq, u64::from(WRITE_EVT))));
         // The slave reads the entry, then writes its register.
         self.buffer_frees.schedule(now + 1, (cluster.index() as u64) << 1 | u64::from(RTB), 0);
@@ -2056,6 +2070,9 @@ impl<'a, T: TraceSource + ?Sized, P: Probe, H: HostProf> Sim<'a, T, P, H> {
                 }
                 last_line = Some(line);
             }
+            if P::ENABLED {
+                self.probe.fetched(now, op.seq);
+            }
 
             // Distribution and resource checks.
             let m = memo.unwrap_or_else(|| {
@@ -2140,6 +2157,11 @@ impl<'a, T: TraceSource + ?Sized, P: Probe, H: HostProf> Sim<'a, T, P, H> {
                 };
                 src_read_cluster[i] = rc;
                 src_dep[i] = self.producers[rc.index()][reg.dense_index()];
+                if P::ENABLED && dist.forwarded_src[i] {
+                    if let Some(p) = src_dep[i] {
+                        self.probe.forwarded_operand_source(op.seq, p);
+                    }
+                }
             }
             // Rename the destination in every cluster holding it.
             if let Some(dest) = op.dest {

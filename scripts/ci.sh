@@ -189,6 +189,64 @@ grep -q '"profile":{"dir":"hostprof_out"}' "$smoke_dir/BENCH_repro.json" || {
     exit 1
 }
 
+echo "== smoke: per-instruction pipetrace =="
+# One cell under each engine. The binary enforces that the instrumented
+# companion run is byte-identical to the uninstrumented one (probe
+# on/off identity — it exits nonzero on any divergence), and the
+# retire-exactness identity on the recorded lifecycle; the full 36-cell
+# identity sweep runs inside `repro selftest` (pipetrace-identity
+# stage) above. Here CI additionally demands the rendered report and
+# both export files are byte-identical across engines, revalidates the
+# exports with obs-validate, and cross-checks the exported cycle and
+# retirement counts against BENCH_repro.json and the rendered report.
+(cd "$smoke_dir" && MCL_ONLY=compress "$OLDPWD/target/release/repro" pipetrace 8 \
+    --engine ticked --out pipetrace_out_ticked > pipetrace_ticked.txt)
+(cd "$smoke_dir" && MCL_ONLY=compress "$OLDPWD/target/release/repro" pipetrace 8 \
+    --engine event --out pipetrace_out > pipetrace.txt)
+if ! diff -q "$smoke_dir/pipetrace_ticked.txt" "$smoke_dir/pipetrace.txt"; then
+    echo "FAIL: pipetrace report differs between engines" >&2
+    exit 1
+fi
+if ! diff -r "$smoke_dir/pipetrace_out_ticked" "$smoke_dir/pipetrace_out" > /dev/null; then
+    echo "FAIL: pipetrace exports differ between engines" >&2
+    exit 1
+fi
+test -s "$smoke_dir/pipetrace_out/compress.konata" || {
+    echo "FAIL: compress.konata was not written" >&2
+    exit 1
+}
+target/release/repro obs-validate "$smoke_dir/pipetrace_out"
+grep -q '"pipetrace":{"dir":"pipetrace_out","range":null,"baseline":null}' "$smoke_dir/BENCH_repro.json" || {
+    echo "FAIL: pipetrace run not recorded in BENCH_repro.json" >&2
+    exit 1
+}
+# The exported target cycles must be the cycles the cell actually
+# simulated, and the exported retirement count must match the rendered
+# report — the retire-exactness identity, re-checked across artifacts.
+pt_json="$smoke_dir/pipetrace_out/compress.pipetrace.json"
+pt_cycles="$(grep -o '"cycles":[0-9]*' "$pt_json" | head -1 | cut -d: -f2)"
+grep -q "\"simulated_cycles\":${pt_cycles}" "$smoke_dir/BENCH_repro.json" || {
+    echo "FAIL: pipetrace.json cycles ($pt_cycles) disagree with BENCH_repro.json" >&2
+    exit 1
+}
+pt_retired="$(grep -o '"retired":[0-9]*' "$pt_json" | head -1 | cut -d: -f2)"
+grep -q "of ${pt_retired} retired" "$smoke_dir/pipetrace.txt" || {
+    echo "FAIL: pipetrace.json retirements ($pt_retired) disagree with the rendered report" >&2
+    exit 1
+}
+# Differential + ranged mode: slips vs the single-cluster baseline.
+(cd "$smoke_dir" && MCL_ONLY=compress "$OLDPWD/target/release/repro" pipetrace 8 \
+    --baseline single --range 100..200 --out pipetrace_diff > pipetrace_diff.txt)
+grep -q '(range 100..200)' "$smoke_dir/pipetrace_diff.txt" || {
+    echo "FAIL: pipetrace --range not reflected in the report" >&2
+    exit 1
+}
+grep -q 'vs single (' "$smoke_dir/pipetrace_diff.txt" || {
+    echo "FAIL: pipetrace --baseline missing from the report" >&2
+    exit 1
+}
+target/release/repro obs-validate "$smoke_dir/pipetrace_diff"
+
 echo "== smoke: chaos fault-injection campaign =="
 # Every injected fault must surface as a structured error (invariant
 # violation or wedge) — never silently perturb statistics. The campaign
